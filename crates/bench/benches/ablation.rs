@@ -1,0 +1,47 @@
+//! Ablation benchmarks: analysis time as a function of the design
+//! choices DESIGN.md calls out (K, embedding, extraction, run-time
+//! tests). The loop-count effect of the same toggles is reported by the
+//! `ablation` binary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use padfa_core::{analyze_program, Options};
+
+fn bench_k(c: &mut Criterion) {
+    let bp = padfa_suite::corpus::build_program("turb3d").expect("program");
+    let mut group = c.benchmark_group("ablation_k");
+    group.sample_size(10);
+    for k in [1usize, 2, 4, 8] {
+        let mut opts = Options::predicated();
+        opts.max_pieces = k;
+        group.bench_with_input(BenchmarkId::from_parameter(k), &bp.program, |b, prog| {
+            b.iter(|| analyze_program(std::hint::black_box(prog), &opts))
+        });
+    }
+    group.finish();
+}
+
+fn bench_toggles(c: &mut Criterion) {
+    let bp = padfa_suite::corpus::build_program("turb3d").expect("program");
+    let mut group = c.benchmark_group("ablation_toggles");
+    group.sample_size(10);
+    let mut no_embed = Options::predicated();
+    no_embed.embedding = false;
+    let mut no_extract = Options::predicated();
+    no_extract.extraction = false;
+    let mut no_rt = Options::predicated();
+    no_rt.runtime_tests = false;
+    for (name, opts) in [
+        ("full", Options::predicated()),
+        ("no_embedding", no_embed),
+        ("no_extraction", no_extract),
+        ("no_runtime_tests", no_rt),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &bp.program, |b, prog| {
+            b.iter(|| analyze_program(std::hint::black_box(prog), &opts))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_k, bench_toggles);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Analysis-cost comparison (the paper's compile-time overhead aspect):
+//! how much slower is predicated analysis than the unpredicated
+//! baseline, per corpus program?
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use padfa_core::{analyze_program, Options};
+
+fn bench_variants(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analysis_cost");
+    group.sample_size(10);
+    for name in ["tomcatv", "turb3d", "cgm"] {
+        let bp = padfa_suite::corpus::build_program(name).expect("corpus program");
+        for (variant, opts) in [
+            ("base", Options::base()),
+            ("guarded", Options::guarded()),
+            ("predicated", Options::predicated()),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(variant, name),
+                &bp.program,
+                |b, prog| b.iter(|| analyze_program(std::hint::black_box(prog), &opts)),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_fig1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analysis_fig1");
+    for (name, prog) in [
+        ("fig1a", padfa_suite::fig1::fig1a()),
+        ("fig1b", padfa_suite::fig1::fig1b()),
+        ("fig1c", padfa_suite::fig1::fig1c()),
+        ("fig1d", padfa_suite::fig1::fig1d()),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| analyze_program(std::hint::black_box(&prog), &Options::predicated()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_variants, bench_fig1);
+criterion_main!(benches);

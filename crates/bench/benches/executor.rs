@@ -1,0 +1,78 @@
+//! Executor benchmarks: interpreter throughput, parallel-for overhead,
+//! two-version test cost, and the ELPD instrumentation overhead.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use padfa_core::{analyze_program, Options};
+use padfa_ir::LoopId;
+use padfa_rt::elpd::elpd_inspect;
+use padfa_rt::{run_main, ArgValue, ExecPlan, RunConfig};
+use padfa_suite::kernels::{kernel, kernel_args};
+
+fn bench_interpreter(c: &mut Criterion) {
+    let prog = kernel("hydro2d", 16, 64);
+    let args = kernel_args("hydro2d", 16);
+    c.bench_function("interp_sequential", |b| {
+        b.iter(|| run_main(&prog, args.clone(), &RunConfig::sequential()).unwrap())
+    });
+}
+
+fn bench_parallel_scaling(c: &mut Criterion) {
+    let prog = kernel("hydro2d", 16, 64);
+    let args = kernel_args("hydro2d", 16);
+    let analysis = analyze_program(&prog, &Options::predicated());
+    let mut group = c.benchmark_group("parallel_for");
+    group.sample_size(10);
+    for workers in [1usize, 2, 4] {
+        let plan = ExecPlan::from_analysis(&prog, &analysis);
+        group.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, &w| {
+            b.iter(|| {
+                run_main(&prog, args.clone(), &RunConfig::parallel(w, plan.clone())).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_two_version_test(c: &mut Criterion) {
+    // The run-time test itself must be cheap: measure a run whose test
+    // always fails (sequential fallback) against a plain sequential run.
+    let prog = kernel("su2cor", 16, 64);
+    let analysis = analyze_program(&prog, &Options::predicated());
+    let plan = ExecPlan::from_analysis(&prog, &analysis);
+    // x = 9 makes the guard true, so the test fails and the loop runs
+    // sequentially: the difference vs. RunConfig::sequential is the test.
+    let args = vec![ArgValue::Int(16), ArgValue::Int(9)];
+    let mut group = c.benchmark_group("two_version");
+    group.bench_function("test_fails_fallback", |b| {
+        b.iter(|| {
+            run_main(&prog, args.clone(), &RunConfig::parallel(4, plan.clone())).unwrap()
+        })
+    });
+    group.bench_function("plain_sequential", |b| {
+        b.iter(|| run_main(&prog, args.clone(), &RunConfig::sequential()).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_elpd_overhead(c: &mut Criterion) {
+    let prog = kernel("hydro2d", 16, 64);
+    let args = kernel_args("hydro2d", 16);
+    let mut group = c.benchmark_group("elpd");
+    group.sample_size(10);
+    group.bench_function("instrumented", |b| {
+        b.iter(|| elpd_inspect(&prog, args.clone(), LoopId(0), &[]).unwrap())
+    });
+    group.bench_function("uninstrumented", |b| {
+        b.iter(|| run_main(&prog, args.clone(), &RunConfig::sequential()).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_interpreter,
+    bench_parallel_scaling,
+    bench_two_version_test,
+    bench_elpd_overhead
+);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Substrate micro-benchmarks: the hot operations of the linear engine
+//! and the predicate domain.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use padfa_omega::{Constraint, Disjunction, LinExpr, Limits, System, Var};
+use padfa_pred::Pred;
+
+fn tri_system() -> System {
+    // { 1 <= i <= n, 1 <= j <= i, d == 2i + 3j }
+    let (i, j, n, d) = (Var::new("i"), Var::new("j"), Var::new("n"), Var::new("d"));
+    System::from_constraints([
+        Constraint::geq(LinExpr::var(i), LinExpr::constant(1)),
+        Constraint::leq(LinExpr::var(i), LinExpr::var(n)),
+        Constraint::geq(LinExpr::var(j), LinExpr::constant(1)),
+        Constraint::leq(LinExpr::var(j), LinExpr::var(i)),
+        Constraint::eq(
+            LinExpr::var(d),
+            LinExpr::term(i, 2) + LinExpr::term(j, 3),
+        ),
+    ])
+}
+
+fn bench_fm(c: &mut Criterion) {
+    let sys = tri_system();
+    let limits = Limits::default();
+    let (i, j) = (Var::new("i"), Var::new("j"));
+    c.bench_function("fm_project_two_vars", |b| {
+        b.iter(|| std::hint::black_box(&sys).project_out(&[i, j], limits))
+    });
+    c.bench_function("fm_is_empty", |b| {
+        b.iter(|| std::hint::black_box(&sys).is_empty(limits))
+    });
+}
+
+fn bench_regions(c: &mut Criterion) {
+    let limits = Limits::default();
+    let d = Var::new("d");
+    let interval = |lo: i64, hi: i64| {
+        Disjunction::from_system(System::from_constraints([
+            Constraint::geq(LinExpr::var(d), LinExpr::constant(lo)),
+            Constraint::leq(LinExpr::var(d), LinExpr::constant(hi)),
+        ]))
+    };
+    let big = interval(1, 1000);
+    let holes = interval(100, 200).union(&interval(400, 500), limits);
+    c.bench_function("region_subtract", |b| {
+        b.iter(|| std::hint::black_box(&big).subtract(&holes, limits))
+    });
+    c.bench_function("region_subset", |b| {
+        b.iter(|| std::hint::black_box(&holes).subset_of(&big, limits))
+    });
+    c.bench_function("region_union_subsume", |b| {
+        b.iter(|| std::hint::black_box(&big).union(&holes, limits))
+    });
+}
+
+fn bench_predicates(c: &mut Criterion) {
+    let p = |s: &str| Pred::from_bool(&padfa_ir::parse::parse_bool_expr(s).unwrap());
+    let a = p("x > 5 and y <= 3 and n >= 10");
+    let q = p("x > 3");
+    let limits = Limits::default();
+    c.bench_function("pred_and_simplify", |b| {
+        b.iter(|| Pred::and(std::hint::black_box(&a).clone(), q.clone()))
+    });
+    c.bench_function("pred_implies", |b| {
+        b.iter(|| std::hint::black_box(&a).implies(&q, limits))
+    });
+    c.bench_function("pred_negate", |b| {
+        b.iter(|| std::hint::black_box(&a).negate())
+    });
+}
+
+fn bench_parse(c: &mut Criterion) {
+    let bp = padfa_suite::corpus::build_program("turb3d").expect("program");
+    c.bench_function("parse_turb3d", |b| {
+        b.iter(|| padfa_ir::parse::parse_program(std::hint::black_box(&bp.source)).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_fm, bench_regions, bench_predicates, bench_parse);
+criterion_main!(benches);

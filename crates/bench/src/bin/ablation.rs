@@ -1,0 +1,82 @@
+//! Ablation harness for the design choices DESIGN.md calls out:
+//!
+//! * K — the bound on guarded pieces per component;
+//! * predicate embedding on/off;
+//! * predicate extraction on/off;
+//! * run-time test derivation on/off;
+//! * the run-time test cost budget.
+//!
+//! Each configuration reports how many corpus loops it parallelizes and
+//! how long the analysis takes.
+//!
+//! Usage: `cargo run --release -p padfa-bench --bin ablation`
+
+use padfa_bench::render_table;
+use padfa_core::{analyze_program, Options};
+use std::time::Instant;
+
+fn measure(corpus: &[padfa_suite::BenchProgram], opts: &Options) -> (usize, usize, f64) {
+    let t = Instant::now();
+    let mut parallelized = 0;
+    let mut rt = 0;
+    for bp in corpus {
+        let r = analyze_program(&bp.program, opts);
+        parallelized += r.num_parallelized();
+        rt += r.num_runtime_tested();
+    }
+    (parallelized, rt, t.elapsed().as_secs_f64())
+}
+
+fn main() {
+    let corpus = padfa_suite::build_corpus();
+    let total: usize = corpus
+        .iter()
+        .map(|bp| padfa_ir::visit::count_loops(&bp.program))
+        .sum();
+    println!("corpus: {} programs, {} loops\n", corpus.len(), total);
+
+    let mut rows = Vec::new();
+    let mut push = |name: &str, opts: Options| {
+        let (par, rt, secs) = measure(&corpus, &opts);
+        rows.push(vec![
+            name.to_string(),
+            par.to_string(),
+            rt.to_string(),
+            format!("{:.1}%", 100.0 * par as f64 / total as f64),
+            format!("{secs:.2}s"),
+        ]);
+    };
+
+    push("base", Options::base());
+    push("guarded", Options::guarded());
+    push("predicated (full)", Options::predicated());
+
+    let mut no_embed = Options::predicated();
+    no_embed.embedding = false;
+    push("predicated - embedding", no_embed);
+
+    let mut no_extract = Options::predicated();
+    no_extract.extraction = false;
+    push("predicated - extraction", no_extract);
+
+    let mut no_rt = Options::predicated();
+    no_rt.runtime_tests = false;
+    push("predicated - run-time tests", no_rt);
+
+    for k in [1usize, 2, 4, 8] {
+        let mut o = Options::predicated();
+        o.max_pieces = k;
+        push(&format!("predicated K={k}"), o);
+    }
+
+    for budget in [1u32, 4, 16, 64] {
+        let mut o = Options::predicated();
+        o.test_cost_budget = budget;
+        push(&format!("predicated cost budget={budget}"), o);
+    }
+
+    println!(
+        "{}",
+        render_table(&["configuration", "parallelized", "RT", "％loops", "analysis"], &rows)
+    );
+}

@@ -1,0 +1,89 @@
+//! # padfa-bench
+//!
+//! Regenerators for every table and figure of the PPoPP'99 evaluation,
+//! plus Criterion micro-benchmarks of the substrate.
+//!
+//! Binaries (see `EXPERIMENTS.md` for the mapping to paper artifacts):
+//!
+//! * `table1` — per-program loop statistics (base vs guarded vs
+//!   predicated, ELPD-parallel remainder, recovery rate);
+//! * `table2` — detail of loops newly parallelized by the predicated
+//!   analysis (coverage, granularity, mechanism, test kind);
+//! * `speedups` — the speedup figure for the five improved programs;
+//! * `ablation` — design-choice ablations (K, embedding, extraction,
+//!   run-time tests).
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Render an aligned text table.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let mut line = String::new();
+    for (h, w) in headers.iter().zip(&widths) {
+        let _ = write!(line, "{h:>w$}  ", w = w);
+    }
+    out.push_str(line.trim_end());
+    out.push('\n');
+    let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
+    out.push_str(&"-".repeat(total.saturating_sub(2)));
+    out.push('\n');
+    for row in rows {
+        let mut line = String::new();
+        for (cell, w) in row.iter().zip(&widths) {
+            let _ = write!(line, "{cell:>w$}  ", w = w);
+        }
+        out.push_str(line.trim_end());
+        out.push('\n');
+    }
+    out
+}
+
+/// Median wall-clock time of `runs` executions of `f`.
+pub fn median_time(runs: usize, mut f: impl FnMut()) -> Duration {
+    let mut samples: Vec<Duration> = (0..runs.max(1))
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed()
+        })
+        .collect();
+    samples.sort();
+    samples[samples.len() / 2]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let t = render_table(
+            &["name", "n"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["longer".into(), "24".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("name"));
+        assert!(lines[3].ends_with("24"));
+    }
+
+    #[test]
+    fn median_time_returns_something() {
+        let d = median_time(3, || {
+            std::hint::black_box((0..1000).sum::<u64>());
+        });
+        assert!(d.as_nanos() > 0);
+    }
+}

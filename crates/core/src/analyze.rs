@@ -1,0 +1,798 @@
+//! The analysis driver: bottom-up traversal of the region graph,
+//! loop summarization with predicate embedding, and report assembly.
+
+use crate::component::PredComponent;
+use crate::deptest::test_loop;
+use crate::interproc::{call_order, conservative_summary, translate_call};
+use crate::options::Options;
+use crate::region::access_section;
+use crate::report::{AnalysisResult, LoopReport, Mechanisms, NotCandidateReason};
+use crate::summary::Summary;
+use padfa_ir::ast::{Block, BoolExpr, Expr, Loop, Procedure, Program, Stmt};
+use padfa_ir::affine;
+use padfa_omega::{Constraint, Disjunction, LinExpr, System, Var};
+use padfa_pred::{Atom, Pred};
+use std::collections::HashMap;
+
+/// Run the analysis over a whole program.
+///
+/// Procedures are summarized bottom-up over the call graph; every loop
+/// receives a [`LoopReport`]. Loops in recursive procedures are handled
+/// conservatively.
+pub fn analyze_program(prog: &Program, opts: &Options) -> AnalysisResult {
+    analyze_program_with_summaries(prog, opts).0
+}
+
+/// Like [`analyze_program`], additionally returning the per-procedure
+/// data-flow summaries (the interprocedural `R`/`W`/`E` values over
+/// array parameters) for tooling and tests.
+pub fn analyze_program_with_summaries(
+    prog: &Program,
+    opts: &Options,
+) -> (AnalysisResult, HashMap<String, Summary>) {
+    let co = call_order(prog);
+    let mut az = Analyzer {
+        prog,
+        opts,
+        proc_summaries: HashMap::new(),
+        reports: Vec::new(),
+    };
+    for &idx in &co.order {
+        let proc = &prog.procedures[idx];
+        let summary = if co.recursive.contains(&idx) {
+            conservative_summary(proc)
+        } else {
+            az.analyze_block(proc, &proc.body, 0)
+        };
+        az.proc_summaries.insert(proc.name.clone(), summary);
+    }
+    az.reports.sort_by_key(|r| r.id);
+    (AnalysisResult { loops: az.reports }, az.proc_summaries)
+}
+
+struct Analyzer<'a> {
+    prog: &'a Program,
+    opts: &'a Options,
+    proc_summaries: HashMap<String, Summary>,
+    reports: Vec<LoopReport>,
+}
+
+impl<'a> Analyzer<'a> {
+    fn analyze_block(&mut self, proc: &Procedure, block: &Block, depth: usize) -> Summary {
+        let mut acc = Summary::empty();
+        for stmt in &block.stmts {
+            let s = self.analyze_stmt(proc, stmt, depth);
+            acc = acc.seq(&s, self.opts);
+        }
+        acc
+    }
+
+    fn analyze_stmt(&mut self, proc: &Procedure, stmt: &Stmt, depth: usize) -> Summary {
+        match stmt {
+            Stmt::Assign { lhs, rhs } => {
+                let mut reads = Summary::empty();
+                add_expr_reads(&mut reads, proc, rhs);
+                let mut writes = Summary::empty();
+                match lhs {
+                    padfa_ir::LValue::Scalar(v) => writes.write_scalar(*v),
+                    padfa_ir::LValue::Elem(a, subs) => {
+                        for s in subs {
+                            add_expr_reads(&mut reads, proc, s);
+                        }
+                        let section = access_section(proc, *a, subs);
+                        let arr = writes.array_mut(*a);
+                        if section.is_exact() {
+                            arr.w = PredComponent::unconditional(section.clone());
+                        }
+                        arr.mw = PredComponent::unconditional(section);
+                    }
+                }
+                reads.seq(&writes, self.opts)
+            }
+            Stmt::If {
+                cond,
+                then_blk,
+                else_blk,
+            } => {
+                let mut cond_reads = Summary::empty();
+                add_bool_reads(&mut cond_reads, proc, cond);
+                let t = self.analyze_block(proc, then_blk, depth);
+                let e = self.analyze_block(proc, else_blk, depth);
+                let cond_pred = Pred::from_bool(cond);
+                let merged = Summary::if_merge(&cond_pred, &t, &e, self.opts);
+                cond_reads.seq(&merged, self.opts)
+            }
+            Stmt::For(l) => self.handle_loop(proc, l, depth),
+            Stmt::Call { callee, args } => {
+                let Some(callee_proc) = self.prog.proc(callee) else {
+                    return Summary::empty();
+                };
+                let callee_summary = self
+                    .proc_summaries
+                    .get(callee)
+                    .cloned()
+                    .unwrap_or_else(|| conservative_summary(callee_proc));
+                let mut mech = Mechanisms::default();
+                translate_call(
+                    &callee_summary,
+                    callee_proc,
+                    proc,
+                    args,
+                    self.opts,
+                    &mut mech,
+                )
+            }
+            Stmt::Read(v) => {
+                let mut s = Summary::empty();
+                s.write_scalar(*v);
+                s.has_io = true;
+                s
+            }
+            Stmt::Print(e) => {
+                let mut s = Summary::empty();
+                add_expr_reads(&mut s, proc, e);
+                s.has_io = true;
+                s
+            }
+            Stmt::ExitWhen(c) => {
+                let mut s = Summary::empty();
+                add_bool_reads(&mut s, proc, c);
+                s.has_exit = true;
+                s
+            }
+        }
+    }
+
+    /// Summarize and test one loop.
+    fn handle_loop(&mut self, proc: &Procedure, l: &Loop, depth: usize) -> Summary {
+        let opts = self.opts;
+        let limits = opts.limits;
+
+        // Bound expressions are read at loop entry.
+        let mut bound_reads = Summary::empty();
+        add_expr_reads(&mut bound_reads, proc, &l.lo);
+        add_expr_reads(&mut bound_reads, proc, &l.hi);
+
+        let body = self.analyze_block(proc, &l.body, depth + 1);
+
+        // Iteration-space context.
+        let lo_lin = affine::to_linexpr(&l.lo);
+        let hi_lin = affine::to_linexpr(&l.hi);
+        let mut ctx = System::universe();
+        let mut aux_vars: Vec<Var> = Vec::new();
+        // Bounds: for a negative step the loop runs downward from lo to
+        // hi, so lo is the *upper* bound of the iteration range.
+        let (lower, upper) = if l.step > 0 {
+            (&lo_lin, &hi_lin)
+        } else {
+            (&hi_lin, &lo_lin)
+        };
+        if let Some(b) = lower {
+            ctx.push(Constraint::geq(LinExpr::var(l.var), b.clone()));
+        }
+        if let Some(b) = upper {
+            ctx.push(Constraint::leq(LinExpr::var(l.var), b.clone()));
+        }
+        if l.step.abs() > 1 {
+            if let Some(lo) = &lo_lin {
+                let t = Var::new(&format!("$step.{}.{}", proc.name, l.var.name()));
+                ctx.push(Constraint::eq(
+                    LinExpr::var(l.var),
+                    lo.clone() + LinExpr::term(t, l.step),
+                ));
+                ctx.push(Constraint::geq(LinExpr::var(t), LinExpr::constant(0)));
+                aux_vars.push(t);
+            }
+        }
+
+        // Loop-variant scalars: anything the body may modify.
+        let writes = body.scalar_writes.clone();
+        let loop_var = l.var;
+        let unstable = move |v: Var| writes.contains(&v);
+        let writes2 = body.scalar_writes.clone();
+        let is_symbolic = move |v: Var| {
+            !v.is_synthetic() && v != loop_var && !writes2.contains(&v)
+        };
+
+        // Sanitize and embed the per-iteration summary.
+        let mut mechanisms = Mechanisms::default();
+        let mut iter = Summary::empty();
+        iter.scalars = body.scalars.clone();
+        iter.scalar_writes = body.scalar_writes.clone();
+        iter.has_io = body.has_io;
+        iter.has_exit = body.has_exit;
+        for (&a, s) in &body.arrays {
+            let sanitize = |c: &PredComponent, may: bool| c.degrade_unstable(&unstable, may);
+            let mut arr = crate::summary::ArraySummary {
+                w: embed_index_preds(&sanitize(&s.w, false), l.var, false, opts, &mut mechanisms),
+                mw: embed_index_preds(&sanitize(&s.mw, true), l.var, true, opts, &mut mechanisms),
+                r: embed_index_preds(&sanitize(&s.r, true), l.var, true, opts, &mut mechanisms),
+                e: embed_index_preds(&sanitize(&s.e, true), l.var, true, opts, &mut mechanisms),
+            };
+            arr.w.normalize(opts.max_pieces, false, limits);
+            arr.mw.normalize(opts.max_pieces, true, limits);
+            arr.r.normalize(opts.max_pieces, true, limits);
+            arr.e.normalize(opts.max_pieces, true, limits);
+            iter.arrays.insert(a, arr);
+        }
+
+        // Two-or-more-iterations predicate (suppresses degenerate tests).
+        let trip2 = trip2_pred(&l.lo, &l.hi, &lo_lin, &hi_lin, l.step);
+
+        let decision = test_loop(&iter, &l.body, l.var, &ctx, opts, &is_symbolic, &trip2);
+        mechanisms.predicates |= decision.mechanisms.predicates;
+        mechanisms.embedding |= decision.mechanisms.embedding;
+        mechanisms.extraction |= decision.mechanisms.extraction;
+        mechanisms.runtime_test |= decision.mechanisms.runtime_test;
+
+        let not_candidate = if body.has_io {
+            Some(NotCandidateReason::ReadIo)
+        } else if body.has_exit {
+            Some(NotCandidateReason::InternalExit)
+        } else {
+            None
+        };
+        self.reports.push(LoopReport {
+            id: l.id,
+            label: l.label.clone(),
+            proc: proc.name.clone(),
+            depth,
+            not_candidate,
+            outcome: decision.outcome,
+            privatized: decision.privatized,
+            privatized_scalars: decision.privatized_scalars,
+            reductions: decision.reductions,
+            mechanisms,
+        });
+
+        // ---- Loop-level summary for the enclosing region. ----
+        let with_ctx = |c: &PredComponent| -> PredComponent {
+            let mut out = PredComponent::empty();
+            for p in &c.pieces {
+                let mut r = Disjunction::empty();
+                for sys in p.region.systems() {
+                    r.push(sys.and(&ctx));
+                }
+                if !p.region.is_exact() {
+                    r.set_inexact();
+                }
+                out.push(p.pred.clone(), r);
+            }
+            out
+        };
+        // Only the loop index is projected; lattice counters (`$step...`)
+        // stay inside the region systems as existentials — eliminating
+        // them would lose the stride's divisibility facts (and drop
+        // strided must-writes entirely). Each piece renames them to
+        // fresh names so regions from different loops never conflate
+        // their existentials.
+        let project: Vec<Var> = vec![l.var];
+
+        let mut loop_sum = Summary::empty();
+        loop_sum.has_io = body.has_io;
+        loop_sum.has_exit = false; // exits are local to this loop
+        loop_sum.scalar_writes = body.scalar_writes.clone();
+        loop_sum.scalar_writes.remove(&l.var);
+
+        // A constant-trip loop provably executes (for scalar must-writes).
+        let trip_proven = match (&lo_lin, &hi_lin) {
+            (Some(lo), Some(hi)) => {
+                let diff = hi.clone() - lo.clone();
+                diff.is_const() && diff.konst() >= 0
+            }
+            _ => false,
+        };
+        for (&sv, sc) in &body.scalars {
+            if sv == l.var {
+                continue;
+            }
+            loop_sum.scalars.insert(
+                sv,
+                crate::summary::ScalarSummary {
+                    must_write: sc.must_write && trip_proven,
+                    may_write: sc.may_write,
+                    exposed_read: sc.exposed_read,
+                },
+            );
+        }
+
+        // Writes of earlier iterations, expressed over this iteration's i.
+        // Loop-varying synthetic context variables (the step lattice
+        // counter) get fresh names too, so the earlier iteration is not
+        // pinned to this iteration's lattice point.
+        let prev = Var::new(&format!("$prev.{}", l.var.name()));
+        let mut ctx_prev = ctx.rename(l.var, prev);
+        for v in &aux_vars {
+            ctx_prev = ctx_prev.rename(*v, Var::new(&format!("$prev.{}", v.name())));
+        }
+        // "Earlier iteration" follows execution order: smaller index for
+        // upward loops, larger for downward loops.
+        if l.step > 0 {
+            ctx_prev.push(Constraint::lt(LinExpr::var(prev), LinExpr::var(l.var)));
+        } else {
+            ctx_prev.push(Constraint::gt(LinExpr::var(prev), LinExpr::var(l.var)));
+        }
+        let prev_project: Vec<Var> = vec![prev];
+        let prev_aux: Vec<Var> = aux_vars
+            .iter()
+            .map(|v| Var::new(&format!("$prev.{}", v.name())))
+            .collect();
+        let w_prev_of_i = |w: &PredComponent| -> PredComponent {
+            let mut out = PredComponent::empty();
+            for p in &w.pieces {
+                let renamed = p.region.rename(l.var, prev);
+                let mut r = Disjunction::empty();
+                for sys in renamed.systems() {
+                    r.push(sys.and(&ctx_prev));
+                }
+                if !renamed.is_exact() {
+                    r.set_inexact();
+                }
+                out.push(p.pred.clone(), r);
+            }
+            existentialize(out.project_out(&prev_project, false, limits), &prev_aux)
+        };
+
+        let preds = opts.predicates_enabled();
+        let extract_fn: Option<&dyn Fn(Var) -> bool> = if opts.extraction {
+            Some(&is_symbolic)
+        } else {
+            None
+        };
+        for (&a, s) in &iter.arrays {
+            let mut fired = false;
+            let e_inner = with_ctx(&s.e).pred_subtract(
+                &w_prev_of_i(&s.w),
+                preds,
+                extract_fn,
+                limits,
+                &mut fired,
+            );
+            if fired {
+                if let Some(rep) = self.reports.last_mut() {
+                    rep.mechanisms.extraction = true;
+                }
+            }
+            let mut arr = crate::summary::ArraySummary {
+                w: existentialize(
+                    with_ctx(&s.w).project_out(&project, false, limits),
+                    &aux_vars,
+                ),
+                mw: existentialize(
+                    with_ctx(&s.mw).project_out(&project, true, limits),
+                    &aux_vars,
+                ),
+                r: existentialize(
+                    with_ctx(&s.r).project_out(&project, true, limits),
+                    &aux_vars,
+                ),
+                e: existentialize(e_inner.project_out(&project, true, limits), &aux_vars),
+            };
+            arr.w.normalize(opts.max_pieces, false, limits);
+            arr.mw.normalize(opts.max_pieces, true, limits);
+            arr.r.normalize(opts.max_pieces, true, limits);
+            arr.e.normalize(opts.max_pieces, true, limits);
+            if !arr.is_empty() {
+                loop_sum.arrays.insert(a, arr);
+            }
+        }
+
+        bound_reads.seq(&loop_sum, opts)
+    }
+}
+
+/// Rename lattice existentials to fresh names, per piece, so regions
+/// from different loop summarizations never share an existential.
+fn existentialize(comp: PredComponent, aux: &[Var]) -> PredComponent {
+    if aux.is_empty() {
+        return comp;
+    }
+    let mut out = PredComponent::empty();
+    for p in comp.pieces {
+        let mut region = p.region;
+        for &v in aux {
+            if region.vars().contains(&v) {
+                region = region.rename(v, Var::fresh("lat"));
+            }
+        }
+        out.push(p.pred, region);
+    }
+    out
+}
+
+/// Add the reads of an arithmetic expression to a summary.
+fn add_expr_reads(sum: &mut Summary, proc: &Procedure, e: &Expr) {
+    let mut scalars = Vec::new();
+    e.scalar_vars(&mut scalars);
+    for v in scalars {
+        sum.read_scalar(v);
+    }
+    e.for_each_access(&mut |a, subs| {
+        let section = access_section(proc, a, subs);
+        let arr = sum.array_mut(a);
+        arr.r = arr.r.union(&PredComponent::unconditional(section.clone()));
+        arr.e = arr.e.union(&PredComponent::unconditional(section));
+    });
+}
+
+/// Add the reads of a boolean expression to a summary.
+fn add_bool_reads(sum: &mut Summary, proc: &Procedure, b: &BoolExpr) {
+    let mut scalars = Vec::new();
+    b.scalar_vars(&mut scalars);
+    for v in scalars {
+        sum.read_scalar(v);
+    }
+    b.for_each_access(&mut |a, subs| {
+        let section = access_section(proc, a, subs);
+        let arr = sum.array_mut(a);
+        arr.r = arr.r.union(&PredComponent::unconditional(section.clone()));
+        arr.e = arr.e.union(&PredComponent::unconditional(section));
+    });
+}
+
+/// Predicate **embedding** at loop summarization: pieces whose guard
+/// mentions the loop index have the guard translated into constraints on
+/// the region (so projection over the index sees it). Pieces with
+/// index-dependent guards that cannot be embedded are degraded (weakened
+/// for may components, dropped from must components).
+fn embed_index_preds(
+    comp: &PredComponent,
+    loop_var: Var,
+    may: bool,
+    opts: &Options,
+    mechanisms: &mut Mechanisms,
+) -> PredComponent {
+    let mut out = PredComponent::empty();
+    for piece in &comp.pieces {
+        if !piece.pred.scalar_vars().contains(&loop_var) {
+            out.push(piece.pred.clone(), piece.region.clone());
+            continue;
+        }
+        if opts.embedding {
+            if let Some(systems) = piece.pred.to_systems(8) {
+                let pred_region = Disjunction::from_systems(systems);
+                let embedded = piece.region.intersect(&pred_region, opts.limits);
+                if may || embedded.is_exact() {
+                    mechanisms.embedding = true;
+                    out.push(Pred::True, embedded);
+                    continue;
+                }
+            }
+        }
+        if may {
+            out.push(Pred::True, piece.region.clone());
+        }
+        // must: drop.
+    }
+    out
+}
+
+/// A predicate that holds when the loop executes at least two iterations
+/// (used to reject degenerate run-time tests that only pass for trivial
+/// trip counts).
+fn trip2_pred(
+    lo: &Expr,
+    hi: &Expr,
+    lo_lin: &Option<LinExpr>,
+    hi_lin: &Option<LinExpr>,
+    step: i64,
+) -> Pred {
+    // Two iterations exist exactly when `lo + step` is still in range:
+    // `lo + step <= hi` for upward loops, `lo + step >= hi` downward.
+    match (lo_lin, hi_lin) {
+        (Some(l), Some(h)) => {
+            let slack = if step > 0 {
+                h.clone() - l.clone() - LinExpr::constant(step)
+            } else {
+                l.clone() + LinExpr::constant(step) - h.clone()
+            };
+            Pred::atom(Atom::affine_geq(slack))
+        }
+        _ => {
+            let op = if step > 0 {
+                padfa_ir::CmpOp::Ge
+            } else {
+                padfa_ir::CmpOp::Le
+            };
+            let cond = BoolExpr::cmp(
+                op,
+                hi.clone(),
+                Expr::Add(Box::new(lo.clone()), Box::new(Expr::int(step))),
+            );
+            if cond.is_scalar_only() {
+                Pred::from_bool(&cond)
+            } else {
+                Pred::True
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::Outcome;
+    use padfa_ir::parse::parse_program;
+
+    fn analyze(src: &str, opts: &Options) -> AnalysisResult {
+        let p = parse_program(src).unwrap();
+        analyze_program(&p, opts)
+    }
+
+    #[test]
+    fn independent_loop_is_parallel() {
+        let r = analyze(
+            "proc m(n: int) { array a[100];
+             for i = 1 to n { a[i] = a[i] + 1.0; } }",
+            &Options::predicated(),
+        );
+        assert!(matches!(r.loops[0].outcome, Outcome::Parallel));
+    }
+
+    #[test]
+    fn true_dependence_is_sequential() {
+        let r = analyze(
+            "proc m(n: int) { array a[100];
+             for i = 2 to n { a[i] = a[i - 1] + 1.0; } }",
+            &Options::predicated(),
+        );
+        assert!(matches!(r.loops[0].outcome, Outcome::Sequential));
+    }
+
+    #[test]
+    fn io_disqualifies() {
+        let r = analyze(
+            "proc m(n: int) { array a[100]; var x: int;
+             for i = 1 to n { read x; a[i] = 1.0; } }",
+            &Options::predicated(),
+        );
+        assert_eq!(
+            r.loops[0].not_candidate,
+            Some(NotCandidateReason::ReadIo)
+        );
+    }
+
+    #[test]
+    fn exit_disqualifies() {
+        let r = analyze(
+            "proc m(n: int, x: int) { array a[100];
+             for i = 1 to n { a[i] = 1.0; exit when (x > 0); } }",
+            &Options::predicated(),
+        );
+        assert_eq!(
+            r.loops[0].not_candidate,
+            Some(NotCandidateReason::InternalExit)
+        );
+    }
+
+    #[test]
+    fn privatizable_temp_array() {
+        // t is written then read each iteration: privatization removes
+        // the cross-iteration WW/WR conflicts.
+        let r = analyze(
+            "proc m(n: int) { array a[100]; array t[4];
+             for i = 1 to n {
+                 for j = 1 to 4 { t[j] = a[i] * 2.0; }
+                 a[i] = t[1] + t[2];
+             } }",
+            &Options::predicated(),
+        );
+        let outer = &r.loops[0];
+        assert!(matches!(outer.outcome, Outcome::Parallel), "{outer}");
+        assert_eq!(outer.privatized.len(), 1);
+        assert_eq!(outer.privatized[0].array, Var::new("t"));
+        assert!(!outer.privatized[0].copy_in, "t fully written first");
+    }
+
+    #[test]
+    fn figure1a_guarded_write_then_guarded_read() {
+        // if (x > 5) write help[1..n]; then guarded read: predicated
+        // analysis parallelizes the outer loop; base does not.
+        let src = "proc m(n: int, c: int, x: int) {
+            array help[100]; array a[100, 100];
+            for i = 1 to c {
+                if (x > 5) {
+                    for j = 1 to n { help[j] = 2.0; }
+                }
+                if (x > 5) {
+                    for j = 1 to n { a[i, j] = help[j]; }
+                }
+            } }";
+        let pr = analyze(src, &Options::predicated());
+        assert!(
+            pr.loops[0].outcome.is_parallelizable(),
+            "predicated should parallelize: {}",
+            pr.loops[0]
+        );
+        let br = analyze(src, &Options::base());
+        assert!(
+            matches!(br.loops[0].outcome, Outcome::Sequential),
+            "base must stay sequential: {}",
+            br.loops[0]
+        );
+    }
+
+    #[test]
+    fn figure1b_runtime_test_from_guards() {
+        // The write to help[i] is guarded by a loop-invariant condition;
+        // iteration i reads help[i+1], written by iteration i+1 when the
+        // guard holds. Predicated analysis emits a run-time test on the
+        // guard (the loop is parallel whenever x <= 5).
+        let src = "proc m(c: int, x: int) {
+            array help[101]; array a[100, 2];
+            for i = 1 to c {
+                if (x > 5) { help[i] = a[i, 1]; }
+                a[i, 2] = help[i + 1];
+            } }";
+        let pr = analyze(src, &Options::predicated());
+        match &pr.loops[0].outcome {
+            Outcome::ParallelIf(t) => {
+                assert!(t.is_runtime_testable());
+                assert!(pr.loops[0].mechanisms.runtime_test);
+                // x <= 5 must make the loop safe.
+                let safe = Pred::from_bool(
+                    &padfa_ir::parse::parse_bool_expr("x <= 5").unwrap(),
+                );
+                assert!(
+                    safe.implies(t, Options::predicated().limits),
+                    "x <= 5 should satisfy the test {t}"
+                );
+            }
+            other => panic!("expected run-time test, got {other}"),
+        }
+        // Guarded variant (no run-time tests) must stay sequential.
+        let gr = analyze(src, &Options::guarded());
+        assert!(matches!(gr.loops[0].outcome, Outcome::Sequential));
+    }
+
+    #[test]
+    fn boundary_condition_runtime_test_from_extraction() {
+        // Iteration i writes help[i] and reads help[m] (m symbolic): a
+        // cross-iteration flow dependence exists only when another
+        // iteration writes element m, i.e. when m falls inside the
+        // iteration range. Extraction derives the boundary-condition
+        // test; no predicate guards are involved (Figure 1(b,d) style).
+        let src = "proc m(c: int, m: int) {
+            array help[100]; array a[100];
+            for i = 1 to c {
+                help[i] = a[i] * 2.0;
+                a[i] = help[m];
+            } }";
+        let pr = analyze(src, &Options::predicated());
+        match &pr.loops[0].outcome {
+            Outcome::ParallelIf(t) => {
+                assert!(t.is_runtime_testable(), "test: {t}");
+                assert!(pr.loops[0].mechanisms.extraction);
+                // m outside any iteration range must satisfy the test.
+                let outside = Pred::from_bool(
+                    &padfa_ir::parse::parse_bool_expr("m > 100").unwrap(),
+                );
+                assert!(
+                    outside.implies(t, Options::predicated().limits),
+                    "m > 100 should satisfy {t}"
+                );
+            }
+            other => panic!("expected run-time test, got {other}"),
+        }
+        // Base analysis: sequential.
+        let br = analyze(src, &Options::base());
+        assert!(matches!(br.loops[0].outcome, Outcome::Sequential));
+    }
+
+    #[test]
+    fn zero_trip_guarded_privatization() {
+        // Figure 1(d) shape: the write loop covers help[d..n]; the read
+        // of help[1] is exposed only when d >= 2 — and in that case no
+        // iteration ever writes it, so guarded analysis proves
+        // privatization safe unconditionally. The base analysis also
+        // succeeds here because the subtraction remainder regions carry
+        // the contradiction; the discriminating cases are covered by the
+        // guard/extraction tests above.
+        let src = "proc m(c: int, n: int, d: int) {
+            array help[200]; array a[100, 200];
+            for i = 1 to c {
+                for j = d to n { help[j] = 1.0; }
+                for j = d to n { a[i, j] = help[j]; }
+                a[i, 1] = help[1];
+            } }";
+        let pr = analyze(src, &Options::predicated());
+        assert!(
+            pr.loops[0].outcome.is_parallelizable(),
+            "outer loop: {}",
+            pr.loops[0]
+        );
+        assert!(pr.loops[0].privatized.iter().any(|p| p.array == Var::new("help")));
+    }
+
+    #[test]
+    fn reduction_loop_parallel() {
+        let r = analyze(
+            "proc m(n: int) { var s: real; array a[1000];
+             for i = 1 to n { s = s + a[i]; } }",
+            &Options::predicated(),
+        );
+        assert!(matches!(r.loops[0].outcome, Outcome::Parallel));
+        assert_eq!(r.loops[0].reductions.len(), 1);
+        // Base SUIF also recognizes reductions.
+        let rb = analyze(
+            "proc m(n: int) { var s: real; array a[1000];
+             for i = 1 to n { s = s + a[i]; } }",
+            &Options::base(),
+        );
+        assert!(matches!(rb.loops[0].outcome, Outcome::Parallel));
+    }
+
+    #[test]
+    fn exposed_scalar_is_sequential() {
+        let r = analyze(
+            "proc m(n: int) { var s: real; array a[100];
+             for i = 1 to n { a[i] = s; s = a[i] * 2.0; } }",
+            &Options::predicated(),
+        );
+        assert!(matches!(r.loops[0].outcome, Outcome::Sequential));
+    }
+
+    #[test]
+    fn privatizable_scalar() {
+        let r = analyze(
+            "proc m(n: int) { var t: real; array a[100];
+             for i = 1 to n { t = a[i] * 2.0; a[i] = t + 1.0; } }",
+            &Options::predicated(),
+        );
+        assert!(matches!(r.loops[0].outcome, Outcome::Parallel));
+        assert_eq!(r.loops[0].privatized_scalars, vec![Var::new("t")]);
+    }
+
+    #[test]
+    fn interprocedural_independent() {
+        let r = analyze(
+            "proc init(row: array[100], n: int) {
+                 for j = 1 to n { row[j] = 0.0; }
+             }
+             proc m(n: int) { array b[100];
+                 for i = 1 to n { b[i] = 1.0; }
+                 call init(b, n);
+             }",
+            &Options::predicated(),
+        );
+        // Both loops parallel (callee loop and caller loop).
+        assert!(r.loops.iter().all(|l| l.outcome.is_parallelizable()));
+    }
+
+    #[test]
+    fn degenerate_test_suppressed() {
+        // a[i] = a[i-1]: the only "test" would be n <= 1 (0 or 1 trips),
+        // which must be suppressed, leaving the loop sequential.
+        let r = analyze(
+            "proc m(n: int) { array a[100];
+             for i = 2 to n { a[i] = a[i - 1]; } }",
+            &Options::predicated(),
+        );
+        assert!(matches!(r.loops[0].outcome, Outcome::Sequential));
+    }
+
+    #[test]
+    fn nested_loops_each_reported() {
+        let r = analyze(
+            "proc m(n: int) { array a[64, 64];
+             for i = 1 to n { for j = 1 to n { a[i, j] = 1.0; } } }",
+            &Options::predicated(),
+        );
+        assert_eq!(r.loops.len(), 2);
+        assert_eq!(r.loops[0].depth, 0);
+        assert_eq!(r.loops[1].depth, 1);
+        assert!(r.loops.iter().all(|l| l.outcome.is_parallelizable()));
+    }
+
+    #[test]
+    fn base_variant_no_runtime_tests_anywhere() {
+        let src = "proc m(c: int, n: int, x: int) {
+            array help[100]; array a[100, 100];
+            for i = 1 to c {
+                if (x > 5) { for j = 1 to n { help[j] = 1.0; } }
+                for j = 1 to n { a[i, j] = help[j]; }
+            } }";
+        let r = analyze(src, &Options::base());
+        assert_eq!(r.num_runtime_tested(), 0);
+    }
+}

@@ -1,0 +1,69 @@
+//! # padfa-core
+//!
+//! Predicated array data-flow analysis for automatic parallelization —
+//! the primary contribution of Moon & Hall (PPoPP 1999), built on the
+//! SUIF interprocedural array data-flow framework (Hall et al.).
+//!
+//! For every program region the analysis computes, per array, four
+//! summary components, each a set of *guarded* regions
+//! `(predicate, region)`:
+//!
+//! * `W` — must-write regions (under-approximate),
+//! * `MW` — may-write regions (over-approximate),
+//! * `R` — may-read regions,
+//! * `E` — upward-exposed may-read regions (reads not preceded by a
+//!   must-write within the region).
+//!
+//! Regions are unions of integer linear inequality systems
+//! (`padfa-omega`); predicates are arbitrary evaluable boolean
+//! expressions (`padfa-pred`). The predicated analysis adds, relative to
+//! the unpredicated SUIF baseline:
+//!
+//! * **guarded values** at control-flow merges (instead of intersecting
+//!   must-writes and unioning exposed reads);
+//! * **predicate embedding** — affine predicates over the loop index are
+//!   pushed into the linear systems before iteration projection;
+//! * **predicate extraction** — symbolic-only constraints are pulled out
+//!   of regions into predicates during subtraction (emptiness
+//!   conditions), dependence testing (breaking conditions), and
+//!   interprocedural reshape (divisibility conditions);
+//! * **run-time test derivation** — when independence or privatization
+//!   holds only under a predicate, and that predicate is a low-cost
+//!   scalar test, the loop is reported [`Outcome::ParallelIf`] and the
+//!   executor guards a two-version loop with it.
+//!
+//! Entry point: [`analyze_program`]. Three analysis variants reproduce
+//! the paper's comparisons: [`Variant::Base`] (unpredicated SUIF),
+//! [`Variant::Guarded`] (compile-time predicates only, the Gu/Li/Lee
+//! comparator), and [`Variant::Predicated`] (full system).
+//!
+//! ```
+//! use padfa_core::{analyze_program, Options, Outcome};
+//!
+//! let src = "proc main(n: int, x: int) {
+//!     array a[100];
+//!     for i = 1 to n { a[i] = a[i] + 1.0; }
+//! }";
+//! let prog = padfa_ir::parse::parse_program(src).unwrap();
+//! let result = analyze_program(&prog, &Options::predicated());
+//! assert!(matches!(result.loops[0].outcome, padfa_core::Outcome::Parallel));
+//! ```
+
+pub mod analyze;
+pub mod component;
+pub mod deptest;
+pub mod interproc;
+pub mod options;
+pub mod reduce;
+pub mod region;
+pub mod report;
+pub mod summary;
+
+pub use analyze::{analyze_program, analyze_program_with_summaries};
+pub use component::{GuardedRegion, PredComponent};
+pub use options::{Options, Variant};
+pub use report::{
+    AnalysisResult, LoopReport, Mechanisms, NotCandidateReason, Outcome, PrivArray, ReduceOp,
+    Reduction,
+};
+pub use summary::{ArraySummary, ScalarSummary, Summary};

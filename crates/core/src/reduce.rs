@@ -1,0 +1,355 @@
+//! Reduction recognition.
+//!
+//! Base SUIF recognizes scalar and array reductions: loops whose only
+//! accesses to a variable are commutative self-updates
+//! (`t = t ⊕ e`, `a[s] = a[s] ⊕ e`). The executor gives each worker a
+//! private accumulator and combines partial results in iteration order.
+
+use crate::report::{ReduceOp, Reduction};
+use padfa_ir::ast::{Arg, Block, BoolExpr, Expr, Intrinsic, LValue, Stmt};
+use padfa_omega::Var;
+use std::collections::BTreeMap;
+
+#[derive(Default)]
+struct Tally {
+    /// Consistent reduction operator seen so far.
+    op: Option<ReduceOp>,
+    is_array: bool,
+    update_count: usize,
+    /// Any access incompatible with the reduction form.
+    disqualified: bool,
+}
+
+/// Find all reduction targets in a loop body.
+///
+/// A variable qualifies when every access to it inside the body is part
+/// of a self-update with one consistent operator, the updated element is
+/// the same on both sides, and the added expression does not read the
+/// target.
+pub fn find_reductions(body: &Block) -> Vec<Reduction> {
+    let mut tallies: BTreeMap<Var, Tally> = BTreeMap::new();
+    scan_block(body, &mut tallies);
+    tallies
+        .into_iter()
+        .filter_map(|(target, t)| {
+            if t.disqualified || t.update_count == 0 {
+                None
+            } else {
+                t.op.map(|op| Reduction {
+                    target,
+                    is_array: t.is_array,
+                    op,
+                })
+            }
+        })
+        .collect()
+}
+
+/// Match `rhs` as `lhs ⊕ e`, returning the operator and the non-target
+/// operand.
+fn match_update<'a>(lhs: &LValue, rhs: &'a Expr) -> Option<(ReduceOp, &'a Expr)> {
+    let same = |e: &Expr| -> bool {
+        match (lhs, e) {
+            (LValue::Scalar(s), Expr::Scalar(v)) => s == v,
+            (LValue::Elem(a, subs), Expr::Elem(b, idxs)) => a == b && subs == idxs,
+            _ => false,
+        }
+    };
+    match rhs {
+        Expr::Add(a, b) => {
+            if same(a) {
+                Some((ReduceOp::Sum, b))
+            } else if same(b) {
+                Some((ReduceOp::Sum, a))
+            } else {
+                None
+            }
+        }
+        // `t = t - e` is a sum reduction with negated operand.
+        Expr::Sub(a, b) if same(a) => Some((ReduceOp::Sum, b)),
+        Expr::Mul(a, b) => {
+            if same(a) {
+                Some((ReduceOp::Product, b))
+            } else if same(b) {
+                Some((ReduceOp::Product, a))
+            } else {
+                None
+            }
+        }
+        Expr::Call(Intrinsic::Min, args) => {
+            if same(&args[0]) {
+                Some((ReduceOp::Min, &args[1]))
+            } else if same(&args[1]) {
+                Some((ReduceOp::Min, &args[0]))
+            } else {
+                None
+            }
+        }
+        Expr::Call(Intrinsic::Max, args) => {
+            if same(&args[0]) {
+                Some((ReduceOp::Max, &args[1]))
+            } else if same(&args[1]) {
+                Some((ReduceOp::Max, &args[0]))
+            } else {
+                None
+            }
+        }
+        _ => None,
+    }
+}
+
+fn target_of(lhs: &LValue) -> (Var, bool) {
+    match lhs {
+        LValue::Scalar(s) => (*s, false),
+        LValue::Elem(a, _) => (*a, true),
+    }
+}
+
+/// Record a plain (non-update) read of every variable in `e`.
+fn note_reads(e: &Expr, tallies: &mut BTreeMap<Var, Tally>) {
+    let mut scalars = Vec::new();
+    e.scalar_vars(&mut scalars);
+    for v in scalars {
+        tallies.entry(v).or_default().disqualified = true;
+    }
+    e.for_each_access(&mut |a, _| {
+        tallies.entry(a).or_default().disqualified = true;
+    });
+}
+
+fn note_bool_reads(b: &BoolExpr, tallies: &mut BTreeMap<Var, Tally>) {
+    let mut scalars = Vec::new();
+    b.scalar_vars(&mut scalars);
+    for v in scalars {
+        tallies.entry(v).or_default().disqualified = true;
+    }
+    b.for_each_access(&mut |a, _| {
+        tallies.entry(a).or_default().disqualified = true;
+    });
+}
+
+fn scan_block(b: &Block, tallies: &mut BTreeMap<Var, Tally>) {
+    for s in &b.stmts {
+        match s {
+            Stmt::Assign { lhs, rhs } => {
+                let (target, is_array) = target_of(lhs);
+                if let Some((op, operand)) = match_update(lhs, rhs) {
+                    // The operand and the subscripts must not read the
+                    // target.
+                    let mut reads_target = false;
+                    let mut scalars = Vec::new();
+                    operand.scalar_vars(&mut scalars);
+                    if scalars.contains(&target) {
+                        reads_target = true;
+                    }
+                    operand.for_each_access(&mut |a, _| {
+                        if a == target {
+                            reads_target = true;
+                        }
+                    });
+                    if let LValue::Elem(_, subs) = lhs {
+                        for sub in subs {
+                            let mut sv = Vec::new();
+                            sub.scalar_vars(&mut sv);
+                            if sv.contains(&target) {
+                                reads_target = true;
+                            }
+                            sub.for_each_access(&mut |a, _| {
+                                if a == target {
+                                    reads_target = true;
+                                }
+                            });
+                            // Subscript reads of *other* variables count
+                            // as ordinary reads.
+                            note_reads(sub, tallies);
+                        }
+                    }
+                    // Ordinary reads for everything in the operand.
+                    note_reads(operand, tallies);
+                    let t = tallies.entry(target).or_default();
+                    t.is_array = is_array;
+                    t.update_count += 1;
+                    if reads_target {
+                        t.disqualified = true;
+                    }
+                    match t.op {
+                        None => t.op = Some(op),
+                        Some(prev) if prev == op => {}
+                        Some(_) => t.disqualified = true,
+                    }
+                } else {
+                    // Ordinary write: disqualifies the target; rhs and
+                    // subscripts are ordinary reads.
+                    tallies.entry(target).or_default().disqualified = true;
+                    note_reads(rhs, tallies);
+                    if let LValue::Elem(_, subs) = lhs {
+                        for sub in subs {
+                            note_reads(sub, tallies);
+                        }
+                    }
+                }
+            }
+            Stmt::If {
+                cond,
+                then_blk,
+                else_blk,
+            } => {
+                note_bool_reads(cond, tallies);
+                scan_block(then_blk, tallies);
+                scan_block(else_blk, tallies);
+            }
+            Stmt::For(l) => {
+                note_reads(&l.lo, tallies);
+                note_reads(&l.hi, tallies);
+                // The inner loop index is written by the inner loop.
+                tallies.entry(l.var).or_default().disqualified = true;
+                scan_block(&l.body, tallies);
+            }
+            Stmt::Call { args, .. } => {
+                for a in args {
+                    match a {
+                        Arg::Scalar(e) => note_reads(e, tallies),
+                        Arg::Array(v) => {
+                            tallies.entry(*v).or_default().disqualified = true
+                        }
+                    }
+                }
+            }
+            Stmt::Read(v) => {
+                tallies.entry(*v).or_default().disqualified = true;
+            }
+            Stmt::Print(e) => note_reads(e, tallies),
+            Stmt::ExitWhen(c) => note_bool_reads(c, tallies),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use padfa_ir::parse::parse_program;
+    use padfa_ir::Stmt;
+
+    fn body_of(src: &str) -> Block {
+        let p = parse_program(src).unwrap();
+        match &p.procedures[0].body.stmts[0] {
+            Stmt::For(l) => l.body.clone(),
+            other => panic!("expected loop, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn scalar_sum_reduction() {
+        let b = body_of(
+            "proc m(n: int) { var s: real; array a[100];
+             for i = 1 to n { s = s + a[i]; } }",
+        );
+        let r = find_reductions(&b);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].target, Var::new("s"));
+        assert_eq!(r[0].op, ReduceOp::Sum);
+        assert!(!r[0].is_array);
+    }
+
+    #[test]
+    fn commuted_and_subtracting_forms() {
+        let b = body_of(
+            "proc m(n: int) { var s: real; array a[100];
+             for i = 1 to n { s = a[i] + s; } }",
+        );
+        assert_eq!(find_reductions(&b)[0].op, ReduceOp::Sum);
+        let b2 = body_of(
+            "proc m(n: int) { var s: real; array a[100];
+             for i = 1 to n { s = s - a[i]; } }",
+        );
+        assert_eq!(find_reductions(&b2)[0].op, ReduceOp::Sum);
+        // But `s = e - s` is NOT a reduction.
+        let b3 = body_of(
+            "proc m(n: int) { var s: real; array a[100];
+             for i = 1 to n { s = a[i] - s; } }",
+        );
+        assert!(find_reductions(&b3).is_empty());
+    }
+
+    #[test]
+    fn array_histogram_reduction() {
+        // Indirect subscripts are fine for reductions (the classic
+        // histogram): a[idx[i]] = a[idx[i]] + 1.
+        let b = body_of(
+            "proc m(n: int) { array h[64]; array idx[100] of int;
+             for i = 1 to n { h[idx[i]] = h[idx[i]] + 1.0; } }",
+        );
+        let r = find_reductions(&b);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].target, Var::new("h"));
+        assert!(r[0].is_array);
+    }
+
+    #[test]
+    fn min_max_product() {
+        let b = body_of(
+            "proc m(n: int) { var lo: real; var hi: real; var p: real; array a[100];
+             for i = 1 to n { lo = min(lo, a[i]); hi = max(a[i], hi); p = p * a[i]; } }",
+        );
+        let r = find_reductions(&b);
+        let get = |name: &str| r.iter().find(|x| x.target == Var::new(name)).unwrap().op;
+        assert_eq!(get("lo"), ReduceOp::Min);
+        assert_eq!(get("hi"), ReduceOp::Max);
+        assert_eq!(get("p"), ReduceOp::Product);
+    }
+
+    #[test]
+    fn mixed_operators_disqualify() {
+        let b = body_of(
+            "proc m(n: int) { var s: real; array a[100];
+             for i = 1 to n { s = s + a[i]; s = s * a[i]; } }",
+        );
+        assert!(find_reductions(&b).is_empty());
+    }
+
+    #[test]
+    fn outside_read_disqualifies() {
+        let b = body_of(
+            "proc m(n: int) { var s: real; array a[100];
+             for i = 1 to n { s = s + a[i]; a[i] = s; } }",
+        );
+        assert!(find_reductions(&b).is_empty());
+    }
+
+    #[test]
+    fn operand_reading_target_disqualifies() {
+        let b = body_of(
+            "proc m(n: int) { var s: real; array a[100];
+             for i = 1 to n { s = s + s * a[i]; } }",
+        );
+        assert!(find_reductions(&b).is_empty());
+    }
+
+    #[test]
+    fn plain_writes_disqualify() {
+        let b = body_of(
+            "proc m(n: int) { var s: real; array a[100];
+             for i = 1 to n { s = s + a[i]; s = 0.0; } }",
+        );
+        assert!(find_reductions(&b).is_empty());
+    }
+
+    #[test]
+    fn array_passed_to_call_disqualified() {
+        let b = body_of(
+            "proc m(n: int) { array h[64];
+             for i = 1 to n { h[1] = h[1] + 1.0; call touch(h); } }
+             proc touch(x: array[64]) { }",
+        );
+        assert!(find_reductions(&b).is_empty());
+    }
+
+    #[test]
+    fn guarded_reduction_still_recognized() {
+        let b = body_of(
+            "proc m(n: int, x: int) { var s: real; array a[100];
+             for i = 1 to n { if (x > 0) { s = s + a[i]; } } }",
+        );
+        assert_eq!(find_reductions(&b).len(), 1);
+    }
+}

@@ -1,0 +1,407 @@
+//! Data-flow summaries of program regions and their composition rules.
+
+use crate::component::PredComponent;
+use crate::options::Options;
+use padfa_omega::Var;
+use padfa_pred::Pred;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Per-array summary of one program region.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct ArraySummary {
+    /// Must-write regions (under-approximate).
+    pub w: PredComponent,
+    /// May-write regions (over-approximate).
+    pub mw: PredComponent,
+    /// May-read regions.
+    pub r: PredComponent,
+    /// Upward-exposed may-read regions.
+    pub e: PredComponent,
+}
+
+impl ArraySummary {
+    pub fn is_empty(&self) -> bool {
+        self.w.is_empty() && self.mw.is_empty() && self.r.is_empty() && self.e.is_empty()
+    }
+}
+
+/// Per-scalar summary. Scalars get the classical (unpredicated)
+/// treatment; the paper's contribution concerns array values.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct ScalarSummary {
+    /// Definitely assigned in the region.
+    pub must_write: bool,
+    /// Possibly assigned.
+    pub may_write: bool,
+    /// Possibly read before any definite assignment in the region.
+    pub exposed_read: bool,
+}
+
+/// Summary of one program region (basic block, if, loop body, loop,
+/// call, or procedure body).
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct Summary {
+    pub arrays: BTreeMap<Var, ArraySummary>,
+    pub scalars: BTreeMap<Var, ScalarSummary>,
+    /// Scalars possibly modified in the region (predicate stability).
+    pub scalar_writes: BTreeSet<Var>,
+    /// Region performs read I/O (disqualifies enclosing loops).
+    pub has_io: bool,
+    /// Region contains an internal loop exit.
+    pub has_exit: bool,
+}
+
+impl Summary {
+    pub fn empty() -> Summary {
+        Summary::default()
+    }
+
+    pub fn array_mut(&mut self, a: Var) -> &mut ArraySummary {
+        self.arrays.entry(a).or_default()
+    }
+
+    pub fn scalar_mut(&mut self, s: Var) -> &mut ScalarSummary {
+        self.scalars.entry(s).or_default()
+    }
+
+    /// Record a scalar read at the start of this (elementary) summary.
+    pub fn read_scalar(&mut self, s: Var) {
+        let sc = self.scalar_mut(s);
+        if !sc.must_write {
+            sc.exposed_read = true;
+        }
+    }
+
+    /// Record a definite scalar write.
+    pub fn write_scalar(&mut self, s: Var) {
+        let sc = self.scalar_mut(s);
+        sc.must_write = true;
+        sc.may_write = true;
+        self.scalar_writes.insert(s);
+    }
+
+    /// Sequential composition `self ; next`.
+    ///
+    /// * `R = R1 ∪ R2`
+    /// * `E = E1 ∪ PredSubtract(E2, W1)`
+    /// * `W = W1 ∪ W2`, `MW = MW1 ∪ MW2`
+    ///
+    /// Predicates in `next` refer to program state at its entry; pieces
+    /// whose predicate reads a scalar `self` may modify are degraded
+    /// (weakened to `True` in may components, dropped from must
+    /// components).
+    pub fn seq(&self, next: &Summary, opts: &Options) -> Summary {
+        let mut out = Summary::empty();
+        out.has_io = self.has_io || next.has_io;
+        out.has_exit = self.has_exit || next.has_exit;
+        out.scalar_writes = self
+            .scalar_writes
+            .union(&next.scalar_writes)
+            .copied()
+            .collect();
+
+        let writes = &self.scalar_writes;
+        let unstable = |v: Var| writes.contains(&v);
+        let preds = opts.predicates_enabled();
+
+        let keys: BTreeSet<Var> = self.arrays.keys().chain(next.arrays.keys()).copied().collect();
+        for a in keys {
+            let empty = ArraySummary::default();
+            let s1 = self.arrays.get(&a).unwrap_or(&empty);
+            let s2 = next.arrays.get(&a).unwrap_or(&empty);
+
+            let w2 = s2.w.degrade_unstable(&unstable, false);
+            let mw2 = s2.mw.degrade_unstable(&unstable, true);
+            let r2 = s2.r.degrade_unstable(&unstable, true);
+            let e2 = s2.e.degrade_unstable(&unstable, true);
+
+            let mut fired = false;
+            let e2_minus_w1 = e2.pred_subtract(&s1.w, preds, None, opts.limits, &mut fired);
+
+            let mut acc = ArraySummary {
+                w: s1.w.union(&w2),
+                mw: s1.mw.union(&mw2),
+                r: s1.r.union(&r2),
+                e: s1.e.union(&e2_minus_w1),
+            };
+            acc.w.normalize(opts.max_pieces, false, opts.limits);
+            acc.mw.normalize(opts.max_pieces, true, opts.limits);
+            acc.r.normalize(opts.max_pieces, true, opts.limits);
+            acc.e.normalize(opts.max_pieces, true, opts.limits);
+            out.arrays.insert(a, acc);
+        }
+
+        let skeys: BTreeSet<Var> =
+            self.scalars.keys().chain(next.scalars.keys()).copied().collect();
+        for s in skeys {
+            let a = self.scalars.get(&s).copied().unwrap_or_default();
+            let b = next.scalars.get(&s).copied().unwrap_or_default();
+            out.scalars.insert(
+                s,
+                ScalarSummary {
+                    must_write: a.must_write || b.must_write,
+                    may_write: a.may_write || b.may_write,
+                    exposed_read: a.exposed_read || (b.exposed_read && !a.must_write),
+                },
+            );
+        }
+        out
+    }
+
+    /// Merge the two branches of `if (cond)`.
+    ///
+    /// With predicates enabled each branch's pieces are guarded by the
+    /// branch condition (so a write under `cond` stays a *guarded
+    /// must-write*). The unpredicated baseline must intersect must-writes
+    /// and union everything else — precisely the precision loss the paper
+    /// addresses.
+    pub fn if_merge(cond_pred: &Pred, then_s: &Summary, else_s: &Summary, opts: &Options) -> Summary {
+        let mut out = Summary::empty();
+        out.has_io = then_s.has_io || else_s.has_io;
+        out.has_exit = then_s.has_exit || else_s.has_exit;
+        out.scalar_writes = then_s
+            .scalar_writes
+            .union(&else_s.scalar_writes)
+            .copied()
+            .collect();
+
+        let keys: BTreeSet<Var> = then_s
+            .arrays
+            .keys()
+            .chain(else_s.arrays.keys())
+            .copied()
+            .collect();
+        let neg = cond_pred.negate();
+        for a in keys {
+            let empty = ArraySummary::default();
+            let t = then_s.arrays.get(&a).unwrap_or(&empty);
+            let e = else_s.arrays.get(&a).unwrap_or(&empty);
+            let mut acc = if opts.predicates_enabled() {
+                ArraySummary {
+                    w: t.w.guard(cond_pred).union(&e.w.guard(&neg)),
+                    mw: t.mw.guard(cond_pred).union(&e.mw.guard(&neg)),
+                    r: t.r.guard(cond_pred).union(&e.r.guard(&neg)),
+                    e: t.e.guard(cond_pred).union(&e.e.guard(&neg)),
+                }
+            } else {
+                // Base SUIF: W must hold on both paths.
+                let w = intersect_must(&t.w, &e.w, opts);
+                ArraySummary {
+                    w,
+                    mw: t.mw.union(&e.mw),
+                    r: t.r.union(&e.r),
+                    e: t.e.union(&e.e),
+                }
+            };
+            acc.w.normalize(opts.max_pieces, false, opts.limits);
+            acc.mw.normalize(opts.max_pieces, true, opts.limits);
+            acc.r.normalize(opts.max_pieces, true, opts.limits);
+            acc.e.normalize(opts.max_pieces, true, opts.limits);
+            out.arrays.insert(a, acc);
+        }
+
+        let skeys: BTreeSet<Var> = then_s
+            .scalars
+            .keys()
+            .chain(else_s.scalars.keys())
+            .copied()
+            .collect();
+        for s in skeys {
+            let a = then_s.scalars.get(&s).copied().unwrap_or_default();
+            let b = else_s.scalars.get(&s).copied().unwrap_or_default();
+            out.scalars.insert(
+                s,
+                ScalarSummary {
+                    must_write: a.must_write && b.must_write,
+                    may_write: a.may_write || b.may_write,
+                    exposed_read: a.exposed_read || b.exposed_read,
+                },
+            );
+        }
+        out
+    }
+}
+
+/// Unpredicated must-write intersection (both branches definitely write
+/// the intersection of their must regions).
+fn intersect_must(a: &PredComponent, b: &PredComponent, opts: &Options) -> PredComponent {
+    let ra = a.must_region(&Pred::True, opts.limits);
+    let rb = b.must_region(&Pred::True, opts.limits);
+    let inter = ra.intersect(&rb, opts.limits);
+    if inter.is_empty_union() || !inter.is_exact() {
+        PredComponent::empty()
+    } else {
+        PredComponent::unconditional(inter)
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (a, s) in &self.arrays {
+            writeln!(f, "{a}: W={} MW={} R={} E={}", s.w, s.mw, s.r, s.e)?;
+        }
+        for (v, s) in &self.scalars {
+            writeln!(
+                f,
+                "{v}: must={} may={} exposed={}",
+                s.must_write, s.may_write, s.exposed_read
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::component::PredComponent;
+    use padfa_omega::{Constraint, Disjunction, LinExpr, Limits, System};
+
+    fn v(n: &str) -> Var {
+        Var::new(n)
+    }
+
+    fn interval(var: &str, lo: i64, hi: i64) -> Disjunction {
+        Disjunction::from_system(System::from_constraints([
+            Constraint::geq(LinExpr::var(v(var)), LinExpr::constant(lo)),
+            Constraint::leq(LinExpr::var(v(var)), LinExpr::constant(hi)),
+        ]))
+    }
+
+    fn pred(src: &str) -> Pred {
+        Pred::from_bool(&padfa_ir::parse::parse_bool_expr(src).unwrap())
+    }
+
+    fn writes(a: &str, lo: i64, hi: i64) -> Summary {
+        let mut s = Summary::empty();
+        let arr = s.array_mut(v(a));
+        let r = interval("d", lo, hi);
+        arr.w = PredComponent::unconditional(r.clone());
+        arr.mw = PredComponent::unconditional(r);
+        s
+    }
+
+    fn reads(a: &str, lo: i64, hi: i64) -> Summary {
+        let mut s = Summary::empty();
+        let arr = s.array_mut(v(a));
+        let r = interval("d", lo, hi);
+        arr.r = PredComponent::unconditional(r.clone());
+        arr.e = PredComponent::unconditional(r);
+        s
+    }
+
+    #[test]
+    fn seq_kills_covered_reads() {
+        // write a[1..10]; read a[1..10]: nothing exposed.
+        let s = writes("a", 1, 10).seq(&reads("a", 1, 10), &Options::predicated());
+        let e = &s.arrays[&v("a")].e;
+        assert!(e.is_region_empty(Limits::default()));
+        // Reads beyond the write stay exposed.
+        let s2 = writes("a", 1, 5).seq(&reads("a", 1, 10), &Options::predicated());
+        let e2 = s2.arrays[&v("a")].e.may_region(Limits::default());
+        assert_eq!(e2.contains(&|_| Some(7)), Some(true));
+        assert_eq!(e2.contains(&|_| Some(3)), Some(false));
+    }
+
+    #[test]
+    fn seq_read_then_write_is_exposed() {
+        let s = reads("a", 1, 10).seq(&writes("a", 1, 10), &Options::predicated());
+        let e = s.arrays[&v("a")].e.may_region(Limits::default());
+        assert_eq!(e.contains(&|_| Some(5)), Some(true));
+    }
+
+    #[test]
+    fn if_merge_predicated_keeps_guarded_must_write() {
+        let t = writes("a", 1, 10);
+        let e = Summary::empty();
+        let opts = Options::predicated();
+        let m = Summary::if_merge(&pred("x > 5"), &t, &e, &opts);
+        let w = &m.arrays[&v("a")].w;
+        assert_eq!(w.pieces.len(), 1);
+        assert_eq!(w.pieces[0].pred, pred("x > 5"));
+        // Must region under assumption x > 5 is the full write.
+        let must = w.must_region(&pred("x > 5"), Limits::default());
+        assert_eq!(must.contains(&|_| Some(5)), Some(true));
+        // Unconditional must region is empty.
+        assert!(w.must_region(&Pred::True, Limits::default()).is_empty_union());
+    }
+
+    #[test]
+    fn if_merge_base_intersects_must_writes() {
+        let t = writes("a", 1, 10);
+        let e = writes("a", 5, 20);
+        let opts = Options::base();
+        let m = Summary::if_merge(&pred("x > 5"), &t, &e, &opts);
+        let w = m.arrays[&v("a")].w.must_region(&Pred::True, Limits::default());
+        assert_eq!(w.contains(&|_| Some(7)), Some(true));
+        assert_eq!(w.contains(&|_| Some(2)), Some(false), "only then-branch");
+        assert_eq!(w.contains(&|_| Some(15)), Some(false), "only else-branch");
+        // One-sided write: must is empty in base.
+        let m2 = Summary::if_merge(&pred("x > 5"), &t, &Summary::empty(), &opts);
+        assert!(m2.arrays[&v("a")]
+            .w
+            .must_region(&Pred::True, Limits::default())
+            .is_empty_union());
+    }
+
+    #[test]
+    fn guarded_write_kills_guarded_read_in_seq() {
+        // if (x>5) write a[1..10]; then if (x>5) read a[1..10]:
+        // predicated analysis proves nothing is exposed (Figure 1(a)).
+        let opts = Options::predicated();
+        let w = Summary::if_merge(&pred("x > 5"), &writes("a", 1, 10), &Summary::empty(), &opts);
+        let r = Summary::if_merge(&pred("x > 5"), &reads("a", 1, 10), &Summary::empty(), &opts);
+        let s = w.seq(&r, &opts);
+        assert!(s.arrays[&v("a")].e.is_region_empty(Limits::default()));
+        // Base analysis leaves the read exposed.
+        let opts_b = Options::base();
+        let wb = Summary::if_merge(&pred("x > 5"), &writes("a", 1, 10), &Summary::empty(), &opts_b);
+        let rb = Summary::if_merge(&pred("x > 5"), &reads("a", 1, 10), &Summary::empty(), &opts_b);
+        let sb = wb.seq(&rb, &opts_b);
+        assert!(!sb.arrays[&v("a")].e.is_region_empty(Limits::default()));
+    }
+
+    #[test]
+    fn seq_degrades_predicates_on_modified_scalars() {
+        // S1 writes scalar x; S2's pieces guarded by x > 5 must degrade.
+        let mut s1 = Summary::empty();
+        s1.write_scalar(v("x"));
+        let opts = Options::predicated();
+        let s2 = Summary::if_merge(&pred("x > 5"), &writes("a", 1, 10), &Summary::empty(), &opts);
+        let s = s1.seq(&s2, &opts);
+        let arr = &s.arrays[&v("a")];
+        // Must-write piece dropped entirely.
+        assert!(arr.w.is_empty());
+        // May-write piece degraded to unconditional.
+        assert_eq!(arr.mw.pieces.len(), 1);
+        assert!(arr.mw.pieces[0].pred.is_true());
+    }
+
+    #[test]
+    fn scalar_composition() {
+        let mut s1 = Summary::empty();
+        s1.write_scalar(v("t"));
+        let mut s2 = Summary::empty();
+        s2.read_scalar(v("t"));
+        let opts = Options::predicated();
+        // write; read => not exposed.
+        let a = s1.seq(&s2, &opts);
+        assert!(!a.scalars[&v("t")].exposed_read);
+        // read; write => exposed.
+        let b = s2.seq(&s1, &opts);
+        assert!(b.scalars[&v("t")].exposed_read);
+    }
+
+    #[test]
+    fn if_merge_scalars() {
+        let mut t = Summary::empty();
+        t.write_scalar(v("t"));
+        let e = Summary::empty();
+        let opts = Options::predicated();
+        let m = Summary::if_merge(&pred("x > 0"), &t, &e, &opts);
+        let sc = m.scalars[&v("t")];
+        assert!(!sc.must_write, "one-sided write is not a must-write");
+        assert!(sc.may_write);
+    }
+}

@@ -1,0 +1,301 @@
+//! Programmatic builder API for constructing programs without source
+//! text. The benchmark corpus generator uses this interface.
+
+use crate::ast::*;
+use padfa_omega::Var;
+
+/// Fluent builder for a [`Procedure`].
+pub struct ProcBuilder {
+    name: String,
+    params: Vec<Param>,
+    arrays: Vec<ArrayDecl>,
+    scalars: Vec<ScalarDecl>,
+    stmts: Vec<Stmt>,
+}
+
+impl ProcBuilder {
+    pub fn new(name: &str) -> ProcBuilder {
+        ProcBuilder {
+            name: name.to_string(),
+            params: Vec::new(),
+            arrays: Vec::new(),
+            scalars: Vec::new(),
+            stmts: Vec::new(),
+        }
+    }
+
+    pub fn int_param(mut self, name: &str) -> Self {
+        self.params.push(Param {
+            name: Var::new(name),
+            ty: ParamTy::Scalar(ScalarTy::Int),
+        });
+        self
+    }
+
+    pub fn real_param(mut self, name: &str) -> Self {
+        self.params.push(Param {
+            name: Var::new(name),
+            ty: ParamTy::Scalar(ScalarTy::Real),
+        });
+        self
+    }
+
+    pub fn array_param(mut self, name: &str, dims: Vec<Expr>) -> Self {
+        self.params.push(Param {
+            name: Var::new(name),
+            ty: ParamTy::Array {
+                dims,
+                ty: ScalarTy::Real,
+            },
+        });
+        self
+    }
+
+    pub fn array(mut self, name: &str, dims: Vec<Expr>) -> Self {
+        self.arrays.push(ArrayDecl {
+            name: Var::new(name),
+            dims,
+            ty: ScalarTy::Real,
+        });
+        self
+    }
+
+    pub fn int_array(mut self, name: &str, dims: Vec<Expr>) -> Self {
+        self.arrays.push(ArrayDecl {
+            name: Var::new(name),
+            dims,
+            ty: ScalarTy::Int,
+        });
+        self
+    }
+
+    pub fn int_var(mut self, name: &str) -> Self {
+        self.scalars.push(ScalarDecl {
+            name: Var::new(name),
+            ty: ScalarTy::Int,
+            init: None,
+        });
+        self
+    }
+
+    pub fn int_var_init(mut self, name: &str, init: i64) -> Self {
+        self.scalars.push(ScalarDecl {
+            name: Var::new(name),
+            ty: ScalarTy::Int,
+            init: Some(Expr::int(init)),
+        });
+        self
+    }
+
+    pub fn real_var(mut self, name: &str) -> Self {
+        self.scalars.push(ScalarDecl {
+            name: Var::new(name),
+            ty: ScalarTy::Real,
+            init: None,
+        });
+        self
+    }
+
+    pub fn stmt(mut self, s: Stmt) -> Self {
+        self.stmts.push(s);
+        self
+    }
+
+    pub fn stmts(mut self, ss: impl IntoIterator<Item = Stmt>) -> Self {
+        self.stmts.extend(ss);
+        self
+    }
+
+    pub fn build(self) -> Procedure {
+        Procedure {
+            name: self.name,
+            params: self.params,
+            arrays: self.arrays,
+            scalars: self.scalars,
+            body: Block::new(self.stmts),
+        }
+    }
+}
+
+/// `for v = lo to hi { body }`
+pub fn for_loop(var: &str, lo: Expr, hi: Expr, body: Vec<Stmt>) -> Stmt {
+    Stmt::For(Loop {
+        id: LoopId(u32::MAX),
+        label: None,
+        var: Var::new(var),
+        lo,
+        hi,
+        step: 1,
+        body: Block::new(body),
+    })
+}
+
+/// `for@label v = lo to hi { body }`
+pub fn labeled_loop(label: &str, var: &str, lo: Expr, hi: Expr, body: Vec<Stmt>) -> Stmt {
+    Stmt::For(Loop {
+        id: LoopId(u32::MAX),
+        label: Some(label.to_string()),
+        var: Var::new(var),
+        lo,
+        hi,
+        step: 1,
+        body: Block::new(body),
+    })
+}
+
+/// `lhs = rhs;` for an array element.
+pub fn store(array: &str, idxs: Vec<Expr>, rhs: Expr) -> Stmt {
+    Stmt::Assign {
+        lhs: LValue::elem(array, idxs),
+        rhs,
+    }
+}
+
+/// `x = rhs;` for a scalar.
+pub fn assign(scalar: &str, rhs: Expr) -> Stmt {
+    Stmt::Assign {
+        lhs: LValue::scalar(scalar),
+        rhs,
+    }
+}
+
+/// `if (c) { then }` with no else branch.
+pub fn if_then(cond: BoolExpr, then: Vec<Stmt>) -> Stmt {
+    Stmt::If {
+        cond,
+        then_blk: Block::new(then),
+        else_blk: Block::default(),
+    }
+}
+
+/// `if (c) { then } else { els }`
+pub fn if_else(cond: BoolExpr, then: Vec<Stmt>, els: Vec<Stmt>) -> Stmt {
+    Stmt::If {
+        cond,
+        then_blk: Block::new(then),
+        else_blk: Block::new(els),
+    }
+}
+
+/// Shorthand constructors for expressions.
+pub mod e {
+    use super::*;
+
+    pub fn i(v: i64) -> Expr {
+        Expr::int(v)
+    }
+    pub fn r(v: f64) -> Expr {
+        Expr::real(v)
+    }
+    pub fn sv(name: &str) -> Expr {
+        Expr::scalar(name)
+    }
+    pub fn at(array: &str, idxs: Vec<Expr>) -> Expr {
+        Expr::elem(array, idxs)
+    }
+    pub fn add(a: Expr, b: Expr) -> Expr {
+        Expr::Add(Box::new(a), Box::new(b))
+    }
+    pub fn sub(a: Expr, b: Expr) -> Expr {
+        Expr::Sub(Box::new(a), Box::new(b))
+    }
+    pub fn mul(a: Expr, b: Expr) -> Expr {
+        Expr::Mul(Box::new(a), Box::new(b))
+    }
+    pub fn div(a: Expr, b: Expr) -> Expr {
+        Expr::Div(Box::new(a), Box::new(b))
+    }
+    pub fn imod(a: Expr, b: Expr) -> Expr {
+        Expr::Mod(Box::new(a), Box::new(b))
+    }
+    pub fn call(intr: Intrinsic, args: Vec<Expr>) -> Expr {
+        Expr::Call(intr, args)
+    }
+
+    pub fn lt(a: Expr, b: Expr) -> BoolExpr {
+        BoolExpr::cmp(CmpOp::Lt, a, b)
+    }
+    pub fn le(a: Expr, b: Expr) -> BoolExpr {
+        BoolExpr::cmp(CmpOp::Le, a, b)
+    }
+    pub fn gt(a: Expr, b: Expr) -> BoolExpr {
+        BoolExpr::cmp(CmpOp::Gt, a, b)
+    }
+    pub fn ge(a: Expr, b: Expr) -> BoolExpr {
+        BoolExpr::cmp(CmpOp::Ge, a, b)
+    }
+    pub fn eq(a: Expr, b: Expr) -> BoolExpr {
+        BoolExpr::cmp(CmpOp::Eq, a, b)
+    }
+    pub fn ne(a: Expr, b: Expr) -> BoolExpr {
+        BoolExpr::cmp(CmpOp::Ne, a, b)
+    }
+}
+
+/// Assemble a finalized program from procedures.
+pub fn program(procs: Vec<Procedure>) -> Program {
+    Program::new(procs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::e::*;
+    use super::*;
+    use crate::visit;
+
+    #[test]
+    fn builder_matches_parser() {
+        let built = program(vec![ProcBuilder::new("main")
+            .int_param("n")
+            .array("a", vec![i(100)])
+            .stmt(for_loop(
+                "i",
+                i(1),
+                sv("n"),
+                vec![store("a", vec![sv("i")], r(0.0))],
+            ))
+            .build()]);
+        let parsed = crate::parse::parse_program(
+            "proc main(n: int) { array a[100]; for i = 1 to n { a[i] = 0.0; } }",
+        )
+        .unwrap();
+        assert_eq!(built, parsed);
+    }
+
+    #[test]
+    fn built_programs_resolve() {
+        let p = program(vec![ProcBuilder::new("main")
+            .int_param("n")
+            .array("a", vec![i(64), i(64)])
+            .int_var("x")
+            .stmt(assign("x", i(0)))
+            .stmt(for_loop(
+                "i",
+                i(1),
+                sv("n"),
+                vec![if_then(
+                    gt(sv("x"), i(0)),
+                    vec![store("a", vec![sv("i"), i(1)], r(1.0))],
+                )],
+            ))
+            .build()]);
+        assert!(visit::resolve(&p).is_ok());
+        assert_eq!(visit::count_loops(&p), 1);
+    }
+
+    #[test]
+    fn labeled_loops_findable() {
+        let p = program(vec![ProcBuilder::new("main")
+            .int_param("n")
+            .array("a", vec![i(10)])
+            .stmt(labeled_loop(
+                "kern",
+                "i",
+                i(1),
+                sv("n"),
+                vec![store("a", vec![sv("i")], r(2.0))],
+            ))
+            .build()]);
+        assert!(visit::find_loop_by_label(&p, "kern").is_some());
+    }
+}

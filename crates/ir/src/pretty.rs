@@ -1,0 +1,322 @@
+//! Pretty printer producing the surface syntax accepted by [`crate::parse`].
+
+use crate::ast::*;
+
+/// Render a whole program.
+pub fn program_to_string(p: &Program) -> String {
+    let mut out = String::new();
+    for proc in &p.procedures {
+        proc_to_string(proc, &mut out);
+        out.push('\n');
+    }
+    out
+}
+
+fn proc_to_string(p: &Procedure, out: &mut String) {
+    out.push_str("proc ");
+    out.push_str(&p.name);
+    out.push('(');
+    for (i, param) in p.params.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&param.name.name());
+        out.push_str(": ");
+        match &param.ty {
+            ParamTy::Scalar(ScalarTy::Int) => out.push_str("int"),
+            ParamTy::Scalar(ScalarTy::Real) => out.push_str("real"),
+            ParamTy::Array { dims, ty } => {
+                out.push_str("array[");
+                for (j, d) in dims.iter().enumerate() {
+                    if j > 0 {
+                        out.push_str(", ");
+                    }
+                    out.push_str(&expr(d));
+                }
+                out.push(']');
+                if *ty == ScalarTy::Int {
+                    out.push_str(" of int");
+                }
+            }
+        }
+    }
+    out.push_str(") {\n");
+    for d in &p.arrays {
+        out.push_str("  array ");
+        out.push_str(&d.name.name());
+        out.push('[');
+        for (j, dim) in d.dims.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&expr(dim));
+        }
+        out.push(']');
+        if d.ty == ScalarTy::Int {
+            out.push_str(" of int");
+        }
+        out.push_str(";\n");
+    }
+    for s in &p.scalars {
+        out.push_str("  var ");
+        out.push_str(&s.name.name());
+        out.push_str(": ");
+        out.push_str(match s.ty {
+            ScalarTy::Int => "int",
+            ScalarTy::Real => "real",
+        });
+        if let Some(init) = &s.init {
+            out.push_str(" = ");
+            out.push_str(&expr(init));
+        }
+        out.push_str(";\n");
+    }
+    block(&p.body, 1, out);
+    out.push_str("}\n");
+}
+
+fn indent(level: usize, out: &mut String) {
+    for _ in 0..level {
+        out.push_str("  ");
+    }
+}
+
+fn block(b: &Block, level: usize, out: &mut String) {
+    for s in &b.stmts {
+        stmt(s, level, out);
+    }
+}
+
+fn stmt(s: &Stmt, level: usize, out: &mut String) {
+    indent(level, out);
+    match s {
+        Stmt::Assign { lhs, rhs } => {
+            match lhs {
+                LValue::Scalar(v) => out.push_str(&v.name()),
+                LValue::Elem(a, idxs) => {
+                    out.push_str(&a.name());
+                    out.push('[');
+                    for (i, e) in idxs.iter().enumerate() {
+                        if i > 0 {
+                            out.push_str(", ");
+                        }
+                        out.push_str(&expr(e));
+                    }
+                    out.push(']');
+                }
+            }
+            out.push_str(" = ");
+            out.push_str(&expr(rhs));
+            out.push_str(";\n");
+        }
+        Stmt::If {
+            cond,
+            then_blk,
+            else_blk,
+        } => {
+            out.push_str("if (");
+            out.push_str(&bool_expr(cond));
+            out.push_str(") {\n");
+            block(then_blk, level + 1, out);
+            indent(level, out);
+            out.push('}');
+            if !else_blk.stmts.is_empty() {
+                out.push_str(" else {\n");
+                block(else_blk, level + 1, out);
+                indent(level, out);
+                out.push('}');
+            }
+            out.push('\n');
+        }
+        Stmt::For(l) => {
+            out.push_str("for");
+            if let Some(lbl) = &l.label {
+                out.push('@');
+                out.push_str(lbl);
+            }
+            out.push(' ');
+            out.push_str(&l.var.name());
+            out.push_str(" = ");
+            out.push_str(&expr(&l.lo));
+            out.push_str(" to ");
+            out.push_str(&expr(&l.hi));
+            if l.step != 1 {
+                out.push_str(&format!(" step {}", l.step));
+            }
+            out.push_str(" {\n");
+            block(&l.body, level + 1, out);
+            indent(level, out);
+            out.push_str("}\n");
+        }
+        Stmt::Call { callee, args } => {
+            out.push_str("call ");
+            out.push_str(callee);
+            out.push('(');
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                match a {
+                    Arg::Scalar(e) => out.push_str(&expr(e)),
+                    Arg::Array(v) => out.push_str(&v.name()),
+                }
+            }
+            out.push_str(");\n");
+        }
+        Stmt::Read(v) => {
+            out.push_str("read ");
+            out.push_str(&v.name());
+            out.push_str(";\n");
+        }
+        Stmt::Print(e) => {
+            out.push_str("print ");
+            out.push_str(&expr(e));
+            out.push_str(";\n");
+        }
+        Stmt::ExitWhen(c) => {
+            out.push_str("exit when (");
+            out.push_str(&bool_expr(c));
+            out.push_str(");\n");
+        }
+    }
+}
+
+/// Render an arithmetic expression with minimal parentheses.
+pub fn expr(e: &Expr) -> String {
+    expr_prec(e, 0)
+}
+
+fn expr_prec(e: &Expr, min: u8) -> String {
+    // The parser is left-associative, so right operands of binary
+    // operators print at one level tighter than the operator itself
+    // (forcing parentheses around right-nested same-precedence trees).
+    // Negative literals rank like a unary minus so that `x * -16`
+    // never loses its grouping, and `-literal` is printed as `-(lit)`
+    // because the parser folds a bare `-lit` into a negative literal.
+    let (s, prec) = match e {
+        Expr::IntLit(v) => (v.to_string(), if *v < 0 { 2 } else { 4 }),
+        Expr::RealLit(v) => {
+            let s = format!("{v}");
+            (
+                if s.contains('.') || s.contains('e') { s } else { format!("{s}.0") },
+                if *v < 0.0 { 2 } else { 4 },
+            )
+        }
+        Expr::Scalar(v) => (v.name(), 4),
+        Expr::Elem(a, idxs) => {
+            let inner: Vec<String> = idxs.iter().map(expr).collect();
+            (format!("{}[{}]", a.name(), inner.join(", ")), 4)
+        }
+        Expr::Add(a, b) => (format!("{} + {}", expr_prec(a, 1), expr_prec(b, 2)), 1),
+        Expr::Sub(a, b) => (format!("{} - {}", expr_prec(a, 1), expr_prec(b, 2)), 1),
+        Expr::Mul(a, b) => (format!("{} * {}", expr_prec(a, 2), expr_prec(b, 3)), 2),
+        Expr::Div(a, b) => (format!("{} / {}", expr_prec(a, 2), expr_prec(b, 3)), 2),
+        Expr::Mod(a, b) => (format!("{} % {}", expr_prec(a, 2), expr_prec(b, 3)), 2),
+        Expr::Neg(a) => {
+            let inner = match &**a {
+                Expr::IntLit(v) if *v >= 0 => format!("({v})"),
+                Expr::RealLit(v) if *v >= 0.0 => format!("({})", expr_prec(a, 0)),
+                _ => expr_prec(a, 3),
+            };
+            (format!("-{inner}"), 2)
+        }
+        Expr::Call(i, args) => {
+            let inner: Vec<String> = args.iter().map(expr).collect();
+            (format!("{}({})", i.name(), inner.join(", ")), 4)
+        }
+    };
+    if prec < min {
+        format!("({s})")
+    } else {
+        s
+    }
+}
+
+/// Render a boolean expression.
+pub fn bool_expr(b: &BoolExpr) -> String {
+    bool_prec(b, 0)
+}
+
+fn bool_prec(b: &BoolExpr, min: u8) -> String {
+    let (s, prec) = match b {
+        BoolExpr::Lit(true) => ("true".to_string(), 3),
+        BoolExpr::Lit(false) => ("false".to_string(), 3),
+        BoolExpr::Cmp(op, a, c) => {
+            let o = match op {
+                CmpOp::Eq => "==",
+                CmpOp::Ne => "!=",
+                CmpOp::Lt => "<",
+                CmpOp::Le => "<=",
+                CmpOp::Gt => ">",
+                CmpOp::Ge => ">=",
+            };
+            (format!("{} {} {}", expr(a), o, expr(c)), 3)
+        }
+        BoolExpr::And(a, c) => (
+            format!("{} and {}", bool_prec(a, 2), bool_prec(c, 3)),
+            2,
+        ),
+        BoolExpr::Or(a, c) => (format!("{} or {}", bool_prec(a, 1), bool_prec(c, 2)), 1),
+        BoolExpr::Not(a) => (format!("not {}", bool_prec(a, 3)), 2),
+    };
+    if prec < min {
+        format!("({s})")
+    } else {
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use padfa_omega::Var;
+
+    #[test]
+    fn expr_precedence() {
+        // (i + 1) * 2 needs parens; i + 1 * 2 does not.
+        let e = Expr::Mul(
+            Box::new(Expr::Add(
+                Box::new(Expr::scalar("i")),
+                Box::new(Expr::int(1)),
+            )),
+            Box::new(Expr::int(2)),
+        );
+        assert_eq!(expr(&e), "(i + 1) * 2");
+        let f = Expr::Add(
+            Box::new(Expr::scalar("i")),
+            Box::new(Expr::Mul(Box::new(Expr::int(1)), Box::new(Expr::int(2)))),
+        );
+        assert_eq!(expr(&f), "i + 1 * 2");
+    }
+
+    #[test]
+    fn real_literal_keeps_decimal_point() {
+        assert_eq!(expr(&Expr::real(1.0)), "1.0");
+        assert_eq!(expr(&Expr::real(0.5)), "0.5");
+    }
+
+    #[test]
+    fn bool_precedence() {
+        let b = BoolExpr::or(
+            BoolExpr::and(
+                BoolExpr::cmp(CmpOp::Gt, Expr::scalar("x"), Expr::int(0)),
+                BoolExpr::cmp(CmpOp::Lt, Expr::scalar("y"), Expr::int(9)),
+            ),
+            BoolExpr::Lit(false),
+        );
+        assert_eq!(bool_expr(&b), "x > 0 and y < 9 or false");
+    }
+
+    #[test]
+    fn subtraction_right_assoc_parens() {
+        // i - (j - k) must keep parentheses.
+        let e = Expr::Sub(
+            Box::new(Expr::scalar("i")),
+            Box::new(Expr::Sub(
+                Box::new(Expr::scalar("j")),
+                Box::new(Expr::Scalar(Var::new("k"))),
+            )),
+        );
+        assert_eq!(expr(&e), "i - (j - k)");
+    }
+}

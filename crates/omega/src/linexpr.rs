@@ -1,0 +1,318 @@
+//! Linear expressions over interned variables.
+
+use crate::{gcd, Var};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// A linear expression `konst + Σ coeff_v * v` with integer coefficients.
+///
+/// The term map never stores zero coefficients, so structural equality is
+/// semantic equality.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct LinExpr {
+    terms: BTreeMap<Var, i64>,
+    konst: i64,
+}
+
+impl LinExpr {
+    /// The zero expression.
+    pub fn zero() -> LinExpr {
+        LinExpr::default()
+    }
+
+    /// A constant expression.
+    pub fn constant(c: i64) -> LinExpr {
+        LinExpr {
+            terms: BTreeMap::new(),
+            konst: c,
+        }
+    }
+
+    /// The expression `1 * v`.
+    pub fn var(v: impl Into<Var>) -> LinExpr {
+        LinExpr::term(v, 1)
+    }
+
+    /// The expression `coeff * v`.
+    pub fn term(v: impl Into<Var>, coeff: i64) -> LinExpr {
+        let mut e = LinExpr::zero();
+        e.add_term(v.into(), coeff);
+        e
+    }
+
+    /// Add `coeff * v` in place.
+    pub fn add_term(&mut self, v: Var, coeff: i64) {
+        if coeff == 0 {
+            return;
+        }
+        let entry = self.terms.entry(v).or_insert(0);
+        *entry += coeff;
+        if *entry == 0 {
+            self.terms.remove(&v);
+        }
+    }
+
+    /// Add a constant in place.
+    pub fn add_const(&mut self, c: i64) {
+        self.konst += c;
+    }
+
+    /// The constant part.
+    pub fn konst(&self) -> i64 {
+        self.konst
+    }
+
+    /// The coefficient of `v` (0 when absent).
+    pub fn coeff(&self, v: Var) -> i64 {
+        self.terms.get(&v).copied().unwrap_or(0)
+    }
+
+    /// Iterate over `(var, coeff)` pairs with non-zero coefficients.
+    pub fn terms(&self) -> impl Iterator<Item = (Var, i64)> + '_ {
+        self.terms.iter().map(|(&v, &c)| (v, c))
+    }
+
+    /// Number of variables with non-zero coefficients.
+    pub fn num_terms(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// True when the expression is a constant.
+    pub fn is_const(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// All variables mentioned.
+    pub fn vars(&self) -> impl Iterator<Item = Var> + '_ {
+        self.terms.keys().copied()
+    }
+
+    /// True when `v` occurs with a non-zero coefficient.
+    pub fn mentions(&self, v: Var) -> bool {
+        self.terms.contains_key(&v)
+    }
+
+    /// Multiply every coefficient and the constant by `k`.
+    pub fn scaled(&self, k: i64) -> LinExpr {
+        if k == 0 {
+            return LinExpr::zero();
+        }
+        LinExpr {
+            terms: self.terms.iter().map(|(&v, &c)| (v, c * k)).collect(),
+            konst: self.konst * k,
+        }
+    }
+
+    /// GCD of all variable coefficients (0 for a constant expression).
+    pub fn content(&self) -> i64 {
+        self.terms.values().fold(0, |g, &c| gcd(g, c))
+    }
+
+    /// Divide all coefficients and the constant by `d`, which must divide
+    /// them exactly (checked in debug builds).
+    pub fn exact_div(&self, d: i64) -> LinExpr {
+        debug_assert!(d != 0);
+        debug_assert!(self.terms.values().all(|c| c % d == 0));
+        debug_assert!(self.konst % d == 0);
+        LinExpr {
+            terms: self.terms.iter().map(|(&v, &c)| (v, c / d)).collect(),
+            konst: self.konst / d,
+        }
+    }
+
+    /// Substitute `v := e`, i.e. replace each occurrence `c * v` with `c * e`.
+    pub fn subst(&self, v: Var, e: &LinExpr) -> LinExpr {
+        let c = self.coeff(v);
+        if c == 0 {
+            return self.clone();
+        }
+        let mut out = self.clone();
+        out.terms.remove(&v);
+        out = out + e.scaled(c);
+        out
+    }
+
+    /// Rename variable `from` to `to`.
+    pub fn rename(&self, from: Var, to: Var) -> LinExpr {
+        let c = self.coeff(from);
+        if c == 0 {
+            return self.clone();
+        }
+        let mut out = self.clone();
+        out.terms.remove(&from);
+        out.add_term(to, c);
+        out
+    }
+
+    /// Structural ordering (deterministic within a process): term count,
+    /// then `(var, coeff)` pairs, then the constant. Used to keep
+    /// constraint lists and predicate operand lists canonically sorted
+    /// without formatting.
+    pub fn cmp_structural(&self, other: &LinExpr) -> std::cmp::Ordering {
+        self.terms
+            .len()
+            .cmp(&other.terms.len())
+            .then_with(|| self.terms.iter().cmp(other.terms.iter()))
+            .then_with(|| self.konst.cmp(&other.konst))
+    }
+
+    /// Evaluate under a total assignment; `None` if some variable is
+    /// unbound.
+    pub fn eval(&self, env: &dyn Fn(Var) -> Option<i64>) -> Option<i64> {
+        let mut acc = self.konst;
+        for (v, c) in self.terms() {
+            acc += c * env(v)?;
+        }
+        Some(acc)
+    }
+}
+
+impl Add for LinExpr {
+    type Output = LinExpr;
+    fn add(self, rhs: LinExpr) -> LinExpr {
+        let mut out = self;
+        for (v, c) in rhs.terms {
+            out.add_term(v, c);
+        }
+        out.konst += rhs.konst;
+        out
+    }
+}
+
+impl Sub for LinExpr {
+    type Output = LinExpr;
+    #[allow(clippy::suspicious_arithmetic_impl)] // a - b == a + (-b)
+    fn sub(self, rhs: LinExpr) -> LinExpr {
+        self + rhs.neg()
+    }
+}
+
+impl Neg for LinExpr {
+    type Output = LinExpr;
+    fn neg(self) -> LinExpr {
+        self.scaled(-1)
+    }
+}
+
+impl Mul<i64> for LinExpr {
+    type Output = LinExpr;
+    fn mul(self, k: i64) -> LinExpr {
+        self.scaled(k)
+    }
+}
+
+impl fmt::Debug for LinExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for LinExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (v, c) in self.terms() {
+            if first {
+                if c == 1 {
+                    write!(f, "{v}")?;
+                } else if c == -1 {
+                    write!(f, "-{v}")?;
+                } else {
+                    write!(f, "{c}{v}")?;
+                }
+                first = false;
+            } else if c > 0 {
+                if c == 1 {
+                    write!(f, " + {v}")?;
+                } else {
+                    write!(f, " + {c}{v}")?;
+                }
+            } else if c == -1 {
+                write!(f, " - {v}")?;
+            } else {
+                write!(f, " - {}{v}", -c)?;
+            }
+        }
+        if first {
+            write!(f, "{}", self.konst)?;
+        } else if self.konst > 0 {
+            write!(f, " + {}", self.konst)?;
+        } else if self.konst < 0 {
+            write!(f, " - {}", -self.konst)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(n: &str) -> Var {
+        Var::new(n)
+    }
+
+    #[test]
+    fn construction_and_zero_pruning() {
+        let mut e = LinExpr::term(v("i"), 2);
+        e.add_term(v("i"), -2);
+        assert!(e.is_const());
+        assert_eq!(e, LinExpr::zero());
+    }
+
+    #[test]
+    fn arithmetic() {
+        let e = LinExpr::var(v("i")) + LinExpr::term(v("j"), 3) + LinExpr::constant(5);
+        let f = e.clone() - LinExpr::var(v("i"));
+        assert_eq!(f.coeff(v("i")), 0);
+        assert_eq!(f.coeff(v("j")), 3);
+        assert_eq!(f.konst(), 5);
+        let g = f * 2;
+        assert_eq!(g.coeff(v("j")), 6);
+        assert_eq!(g.konst(), 10);
+    }
+
+    #[test]
+    fn substitution() {
+        // i + 2j, with j := i + 1  =>  3i + 2
+        let e = LinExpr::var(v("i")) + LinExpr::term(v("j"), 2);
+        let repl = LinExpr::var(v("i")) + LinExpr::constant(1);
+        let s = e.subst(v("j"), &repl);
+        assert_eq!(s.coeff(v("i")), 3);
+        assert_eq!(s.konst(), 2);
+        assert!(!s.mentions(v("j")));
+    }
+
+    #[test]
+    fn rename_merges_coefficients() {
+        let e = LinExpr::var(v("a")) + LinExpr::term(v("b"), 4);
+        let r = e.rename(v("a"), v("b"));
+        assert_eq!(r.coeff(v("b")), 5);
+    }
+
+    #[test]
+    fn eval_total_and_partial() {
+        let e = LinExpr::term(v("i"), 2) + LinExpr::constant(1);
+        let env = |x: Var| if x == v("i") { Some(10) } else { None };
+        assert_eq!(e.eval(&env), Some(21));
+        let e2 = e + LinExpr::var(v("q"));
+        assert_eq!(e2.eval(&env), None);
+    }
+
+    #[test]
+    fn content_and_exact_div() {
+        let e = LinExpr::term(v("i"), 4) + LinExpr::term(v("j"), 6) + LinExpr::constant(2);
+        assert_eq!(e.content(), 2);
+        let d = e.exact_div(2);
+        assert_eq!(d.coeff(v("i")), 2);
+        assert_eq!(d.coeff(v("j")), 3);
+        assert_eq!(d.konst(), 1);
+    }
+
+    #[test]
+    fn display_formats() {
+        let e = LinExpr::var(v("i")) - LinExpr::term(v("j"), 2) + LinExpr::constant(-3);
+        assert_eq!(format!("{e}"), "i - 2j - 3");
+        assert_eq!(format!("{}", LinExpr::constant(0)), "0");
+    }
+}

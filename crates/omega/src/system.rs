@@ -1,0 +1,669 @@
+//! Conjunctions of constraints and the Fourier–Motzkin engine.
+
+use crate::{CKind, Constraint, LinExpr, Limits, Norm, Var};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A conjunction of integer linear constraints — one convex piece of an
+/// array region.
+///
+/// The empty conjunction is the universe. A system that has been proven
+/// unsatisfiable during normalization is flagged `contradiction` and
+/// represents the empty set.
+#[derive(Clone, PartialEq, Eq, Default)]
+pub struct System {
+    constraints: Vec<Constraint>,
+    contradiction: bool,
+}
+
+/// Result of projecting variables out of a system.
+#[derive(Clone, Debug)]
+pub struct Projection {
+    pub system: System,
+    /// False when Fourier–Motzkin had to over-approximate (non-unit
+    /// coefficient pairs, lost divisibility, or a size cap).
+    pub exact: bool,
+}
+
+impl System {
+    /// The universe (no constraints).
+    pub fn universe() -> System {
+        System::default()
+    }
+
+    /// A known-empty system.
+    pub fn empty() -> System {
+        System {
+            constraints: Vec::new(),
+            contradiction: true,
+        }
+    }
+
+    /// Build from constraints, normalizing.
+    pub fn from_constraints(cs: impl IntoIterator<Item = Constraint>) -> System {
+        let mut s = System::universe();
+        for c in cs {
+            s.push(c);
+        }
+        s.simplify();
+        s
+    }
+
+    /// True when this system was proven unsatisfiable by normalization.
+    /// (A `false` answer does not imply satisfiability; use
+    /// [`System::is_empty`].)
+    pub fn is_contradiction(&self) -> bool {
+        self.contradiction
+    }
+
+    /// True when there are no constraints (and no contradiction).
+    pub fn is_universe(&self) -> bool {
+        !self.contradiction && self.constraints.is_empty()
+    }
+
+    /// The constraints (empty when contradictory).
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// Number of constraints.
+    // `is_empty` here means set emptiness (and takes limits); the
+    // container check is `is_empty_conjunction`.
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// True when no constraints are stored.
+    pub fn is_empty_conjunction(&self) -> bool {
+        self.constraints.is_empty()
+    }
+
+    /// Add one constraint (normalizing it first).
+    pub fn push(&mut self, c: Constraint) {
+        if self.contradiction {
+            return;
+        }
+        match c.normalize() {
+            Norm::Tautology => {}
+            Norm::Contradiction => {
+                self.constraints.clear();
+                self.contradiction = true;
+            }
+            Norm::Keep(c) => {
+                // Exact duplicates appear frequently when contexts are
+                // re-conjoined; keep the list canonical as we go.
+                if !self.constraints.contains(&c) {
+                    self.constraints.push(c);
+                }
+            }
+        }
+    }
+
+    /// Conjoin another system.
+    pub fn and(&self, other: &System) -> System {
+        if self.contradiction || other.contradiction {
+            return System::empty();
+        }
+        let mut out = self.clone();
+        for c in &other.constraints {
+            out.push(c.clone());
+        }
+        out.simplify();
+        out
+    }
+
+    /// All variables mentioned by any constraint.
+    pub fn vars(&self) -> BTreeSet<Var> {
+        let mut set = BTreeSet::new();
+        for c in &self.constraints {
+            set.extend(c.expr.vars());
+        }
+        set
+    }
+
+    /// True when `v` occurs in some constraint.
+    pub fn mentions(&self, v: Var) -> bool {
+        self.constraints.iter().any(|c| c.mentions(v))
+    }
+
+    /// Substitute `v := e` throughout.
+    pub fn subst(&self, v: Var, e: &LinExpr) -> System {
+        if self.contradiction {
+            return System::empty();
+        }
+        let mut out = System::universe();
+        for c in &self.constraints {
+            out.push(c.subst(v, e));
+        }
+        out.simplify();
+        out
+    }
+
+    /// Rename `from` to `to` throughout.
+    pub fn rename(&self, from: Var, to: Var) -> System {
+        if self.contradiction {
+            return System::empty();
+        }
+        let mut out = System::universe();
+        for c in &self.constraints {
+            out.push(c.rename(from, to));
+        }
+        out.simplify();
+        out
+    }
+
+    /// Cheap local simplification: drop duplicates, keep the tightest of
+    /// inequalities that differ only in the constant, detect single-pair
+    /// contradictions (`e + c >= 0` with `-e + d >= 0` and `c + d < 0`),
+    /// and turn matched inequality pairs into equalities.
+    pub fn simplify(&mut self) {
+        if self.contradiction {
+            return;
+        }
+        use std::collections::HashMap;
+        // Key a Geq constraint by its variable-term part.
+        let mut geq: HashMap<Vec<(Var, i64)>, i64> = HashMap::new();
+        let mut eqs: Vec<Constraint> = Vec::new();
+        for c in std::mem::take(&mut self.constraints) {
+            match c.kind {
+                CKind::Eq => {
+                    if !eqs.contains(&c) {
+                        eqs.push(c);
+                    }
+                }
+                CKind::Geq => {
+                    let key: Vec<(Var, i64)> = c.expr.terms().collect();
+                    let k = c.expr.konst();
+                    geq.entry(key)
+                        .and_modify(|cur| *cur = (*cur).min(k))
+                        .or_insert(k);
+                }
+            }
+        }
+        // Detect e + c >= 0 together with -e + d >= 0.
+        let mut out: Vec<Constraint> = eqs;
+        let mut done: Vec<Vec<(Var, i64)>> = Vec::new();
+        for (key, &c) in &geq {
+            if done.contains(key) {
+                continue;
+            }
+            let nkey: Vec<(Var, i64)> = key.iter().map(|&(v, k)| (v, -k)).collect();
+            let mut expr = LinExpr::constant(c);
+            for &(v, k) in key {
+                expr.add_term(v, k);
+            }
+            if let Some(&d) = geq.get(&nkey) {
+                done.push(key.clone());
+                done.push(nkey.clone());
+                if c + d < 0 {
+                    self.constraints.clear();
+                    self.contradiction = true;
+                    return;
+                }
+                if c + d == 0 {
+                    // e >= -c and e <= -c  =>  e + c == 0
+                    out.push(Constraint::eq0(expr));
+                    continue;
+                }
+                out.push(Constraint::geq0(expr));
+                let mut nexpr = LinExpr::constant(d);
+                for &(v, k) in &nkey {
+                    nexpr.add_term(v, k);
+                }
+                out.push(Constraint::geq0(nexpr));
+            } else {
+                done.push(key.clone());
+                out.push(Constraint::geq0(expr));
+            }
+        }
+        self.constraints = out;
+        self.constraints.sort_by(|a, b| a.cmp_structural(b));
+    }
+
+    /// Eliminate one variable by Fourier–Motzkin (with equality
+    /// substitution when possible). Returns the projected system and an
+    /// exactness flag.
+    pub fn eliminate(&self, v: Var, limits: Limits) -> Projection {
+        if self.contradiction {
+            return Projection {
+                system: System::empty(),
+                exact: true,
+            };
+        }
+        if !self.mentions(v) {
+            return Projection {
+                system: self.clone(),
+                exact: true,
+            };
+        }
+
+        // Prefer an equality with coefficient +-1: exact substitution.
+        if let Some(eq) = self
+            .constraints
+            .iter()
+            .find(|c| c.kind == CKind::Eq && c.expr.coeff(v).abs() == 1)
+        {
+            let a = eq.expr.coeff(v);
+            // a*v + r == 0  =>  v == -r/a; for |a| == 1, v := -a*r.
+            let r = eq.expr.clone() - LinExpr::term(v, a);
+            let replacement = r.scaled(-a);
+            let mut out = System::universe();
+            for c in &self.constraints {
+                if std::ptr::eq(c, eq) {
+                    continue;
+                }
+                out.push(c.subst(v, &replacement));
+            }
+            out.simplify();
+            return Projection {
+                system: out,
+                exact: true,
+            };
+        }
+
+        // Equality with non-unit coefficient: combine into the others,
+        // losing the divisibility requirement (over-approximation).
+        if let Some(eq) = self
+            .constraints
+            .iter()
+            .min_by_key(|c| {
+                if c.kind == CKind::Eq && c.expr.mentions(v) {
+                    c.expr.coeff(v).abs()
+                } else {
+                    i64::MAX
+                }
+            })
+            .filter(|c| c.kind == CKind::Eq && c.expr.mentions(v))
+        {
+            let a = eq.expr.coeff(v);
+            let r = eq.expr.clone() - LinExpr::term(v, a);
+            let mut out = System::universe();
+            for c in &self.constraints {
+                if std::ptr::eq(c, eq) {
+                    continue;
+                }
+                let b = c.expr.coeff(v);
+                if b == 0 {
+                    out.push(c.clone());
+                    continue;
+                }
+                // |a|*(c.expr) with |a|b*v replaced using a*v == -r:
+                // |a|b*v == -sign(a)*b*r.
+                let s = c.expr.clone() - LinExpr::term(v, b);
+                let combined = s.scaled(a.abs()) + r.scaled(-a.signum() * b);
+                out.push(Constraint {
+                    expr: combined,
+                    kind: c.kind,
+                });
+            }
+            out.simplify();
+            return Projection {
+                system: out,
+                exact: false,
+            };
+        }
+
+        // Pure inequality elimination.
+        let mut lower: Vec<&Constraint> = Vec::new(); // coeff > 0
+        let mut upper: Vec<&Constraint> = Vec::new(); // coeff < 0
+        let mut rest: Vec<&Constraint> = Vec::new();
+        for c in &self.constraints {
+            let a = c.expr.coeff(v);
+            // Equalities mentioning v were consumed above; anything still
+            // mentioning v here is an inequality.
+            debug_assert!(a == 0 || c.kind == CKind::Geq);
+            if a > 0 {
+                lower.push(c);
+            } else if a < 0 {
+                upper.push(c);
+            } else {
+                rest.push(c);
+            }
+        }
+        let mut out = System::universe();
+        for c in rest {
+            out.push(c.clone());
+        }
+        let mut exact = true;
+        for l in &lower {
+            let a = l.expr.coeff(v);
+            let r = l.expr.clone() - LinExpr::term(v, a);
+            for u in &upper {
+                let nb = u.expr.coeff(v); // negative
+                let b = -nb;
+                let s = u.expr.clone() - LinExpr::term(v, nb);
+                // a*v + r >= 0 and -b*v + s >= 0 combine to b*r + a*s >= 0.
+                out.push(Constraint::geq0(r.scaled(b) + s.scaled(a)));
+                if a != 1 && b != 1 {
+                    // The real shadow may include integer points with no
+                    // integer pre-image; flag inexact.
+                    exact = false;
+                }
+            }
+        }
+        out.simplify();
+        if out.len() > limits.max_constraints {
+            out.constraints.truncate(limits.max_constraints);
+            exact = false;
+        }
+        Projection {
+            system: out,
+            exact,
+        }
+    }
+
+    /// Project out several variables, picking a cheap elimination order.
+    pub fn project_out(&self, vars: &[Var], limits: Limits) -> Projection {
+        let mut cur = self.clone();
+        let mut exact = true;
+        let mut remaining: Vec<Var> = vars.iter().copied().filter(|&v| cur.mentions(v)).collect();
+        while !remaining.is_empty() {
+            if cur.contradiction {
+                return Projection {
+                    system: System::empty(),
+                    exact,
+                };
+            }
+            // Prefer variables eliminable through a unit-coefficient
+            // equality: that substitution is exact and — crucially —
+            // leaves non-unit equalities intact so their divisibility
+            // requirements can still surface as GCD contradictions
+            // (e.g. `3t == 3t' + 1`). Break ties by the number of
+            // lower*upper inequality products.
+            let (idx, _) = remaining
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| {
+                    let mut lo = 0usize;
+                    let mut hi = 0usize;
+                    let mut unit_eq = false;
+                    for c in &cur.constraints {
+                        let a = c.expr.coeff(v);
+                        if c.kind == CKind::Eq {
+                            if a.abs() == 1 {
+                                unit_eq = true;
+                            }
+                            continue;
+                        }
+                        if a > 0 {
+                            lo += 1;
+                        } else if a < 0 {
+                            hi += 1;
+                        }
+                    }
+                    (i, (!unit_eq, lo * hi))
+                })
+                .min_by_key(|&(_, cost)| cost)
+                .unwrap();
+            let v = remaining.swap_remove(idx);
+            let p = cur.eliminate(v, limits);
+            exact &= p.exact;
+            cur = p.system;
+            remaining.retain(|&w| cur.mentions(w));
+        }
+        Projection {
+            system: cur,
+            exact,
+        }
+    }
+
+    /// Decide emptiness soundly: `true` means the system has no integer
+    /// solutions; `false` means it may have some.
+    pub fn is_empty(&self, limits: Limits) -> bool {
+        if self.contradiction {
+            return true;
+        }
+        if self.constraints.is_empty() {
+            return false;
+        }
+        let vars: Vec<Var> = self.vars().into_iter().collect();
+        let p = self.project_out(&vars, limits);
+        // Every conclusion drawn during elimination is implied by the
+        // original constraints, so a contradiction here is sound even on
+        // inexact paths.
+        p.system.contradiction
+    }
+
+    /// Sound implication test: does every point of `self` satisfy `c`?
+    /// `true` is definite; `false` means unknown.
+    pub fn implies(&self, c: &Constraint, limits: Limits) -> bool {
+        if self.contradiction {
+            return true;
+        }
+        match c.kind {
+            CKind::Geq => self.and_constraint(c.negate_geq()).is_empty(limits),
+            CKind::Eq => {
+                let (p, n) = c.as_geq_pair();
+                self.and_constraint(p.negate_geq()).is_empty(limits)
+                    && self.and_constraint(n.negate_geq()).is_empty(limits)
+            }
+        }
+    }
+
+    fn and_constraint(&self, c: Constraint) -> System {
+        let mut s = self.clone();
+        s.push(c);
+        s
+    }
+
+    /// True when `self ⊆ other` can be proven.
+    pub fn subset_of(&self, other: &System, limits: Limits) -> bool {
+        other
+            .constraints
+            .iter()
+            .all(|c| self.implies(c, limits))
+    }
+
+    /// Membership test under a total assignment; `None` when a variable is
+    /// unbound.
+    pub fn contains(&self, env: &dyn Fn(Var) -> Option<i64>) -> Option<bool> {
+        if self.contradiction {
+            return Some(false);
+        }
+        for c in &self.constraints {
+            if !c.eval(env)? {
+                return Some(false);
+            }
+        }
+        Some(true)
+    }
+}
+
+impl fmt::Debug for System {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for System {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.contradiction {
+            return write!(f, "{{false}}");
+        }
+        if self.constraints.is_empty() {
+            return write!(f, "{{true}}");
+        }
+        write!(f, "{{")?;
+        for (i, c) in self.constraints.iter().enumerate() {
+            if i > 0 {
+                write!(f, " && ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(n: &str) -> Var {
+        Var::new(n)
+    }
+    fn lx(n: &str) -> LinExpr {
+        LinExpr::var(v(n))
+    }
+    fn k(c: i64) -> LinExpr {
+        LinExpr::constant(c)
+    }
+    fn lim() -> Limits {
+        Limits::default()
+    }
+
+    /// 1 <= i <= 10
+    fn box_i() -> System {
+        System::from_constraints([
+            Constraint::geq(lx("i"), k(1)),
+            Constraint::leq(lx("i"), k(10)),
+        ])
+    }
+
+    #[test]
+    fn universe_and_empty() {
+        assert!(System::universe().is_universe());
+        assert!(System::empty().is_empty(lim()));
+        assert!(!System::universe().is_empty(lim()));
+    }
+
+    #[test]
+    fn contradiction_on_push() {
+        let mut s = System::universe();
+        s.push(Constraint::geq(k(0), k(1)));
+        assert!(s.is_contradiction());
+    }
+
+    #[test]
+    fn box_membership() {
+        let s = box_i();
+        assert_eq!(s.contains(&|_| Some(5)), Some(true));
+        assert_eq!(s.contains(&|_| Some(0)), Some(false));
+        assert_eq!(s.contains(&|_| Some(11)), Some(false));
+    }
+
+    #[test]
+    fn empty_interval_detected() {
+        // i >= 5 && i <= 4 is empty.
+        let s = System::from_constraints([
+            Constraint::geq(lx("i"), k(5)),
+            Constraint::leq(lx("i"), k(4)),
+        ]);
+        assert!(s.is_empty(lim()));
+    }
+
+    #[test]
+    fn simplify_merges_matched_pair_to_equality() {
+        let s = System::from_constraints([
+            Constraint::geq(lx("i"), k(3)),
+            Constraint::leq(lx("i"), k(3)),
+        ]);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.constraints()[0].kind, CKind::Eq);
+    }
+
+    #[test]
+    fn eliminate_with_unit_equality_is_exact() {
+        // { j == i + 1, 1 <= i <= 9 } project out i => 2 <= j <= 10.
+        let s = System::from_constraints([
+            Constraint::eq(lx("j"), lx("i") + k(1)),
+            Constraint::geq(lx("i"), k(1)),
+            Constraint::leq(lx("i"), k(9)),
+        ]);
+        let p = s.eliminate(v("i"), lim());
+        assert!(p.exact);
+        assert_eq!(p.system.contains(&|_| Some(2)), Some(true));
+        assert_eq!(p.system.contains(&|_| Some(10)), Some(true));
+        assert_eq!(p.system.contains(&|_| Some(1)), Some(false));
+        assert_eq!(p.system.contains(&|_| Some(11)), Some(false));
+    }
+
+    #[test]
+    fn eliminate_inequalities_unit_coeff_exact() {
+        // { 1 <= i <= n } project i: feasibility constraint n >= 1.
+        let s = System::from_constraints([
+            Constraint::geq(lx("i"), k(1)),
+            Constraint::leq(lx("i"), lx("n")),
+        ]);
+        let p = s.eliminate(v("i"), lim());
+        assert!(p.exact);
+        let at = |n: i64| p.system.contains(&|_| Some(n)).unwrap();
+        assert!(at(1));
+        assert!(!at(0));
+    }
+
+    #[test]
+    fn eliminate_nonunit_pair_is_inexact_but_sound() {
+        // { 2i >= 1, 3i <= 4 }: rationally 0.5 <= i <= 4/3.
+        // Integer tightening makes these i >= 1 and i <= 1 first, so the
+        // combination stays exact; build untightenable ones instead:
+        // { 2i - j >= 0, -3i + j >= 0 } over i.
+        let s = System::from_constraints([
+            Constraint::geq0(LinExpr::term(v("i"), 2) - lx("j")),
+            Constraint::geq0(LinExpr::term(v("i"), -3) + lx("j")),
+        ]);
+        let p = s.eliminate(v("i"), lim());
+        assert!(!p.exact);
+        // j = 0 admits i = 0: shadow must contain j = 0.
+        assert_eq!(p.system.contains(&|_| Some(0)), Some(true));
+    }
+
+    #[test]
+    fn project_out_multiple() {
+        // { 1 <= i <= 10, j == 2i } over (i) leaves j in [2, 20] (even-ness
+        // lost when inexact, but bounds remain sound).
+        let s = System::from_constraints([
+            Constraint::geq(lx("i"), k(1)),
+            Constraint::leq(lx("i"), k(10)),
+            Constraint::eq(lx("j"), LinExpr::term(v("i"), 2)),
+        ]);
+        let p = s.project_out(&[v("i")], lim());
+        let at = |j: i64| p.system.contains(&|_| Some(j)).unwrap();
+        assert!(at(2));
+        assert!(at(20));
+        assert!(!at(0));
+        assert!(!at(22));
+    }
+
+    #[test]
+    fn implies_and_subset() {
+        let s = box_i();
+        assert!(s.implies(&Constraint::geq(lx("i"), k(0)), lim()));
+        assert!(!s.implies(&Constraint::geq(lx("i"), k(2)), lim()));
+        let wider = System::from_constraints([
+            Constraint::geq(lx("i"), k(0)),
+            Constraint::leq(lx("i"), k(20)),
+        ]);
+        assert!(s.subset_of(&wider, lim()));
+        assert!(!wider.subset_of(&s, lim()));
+    }
+
+    #[test]
+    fn symbolic_emptiness_is_conservative() {
+        // { i >= n, i <= n - 1 } is empty for all n.
+        let s = System::from_constraints([
+            Constraint::geq(lx("i"), lx("n")),
+            Constraint::leq(lx("i"), lx("n") - k(1)),
+        ]);
+        assert!(s.is_empty(lim()));
+        // { i >= n, i <= m } cannot be proven empty.
+        let s2 = System::from_constraints([
+            Constraint::geq(lx("i"), lx("n")),
+            Constraint::leq(lx("i"), lx("m")),
+        ]);
+        assert!(!s2.is_empty(lim()));
+    }
+
+    #[test]
+    fn rename_and_subst() {
+        let s = box_i();
+        let r = s.rename(v("i"), v("i2"));
+        assert!(r.mentions(v("i2")));
+        assert!(!r.mentions(v("i")));
+        let sub = s.subst(v("i"), &(lx("j") + k(1)));
+        // 1 <= j + 1 <= 10  =>  0 <= j <= 9
+        assert_eq!(sub.contains(&|_| Some(0)), Some(true));
+        assert_eq!(sub.contains(&|_| Some(9)), Some(true));
+        assert_eq!(sub.contains(&|_| Some(10)), Some(false));
+    }
+}

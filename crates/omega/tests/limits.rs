@@ -1,0 +1,129 @@
+//! Behavior at the combinatorial limits: operations must stay total and
+//! degrade to sound over-approximations when budgets are exceeded.
+
+use padfa_omega::{Constraint, Disjunction, LinExpr, Limits, System, Var};
+
+fn interval(v: Var, lo: i64, hi: i64) -> System {
+    System::from_constraints([
+        Constraint::geq(LinExpr::var(v), LinExpr::constant(lo)),
+        Constraint::leq(LinExpr::var(v), LinExpr::constant(hi)),
+    ])
+}
+
+#[test]
+fn subtract_falls_back_inexact_at_disjunct_cap() {
+    let d = Var::new("lm");
+    let big = Disjunction::from_system(interval(d, 1, 1000));
+    // Subtracting many holes splits the region; with a tiny budget the
+    // operation must give up and return an inexact over-approximation.
+    let mut holes = Disjunction::empty();
+    for k in 0..20 {
+        holes.push(interval(d, 10 + 40 * k, 12 + 40 * k));
+    }
+    let tight = Limits {
+        max_disjuncts: 4,
+        ..Limits::default()
+    };
+    let r = big.subtract(&holes, tight);
+    assert!(!r.is_exact(), "capped subtraction must flag inexact");
+    // Over-approximation: every point of the true difference remains.
+    for x in [1i64, 5, 100, 999] {
+        if !(10..=12).contains(&x) {
+            assert_eq!(r.contains(&|_| Some(x)), Some(true), "lost {x}");
+        }
+    }
+}
+
+#[test]
+fn subtract_exact_under_generous_limits() {
+    let d = Var::new("lm2");
+    let big = Disjunction::from_system(interval(d, 1, 100));
+    let mut holes = Disjunction::empty();
+    for k in 0..3 {
+        holes.push(interval(d, 10 + 30 * k, 12 + 30 * k));
+    }
+    let r = big.subtract(&holes, Limits::default());
+    assert!(r.is_exact());
+    assert_eq!(r.contains(&|_| Some(11)), Some(false));
+    assert_eq!(r.contains(&|_| Some(41)), Some(false));
+    assert_eq!(r.contains(&|_| Some(50)), Some(true));
+}
+
+#[test]
+fn intersect_caps_and_flags() {
+    let d = Var::new("lm3");
+    let mut a = Disjunction::empty();
+    let mut b = Disjunction::empty();
+    for k in 0..8 {
+        a.push(interval(d, 10 * k, 10 * k + 5));
+        b.push(interval(d, 10 * k + 3, 10 * k + 8));
+    }
+    let tight = Limits {
+        max_disjuncts: 3,
+        ..Limits::default()
+    };
+    let r = a.intersect(&b, tight);
+    assert!(!r.is_exact());
+    assert!(r.len() <= 3);
+}
+
+#[test]
+fn projection_constraint_cap_is_sound() {
+    // A dense system whose eliminations explode: with a small constraint
+    // budget the projection must still keep every integer point.
+    let vars: Vec<Var> = (0..4).map(|i| Var::new(&format!("lmv{i}"))).collect();
+    let mut cs = Vec::new();
+    for (i, &vi) in vars.iter().enumerate() {
+        for &vj in &vars[i + 1..] {
+            cs.push(Constraint::geq(
+                LinExpr::var(vi) + LinExpr::var(vj),
+                LinExpr::constant(-3),
+            ));
+            cs.push(Constraint::leq(
+                LinExpr::var(vi) + LinExpr::term(vj, 2),
+                LinExpr::constant(9),
+            ));
+        }
+    }
+    let sys = System::from_constraints(cs);
+    let tight = Limits {
+        max_constraints: 4,
+        ..Limits::default()
+    };
+    let keep = vars[0];
+    let p = sys.project_out(&vars[1..], tight);
+    // Sample a few x values that have integer extensions in the original
+    // system; they must survive projection.
+    for x in -1..=2 {
+        let mut found = false;
+        for a in -3..=3 {
+            for b in -3..=3 {
+                for c in -3..=3 {
+                    let env = |v: Var| {
+                        if v == vars[0] {
+                            Some(x)
+                        } else if v == vars[1] {
+                            Some(a)
+                        } else if v == vars[2] {
+                            Some(b)
+                        } else if v == vars[3] {
+                            Some(c)
+                        } else {
+                            None
+                        }
+                    };
+                    if sys.contains(&env) == Some(true) {
+                        found = true;
+                    }
+                }
+            }
+        }
+        if found {
+            assert_eq!(
+                p.system.contains(&|v| if v == keep { Some(x) } else { None }),
+                Some(true),
+                "capped projection lost x = {x}"
+            );
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! Property tests pitting the Fourier–Motzkin engine against brute-force
+//! enumeration over small boxes: emptiness must never claim "empty" for
+//! a satisfiable system, projection must never lose an integer point,
+//! and implication must never claim more than point-wise truth.
+
+use proptest::prelude::*;
+
+use padfa_omega::{Constraint, LinExpr, Limits, System, Var};
+
+const BOX: i64 = 6;
+
+fn vx() -> Var {
+    Var::new("qx")
+}
+fn vy() -> Var {
+    Var::new("qy")
+}
+
+/// A random constraint over two variables with small coefficients.
+fn constraint_strategy() -> impl Strategy<Value = Constraint> {
+    (-3i64..=3, -3i64..=3, -8i64..=8, prop::bool::ANY).prop_filter_map(
+        "non-trivial",
+        |(a, b, c, eq)| {
+            if a == 0 && b == 0 {
+                return None;
+            }
+            let expr = LinExpr::term(vx(), a) + LinExpr::term(vy(), b) + LinExpr::constant(c);
+            Some(if eq {
+                Constraint::eq0(expr)
+            } else {
+                Constraint::geq0(expr)
+            })
+        },
+    )
+}
+
+fn system_strategy() -> impl Strategy<Value = System> {
+    prop::collection::vec(constraint_strategy(), 1..5).prop_map(System::from_constraints)
+}
+
+/// All integer points of the system within the test box.
+fn box_points(sys: &System) -> Vec<(i64, i64)> {
+    let mut out = Vec::new();
+    for x in -BOX..=BOX {
+        for y in -BOX..=BOX {
+            let env = |v: Var| {
+                if v == vx() {
+                    Some(x)
+                } else if v == vy() {
+                    Some(y)
+                } else {
+                    None
+                }
+            };
+            if sys.contains(&env) == Some(true) {
+                out.push((x, y));
+            }
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn emptiness_never_lies(sys in system_strategy()) {
+        // If the engine says empty, no point in the box may satisfy it.
+        if sys.is_empty(Limits::default()) {
+            prop_assert!(
+                box_points(&sys).is_empty(),
+                "claimed empty but {:?} satisfies {sys}",
+                box_points(&sys)[0]
+            );
+        }
+    }
+
+    #[test]
+    fn projection_keeps_every_point(sys in system_strategy()) {
+        // Projecting y out must keep the x-coordinate of every point.
+        let p = sys.project_out(&[vy()], Limits::default());
+        for (x, _) in box_points(&sys) {
+            prop_assert_eq!(
+                p.system.contains(&|v| if v == vx() { Some(x) } else { None }),
+                Some(true),
+                "projection of {} lost x = {}", sys, x
+            );
+        }
+    }
+
+    #[test]
+    fn exact_projection_adds_no_bounded_points(sys in system_strategy()) {
+        // When FM reports the projection exact, an x with no pre-image in
+        // a generous box must not appear unless the pre-image lies
+        // outside the box — detect the common case where y is bounded by
+        // constraints with unit coefficients.
+        let p = sys.project_out(&[vy()], Limits::default());
+        if !p.exact {
+            return Ok(());
+        }
+        // Only check systems where y is explicitly boxed with unit
+        // coefficients (so every pre-image lies within +-(BOX*6+8)).
+        let y_unit_bounded = sys.constraints().iter().any(|c| c.expr.coeff(vy()) == 1)
+            && sys.constraints().iter().any(|c| c.expr.coeff(vy()) == -1);
+        if !y_unit_bounded {
+            return Ok(());
+        }
+        let points = box_points(&sys);
+        // Pre-images satisfy |y| <= max|coeff|*BOX + max|const| = 3*6+8.
+        let wide = 6 * BOX + 10;
+        for x in -BOX..=BOX {
+            let projected = p
+                .system
+                .contains(&|v| if v == vx() { Some(x) } else { None })
+                == Some(true);
+            if projected {
+                let has_preimage = (-wide..=wide).any(|y| {
+                    sys.contains(&|v| {
+                        if v == vx() {
+                            Some(x)
+                        } else if v == vy() {
+                            Some(y)
+                        } else {
+                            None
+                        }
+                    }) == Some(true)
+                });
+                prop_assert!(
+                    has_preimage,
+                    "exact projection of {} invented x = {} (points: {:?})",
+                    sys, x, points
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn implication_never_lies(sys in system_strategy(), c in constraint_strategy()) {
+        if sys.implies(&c, Limits::default()) {
+            for (x, y) in box_points(&sys) {
+                let env = |v: Var| {
+                    if v == vx() { Some(x) } else if v == vy() { Some(y) } else { None }
+                };
+                prop_assert_eq!(
+                    c.eval(&env),
+                    Some(true),
+                    "{} claims to imply {} but ({}, {}) violates it", sys, c, x, y
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn and_is_intersection(a in system_strategy(), b in system_strategy()) {
+        let both = a.and(&b);
+        let pa = box_points(&a);
+        let pb = box_points(&b);
+        let pboth = box_points(&both);
+        for pt in &pboth {
+            prop_assert!(pa.contains(pt) && pb.contains(pt));
+        }
+        for pt in &pa {
+            if pb.contains(pt) {
+                prop_assert!(pboth.contains(pt), "and() lost {:?}", pt);
+            }
+        }
+    }
+
+    #[test]
+    fn simplify_preserves_semantics(sys in system_strategy()) {
+        // from_constraints already simplifies; doing it again must not
+        // change membership.
+        let mut again = sys.clone();
+        again.simplify();
+        for x in -BOX..=BOX {
+            for y in -BOX..=BOX {
+                let env = |v: Var| {
+                    if v == vx() { Some(x) } else if v == vy() { Some(y) } else { None }
+                };
+                prop_assert_eq!(sys.contains(&env), again.contains(&env));
+            }
+        }
+    }
+}

@@ -1,0 +1,278 @@
+//! `padfa` — command-line driver for the predicated array data-flow
+//! analysis.
+//!
+//! ```text
+//! padfa analyze <file.mf> [--variant base|guarded|predicated] [--all] [--summaries]
+//! padfa run     <file.mf> [--workers N] [--seq] [ARG...]
+//! padfa elpd    <file.mf> <loop-label-or-id> [ARG...]
+//! padfa fmt     <file.mf>
+//! ```
+//!
+//! Scalar entry arguments are given positionally (`8 3 50`); integer
+//! parameters take integers, real parameters accept either form. Array
+//! parameters are zero-filled with their declared extents (which must
+//! then be constant).
+
+use padfa::prelude::*;
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  padfa analyze <file.mf> [--variant base|guarded|predicated] [--all]\n  \
+         padfa run <file.mf> [--workers N] [--seq] [ARG...]\n  \
+         padfa elpd <file.mf> <loop-label-or-id> [ARG...]\n  \
+         padfa fmt <file.mf>"
+    );
+    exit(2)
+}
+
+fn load(path: &str) -> Program {
+    let src = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("padfa: cannot read {path}: {e}");
+        exit(1)
+    });
+    parse_program(&src).unwrap_or_else(|e| {
+        eprintln!("padfa: {path}: {e}");
+        exit(1)
+    })
+}
+
+/// Build entry arguments from CLI words, zero-filling array parameters.
+fn entry_args(prog: &Program, words: &[String]) -> Vec<ArgValue> {
+    let Some(entry) = prog.entry() else {
+        eprintln!("padfa: program has no entry procedure");
+        exit(1)
+    };
+    let mut out = Vec::new();
+    let mut word = 0usize;
+    for param in &entry.params {
+        match &param.ty {
+            padfa::ir::ParamTy::Scalar(ty) => {
+                let w = words.get(word).unwrap_or_else(|| {
+                    eprintln!(
+                        "padfa: missing value for scalar parameter '{}' of '{}'",
+                        param.name, entry.name
+                    );
+                    exit(1)
+                });
+                word += 1;
+                match ty {
+                    padfa::ir::ScalarTy::Int => match w.parse::<i64>() {
+                        Ok(v) => out.push(ArgValue::Int(v)),
+                        Err(_) => {
+                            eprintln!("padfa: '{w}' is not an integer (parameter '{}')", param.name);
+                            exit(1)
+                        }
+                    },
+                    padfa::ir::ScalarTy::Real => match w.parse::<f64>() {
+                        Ok(v) => out.push(ArgValue::Real(v)),
+                        Err(_) => {
+                            eprintln!("padfa: '{w}' is not a number (parameter '{}')", param.name);
+                            exit(1)
+                        }
+                    },
+                }
+            }
+            padfa::ir::ParamTy::Array { dims, ty } => {
+                let mut extents = Vec::new();
+                for d in dims {
+                    match padfa::ir::affine::to_linexpr(d).filter(|l| l.is_const()) {
+                        Some(l) if l.konst() >= 0 => extents.push(l.konst() as usize),
+                        _ => {
+                            eprintln!(
+                                "padfa: array parameter '{}' needs constant extents to be \
+                                 zero-filled from the command line",
+                                param.name
+                            );
+                            exit(1)
+                        }
+                    }
+                }
+                out.push(ArgValue::Array(padfa::rt::ArrayStore::zeros(extents, *ty)));
+            }
+        }
+    }
+    if word < words.len() {
+        eprintln!("padfa: {} extra argument(s)", words.len() - word);
+        exit(1)
+    }
+    out
+}
+
+fn variant_options(name: &str) -> Options {
+    match name {
+        "base" => Options::base(),
+        "guarded" => Options::guarded(),
+        "predicated" => Options::predicated(),
+        other => {
+            eprintln!("padfa: unknown variant '{other}'");
+            exit(2)
+        }
+    }
+}
+
+fn cmd_analyze(args: &[String]) {
+    let mut file = None;
+    let mut variant = "predicated".to_string();
+    let mut show_all = false;
+    let mut show_summaries = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--variant" => variant = it.next().cloned().unwrap_or_else(|| usage()),
+            "--all" => show_all = true,
+            "--summaries" => show_summaries = true,
+            _ if file.is_none() => file = Some(a.clone()),
+            _ => usage(),
+        }
+    }
+    let prog = load(&file.unwrap_or_else(|| usage()));
+    let opts = variant_options(&variant);
+    let (result, summaries) =
+        padfa::analysis::analyze_program_with_summaries(&prog, &opts);
+    if show_summaries {
+        let mut names: Vec<&String> = summaries.keys().collect();
+        names.sort();
+        for name in names {
+            println!("== summary of {name} ==");
+            print!("{}", summaries[name]);
+            println!();
+        }
+    }
+    let mut parallel = 0;
+    let mut rt = 0;
+    for report in &result.loops {
+        if report.parallelized() {
+            parallel += 1;
+        }
+        if matches!(report.outcome, Outcome::ParallelIf(_)) {
+            rt += 1;
+        }
+        if show_all || report.parallelized() || report.not_candidate.is_some() {
+            println!("{report}");
+        }
+    }
+    println!(
+        "\n{} loops: {} parallelized ({} with run-time tests) under the {} analysis",
+        result.loops.len(),
+        parallel,
+        rt,
+        variant
+    );
+}
+
+fn cmd_run(args: &[String]) {
+    let mut file = None;
+    let mut workers = 4usize;
+    let mut seq = false;
+    let mut rest: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--workers" => {
+                workers = it
+                    .next()
+                    .and_then(|w| w.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--seq" => seq = true,
+            _ if file.is_none() => file = Some(a.clone()),
+            _ => rest.push(a.clone()),
+        }
+    }
+    let prog = load(&file.unwrap_or_else(|| usage()));
+    let args = entry_args(&prog, &rest);
+    let cfg = if seq || workers <= 1 {
+        RunConfig::sequential()
+    } else {
+        let result = analyze_program(&prog, &Options::predicated());
+        RunConfig::parallel(workers, ExecPlan::from_analysis(&prog, &result))
+    };
+    match run_main(&prog, args, &cfg) {
+        Ok(out) => {
+            for v in &out.printed {
+                match v {
+                    Value::Int(x) => println!("{x}"),
+                    Value::Real(x) => println!("{x}"),
+                }
+            }
+            eprintln!(
+                "-- {} statements, {} iterations, {} parallel region(s), tests {}/{} passed",
+                out.total_work,
+                out.stats.iterations,
+                out.stats.parallel_loops,
+                out.stats.tests_passed,
+                out.stats.tests_passed + out.stats.tests_failed,
+            );
+        }
+        Err(e) => {
+            eprintln!("padfa: execution failed: {e}");
+            exit(1)
+        }
+    }
+}
+
+fn cmd_elpd(args: &[String]) {
+    if args.len() < 2 {
+        usage()
+    }
+    let prog = load(&args[0]);
+    let target = &args[1];
+    let rest = &args[2..];
+    let loop_id = padfa::ir::visit::find_loop_by_label(&prog, target)
+        .map(|(_, l)| l.id)
+        .or_else(|| {
+            target
+                .parse::<u32>()
+                .ok()
+                .map(LoopId)
+                .filter(|id| padfa::ir::visit::find_loop(&prog, *id).is_some())
+        })
+        .unwrap_or_else(|| {
+            eprintln!("padfa: no loop labeled or numbered '{target}'");
+            exit(1)
+        });
+    let argv = entry_args(&prog, rest);
+    match elpd_inspect(&prog, argv, loop_id, &[]) {
+        Ok(v) => {
+            println!(
+                "loop {target}: parallelizable={} privatization={} ({} invocation(s), {} iteration(s))",
+                v.parallelizable, v.needs_privatization, v.invocations, v.iterations
+            );
+            let mut arrays: Vec<_> = v.arrays.iter().collect();
+            arrays.sort_by_key(|(name, _)| (*name).clone());
+            for (name, class) in arrays {
+                println!("  {name}: {class:?}");
+            }
+            for s in &v.scalar_deps {
+                println!("  scalar {s}: flow dependence");
+            }
+        }
+        Err(e) => {
+            eprintln!("padfa: inspection failed: {e}");
+            exit(1)
+        }
+    }
+}
+
+fn cmd_fmt(args: &[String]) {
+    if args.len() != 1 {
+        usage()
+    }
+    let prog = load(&args[0]);
+    print!("{}", padfa::ir::pretty::program_to_string(&prog));
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match argv.split_first() {
+        Some((cmd, rest)) => match cmd.as_str() {
+            "analyze" => cmd_analyze(rest),
+            "run" => cmd_run(rest),
+            "elpd" => cmd_elpd(rest),
+            "fmt" => cmd_fmt(rest),
+            _ => usage(),
+        },
+        None => usage(),
+    }
+}

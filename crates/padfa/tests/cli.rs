@@ -1,0 +1,148 @@
+//! Integration tests for the `padfa` command-line driver.
+
+use std::io::Write;
+use std::process::Command;
+
+fn padfa() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_padfa"))
+}
+
+fn demo_file() -> temppath::TempPath {
+    temppath::write(
+        "proc main(n: int, x: int) {
+            array help[101];
+            array a[100, 2];
+            var s: real;
+            for@hot i = 1 to n {
+                if (x > 5) { help[i] = a[i, 1]; }
+                a[i, 2] = help[i + 1] + i * 0.5;
+            }
+            for@sum i = 1 to n { s = s + a[i, 2]; }
+            print s;
+        }",
+    )
+}
+
+/// Minimal temp-file helper (no external crates).
+mod temppath {
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    pub struct TempPath(pub PathBuf);
+
+    impl Drop for TempPath {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_file(&self.0);
+        }
+    }
+
+    static N: AtomicU32 = AtomicU32::new(0);
+
+    pub fn write(contents: &str) -> TempPath {
+        let n = N.fetch_add(1, Ordering::Relaxed);
+        let path = std::env::temp_dir().join(format!(
+            "padfa-cli-test-{}-{n}.mf",
+            std::process::id()
+        ));
+        std::fs::write(&path, contents).unwrap();
+        TempPath(path)
+    }
+}
+
+#[test]
+fn analyze_reports_two_version_loop() {
+    let f = demo_file();
+    let out = padfa().arg("analyze").arg(&f.0).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("hot"), "{text}");
+    assert!(text.contains("parallel if"), "{text}");
+    assert!(text.contains("2 parallelized (1 with run-time tests)"), "{text}");
+}
+
+#[test]
+fn analyze_variants_differ() {
+    let f = demo_file();
+    let base = padfa()
+        .args(["analyze", "--variant", "base"])
+        .arg(&f.0)
+        .output()
+        .unwrap();
+    let text = String::from_utf8_lossy(&base.stdout);
+    assert!(text.contains("1 parallelized (0 with run-time tests)"), "{text}");
+}
+
+#[test]
+fn run_executes_and_prints() {
+    let f = demo_file();
+    let out = padfa()
+        .args(["run"])
+        .arg(&f.0)
+        .args(["100", "3"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // s = sum of i * 0.5 for i = 1..100 = 2525.
+    assert!(stdout.trim().starts_with("2525"), "{stdout}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("parallel region"), "{stderr}");
+}
+
+#[test]
+fn elpd_inspects_by_label() {
+    let f = demo_file();
+    let out = padfa()
+        .args(["elpd"])
+        .arg(&f.0)
+        .args(["hot", "50", "3"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("parallelizable=true"), "{text}");
+}
+
+#[test]
+fn fmt_round_trips() {
+    let f = demo_file();
+    let out = padfa().arg("fmt").arg(&f.0).output().unwrap();
+    assert!(out.status.success());
+    // The pretty output must itself parse.
+    let text = String::from_utf8_lossy(&out.stdout).into_owned();
+    padfa_ir::parse::parse_program(&text).expect("fmt output parses");
+}
+
+#[test]
+fn bad_file_fails_cleanly() {
+    let f = temppath::write("proc broken( {");
+    let out = padfa().arg("analyze").arg(&f.0).output().unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("parse error"), "{err}");
+}
+
+#[test]
+fn missing_args_reported() {
+    let f = demo_file();
+    let out = padfa().arg("run").arg(&f.0).output().unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("missing value"), "{err}");
+    let _ = std::io::stderr().flush();
+}
+
+#[test]
+fn analyze_summaries_prints_dataflow_values() {
+    let f = demo_file();
+    let out = padfa()
+        .args(["analyze", "--summaries"])
+        .arg(&f.0)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("summary of main"), "{text}");
+    assert!(text.contains("W="), "{text}");
+    assert!(text.contains("E="), "{text}");
+}

@@ -1,0 +1,52 @@
+//! # padfa-pred
+//!
+//! The predicate domain of predicated array data-flow analysis
+//! (Moon & Hall, PPoPP 1999).
+//!
+//! A predicate is an arbitrary run-time evaluable boolean expression over
+//! program scalars. Unlike prior guarded analyses (Gu/Li/Lee), predicates
+//! here are not restricted to a compiler-understood domain: any
+//! comparison the program can evaluate may guard a data-flow value, which
+//! is what lets the analysis emit *run-time parallelization tests*.
+//!
+//! The crate provides:
+//!
+//! * [`Pred`] — negation-normal predicates with `True`/`False` units,
+//!   flattening, complement detection, and affine contradiction folding;
+//! * implication testing ([`Pred::implies`]) via the linear engine;
+//! * **predicate embedding** ([`Pred::to_systems`]): translating an
+//!   affine predicate into constraint systems that can be intersected
+//!   into an array region;
+//! * **predicate extraction** ([`extract_symbolic`]): splitting the
+//!   constraints of a region that mention only symbolic (loop-invariant)
+//!   variables out into a predicate — the inverse translation, used to
+//!   derive emptiness conditions and divisibility tests;
+//! * a run-time cost model ([`Pred::cost`], [`Pred::is_runtime_testable`])
+//!   identifying the paper's "low-cost" tests.
+//!
+//! ## Example
+//!
+//! ```
+//! use padfa_pred::Pred;
+//! use padfa_omega::Limits;
+//!
+//! let p = |s: &str| Pred::from_bool(&padfa_ir::parse::parse_bool_expr(s).unwrap());
+//!
+//! // Canonicalization identifies spellings; complements annihilate.
+//! assert_eq!(p("i < n"), p("n > i"));
+//! assert_eq!(p("x > 5 and x <= 5"), Pred::False);
+//!
+//! // Implication goes through the linear engine.
+//! assert!(p("x == 4").implies(&p("x >= 2 and x <= 7"), Limits::default()));
+//!
+//! // A derived run-time test must be cheap and scalar-only.
+//! let test = p("x <= 5 and m > 100").negate().negate();
+//! assert!(test.is_runtime_testable());
+//! assert_eq!(test.cost(), 2);
+//! ```
+
+pub mod atom;
+pub mod pred;
+
+pub use atom::{Atom, AtomKind};
+pub use pred::{extract_symbolic, Pred};

@@ -1,0 +1,518 @@
+//! The Extended Lazy Privatizing Doall (ELPD) run-time test
+//! (Rauchwerger & Padua's LPD test as extended by So, Moon & Hall).
+//!
+//! The paper instruments every candidate loop the compiler left
+//! sequential: shadow arrays record, per element and per iteration,
+//! whether the element was written, and whether a read observed a value
+//! produced by an *earlier different* iteration. After the loop runs,
+//! each array is classified:
+//!
+//! * **independent** — no element is accessed by two different
+//!   iterations with at least one write;
+//! * **privatizable** — cross-iteration sharing exists, but every read
+//!   either follows a same-iteration write (private value) or reads the
+//!   loop-entry value (copy-in); writes-only sharing is fixed by ordered
+//!   last-value merging;
+//! * **sequential** — some read observes a value written by an earlier,
+//!   different iteration (a true loop-carried flow dependence).
+//!
+//! The loop verdict aggregates over all arrays and scalars. Because this
+//! is a run-time test, the verdict is valid *for the input used* — the
+//! property the paper leans on to count "inherently parallel" loops.
+
+use crate::machine::{build_entry_frame, ExecError, Machine, RunConfig};
+use crate::value::ArgValue;
+use padfa_ir::{LoopId, Program, Var};
+use std::collections::HashMap;
+
+/// Per-element shadow state.
+#[derive(Clone, Copy, Default)]
+struct Shadow {
+    /// Iteration that last wrote the element (0 = never).
+    last_writer: i64,
+    has_writer: bool,
+    /// Iteration that first wrote the element.
+    first_writer: i64,
+    /// Written by more than one distinct iteration.
+    multi_writer: bool,
+    /// Read the loop-entry value (no write had happened yet).
+    copy_in_read: bool,
+    /// Read a value written by an earlier, different iteration.
+    flow_dep: bool,
+    /// Accessed (read or write) by more than one distinct iteration,
+    /// with at least one access being a write.
+    shared_write: bool,
+    /// First iteration that touched the element at all.
+    first_toucher: i64,
+    has_toucher: bool,
+}
+
+/// Classification of one array (or scalar) for one loop.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ElpdClass {
+    Independent,
+    /// Privatization (with copy-in when flagged) makes the loop legal.
+    Privatizable { copy_in: bool },
+    Sequential,
+}
+
+/// Result of the ELPD inspection of one loop.
+#[derive(Clone, Debug)]
+pub struct ElpdVerdict {
+    /// Overall: can the loop run in parallel (with privatization) on
+    /// this input?
+    pub parallelizable: bool,
+    /// Needs any privatization/copy-in at all.
+    pub needs_privatization: bool,
+    /// Per-array classification, keyed by a debug name.
+    pub arrays: HashMap<String, ElpdClass>,
+    /// Scalars carrying a cross-iteration flow dependence.
+    pub scalar_deps: Vec<String>,
+    /// Total iterations observed across invocations.
+    pub iterations: u64,
+    /// Number of times the loop was entered.
+    pub invocations: u64,
+}
+
+/// Instrumentation state installed in the [`Machine`].
+pub struct ElpdState {
+    pub target: LoopId,
+    active: bool,
+    current_iter: i64,
+    shadows: HashMap<usize, Vec<Shadow>>,
+    scalar_shadows: HashMap<Var, Shadow>,
+    /// Accumulated over invocations.
+    class: HashMap<usize, ElpdClass>,
+    scalar_flow: Vec<Var>,
+    pub iterations: u64,
+    pub invocations: u64,
+    /// Scalars excluded from tracking (recognized reductions and the
+    /// loop index).
+    pub(crate) exclude_scalars: Vec<Var>,
+    /// Array handles excluded (recognized reductions).
+    pub(crate) exclude_arrays: Vec<usize>,
+}
+
+impl ElpdState {
+    pub(crate) fn new(target: LoopId) -> ElpdState {
+        ElpdState {
+            target,
+            active: false,
+            current_iter: 0,
+            shadows: HashMap::new(),
+            scalar_shadows: HashMap::new(),
+            class: HashMap::new(),
+            scalar_flow: Vec::new(),
+            iterations: 0,
+            invocations: 0,
+            exclude_scalars: Vec::new(),
+            exclude_arrays: Vec::new(),
+        }
+    }
+
+    pub(crate) fn begin_invocation(&mut self, _num_arrays: usize) {
+        self.active = true;
+        self.invocations += 1;
+        self.shadows.clear();
+        self.scalar_shadows.clear();
+    }
+
+    pub(crate) fn set_iteration(&mut self, i: i64) {
+        self.current_iter = i;
+        self.iterations += 1;
+    }
+
+    /// Final per-handle classification plus scalar flow verdict (used by
+    /// the inspector/executor comparator).
+    pub(crate) fn outcome(&self) -> (bool, Vec<usize>) {
+        let mut parallelizable = self.scalar_flow.is_empty();
+        let mut priv_handles = Vec::new();
+        for (&h, cls) in &self.class {
+            match cls {
+                ElpdClass::Sequential => parallelizable = false,
+                ElpdClass::Privatizable { .. } => priv_handles.push(h),
+                ElpdClass::Independent => {}
+            }
+        }
+        (parallelizable, priv_handles)
+    }
+
+    pub(crate) fn end_invocation(&mut self) {
+        self.active = false;
+        // Fold this invocation's shadows into the running classification.
+        let handles: Vec<usize> = self.shadows.keys().copied().collect();
+        for h in handles {
+            let cls = classify(&self.shadows[&h]);
+            merge_class(self.class.entry(h).or_insert(ElpdClass::Independent), cls);
+        }
+        for (&v, sh) in &self.scalar_shadows {
+            if sh.flow_dep && !self.scalar_flow.contains(&v) {
+                self.scalar_flow.push(v);
+            }
+        }
+    }
+
+    fn shadow_mut(&mut self, handle: usize, len: usize, off: usize) -> Option<&mut Shadow> {
+        if self.exclude_arrays.contains(&handle) {
+            return None;
+        }
+        let vec = self
+            .shadows
+            .entry(handle)
+            .or_insert_with(|| vec![Shadow::default(); len]);
+        vec.get_mut(off)
+    }
+
+    pub(crate) fn on_array_read(&mut self, handle: usize, off: usize) {
+        if !self.active {
+            return;
+        }
+        let iter = self.current_iter;
+        // Length grows lazily; reads outside any prior write are fine.
+        let len = off + 1;
+        if let Some(vec) = self.shadows.get_mut(&handle) {
+            if vec.len() < len {
+                vec.resize(len, Shadow::default());
+            }
+        }
+        if let Some(sh) = self.shadow_mut(handle, len, off) {
+            record_read(sh, iter);
+        }
+    }
+
+    pub(crate) fn on_array_write(&mut self, handle: usize, off: usize) {
+        if !self.active {
+            return;
+        }
+        let iter = self.current_iter;
+        let len = off + 1;
+        if let Some(vec) = self.shadows.get_mut(&handle) {
+            if vec.len() < len {
+                vec.resize(len, Shadow::default());
+            }
+        }
+        if let Some(sh) = self.shadow_mut(handle, len, off) {
+            record_write(sh, iter);
+        }
+    }
+
+    pub(crate) fn on_scalar_read(&mut self, v: Var) {
+        if !self.active || self.exclude_scalars.contains(&v) {
+            return;
+        }
+        let iter = self.current_iter;
+        record_read(self.scalar_shadows.entry(v).or_default(), iter);
+    }
+
+    pub(crate) fn on_scalar_write(&mut self, v: Var) {
+        if !self.active || self.exclude_scalars.contains(&v) {
+            return;
+        }
+        let iter = self.current_iter;
+        record_write(self.scalar_shadows.entry(v).or_default(), iter);
+    }
+}
+
+fn record_read(sh: &mut Shadow, iter: i64) {
+    if sh.has_toucher && sh.first_toucher != iter && (sh.has_writer || sh.multi_writer) {
+        // Shared with at least one write somewhere: refined below.
+    }
+    if !sh.has_toucher {
+        sh.has_toucher = true;
+        sh.first_toucher = iter;
+    }
+    if sh.has_writer {
+        if sh.last_writer != iter {
+            // Value produced by an earlier, different iteration.
+            sh.flow_dep = true;
+        }
+        if sh.first_writer != iter {
+            sh.shared_write = true;
+        }
+    } else {
+        // Reads the loop-entry value.
+        sh.copy_in_read = true;
+    }
+}
+
+fn record_write(sh: &mut Shadow, iter: i64) {
+    if !sh.has_toucher {
+        sh.has_toucher = true;
+        sh.first_toucher = iter;
+    }
+    if sh.has_writer {
+        if sh.last_writer != iter {
+            sh.multi_writer = true;
+            sh.shared_write = true;
+        }
+    } else {
+        sh.has_writer = true;
+        sh.first_writer = iter;
+    }
+    // A write after another iteration's read is an anti dependence:
+    // copy_in_read handles it (the earlier read saw the entry value).
+    if sh.copy_in_read && sh.first_toucher != iter {
+        sh.shared_write = true;
+    }
+    sh.last_writer = iter;
+}
+
+fn classify(shadows: &[Shadow]) -> ElpdClass {
+    let mut needs_priv = false;
+    let mut copy_in = false;
+    for sh in shadows {
+        if sh.flow_dep {
+            return ElpdClass::Sequential;
+        }
+        if sh.shared_write || sh.multi_writer {
+            needs_priv = true;
+            if sh.copy_in_read {
+                copy_in = true;
+            }
+        }
+    }
+    if needs_priv {
+        ElpdClass::Privatizable { copy_in }
+    } else {
+        ElpdClass::Independent
+    }
+}
+
+fn merge_class(acc: &mut ElpdClass, new: ElpdClass) {
+    *acc = match (*acc, new) {
+        (ElpdClass::Sequential, _) | (_, ElpdClass::Sequential) => ElpdClass::Sequential,
+        (ElpdClass::Privatizable { copy_in: a }, ElpdClass::Privatizable { copy_in: b }) => {
+            ElpdClass::Privatizable { copy_in: a || b }
+        }
+        (p @ ElpdClass::Privatizable { .. }, ElpdClass::Independent) => p,
+        (ElpdClass::Independent, p) => p,
+    };
+}
+
+/// Run the program sequentially with ELPD instrumentation on one loop.
+///
+/// `exclude` lists reduction targets (scalars or arrays by name) that
+/// the compiler already handles and the inspector should ignore.
+pub fn elpd_inspect(
+    prog: &Program,
+    args: Vec<ArgValue>,
+    target: LoopId,
+    exclude: &[Var],
+) -> Result<ElpdVerdict, ExecError> {
+    let cfg = RunConfig::sequential();
+    let proc = prog.entry().ok_or(ExecError::NoEntryProcedure)?;
+    let mut machine = Machine::new(prog, &cfg);
+    let mut frame = build_entry_frame(&mut machine, proc, args)?;
+    let mut state = ElpdState::new(target);
+    state.exclude_scalars = exclude.to_vec();
+    // Resolve excluded arrays visible in the entry frame.
+    for v in exclude {
+        if let Some(h) = frame.array_handle(*v) {
+            state.exclude_arrays.push(h);
+        }
+    }
+    // Also exclude the loop's own index variable.
+    if let Some((_, l)) = padfa_ir::visit::find_loop(prog, target) {
+        state.exclude_scalars.push(l.var);
+    }
+    machine.elpd = Some(state);
+    machine.exec_block(&mut frame, &proc.body)?;
+    let state = machine.elpd.take().unwrap();
+
+    let mut arrays = HashMap::new();
+    let mut parallelizable = true;
+    let mut needs_privatization = false;
+    let handle_names: HashMap<usize, String> = frame
+        .arrays
+        .iter()
+        .map(|(v, b)| (b.handle, v.name()))
+        .collect();
+    for (h, cls) in &state.class {
+        let name = handle_names
+            .get(h)
+            .cloned()
+            .unwrap_or_else(|| format!("#<{h}>"));
+        arrays.insert(name, *cls);
+        match cls {
+            ElpdClass::Sequential => parallelizable = false,
+            ElpdClass::Privatizable { .. } => needs_privatization = true,
+            ElpdClass::Independent => {}
+        }
+    }
+    let scalar_deps: Vec<String> = state.scalar_flow.iter().map(|v| v.name()).collect();
+    if !scalar_deps.is_empty() {
+        parallelizable = false;
+    }
+    Ok(ElpdVerdict {
+        parallelizable,
+        needs_privatization,
+        arrays,
+        scalar_deps,
+        iterations: state.iterations,
+        invocations: state.invocations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use padfa_ir::parse::parse_program;
+
+    fn inspect(src: &str, args: Vec<ArgValue>, loop_id: u32) -> ElpdVerdict {
+        let prog = parse_program(src).unwrap();
+        elpd_inspect(&prog, args, LoopId(loop_id), &[]).unwrap()
+    }
+
+    #[test]
+    fn independent_loop() {
+        let v = inspect(
+            "proc main(n: int) { array a[64];
+             for i = 1 to n { a[i] = a[i] + 1.0; } }",
+            vec![ArgValue::Int(64)],
+            0,
+        );
+        assert!(v.parallelizable);
+        assert!(!v.needs_privatization);
+        assert_eq!(v.arrays["a"], ElpdClass::Independent);
+        assert_eq!(v.iterations, 64);
+    }
+
+    #[test]
+    fn flow_dependence_detected() {
+        let v = inspect(
+            "proc main(n: int) { array a[64];
+             for i = 2 to n { a[i] = a[i - 1] + 1.0; } }",
+            vec![ArgValue::Int(64)],
+            0,
+        );
+        assert!(!v.parallelizable);
+        assert_eq!(v.arrays["a"], ElpdClass::Sequential);
+    }
+
+    #[test]
+    fn privatizable_temp() {
+        let v = inspect(
+            "proc main(n: int) { array a[64]; array t[4];
+             for i = 1 to n {
+                 for j = 1 to 4 { t[j] = a[i] + j; }
+                 a[i] = t[1] + t[4];
+             } }",
+            vec![ArgValue::Int(64)],
+            0,
+        );
+        assert!(v.parallelizable);
+        assert!(v.needs_privatization);
+        assert_eq!(v.arrays["t"], ElpdClass::Privatizable { copy_in: false });
+        assert_eq!(v.arrays["a"], ElpdClass::Independent);
+    }
+
+    #[test]
+    fn copy_in_detected() {
+        // First iteration reads t[1] before anyone writes it; later
+        // iterations write-then-read. Privatization needs copy-in.
+        let v = inspect(
+            "proc main(n: int) { array a[64]; array t[2];
+             for i = 1 to n {
+                 a[i] = t[1];
+                 t[1] = a[i] + 1.0;
+             } }",
+            vec![ArgValue::Int(1)],
+            0,
+        );
+        // With a single iteration there is no cross-iteration sharing.
+        assert!(v.parallelizable);
+        let v2 = inspect(
+            "proc main(n: int) { array a[64]; array t[2];
+             for i = 1 to n {
+                 a[i] = t[1] * 0.5;
+                 t[1] = 3.0;
+             } }",
+            vec![ArgValue::Int(8)],
+            0,
+        );
+        // Reads t[1] written by the *previous* iteration: flow dep.
+        assert!(!v2.parallelizable);
+    }
+
+    #[test]
+    fn input_dependence_of_verdict() {
+        // a[idx[i]] = ...: with distinct idx values the loop is
+        // independent; with colliding values it is not (writes to the
+        // same element from different iterations are output deps =>
+        // privatizable, but a read would make it sequential).
+        let src = "proc main(n: int, idx: array[8] of int) { array a[64];
+             for i = 1 to n { a[idx[i]] = a[idx[i]] + i; } }";
+        let distinct = ArgValue::Array(crate::value::ArrayStore::from_i64(vec![
+            1, 2, 3, 4, 5, 6, 7, 8,
+        ]));
+        let v1 = {
+            let prog = parse_program(src).unwrap();
+            elpd_inspect(&prog, vec![ArgValue::Int(8), distinct], LoopId(0), &[]).unwrap()
+        };
+        assert!(v1.parallelizable, "distinct indices: independent");
+        let colliding = ArgValue::Array(crate::value::ArrayStore::from_i64(vec![
+            1, 1, 1, 1, 1, 1, 1, 1,
+        ]));
+        let v2 = {
+            let prog = parse_program(src).unwrap();
+            elpd_inspect(&prog, vec![ArgValue::Int(8), colliding], LoopId(0), &[]).unwrap()
+        };
+        assert!(!v2.parallelizable, "colliding indices: flow dependence");
+    }
+
+    #[test]
+    fn scalar_flow_dependence() {
+        let v = inspect(
+            "proc main(n: int) { var s: real; array a[64];
+             for i = 1 to n { a[i] = s; s = s + 1.0; } }",
+            vec![ArgValue::Int(8)],
+            0,
+        );
+        assert!(!v.parallelizable);
+        assert!(v.scalar_deps.contains(&"s".to_string()));
+    }
+
+    #[test]
+    fn excluded_reduction_ignored() {
+        let src = "proc main(n: int) { var s: real; array a[64];
+             for i = 1 to n { s = s + a[i]; } }";
+        let prog = parse_program(src).unwrap();
+        let v = elpd_inspect(
+            &prog,
+            vec![ArgValue::Int(8)],
+            LoopId(0),
+            &[Var::new("s")],
+        )
+        .unwrap();
+        assert!(v.parallelizable, "reduction target excluded");
+    }
+
+    #[test]
+    fn multiple_invocations_accumulate() {
+        // The target inner loop is entered once per outer iteration; its
+        // verdict must cover all invocations.
+        let v = inspect(
+            "proc main(n: int) { array a[8, 8];
+             for i = 1 to n {
+                 for j = 1 to 8 { a[i, j] = i + j; }
+             } }",
+            vec![ArgValue::Int(4)],
+            1,
+        );
+        assert_eq!(v.invocations, 4);
+        assert_eq!(v.iterations, 32);
+        assert!(v.parallelizable);
+    }
+
+    #[test]
+    fn write_only_sharing_is_privatizable() {
+        let v = inspect(
+            "proc main(n: int) { array t[4]; array a[64];
+             for i = 1 to n { t[1] = i * 1.0; a[i] = t[1]; } }",
+            vec![ArgValue::Int(8)],
+            0,
+        );
+        assert!(v.parallelizable);
+        assert_eq!(v.arrays["t"], ElpdClass::Privatizable { copy_in: false });
+    }
+}

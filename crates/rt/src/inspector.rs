@@ -1,0 +1,201 @@
+//! The inspector/executor run-time parallelization comparator
+//! (Rauchwerger & Padua's LRPD family; Saltz et al.).
+//!
+//! The paper contrasts its derived scalar tests with this class of
+//! schemes: *"An inspector/executor introduces several auxiliary arrays
+//! per array possibly involved in a dependence, and run-time overhead on
+//! the order of the aggregate size of the arrays."*
+//!
+//! Our simulation is faithful to that cost structure. Before every
+//! invocation of an inspected loop:
+//!
+//! 1. the **inspector** executes the loop on a throwaway copy of the
+//!    machine state with full ELPD shadow instrumentation, classifying
+//!    every touched array;
+//! 2. the **executor** then runs the real loop in parallel if the
+//!    inspection found no loop-carried flow dependence (privatizing the
+//!    arrays the inspection flagged), or sequentially otherwise.
+//!
+//! Simulated time is charged for the inspection run itself plus shadow
+//! initialization proportional to the aggregate size of the inspected
+//! arrays — the overhead the predicated analysis's O(1) scalar tests
+//! avoid. The `comparators` benchmark binary regenerates that
+//! comparison.
+
+use crate::elpd::ElpdState;
+use crate::machine::{ExecError, Frame, Machine};
+use crate::plan::{LoopPlan, ParallelKind};
+use padfa_ir::ast::Loop;
+
+/// Simulated per-element cost of allocating/initializing the auxiliary
+/// shadow arrays (elements per work unit).
+pub const SHADOW_ELEMS_PER_UNIT: u64 = 4;
+
+/// Execute one invocation of `l` under the inspector/executor scheme.
+pub(crate) fn run_inspected_loop(
+    machine: &mut Machine<'_>,
+    frame: &mut Frame,
+    l: &Loop,
+) -> Result<(), ExecError> {
+    machine.stats.inspections += 1;
+
+    // ---- Inspector: ELPD-instrumented dry run on cloned state. ----
+    let mut probe = Machine::new(machine.prog, machine.cfg);
+    probe.arrays = machine.arrays.clone();
+    probe.in_worker = true; // no nested parallelism inside the probe
+    let mut state = ElpdState::new(l.id);
+    // Exclude the loop's own index from scalar tracking.
+    state.exclude_scalars.push(l.var);
+    probe.elpd = Some(state);
+    let mut probe_frame = frame.clone();
+    probe.exec_loop(&mut probe_frame, l)?;
+    let state = probe.elpd.take().expect("probe keeps its state");
+    let (parallelizable, priv_handles) = state.outcome();
+
+    // Charge the inspection: the dry run itself plus shadow array
+    // maintenance proportional to the aggregate size of every array
+    // visible to the loop (the auxiliary arrays of the scheme).
+    let aggregate: u64 = frame
+        .arrays
+        .values()
+        .map(|b| machine.arrays[b.handle].len() as u64)
+        .sum();
+    machine.work += probe.work;
+    machine.sim += probe.sim + aggregate / SHADOW_ELEMS_PER_UNIT;
+
+    // ---- Executor. ----
+    if parallelizable {
+        machine.stats.inspections_parallel += 1;
+        let privatized = frame
+            .arrays
+            .iter()
+            .filter(|(_, b)| priv_handles.contains(&b.handle))
+            .map(|(v, _)| *v)
+            .collect();
+        let plan = LoopPlan {
+            kind: ParallelKind::Always,
+            privatized,
+            reductions: Vec::new(),
+        };
+        let lo = machine.eval(frame, &l.lo)?.as_i64();
+        let hi = machine.eval(frame, &l.hi)?.as_i64();
+        machine.stats.parallel_loops += 1;
+        crate::parallel::run_parallel_loop(machine, frame, l, &plan, lo, hi)
+    } else {
+        // Sequential fallback: run the loop normally. The machine's
+        // inspect list would send us straight back here, so execute the
+        // sequential path through a shielded sub-machine view.
+        let saved_worker = machine.in_worker;
+        machine.in_worker = true; // forces the sequential path
+        let r = machine.exec_loop(frame, l);
+        machine.in_worker = saved_worker;
+        r.map(|_| ())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::machine::{run_main, RunConfig};
+    use crate::value::{ArgValue, ArrayStore};
+    use padfa_ir::parse::parse_program;
+    use padfa_ir::LoopId;
+
+    fn inspected_cfg(workers: usize, loops: Vec<LoopId>) -> RunConfig {
+        RunConfig {
+            inspect: loops,
+            ..RunConfig::parallel(workers, crate::plan::ExecPlan::sequential())
+        }
+    }
+
+    #[test]
+    fn inspector_parallelizes_independent_subscripts() {
+        let src = "proc main(n: int, idx: array[32] of int) { array a[64];
+            for i = 1 to n { a[idx[i]] = a[idx[i]] * 0.5 + 1.0; } }";
+        let prog = parse_program(src).unwrap();
+        let idx = ArrayStore::from_i64((1..=32).collect());
+        let args = vec![ArgValue::Int(32), ArgValue::Array(idx)];
+        let seq = run_main(&prog, args.clone(), &RunConfig::sequential()).unwrap();
+        let cfg = inspected_cfg(4, vec![LoopId(0)]);
+        let out = run_main(&prog, args, &cfg).unwrap();
+        assert_eq!(out.stats.inspections, 1);
+        assert_eq!(out.stats.inspections_parallel, 1);
+        assert_eq!(out.stats.parallel_loops, 1);
+        assert_eq!(seq.max_abs_diff(&out), 0.0);
+    }
+
+    #[test]
+    fn inspector_falls_back_on_collisions() {
+        let src = "proc main(n: int, idx: array[32] of int) { array a[64];
+            for i = 1 to n { a[idx[i]] = a[idx[i]] * 0.5 + 1.0; } }";
+        let prog = parse_program(src).unwrap();
+        let idx = ArrayStore::from_i64(vec![1; 32]);
+        let args = vec![ArgValue::Int(32), ArgValue::Array(idx)];
+        let seq = run_main(&prog, args.clone(), &RunConfig::sequential()).unwrap();
+        let cfg = inspected_cfg(4, vec![LoopId(0)]);
+        let out = run_main(&prog, args, &cfg).unwrap();
+        assert_eq!(out.stats.inspections, 1);
+        assert_eq!(out.stats.inspections_parallel, 0);
+        assert_eq!(out.stats.parallel_loops, 0);
+        assert_eq!(seq.max_abs_diff(&out), 0.0);
+    }
+
+    #[test]
+    fn inspector_privatizes_workspaces() {
+        let src = "proc main(n: int) { array a[64]; array t[4];
+            for i = 1 to n {
+                for j = 1 to 4 { t[j] = i + j; }
+                a[i] = t[1] + t[4];
+            } }";
+        let prog = parse_program(src).unwrap();
+        let args = vec![ArgValue::Int(64)];
+        let seq = run_main(&prog, args.clone(), &RunConfig::sequential()).unwrap();
+        let cfg = inspected_cfg(4, vec![LoopId(0)]);
+        let out = run_main(&prog, args, &cfg).unwrap();
+        assert_eq!(out.stats.inspections_parallel, 1);
+        assert_eq!(seq.max_abs_diff(&out), 0.0);
+    }
+
+    #[test]
+    fn inspection_cost_scales_with_array_size() {
+        // The simulated overhead of the inspector (vs. a compile-time
+        // plan) must grow with the aggregate array size even when the
+        // loop's work per iteration stays fixed.
+        let make = |size: usize| {
+            let src = format!(
+                "proc main(n: int) {{ array big[{size}]; array a[64];
+                    for i = 1 to n {{ a[i] = a[i] + 1.0; }} }}"
+            );
+            parse_program(&src).unwrap()
+        };
+        let overhead = |size: usize| -> i64 {
+            let prog = make(size);
+            let args = vec![ArgValue::Int(64)];
+            let cfg = inspected_cfg(4, vec![LoopId(0)]);
+            let inspected = run_main(&prog, args.clone(), &cfg).unwrap();
+            let seq = run_main(&prog, args, &RunConfig::sequential()).unwrap();
+            inspected.sim_time as i64 - seq.sim_time as i64
+        };
+        let small = overhead(64);
+        let large = overhead(64 * 64);
+        assert!(
+            large > small + ((64 * 64 - 64) / 8),
+            "inspector overhead must scale with array size: {small} vs {large}"
+        );
+    }
+
+    #[test]
+    fn multiple_invocations_reinspect() {
+        let src = "proc main(n: int) { array a[16, 16];
+            for i = 1 to n {
+                for j = 1 to 16 { a[i, j] = i * j; }
+            } }";
+        let prog = parse_program(src).unwrap();
+        let args = vec![ArgValue::Int(8)];
+        // Inspect the inner loop: entered once per outer iteration.
+        let cfg = inspected_cfg(4, vec![LoopId(1)]);
+        let out = run_main(&prog, args.clone(), &cfg).unwrap();
+        assert_eq!(out.stats.inspections, 8);
+        let seq = run_main(&prog, args, &RunConfig::sequential()).unwrap();
+        assert_eq!(seq.max_abs_diff(&out), 0.0);
+    }
+}

@@ -1,0 +1,300 @@
+//! The parallel loop executor.
+//!
+//! Iterations are partitioned into contiguous blocks, one per worker.
+//! Each worker runs on a private copy of the machine's arrays with write
+//! tracking; after the scope joins, copies are merged back **in block
+//! order**:
+//!
+//! * plain arrays: elements the worker wrote overwrite the shared value
+//!   (block-ordered masking reproduces exact sequential last-value
+//!   semantics for independent and privatized loops);
+//! * reduction targets: workers start from the operator identity and
+//!   partial results combine with the operator, again in block order;
+//! * scalars: values written by a worker win over earlier blocks
+//!   (last-value semantics for privatized scalars).
+//!
+//! This scheme doubles as a safety oracle: if the analysis ever declared
+//! a loop parallel unsoundly, the merged state would differ from the
+//! sequential run and the differential tests would catch it.
+
+use crate::machine::{ExecError, Frame, Machine, Tracker};
+use crate::plan::{LoopPlan, PlannedReduction};
+use crate::value::Value;
+use padfa_core::ReduceOp;
+use padfa_ir::ast::Loop;
+use padfa_ir::ScalarTy;
+
+/// Simulated fork/join cost of one parallel region (work units; one
+/// unit = one interpreted statement).
+pub const FORK_JOIN_COST: u64 = 300;
+/// Simulated cost of initializing/merging *privatized* array copies, in
+/// array elements per work unit. Shared arrays are modeled as accessed
+/// in place (as in SUIF's SPMD code); the executor's whole-machine
+/// cloning is only its safety oracle and is not billed.
+pub const PRIV_ELEMS_PER_UNIT: u64 = 16;
+
+/// Identity element for a reduction over the given scalar type.
+fn identity(op: ReduceOp, ty: ScalarTy) -> Value {
+    match (op, ty) {
+        (ReduceOp::Sum, ScalarTy::Int) => Value::Int(0),
+        (ReduceOp::Sum, ScalarTy::Real) => Value::Real(0.0),
+        (ReduceOp::Product, ScalarTy::Int) => Value::Int(1),
+        (ReduceOp::Product, ScalarTy::Real) => Value::Real(1.0),
+        (ReduceOp::Min, ScalarTy::Int) => Value::Int(i64::MAX),
+        (ReduceOp::Min, ScalarTy::Real) => Value::Real(f64::INFINITY),
+        (ReduceOp::Max, ScalarTy::Int) => Value::Int(i64::MIN),
+        (ReduceOp::Max, ScalarTy::Real) => Value::Real(f64::NEG_INFINITY),
+    }
+}
+
+/// Combine two values with a reduction operator.
+fn combine(op: ReduceOp, a: Value, b: Value) -> Value {
+    match (a, b) {
+        (Value::Int(x), Value::Int(y)) => Value::Int(match op {
+            ReduceOp::Sum => x.wrapping_add(y),
+            ReduceOp::Product => x.wrapping_mul(y),
+            ReduceOp::Min => x.min(y),
+            ReduceOp::Max => x.max(y),
+        }),
+        _ => {
+            let (x, y) = (a.as_f64(), b.as_f64());
+            Value::Real(match op {
+                ReduceOp::Sum => x + y,
+                ReduceOp::Product => x * y,
+                ReduceOp::Min => x.min(y),
+                ReduceOp::Max => x.max(y),
+            })
+        }
+    }
+}
+
+struct WorkerOutcome {
+    arrays: Vec<crate::value::ArrayStore>,
+    tracker: Tracker,
+    frame: Frame,
+    stats: crate::machine::ExecStats,
+    work: u64,
+    sim: u64,
+    error: Option<ExecError>,
+}
+
+/// Execute `l` in parallel with the machine's configured worker count.
+pub fn run_parallel_loop(
+    machine: &mut Machine<'_>,
+    frame: &mut Frame,
+    l: &Loop,
+    plan: &LoopPlan,
+    lo: i64,
+    hi: i64,
+) -> Result<(), ExecError> {
+    let trip = ((hi - lo) / l.step + 1).max(0) as usize;
+    let workers = machine.cfg.workers.min(trip).max(1);
+
+    // Resolve reduction targets to handles / scalar vars.
+    let mut red_arrays: Vec<(usize, ReduceOp)> = Vec::new();
+    let mut red_scalars: Vec<(padfa_ir::Var, ReduceOp)> = Vec::new();
+    for PlannedReduction { target, is_array, op } in &plan.reductions {
+        if *is_array {
+            if let Some(h) = frame.array_handle(*target) {
+                red_arrays.push((h, *op));
+            }
+        } else if frame.scalars.contains_key(target) {
+            red_scalars.push((*target, *op));
+        }
+    }
+
+    // Chunked partition: iterations split into chunks of `chunk_size`
+    // consecutive iterations, dealt round-robin. The default (no chunk
+    // size configured) uses one block per worker, i.e. static blocking.
+    let chunk_size = machine
+        .cfg
+        .chunk
+        .unwrap_or_else(|| trip.div_ceil(workers))
+        .max(1);
+    let num_chunks = trip.div_ceil(chunk_size);
+    // chunks[k] = (first iteration value, last iteration value, stamp).
+    let chunks: Vec<(i64, i64, u32)> = (0..num_chunks)
+        .map(|k| {
+            let begin = k * chunk_size;
+            let len = chunk_size.min(trip - begin);
+            let s = lo + (begin as i64) * l.step;
+            let e = lo + ((begin + len) as i64 - 1) * l.step;
+            (s, e, k as u32 + 1)
+        })
+        .collect();
+    // Worker w executes chunks w, w+workers, w+2*workers, ...
+    let assignments: Vec<Vec<(i64, i64, u32)>> = (0..workers)
+        .map(|w| chunks.iter().copied().skip(w).step_by(workers).collect())
+        .collect();
+
+    let prog = machine.prog;
+    let cfg = machine.cfg;
+    let base_arrays = machine.arrays.clone();
+
+    let mut outcomes: Vec<Option<WorkerOutcome>> = Vec::new();
+    for _ in 0..workers {
+        outcomes.push(None);
+    }
+
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (w, my_chunks) in assignments.iter().enumerate() {
+            let mut worker_arrays = base_arrays.clone();
+            // Reduction targets start from the identity.
+            for &(h, op) in &red_arrays {
+                let ty = worker_arrays[h].ty;
+                worker_arrays[h].fill(identity(op, ty));
+            }
+            let mut worker_frame = frame.clone();
+            for &(v, op) in &red_scalars {
+                let ty = if worker_frame.scalars[&v].is_int() {
+                    ScalarTy::Int
+                } else {
+                    ScalarTy::Real
+                };
+                worker_frame.scalars.insert(v, identity(op, ty));
+            }
+            let body = &l.body;
+            let var = l.var;
+            let step = l.step;
+            handles.push(scope.spawn(move |_| {
+                let mut m = Machine::new(prog, cfg);
+                m.arrays = worker_arrays;
+                m.in_worker = true;
+                m.tracker = Some(Tracker::default());
+                let mut err = None;
+                'chunks: for &(s, e, stamp) in my_chunks {
+                    if let Some(t) = &mut m.tracker {
+                        t.stamp = stamp;
+                    }
+                    let mut i = s;
+                    while (step > 0 && i <= e) || (step < 0 && i >= e) {
+                        worker_frame.scalars.insert(var, Value::Int(i));
+                        match m.exec_block(&mut worker_frame, body) {
+                            Ok(_) => {}
+                            Err(e) => {
+                                err = Some(e);
+                                break 'chunks;
+                            }
+                        }
+                        i += step;
+                    }
+                }
+                let _ = w;
+                WorkerOutcome {
+                    arrays: m.arrays,
+                    tracker: m.tracker.take().unwrap_or_default(),
+                    frame: worker_frame,
+                    stats: m.stats,
+                    work: m.work,
+                    sim: m.sim,
+                    error: err,
+                }
+            }));
+        }
+        for (w, h) in handles.into_iter().enumerate() {
+            outcomes[w] = Some(h.join().expect("worker panicked"));
+        }
+    })
+    .expect("crossbeam scope failed");
+
+    // Simulated time: the region costs its critical path (the slowest
+    // worker) plus fork/join and the privatized-copy traffic.
+    let priv_elems: u64 = plan
+        .privatized
+        .iter()
+        .filter_map(|v| frame.array_handle(*v))
+        .map(|h| base_arrays[h].len() as u64)
+        .sum();
+    let clone_cost = priv_elems * workers as u64 / PRIV_ELEMS_PER_UNIT;
+    let max_worker_sim = outcomes
+        .iter()
+        .map(|o| o.as_ref().map(|w| w.sim).unwrap_or(0))
+        .max()
+        .unwrap_or(0);
+    machine.sim += FORK_JOIN_COST + clone_cost + max_worker_sim;
+
+    // Merge by descending write stamp: for every element (and scalar)
+    // the chunk with the highest stamp that wrote it is the sequentially
+    // last writer, so its value is the sequential final value.
+    let mut best_stamp: std::collections::HashMap<usize, Vec<u32>> =
+        std::collections::HashMap::new();
+    let mut best_scalar: std::collections::HashMap<padfa_ir::Var, u32> =
+        std::collections::HashMap::new();
+    for outcome in outcomes.into_iter().map(|o| o.expect("missing worker")) {
+        if let Some(err) = outcome.error {
+            return Err(err);
+        }
+        machine.stats.merge(&outcome.stats);
+        machine.work += outcome.work;
+        for (h, store) in outcome.arrays.into_iter().enumerate() {
+            if let Some(&(_, op)) = red_arrays.iter().find(|&&(rh, _)| rh == h) {
+                // Elementwise combine into the shared array.
+                for off in 0..store.len() {
+                    let merged = combine(op, machine.arrays[h].get(off), store.get(off));
+                    machine.arrays[h].set(off, merged);
+                }
+            } else if let Some(mask) = outcome.tracker.masks.get(&h) {
+                let best = best_stamp.entry(h).or_insert_with(|| vec![0; mask.len()]);
+                if best.len() < mask.len() {
+                    best.resize(mask.len(), 0);
+                }
+                for (off, &stamp) in mask.iter().enumerate() {
+                    if stamp > best[off] {
+                        best[off] = stamp;
+                        machine.arrays[h].set(off, store.get(off));
+                    }
+                }
+            }
+        }
+        for (v, &stamp) in &outcome.tracker.scalar_writes {
+            if *v == l.var {
+                continue;
+            }
+            if let Some(&(_, op)) = red_scalars.iter().find(|&&(rv, _)| rv == *v) {
+                let merged = combine(op, frame.scalars[v], outcome.frame.scalars[v]);
+                frame.scalars.insert(*v, merged);
+            } else if stamp > best_scalar.get(v).copied().unwrap_or(0) {
+                best_scalar.insert(*v, stamp);
+                if let Some(val) = outcome.frame.scalars.get(v) {
+                    frame.scalars.insert(*v, *val);
+                }
+            }
+        }
+    }
+    // Arrays newly allocated inside workers (callee locals) are dropped
+    // with the worker machines; shared handles were merged above.
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identities() {
+        assert_eq!(identity(ReduceOp::Sum, ScalarTy::Real), Value::Real(0.0));
+        assert_eq!(identity(ReduceOp::Product, ScalarTy::Int), Value::Int(1));
+        assert_eq!(
+            identity(ReduceOp::Min, ScalarTy::Real),
+            Value::Real(f64::INFINITY)
+        );
+        assert_eq!(identity(ReduceOp::Max, ScalarTy::Int), Value::Int(i64::MIN));
+    }
+
+    #[test]
+    fn combines() {
+        assert_eq!(
+            combine(ReduceOp::Sum, Value::Int(2), Value::Int(3)),
+            Value::Int(5)
+        );
+        assert_eq!(
+            combine(ReduceOp::Min, Value::Real(2.0), Value::Real(3.0)),
+            Value::Real(2.0)
+        );
+        assert_eq!(
+            combine(ReduceOp::Max, Value::Int(2), Value::Real(3.0)),
+            Value::Real(3.0)
+        );
+    }
+}

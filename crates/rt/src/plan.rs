@@ -1,0 +1,173 @@
+//! Execution plans: turning an [`AnalysisResult`] into the information
+//! the executor needs, selecting one level of parallelism per nest.
+
+use padfa_core::{AnalysisResult, Outcome, ReduceOp};
+use padfa_ir::{BoolExpr, LoopId, Program, Var};
+use std::collections::HashMap;
+
+/// How a planned loop runs.
+#[derive(Clone, Debug)]
+pub enum ParallelKind {
+    /// Unconditionally parallel.
+    Always,
+    /// Two-version loop: parallel when the test evaluates true at entry.
+    If(BoolExpr),
+}
+
+/// Reduction instruction for the executor.
+#[derive(Clone, Debug)]
+pub struct PlannedReduction {
+    pub target: Var,
+    pub is_array: bool,
+    pub op: ReduceOp,
+}
+
+/// Everything the executor needs to run one loop in parallel.
+#[derive(Clone, Debug)]
+pub struct LoopPlan {
+    pub kind: ParallelKind,
+    /// Arrays needing privatization (always handled by the executor's
+    /// private-copy + ordered-merge scheme; listed for reporting).
+    pub privatized: Vec<Var>,
+    pub reductions: Vec<PlannedReduction>,
+}
+
+/// Parallelization plan for a program: at most one parallel loop per
+/// nest (the outermost parallelizable one), mirroring SUIF's
+/// single-level parallelism.
+#[derive(Clone, Debug, Default)]
+pub struct ExecPlan {
+    loops: HashMap<LoopId, LoopPlan>,
+}
+
+impl ExecPlan {
+    /// No parallel loops at all.
+    pub fn sequential() -> ExecPlan {
+        ExecPlan::default()
+    }
+
+    /// Build a plan from analysis results: walk every nest outside-in
+    /// and plan the first parallelizable candidate loop.
+    pub fn from_analysis(prog: &Program, result: &AnalysisResult) -> ExecPlan {
+        let parents = padfa_ir::visit::loop_parents(prog);
+        let mut plan = ExecPlan::default();
+        padfa_ir::visit::for_each_loop(prog, &mut |_, l, _| {
+            // Skip if any ancestor is already planned.
+            let mut anc = parents.get(&l.id).copied().flatten();
+            while let Some(a) = anc {
+                if plan.loops.contains_key(&a) {
+                    return;
+                }
+                anc = parents.get(&a).copied().flatten();
+            }
+            let Some(report) = result.loop_report(l.id) else {
+                return;
+            };
+            if report.not_candidate.is_some() {
+                return;
+            }
+            let kind = match &report.outcome {
+                Outcome::Parallel => ParallelKind::Always,
+                Outcome::ParallelIf(p) => ParallelKind::If(p.to_bool_expr()),
+                Outcome::Sequential => return,
+            };
+            plan.loops.insert(
+                l.id,
+                LoopPlan {
+                    kind,
+                    privatized: report.privatized.iter().map(|p| p.array).collect(),
+                    reductions: report
+                        .reductions
+                        .iter()
+                        .map(|r| PlannedReduction {
+                            target: r.target,
+                            is_array: r.is_array,
+                            op: r.op,
+                        })
+                        .collect(),
+                },
+            );
+        });
+        plan
+    }
+
+    pub fn get(&self, id: LoopId) -> Option<&LoopPlan> {
+        self.loops.get(&id)
+    }
+
+    pub fn len(&self) -> usize {
+        self.loops.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.loops.is_empty()
+    }
+
+    pub fn loop_ids(&self) -> impl Iterator<Item = LoopId> + '_ {
+        self.loops.keys().copied()
+    }
+
+    /// Manually plan a loop (used by tests and ablations).
+    pub fn insert(&mut self, id: LoopId, plan: LoopPlan) {
+        self.loops.insert(id, plan);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use padfa_core::{analyze_program, Options};
+    use padfa_ir::parse::parse_program;
+
+    #[test]
+    fn outermost_parallel_loop_wins() {
+        let src = "proc m(n: int) { array a[64, 64];
+            for i = 1 to n { for j = 1 to n { a[i, j] = 1.0; } } }";
+        let prog = parse_program(src).unwrap();
+        let res = analyze_program(&prog, &Options::predicated());
+        let plan = ExecPlan::from_analysis(&prog, &res);
+        assert_eq!(plan.len(), 1);
+        assert!(plan.get(LoopId(0)).is_some(), "outer loop planned");
+        assert!(plan.get(LoopId(1)).is_none(), "inner loop not planned");
+    }
+
+    #[test]
+    fn inner_parallel_when_outer_sequential() {
+        let src = "proc m(n: int) { array a[64, 64];
+            for i = 2 to n {
+                for j = 1 to n { a[i, j] = a[i - 1, j] + 1.0; }
+            } }";
+        let prog = parse_program(src).unwrap();
+        let res = analyze_program(&prog, &Options::predicated());
+        let plan = ExecPlan::from_analysis(&prog, &res);
+        assert!(plan.get(LoopId(0)).is_none(), "outer carries a dependence");
+        assert!(plan.get(LoopId(1)).is_some(), "inner is parallel");
+    }
+
+    #[test]
+    fn runtime_test_becomes_two_version() {
+        let src = "proc m(c: int, x: int) {
+            array help[101]; array a[100, 2];
+            for i = 1 to c {
+                if (x > 5) { help[i] = a[i, 1]; }
+                a[i, 2] = help[i + 1];
+            } }";
+        let prog = parse_program(src).unwrap();
+        let res = analyze_program(&prog, &Options::predicated());
+        let plan = ExecPlan::from_analysis(&prog, &res);
+        match &plan.get(LoopId(0)).expect("planned").kind {
+            ParallelKind::If(test) => assert!(test.is_scalar_only()),
+            other => panic!("expected two-version plan, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_candidates_never_planned() {
+        let src = "proc m(n: int) { array a[8]; var x: int;
+            for i = 1 to n { read x; a[i] = 1.0; } }";
+        let prog = parse_program(src).unwrap();
+        let res = analyze_program(&prog, &Options::predicated());
+        let plan = ExecPlan::from_analysis(&prog, &res);
+        assert!(plan.is_empty());
+    }
+}

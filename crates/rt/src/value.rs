@@ -1,0 +1,225 @@
+//! Runtime values and array storage.
+
+use padfa_ir::ScalarTy;
+
+/// A scalar runtime value.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum Value {
+    Int(i64),
+    Real(f64),
+}
+
+impl Value {
+    pub fn zero(ty: ScalarTy) -> Value {
+        match ty {
+            ScalarTy::Int => Value::Int(0),
+            ScalarTy::Real => Value::Real(0.0),
+        }
+    }
+
+    pub fn as_f64(self) -> f64 {
+        match self {
+            Value::Int(v) => v as f64,
+            Value::Real(v) => v,
+        }
+    }
+
+    /// Integer view; truncates reals (used only where the language
+    /// requires an integer, e.g. subscripts — the resolver keeps real
+    /// expressions out of those positions).
+    pub fn as_i64(self) -> i64 {
+        match self {
+            Value::Int(v) => v,
+            Value::Real(v) => v as i64,
+        }
+    }
+
+    pub fn is_int(self) -> bool {
+        matches!(self, Value::Int(_))
+    }
+}
+
+/// Dense array storage (row-major, 1-based logical indexing).
+#[derive(Clone, PartialEq, Debug)]
+pub struct ArrayStore {
+    pub dims: Vec<usize>,
+    pub ty: ScalarTy,
+    data: Data,
+}
+
+#[derive(Clone, PartialEq, Debug)]
+enum Data {
+    Int(Vec<i64>),
+    Real(Vec<f64>),
+}
+
+impl ArrayStore {
+    /// Zero-filled array.
+    pub fn zeros(dims: Vec<usize>, ty: ScalarTy) -> ArrayStore {
+        let n: usize = dims.iter().product();
+        ArrayStore {
+            dims,
+            ty,
+            data: match ty {
+                ScalarTy::Int => Data::Int(vec![0; n]),
+                ScalarTy::Real => Data::Real(vec![0.0; n]),
+            },
+        }
+    }
+
+    /// Real array from data (single dimension inferred).
+    pub fn from_f64(data: Vec<f64>) -> ArrayStore {
+        ArrayStore {
+            dims: vec![data.len()],
+            ty: ScalarTy::Real,
+            data: Data::Real(data),
+        }
+    }
+
+    /// Integer array from data.
+    pub fn from_i64(data: Vec<i64>) -> ArrayStore {
+        ArrayStore {
+            dims: vec![data.len()],
+            ty: ScalarTy::Int,
+            data: Data::Int(data),
+        }
+    }
+
+    /// 2-D real array from data in row-major order.
+    pub fn from_f64_2d(rows: usize, cols: usize, data: Vec<f64>) -> ArrayStore {
+        assert_eq!(data.len(), rows * cols);
+        ArrayStore {
+            dims: vec![rows, cols],
+            ty: ScalarTy::Real,
+            data: Data::Real(data),
+        }
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Flat offset of 1-based indices; `None` when out of bounds.
+    pub fn offset(&self, idxs: &[i64]) -> Option<usize> {
+        if idxs.len() != self.dims.len() {
+            return None;
+        }
+        let mut off: usize = 0;
+        for (&i, &d) in idxs.iter().zip(&self.dims) {
+            if i < 1 || i as usize > d {
+                return None;
+            }
+            off = off * d + (i as usize - 1);
+        }
+        Some(off)
+    }
+
+    pub fn get(&self, off: usize) -> Value {
+        match &self.data {
+            Data::Int(v) => Value::Int(v[off]),
+            Data::Real(v) => Value::Real(v[off]),
+        }
+    }
+
+    pub fn set(&mut self, off: usize, val: Value) {
+        match &mut self.data {
+            Data::Int(v) => v[off] = val.as_i64(),
+            Data::Real(v) => v[off] = val.as_f64(),
+        }
+    }
+
+    /// Real view of the whole storage (converting integers).
+    pub fn as_f64(&self) -> Vec<f64> {
+        match &self.data {
+            Data::Int(v) => v.iter().map(|&x| x as f64).collect(),
+            Data::Real(v) => v.clone(),
+        }
+    }
+
+    /// Fill every element with an identity value for a reduction.
+    pub fn fill(&mut self, val: Value) {
+        match &mut self.data {
+            Data::Int(v) => v.fill(val.as_i64()),
+            Data::Real(v) => v.fill(val.as_f64()),
+        }
+    }
+
+    /// Maximum absolute elementwise difference against another store of
+    /// the same shape (test helper).
+    pub fn max_abs_diff(&self, other: &ArrayStore) -> f64 {
+        assert_eq!(self.dims, other.dims);
+        self.as_f64()
+            .iter()
+            .zip(other.as_f64())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+/// An argument to the entry procedure.
+#[derive(Clone, Debug)]
+pub enum ArgValue {
+    Int(i64),
+    Real(f64),
+    Array(ArrayStore),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_conversions() {
+        assert_eq!(Value::Int(3).as_f64(), 3.0);
+        assert_eq!(Value::Real(2.5).as_i64(), 2);
+        assert!(Value::Int(1).is_int());
+        assert!(!Value::Real(1.0).is_int());
+    }
+
+    #[test]
+    fn offsets_row_major_one_based() {
+        let a = ArrayStore::zeros(vec![3, 4], ScalarTy::Real);
+        assert_eq!(a.offset(&[1, 1]), Some(0));
+        assert_eq!(a.offset(&[1, 4]), Some(3));
+        assert_eq!(a.offset(&[2, 1]), Some(4));
+        assert_eq!(a.offset(&[3, 4]), Some(11));
+        assert_eq!(a.offset(&[0, 1]), None);
+        assert_eq!(a.offset(&[3, 5]), None);
+        assert_eq!(a.offset(&[4, 1]), None);
+        assert_eq!(a.offset(&[1]), None);
+    }
+
+    #[test]
+    fn get_set_round_trip() {
+        let mut a = ArrayStore::zeros(vec![2, 2], ScalarTy::Real);
+        let off = a.offset(&[2, 1]).unwrap();
+        a.set(off, Value::Real(7.5));
+        assert_eq!(a.get(off), Value::Real(7.5));
+        let mut b = ArrayStore::zeros(vec![4], ScalarTy::Int);
+        b.set(2, Value::Int(-3));
+        assert_eq!(b.get(2), Value::Int(-3));
+        // Writing a real into an int array truncates.
+        b.set(0, Value::Real(2.9));
+        assert_eq!(b.get(0), Value::Int(2));
+    }
+
+    #[test]
+    fn diff_helper() {
+        let a = ArrayStore::from_f64(vec![1.0, 2.0, 3.0]);
+        let b = ArrayStore::from_f64(vec![1.0, 2.5, 3.0]);
+        assert_eq!(a.max_abs_diff(&b), 0.5);
+        assert_eq!(a.max_abs_diff(&a), 0.0);
+    }
+
+    #[test]
+    fn from_2d_layout() {
+        let a = ArrayStore::from_f64_2d(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        assert_eq!(a.get(a.offset(&[1, 3]).unwrap()), Value::Real(3.0));
+        assert_eq!(a.get(a.offset(&[2, 1]).unwrap()), Value::Real(4.0));
+    }
+}

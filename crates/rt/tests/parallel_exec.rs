@@ -1,0 +1,433 @@
+//! Differential tests: parallel execution must reproduce the sequential
+//! result for every loop the analysis declares parallelizable.
+
+use padfa_core::{analyze_program, Options};
+use padfa_ir::parse::parse_program;
+use padfa_rt::{run_main, ArgValue, ArrayStore, ExecPlan, RunConfig};
+
+fn diff_run(src: &str, args: Vec<ArgValue>, workers: usize) -> (f64, padfa_rt::RunResult) {
+    let prog = parse_program(src).unwrap();
+    let seq = run_main(&prog, args.clone(), &RunConfig::sequential()).unwrap();
+    let result = analyze_program(&prog, &Options::predicated());
+    let plan = ExecPlan::from_analysis(&prog, &result);
+    let par = run_main(&prog, args, &RunConfig::parallel(workers, plan)).unwrap();
+    (seq.max_abs_diff(&par), par)
+}
+
+#[test]
+fn independent_loop_matches_exactly() {
+    let (d, par) = diff_run(
+        "proc main(n: int) { array a[1000];
+         for i = 1 to n { a[i] = i * 2 + 1; } }",
+        vec![ArgValue::Int(1000)],
+        4,
+    );
+    assert_eq!(d, 0.0);
+    assert_eq!(par.stats.parallel_loops, 1);
+}
+
+#[test]
+fn stencil_like_loop_inner_parallel() {
+    let (d, par) = diff_run(
+        "proc main(n: int) { array a[64, 64];
+         for i = 2 to n {
+             for j = 1 to n { a[i, j] = a[i - 1, j] * 0.5 + 1.0; }
+         } }",
+        vec![ArgValue::Int(64)],
+        4,
+    );
+    assert_eq!(d, 0.0, "inner loops parallelized, outer sequential");
+    assert!(par.stats.parallel_loops >= 1);
+}
+
+#[test]
+fn privatized_array_with_copy_out() {
+    let (d, par) = diff_run(
+        "proc main(n: int) { array a[256]; array t[8];
+         for i = 1 to n {
+             for j = 1 to 8 { t[j] = i * 1.0 + j; }
+             a[i] = t[1] * t[8];
+         } }",
+        vec![ArgValue::Int(256)],
+        4,
+    );
+    assert_eq!(d, 0.0, "privatized t must not corrupt results");
+    assert_eq!(par.stats.parallel_loops, 1);
+    // Last-value semantics: t must hold the final iteration's values.
+    let t = par.array("t").unwrap().as_f64();
+    assert_eq!(t[0], 257.0);
+    assert_eq!(t[7], 264.0);
+}
+
+#[test]
+fn privatized_scalar_last_value() {
+    let (d, par) = diff_run(
+        "proc main(n: int) { var t: real; array a[100];
+         for i = 1 to n { t = i * 3.0; a[i] = t; } }",
+        vec![ArgValue::Int(100)],
+        4,
+    );
+    assert_eq!(d, 0.0);
+    assert_eq!(par.scalar("t").unwrap().as_f64(), 300.0);
+}
+
+#[test]
+fn sum_reduction_approximately_equal() {
+    let src = "proc main(n: int, a: array[10000]) { var s: real;
+         for i = 1 to n { s = s + a[i]; } }";
+    let prog = parse_program(src).unwrap();
+    let data: Vec<f64> = (0..10000).map(|i| (i as f64) * 0.001 + 0.5).collect();
+    let args = vec![
+        ArgValue::Int(10000),
+        ArgValue::Array(ArrayStore::from_f64(data)),
+    ];
+    let seq = run_main(&prog, args.clone(), &RunConfig::sequential()).unwrap();
+    let result = analyze_program(&prog, &Options::predicated());
+    let plan = ExecPlan::from_analysis(&prog, &result);
+    let par = run_main(&prog, args, &RunConfig::parallel(8, plan)).unwrap();
+    let s1 = seq.scalar("s").unwrap().as_f64();
+    let s2 = par.scalar("s").unwrap().as_f64();
+    assert!(
+        (s1 - s2).abs() <= 1e-6 * s1.abs().max(1.0),
+        "sequential {s1} vs parallel {s2}"
+    );
+    assert_eq!(par.stats.parallel_loops, 1);
+}
+
+#[test]
+fn min_max_reductions_exact() {
+    let src = "proc main(n: int, a: array[5000]) { var lo: real; var hi: real;
+         lo = a[1]; hi = a[1];
+         for i = 1 to n { lo = min(lo, a[i]); hi = max(hi, a[i]); } }";
+    let prog = parse_program(src).unwrap();
+    let data: Vec<f64> = (0..5000)
+        .map(|i| ((i * 2654435761u64 as usize) % 10007) as f64 - 5000.0)
+        .collect();
+    let args = vec![
+        ArgValue::Int(5000),
+        ArgValue::Array(ArrayStore::from_f64(data)),
+    ];
+    let seq = run_main(&prog, args.clone(), &RunConfig::sequential()).unwrap();
+    let result = analyze_program(&prog, &Options::predicated());
+    let plan = ExecPlan::from_analysis(&prog, &result);
+    let par = run_main(&prog, args, &RunConfig::parallel(8, plan)).unwrap();
+    assert_eq!(
+        seq.scalar("lo").unwrap().as_f64(),
+        par.scalar("lo").unwrap().as_f64()
+    );
+    assert_eq!(
+        seq.scalar("hi").unwrap().as_f64(),
+        par.scalar("hi").unwrap().as_f64()
+    );
+}
+
+#[test]
+fn two_version_loop_takes_parallel_path_when_safe() {
+    // The loop is parallel iff x <= 5 (Figure 1(b) shape).
+    let src = "proc main(c: int, x: int) {
+        array help[101]; array a[100, 2];
+        for i = 1 to c {
+            if (x > 5) { help[i] = a[i, 1] + 1.0; }
+            a[i, 2] = help[i + 1];
+        } }";
+    let prog = parse_program(src).unwrap();
+    let result = analyze_program(&prog, &Options::predicated());
+    let plan = ExecPlan::from_analysis(&prog, &result);
+    assert_eq!(plan.len(), 1, "two-version loop must be planned");
+
+    // Safe input: x = 3 -> test passes, parallel version runs.
+    let safe_args = vec![ArgValue::Int(100), ArgValue::Int(3)];
+    let seq = run_main(&prog, safe_args.clone(), &RunConfig::sequential()).unwrap();
+    let par = run_main(
+        &prog,
+        safe_args,
+        &RunConfig::parallel(4, plan.clone()),
+    )
+    .unwrap();
+    assert_eq!(seq.max_abs_diff(&par), 0.0);
+    assert_eq!(par.stats.tests_passed, 1);
+    assert_eq!(par.stats.parallel_loops, 1);
+
+    // Unsafe input: x = 9 -> test fails, sequential fallback runs, and
+    // the result still matches the sequential oracle.
+    let unsafe_args = vec![ArgValue::Int(100), ArgValue::Int(9)];
+    let seq2 = run_main(&prog, unsafe_args.clone(), &RunConfig::sequential()).unwrap();
+    let par2 = run_main(&prog, unsafe_args, &RunConfig::parallel(4, plan)).unwrap();
+    assert_eq!(seq2.max_abs_diff(&par2), 0.0);
+    assert_eq!(par2.stats.tests_failed, 1);
+    assert_eq!(par2.stats.parallel_loops, 0);
+}
+
+#[test]
+fn interprocedural_parallel_loop() {
+    let (d, par) = diff_run(
+        "proc scale(row: array[128], n: int, f: real) {
+             for j = 1 to n { row[j] = row[j] * f + 1.0; }
+         }
+         proc main(n: int) { array a[128];
+             for i = 1 to n { a[i] = i * 1.0; }
+             call scale(a, n, 0.5);
+         }",
+        vec![ArgValue::Int(128)],
+        4,
+    );
+    assert_eq!(d, 0.0);
+    assert!(par.stats.parallel_loops >= 2);
+}
+
+#[test]
+fn worker_counts_all_agree() {
+    let src = "proc main(n: int) { array a[512]; array t[4];
+         for i = 1 to n {
+             for j = 1 to 4 { t[j] = i + j * 2; }
+             a[i] = t[1] + t[2] + t[3] + t[4];
+         } }";
+    let prog = parse_program(src).unwrap();
+    let seq = run_main(&prog, vec![ArgValue::Int(512)], &RunConfig::sequential()).unwrap();
+    let result = analyze_program(&prog, &Options::predicated());
+    for workers in [2, 3, 4, 7, 8] {
+        let plan = ExecPlan::from_analysis(&prog, &result);
+        let par = run_main(
+            &prog,
+            vec![ArgValue::Int(512)],
+            &RunConfig::parallel(workers, plan),
+        )
+        .unwrap();
+        assert_eq!(seq.max_abs_diff(&par), 0.0, "workers = {workers}");
+    }
+}
+
+#[test]
+fn more_workers_than_iterations() {
+    let (d, _) = diff_run(
+        "proc main(n: int) { array a[3];
+         for i = 1 to n { a[i] = i * 5; } }",
+        vec![ArgValue::Int(3)],
+        8,
+    );
+    assert_eq!(d, 0.0);
+}
+
+#[test]
+fn guarded_writes_in_parallel_loop() {
+    let (d, _) = diff_run(
+        "proc main(n: int, x: int) { array a[200];
+         for i = 1 to n {
+             if (x > 0) { a[i] = i * 2; } else { a[i] = i * 3; }
+         } }",
+        vec![ArgValue::Int(200), ArgValue::Int(1)],
+        4,
+    );
+    assert_eq!(d, 0.0);
+}
+
+#[test]
+fn chunked_scheduling_matches_block_and_sequential() {
+    let src = "proc main(n: int) { array a[331]; array t[4]; var last: real;
+         for i = 1 to n {
+             for j = 1 to 4 { t[j] = i * 2 + j; }
+             a[i] = t[1] * t[4];
+             last = a[i];
+         } }";
+    let prog = parse_program(src).unwrap();
+    let args = vec![ArgValue::Int(331)];
+    let seq = run_main(&prog, args.clone(), &RunConfig::sequential()).unwrap();
+    let result = analyze_program(&prog, &Options::predicated());
+    for chunk in [1usize, 2, 7, 50, 1000] {
+        for workers in [2usize, 3, 8] {
+            let plan = ExecPlan::from_analysis(&prog, &result);
+            let cfg = RunConfig::chunked(workers, plan, chunk);
+            let par = run_main(&prog, args.clone(), &cfg).unwrap();
+            assert_eq!(
+                seq.max_abs_diff(&par),
+                0.0,
+                "chunk={chunk} workers={workers}"
+            );
+            // Last-value semantics for the privatized scalar: written by
+            // the final iteration regardless of which worker ran it.
+            assert_eq!(
+                par.scalar("last").unwrap().as_f64(),
+                seq.scalar("last").unwrap().as_f64(),
+                "chunk={chunk} workers={workers}"
+            );
+        }
+    }
+}
+
+#[test]
+fn chunked_overlapping_privatized_writes() {
+    // Every iteration writes t[1]: with interleaved chunks the final
+    // value must still come from the globally last iteration.
+    let src = "proc main(n: int) { array a[97]; array t[2];
+         for i = 1 to n { t[1] = i * 1.0; a[i] = t[1]; } }";
+    let prog = parse_program(src).unwrap();
+    let args = vec![ArgValue::Int(97)];
+    let seq = run_main(&prog, args.clone(), &RunConfig::sequential()).unwrap();
+    let result = analyze_program(&prog, &Options::predicated());
+    for chunk in [1usize, 3, 10] {
+        let plan = ExecPlan::from_analysis(&prog, &result);
+        let par = run_main(&prog, args.clone(), &RunConfig::chunked(4, plan, chunk)).unwrap();
+        assert_eq!(seq.max_abs_diff(&par), 0.0, "chunk={chunk}");
+        assert_eq!(par.array("t").unwrap().as_f64()[0], 97.0);
+    }
+}
+
+#[test]
+fn chunked_reduction() {
+    let src = "proc main(n: int, d: array[2048]) { var s: real;
+         for i = 1 to n { s = s + d[i]; } }";
+    let prog = parse_program(src).unwrap();
+    let data: Vec<f64> = (0..2048).map(|i| (i % 17) as f64 * 0.25).collect();
+    let args = vec![
+        ArgValue::Int(2048),
+        ArgValue::Array(ArrayStore::from_f64(data)),
+    ];
+    let seq = run_main(&prog, args.clone(), &RunConfig::sequential()).unwrap();
+    let result = analyze_program(&prog, &Options::predicated());
+    let plan = ExecPlan::from_analysis(&prog, &result);
+    let par = run_main(&prog, args, &RunConfig::chunked(4, plan, 16)).unwrap();
+    let (a, b) = (
+        seq.scalar("s").unwrap().as_f64(),
+        par.scalar("s").unwrap().as_f64(),
+    );
+    assert!((a - b).abs() <= 1e-6 * a.abs().max(1.0));
+}
+
+#[test]
+fn downward_loops_execute_correctly() {
+    // Sequential semantics: later-executed (smaller i) writes win.
+    let src = "proc main(n: int) { array a[100]; var last: real;
+         for i = n to 1 step -1 { a[i] = i * 2.0; last = a[i]; }
+         a[1] = a[1] + 0.5; }";
+    let prog = parse_program(src).unwrap();
+    let args = vec![ArgValue::Int(100)];
+    let seq = run_main(&prog, args.clone(), &RunConfig::sequential()).unwrap();
+    assert_eq!(seq.scalar("last").unwrap().as_f64(), 2.0, "last iteration is i = 1");
+    let result = analyze_program(&prog, &Options::predicated());
+    for (workers, chunk) in [(4usize, None), (3, Some(5usize))] {
+        let plan = ExecPlan::from_analysis(&prog, &result);
+        let cfg = match chunk {
+            None => RunConfig::parallel(workers, plan),
+            Some(c) => RunConfig::chunked(workers, plan, c),
+        };
+        let par = run_main(&prog, args.clone(), &cfg).unwrap();
+        assert_eq!(seq.max_abs_diff(&par), 0.0, "workers={workers} chunk={chunk:?}");
+    }
+}
+
+#[test]
+fn downward_strided_loop() {
+    let src = "proc main(n: int) { array a[100];
+         for i = n to 1 step -3 { a[i] = i * 1.5; } }";
+    let prog = parse_program(src).unwrap();
+    let args = vec![ArgValue::Int(100)];
+    let seq = run_main(&prog, args.clone(), &RunConfig::sequential()).unwrap();
+    // Iterations touch 100, 97, ..., 1.
+    let a = seq.array("a").unwrap().as_f64();
+    assert_eq!(a[99], 150.0);
+    assert_eq!(a[96], 97.0 * 1.5);
+    assert_eq!(a[98], 0.0);
+    let result = analyze_program(&prog, &Options::predicated());
+    let plan = ExecPlan::from_analysis(&prog, &result);
+    let par = run_main(&prog, args, &RunConfig::parallel(4, plan)).unwrap();
+    assert_eq!(seq.max_abs_diff(&par), 0.0);
+}
+
+#[test]
+fn worker_errors_propagate() {
+    // An out-of-bounds access inside a parallel worker must surface as
+    // an ExecError, not a panic or silent corruption. The subscript is
+    // non-affine (via an index array), so the analysis cannot prove the
+    // access safe statically — but ELPD-style reasoning is not consulted
+    // for planning here; we force a plan to exercise the error path.
+    let src = "proc main(n: int, idx: array[64] of int) { array a[8];
+         for i = 1 to n { a[idx[i]] = 1.0; } }";
+    let prog = parse_program(src).unwrap();
+    let mut bad = vec![1i64; 64];
+    bad[40] = 9; // out of bounds for a[8]
+    let args = vec![ArgValue::Int(64), ArgValue::Array(ArrayStore::from_i64(bad))];
+    let mut plan = ExecPlan::sequential();
+    plan.insert(
+        padfa_ir::LoopId(0),
+        padfa_rt::LoopPlan {
+            kind: padfa_rt::ParallelKind::Always,
+            privatized: vec![padfa_ir::Var::new("a")],
+            reductions: vec![],
+        },
+    );
+    let err = run_main(&prog, args, &RunConfig::parallel(4, plan)).unwrap_err();
+    assert!(matches!(err, padfa_rt::ExecError::OutOfBounds { .. }), "{err}");
+}
+
+#[test]
+fn simulated_time_model_shape() {
+    // Simulated time must be strictly smaller for more workers on a
+    // coarse-grain loop (until overheads dominate), and equal to
+    // total_work for a sequential run.
+    let src = "proc main(n: int) { array a[2000];
+         for i = 1 to n { a[i] = sqrt(i * 1.0) + sin(i * 0.01); } }";
+    let prog = parse_program(src).unwrap();
+    let args = vec![ArgValue::Int(2000)];
+    let seq = run_main(&prog, args.clone(), &RunConfig::sequential()).unwrap();
+    assert_eq!(seq.sim_time, seq.total_work);
+    let result = analyze_program(&prog, &Options::predicated());
+    let mut last = u64::MAX;
+    for workers in [2usize, 4, 8] {
+        let plan = ExecPlan::from_analysis(&prog, &result);
+        let par = run_main(&prog, args.clone(), &RunConfig::parallel(workers, plan)).unwrap();
+        assert!(par.sim_time < seq.sim_time, "workers={workers}");
+        assert!(par.sim_time < last, "monotone speedup at {workers}");
+        last = par.sim_time;
+    }
+}
+
+#[test]
+fn chunk_larger_than_trip_degenerates_to_one_block() {
+    let src = "proc main(n: int) { array a[10];
+         for i = 1 to n { a[i] = i * 2; } }";
+    let prog = parse_program(src).unwrap();
+    let args = vec![ArgValue::Int(10)];
+    let seq = run_main(&prog, args.clone(), &RunConfig::sequential()).unwrap();
+    let result = analyze_program(&prog, &Options::predicated());
+    let plan = ExecPlan::from_analysis(&prog, &result);
+    let par = run_main(&prog, args, &RunConfig::chunked(4, plan, 1000)).unwrap();
+    assert_eq!(seq.max_abs_diff(&par), 0.0);
+    assert_eq!(par.stats.parallel_loops, 1);
+}
+
+#[test]
+fn elpd_on_downward_loop() {
+    use padfa_rt::elpd::elpd_inspect;
+    let src = "proc main(n: int) { array a[64];
+         for i = n to 2 step -1 { a[i] = a[i - 1] + 1.0; } }";
+    let prog = parse_program(src).unwrap();
+    // Downward a[i] = a[i-1]: iteration i reads a[i-1], which iteration
+    // i-1 (executed LATER) writes — an anti dependence only, so the loop
+    // is dynamically parallelizable with privatization/copy-in.
+    let v = elpd_inspect(&prog, vec![ArgValue::Int(32)], padfa_ir::LoopId(0), &[]).unwrap();
+    assert!(v.parallelizable, "{v:?}");
+
+    // The upward twin has a true flow dependence.
+    let src2 = "proc main(n: int) { array a[64];
+         for i = 2 to n { a[i] = a[i - 1] + 1.0; } }";
+    let prog2 = parse_program(src2).unwrap();
+    let v2 = elpd_inspect(&prog2, vec![ArgValue::Int(32)], padfa_ir::LoopId(0), &[]).unwrap();
+    assert!(!v2.parallelizable);
+}
+
+#[test]
+fn printed_output_preserved_outside_parallel_loops() {
+    let src = "proc main(n: int) { array a[50]; var s: real;
+         for i = 1 to n { a[i] = i * 1.0; }
+         for i = 1 to n { s = s + a[i]; }
+         print s;
+         print n * 2; }";
+    let prog = parse_program(src).unwrap();
+    let args = vec![ArgValue::Int(50)];
+    let result = analyze_program(&prog, &Options::predicated());
+    let plan = ExecPlan::from_analysis(&prog, &result);
+    let par = run_main(&prog, args, &RunConfig::parallel(4, plan)).unwrap();
+    assert_eq!(par.printed.len(), 2);
+    assert_eq!(par.printed[0].as_f64(), 1275.0);
+    assert_eq!(par.printed[1].as_i64(), 100);
+}

@@ -1,0 +1,129 @@
+//! Corpus assembly: benchmark programs with known loop populations.
+
+use crate::patterns::Gen;
+use crate::programs::{SuiteName, PROGRAM_SPECS};
+use padfa_ir::{parse::parse_program, Program};
+use padfa_rt::ArgValue;
+
+/// What a generated loop is expected to be, across analysis variants.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Expect {
+    /// Parallelized by the base SUIF analysis (and everything above it).
+    BaseParallel,
+    /// Compile-time win that needs predicated values; the guarded
+    /// (Gu/Li/Lee) variant also succeeds. Figure 1(a).
+    PredicatedCT,
+    /// Compile-time win that needs predicate embedding; the guarded
+    /// variant fails. Figure 1(c).
+    EmbeddingCT,
+    /// Requires a derived run-time test (guards or extraction).
+    /// Figure 1(b,d).
+    PredicatedRT,
+    /// Inherently parallel on the workload (ELPD says doall) but beyond
+    /// every static variant.
+    ElpdOnly,
+    /// Genuinely sequential (a loop-carried flow dependence exists both
+    /// statically and dynamically).
+    Sequential,
+    /// Not a candidate (read I/O or internal exit).
+    NotCandidate,
+}
+
+impl Expect {
+    /// Should this variant parallelize the loop (possibly with a
+    /// run-time test)?
+    pub fn parallelized_by(self, variant: padfa_core::Variant) -> bool {
+        use padfa_core::Variant::*;
+        match self {
+            Expect::BaseParallel => true,
+            Expect::PredicatedCT => variant != Base,
+            Expect::EmbeddingCT | Expect::PredicatedRT => variant == Predicated,
+            Expect::ElpdOnly | Expect::Sequential | Expect::NotCandidate => false,
+        }
+    }
+
+    /// Should the ELPD inspector report the loop parallelizable on the
+    /// standard workload?
+    pub fn elpd_parallel(self) -> bool {
+        !matches!(self, Expect::Sequential | Expect::NotCandidate)
+    }
+}
+
+/// A labeled pattern loop with its expectation.
+#[derive(Clone, Debug)]
+pub struct HardLoop {
+    pub label: String,
+    pub expect: Expect,
+    /// True when the pattern was wrapped inside a sequential outer loop
+    /// (the win is at an inner nesting level).
+    pub inner: bool,
+}
+
+/// One corpus program, ready for analysis and execution.
+pub struct BenchProgram {
+    pub name: &'static str,
+    pub suite: SuiteName,
+    pub source: String,
+    pub program: Program,
+    /// Arguments for `main(n, x, m, d)` — the standard workload.
+    pub args: Vec<ArgValue>,
+    /// Labeled loops with known expectations (the generator's hard
+    /// patterns; filler loops are unlabeled).
+    pub hard: Vec<HardLoop>,
+}
+
+impl BenchProgram {
+    /// The standard workload: n=6 (reshape sizes), x=3 (guards false at
+    /// run time), m=50 (boundary reads outside every iteration range),
+    /// d=2.
+    pub fn standard_args() -> Vec<ArgValue> {
+        vec![
+            ArgValue::Int(6),
+            ArgValue::Int(3),
+            ArgValue::Int(50),
+            ArgValue::Int(2),
+        ]
+    }
+}
+
+/// Build the full corpus (one program per spec).
+pub fn build_corpus() -> Vec<BenchProgram> {
+    PROGRAM_SPECS
+        .iter()
+        .map(|spec| {
+            let mut gen = Gen::new(spec.name, spec.seed);
+            spec.emit(&mut gen);
+            let hard = std::mem::take(&mut gen.hard);
+            let source = gen.finish();
+            let program = parse_program(&source).unwrap_or_else(|e| {
+                panic!("generated program '{}' failed to parse: {e}\n{source}", spec.name)
+            });
+            BenchProgram {
+                name: spec.name,
+                suite: spec.suite,
+                source,
+                program,
+                args: BenchProgram::standard_args(),
+                hard,
+            }
+        })
+        .collect()
+}
+
+/// Build a single corpus program by name.
+pub fn build_program(name: &str) -> Option<BenchProgram> {
+    let spec = PROGRAM_SPECS.iter().find(|s| s.name == name)?;
+    let mut gen = Gen::new(spec.name, spec.seed);
+    spec.emit(&mut gen);
+    let hard = std::mem::take(&mut gen.hard);
+    let source = gen.finish();
+    let program = parse_program(&source).ok()?;
+    Some(BenchProgram {
+        name: spec.name,
+        suite: spec.suite,
+        source,
+        program,
+        args: BenchProgram::standard_args(),
+        hard,
+    })
+}

@@ -1,0 +1,207 @@
+//! Compute-heavy kernels for the speedup figure.
+//!
+//! The paper reports improved speedups for five programs once the
+//! predicated analysis parallelizes a high-coverage *outer* loop that
+//! base SUIF ran sequentially (exploiting only inner, fine-grain
+//! parallelism). Each kernel here reproduces that structure: an outer
+//! loop with a predicated pattern (safe on the measurement input) whose
+//! body does real floating-point work in an inner loop the base
+//! analysis can parallelize — so both configurations run in parallel,
+//! but at different granularities.
+
+use padfa_ir::{parse::parse_program, Program};
+use padfa_rt::ArgValue;
+
+/// One speedup kernel.
+pub struct KernelSpec {
+    /// The corpus program whose speedup this kernel models.
+    pub name: &'static str,
+    /// Which predicated mechanism gates the outer loop.
+    pub mechanism: &'static str,
+}
+
+/// The five improved programs of the speedup figure.
+pub static KERNELS: &[KernelSpec] = &[
+    KernelSpec { name: "su2cor", mechanism: "guard run-time test" },
+    KernelSpec { name: "hydro2d", mechanism: "guarded privatization (compile time)" },
+    KernelSpec { name: "applu", mechanism: "boundary run-time test" },
+    KernelSpec { name: "turb3d", mechanism: "predicate embedding (compile time)" },
+    KernelSpec { name: "wave5", mechanism: "guard run-time test + privatization" },
+];
+
+/// Build the kernel program for one of the five improved programs.
+///
+/// `rows` scales the outer trip count and `cols` the inner work; the
+/// standard arguments from [`kernel_args`] keep every run-time test on
+/// its parallel path.
+pub fn kernel(name: &str, rows: usize, cols: usize) -> Program {
+    let src = match name {
+        // Outer loop gated by a guard-derived run-time test (fig 1(b)).
+        "su2cor" => format!(
+            "proc main(c: int, x: int) {{
+                array help[{r1}];
+                array a[{r}, {c}];
+                array b[{r}, {c}];
+                for@hot i = 1 to c {{
+                    if (x > 5) {{ help[i] = a[i, 1] + 1.0; }}
+                    for j = 1 to {c} {{
+                        b[i, j] = sqrt(abs(a[i, j]) + 1.0) + sin(a[i, j] * 0.01) + help[i + 1];
+                    }}
+                    a[i, 2] = help[i + 1];
+                }}
+            }}",
+            r = rows,
+            r1 = rows + 1,
+            c = cols
+        ),
+        // Outer loop parallel via guarded privatization (fig 1(a)).
+        "hydro2d" => format!(
+            "proc main(c: int, x: int) {{
+                array help[{c}];
+                array a[{r}, {c}];
+                for@hot i = 1 to c {{
+                    if (x > 5) {{
+                        for j = 1 to {c} {{ help[j] = j * 2.0; }}
+                    }}
+                    for j = 1 to {c} {{
+                        a[i, j] = cos(a[i, j] * 0.02) * 0.5 + exp(a[i, j] * 0.001 - 1.0);
+                    }}
+                    if (x > 5) {{
+                        for j = 1 to {c} {{ a[i, j] = a[i, j] + help[j]; }}
+                    }}
+                }}
+            }}",
+            r = rows,
+            c = cols
+        ),
+        // Outer loop gated by a boundary-condition test (extraction).
+        "applu" => format!(
+            "proc main(c: int, m: int) {{
+                array help[{r2}];
+                array a[{r}, {c}];
+                for@hot i = 1 to c {{
+                    help[i] = a[i, 1] * 2.0;
+                    for j = 1 to {c} {{
+                        a[i, j] = sqrt(a[i, j] * a[i, j] + 2.0) + sin(a[i, j] * 0.03);
+                    }}
+                    a[i, 1] = a[i, 1] + help[m];
+                }}
+            }}",
+            r = rows,
+            r2 = rows.max(64) + 64,
+            c = cols
+        ),
+        // Outer loop parallel via predicate embedding (fig 1(c)): the
+        // index-guarded recurrence distance exceeds the half range.
+        "turb3d" => format!(
+            "proc main(c: int, x: int) {{
+                array e[{r2}];
+                array a[{r}, {c}];
+                for@hot i = 1 to c {{
+                    if (i > {half}) {{ e[i] = e[i - {half}] + 1.0; }}
+                    for j = 1 to {c} {{
+                        a[i, j] = exp(a[i, j] * 0.001) + cos(a[i, j] * 0.04) * 0.25;
+                    }}
+                }}
+            }}",
+            r = rows,
+            r2 = rows + 1,
+            c = cols,
+            half = rows / 2 + 1
+        ),
+        // Guard test plus privatized workspace.
+        "wave5" => format!(
+            "proc main(c: int, x: int) {{
+                array help[{r1}];
+                array w[{c}];
+                array a[{r}, {c}];
+                for@hot i = 1 to c {{
+                    if (x > 5) {{ help[i] = a[i, 1]; }}
+                    for j = 1 to {c} {{ w[j] = a[i, j] * 0.5 + sin(j * 0.1); }}
+                    for j = 1 to {c} {{ a[i, j] = w[j] + sqrt(abs(w[j]) + 0.5); }}
+                    a[i, 2] = a[i, 2] + help[i + 1];
+                }}
+            }}",
+            r = rows,
+            r1 = rows + 1,
+            c = cols
+        ),
+        other => panic!("unknown kernel '{other}'"),
+    };
+    parse_program(&src).unwrap_or_else(|e| panic!("kernel '{name}' failed to parse: {e}\n{src}"))
+}
+
+/// Standard arguments for a kernel: the outer trip count equals `rows`
+/// and every run-time test takes its parallel path (`x = 3`, `m`
+/// outside the iteration range).
+pub fn kernel_args(name: &str, rows: usize) -> Vec<ArgValue> {
+    match name {
+        "applu" => vec![ArgValue::Int(rows as i64), ArgValue::Int(rows as i64 + 50)],
+        _ => vec![ArgValue::Int(rows as i64), ArgValue::Int(3)],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use padfa_core::{analyze_program, Options, Outcome};
+    use padfa_rt::{run_main, ExecPlan, RunConfig};
+
+    #[test]
+    fn all_kernels_parse_and_split_variants() {
+        for spec in KERNELS {
+            let prog = kernel(spec.name, 32, 16);
+            let base = analyze_program(&prog, &Options::base());
+            let pred = analyze_program(&prog, &Options::predicated());
+            let hot_base = &base.by_label("hot").unwrap().outcome;
+            let hot_pred = &pred.by_label("hot").unwrap().outcome;
+            assert!(
+                matches!(hot_base, Outcome::Sequential),
+                "{}: base must not parallelize the hot loop, got {hot_base}",
+                spec.name
+            );
+            assert!(
+                hot_pred.is_parallelizable(),
+                "{}: predicated must parallelize the hot loop, got {hot_pred}",
+                spec.name
+            );
+        }
+    }
+
+    #[test]
+    fn kernels_run_correctly_in_parallel() {
+        for spec in KERNELS {
+            let prog = kernel(spec.name, 16, 8);
+            let args = kernel_args(spec.name, 16);
+            let seq = run_main(&prog, args.clone(), &RunConfig::sequential()).unwrap();
+            for opts in [Options::base(), Options::predicated()] {
+                let res = analyze_program(&prog, &opts);
+                let plan = ExecPlan::from_analysis(&prog, &res);
+                let par = run_main(&prog, args.clone(), &RunConfig::parallel(4, plan)).unwrap();
+                assert!(
+                    seq.max_abs_diff(&par) < 1e-9,
+                    "{} diverged under {:?}",
+                    spec.name,
+                    opts.variant
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn predicated_runs_hot_loop_parallel() {
+        for spec in KERNELS {
+            let prog = kernel(spec.name, 16, 8);
+            let args = kernel_args(spec.name, 16);
+            let res = analyze_program(&prog, &Options::predicated());
+            let plan = ExecPlan::from_analysis(&prog, &res);
+            let par = run_main(&prog, args, &RunConfig::parallel(4, plan)).unwrap();
+            assert!(
+                par.stats.parallel_loops >= 1 && par.stats.tests_failed == 0,
+                "{}: stats {:?}",
+                spec.name,
+                par.stats
+            );
+        }
+    }
+}

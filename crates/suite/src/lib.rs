@@ -1,0 +1,43 @@
+//! # padfa-suite
+//!
+//! The benchmark corpus for the PPoPP'99 evaluation.
+//!
+//! The paper measures three suites — SPECfp95, the NAS sample
+//! benchmarks, and Perfect — plus one additional program: ~30 programs
+//! with more than 4000 loops in total. Those Fortran sources (and their
+//! reference inputs) are not available here, so this crate builds a
+//! **synthetic corpus with the same population structure**: for each
+//! program, a deterministic generator assembles loops drawn from a
+//! pattern library whose members have known analyzability:
+//!
+//! * patterns the base SUIF analysis parallelizes (simple parallel
+//!   loops, nests, scalar/array reductions, clean privatizable
+//!   temporaries) — the ">50% parallelized by base" population;
+//! * genuinely sequential recurrences and non-candidates (read I/O,
+//!   internal exits);
+//! * *inherently parallel but compile-time-invisible* loops
+//!   (subscript-array accesses that never collide on the given input) —
+//!   parallel according to the ELPD run-time test but beyond every
+//!   static variant;
+//! * the paper's predicated patterns (Figure 1(a)–(d), boundary
+//!   conditions, reshape divisibility): loops the predicated analysis
+//!   parallelizes at compile time or under a derived run-time test.
+//!
+//! Per-program pattern counts are calibrated so the corpus reproduces
+//! the paper's aggregate shape (see `EXPERIMENTS.md`); per-program
+//! numbers are reconstructions, not the original per-benchmark counts.
+//!
+//! [`fig1`] contains the four motivating examples as standalone
+//! programs; [`kernels`] holds the compute-heavy kernels used for the
+//! speedup figure.
+
+pub mod apps;
+pub mod corpus;
+pub mod fig1;
+pub mod kernels;
+pub mod patterns;
+pub mod programs;
+pub mod stats;
+
+pub use corpus::{build_corpus, BenchProgram, Expect, HardLoop};
+pub use programs::{SuiteName, PROGRAM_SPECS};

@@ -1,0 +1,404 @@
+//! The loop pattern library: each emitter appends one population unit to
+//! a generated program and records expectations for its labeled loops.
+
+use crate::corpus::{Expect, HardLoop};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Write;
+
+/// Program generator state.
+pub struct Gen {
+    prog: String,
+    body: String,
+    extra_procs: String,
+    pub hard: Vec<HardLoop>,
+    k: usize,
+    rng: StdRng,
+    reshape_callee: bool,
+    /// When `Some(wrap_var)`, the next pattern is wrapped in a
+    /// sequential outer loop and emitted at nesting depth 1.
+    wrap: bool,
+}
+
+impl Gen {
+    pub fn new(prog: &str, seed: u64) -> Gen {
+        Gen {
+            prog: prog.replace('-', "_"),
+            body: String::new(),
+            extra_procs: String::new(),
+            hard: Vec::new(),
+            k: 0,
+            rng: StdRng::seed_from_u64(seed),
+            reshape_callee: false,
+            wrap: false,
+        }
+    }
+
+    /// Assemble the final source text.
+    pub fn finish(self) -> String {
+        format!(
+            "proc main(n: int, x: int, m: int, d: int) {{\n{}}}\n{}",
+            self.body, self.extra_procs
+        )
+    }
+
+    fn next_k(&mut self) -> usize {
+        self.k += 1;
+        self.k
+    }
+
+    fn trip(&mut self) -> usize {
+        self.rng.gen_range(5..=10)
+    }
+
+    fn mark(&mut self, label: &str, expect: Expect) {
+        let inner = self.wrap;
+        self.hard.push(HardLoop {
+            label: label.to_string(),
+            expect,
+            inner,
+        });
+    }
+
+    /// Emit a pattern body, optionally wrapped in a sequential outer
+    /// loop (so the interesting loop sits at depth 1).
+    fn emit(&mut self, decls: String, stmts: String) {
+        self.body.push_str(&decls);
+        if self.wrap {
+            let k = self.next_k();
+            let n = self.trip();
+            let _ = writeln!(self.body, "  array wz{k}[{sz}];", sz = n + 1);
+            let _ = writeln!(self.body, "  for w = 2 to {n} {{");
+            let _ = writeln!(self.body, "    wz{k}[w] = wz{k}[w - 1] + 1.0;");
+            for line in stmts.lines() {
+                let _ = writeln!(self.body, "  {line}");
+            }
+            let _ = writeln!(self.body, "  }}");
+        } else {
+            self.body.push_str(&stmts);
+        }
+    }
+
+    /// Simple independent loop — base-parallel. One in three runs
+    /// downward (negative step), exercising reversed iteration order.
+    pub fn simple(&mut self) {
+        let k = self.next_k();
+        let n = self.trip();
+        let c = self.rng.gen_range(1..5);
+        let decls = format!("  array s{k}[{n}];\n");
+        let stmts = if k.is_multiple_of(3) {
+            format!("  for i = {n} to 1 step -1 {{ s{k}[i] = i * 2.0 + {c}.0; }}\n")
+        } else {
+            format!("  for i = 1 to {n} {{ s{k}[i] = i * 2.0 + {c}.0; }}\n")
+        };
+        self.emit(decls, stmts);
+    }
+
+    /// Two-level independent nest — both loops base-parallel.
+    pub fn nest2(&mut self) {
+        let k = self.next_k();
+        let n = self.trip();
+        let decls = format!("  array t{k}[{n}, {n}];\n");
+        let stmts = format!(
+            "  for i = 1 to {n} {{ for j = 1 to {n} {{ t{k}[i, j] = i + j * 1.5; }} }}\n"
+        );
+        self.emit(decls, stmts);
+    }
+
+    /// Scalar reduction — base-parallel (reduction recognition).
+    /// Rotates through sum, max, min, and product forms.
+    pub fn reduction(&mut self) {
+        let k = self.next_k();
+        let n = self.trip();
+        let decls = format!("  array r{k}[{n}];\n  var rs{k}: real;\n");
+        let update = match k % 4 {
+            0 => format!("rs{k} = max(rs{k}, r{k}[i]);"),
+            1 => format!("rs{k} = min(rs{k}, r{k}[i]);"),
+            2 => format!("rs{k} = rs{k} * (1.0 + r{k}[i] * 0.001);"),
+            _ => format!("rs{k} = rs{k} + r{k}[i];"),
+        };
+        let stmts = format!("  for i = 1 to {n} {{ {update} }}\n");
+        self.emit(decls, stmts);
+    }
+
+    /// Privatizable temporary — base-parallel with privatization.
+    pub fn privtemp(&mut self) {
+        let k = self.next_k();
+        let n = self.trip();
+        let decls = format!("  array p{k}[{n}];\n  array pt{k}[4];\n");
+        let stmts = format!(
+            "  for i = 1 to {n} {{\n    for j = 1 to 4 {{ pt{k}[j] = p{k}[i] + j; }}\n    p{k}[i] = pt{k}[1] * pt{k}[4];\n  }}\n"
+        );
+        self.emit(decls, stmts);
+    }
+
+    /// True recurrence — sequential everywhere. Variants rotate through
+    /// upward, downward, and scalar-carried forms for population
+    /// diversity.
+    pub fn seqrec(&mut self) {
+        let k = self.next_k();
+        let n = self.trip();
+        match k % 3 {
+            0 => {
+                // Downward recurrence.
+                let decls = format!("  array q{k}[{sz}];\n", sz = n + 1);
+                let stmts = format!(
+                    "  for i = {n} to 1 step -1 {{ q{k}[i] = q{k}[i + 1] + 0.5; }}\n"
+                );
+                self.emit(decls, stmts);
+            }
+            1 => {
+                // Scalar-carried recurrence (exposed read of `acc`).
+                let decls = format!("  array q{k}[{n}];\n  var acc{k}: real;\n");
+                let stmts = format!(
+                    "  for i = 1 to {n} {{ q{k}[i] = acc{k}; acc{k} = acc{k} * 0.5 + q{k}[i]; }}\n"
+                );
+                self.emit(decls, stmts);
+            }
+            _ => {
+                let decls = format!("  array q{k}[{n}];\n");
+                let stmts =
+                    format!("  for i = 2 to {n} {{ q{k}[i] = q{k}[i - 1] + 0.5; }}\n");
+                self.emit(decls, stmts);
+            }
+        }
+    }
+
+    /// Read I/O — not a candidate.
+    pub fn ioloop(&mut self) {
+        let k = self.next_k();
+        let n = self.trip();
+        let decls = format!("  array io{k}[{n}];\n  var iv{k}: real;\n");
+        let stmts = format!(
+            "  for i = 1 to {n} {{ read iv{k}; io{k}[i] = iv{k}; }}\n"
+        );
+        self.emit(decls, stmts);
+    }
+
+    /// Internal exit — not a candidate (the exit never fires on the
+    /// standard workload, so execution still covers every iteration).
+    pub fn exitloop(&mut self) {
+        let k = self.next_k();
+        let n = self.trip();
+        let decls = format!("  array ex{k}[{n}];\n");
+        let stmts = format!(
+            "  for i = 1 to {n} {{ ex{k}[i] = i * 1.0; exit when (ex{k}[i] > 1000.0); }}\n"
+        );
+        self.emit(decls, stmts);
+    }
+
+    /// Inherently parallel subscript-array loop: the index array holds
+    /// distinct values, so no dynamic dependence exists, but no static
+    /// variant can know. Two loops: an init loop (base-parallel) and the
+    /// target (ELPD-only).
+    pub fn nonaffine_par(&mut self) {
+        let k = self.next_k();
+        let n = self.trip();
+        let label = format!("np{k}");
+        let decls = format!("  array na{k}[{n}];\n  array nix{k}[{n}] of int;\n");
+        let stmts = format!(
+            "  for i = 1 to {n} {{ nix{k}[i] = i; }}\n  for@{label} i = 1 to {n} {{ na{k}[nix{k}[i]] = na{k}[nix{k}[i]] * 0.5 + 1.0; }}\n"
+        );
+        self.emit(decls, stmts);
+        self.mark(&label, Expect::ElpdOnly);
+    }
+
+    /// Colliding subscript-array loop: genuinely sequential.
+    pub fn nonaffine_seq(&mut self) {
+        let k = self.next_k();
+        let n = self.trip();
+        let label = format!("ns{k}");
+        let decls = format!("  array nb{k}[{n}];\n  array njx{k}[{n}] of int;\n");
+        let stmts = format!(
+            "  for i = 1 to {n} {{ njx{k}[i] = 1; }}\n  for@{label} i = 1 to {n} {{ nb{k}[njx{k}[i]] = nb{k}[njx{k}[i]] * 0.5 + 1.0; }}\n"
+        );
+        self.emit(decls, stmts);
+        self.mark(&label, Expect::Sequential);
+    }
+
+    /// Figure 1(a): write and read of a temporary under the same
+    /// loop-invariant guard. Predicated/guarded analyses prove the read
+    /// covered and privatize; base leaves the loop sequential. Three
+    /// loops: the outer win plus two base-parallel inner loops.
+    pub fn fig1a(&mut self) {
+        let k = self.next_k();
+        let n = self.trip();
+        let nj = self.rng.gen_range(4..=8);
+        let label = format!("f1a{k}");
+        let decls = format!("  array ha{k}[{nj}];\n  array aa{k}[{n}, {nj}];\n");
+        let stmts = format!(
+            "  for@{label} i = 1 to {n} {{\n    if (x > 5) {{ for j = 1 to {nj} {{ ha{k}[j] = j * 2.0; }} }}\n    if (x > 5) {{ for j = 1 to {nj} {{ aa{k}[i, j] = ha{k}[j]; }} }}\n  }}\n"
+        );
+        self.emit(decls, stmts);
+        self.mark(&label, Expect::PredicatedCT);
+    }
+
+    /// Figure 1(b): guarded write of `help[i]`, cross-iteration read of
+    /// `help[i+1]` — parallel exactly when the guard is false, a derived
+    /// run-time test.
+    pub fn guard_rt(&mut self) {
+        let k = self.next_k();
+        let n = self.trip();
+        let label = format!("grt{k}");
+        let decls = format!(
+            "  array hb{k}[{sz}];\n  array ab{k}[{n}, 2];\n",
+            sz = n + 1
+        );
+        let stmts = format!(
+            "  for@{label} i = 1 to {n} {{\n    if (x > 5) {{ hb{k}[i] = ab{k}[i, 1] + 1.0; }}\n    ab{k}[i, 2] = hb{k}[i + 1];\n  }}\n"
+        );
+        self.emit(decls, stmts);
+        self.mark(&label, Expect::PredicatedRT);
+    }
+
+    /// Boundary-condition test: iteration i writes element i and reads
+    /// element m; a dependence exists only when m falls inside the
+    /// iteration range — extraction derives the test on m.
+    pub fn boundary_rt(&mut self) {
+        let k = self.next_k();
+        let n = self.trip();
+        let label = format!("brt{k}");
+        let decls = format!("  array hc{k}[64];\n  array ac{k}[64];\n");
+        let stmts = format!(
+            "  for@{label} i = 1 to {n} {{\n    hc{k}[i] = ac{k}[i] * 2.0;\n    ac{k}[i] = hc{k}[m];\n  }}\n"
+        );
+        self.emit(decls, stmts);
+        self.mark(&label, Expect::PredicatedRT);
+    }
+
+    /// Figure 1(c): a guard over the loop index; embedding the guard
+    /// into the region proves the accesses disjoint at compile time.
+    /// Guarded analysis (no embedding) fails.
+    pub fn embed(&mut self) {
+        let k = self.next_k();
+        let n = 10;
+        let kk = 6; // distance > n/2: guarded ranges cannot collide
+        let label = format!("emb{k}");
+        let decls = format!("  array ae{k}[{n}];\n");
+        let stmts = format!(
+            "  for@{label} i = 1 to {n} {{\n    if (i > {kk}) {{ ae{k}[i] = ae{k}[i - {kk}] + 1.0; }}\n  }}\n"
+        );
+        self.emit(decls, stmts);
+        self.mark(&label, Expect::EmbeddingCT);
+    }
+
+    /// Reshape divisibility: a callee fills its whole (linearized)
+    /// parameter; the caller passes a 2-D array with symbolic extents.
+    /// The extracted `size == r*c` guard makes the must-write cover the
+    /// caller array, enabling privatization under a run-time test.
+    pub fn reshape_rt(&mut self) {
+        let k = self.next_k();
+        let n = self.trip();
+        let label = format!("rsh{k}");
+        if !self.reshape_callee {
+            self.reshape_callee = true;
+            let _ = writeln!(
+                self.extra_procs,
+                "proc zfill_{p}(b: array[mm], mm: int) {{ for q = 1 to mm {{ b[q] = 0.5; }} }}",
+                p = self.prog
+            );
+        }
+        let decls = format!("  array g{k}[n, n];\n  array ag{k}[{n}];\n");
+        let stmts = format!(
+            "  for@{label} i = 1 to {n} {{\n    call zfill_{p}(g{k}, n * n);\n    ag{k}[i] = g{k}[1, 1] + g{k}[n, n];\n  }}\n",
+            p = self.prog
+        );
+        self.emit(decls, stmts);
+        self.mark(&label, Expect::PredicatedRT);
+    }
+
+    /// Complementary-guard pattern: two guarded writes to *different*
+    /// element ranges of the same array, each matched by a read under
+    /// the same guard. Keeping the guarded pieces separate (K >= 2)
+    /// proves the loop independent at compile time; merging them into a
+    /// single piece (K = 1) loses the correlation and leaves the loop
+    /// sequential — the pattern that makes the K ablation meaningful.
+    pub fn multi_guard(&mut self) {
+        let k = self.next_k();
+        let n = self.trip();
+        let label = format!("mg{k}");
+        let decls = format!(
+            "  array hm{k}[{sz}];\n  array am{k}[{n}];\n",
+            sz = n + 1
+        );
+        let stmts = format!(
+            "  for@{label} i = 1 to {n} {{\n    if (x > 5) {{ hm{k}[i] = am{k}[i]; }}\n    if (x <= 5) {{ hm{k}[i + 1] = am{k}[i] * 2.0; }}\n    if (x > 5) {{ am{k}[i] = hm{k}[i]; }}\n    if (x <= 5) {{ am{k}[i] = hm{k}[i + 1]; }}\n  }}\n"
+        );
+        self.emit(decls, stmts);
+        self.mark(&label, Expect::PredicatedCT);
+    }
+
+    /// Run the next pattern wrapped in a sequential outer loop.
+    pub fn wrapped(&mut self, f: impl FnOnce(&mut Gen)) {
+        self.wrap = true;
+        f(self);
+        self.wrap = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use padfa_ir::parse::parse_program;
+
+    fn gen_one(f: impl FnOnce(&mut Gen)) -> (String, Vec<HardLoop>) {
+        let mut g = Gen::new("test", 42);
+        f(&mut g);
+        let hard = g.hard.clone();
+        (g.finish(), hard)
+    }
+
+    #[test]
+    fn every_pattern_parses() {
+        let (src, _) = gen_one(|g| {
+            g.simple();
+            g.nest2();
+            g.reduction();
+            g.privtemp();
+            g.seqrec();
+            g.ioloop();
+            g.exitloop();
+            g.nonaffine_par();
+            g.nonaffine_seq();
+            g.fig1a();
+            g.guard_rt();
+            g.boundary_rt();
+            g.embed();
+            g.reshape_rt();
+        });
+        parse_program(&src).unwrap_or_else(|e| panic!("{e}\n{src}"));
+    }
+
+    #[test]
+    fn wrapped_patterns_parse_and_mark_inner() {
+        let (src, hard) = gen_one(|g| {
+            g.wrapped(|g| g.fig1a());
+            g.wrapped(|g| g.guard_rt());
+        });
+        parse_program(&src).unwrap_or_else(|e| panic!("{e}\n{src}"));
+        assert!(hard.iter().all(|h| h.inner));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let (a, _) = gen_one(|g| {
+            g.simple();
+            g.fig1a();
+        });
+        let (b, _) = gen_one(|g| {
+            g.simple();
+            g.fig1a();
+        });
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn reshape_emits_callee_once() {
+        let (src, _) = gen_one(|g| {
+            g.reshape_rt();
+            g.reshape_rt();
+        });
+        assert_eq!(src.matches("proc zfill_test").count(), 1);
+        parse_program(&src).unwrap();
+    }
+}

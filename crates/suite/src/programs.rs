@@ -1,0 +1,288 @@
+//! The 30-program corpus specification.
+//!
+//! Program names follow the paper's three suites (SPECfp95, NAS sample
+//! benchmarks, Perfect) plus one additional program ("addl" — our copy
+//! of the paper does not preserve its identity). Loop populations are
+//! *synthetic reconstructions*: each spec scales a common filler
+//! template (the population base SUIF handles, plus sequential loops,
+//! non-candidates, and subscript-array loops only ELPD can classify) and
+//! adds the program's predicated win patterns. The nine programs in
+//! which the paper reports additional *outer* parallel loops carry
+//! outer-level win patterns; other programs carry wins wrapped inside
+//! sequential outer loops.
+
+use crate::patterns::Gen;
+
+/// Benchmark suite of a program.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SuiteName {
+    Specfp95,
+    NasSample,
+    Perfect,
+    Additional,
+}
+
+impl SuiteName {
+    pub fn label(self) -> &'static str {
+        match self {
+            SuiteName::Specfp95 => "SPECfp95",
+            SuiteName::NasSample => "NAS",
+            SuiteName::Perfect => "Perfect",
+            SuiteName::Additional => "other",
+        }
+    }
+}
+
+/// Win-pattern counts for one program (outer-level and wrapped/inner).
+#[derive(Clone, Copy, Default, Debug)]
+pub struct Wins {
+    pub fig1a: usize,
+    pub guard_rt: usize,
+    pub boundary_rt: usize,
+    pub embed: usize,
+    pub reshape: usize,
+    pub multi_guard: usize,
+    pub fig1a_in: usize,
+    pub guard_rt_in: usize,
+    pub boundary_rt_in: usize,
+    pub embed_in: usize,
+}
+
+impl Wins {
+    /// All-zero win counts (const-compatible `Default`).
+    pub const NONE: Wins = Wins {
+        fig1a: 0,
+        guard_rt: 0,
+        boundary_rt: 0,
+        embed: 0,
+        reshape: 0,
+        multi_guard: 0,
+        fig1a_in: 0,
+        guard_rt_in: 0,
+        boundary_rt_in: 0,
+        embed_in: 0,
+    };
+
+    pub fn outer(&self) -> usize {
+        self.fig1a + self.guard_rt + self.boundary_rt + self.embed + self.reshape
+            + self.multi_guard
+    }
+
+    pub fn total(&self) -> usize {
+        self.outer() + self.fig1a_in + self.guard_rt_in + self.boundary_rt_in + self.embed_in
+    }
+}
+
+/// One corpus program.
+pub struct ProgramSpec {
+    pub name: &'static str,
+    pub suite: SuiteName,
+    pub seed: u64,
+    /// Filler population size (approximate loop count before wins).
+    pub size: usize,
+    pub wins: Wins,
+}
+
+impl ProgramSpec {
+    /// Emit the program into a generator: scaled filler template plus
+    /// the win patterns.
+    pub fn emit(&self, g: &mut Gen) {
+        // Filler template per 79 loops:
+        //   simple 10, nest2 6 (12 loops), reduction 4, privtemp 5 (10),
+        //   seqrec 21, io 8, exit 4, nonaffine_par 2.5 (5),
+        //   nonaffine_seq 3 (6).
+        let u = self.size as f64 / 79.0;
+        let count = |base: f64| -> usize { (base * u).round().max(1.0) as usize };
+        let simple = count(10.0);
+        let nest2 = count(6.0);
+        let reduction = count(4.0);
+        let privtemp = count(5.0);
+        let seqrec = count(21.0);
+        let ioloop = count(8.0);
+        let exitloop = count(4.0);
+        let nonaffine_par = count(2.5);
+        let nonaffine_seq = count(3.0);
+
+        // Interleave fillers so generated programs aren't blocky.
+        let max = simple
+            .max(nest2)
+            .max(reduction)
+            .max(privtemp)
+            .max(seqrec)
+            .max(ioloop)
+            .max(exitloop)
+            .max(nonaffine_par)
+            .max(nonaffine_seq);
+        for round in 0..max {
+            if round < simple {
+                g.simple();
+            }
+            if round < nest2 {
+                g.nest2();
+            }
+            if round < reduction {
+                g.reduction();
+            }
+            if round < privtemp {
+                g.privtemp();
+            }
+            if round < seqrec {
+                g.seqrec();
+            }
+            if round < ioloop {
+                g.ioloop();
+            }
+            if round < exitloop {
+                g.exitloop();
+            }
+            if round < nonaffine_par {
+                g.nonaffine_par();
+            }
+            if round < nonaffine_seq {
+                g.nonaffine_seq();
+            }
+        }
+
+        let w = self.wins;
+        for _ in 0..w.fig1a {
+            g.fig1a();
+        }
+        for _ in 0..w.guard_rt {
+            g.guard_rt();
+        }
+        for _ in 0..w.boundary_rt {
+            g.boundary_rt();
+        }
+        for _ in 0..w.embed {
+            g.embed();
+        }
+        for _ in 0..w.reshape {
+            g.reshape_rt();
+        }
+        for _ in 0..w.multi_guard {
+            g.multi_guard();
+        }
+        for _ in 0..w.fig1a_in {
+            g.wrapped(|g| g.fig1a());
+        }
+        for _ in 0..w.guard_rt_in {
+            g.wrapped(|g| g.guard_rt());
+        }
+        for _ in 0..w.boundary_rt_in {
+            g.wrapped(|g| g.boundary_rt());
+        }
+        for _ in 0..w.embed_in {
+            g.wrapped(|g| g.embed());
+        }
+    }
+
+    /// Whether the paper-style tables should list this program among the
+    /// nine with additional outer parallel loops.
+    pub fn improved_outer(&self) -> bool {
+        self.wins.outer() > 0
+    }
+}
+
+macro_rules! wins {
+    ($($field:ident : $v:expr),* $(,)?) => {
+        Wins { $($field: $v,)* ..Wins::NONE }
+    };
+}
+
+/// The corpus: 10 SPECfp95 + 8 NAS sample + 11 Perfect + 1 additional.
+///
+/// The nine improved programs (outer wins) are: su2cor, hydro2d, applu,
+/// turb3d, wave5, cgm, adm, dyfesm, qcd — a reconstruction; our copy of
+/// the paper does not preserve the original list.
+pub static PROGRAM_SPECS: &[ProgramSpec] = &[
+    // ---- SPECfp95 ----
+    ProgramSpec { name: "tomcatv", suite: SuiteName::Specfp95, seed: 101, size: 20, wins: wins!() },
+    ProgramSpec { name: "swim", suite: SuiteName::Specfp95, seed: 102, size: 28, wins: wins!() },
+    ProgramSpec { name: "su2cor", suite: SuiteName::Specfp95, seed: 103, size: 150,
+        wins: wins!(fig1a: 3, guard_rt: 3, boundary_rt: 2, reshape: 1, guard_rt_in: 2) },
+    ProgramSpec { name: "hydro2d", suite: SuiteName::Specfp95, seed: 104, size: 180,
+        wins: wins!(fig1a: 4, guard_rt: 3, embed: 2, boundary_rt: 2, multi_guard: 1, fig1a_in: 1) },
+    ProgramSpec { name: "mgrid", suite: SuiteName::Specfp95, seed: 105, size: 56,
+        wins: wins!(guard_rt_in: 1) },
+    ProgramSpec { name: "applu", suite: SuiteName::Specfp95, seed: 106, size: 180,
+        wins: wins!(fig1a: 3, guard_rt: 3, boundary_rt: 2, embed: 1, reshape: 1, boundary_rt_in: 2) },
+    ProgramSpec { name: "turb3d", suite: SuiteName::Specfp95, seed: 107, size: 64,
+        wins: wins!(fig1a: 2, guard_rt: 2, embed: 1) },
+    ProgramSpec { name: "apsi", suite: SuiteName::Specfp95, seed: 108, size: 290,
+        wins: wins!(fig1a_in: 2, boundary_rt_in: 2, guard_rt_in: 1) },
+    ProgramSpec { name: "fpppp", suite: SuiteName::Specfp95, seed: 109, size: 56, wins: wins!() },
+    ProgramSpec { name: "wave5", suite: SuiteName::Specfp95, seed: 110, size: 360,
+        wins: wins!(fig1a: 4, guard_rt: 4, boundary_rt: 3, embed: 2, reshape: 1, multi_guard: 1, guard_rt_in: 2) },
+    // ---- NAS sample benchmarks ----
+    ProgramSpec { name: "appbt", suite: SuiteName::NasSample, seed: 201, size: 220,
+        wins: wins!(guard_rt_in: 2, boundary_rt_in: 2) },
+    ProgramSpec { name: "applu-nas", suite: SuiteName::NasSample, seed: 202, size: 160,
+        wins: wins!(fig1a_in: 2) },
+    ProgramSpec { name: "appsp", suite: SuiteName::NasSample, seed: 203, size: 200,
+        wins: wins!(embed_in: 2) },
+    ProgramSpec { name: "buk", suite: SuiteName::NasSample, seed: 204, size: 18, wins: wins!() },
+    ProgramSpec { name: "cgm", suite: SuiteName::NasSample, seed: 205, size: 26,
+        wins: wins!(guard_rt: 2, boundary_rt: 1) },
+    ProgramSpec { name: "embar", suite: SuiteName::NasSample, seed: 206, size: 10, wins: wins!() },
+    ProgramSpec { name: "fftpde", suite: SuiteName::NasSample, seed: 207, size: 46,
+        wins: wins!(boundary_rt_in: 1) },
+    ProgramSpec { name: "mgrid-nas", suite: SuiteName::NasSample, seed: 208, size: 46, wins: wins!() },
+    // ---- Perfect ----
+    ProgramSpec { name: "adm", suite: SuiteName::Perfect, seed: 301, size: 280,
+        wins: wins!(fig1a: 3, guard_rt: 3, boundary_rt: 2, embed: 1, multi_guard: 1, fig1a_in: 1) },
+    ProgramSpec { name: "arc2d", suite: SuiteName::Perfect, seed: 302, size: 250,
+        wins: wins!(fig1a_in: 2, guard_rt_in: 2) },
+    ProgramSpec { name: "bdna", suite: SuiteName::Perfect, seed: 303, size: 200,
+        wins: wins!(boundary_rt_in: 2) },
+    ProgramSpec { name: "dyfesm", suite: SuiteName::Perfect, seed: 304, size: 230,
+        wins: wins!(fig1a: 3, guard_rt: 2, boundary_rt: 2, reshape: 1, embed_in: 1) },
+    ProgramSpec { name: "flo52", suite: SuiteName::Perfect, seed: 305, size: 160,
+        wins: wins!(embed_in: 2) },
+    ProgramSpec { name: "mdg", suite: SuiteName::Perfect, seed: 306, size: 36, wins: wins!() },
+    ProgramSpec { name: "mg3d", suite: SuiteName::Perfect, seed: 307, size: 260,
+        wins: wins!(guard_rt_in: 2) },
+    ProgramSpec { name: "ocean", suite: SuiteName::Perfect, seed: 308, size: 110,
+        wins: wins!(fig1a_in: 2) },
+    ProgramSpec { name: "qcd", suite: SuiteName::Perfect, seed: 309, size: 130,
+        wins: wins!(guard_rt: 2, boundary_rt: 2, embed: 1) },
+    ProgramSpec { name: "spec77", suite: SuiteName::Perfect, seed: 310, size: 340,
+        wins: wins!(fig1a_in: 2, guard_rt_in: 2, boundary_rt_in: 1) },
+    ProgramSpec { name: "track", suite: SuiteName::Perfect, seed: 311, size: 56,
+        wins: wins!(guard_rt_in: 1) },
+    // ---- the additional program ----
+    ProgramSpec { name: "addl", suite: SuiteName::Additional, seed: 401, size: 36,
+        wins: wins!(guard_rt_in: 1) },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thirty_programs_with_nine_improved() {
+        assert_eq!(PROGRAM_SPECS.len(), 30);
+        let improved: Vec<&str> = PROGRAM_SPECS
+            .iter()
+            .filter(|s| s.improved_outer())
+            .map(|s| s.name)
+            .collect();
+        assert_eq!(improved.len(), 9, "improved: {improved:?}");
+    }
+
+    #[test]
+    fn suites_have_paper_sizes() {
+        let count = |s: SuiteName| PROGRAM_SPECS.iter().filter(|p| p.suite == s).count();
+        assert_eq!(count(SuiteName::Specfp95), 10);
+        assert_eq!(count(SuiteName::NasSample), 8);
+        assert_eq!(count(SuiteName::Perfect), 11);
+        assert_eq!(count(SuiteName::Additional), 1);
+    }
+
+    #[test]
+    fn names_unique() {
+        let mut names: Vec<&str> = PROGRAM_SPECS.iter().map(|s| s.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 30);
+    }
+}

@@ -1,0 +1,263 @@
+//! Table computation over the corpus: the numbers behind Table 1 /
+//! Table 2 of the evaluation.
+
+use crate::corpus::BenchProgram;
+use padfa_core::{analyze_program, AnalysisResult, Options, Outcome, Variant};
+use padfa_ir::LoopId;
+use padfa_rt::elpd::elpd_inspect;
+use padfa_omega::Var;
+
+/// Per-program Table 1 row.
+#[derive(Clone, Debug)]
+pub struct ProgramRow {
+    pub name: &'static str,
+    pub suite: &'static str,
+    pub total_loops: usize,
+    /// Candidate loops (no read I/O, no internal exit).
+    pub candidates: usize,
+    /// Parallelized by each variant (compile time or with a run-time
+    /// test).
+    pub base_par: usize,
+    pub guarded_par: usize,
+    pub pred_par: usize,
+    /// Predicated loops that needed a run-time test.
+    pub pred_rt: usize,
+    /// Candidates left sequential by base.
+    pub remaining: usize,
+    /// Of the remaining, loops the ELPD inspector reports parallelizable
+    /// on the standard workload ("inherently parallel").
+    pub elpd_parallel: usize,
+    /// Of the ELPD-parallel remaining, loops the predicated analysis
+    /// parallelizes.
+    pub recovered: usize,
+    /// Additional outermost loops parallelized by predicated vs base.
+    pub new_outer: usize,
+}
+
+impl ProgramRow {
+    pub fn recovery_pct(&self) -> f64 {
+        if self.elpd_parallel == 0 {
+            0.0
+        } else {
+            100.0 * self.recovered as f64 / self.elpd_parallel as f64
+        }
+    }
+}
+
+fn parallelized_ids(result: &AnalysisResult) -> Vec<LoopId> {
+    result
+        .loops
+        .iter()
+        .filter(|l| l.parallelized())
+        .map(|l| l.id)
+        .collect()
+}
+
+/// Compute one program's row. `run_elpd` controls whether the run-time
+/// inspection is performed (it executes the program once per remaining
+/// loop).
+pub fn program_row(bp: &BenchProgram, run_elpd: bool) -> ProgramRow {
+    let base = analyze_program(&bp.program, &Options::base());
+    let guarded = analyze_program(&bp.program, &Options::guarded());
+    let pred = analyze_program(&bp.program, &Options::predicated());
+
+    let base_ids = parallelized_ids(&base);
+    let pred_ids = parallelized_ids(&pred);
+    let candidates: Vec<LoopId> = base
+        .loops
+        .iter()
+        .filter(|l| l.not_candidate.is_none())
+        .map(|l| l.id)
+        .collect();
+    let remaining: Vec<LoopId> = candidates
+        .iter()
+        .copied()
+        .filter(|id| !base_ids.contains(id))
+        .collect();
+
+    let mut elpd_parallel = 0;
+    let mut recovered = 0;
+    for &id in &remaining {
+        let is_pred_par = pred_ids.contains(&id);
+        if run_elpd {
+            // Exclude compiler-recognized reductions, as the paper's
+            // instrumentation sits on top of the compiler's information.
+            let exclude: Vec<Var> = base
+                .loop_report(id)
+                .map(|r| r.reductions.iter().map(|x| x.target).collect())
+                .unwrap_or_default();
+            match elpd_inspect(&bp.program, bp.args.clone(), id, &exclude) {
+                Ok(v) if v.parallelizable => {
+                    elpd_parallel += 1;
+                    if is_pred_par {
+                        recovered += 1;
+                    }
+                }
+                _ => {}
+            }
+        } else if is_pred_par {
+            // Without ELPD, count recovered loops only.
+            recovered += 1;
+        }
+    }
+
+    let new_outer = pred
+        .loops
+        .iter()
+        .filter(|l| {
+            l.depth == 0
+                && l.parallelized()
+                && !base_ids.contains(&l.id)
+        })
+        .count();
+
+    ProgramRow {
+        name: bp.name,
+        suite: bp.suite.label(),
+        total_loops: base.loops.len(),
+        candidates: candidates.len(),
+        base_par: base_ids.len(),
+        guarded_par: parallelized_ids(&guarded).len(),
+        pred_par: pred_ids.len(),
+        pred_rt: pred.num_runtime_tested(),
+        remaining: remaining.len(),
+        elpd_parallel,
+        recovered,
+        new_outer,
+    }
+}
+
+/// Aggregate totals over rows.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Totals {
+    pub total_loops: usize,
+    pub candidates: usize,
+    pub base_par: usize,
+    pub guarded_par: usize,
+    pub pred_par: usize,
+    pub pred_rt: usize,
+    pub remaining: usize,
+    pub elpd_parallel: usize,
+    pub recovered: usize,
+    pub programs_with_new_outer: usize,
+}
+
+pub fn aggregate(rows: &[ProgramRow]) -> Totals {
+    let mut t = Totals::default();
+    for r in rows {
+        t.total_loops += r.total_loops;
+        t.candidates += r.candidates;
+        t.base_par += r.base_par;
+        t.guarded_par += r.guarded_par;
+        t.pred_par += r.pred_par;
+        t.pred_rt += r.pred_rt;
+        t.remaining += r.remaining;
+        t.elpd_parallel += r.elpd_parallel;
+        t.recovered += r.recovered;
+        if r.new_outer > 0 {
+            t.programs_with_new_outer += 1;
+        }
+    }
+    t
+}
+
+impl Totals {
+    pub fn base_pct(&self) -> f64 {
+        100.0 * self.base_par as f64 / self.total_loops.max(1) as f64
+    }
+
+    pub fn recovery_pct(&self) -> f64 {
+        if self.elpd_parallel == 0 {
+            0.0
+        } else {
+            100.0 * self.recovered as f64 / self.elpd_parallel as f64
+        }
+    }
+}
+
+/// Check the hard-loop expectations of one program against the three
+/// analysis variants (generator integrity; used by tests and the table
+/// harness in `--verify` mode).
+pub fn verify_expectations(bp: &BenchProgram) -> Result<(), String> {
+    let results = [
+        (Variant::Base, analyze_program(&bp.program, &Options::base())),
+        (
+            Variant::Guarded,
+            analyze_program(&bp.program, &Options::guarded()),
+        ),
+        (
+            Variant::Predicated,
+            analyze_program(&bp.program, &Options::predicated()),
+        ),
+    ];
+    let mut errors = Vec::new();
+    for h in &bp.hard {
+        for (variant, result) in &results {
+            let Some(report) = result.by_label(&h.label) else {
+                errors.push(format!("{}: loop {} missing", bp.name, h.label));
+                continue;
+            };
+            let got = report.parallelized();
+            let want = h.expect.parallelized_by(*variant);
+            if got != want {
+                errors.push(format!(
+                    "{}: loop {} ({:?}) under {variant:?}: expected parallelized={want}, got {} ({})",
+                    bp.name, h.label, h.expect, got, report.outcome
+                ));
+            }
+            if matches!(h.expect, crate::corpus::Expect::PredicatedRT)
+                && *variant == Variant::Predicated
+                && !matches!(report.outcome, Outcome::ParallelIf(_))
+            {
+                errors.push(format!(
+                    "{}: loop {} expected a run-time test, got {}",
+                    bp.name, h.label, report.outcome
+                ));
+            }
+        }
+    }
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors.join("\n"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::build_program;
+
+    #[test]
+    fn small_program_row_shape() {
+        let bp = build_program("tomcatv").unwrap();
+        let row = program_row(&bp, true);
+        assert!(row.total_loops >= 15, "tomcatv has {} loops", row.total_loops);
+        assert!(row.base_par > 0);
+        assert!(row.base_par <= row.candidates);
+        assert!(row.remaining + row.base_par == row.candidates);
+        // No win patterns in tomcatv.
+        assert_eq!(row.new_outer, 0);
+        assert!(row.elpd_parallel >= 1, "nonaffine_par loops are ELPD-parallel");
+    }
+
+    #[test]
+    fn improved_program_expectations_hold() {
+        let bp = build_program("cgm").unwrap();
+        verify_expectations(&bp).unwrap();
+        let row = program_row(&bp, true);
+        assert!(row.new_outer >= 2, "cgm has outer wins: {row:?}");
+        assert!(row.pred_par > row.base_par);
+        assert!(row.guarded_par <= row.pred_par);
+        assert!(row.recovered >= 2);
+    }
+
+    #[test]
+    fn wrapped_wins_counted_as_inner() {
+        let bp = build_program("track").unwrap();
+        verify_expectations(&bp).unwrap();
+        let row = program_row(&bp, false);
+        assert_eq!(row.new_outer, 0, "track's wins are inner: {row:?}");
+        assert!(row.pred_par > row.base_par);
+    }
+}

@@ -1,0 +1,54 @@
+//! Array privatization end-to-end: a workspace array carries
+//! cross-iteration write/write conflicts that privatization (with
+//! copy-in and ordered last-value merging) removes. Shows the analysis
+//! decision, the execution plan, and the verified parallel run.
+//!
+//! Run with: `cargo run -p padfa --example privatization_pipeline`
+
+use padfa::prelude::*;
+
+fn main() {
+    let src = "proc main(n: int) {
+        array a[256];
+        array work[16];
+        var t: real;
+        for@pipeline i = 1 to n {
+            // Fill the workspace (kills any exposed reads)...
+            for j = 1 to 16 { work[j] = a[i] * j + 1.0; }
+            // ...use it...
+            t = work[1] + work[16];
+            // ...and write the result.
+            a[i] = t * 0.5;
+        }
+    }";
+    let prog = parse_program(src).unwrap();
+    let result = analyze_program(&prog, &Options::predicated());
+    let report = result.by_label("pipeline").unwrap();
+
+    println!("outcome: {}", report.outcome);
+    for p in &report.privatized {
+        println!(
+            "privatized array: {} (copy-in: {}, copy-out: {})",
+            p.array, p.copy_in, p.copy_out
+        );
+    }
+    for s in &report.privatized_scalars {
+        println!("privatized scalar: {s}");
+    }
+
+    let plan = ExecPlan::from_analysis(&prog, &result);
+    let args = vec![ArgValue::Int(256)];
+    let seq = run_main(&prog, args.clone(), &RunConfig::sequential()).unwrap();
+    let par = run_main(&prog, args, &RunConfig::parallel(8, plan)).unwrap();
+    println!(
+        "\n8-worker run matches sequential oracle: {}",
+        if seq.max_abs_diff(&par) == 0.0 { "yes" } else { "NO" }
+    );
+    // Last-value semantics: `work` and `t` hold the final iteration's
+    // values, exactly as in the sequential run.
+    println!(
+        "last-value check: t = {:?} (sequential {:?})",
+        par.scalar("t").unwrap(),
+        seq.scalar("t").unwrap()
+    );
+}

@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Regenerate every table and figure of the evaluation into results/.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+mkdir -p results
+cargo build --release -p padfa-bench
+./target/release/table1 --verify | tee results/table1.txt
+./target/release/table2        | tee results/table2.txt
+./target/release/speedups      | tee results/speedups.txt
+./target/release/ablation      | tee results/ablation.txt
+./target/release/comparators   | tee results/comparators.txt
+echo "All outputs captured under results/."

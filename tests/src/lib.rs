@@ -1,0 +1,36 @@
+//! Shared helpers for the cross-crate integration tests.
+
+use padfa::prelude::*;
+
+/// Parse, analyze with `opts`, plan, and execute at `workers`, asserting
+/// the parallel result matches the sequential oracle. Returns the
+/// parallel run.
+pub fn assert_parallel_matches(
+    src: &str,
+    args: Vec<ArgValue>,
+    opts: &Options,
+    workers: usize,
+    tolerance: f64,
+) -> padfa::rt::RunResult {
+    let prog = parse_program(src).unwrap_or_else(|e| panic!("parse error: {e}\n{src}"));
+    let seq = run_main(&prog, args.clone(), &RunConfig::sequential()).expect("sequential run");
+    let result = analyze_program(&prog, opts);
+    let plan = ExecPlan::from_analysis(&prog, &result);
+    let par = run_main(&prog, args, &RunConfig::parallel(workers, plan)).expect("parallel run");
+    let diff = seq.max_abs_diff(&par);
+    assert!(
+        diff <= tolerance,
+        "parallel diverged from sequential by {diff} (tolerance {tolerance})\n{src}"
+    );
+    par
+}
+
+/// The outcome of the loop labeled `label` under `opts`.
+pub fn outcome_of(src: &str, label: &str, opts: &Options) -> Outcome {
+    let prog = parse_program(src).unwrap_or_else(|e| panic!("parse error: {e}"));
+    analyze_program(&prog, opts)
+        .by_label(label)
+        .unwrap_or_else(|| panic!("no loop labeled {label}"))
+        .outcome
+        .clone()
+}

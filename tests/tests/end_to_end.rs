@@ -1,0 +1,205 @@
+//! End-to-end pipeline tests: parse → analyze → plan → execute, with
+//! the parallel run checked against the sequential oracle under every
+//! analysis variant.
+
+use padfa::prelude::*;
+use padfa_tests::{assert_parallel_matches, outcome_of};
+
+#[test]
+fn variant_hierarchy_on_figure_1a() {
+    let src = "proc main(c: int, n: int, x: int) {
+        array help[100];
+        array a[100, 100];
+        for@outer i = 1 to c {
+            if (x > 5) { for j = 1 to n { help[j] = j * 2.0; } }
+            if (x > 5) { for j = 1 to n { a[i, j] = help[j]; } }
+        }
+    }";
+    assert!(matches!(
+        outcome_of(src, "outer", &Options::base()),
+        Outcome::Sequential
+    ));
+    assert!(outcome_of(src, "outer", &Options::guarded()).is_parallelizable());
+    assert!(outcome_of(src, "outer", &Options::predicated()).is_parallelizable());
+
+    // Execution is correct under every variant and both guard values.
+    for opts in [Options::base(), Options::guarded(), Options::predicated()] {
+        for x in [3, 9] {
+            assert_parallel_matches(
+                src,
+                vec![ArgValue::Int(60), ArgValue::Int(40), ArgValue::Int(x)],
+                &opts,
+                4,
+                0.0,
+            );
+        }
+    }
+}
+
+#[test]
+fn two_version_pipeline_takes_both_paths() {
+    let src = "proc main(c: int, x: int) {
+        array help[101];
+        array a[100, 2];
+        for@outer i = 1 to c {
+            if (x > 5) { help[i] = a[i, 1] + 1.0; }
+            a[i, 2] = help[i + 1];
+        }
+    }";
+    let parallel_path = assert_parallel_matches(
+        src,
+        vec![ArgValue::Int(80), ArgValue::Int(3)],
+        &Options::predicated(),
+        4,
+        0.0,
+    );
+    assert_eq!(parallel_path.stats.tests_passed, 1);
+    assert_eq!(parallel_path.stats.parallel_loops, 1);
+
+    let sequential_path = assert_parallel_matches(
+        src,
+        vec![ArgValue::Int(80), ArgValue::Int(9)],
+        &Options::predicated(),
+        4,
+        0.0,
+    );
+    assert_eq!(sequential_path.stats.tests_failed, 1);
+    assert_eq!(sequential_path.stats.parallel_loops, 0);
+}
+
+#[test]
+fn interprocedural_reshape_pipeline() {
+    // Reshape with symbolic extents: the divisibility guard holds at run
+    // time, so the two-version loop runs in parallel with privatization.
+    let src = "proc zfill(b: array[mm], mm: int) {
+        for q = 1 to mm { b[q] = 0.5; }
+    }
+    proc main(c: int, n: int) {
+        array g[n, n];
+        array out[64];
+        for@outer i = 1 to c {
+            call zfill(g, n * n);
+            out[i] = g[1, 1] + g[n, n] + i * 0.25;
+        }
+    }";
+    match outcome_of(src, "outer", &Options::predicated()) {
+        Outcome::ParallelIf(t) => assert!(t.is_runtime_testable()),
+        other => panic!("expected two-version loop, got {other}"),
+    }
+    assert!(matches!(
+        outcome_of(src, "outer", &Options::base()),
+        Outcome::Sequential
+    ));
+    let par = assert_parallel_matches(
+        src,
+        vec![ArgValue::Int(48), ArgValue::Int(6)],
+        &Options::predicated(),
+        4,
+        0.0,
+    );
+    assert_eq!(par.stats.tests_passed, 1, "divisibility guard holds");
+}
+
+#[test]
+fn reductions_with_all_operators() {
+    let src = "proc main(n: int, data: array[4096]) {
+        var total: real;
+        var prod: real;
+        var lo: real;
+        var hi: real;
+        prod = 1.0;
+        lo = data[1];
+        hi = data[1];
+        for@red i = 1 to n {
+            total = total + data[i];
+            prod = prod * (1.0 + data[i] * 0.0001);
+            lo = min(lo, data[i]);
+            hi = max(hi, data[i]);
+        }
+    }";
+    assert!(outcome_of(src, "red", &Options::base()).is_parallelizable());
+    let data: Vec<f64> = (0..4096).map(|i| ((i * 37) % 101) as f64 * 0.125).collect();
+    assert_parallel_matches(
+        src,
+        vec![
+            ArgValue::Int(4096),
+            ArgValue::Array(ArrayStore::from_f64(data)),
+        ],
+        &Options::predicated(),
+        8,
+        1e-6,
+    );
+}
+
+#[test]
+fn deep_nest_single_level_parallelism() {
+    let src = "proc main(n: int) {
+        array a[16, 16, 0 + 16];
+        for i = 1 to n {
+            for j = 1 to n {
+                for k = 1 to n {
+                    a[i, j, k] = i * 100 + j * 10 + k;
+                }
+            }
+        }
+    }";
+    let prog = parse_program(src).unwrap();
+    let result = analyze_program(&prog, &Options::predicated());
+    assert!(result.loops.iter().all(|l| l.outcome.is_parallelizable()));
+    let plan = ExecPlan::from_analysis(&prog, &result);
+    assert_eq!(plan.len(), 1, "only the outermost loop is planned");
+    let par = assert_parallel_matches(src, vec![ArgValue::Int(16)], &Options::predicated(), 4, 0.0);
+    assert_eq!(par.stats.parallel_loops, 1);
+}
+
+#[test]
+fn sequential_program_stays_correct_under_plan() {
+    // A genuinely sequential recurrence: the plan must be empty and the
+    // "parallel" run identical.
+    let src = "proc main(n: int) {
+        array a[512];
+        a[1] = 1.0;
+        for@rec i = 2 to n { a[i] = a[i - 1] * 0.999 + 0.5; }
+    }";
+    assert!(matches!(
+        outcome_of(src, "rec", &Options::predicated()),
+        Outcome::Sequential
+    ));
+    let par = assert_parallel_matches(src, vec![ArgValue::Int(512)], &Options::predicated(), 8, 0.0);
+    assert_eq!(par.stats.parallel_loops, 0);
+}
+
+#[test]
+fn mixed_program_full_pipeline() {
+    // Stress the whole pipeline: guarded writes, privatization,
+    // reductions, calls, and a sequential tail in one program.
+    let src = "proc smooth(row: array[64], n: int) {
+        for j = 2 to n { row[j] = row[j] * 0.5 + row[j] * 0.5; }
+    }
+    proc main(n: int, x: int) {
+        array a[64, 64];
+        array tmp[64];
+        array acc[64];
+        var s: real;
+        for@outer i = 1 to n {
+            for j = 1 to 64 { tmp[j] = a[i, j] + j * 0.01; }
+            if (x > 0) {
+                for j = 1 to 64 { a[i, j] = tmp[j] * 2.0; }
+            } else {
+                for j = 1 to 64 { a[i, j] = tmp[j] * 3.0; }
+            }
+            call smooth(acc, 64);
+        }
+        for@sum i = 1 to n { s = s + a[i, 1]; }
+        for@tail i = 2 to n { acc[i] = acc[i - 1] + 1.0; }
+    }";
+    for x in [1, -1] {
+        assert_parallel_matches(
+            src,
+            vec![ArgValue::Int(64), ArgValue::Int(x)],
+            &Options::predicated(),
+            4,
+            1e-9,
+        );
+    }
+}

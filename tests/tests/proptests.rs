@@ -1,0 +1,230 @@
+//! Property-based tests on the core data structures and invariants.
+
+use proptest::prelude::*;
+
+use padfa_omega::{Constraint, Disjunction, LinExpr, Limits, System, Var};
+use padfa_pred::Pred;
+
+fn lim() -> Limits {
+    Limits::default()
+}
+
+/// A random union of up to three integer intervals over one variable.
+fn intervals() -> impl Strategy<Value = Vec<(i64, i64)>> {
+    prop::collection::vec((-20i64..20, 0i64..15).prop_map(|(lo, len)| (lo, lo + len)), 1..3)
+}
+
+fn region_of(ivs: &[(i64, i64)]) -> Disjunction {
+    let d = Var::new("pt");
+    Disjunction::from_systems(ivs.iter().map(|&(lo, hi)| {
+        System::from_constraints([
+            Constraint::geq(LinExpr::var(d), LinExpr::constant(lo)),
+            Constraint::leq(LinExpr::var(d), LinExpr::constant(hi)),
+        ])
+    }))
+}
+
+fn points_of(ivs: &[(i64, i64)]) -> std::collections::BTreeSet<i64> {
+    ivs.iter().flat_map(|&(lo, hi)| lo..=hi).collect()
+}
+
+fn members(d: &Disjunction) -> std::collections::BTreeSet<i64> {
+    (-60..=60)
+        .filter(|&x| d.contains(&|_| Some(x)).unwrap())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn union_is_set_union(a in intervals(), b in intervals()) {
+        let u = region_of(&a).union(&region_of(&b), lim());
+        let expected: std::collections::BTreeSet<i64> =
+            points_of(&a).union(&points_of(&b)).copied().collect();
+        prop_assert_eq!(members(&u), expected);
+    }
+
+    #[test]
+    fn intersect_is_set_intersection(a in intervals(), b in intervals()) {
+        let i = region_of(&a).intersect(&region_of(&b), lim());
+        let expected: std::collections::BTreeSet<i64> =
+            points_of(&a).intersection(&points_of(&b)).copied().collect();
+        prop_assert_eq!(members(&i), expected);
+    }
+
+    #[test]
+    fn subtract_is_set_difference(a in intervals(), b in intervals()) {
+        let s = region_of(&a).subtract(&region_of(&b), lim());
+        if s.is_exact() {
+            let expected: std::collections::BTreeSet<i64> =
+                points_of(&a).difference(&points_of(&b)).copied().collect();
+            prop_assert_eq!(members(&s), expected);
+        } else {
+            // Inexact results must still over-approximate.
+            let expected: std::collections::BTreeSet<i64> =
+                points_of(&a).difference(&points_of(&b)).copied().collect();
+            prop_assert!(expected.is_subset(&members(&s)));
+        }
+    }
+
+    #[test]
+    fn subset_test_is_sound(a in intervals(), b in intervals()) {
+        let ra = region_of(&a);
+        let rb = region_of(&b);
+        if ra.subset_of(&rb, lim()) {
+            prop_assert!(points_of(&a).is_subset(&points_of(&b)));
+        }
+    }
+
+    #[test]
+    fn emptiness_is_sound_and_precise_for_intervals(a in intervals(), b in intervals()) {
+        let i = region_of(&a).intersect(&region_of(&b), lim());
+        let really_empty = points_of(&a).intersection(&points_of(&b)).next().is_none();
+        prop_assert_eq!(i.is_empty(lim()), really_empty);
+    }
+
+    #[test]
+    fn projection_over_approximates(
+        lo in -10i64..10, len in 0i64..10, coef in 1i64..4, shift in -5i64..5
+    ) {
+        // { lo <= q <= lo+len, d == coef*q + shift }: projecting q must
+        // keep every reachable d.
+        let (q, d) = (Var::new("q"), Var::new("d"));
+        let sys = System::from_constraints([
+            Constraint::geq(LinExpr::var(q), LinExpr::constant(lo)),
+            Constraint::leq(LinExpr::var(q), LinExpr::constant(lo + len)),
+            Constraint::eq(LinExpr::var(d), LinExpr::term(q, coef) + LinExpr::constant(shift)),
+        ]);
+        let p = sys.project_out(&[q], lim());
+        for qv in lo..=lo + len {
+            let dv = coef * qv + shift;
+            prop_assert_eq!(
+                p.system.contains(&|v| if v == d { Some(dv) } else { None }),
+                Some(true),
+                "lost point d={} (q={})", dv, qv
+            );
+        }
+    }
+}
+
+/// Random affine predicates over two integer scalars.
+fn pred_strategy() -> impl Strategy<Value = Pred> {
+    let atom = (0..2usize, -5i64..5, prop::sample::select(vec!["<", "<=", ">", ">=", "==", "!="]))
+        .prop_map(|(var, k, op)| {
+            let v = if var == 0 { "px" } else { "py" };
+            Pred::from_bool(
+                &padfa_ir::parse::parse_bool_expr(&format!("{v} {op} {k}")).unwrap(),
+            )
+        });
+    atom.prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Pred::and(a, b)),
+            (inner.clone(), inner).prop_map(|(a, b)| Pred::or(a, b)),
+        ]
+    })
+}
+
+fn eval_pred(p: &Pred, x: i64, y: i64) -> Option<bool> {
+    p.eval(&|atom| {
+        let c = atom.to_constraint()?;
+        c.eval(&|v| {
+            if v == Var::new("px") {
+                Some(x)
+            } else if v == Var::new("py") {
+                Some(y)
+            } else {
+                None
+            }
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn pred_double_negation_preserves_semantics(p in pred_strategy(), x in -8i64..8, y in -8i64..8) {
+        let nn = p.negate().negate();
+        prop_assert_eq!(eval_pred(&p, x, y), eval_pred(&nn, x, y));
+    }
+
+    #[test]
+    fn pred_negation_complements(p in pred_strategy(), x in -8i64..8, y in -8i64..8) {
+        let n = p.negate();
+        let (a, b) = (eval_pred(&p, x, y), eval_pred(&n, x, y));
+        prop_assert_eq!(a.map(|v| !v), b);
+    }
+
+    #[test]
+    fn pred_bool_expr_round_trip(p in pred_strategy(), x in -8i64..8, y in -8i64..8) {
+        let back = Pred::from_bool(&p.to_bool_expr());
+        prop_assert_eq!(eval_pred(&p, x, y), eval_pred(&back, x, y));
+    }
+
+    #[test]
+    fn pred_implication_is_sound(p in pred_strategy(), q in pred_strategy()) {
+        if p.implies(&q, lim()) {
+            for x in -6..=6 {
+                for y in -6..=6 {
+                    if eval_pred(&p, x, y) == Some(true) {
+                        prop_assert_eq!(
+                            eval_pred(&q, x, y), Some(true),
+                            "p={} q={} at ({}, {})", p, q, x, y
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pred_and_or_semantics(p in pred_strategy(), q in pred_strategy(), x in -8i64..8, y in -8i64..8) {
+        let conj = Pred::and(p.clone(), q.clone());
+        let disj = Pred::or(p.clone(), q.clone());
+        let (pv, qv) = (eval_pred(&p, x, y).unwrap(), eval_pred(&q, x, y).unwrap());
+        prop_assert_eq!(eval_pred(&conj, x, y), Some(pv && qv));
+        prop_assert_eq!(eval_pred(&disj, x, y), Some(pv || qv));
+    }
+}
+
+/// Random straight-line loop programs: parallel must equal sequential.
+fn loop_body_strategy() -> impl Strategy<Value = String> {
+    prop::collection::vec(
+        prop_oneof![
+            Just("a[i] = a[i] + 1.5;".to_string()),
+            Just("b[i] = a[i] * 2.0;".to_string()),
+            Just("t = a[i] + b[i]; a[i] = t * 0.5;".to_string()),
+            Just("if (x > 0) { a[i] = b[i] + 1.0; }".to_string()),
+            Just("s = s + a[i];".to_string()),
+            Just("for j = 1 to 4 { w[j] = a[i] + j; } b[i] = w[1] + w[4];".to_string()),
+        ],
+        1..4,
+    )
+    .prop_map(|stmts| stmts.join("\n            "))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn random_loop_programs_execute_identically(body in loop_body_strategy(), x in -3i64..3) {
+        use padfa::prelude::*;
+        let src = format!(
+            "proc main(n: int, x: int) {{
+            array a[64]; array b[64]; array w[4];
+            var t: real; var s: real;
+            for i = 1 to n {{
+            {body}
+            }}
+        }}"
+        );
+        let prog = parse_program(&src).unwrap();
+        let args = vec![ArgValue::Int(64), ArgValue::Int(x)];
+        let seq = run_main(&prog, args.clone(), &RunConfig::sequential()).unwrap();
+        let result = analyze_program(&prog, &Options::predicated());
+        let plan = ExecPlan::from_analysis(&prog, &result);
+        let par = run_main(&prog, args, &RunConfig::parallel(4, plan)).unwrap();
+        prop_assert!(seq.max_abs_diff(&par) <= 1e-9, "diverged on:\n{}", src);
+    }
+}

@@ -1,0 +1,97 @@
+//! Differential soundness fuzz: seeded random programs (adversarial
+//! shapes — non-affine subscripts, guarded writes, nested loops) must
+//! produce identical results under every analysis variant's plan, every
+//! scheduling mode, and the inspector/executor scheme. Any unsound
+//! "parallel" verdict diverges from the sequential oracle here.
+
+use padfa::prelude::*;
+use padfa::ir::testgen::{random_program, GenConfig};
+
+const SEEDS: u64 = 60;
+
+fn workload() -> Vec<ArgValue> {
+    // n below the generator's extent keeps `idx + 1` subscripts legal.
+    vec![ArgValue::Int(12), ArgValue::Int(3)]
+}
+
+#[test]
+fn all_variants_match_sequential_on_random_programs() {
+    let mut planned_parallel = 0u64;
+    for seed in 0..SEEDS {
+        let prog = random_program(seed, GenConfig::default());
+        let seq = run_main(&prog, workload(), &RunConfig::sequential())
+            .unwrap_or_else(|e| panic!("seed {seed}: sequential run failed: {e}\n{prog}"));
+        for opts in [Options::base(), Options::guarded(), Options::predicated()] {
+            let variant = opts.variant;
+            let result = analyze_program(&prog, &opts);
+            let plan = ExecPlan::from_analysis(&prog, &result);
+            planned_parallel += plan.len() as u64;
+            let par = run_main(&prog, workload(), &RunConfig::parallel(4, plan))
+                .unwrap_or_else(|e| panic!("seed {seed} {variant:?}: parallel run failed: {e}"));
+            let d = seq.max_abs_diff(&par);
+            assert!(
+                d <= 1e-9,
+                "seed {seed} under {variant:?} diverged by {d}:\n{prog}"
+            );
+        }
+    }
+    assert!(
+        planned_parallel > SEEDS,
+        "fuzz must actually exercise parallel plans (got {planned_parallel})"
+    );
+}
+
+#[test]
+fn chunked_schedules_match_on_random_programs() {
+    for seed in 0..SEEDS / 2 {
+        let prog = random_program(seed, GenConfig::default());
+        let seq = run_main(&prog, workload(), &RunConfig::sequential()).unwrap();
+        let result = analyze_program(&prog, &Options::predicated());
+        for chunk in [1usize, 3] {
+            let plan = ExecPlan::from_analysis(&prog, &result);
+            let par = run_main(&prog, workload(), &RunConfig::chunked(3, plan, chunk))
+                .unwrap_or_else(|e| panic!("seed {seed} chunk {chunk}: {e}"));
+            let d = seq.max_abs_diff(&par);
+            assert!(d <= 1e-9, "seed {seed} chunk {chunk} diverged by {d}:\n{prog}");
+        }
+    }
+}
+
+#[test]
+fn inspector_matches_on_random_programs() {
+    for seed in 0..SEEDS / 2 {
+        let prog = random_program(seed, GenConfig::default());
+        let seq = run_main(&prog, workload(), &RunConfig::sequential()).unwrap();
+        // Inspect every outermost loop that has no compile-time plan.
+        let result = analyze_program(&prog, &Options::predicated());
+        let plan = ExecPlan::from_analysis(&prog, &result);
+        let parents = padfa::ir::visit::loop_parents(&prog);
+        let mut inspect = Vec::new();
+        padfa::ir::visit::for_each_loop(&prog, &mut |_, l, _| {
+            if parents.get(&l.id).copied().flatten().is_none() && plan.get(l.id).is_none() {
+                inspect.push(l.id);
+            }
+        });
+        let cfg = RunConfig {
+            inspect,
+            ..RunConfig::parallel(4, plan)
+        };
+        let par = run_main(&prog, workload(), &cfg)
+            .unwrap_or_else(|e| panic!("seed {seed}: inspected run failed: {e}"));
+        let d = seq.max_abs_diff(&par);
+        assert!(d <= 1e-9, "seed {seed} inspector diverged by {d}:\n{prog}");
+    }
+}
+
+#[test]
+fn analysis_is_deterministic_on_random_programs() {
+    for seed in 0..SEEDS / 3 {
+        let prog = random_program(seed, GenConfig::default());
+        let a = analyze_program(&prog, &Options::predicated());
+        let b = analyze_program(&prog, &Options::predicated());
+        assert_eq!(a.loops.len(), b.loops.len());
+        for (x, y) in a.loops.iter().zip(&b.loops) {
+            assert_eq!(x, y, "seed {seed}: non-deterministic report");
+        }
+    }
+}
