@@ -3,7 +3,8 @@
 //! tests). The loop-count effect of the same toggles is reported by the
 //! `ablation` binary.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use padfa_bench::harness::{BenchmarkId, Criterion};
+use padfa_bench::{criterion_group, criterion_main};
 use padfa_core::{analyze_program, Options};
 
 fn bench_k(c: &mut Criterion) {

@@ -2,7 +2,8 @@
 //! how much slower is predicated analysis than the unpredicated
 //! baseline, per corpus program?
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use padfa_bench::harness::{BenchmarkId, Criterion};
+use padfa_bench::{criterion_group, criterion_main};
 use padfa_core::{analyze_program, Options};
 
 fn bench_variants(c: &mut Criterion) {

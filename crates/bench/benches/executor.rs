@@ -1,7 +1,8 @@
 //! Executor benchmarks: interpreter throughput, parallel-for overhead,
 //! two-version test cost, and the ELPD instrumentation overhead.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use padfa_bench::harness::{BenchmarkId, Criterion};
+use padfa_bench::{criterion_group, criterion_main};
 use padfa_core::{analyze_program, Options};
 use padfa_ir::LoopId;
 use padfa_rt::elpd::elpd_inspect;

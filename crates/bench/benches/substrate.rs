@@ -1,7 +1,8 @@
 //! Substrate micro-benchmarks: the hot operations of the linear engine
 //! and the predicate domain.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use padfa_bench::harness::Criterion;
+use padfa_bench::{criterion_group, criterion_main};
 use padfa_omega::{Constraint, Disjunction, LinExpr, Limits, System, Var};
 use padfa_pred::Pred;
 

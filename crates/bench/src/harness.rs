@@ -1,0 +1,208 @@
+//! Minimal, dependency-free benchmark harness exposing the subset of the
+//! Criterion API the bench targets use (`Criterion`, `BenchmarkGroup`,
+//! `BenchmarkId`, `Bencher`, plus the `criterion_group!` /
+//! `criterion_main!` macros exported from the crate root).
+//!
+//! The build environment cannot fetch criterion from a registry, and
+//! these benches only need honest wall-clock medians, not statistical
+//! regression analysis. Each benchmark is calibrated to a fixed time
+//! budget, sampled repeatedly, and reported as `median ns/iter`.
+
+use std::time::{Duration, Instant};
+
+/// Per-sample time budget; total time per bench is roughly
+/// `sample_size * TARGET_SAMPLE_TIME` capped by `MAX_BENCH_TIME`.
+const TARGET_SAMPLE_TIME: Duration = Duration::from_millis(20);
+const MAX_BENCH_TIME: Duration = Duration::from_secs(3);
+
+/// Top-level driver, one per bench binary.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_bench(name, self.sample_size, f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+            _criterion: self,
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_bench(&format!("{}/{}", self.name, id.id), self.sample_size, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let name = format!("{}/{}", self.name, id.id);
+        run_bench(&name, self.sample_size, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Benchmark identifier: a function name, a parameter, or both.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+/// Timing loop handed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_once(iters: u64, f: &mut impl FnMut(&mut Bencher)) -> Duration {
+    let mut b = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    b.elapsed
+}
+
+fn run_bench(name: &str, sample_size: usize, mut f: impl FnMut(&mut Bencher)) {
+    // Calibrate: how many iterations fit the per-sample budget?
+    let warmup = run_once(1, &mut f);
+    let iters = if warmup >= TARGET_SAMPLE_TIME {
+        1
+    } else {
+        let per_iter = warmup.as_nanos().max(1);
+        (TARGET_SAMPLE_TIME.as_nanos() / per_iter).clamp(1, 1_000_000) as u64
+    };
+    let deadline = Instant::now() + MAX_BENCH_TIME;
+    let mut samples: Vec<f64> = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        let elapsed = run_once(iters, &mut f);
+        samples.push(elapsed.as_nanos() as f64 / iters as f64);
+        if Instant::now() > deadline {
+            break;
+        }
+    }
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let median = samples[samples.len() / 2];
+    let (lo, hi) = (samples[0], samples[samples.len() - 1]);
+    println!(
+        "{name:<40} {median:>12.1} ns/iter  (min {lo:.1}, max {hi:.1}, {} samples x {iters} iters)",
+        samples.len()
+    );
+}
+
+/// Expands to a function running each registered benchmark target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::harness::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Expands to `fn main` invoking every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("t");
+        group.sample_size(3);
+        group.bench_function("sum", |b| {
+            b.iter(|| (0..100u64).sum::<u64>());
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(4usize), &4usize, |b, &n| {
+            b.iter(|| (0..n).product::<usize>());
+        });
+        group.finish();
+        c.bench_function("top", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 8).id, "f/8");
+        assert_eq!(BenchmarkId::from_parameter("x").id, "x");
+        assert_eq!(BenchmarkId::from("plain").id, "plain");
+    }
+}

@@ -1,7 +1,8 @@
 //! # padfa-bench
 //!
 //! Regenerators for every table and figure of the PPoPP'99 evaluation,
-//! plus Criterion micro-benchmarks of the substrate.
+//! plus micro-benchmarks of the substrate (driven by the dependency-free
+//! harness in [`harness`]).
 //!
 //! Binaries (see `EXPERIMENTS.md` for the mapping to paper artifacts):
 //!
@@ -12,6 +13,8 @@
 //! * `speedups` — the speedup figure for the five improved programs;
 //! * `ablation` — design-choice ablations (K, embedding, extraction,
 //!   run-time tests).
+
+pub mod harness;
 
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};

@@ -1,183 +1,181 @@
-//! Property test: any well-formed AST pretty-prints to text that parses
-//! back to the identical AST (the printer and parser are exact inverses
-//! on the IR's range).
+//! Randomized test: any well-formed AST pretty-prints to text that
+//! parses back to the identical AST (the printer and parser are exact
+//! inverses on the IR's range). Programs are generated from fixed seeds
+//! so every run checks the same ASTs.
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use padfa_ir::ast::*;
 use padfa_ir::build;
 use padfa_ir::{parse::parse_program, pretty};
 
-/// Random integer-valued expressions over `n`, `x`, `i` and `k1[...]`.
-fn int_expr(depth: u32) -> BoxedStrategy<Expr> {
-    let leaf = prop_oneof![
-        (-20i64..=20).prop_map(Expr::int),
-        prop::sample::select(vec!["n", "x", "i"]).prop_map(Expr::scalar),
-    ];
-    leaf.prop_recursive(depth, 16, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::Add(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::Sub(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::Mul(Box::new(a), Box::new(b))),
-            inner.clone().prop_map(|a| Expr::Neg(Box::new(a))),
-            inner
-                .clone()
-                .prop_map(|a| Expr::elem("k1", vec![Expr::Mod(
-                    Box::new(Expr::Call(Intrinsic::Abs, vec![a])),
-                    Box::new(Expr::int(8)),
-                )
-                .into_add_one()])),
-        ]
-    })
-    .boxed()
+fn add_one(e: Expr) -> Expr {
+    Expr::Add(Box::new(e), Box::new(Expr::int(1)))
 }
 
-trait AddOne {
-    fn into_add_one(self) -> Expr;
+/// `abs(e) % m + 1`: the in-bounds index shape shared by the generators.
+fn clamped_index(e: Expr, m: i64) -> Expr {
+    add_one(Expr::Mod(
+        Box::new(Expr::Call(Intrinsic::Abs, vec![e])),
+        Box::new(Expr::int(m)),
+    ))
 }
-impl AddOne for Expr {
-    fn into_add_one(self) -> Expr {
-        Expr::Add(Box::new(self), Box::new(Expr::int(1)))
+
+/// Random integer-valued expressions over `n`, `x`, `i` and `k1[...]`.
+fn int_expr(rng: &mut StdRng, depth: u32) -> Expr {
+    if depth > 0 && rng.gen_bool(0.6) {
+        return match rng.gen_range(0u32..5) {
+            0 => Expr::Add(
+                Box::new(int_expr(rng, depth - 1)),
+                Box::new(int_expr(rng, depth - 1)),
+            ),
+            1 => Expr::Sub(
+                Box::new(int_expr(rng, depth - 1)),
+                Box::new(int_expr(rng, depth - 1)),
+            ),
+            2 => Expr::Mul(
+                Box::new(int_expr(rng, depth - 1)),
+                Box::new(int_expr(rng, depth - 1)),
+            ),
+            3 => Expr::Neg(Box::new(int_expr(rng, depth - 1))),
+            _ => Expr::elem("k1", vec![clamped_index(int_expr(rng, depth - 1), 8)]),
+        };
+    }
+    if rng.gen_bool(0.5) {
+        Expr::int(rng.gen_range(-20i64..=20))
+    } else {
+        Expr::scalar(["n", "x", "i"][rng.gen_range(0usize..3)])
     }
 }
 
 /// Random real-valued expressions.
-fn real_expr(depth: u32) -> BoxedStrategy<Expr> {
-    let leaf = prop_oneof![
-        (-100i64..=100).prop_map(|v| Expr::real(v as f64 * 0.25)),
-        Just(Expr::scalar("r")),
-        int_expr(1).prop_map(|e| Expr::elem(
-            "a1",
-            vec![Expr::Add(
-                Box::new(Expr::Mod(
-                    Box::new(Expr::Call(Intrinsic::Abs, vec![e])),
-                    Box::new(Expr::int(16)),
-                )),
-                Box::new(Expr::int(1)),
-            )]
-        )),
-    ];
-    leaf.prop_recursive(depth, 12, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::Add(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::Mul(Box::new(a), Box::new(b))),
-            inner.clone().prop_map(|a| Expr::Call(Intrinsic::Sqrt, vec![
-                Expr::Call(Intrinsic::Abs, vec![a])
-            ])),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Call(
+fn real_expr(rng: &mut StdRng, depth: u32) -> Expr {
+    if depth > 0 && rng.gen_bool(0.6) {
+        return match rng.gen_range(0u32..4) {
+            0 => Expr::Add(
+                Box::new(real_expr(rng, depth - 1)),
+                Box::new(real_expr(rng, depth - 1)),
+            ),
+            1 => Expr::Mul(
+                Box::new(real_expr(rng, depth - 1)),
+                Box::new(real_expr(rng, depth - 1)),
+            ),
+            2 => Expr::Call(
+                Intrinsic::Sqrt,
+                vec![Expr::Call(Intrinsic::Abs, vec![real_expr(rng, depth - 1)])],
+            ),
+            _ => Expr::Call(
                 Intrinsic::Max,
-                vec![a, b]
-            )),
-        ]
-    })
-    .boxed()
+                vec![real_expr(rng, depth - 1), real_expr(rng, depth - 1)],
+            ),
+        };
+    }
+    match rng.gen_range(0u32..3) {
+        0 => Expr::real(rng.gen_range(-100i64..=100) as f64 * 0.25),
+        1 => Expr::scalar("r"),
+        _ => Expr::elem("a1", vec![clamped_index(int_expr(rng, 1), 16)]),
+    }
 }
 
 /// Random boolean conditions.
-fn bool_expr() -> BoxedStrategy<BoolExpr> {
-    let cmp = (
-        prop::sample::select(vec![
-            CmpOp::Eq,
-            CmpOp::Ne,
-            CmpOp::Lt,
-            CmpOp::Le,
-            CmpOp::Gt,
-            CmpOp::Ge,
-        ]),
-        int_expr(1),
-        int_expr(1),
-    )
-        .prop_map(|(op, a, b)| BoolExpr::Cmp(op, a, b));
-    cmp.prop_recursive(2, 8, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| BoolExpr::and(a, b)),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| BoolExpr::or(a, b)),
-            inner.clone().prop_map(BoolExpr::not),
-        ]
-    })
-    .boxed()
+fn bool_expr(rng: &mut StdRng, depth: u32) -> BoolExpr {
+    if depth > 0 && rng.gen_bool(0.5) {
+        return match rng.gen_range(0u32..3) {
+            0 => BoolExpr::and(bool_expr(rng, depth - 1), bool_expr(rng, depth - 1)),
+            1 => BoolExpr::or(bool_expr(rng, depth - 1), bool_expr(rng, depth - 1)),
+            _ => BoolExpr::not(bool_expr(rng, depth - 1)),
+        };
+    }
+    let op = [
+        CmpOp::Eq,
+        CmpOp::Ne,
+        CmpOp::Lt,
+        CmpOp::Le,
+        CmpOp::Gt,
+        CmpOp::Ge,
+    ][rng.gen_range(0usize..6)];
+    BoolExpr::Cmp(op, int_expr(rng, 1), int_expr(rng, 1))
 }
 
 /// Random statements (loop bodies reference the index `i`).
-fn stmt(depth: u32) -> BoxedStrategy<Stmt> {
-    let assign = prop_oneof![
-        real_expr(2).prop_map(|e| build::assign("r", e)),
-        int_expr(2).prop_map(|e| build::assign("x", e)),
-        (int_expr(1), real_expr(1)).prop_map(|(i, e)| build::store(
-            "a1",
-            vec![Expr::Add(
-                Box::new(Expr::Mod(
-                    Box::new(Expr::Call(Intrinsic::Abs, vec![i])),
-                    Box::new(Expr::int(16)),
-                )),
-                Box::new(Expr::int(1)),
-            )],
-            e
-        )),
-    ];
-    assign
-        .prop_recursive(depth, 10, 3, |inner| {
-            prop_oneof![
-                (bool_expr(), prop::collection::vec(inner.clone(), 1..3))
-                    .prop_map(|(c, body)| build::if_then(c, body)),
-                (
-                    bool_expr(),
-                    prop::collection::vec(inner.clone(), 1..2),
-                    prop::collection::vec(inner.clone(), 1..2)
-                )
-                    .prop_map(|(c, t, e)| build::if_else(c, t, e)),
-                (1i64..=8, prop::collection::vec(inner.clone(), 1..3)).prop_map(
-                    |(hi, body)| build::for_loop("j", Expr::int(1), Expr::int(hi), body)
-                ),
-            ]
-        })
-        .boxed()
-}
-
-fn program_strategy() -> BoxedStrategy<Program> {
-    prop::collection::vec(stmt(2), 1..6)
-        .prop_map(|stmts| {
-            build::program(vec![build::ProcBuilder::new("main")
-                .int_param("n")
-                .array("a1", vec![Expr::int(16)])
-                .int_array("k1", vec![Expr::int(8)])
-                .int_var("x")
-                .real_var("r")
-                .stmt(build::for_loop(
-                    "i",
+fn stmt(rng: &mut StdRng, depth: u32) -> Stmt {
+    if depth > 0 && rng.gen_bool(0.4) {
+        return match rng.gen_range(0u32..3) {
+            0 => {
+                let c = bool_expr(rng, 2);
+                let n = rng.gen_range(1usize..3);
+                build::if_then(c, (0..n).map(|_| stmt(rng, depth - 1)).collect())
+            }
+            1 => {
+                let c = bool_expr(rng, 2);
+                build::if_else(c, vec![stmt(rng, depth - 1)], vec![stmt(rng, depth - 1)])
+            }
+            _ => {
+                let hi = rng.gen_range(1i64..=8);
+                let n = rng.gen_range(1usize..3);
+                build::for_loop(
+                    "j",
                     Expr::int(1),
-                    Expr::scalar("n"),
-                    stmts,
-                ))
-                .build()])
-        })
-        .boxed()
+                    Expr::int(hi),
+                    (0..n).map(|_| stmt(rng, depth - 1)).collect(),
+                )
+            }
+        };
+    }
+    match rng.gen_range(0u32..3) {
+        0 => build::assign("r", real_expr(rng, 2)),
+        1 => build::assign("x", int_expr(rng, 2)),
+        _ => build::store(
+            "a1",
+            vec![clamped_index(int_expr(rng, 1), 16)],
+            real_expr(rng, 1),
+        ),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
+fn random_program(rng: &mut StdRng) -> Program {
+    let n = rng.gen_range(1usize..6);
+    let stmts = (0..n).map(|_| stmt(rng, 2)).collect();
+    build::program(vec![build::ProcBuilder::new("main")
+        .int_param("n")
+        .array("a1", vec![Expr::int(16)])
+        .int_array("k1", vec![Expr::int(8)])
+        .int_var("x")
+        .real_var("r")
+        .stmt(build::for_loop("i", Expr::int(1), Expr::scalar("n"), stmts))
+        .build()])
+}
 
-    #[test]
-    fn pretty_parse_round_trip(prog in program_strategy()) {
+const CASES: u64 = 96;
+
+#[test]
+fn pretty_parse_round_trip() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x707 + seed);
+        let prog = random_program(&mut rng);
         // The generated AST must resolve (all names declared).
-        prop_assume!(padfa_ir::visit::resolve(&prog).is_ok());
+        if padfa_ir::visit::resolve(&prog).is_err() {
+            continue;
+        }
         let text = pretty::program_to_string(&prog);
         let reparsed = parse_program(&text)
             .unwrap_or_else(|e| panic!("pretty output failed to parse: {e}\n{text}"));
-        prop_assert_eq!(&prog, &reparsed, "round trip changed the AST:\n{}", text);
+        assert_eq!(prog, reparsed, "round trip changed the AST:\n{}", text);
     }
+}
 
-    #[test]
-    fn round_trip_is_idempotent(prog in program_strategy()) {
-        prop_assume!(padfa_ir::visit::resolve(&prog).is_ok());
+#[test]
+fn round_trip_is_idempotent() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x1de0 + seed);
+        let prog = random_program(&mut rng);
+        if padfa_ir::visit::resolve(&prog).is_err() {
+            continue;
+        }
         let once = pretty::program_to_string(&prog);
         let twice = pretty::program_to_string(&parse_program(&once).unwrap());
-        prop_assert_eq!(once, twice);
+        assert_eq!(once, twice);
     }
 }
 
@@ -186,11 +184,8 @@ proptest! {
 /// shapes at all (spot check, not a property).
 #[test]
 fn generator_produces_loops() {
-    use proptest::strategy::ValueTree;
-    use proptest::test_runner::TestRunner;
-    let mut runner = TestRunner::deterministic();
-    let tree = program_strategy().new_tree(&mut runner).unwrap();
-    let prog = tree.current();
+    let mut rng = StdRng::seed_from_u64(0);
+    let prog = random_program(&mut rng);
     assert_eq!(prog.procedures.len(), 1);
     assert!(padfa_ir::visit::count_loops(&prog) >= 1);
 }

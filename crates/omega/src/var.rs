@@ -6,10 +6,10 @@
 //! crate in the workspace agree on variable identity without threading a
 //! context through the whole API.
 
-use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// An interned variable name.
 ///
@@ -26,18 +26,30 @@ struct Interner {
 static INTERNER: RwLock<Option<Interner>> = RwLock::new(None);
 static FRESH: AtomicU32 = AtomicU32::new(0);
 
+/// The interner must stay usable even after a thread panicked while
+/// holding the lock (worker panics are caught and recovered from, see
+/// `padfa-rt`); the map is append-only, so a poisoned guard is still
+/// structurally sound and can be adopted.
+fn read_interner() -> RwLockReadGuard<'static, Option<Interner>> {
+    INTERNER.read().unwrap_or_else(|e| e.into_inner())
+}
+
+fn write_interner() -> RwLockWriteGuard<'static, Option<Interner>> {
+    INTERNER.write().unwrap_or_else(|e| e.into_inner())
+}
+
 impl Var {
     /// Intern `name`, returning the same `Var` for the same string.
     pub fn new(name: &str) -> Var {
         {
-            let guard = INTERNER.read();
+            let guard = read_interner();
             if let Some(int) = guard.as_ref() {
                 if let Some(&id) = int.map.get(name) {
                     return Var(id);
                 }
             }
         }
-        let mut guard = INTERNER.write();
+        let mut guard = write_interner();
         let int = guard.get_or_insert_with(|| Interner {
             names: Vec::new(),
             map: HashMap::new(),
@@ -62,7 +74,7 @@ impl Var {
 
     /// The interned name.
     pub fn name(self) -> String {
-        let guard = INTERNER.read();
+        let guard = read_interner();
         guard
             .as_ref()
             .and_then(|int| int.names.get(self.0 as usize).cloned())

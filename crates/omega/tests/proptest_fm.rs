@@ -1,13 +1,17 @@
-//! Property tests pitting the Fourier–Motzkin engine against brute-force
-//! enumeration over small boxes: emptiness must never claim "empty" for
-//! a satisfiable system, projection must never lose an integer point,
-//! and implication must never claim more than point-wise truth.
+//! Randomized tests pitting the Fourier–Motzkin engine against
+//! brute-force enumeration over small boxes: emptiness must never claim
+//! "empty" for a satisfiable system, projection must never lose an
+//! integer point, and implication must never claim more than point-wise
+//! truth. Cases are generated from fixed seeds so every run checks the
+//! same systems.
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use padfa_omega::{Constraint, LinExpr, Limits, System, Var};
 
 const BOX: i64 = 6;
+const CASES: u64 = 128;
 
 fn vx() -> Var {
     Var::new("qx")
@@ -17,25 +21,26 @@ fn vy() -> Var {
 }
 
 /// A random constraint over two variables with small coefficients.
-fn constraint_strategy() -> impl Strategy<Value = Constraint> {
-    (-3i64..=3, -3i64..=3, -8i64..=8, prop::bool::ANY).prop_filter_map(
-        "non-trivial",
-        |(a, b, c, eq)| {
-            if a == 0 && b == 0 {
-                return None;
-            }
-            let expr = LinExpr::term(vx(), a) + LinExpr::term(vy(), b) + LinExpr::constant(c);
-            Some(if eq {
-                Constraint::eq0(expr)
-            } else {
-                Constraint::geq0(expr)
-            })
-        },
-    )
+fn random_constraint(rng: &mut StdRng) -> Constraint {
+    loop {
+        let a = rng.gen_range(-3i64..=3);
+        let b = rng.gen_range(-3i64..=3);
+        if a == 0 && b == 0 {
+            continue;
+        }
+        let c = rng.gen_range(-8i64..=8);
+        let expr = LinExpr::term(vx(), a) + LinExpr::term(vy(), b) + LinExpr::constant(c);
+        return if rng.gen_bool(0.5) {
+            Constraint::eq0(expr)
+        } else {
+            Constraint::geq0(expr)
+        };
+    }
 }
 
-fn system_strategy() -> impl Strategy<Value = System> {
-    prop::collection::vec(constraint_strategy(), 1..5).prop_map(System::from_constraints)
+fn random_system(rng: &mut StdRng) -> System {
+    let n = rng.gen_range(1usize..5);
+    System::from_constraints((0..n).map(|_| random_constraint(rng)).collect::<Vec<_>>())
 }
 
 /// All integer points of the system within the test box.
@@ -60,50 +65,60 @@ fn box_points(sys: &System) -> Vec<(i64, i64)> {
     out
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn emptiness_never_lies(sys in system_strategy()) {
+#[test]
+fn emptiness_never_lies() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xE4E5 + seed);
+        let sys = random_system(&mut rng);
         // If the engine says empty, no point in the box may satisfy it.
         if sys.is_empty(Limits::default()) {
-            prop_assert!(
+            assert!(
                 box_points(&sys).is_empty(),
                 "claimed empty but {:?} satisfies {sys}",
                 box_points(&sys)[0]
             );
         }
     }
+}
 
-    #[test]
-    fn projection_keeps_every_point(sys in system_strategy()) {
+#[test]
+fn projection_keeps_every_point() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x9120 + seed);
+        let sys = random_system(&mut rng);
         // Projecting y out must keep the x-coordinate of every point.
         let p = sys.project_out(&[vy()], Limits::default());
         for (x, _) in box_points(&sys) {
-            prop_assert_eq!(
+            assert_eq!(
                 p.system.contains(&|v| if v == vx() { Some(x) } else { None }),
                 Some(true),
-                "projection of {} lost x = {}", sys, x
+                "projection of {} lost x = {}",
+                sys,
+                x
             );
         }
     }
+}
 
-    #[test]
-    fn exact_projection_adds_no_bounded_points(sys in system_strategy()) {
+#[test]
+fn exact_projection_adds_no_bounded_points() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xEAC7 + seed);
+        let sys = random_system(&mut rng);
         // When FM reports the projection exact, an x with no pre-image in
         // a generous box must not appear unless the pre-image lies
         // outside the box — detect the common case where y is bounded by
         // constraints with unit coefficients.
         let p = sys.project_out(&[vy()], Limits::default());
         if !p.exact {
-            return Ok(());
+            continue;
         }
         // Only check systems where y is explicitly boxed with unit
         // coefficients (so every pre-image lies within +-(BOX*6+8)).
         let y_unit_bounded = sys.constraints().iter().any(|c| c.expr.coeff(vy()) == 1)
             && sys.constraints().iter().any(|c| c.expr.coeff(vy()) == -1);
         if !y_unit_bounded {
-            return Ok(());
+            continue;
         }
         let points = box_points(&sys);
         // Pre-images satisfy |y| <= max|coeff|*BOX + max|const| = 3*6+8.
@@ -125,7 +140,7 @@ proptest! {
                         }
                     }) == Some(true)
                 });
-                prop_assert!(
+                assert!(
                     has_preimage,
                     "exact projection of {} invented x = {} (points: {:?})",
                     sys, x, points
@@ -133,41 +148,65 @@ proptest! {
             }
         }
     }
+}
 
-    #[test]
-    fn implication_never_lies(sys in system_strategy(), c in constraint_strategy()) {
+#[test]
+fn implication_never_lies() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x1312 + seed);
+        let sys = random_system(&mut rng);
+        let c = random_constraint(&mut rng);
         if sys.implies(&c, Limits::default()) {
             for (x, y) in box_points(&sys) {
                 let env = |v: Var| {
-                    if v == vx() { Some(x) } else if v == vy() { Some(y) } else { None }
+                    if v == vx() {
+                        Some(x)
+                    } else if v == vy() {
+                        Some(y)
+                    } else {
+                        None
+                    }
                 };
-                prop_assert_eq!(
+                assert_eq!(
                     c.eval(&env),
                     Some(true),
-                    "{} claims to imply {} but ({}, {}) violates it", sys, c, x, y
+                    "{} claims to imply {} but ({}, {}) violates it",
+                    sys,
+                    c,
+                    x,
+                    y
                 );
             }
         }
     }
+}
 
-    #[test]
-    fn and_is_intersection(a in system_strategy(), b in system_strategy()) {
+#[test]
+fn and_is_intersection() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xA17D + seed);
+        let a = random_system(&mut rng);
+        let b = random_system(&mut rng);
         let both = a.and(&b);
         let pa = box_points(&a);
         let pb = box_points(&b);
         let pboth = box_points(&both);
         for pt in &pboth {
-            prop_assert!(pa.contains(pt) && pb.contains(pt));
+            assert!(pa.contains(pt) && pb.contains(pt));
         }
         for pt in &pa {
             if pb.contains(pt) {
-                prop_assert!(pboth.contains(pt), "and() lost {:?}", pt);
+                assert!(pboth.contains(pt), "and() lost {:?}", pt);
             }
         }
     }
+}
 
-    #[test]
-    fn simplify_preserves_semantics(sys in system_strategy()) {
+#[test]
+fn simplify_preserves_semantics() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x51A9 + seed);
+        let sys = random_system(&mut rng);
         // from_constraints already simplifies; doing it again must not
         // change membership.
         let mut again = sys.clone();
@@ -175,9 +214,15 @@ proptest! {
         for x in -BOX..=BOX {
             for y in -BOX..=BOX {
                 let env = |v: Var| {
-                    if v == vx() { Some(x) } else if v == vy() { Some(y) } else { None }
+                    if v == vx() {
+                        Some(x)
+                    } else if v == vy() {
+                        Some(y)
+                    } else {
+                        None
+                    }
                 };
-                prop_assert_eq!(sys.contains(&env), again.contains(&env));
+                assert_eq!(sys.contains(&env), again.contains(&env));
             }
         }
     }

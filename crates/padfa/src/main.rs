@@ -3,8 +3,9 @@
 //!
 //! ```text
 //! padfa analyze <file.mf> [--variant base|guarded|predicated] [--all] [--summaries]
-//! padfa run     <file.mf> [--workers N] [--seq] [ARG...]
-//! padfa elpd    <file.mf> <loop-label-or-id> [ARG...]
+//! padfa run     <file.mf> [--workers N] [--seq] [--fuel N] [--deadline-ms N]
+//!                         [--no-fallback] [--inject W:S:KIND] [ARG...]
+//! padfa elpd    <file.mf> <loop-label-or-id> [--fuel N] [ARG...]
 //! padfa fmt     <file.mf>
 //! ```
 //!
@@ -12,6 +13,14 @@
 //! parameters take integers, real parameters accept either form. Array
 //! parameters are zero-filled with their declared extents (which must
 //! then be constant).
+//!
+//! `run` exposes the fault-tolerance controls of the executor: `--fuel`
+//! bounds the statement budget (runaway programs exit with a clean
+//! diagnostic), `--deadline-ms` bounds wall-clock time, `--inject
+//! WORKER:STMT:panic|error|corrupt` arms the deterministic
+//! fault-injection harness, and `--no-fallback` turns the transparent
+//! sequential re-run into a hard error (useful for scripting around
+//! failures).
 
 use padfa::prelude::*;
 use std::process::exit;
@@ -19,8 +28,9 @@ use std::process::exit;
 fn usage() -> ! {
     eprintln!(
         "usage:\n  padfa analyze <file.mf> [--variant base|guarded|predicated] [--all]\n  \
-         padfa run <file.mf> [--workers N] [--seq] [ARG...]\n  \
-         padfa elpd <file.mf> <loop-label-or-id> [ARG...]\n  \
+         padfa run <file.mf> [--workers N] [--seq] [--fuel N] [--deadline-ms N]\n            \
+         [--no-fallback] [--inject W:S:panic|error|corrupt] [ARG...]\n  \
+         padfa elpd <file.mf> <loop-label-or-id> [--fuel N] [ARG...]\n  \
          padfa fmt <file.mf>"
     );
     exit(2)
@@ -161,10 +171,42 @@ fn cmd_analyze(args: &[String]) {
     );
 }
 
+/// Parse a `WORKER:STMT:KIND` fault-injection spec from `--inject`.
+fn parse_fault(spec: &str) -> padfa::rt::FaultSpec {
+    use padfa::rt::{ExecError, FaultKind, FaultSpec};
+    fn bad(spec: &str) -> ! {
+        eprintln!(
+            "padfa: bad --inject spec '{spec}' (want WORKER:STMT:panic|error|corrupt)"
+        );
+        exit(2)
+    }
+    let parts: Vec<&str> = spec.split(':').collect();
+    let [worker, at_stmt, kind] = parts[..] else {
+        bad(spec)
+    };
+    let worker: usize = worker.parse().unwrap_or_else(|_| bad(spec));
+    let at_stmt: u64 = at_stmt.parse().unwrap_or_else(|_| bad(spec));
+    let kind = match kind {
+        "panic" => FaultKind::Panic,
+        "error" => FaultKind::Error(ExecError::DivisionByZero),
+        "corrupt" => FaultKind::CorruptStamp,
+        _ => bad(spec),
+    };
+    FaultSpec {
+        worker,
+        at_stmt,
+        kind,
+    }
+}
+
 fn cmd_run(args: &[String]) {
     let mut file = None;
     let mut workers = 4usize;
     let mut seq = false;
+    let mut fuel: Option<u64> = None;
+    let mut deadline_ms: Option<u64> = None;
+    let mut no_fallback = false;
+    let mut faults = padfa::rt::FaultPlan::none();
     let mut rest: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -176,18 +218,45 @@ fn cmd_run(args: &[String]) {
                     .unwrap_or_else(|| usage())
             }
             "--seq" => seq = true,
+            "--fuel" => {
+                fuel = Some(
+                    it.next()
+                        .and_then(|w| w.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            "--deadline-ms" => {
+                deadline_ms = Some(
+                    it.next()
+                        .and_then(|w| w.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            "--no-fallback" => no_fallback = true,
+            "--inject" => {
+                let spec = it.next().unwrap_or_else(|| usage());
+                faults = faults.with(parse_fault(spec));
+            }
             _ if file.is_none() => file = Some(a.clone()),
             _ => rest.push(a.clone()),
         }
     }
     let prog = load(&file.unwrap_or_else(|| usage()));
     let args = entry_args(&prog, &rest);
-    let cfg = if seq || workers <= 1 {
+    let mut cfg = if seq || workers <= 1 {
         RunConfig::sequential()
     } else {
         let result = analyze_program(&prog, &Options::predicated());
         RunConfig::parallel(workers, ExecPlan::from_analysis(&prog, &result))
     };
+    cfg.fuel = fuel;
+    if let Some(ms) = deadline_ms {
+        cfg = cfg.with_deadline(std::time::Duration::from_millis(ms));
+    }
+    cfg.faults = faults;
+    if no_fallback {
+        cfg = cfg.no_fallback();
+    }
     match run_main(&prog, args, &cfg) {
         Ok(out) => {
             for v in &out.printed {
@@ -197,13 +266,21 @@ fn cmd_run(args: &[String]) {
                 }
             }
             eprintln!(
-                "-- {} statements, {} iterations, {} parallel region(s), tests {}/{} passed",
+                "-- {} statements, {} iterations, {} parallel region(s), \
+                 {} fallback(s), tests {}/{} passed",
                 out.total_work,
                 out.stats.iterations,
                 out.stats.parallel_loops,
+                out.stats.fallbacks,
                 out.stats.tests_passed,
                 out.stats.tests_passed + out.stats.tests_failed,
             );
+            if out.stats.fallbacks > 0 {
+                eprintln!(
+                    "-- recovered from {} worker failure(s) ({} panic(s)) by sequential re-run",
+                    out.stats.fallbacks, out.stats.worker_panics,
+                );
+            }
         }
         Err(e) => {
             eprintln!("padfa: execution failed: {e}");
@@ -213,12 +290,27 @@ fn cmd_run(args: &[String]) {
 }
 
 fn cmd_elpd(args: &[String]) {
-    if args.len() < 2 {
+    let mut fuel: Option<u64> = None;
+    let mut pos: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--fuel" => {
+                fuel = Some(
+                    it.next()
+                        .and_then(|w| w.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            _ => pos.push(a.clone()),
+        }
+    }
+    if pos.len() < 2 {
         usage()
     }
-    let prog = load(&args[0]);
-    let target = &args[1];
-    let rest = &args[2..];
+    let prog = load(&pos[0]);
+    let target = &pos[1];
+    let rest = &pos[2..];
     let loop_id = padfa::ir::visit::find_loop_by_label(&prog, target)
         .map(|(_, l)| l.id)
         .or_else(|| {
@@ -233,7 +325,7 @@ fn cmd_elpd(args: &[String]) {
             exit(1)
         });
     let argv = entry_args(&prog, rest);
-    match elpd_inspect(&prog, argv, loop_id, &[]) {
+    match padfa::rt::elpd::elpd_inspect_budgeted(&prog, argv, loop_id, &[], fuel) {
         Ok(v) => {
             println!(
                 "loop {target}: parallelizable={} privatization={} ({} invocation(s), {} iteration(s))",

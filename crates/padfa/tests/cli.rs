@@ -132,6 +132,213 @@ fn missing_args_reported() {
     let _ = std::io::stderr().flush();
 }
 
+/// Assert a failed invocation exits nonzero with a one-line `padfa:`
+/// diagnostic and no panic backtrace leaking to the user.
+fn assert_clean_failure(out: &std::process::Output, needle: &str) {
+    assert!(!out.status.success(), "expected failure");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("padfa: execution failed:"), "{err}");
+    assert!(err.contains(needle), "wanted '{needle}' in: {err}");
+    assert!(
+        !err.contains("panicked at") && !err.contains("RUST_BACKTRACE"),
+        "raw panic output leaked: {err}"
+    );
+}
+
+#[test]
+fn fuel_exhaustion_fails_cleanly_sequential() {
+    let f = temppath::write(
+        "proc main(n: int) { var s: real;
+            for i = 1 to n { s = s + 1.0; } }",
+    );
+    let out = padfa()
+        .args(["run", "--seq", "--fuel", "100"])
+        .arg(&f.0)
+        .arg("1000000000")
+        .output()
+        .unwrap();
+    assert_clean_failure(&out, "fuel budget exhausted");
+}
+
+#[test]
+fn fuel_exhaustion_fails_cleanly_parallel() {
+    let f = temppath::write(
+        "proc main(n: int) { var s: real;
+            for i = 1 to n { s = s + 1.0; } }",
+    );
+    let out = padfa()
+        .args(["run", "--workers", "4", "--fuel", "100"])
+        .arg(&f.0)
+        .arg("1000000000")
+        .output()
+        .unwrap();
+    assert_clean_failure(&out, "fuel budget exhausted");
+}
+
+#[test]
+fn out_of_bounds_fails_cleanly() {
+    let f = temppath::write(
+        "proc main(n: int) { array a[8];
+            for i = 1 to n { a[i] = 1.0; } }",
+    );
+    let out = padfa()
+        .args(["run", "--seq"])
+        .arg(&f.0)
+        .arg("9")
+        .output()
+        .unwrap();
+    assert_clean_failure(&out, "out of bounds");
+}
+
+#[test]
+fn division_by_zero_fails_cleanly() {
+    let f = temppath::write(
+        "proc main(n: int) { var s: int; s = n / (n - n); print s; }",
+    );
+    let out = padfa()
+        .args(["run", "--seq"])
+        .arg(&f.0)
+        .arg("4")
+        .output()
+        .unwrap();
+    assert_clean_failure(&out, "division by zero");
+}
+
+/// An injected worker panic with the fallback enabled: the run succeeds,
+/// prints the right answer, and the summary reports the recovery.
+#[test]
+fn injected_panic_recovers_and_reports() {
+    let f = temppath::write(
+        "proc main(n: int) { array a[128]; var s: real;
+            for i = 1 to n { a[i] = i * 2.0; }
+            for i = 1 to n { s = s + a[i]; }
+            print s; }",
+    );
+    let out = padfa()
+        .args(["run", "--workers", "4", "--inject", "0:2:panic"])
+        .arg(&f.0)
+        .arg("128")
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.trim().starts_with("16512"), "{stdout}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("fallback(s)"), "{stderr}");
+    assert!(stderr.contains("recovered from"), "{stderr}");
+    assert!(
+        !stderr.contains("panicked at"),
+        "isolated panic leaked a backtrace: {stderr}"
+    );
+}
+
+/// The same injection with `--no-fallback`: a clean typed diagnostic.
+#[test]
+fn injected_panic_without_fallback_fails_cleanly() {
+    let f = temppath::write(
+        "proc main(n: int) { array a[128];
+            for i = 1 to n { a[i] = i * 2.0; } }",
+    );
+    let out = padfa()
+        .args(["run", "--workers", "4", "--no-fallback", "--inject", "1:2:panic"])
+        .arg(&f.0)
+        .arg("128")
+        .output()
+        .unwrap();
+    assert_clean_failure(&out, "worker 1 panicked");
+}
+
+#[test]
+fn injected_error_without_fallback_fails_cleanly() {
+    let f = temppath::write(
+        "proc main(n: int) { array a[128];
+            for i = 1 to n { a[i] = i * 2.0; } }",
+    );
+    let out = padfa()
+        .args(["run", "--workers", "4", "--no-fallback", "--inject", "0:2:error"])
+        .arg(&f.0)
+        .arg("128")
+        .output()
+        .unwrap();
+    assert_clean_failure(&out, "division by zero");
+}
+
+#[test]
+fn injected_corruption_without_fallback_fails_cleanly() {
+    let f = temppath::write(
+        "proc main(n: int) { array a[128];
+            for i = 1 to n { a[i] = i * 2.0; } }",
+    );
+    let out = padfa()
+        .args(["run", "--workers", "4", "--no-fallback", "--inject", "2:2:corrupt"])
+        .arg(&f.0)
+        .arg("128")
+        .output()
+        .unwrap();
+    assert_clean_failure(&out, "corrupted state");
+}
+
+#[test]
+fn deadline_fails_cleanly() {
+    let f = temppath::write(
+        "proc main(n: int) { var s: real;
+            for i = 1 to n { s = s + 1.0; } }",
+    );
+    let out = padfa()
+        .args(["run", "--seq", "--deadline-ms", "0"])
+        .arg(&f.0)
+        .arg("1000000000")
+        .output()
+        .unwrap();
+    assert_clean_failure(&out, "deadline exceeded");
+}
+
+#[test]
+fn bad_inject_spec_shows_usage_error() {
+    let f = temppath::write("proc main(n: int) { print n; }");
+    let out = padfa()
+        .args(["run", "--inject", "zero:two:bang"])
+        .arg(&f.0)
+        .arg("1")
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("bad --inject spec"), "{err}");
+}
+
+#[test]
+fn elpd_fuel_budget_reported() {
+    let f = temppath::write(
+        "proc main(n: int) { array a[64];
+            for@hot i = 1 to n { a[1] = a[1] + 1.0; } }",
+    );
+    let out = padfa()
+        .args(["elpd"])
+        .arg(&f.0)
+        .args(["hot", "--fuel", "100", "1000000"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("padfa: inspection failed:"), "{err}");
+    assert!(err.contains("fuel budget exhausted"), "{err}");
+}
+
+#[test]
+fn run_summary_includes_fallback_count() {
+    let f = demo_file();
+    let out = padfa()
+        .args(["run"])
+        .arg(&f.0)
+        .args(["100", "3"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("0 fallback(s)"), "{stderr}");
+}
+
 #[test]
 fn analyze_summaries_prints_dataflow_values() {
     let f = demo_file();

@@ -299,7 +299,23 @@ pub fn elpd_inspect(
     target: LoopId,
     exclude: &[Var],
 ) -> Result<ElpdVerdict, ExecError> {
-    let cfg = RunConfig::sequential();
+    elpd_inspect_budgeted(prog, args, target, exclude, None)
+}
+
+/// [`elpd_inspect`] with a statement-fuel budget: an inspection of a
+/// runaway loop terminates with [`ExecError::FuelExhausted`] instead of
+/// hanging the whole evaluation run.
+pub fn elpd_inspect_budgeted(
+    prog: &Program,
+    args: Vec<ArgValue>,
+    target: LoopId,
+    exclude: &[Var],
+    fuel: Option<u64>,
+) -> Result<ElpdVerdict, ExecError> {
+    let cfg = RunConfig {
+        fuel,
+        ..RunConfig::sequential()
+    };
     let proc = prog.entry().ok_or(ExecError::NoEntryProcedure)?;
     let mut machine = Machine::new(prog, &cfg);
     let mut frame = build_entry_frame(&mut machine, proc, args)?;
@@ -485,6 +501,32 @@ mod tests {
         )
         .unwrap();
         assert!(v.parallelizable, "reduction target excluded");
+    }
+
+    #[test]
+    fn budgeted_inspection_terminates() {
+        let src = "proc main(n: int) { array a[64];
+             for i = 1 to n { a[1] = a[1] + 1.0; } }";
+        let prog = parse_program(src).unwrap();
+        let err = elpd_inspect_budgeted(
+            &prog,
+            vec![ArgValue::Int(1_000_000)],
+            LoopId(0),
+            &[],
+            Some(500),
+        )
+        .unwrap_err();
+        assert!(matches!(err, ExecError::FuelExhausted), "got {err:?}");
+        // A sufficient budget still yields the normal verdict.
+        let v = elpd_inspect_budgeted(
+            &prog,
+            vec![ArgValue::Int(8)],
+            LoopId(0),
+            &[],
+            Some(1_000_000),
+        )
+        .unwrap();
+        assert!(!v.parallelizable, "a[1] carries a flow dependence");
     }
 
     #[test]

@@ -1,0 +1,182 @@
+//! Deterministic fault injection for the parallel executor.
+//!
+//! A [`FaultPlan`] names, per worker, a statement count at which a fault
+//! fires: the worker panics, returns an injected [`ExecError`], or
+//! silently corrupts its write-tracker stamp. Plans are wired through
+//! [`crate::RunConfig`] and consumed by `run_parallel_loop`, which hands
+//! each worker its pending faults. Because workers execute a fixed chunk
+//! assignment and statements are counted deterministically, the same
+//! plan always produces the same failure — which is what lets the
+//! differential tests assert that recovery yields state bit-identical to
+//! the sequential oracle.
+
+use crate::machine::ExecError;
+
+/// What happens when an injected fault fires.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultKind {
+    /// The worker thread panics mid-iteration.
+    Panic,
+    /// The worker's loop body returns this error.
+    Error(ExecError),
+    /// The worker's write tracker switches to a stamp outside its chunk
+    /// assignment: a silent metadata corruption that an unprotected
+    /// merge would turn into wrong results. The executor detects it by
+    /// validating stamps against the chunk assignment on join.
+    CorruptStamp,
+}
+
+/// One fault: fires in `worker` once it has executed `at_stmt`
+/// statements (1-based, so `at_stmt = 1` fires on the worker's first
+/// statement).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSpec {
+    pub worker: usize,
+    pub at_stmt: u64,
+    pub kind: FaultKind,
+}
+
+/// A fault waiting to fire inside one worker's machine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PendingFault {
+    pub at_stmt: u64,
+    pub kind: FaultKind,
+}
+
+/// A deterministic set of faults to inject into a run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    pub faults: Vec<FaultSpec>,
+}
+
+impl FaultPlan {
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Add a fault to the plan (builder-style).
+    pub fn with(mut self, spec: FaultSpec) -> FaultPlan {
+        self.faults.push(spec);
+        self
+    }
+
+    /// Worker `worker` panics at its `at_stmt`-th statement.
+    pub fn panic_at(worker: usize, at_stmt: u64) -> FaultPlan {
+        FaultPlan::none().with(FaultSpec {
+            worker,
+            at_stmt,
+            kind: FaultKind::Panic,
+        })
+    }
+
+    /// Worker `worker` fails with `err` at its `at_stmt`-th statement.
+    pub fn error_at(worker: usize, at_stmt: u64, err: ExecError) -> FaultPlan {
+        FaultPlan::none().with(FaultSpec {
+            worker,
+            at_stmt,
+            kind: FaultKind::Error(err),
+        })
+    }
+
+    /// Worker `worker` corrupts its tracker stamp at its `at_stmt`-th
+    /// statement and keeps running.
+    pub fn corrupt_stamp_at(worker: usize, at_stmt: u64) -> FaultPlan {
+        FaultPlan::none().with(FaultSpec {
+            worker,
+            at_stmt,
+            kind: FaultKind::CorruptStamp,
+        })
+    }
+
+    /// A seeded pseudo-random plan of `count` faults spread over
+    /// `workers` workers and statement counts in `1..=max_stmt`.
+    /// The same seed always yields the same plan.
+    pub fn seeded(seed: u64, count: usize, workers: usize, max_stmt: u64) -> FaultPlan {
+        let mut state = seed ^ 0x9E37_79B9_7F4A_7C15;
+        let mut next = move || {
+            // xorshift64*: cheap, deterministic, no external deps.
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        };
+        let workers = workers.max(1);
+        let max_stmt = max_stmt.max(1);
+        let mut plan = FaultPlan::none();
+        for _ in 0..count {
+            let worker = (next() % workers as u64) as usize;
+            let at_stmt = next() % max_stmt + 1;
+            let kind = match next() % 3 {
+                0 => FaultKind::Panic,
+                1 => FaultKind::Error(ExecError::DivisionByZero),
+                _ => FaultKind::CorruptStamp,
+            };
+            plan.faults.push(FaultSpec {
+                worker,
+                at_stmt,
+                kind,
+            });
+        }
+        plan
+    }
+
+    /// The faults aimed at worker `w`, ready to arm in its machine.
+    pub fn for_worker(&self, w: usize) -> Vec<PendingFault> {
+        self.faults
+            .iter()
+            .filter(|f| f.worker == w)
+            .map(|f| PendingFault {
+                at_stmt: f.at_stmt,
+                kind: f.kind.clone(),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_compose() {
+        let plan = FaultPlan::panic_at(0, 5)
+            .with(FaultSpec {
+                worker: 1,
+                at_stmt: 9,
+                kind: FaultKind::CorruptStamp,
+            })
+            .with(FaultSpec {
+                worker: 0,
+                at_stmt: 2,
+                kind: FaultKind::Error(ExecError::DivisionByZero),
+            });
+        assert_eq!(plan.faults.len(), 3);
+        assert_eq!(plan.for_worker(0).len(), 2);
+        assert_eq!(plan.for_worker(1).len(), 1);
+        assert!(plan.for_worker(2).is_empty());
+    }
+
+    #[test]
+    fn seeded_plans_are_deterministic() {
+        let a = FaultPlan::seeded(42, 8, 4, 100);
+        let b = FaultPlan::seeded(42, 8, 4, 100);
+        assert_eq!(a, b);
+        assert_eq!(a.faults.len(), 8);
+        for f in &a.faults {
+            assert!(f.worker < 4);
+            assert!((1..=100).contains(&f.at_stmt));
+        }
+        // Different seed, different plan (overwhelmingly likely).
+        assert_ne!(a, FaultPlan::seeded(43, 8, 4, 100));
+    }
+
+    #[test]
+    fn empty_plan_arms_nothing() {
+        assert!(FaultPlan::none().is_empty());
+        assert!(FaultPlan::none().for_worker(0).is_empty());
+    }
+}

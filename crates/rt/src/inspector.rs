@@ -43,6 +43,11 @@ pub(crate) fn run_inspected_loop(
     let mut probe = Machine::new(machine.prog, machine.cfg);
     probe.arrays = machine.arrays.clone();
     probe.in_worker = true; // no nested parallelism inside the probe
+    // The probe spends the parent's budgets, not a fresh allocation: an
+    // inspection of a runaway loop must still hit the fuel/deadline
+    // limits, and inspection work is real work.
+    probe.fuel = machine.fuel;
+    probe.deadline = machine.deadline;
     let mut state = ElpdState::new(l.id);
     // Exclude the loop's own index from scalar tracking.
     state.exclude_scalars.push(l.var);
@@ -62,6 +67,7 @@ pub(crate) fn run_inspected_loop(
         .sum();
     machine.work += probe.work;
     machine.sim += probe.sim + aggregate / SHADOW_ELEMS_PER_UNIT;
+    machine.fuel = probe.fuel;
 
     // ---- Executor. ----
     if parallelizable {

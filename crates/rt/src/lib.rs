@@ -23,7 +23,11 @@
 //!   results in block order;
 //! * [`elpd`] — shadow-array instrumentation classifying each candidate
 //!   loop, on a concrete input, as independent / privatizable /
-//!   sequential.
+//!   sequential;
+//! * [`faults`] — deterministic fault injection for proving the
+//!   executor's panic isolation, state validation, and transactional
+//!   sequential fallback (see the "Fault tolerance" notes on
+//!   [`parallel`]).
 //!
 //! ```
 //! use padfa_rt::{run_main, RunConfig, ArgValue};
@@ -36,12 +40,14 @@
 //! ```
 
 pub mod elpd;
+pub mod faults;
 pub mod inspector;
 pub mod machine;
 pub mod parallel;
 pub mod plan;
 pub mod value;
 
+pub use faults::{FaultKind, FaultPlan, FaultSpec};
 pub use machine::{run_main, ExecError, ExecStats, LoopProfile, RunConfig, RunResult};
-pub use plan::{ExecPlan, LoopPlan, ParallelKind};
+pub use plan::{ExecPlan, LoopPlan, ParallelKind, PlanError};
 pub use value::{ArgValue, ArrayStore, Value};

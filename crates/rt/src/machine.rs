@@ -1,14 +1,18 @@
 //! The sequential interpreter and its instrumentation hooks.
 
 use crate::elpd::ElpdState;
+use crate::faults::{FaultKind, FaultPlan, PendingFault};
 use crate::plan::{ExecPlan, ParallelKind};
 use crate::value::{ArgValue, ArrayStore, Value};
 use padfa_ir::ast::{Arg, Block, BoolExpr, Expr, Intrinsic, LValue, Loop, Procedure, Stmt};
 use padfa_ir::{LoopId, Program, ScalarTy, Var};
 use std::collections::HashMap;
 use std::fmt;
+use std::time::{Duration, Instant};
 
-/// Execution errors (bounds violations, bad arguments, arithmetic).
+/// Execution errors (bounds violations, bad arguments, arithmetic,
+/// resource budgets, and worker failures surfaced by the fault-tolerant
+/// parallel executor).
 #[derive(Debug, Clone, PartialEq)]
 pub enum ExecError {
     UnknownProcedure(String),
@@ -18,6 +22,18 @@ pub enum ExecError {
     DivisionByZero,
     UnboundScalar(String),
     UnboundArray(String),
+    /// A parallel worker panicked and sequential fallback was disabled
+    /// (or the panic escaped a context with no fallback).
+    WorkerPanicked { worker: usize, message: String },
+    /// The configured statement budget ran out (see
+    /// [`RunConfig::with_fuel`]).
+    FuelExhausted,
+    /// The configured wall-clock deadline passed (see
+    /// [`RunConfig::with_deadline`]).
+    DeadlineExceeded,
+    /// A worker's write-tracker metadata failed validation on join and
+    /// sequential fallback was disabled.
+    StateCorrupted { worker: usize, detail: String },
 }
 
 impl fmt::Display for ExecError {
@@ -32,6 +48,14 @@ impl fmt::Display for ExecError {
             ExecError::DivisionByZero => write!(f, "division by zero"),
             ExecError::UnboundScalar(n) => write!(f, "unbound scalar '{n}'"),
             ExecError::UnboundArray(n) => write!(f, "unbound array '{n}'"),
+            ExecError::WorkerPanicked { worker, message } => {
+                write!(f, "worker {worker} panicked: {message}")
+            }
+            ExecError::FuelExhausted => write!(f, "fuel budget exhausted"),
+            ExecError::DeadlineExceeded => write!(f, "wall-clock deadline exceeded"),
+            ExecError::StateCorrupted { worker, detail } => {
+                write!(f, "worker {worker} produced corrupted state: {detail}")
+            }
         }
     }
 }
@@ -53,6 +77,12 @@ pub struct ExecStats {
     pub inspections: u64,
     /// Inspector/executor: inspections that chose the parallel path.
     pub inspections_parallel: u64,
+    /// Parallel regions that failed mid-flight and were transparently
+    /// re-run sequentially (transactional two-version fallback).
+    pub fallbacks: u64,
+    /// Worker panics caught and isolated (whether or not a fallback
+    /// followed).
+    pub worker_panics: u64,
 }
 
 impl ExecStats {
@@ -63,6 +93,8 @@ impl ExecStats {
         self.iterations += other.iterations;
         self.inspections += other.inspections;
         self.inspections_parallel += other.inspections_parallel;
+        self.fallbacks += other.fallbacks;
+        self.worker_panics += other.worker_panics;
     }
 }
 
@@ -90,6 +122,20 @@ pub struct RunConfig {
     /// Loops run under the inspector/executor comparator instead of a
     /// compile-time plan (see [`crate::inspector`]).
     pub inspect: Vec<padfa_ir::LoopId>,
+    /// Statement budget for the whole run: `Some(n)` makes execution
+    /// fail with [`ExecError::FuelExhausted`] after `n` statements, on
+    /// both the sequential and parallel paths (workers split the
+    /// remaining budget). `None` = unlimited.
+    pub fuel: Option<u64>,
+    /// Wall-clock budget for the whole run: execution fails with
+    /// [`ExecError::DeadlineExceeded`] once it has been running longer.
+    pub deadline: Option<Duration>,
+    /// Deterministic faults to inject into parallel workers (testing).
+    pub faults: FaultPlan,
+    /// Whether a failed parallel region is transparently re-run
+    /// sequentially (the transactional two-version fallback). When
+    /// `false` the failure surfaces as a typed [`ExecError`] instead.
+    pub fallback: bool,
 }
 
 impl RunConfig {
@@ -100,6 +146,10 @@ impl RunConfig {
             input: Vec::new(),
             chunk: None,
             inspect: Vec::new(),
+            fuel: None,
+            deadline: None,
+            faults: FaultPlan::none(),
+            fallback: true,
         }
     }
 
@@ -107,21 +157,41 @@ impl RunConfig {
         RunConfig {
             workers,
             plan,
-            input: Vec::new(),
-            chunk: None,
-            inspect: Vec::new(),
+            ..RunConfig::sequential()
         }
     }
 
     /// Round-robin chunked scheduling with the given chunk size.
     pub fn chunked(workers: usize, plan: ExecPlan, chunk: usize) -> RunConfig {
         RunConfig {
-            workers,
-            plan,
-            input: Vec::new(),
             chunk: Some(chunk.max(1)),
-            inspect: Vec::new(),
+            ..RunConfig::parallel(workers, plan)
         }
+    }
+
+    /// Cap the run at `fuel` interpreted statements.
+    pub fn with_fuel(mut self, fuel: u64) -> RunConfig {
+        self.fuel = Some(fuel);
+        self
+    }
+
+    /// Cap the run at `deadline` of wall-clock time.
+    pub fn with_deadline(mut self, deadline: Duration) -> RunConfig {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Inject the given fault plan into parallel workers.
+    pub fn with_faults(mut self, faults: FaultPlan) -> RunConfig {
+        self.faults = faults;
+        self
+    }
+
+    /// Disable the sequential fallback: worker failures surface as
+    /// typed errors instead of being recovered from.
+    pub fn no_fallback(mut self) -> RunConfig {
+        self.fallback = false;
+        self
     }
 }
 
@@ -152,6 +222,30 @@ impl RunResult {
     /// Final value of an entry-frame scalar.
     pub fn scalar(&self, name: &str) -> Option<Value> {
         self.scalars.get(name).copied()
+    }
+
+    /// Whether the final machine state (arrays and scalars) is
+    /// bit-identical to `other`'s. Stricter than [`Self::max_abs_diff`]:
+    /// `-0.0` vs `0.0` and NaN payloads count as differences, which is
+    /// exactly the guarantee the two-version fallback makes — recovery
+    /// reproduces the sequential result, not an approximation of it.
+    pub fn bits_eq(&self, other: &RunResult) -> bool {
+        if self.arrays.len() != other.arrays.len() || self.scalars.len() != other.scalars.len() {
+            return false;
+        }
+        for (name, a) in &self.arrays {
+            match other.arrays.get(name) {
+                Some(b) if a.bits_eq(b) => {}
+                _ => return false,
+            }
+        }
+        for (name, a) in &self.scalars {
+            match other.scalars.get(name) {
+                Some(b) if a.bits_eq(*b) => {}
+                _ => return false,
+            }
+        }
+        true
     }
 
     /// Maximum absolute difference across all arrays against another
@@ -246,6 +340,15 @@ pub struct Machine<'p> {
     pub work: u64,
     /// Simulated-time counter (see [`RunResult::sim_time`]).
     pub sim: u64,
+    /// Remaining statement budget; `None` = unlimited. Initialized from
+    /// [`RunConfig::fuel`]; workers are handed a split of the parent's
+    /// remaining budget by the parallel executor.
+    pub fuel: Option<u64>,
+    /// Absolute wall-clock deadline (checked every few hundred
+    /// statements to keep the hot path cheap).
+    pub deadline: Option<Instant>,
+    /// Armed fault injections (workers only; see [`crate::faults`]).
+    pub pending_faults: Vec<PendingFault>,
 }
 
 impl<'p> Machine<'p> {
@@ -263,6 +366,9 @@ impl<'p> Machine<'p> {
             elpd: None,
             work: 0,
             sim: 0,
+            fuel: cfg.fuel,
+            deadline: cfg.deadline.map(|d| Instant::now() + d),
+            pending_faults: Vec::new(),
         }
     }
 
@@ -463,8 +569,26 @@ impl<'p> Machine<'p> {
 
     /// Execute one statement.
     pub fn exec_stmt(&mut self, frame: &mut Frame, stmt: &Stmt) -> Result<Flow, ExecError> {
+        if let Some(fuel) = &mut self.fuel {
+            if *fuel == 0 {
+                return Err(ExecError::FuelExhausted);
+            }
+            *fuel -= 1;
+        }
         self.work += 1;
         self.sim += 1;
+        // Amortize the clock read: a syscall per statement would dwarf
+        // the interpreter itself.
+        if self.deadline.is_some() && self.work & 0x1FF == 0 {
+            if let Some(deadline) = self.deadline {
+                if Instant::now() > deadline {
+                    return Err(ExecError::DeadlineExceeded);
+                }
+            }
+        }
+        if !self.pending_faults.is_empty() {
+            self.fire_faults()?;
+        }
         match stmt {
             Stmt::Assign { lhs, rhs } => {
                 self.note_reads(frame, rhs)?;
@@ -550,6 +674,40 @@ impl<'p> Machine<'p> {
                     Ok(Flow::Normal)
                 }
             }
+        }
+    }
+
+    /// Fire any armed fault whose statement count has been reached.
+    /// Statements are counted per machine, so inside a worker `work`
+    /// is the worker-local count the [`crate::faults::FaultSpec`]
+    /// refers to.
+    fn fire_faults(&mut self) -> Result<(), ExecError> {
+        let stmt_no = self.work;
+        let mut fired_err = None;
+        self.pending_faults.retain(|f| {
+            if f.at_stmt != stmt_no || fired_err.is_some() {
+                return f.at_stmt > stmt_no;
+            }
+            match &f.kind {
+                FaultKind::Panic => {
+                    panic!("injected fault: panic at statement {stmt_no}");
+                }
+                FaultKind::Error(e) => {
+                    fired_err = Some(e.clone());
+                }
+                FaultKind::CorruptStamp => {
+                    // Silent metadata corruption: keep executing with a
+                    // stamp no chunk assignment could have produced.
+                    if let Some(t) = &mut self.tracker {
+                        t.stamp = u32::MAX;
+                    }
+                }
+            }
+            false
+        });
+        match fired_err {
+            Some(e) => Err(e),
+            None => Ok(()),
         }
     }
 

@@ -4,6 +4,30 @@
 use padfa_core::{AnalysisResult, Outcome, ReduceOp};
 use padfa_ir::{BoolExpr, LoopId, Program, Var};
 use std::collections::HashMap;
+use std::fmt;
+
+/// A malformed or mismatched plan, surfaced as a recoverable error
+/// instead of a panic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PlanError {
+    /// The loop has no entry in the plan at all.
+    NotPlanned(LoopId),
+    /// The loop is planned, but not as a two-version loop.
+    NotTwoVersion(LoopId),
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::NotPlanned(id) => write!(f, "loop {id:?} is not in the plan"),
+            PlanError::NotTwoVersion(id) => {
+                write!(f, "loop {id:?} is planned, but not as a two-version loop")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
 
 /// How a planned loop runs.
 #[derive(Clone, Debug)]
@@ -95,6 +119,20 @@ impl ExecPlan {
         self.loops.get(&id)
     }
 
+    /// The run-time test of a loop planned as two-version
+    /// ([`ParallelKind::If`]), or a typed error describing why the plan
+    /// does not match.
+    pub fn two_version_test(&self, id: LoopId) -> Result<&BoolExpr, PlanError> {
+        match self.loops.get(&id) {
+            None => Err(PlanError::NotPlanned(id)),
+            Some(LoopPlan {
+                kind: ParallelKind::If(test),
+                ..
+            }) => Ok(test),
+            Some(_) => Err(PlanError::NotTwoVersion(id)),
+        }
+    }
+
     pub fn len(&self) -> usize {
         self.loops.len()
     }
@@ -155,10 +193,31 @@ mod tests {
         let prog = parse_program(src).unwrap();
         let res = analyze_program(&prog, &Options::predicated());
         let plan = ExecPlan::from_analysis(&prog, &res);
-        match &plan.get(LoopId(0)).expect("planned").kind {
-            ParallelKind::If(test) => assert!(test.is_scalar_only()),
-            other => panic!("expected two-version plan, got {other:?}"),
-        }
+        let test = plan
+            .two_version_test(LoopId(0))
+            .expect("two-version plan expected");
+        assert!(test.is_scalar_only());
+    }
+
+    #[test]
+    fn two_version_lookup_errors_are_typed() {
+        let src = "proc m(n: int) { array a[64];
+            for i = 1 to n { a[i] = 1.0; } }";
+        let prog = parse_program(src).unwrap();
+        let res = analyze_program(&prog, &Options::predicated());
+        let plan = ExecPlan::from_analysis(&prog, &res);
+        // Loop 0 is unconditionally parallel: planned, but not
+        // two-version.
+        assert_eq!(
+            plan.two_version_test(LoopId(0)),
+            Err(PlanError::NotTwoVersion(LoopId(0)))
+        );
+        // Loop 7 does not exist.
+        assert_eq!(
+            plan.two_version_test(LoopId(7)),
+            Err(PlanError::NotPlanned(LoopId(7)))
+        );
+        assert!(PlanError::NotPlanned(LoopId(7)).to_string().contains("not in the plan"));
     }
 
     #[test]

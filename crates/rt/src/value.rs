@@ -37,6 +37,18 @@ impl Value {
     pub fn is_int(self) -> bool {
         matches!(self, Value::Int(_))
     }
+
+    /// Bit-exact equality: distinguishes `-0.0` from `0.0`, compares
+    /// NaNs by payload, and never equates an `Int` with a `Real`. This
+    /// is the comparison the fault-tolerance tests use to prove a
+    /// recovered run reproduces the sequential result exactly.
+    pub fn bits_eq(self, other: Value) -> bool {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::Real(a), Value::Real(b)) => a.to_bits() == b.to_bits(),
+            _ => false,
+        }
+    }
 }
 
 /// Dense array storage (row-major, 1-based logical indexing).
@@ -149,6 +161,23 @@ impl ArrayStore {
         }
     }
 
+    /// Bit-exact equality against another store: same shape, same
+    /// element type, and every element identical down to the float bit
+    /// pattern (see [`Value::bits_eq`]).
+    pub fn bits_eq(&self, other: &ArrayStore) -> bool {
+        if self.dims != other.dims {
+            return false;
+        }
+        match (&self.data, &other.data) {
+            (Data::Int(a), Data::Int(b)) => a == b,
+            (Data::Real(a), Data::Real(b)) => a
+                .iter()
+                .zip(b)
+                .all(|(x, y)| x.to_bits() == y.to_bits()),
+            _ => false,
+        }
+    }
+
     /// Maximum absolute elementwise difference against another store of
     /// the same shape (test helper).
     pub fn max_abs_diff(&self, other: &ArrayStore) -> f64 {
@@ -214,6 +243,20 @@ mod tests {
         let b = ArrayStore::from_f64(vec![1.0, 2.5, 3.0]);
         assert_eq!(a.max_abs_diff(&b), 0.5);
         assert_eq!(a.max_abs_diff(&a), 0.0);
+    }
+
+    #[test]
+    fn bits_eq_is_exact() {
+        assert!(Value::Real(1.5).bits_eq(Value::Real(1.5)));
+        assert!(!Value::Real(0.0).bits_eq(Value::Real(-0.0)));
+        assert!(Value::Real(f64::NAN).bits_eq(Value::Real(f64::NAN)));
+        assert!(!Value::Int(1).bits_eq(Value::Real(1.0)));
+        let a = ArrayStore::from_f64(vec![0.0, 1.0]);
+        let b = ArrayStore::from_f64(vec![-0.0, 1.0]);
+        assert!(a.bits_eq(&a));
+        assert!(!a.bits_eq(&b), "-0.0 differs bitwise from 0.0");
+        assert!(!a.bits_eq(&ArrayStore::from_i64(vec![0, 1])));
+        assert!(!a.bits_eq(&ArrayStore::from_f64(vec![0.0])));
     }
 
     #[test]

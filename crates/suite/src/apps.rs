@@ -130,11 +130,29 @@ pub fn histogram(samples: usize, bins: usize) -> (Program, Vec<ArgValue>) {
     )
 }
 
+/// A "runaway" program: an astronomically large trip count standing in
+/// for a computation that never finishes. The hot loop is a recognized
+/// scalar sum-reduction, so the predicated analysis plans it parallel —
+/// which makes this the canonical input for proving that fuel budgets
+/// terminate both the sequential path and the worker pool (each worker
+/// exhausts its share of the parent's budget).
+pub fn runaway(trip: i64) -> (Program, Vec<ArgValue>) {
+    let src = "proc main(n: int) {
+            var s: real;
+            for@hot i = 1 to n {
+                s = s + 1.0;
+            }
+            print s;
+        }";
+    let prog = parse_program(src).expect("runaway parses");
+    (prog, vec![ArgValue::Int(trip)])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use padfa_core::{analyze_program, Options, Outcome};
-    use padfa_rt::{run_main, ExecPlan, RunConfig};
+    use padfa_rt::{run_main, ExecError, ExecPlan, RunConfig};
 
     fn check_parallel_matches(prog: &Program, args: Vec<ArgValue>, tol: f64) {
         let seq = run_main(prog, args.clone(), &RunConfig::sequential()).unwrap();
@@ -186,6 +204,27 @@ mod tests {
             Outcome::Sequential
         ));
         check_parallel_matches(&prog, args, 1e-12);
+    }
+
+    #[test]
+    fn runaway_terminates_with_fuel_on_both_paths() {
+        let (prog, args) = runaway(1_000_000_000);
+        // Sequential path: the budget is the only way back.
+        let cfg = RunConfig::sequential().with_fuel(10_000);
+        let err = run_main(&prog, args.clone(), &cfg).unwrap_err();
+        assert!(matches!(err, ExecError::FuelExhausted), "got {err:?}");
+        // Parallel path: the hot loop is planned parallel (reduction),
+        // so the budget must bite inside the worker pool too.
+        let r = analyze_program(&prog, &Options::predicated());
+        assert!(r.by_label("hot").unwrap().outcome.is_parallelizable());
+        let plan = ExecPlan::from_analysis(&prog, &r);
+        let cfg = RunConfig::parallel(4, plan).with_fuel(10_000);
+        let err = run_main(&prog, args.clone(), &cfg).unwrap_err();
+        assert!(matches!(err, ExecError::FuelExhausted), "got {err:?}");
+        // With enough fuel the same program completes normally.
+        let (prog, args) = runaway(500);
+        let out = run_main(&prog, args, &RunConfig::sequential().with_fuel(10_000)).unwrap();
+        assert_eq!(out.printed[0].as_f64(), 500.0);
     }
 
     #[test]

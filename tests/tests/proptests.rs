@@ -1,6 +1,8 @@
-//! Property-based tests on the core data structures and invariants.
+//! Randomized tests on the core data structures and invariants, driven
+//! by seeded generators so every run exercises the same cases.
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use padfa_omega::{Constraint, Disjunction, LinExpr, Limits, System, Var};
 use padfa_pred::Pred;
@@ -10,8 +12,15 @@ fn lim() -> Limits {
 }
 
 /// A random union of up to three integer intervals over one variable.
-fn intervals() -> impl Strategy<Value = Vec<(i64, i64)>> {
-    prop::collection::vec((-20i64..20, 0i64..15).prop_map(|(lo, len)| (lo, lo + len)), 1..3)
+fn random_intervals(rng: &mut StdRng) -> Vec<(i64, i64)> {
+    let n = rng.gen_range(1usize..3);
+    (0..n)
+        .map(|_| {
+            let lo = rng.gen_range(-20i64..20);
+            let len = rng.gen_range(0i64..15);
+            (lo, lo + len)
+        })
+        .collect()
 }
 
 fn region_of(ivs: &[(i64, i64)]) -> Disjunction {
@@ -34,95 +43,123 @@ fn members(d: &Disjunction) -> std::collections::BTreeSet<i64> {
         .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+const REGION_CASES: u64 = 64;
 
-    #[test]
-    fn union_is_set_union(a in intervals(), b in intervals()) {
+#[test]
+fn union_is_set_union() {
+    for seed in 0..REGION_CASES {
+        let mut rng = StdRng::seed_from_u64(0x0110 + seed);
+        let (a, b) = (random_intervals(&mut rng), random_intervals(&mut rng));
         let u = region_of(&a).union(&region_of(&b), lim());
         let expected: std::collections::BTreeSet<i64> =
             points_of(&a).union(&points_of(&b)).copied().collect();
-        prop_assert_eq!(members(&u), expected);
+        assert_eq!(members(&u), expected);
     }
+}
 
-    #[test]
-    fn intersect_is_set_intersection(a in intervals(), b in intervals()) {
+#[test]
+fn intersect_is_set_intersection() {
+    for seed in 0..REGION_CASES {
+        let mut rng = StdRng::seed_from_u64(0x1217 + seed);
+        let (a, b) = (random_intervals(&mut rng), random_intervals(&mut rng));
         let i = region_of(&a).intersect(&region_of(&b), lim());
-        let expected: std::collections::BTreeSet<i64> =
-            points_of(&a).intersection(&points_of(&b)).copied().collect();
-        prop_assert_eq!(members(&i), expected);
+        let expected: std::collections::BTreeSet<i64> = points_of(&a)
+            .intersection(&points_of(&b))
+            .copied()
+            .collect();
+        assert_eq!(members(&i), expected);
     }
+}
 
-    #[test]
-    fn subtract_is_set_difference(a in intervals(), b in intervals()) {
+#[test]
+fn subtract_is_set_difference() {
+    for seed in 0..REGION_CASES {
+        let mut rng = StdRng::seed_from_u64(0x5b17 + seed);
+        let (a, b) = (random_intervals(&mut rng), random_intervals(&mut rng));
         let s = region_of(&a).subtract(&region_of(&b), lim());
+        let expected: std::collections::BTreeSet<i64> =
+            points_of(&a).difference(&points_of(&b)).copied().collect();
         if s.is_exact() {
-            let expected: std::collections::BTreeSet<i64> =
-                points_of(&a).difference(&points_of(&b)).copied().collect();
-            prop_assert_eq!(members(&s), expected);
+            assert_eq!(members(&s), expected);
         } else {
             // Inexact results must still over-approximate.
-            let expected: std::collections::BTreeSet<i64> =
-                points_of(&a).difference(&points_of(&b)).copied().collect();
-            prop_assert!(expected.is_subset(&members(&s)));
+            assert!(expected.is_subset(&members(&s)));
         }
     }
+}
 
-    #[test]
-    fn subset_test_is_sound(a in intervals(), b in intervals()) {
+#[test]
+fn subset_test_is_sound() {
+    for seed in 0..REGION_CASES {
+        let mut rng = StdRng::seed_from_u64(0x5b5e + seed);
+        let (a, b) = (random_intervals(&mut rng), random_intervals(&mut rng));
         let ra = region_of(&a);
         let rb = region_of(&b);
         if ra.subset_of(&rb, lim()) {
-            prop_assert!(points_of(&a).is_subset(&points_of(&b)));
+            assert!(points_of(&a).is_subset(&points_of(&b)));
         }
     }
+}
 
-    #[test]
-    fn emptiness_is_sound_and_precise_for_intervals(a in intervals(), b in intervals()) {
+#[test]
+fn emptiness_is_sound_and_precise_for_intervals() {
+    for seed in 0..REGION_CASES {
+        let mut rng = StdRng::seed_from_u64(0xe397 + seed);
+        let (a, b) = (random_intervals(&mut rng), random_intervals(&mut rng));
         let i = region_of(&a).intersect(&region_of(&b), lim());
         let really_empty = points_of(&a).intersection(&points_of(&b)).next().is_none();
-        prop_assert_eq!(i.is_empty(lim()), really_empty);
+        assert_eq!(i.is_empty(lim()), really_empty);
     }
+}
 
-    #[test]
-    fn projection_over_approximates(
-        lo in -10i64..10, len in 0i64..10, coef in 1i64..4, shift in -5i64..5
-    ) {
+#[test]
+fn projection_over_approximates() {
+    for seed in 0..REGION_CASES {
+        let mut rng = StdRng::seed_from_u64(0x9205 + seed);
+        let lo = rng.gen_range(-10i64..10);
+        let len = rng.gen_range(0i64..10);
+        let coef = rng.gen_range(1i64..4);
+        let shift = rng.gen_range(-5i64..5);
         // { lo <= q <= lo+len, d == coef*q + shift }: projecting q must
         // keep every reachable d.
         let (q, d) = (Var::new("q"), Var::new("d"));
         let sys = System::from_constraints([
             Constraint::geq(LinExpr::var(q), LinExpr::constant(lo)),
             Constraint::leq(LinExpr::var(q), LinExpr::constant(lo + len)),
-            Constraint::eq(LinExpr::var(d), LinExpr::term(q, coef) + LinExpr::constant(shift)),
+            Constraint::eq(
+                LinExpr::var(d),
+                LinExpr::term(q, coef) + LinExpr::constant(shift),
+            ),
         ]);
         let p = sys.project_out(&[q], lim());
         for qv in lo..=lo + len {
             let dv = coef * qv + shift;
-            prop_assert_eq!(
+            assert_eq!(
                 p.system.contains(&|v| if v == d { Some(dv) } else { None }),
                 Some(true),
-                "lost point d={} (q={})", dv, qv
+                "lost point d={} (q={})",
+                dv,
+                qv
             );
         }
     }
 }
 
 /// Random affine predicates over two integer scalars.
-fn pred_strategy() -> impl Strategy<Value = Pred> {
-    let atom = (0..2usize, -5i64..5, prop::sample::select(vec!["<", "<=", ">", ">=", "==", "!="]))
-        .prop_map(|(var, k, op)| {
-            let v = if var == 0 { "px" } else { "py" };
-            Pred::from_bool(
-                &padfa_ir::parse::parse_bool_expr(&format!("{v} {op} {k}")).unwrap(),
-            )
-        });
-    atom.prop_recursive(3, 16, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Pred::and(a, b)),
-            (inner.clone(), inner).prop_map(|(a, b)| Pred::or(a, b)),
-        ]
-    })
+fn random_pred(rng: &mut StdRng, depth: u32) -> Pred {
+    if depth > 0 && rng.gen_range(0u32..3) > 0 {
+        let a = random_pred(rng, depth - 1);
+        let b = random_pred(rng, depth - 1);
+        return if rng.gen_bool(0.5) {
+            Pred::and(a, b)
+        } else {
+            Pred::or(a, b)
+        };
+    }
+    let v = if rng.gen_bool(0.5) { "px" } else { "py" };
+    let k = rng.gen_range(-5i64..5);
+    let op = ["<", "<=", ">", ">=", "==", "!="][rng.gen_range(0usize..6)];
+    Pred::from_bool(&padfa_ir::parse::parse_bool_expr(&format!("{v} {op} {k}")).unwrap())
 }
 
 fn eval_pred(p: &Pred, x: i64, y: i64) -> Option<bool> {
@@ -140,76 +177,111 @@ fn eval_pred(p: &Pred, x: i64, y: i64) -> Option<bool> {
     })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+const PRED_CASES: u64 = 64;
 
-    #[test]
-    fn pred_double_negation_preserves_semantics(p in pred_strategy(), x in -8i64..8, y in -8i64..8) {
+#[test]
+fn pred_double_negation_preserves_semantics() {
+    for seed in 0..PRED_CASES {
+        let mut rng = StdRng::seed_from_u64(0xd091 + seed);
+        let p = random_pred(&mut rng, 3);
+        let x = rng.gen_range(-8i64..8);
+        let y = rng.gen_range(-8i64..8);
         let nn = p.negate().negate();
-        prop_assert_eq!(eval_pred(&p, x, y), eval_pred(&nn, x, y));
+        assert_eq!(eval_pred(&p, x, y), eval_pred(&nn, x, y));
     }
+}
 
-    #[test]
-    fn pred_negation_complements(p in pred_strategy(), x in -8i64..8, y in -8i64..8) {
+#[test]
+fn pred_negation_complements() {
+    for seed in 0..PRED_CASES {
+        let mut rng = StdRng::seed_from_u64(0x9e6a + seed);
+        let p = random_pred(&mut rng, 3);
+        let x = rng.gen_range(-8i64..8);
+        let y = rng.gen_range(-8i64..8);
         let n = p.negate();
         let (a, b) = (eval_pred(&p, x, y), eval_pred(&n, x, y));
-        prop_assert_eq!(a.map(|v| !v), b);
+        assert_eq!(a.map(|v| !v), b);
     }
+}
 
-    #[test]
-    fn pred_bool_expr_round_trip(p in pred_strategy(), x in -8i64..8, y in -8i64..8) {
+#[test]
+fn pred_bool_expr_round_trip() {
+    for seed in 0..PRED_CASES {
+        let mut rng = StdRng::seed_from_u64(0xb001 + seed);
+        let p = random_pred(&mut rng, 3);
+        let x = rng.gen_range(-8i64..8);
+        let y = rng.gen_range(-8i64..8);
         let back = Pred::from_bool(&p.to_bool_expr());
-        prop_assert_eq!(eval_pred(&p, x, y), eval_pred(&back, x, y));
+        assert_eq!(eval_pred(&p, x, y), eval_pred(&back, x, y));
     }
+}
 
-    #[test]
-    fn pred_implication_is_sound(p in pred_strategy(), q in pred_strategy()) {
+#[test]
+fn pred_implication_is_sound() {
+    for seed in 0..PRED_CASES {
+        let mut rng = StdRng::seed_from_u64(0x13b5 + seed);
+        let p = random_pred(&mut rng, 3);
+        let q = random_pred(&mut rng, 3);
         if p.implies(&q, lim()) {
             for x in -6..=6 {
                 for y in -6..=6 {
                     if eval_pred(&p, x, y) == Some(true) {
-                        prop_assert_eq!(
-                            eval_pred(&q, x, y), Some(true),
-                            "p={} q={} at ({}, {})", p, q, x, y
+                        assert_eq!(
+                            eval_pred(&q, x, y),
+                            Some(true),
+                            "p={} q={} at ({}, {})",
+                            p,
+                            q,
+                            x,
+                            y
                         );
                     }
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn pred_and_or_semantics(p in pred_strategy(), q in pred_strategy(), x in -8i64..8, y in -8i64..8) {
+#[test]
+fn pred_and_or_semantics() {
+    for seed in 0..PRED_CASES {
+        let mut rng = StdRng::seed_from_u64(0xa0d0 + seed);
+        let p = random_pred(&mut rng, 3);
+        let q = random_pred(&mut rng, 3);
+        let x = rng.gen_range(-8i64..8);
+        let y = rng.gen_range(-8i64..8);
         let conj = Pred::and(p.clone(), q.clone());
         let disj = Pred::or(p.clone(), q.clone());
         let (pv, qv) = (eval_pred(&p, x, y).unwrap(), eval_pred(&q, x, y).unwrap());
-        prop_assert_eq!(eval_pred(&conj, x, y), Some(pv && qv));
-        prop_assert_eq!(eval_pred(&disj, x, y), Some(pv || qv));
+        assert_eq!(eval_pred(&conj, x, y), Some(pv && qv));
+        assert_eq!(eval_pred(&disj, x, y), Some(pv || qv));
     }
 }
 
-/// Random straight-line loop programs: parallel must equal sequential.
-fn loop_body_strategy() -> impl Strategy<Value = String> {
-    prop::collection::vec(
-        prop_oneof![
-            Just("a[i] = a[i] + 1.5;".to_string()),
-            Just("b[i] = a[i] * 2.0;".to_string()),
-            Just("t = a[i] + b[i]; a[i] = t * 0.5;".to_string()),
-            Just("if (x > 0) { a[i] = b[i] + 1.0; }".to_string()),
-            Just("s = s + a[i];".to_string()),
-            Just("for j = 1 to 4 { w[j] = a[i] + j; } b[i] = w[1] + w[4];".to_string()),
-        ],
-        1..4,
-    )
-    .prop_map(|stmts| stmts.join("\n            "))
+/// Random straight-line loop bodies: parallel must equal sequential.
+fn random_loop_body(rng: &mut StdRng) -> String {
+    const CHOICES: [&str; 6] = [
+        "a[i] = a[i] + 1.5;",
+        "b[i] = a[i] * 2.0;",
+        "t = a[i] + b[i]; a[i] = t * 0.5;",
+        "if (x > 0) { a[i] = b[i] + 1.0; }",
+        "s = s + a[i];",
+        "for j = 1 to 4 { w[j] = a[i] + j; } b[i] = w[1] + w[4];",
+    ];
+    let n = rng.gen_range(1usize..4);
+    (0..n)
+        .map(|_| CHOICES[rng.gen_range(0usize..CHOICES.len())])
+        .collect::<Vec<_>>()
+        .join("\n            ")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn random_loop_programs_execute_identically(body in loop_body_strategy(), x in -3i64..3) {
-        use padfa::prelude::*;
+#[test]
+fn random_loop_programs_execute_identically() {
+    use padfa::prelude::*;
+    for seed in 0..32u64 {
+        let mut rng = StdRng::seed_from_u64(0x100b + seed);
+        let body = random_loop_body(&mut rng);
+        let x = rng.gen_range(-3i64..3);
         let src = format!(
             "proc main(n: int, x: int) {{
             array a[64]; array b[64]; array w[4];
@@ -225,6 +297,6 @@ proptest! {
         let result = analyze_program(&prog, &Options::predicated());
         let plan = ExecPlan::from_analysis(&prog, &result);
         let par = run_main(&prog, args, &RunConfig::parallel(4, plan)).unwrap();
-        prop_assert!(seq.max_abs_diff(&par) <= 1e-9, "diverged on:\n{}", src);
+        assert!(seq.max_abs_diff(&par) <= 1e-9, "diverged on:\n{}", src);
     }
 }
