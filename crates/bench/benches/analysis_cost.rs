@@ -16,11 +16,9 @@ fn bench_variants(c: &mut Criterion) {
             ("guarded", Options::guarded()),
             ("predicated", Options::predicated()),
         ] {
-            group.bench_with_input(
-                BenchmarkId::new(variant, name),
-                &bp.program,
-                |b, prog| b.iter(|| analyze_program(std::hint::black_box(prog), &opts)),
-            );
+            group.bench_with_input(BenchmarkId::new(variant, name), &bp.program, |b, prog| {
+                b.iter(|| analyze_program(std::hint::black_box(prog), &opts))
+            });
         }
     }
     group.finish();

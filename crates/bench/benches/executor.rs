@@ -26,9 +26,7 @@ fn bench_parallel_scaling(c: &mut Criterion) {
     for workers in [1usize, 2, 4] {
         let plan = ExecPlan::from_analysis(&prog, &analysis);
         group.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, &w| {
-            b.iter(|| {
-                run_main(&prog, args.clone(), &RunConfig::parallel(w, plan.clone())).unwrap()
-            })
+            b.iter(|| run_main(&prog, args.clone(), &RunConfig::parallel(w, plan.clone())).unwrap())
         });
     }
     group.finish();
@@ -45,9 +43,7 @@ fn bench_two_version_test(c: &mut Criterion) {
     let args = vec![ArgValue::Int(16), ArgValue::Int(9)];
     let mut group = c.benchmark_group("two_version");
     group.bench_function("test_fails_fallback", |b| {
-        b.iter(|| {
-            run_main(&prog, args.clone(), &RunConfig::parallel(4, plan.clone())).unwrap()
-        })
+        b.iter(|| run_main(&prog, args.clone(), &RunConfig::parallel(4, plan.clone())).unwrap())
     });
     group.bench_function("plain_sequential", |b| {
         b.iter(|| run_main(&prog, args.clone(), &RunConfig::sequential()).unwrap())

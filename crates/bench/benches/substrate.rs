@@ -3,7 +3,7 @@
 
 use padfa_bench::harness::Criterion;
 use padfa_bench::{criterion_group, criterion_main};
-use padfa_omega::{Constraint, Disjunction, LinExpr, Limits, System, Var};
+use padfa_omega::{Constraint, Disjunction, Limits, LinExpr, System, Var};
 use padfa_pred::Pred;
 
 fn tri_system() -> System {
@@ -14,10 +14,7 @@ fn tri_system() -> System {
         Constraint::leq(LinExpr::var(i), LinExpr::var(n)),
         Constraint::geq(LinExpr::var(j), LinExpr::constant(1)),
         Constraint::leq(LinExpr::var(j), LinExpr::var(i)),
-        Constraint::eq(
-            LinExpr::var(d),
-            LinExpr::term(i, 2) + LinExpr::term(j, 3),
-        ),
+        Constraint::eq(LinExpr::var(d), LinExpr::term(i, 2) + LinExpr::term(j, 3)),
     ])
 }
 
@@ -78,5 +75,11 @@ fn bench_parse(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_fm, bench_regions, bench_predicates, bench_parse);
+criterion_group!(
+    benches,
+    bench_fm,
+    bench_regions,
+    bench_predicates,
+    bench_parse
+);
 criterion_main!(benches);

@@ -77,6 +77,9 @@ fn main() {
 
     println!(
         "{}",
-        render_table(&["configuration", "parallelized", "RT", "％loops", "analysis"], &rows)
+        render_table(
+            &["configuration", "parallelized", "RT", "％loops", "analysis"],
+            &rows
+        )
     );
 }

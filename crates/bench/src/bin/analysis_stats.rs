@@ -1,0 +1,186 @@
+//! Analysis-cost regenerator: per-program and per-suite analysis wall
+//! time plus the session's memoization statistics, written as
+//! `BENCH_analysis.json` (consumed by CI as a build artifact).
+//!
+//! Usage: `cargo run --release -p padfa-bench --bin analysis_stats
+//!         [--jobs N] [--runs N] [--out PATH]`
+
+use padfa_bench::median_time;
+use padfa_core::{analyze_program_session, AnalysisSession, Options, StatsSnapshot};
+use std::fmt::Write as _;
+
+struct ProgramCost {
+    name: &'static str,
+    suite: &'static str,
+    procedures: usize,
+    loops: usize,
+    wall_ms_jobs1: f64,
+    wall_ms_jobs_n: f64,
+    stats: StatsSnapshot,
+}
+
+fn json_stats(s: &StatsSnapshot) -> String {
+    let mut o = String::new();
+    let _ = write!(
+        o,
+        "{{\"hit_rate\": {:.4}, \"hits\": {}, \"misses\": {}, \
+         \"sys_empty\": [{}, {}], \"subset\": [{}, {}], \"subtract\": [{}, {}], \
+         \"intersect\": [{}, {}], \"union\": [{}, {}], \"project\": [{}, {}], \
+         \"implies\": [{}, {}], \"interned_systems\": {}, \"interned_regions\": {}, \
+         \"interned_preds\": {}, \"peak_table_entries\": {}, \"fm_projections\": {}, \
+         \"lat_overflow\": {}}}",
+        s.hit_rate(),
+        s.total_hits(),
+        s.total_queries() - s.total_hits(),
+        s.sys_empty.hits,
+        s.sys_empty.misses,
+        s.subset.hits,
+        s.subset.misses,
+        s.subtract.hits,
+        s.subtract.misses,
+        s.intersect.hits,
+        s.intersect.misses,
+        s.union.hits,
+        s.union.misses,
+        s.project.hits,
+        s.project.misses,
+        s.implies.hits,
+        s.implies.misses,
+        s.interned_systems,
+        s.interned_regions,
+        s.interned_preds,
+        s.peak_table_entries,
+        s.fm_projections,
+        s.lat_overflow,
+    );
+    o
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let jobs: usize = flag("--jobs").and_then(|v| v.parse().ok()).unwrap_or(4);
+    let runs: usize = flag("--runs").and_then(|v| v.parse().ok()).unwrap_or(3);
+    let out_path = flag("--out").unwrap_or_else(|| "BENCH_analysis.json".to_string());
+
+    let corpus = padfa_suite::build_corpus();
+    let opts = Options::predicated();
+    let mut costs: Vec<ProgramCost> = Vec::new();
+    for bench in &corpus {
+        let time_with = |j: usize| {
+            median_time(runs, || {
+                let sess = AnalysisSession::new(opts.clone()).with_jobs(j);
+                let _ = analyze_program_session(&bench.program, &sess);
+            })
+            .as_secs_f64()
+                * 1e3
+        };
+        let wall_ms_jobs1 = time_with(1);
+        let wall_ms_jobs_n = time_with(jobs);
+        // One more instrumented run for the stats snapshot.
+        let sess = AnalysisSession::new(opts.clone()).with_jobs(1);
+        let (result, _) = analyze_program_session(&bench.program, &sess);
+        costs.push(ProgramCost {
+            name: bench.name,
+            suite: bench.suite.label(),
+            procedures: bench.program.procedures.len(),
+            loops: result.loops.len(),
+            wall_ms_jobs1,
+            wall_ms_jobs_n,
+            stats: result.stats,
+        });
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"jobs\": {jobs},");
+    let _ = writeln!(json, "  \"runs\": {runs},");
+    json.push_str("  \"programs\": [\n");
+    for (i, c) in costs.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"name\": \"{}\", \"suite\": \"{}\", \"procedures\": {}, \"loops\": {}, \
+             \"wall_ms_jobs1\": {:.3}, \"wall_ms_jobs{}\": {:.3}, \"session\": {}}}",
+            c.name,
+            c.suite,
+            c.procedures,
+            c.loops,
+            c.wall_ms_jobs1,
+            jobs,
+            c.wall_ms_jobs_n,
+            json_stats(&c.stats),
+        );
+        json.push_str(if i + 1 < costs.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n");
+
+    // Per-suite aggregates.
+    let mut suites: Vec<&str> = Vec::new();
+    for c in &costs {
+        if !suites.contains(&c.suite) {
+            suites.push(c.suite);
+        }
+    }
+    json.push_str("  \"suites\": [\n");
+    for (i, suite) in suites.iter().enumerate() {
+        let members: Vec<&ProgramCost> = costs.iter().filter(|c| c.suite == *suite).collect();
+        let wall1: f64 = members.iter().map(|c| c.wall_ms_jobs1).sum();
+        let walln: f64 = members.iter().map(|c| c.wall_ms_jobs_n).sum();
+        let hits: u64 = members.iter().map(|c| c.stats.total_hits()).sum();
+        let queries: u64 = members.iter().map(|c| c.stats.total_queries()).sum();
+        let best = members
+            .iter()
+            .map(|c| c.stats.hit_rate())
+            .fold(0.0f64, f64::max);
+        let _ = write!(
+            json,
+            "    {{\"suite\": \"{}\", \"programs\": {}, \"wall_ms_jobs1\": {:.3}, \
+             \"wall_ms_jobs{}\": {:.3}, \"hit_rate\": {:.4}, \"best_program_hit_rate\": {:.4}}}",
+            suite,
+            members.len(),
+            wall1,
+            jobs,
+            walln,
+            if queries > 0 {
+                hits as f64 / queries as f64
+            } else {
+                0.0
+            },
+            best,
+        );
+        json.push_str(if i + 1 < suites.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| {
+        eprintln!("analysis_stats: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    });
+
+    // Human-readable recap on stdout.
+    for c in &costs {
+        println!(
+            "{:<12} {:>7.2} ms (jobs=1) {:>7.2} ms (jobs={jobs})  hit rate {:>5.1}%  \
+             [{} loops, {} procs]",
+            c.name,
+            c.wall_ms_jobs1,
+            c.wall_ms_jobs_n,
+            c.stats.hit_rate() * 100.0,
+            c.loops,
+            c.procedures,
+        );
+    }
+    let best = costs
+        .iter()
+        .max_by(|a, b| a.stats.hit_rate().total_cmp(&b.stats.hit_rate()))
+        .expect("non-empty corpus");
+    println!(
+        "\nwrote {out_path}; best memo hit rate: {:.1}% ({})",
+        best.stats.hit_rate() * 100.0,
+        best.name
+    );
+}

@@ -57,9 +57,13 @@ fn main() {
                 reductions: vec![],
             },
         );
-        let oracle = run_main(&prog, args.clone(), &RunConfig::parallel(workers, oracle_plan))
-            .unwrap()
-            .sim_time;
+        let oracle = run_main(
+            &prog,
+            args.clone(),
+            &RunConfig::parallel(workers, oracle_plan),
+        )
+        .unwrap()
+        .sim_time;
 
         // Predicated two-version plan.
         let analysis = analyze_program(&prog, &Options::predicated());
@@ -88,7 +92,12 @@ fn main() {
         "{}",
         render_table(
             &[
-                "arrays", "oracle", "two-version", "test-ovh", "inspector", "inspector-ovh",
+                "arrays",
+                "oracle",
+                "two-version",
+                "test-ovh",
+                "inspector",
+                "inspector-ovh",
             ],
             &rows,
         )

@@ -24,11 +24,7 @@ use padfa_suite::kernels::{kernel, kernel_args, KERNELS};
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let wall = args.iter().any(|a| a == "--wall");
-    let nums: Vec<usize> = args
-        .iter()
-        .skip(1)
-        .filter_map(|s| s.parse().ok())
-        .collect();
+    let nums: Vec<usize> = args.iter().skip(1).filter_map(|s| s.parse().ok()).collect();
     let rows: usize = nums.first().copied().unwrap_or(64);
     let cols: usize = nums.get(1).copied().unwrap_or(400);
     let reps: usize = nums.get(2).copied().unwrap_or(3);
@@ -81,7 +77,15 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["program", "plan", "S(1)", "S(2)", "S(4)", "S(8)", "mechanism"],
+            &[
+                "program",
+                "plan",
+                "S(1)",
+                "S(2)",
+                "S(4)",
+                "S(8)",
+                "mechanism"
+            ],
             &table,
         )
     );

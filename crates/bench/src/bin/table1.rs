@@ -104,8 +104,18 @@ fn main() {
         "{}",
         render_table(
             &[
-                "program", "suite", "loops", "base", "guarded", "pred", "RT",
-                "remain", "ELPD-par", "recov", "recov%", "new-outer",
+                "program",
+                "suite",
+                "loops",
+                "base",
+                "guarded",
+                "pred",
+                "RT",
+                "remain",
+                "ELPD-par",
+                "recov",
+                "recov%",
+                "new-outer",
             ],
             &table,
         )

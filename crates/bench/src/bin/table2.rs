@@ -113,8 +113,15 @@ fn main() {
         "{}",
         render_table(
             &[
-                "program", "loop", "depth", "coverage", "gran", "category", "CT/RT",
-                "xform", "run-time test",
+                "program",
+                "loop",
+                "depth",
+                "coverage",
+                "gran",
+                "category",
+                "CT/RT",
+                "xform",
+                "run-time test",
             ],
             &rows,
         )

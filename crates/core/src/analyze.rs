@@ -3,16 +3,18 @@
 
 use crate::component::PredComponent;
 use crate::deptest::test_loop;
-use crate::interproc::{call_order, conservative_summary, translate_call};
+use crate::interproc::{call_order, conservative_summary, translate_call, CallOrder};
 use crate::options::Options;
 use crate::region::access_section;
 use crate::report::{AnalysisResult, LoopReport, Mechanisms, NotCandidateReason};
+use crate::session::AnalysisSession;
 use crate::summary::Summary;
-use padfa_ir::ast::{Block, BoolExpr, Expr, Loop, Procedure, Program, Stmt};
 use padfa_ir::affine;
+use padfa_ir::ast::{Block, BoolExpr, Expr, Loop, Procedure, Program, Stmt};
 use padfa_omega::{Constraint, Disjunction, LinExpr, System, Var};
 use padfa_pred::{Atom, Pred};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Run the analysis over a whole program.
 ///
@@ -20,7 +22,8 @@ use std::collections::HashMap;
 /// receives a [`LoopReport`]. Loops in recursive procedures are handled
 /// conservatively.
 pub fn analyze_program(prog: &Program, opts: &Options) -> AnalysisResult {
-    analyze_program_with_summaries(prog, opts).0
+    let sess = AnalysisSession::new(opts.clone());
+    analyze_program_session(prog, &sess).0
 }
 
 /// Like [`analyze_program`], additionally returning the per-procedure
@@ -30,30 +33,103 @@ pub fn analyze_program_with_summaries(
     prog: &Program,
     opts: &Options,
 ) -> (AnalysisResult, HashMap<String, Summary>) {
+    let sess = AnalysisSession::new(opts.clone());
+    let (result, summaries) = analyze_program_session(prog, &sess);
+    let summaries = summaries
+        .into_iter()
+        .map(|(name, s)| (name, (*s).clone()))
+        .collect();
+    (result, summaries)
+}
+
+/// Run the analysis against a caller-provided [`AnalysisSession`]
+/// (options, interners, memo tables, worker count).
+///
+/// Procedures are partitioned into topological levels of the call graph
+/// and every level's procedures are analyzed concurrently when the
+/// session requests more than one job; the output is bit-identical
+/// regardless of worker count (see the session module docs).
+pub fn analyze_program_session(
+    prog: &Program,
+    sess: &AnalysisSession,
+) -> (AnalysisResult, HashMap<String, Arc<Summary>>) {
+    sess.pre_intern(prog);
     let co = call_order(prog);
+    let mut proc_summaries: HashMap<String, Arc<Summary>> = HashMap::new();
+    let mut reports: Vec<LoopReport> = Vec::new();
+    let jobs = sess.jobs();
+    for level in &co.levels {
+        let done: Vec<(usize, Arc<Summary>, Vec<LoopReport>)> = if jobs <= 1 || level.len() <= 1 {
+            level
+                .iter()
+                .map(|&idx| analyze_proc(prog, idx, &co, &proc_summaries, sess))
+                .collect()
+        } else {
+            let chunk = level.len().div_ceil(jobs);
+            let summaries = &proc_summaries;
+            let co_ref = &co;
+            std::thread::scope(|s| {
+                let handles: Vec<_> = level
+                    .chunks(chunk)
+                    .map(|ids| {
+                        s.spawn(move || {
+                            ids.iter()
+                                .map(|&idx| analyze_proc(prog, idx, co_ref, summaries, sess))
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("analysis worker panicked"))
+                    .collect()
+            })
+        };
+        for (idx, summary, reps) in done {
+            proc_summaries.insert(prog.procedures[idx].name.clone(), summary);
+            reports.extend(reps);
+        }
+    }
+    // Loop ids are assigned by the parser in program order, so sorting
+    // restores a schedule-independent report order.
+    reports.sort_by_key(|r| r.id);
+    let result = AnalysisResult {
+        loops: reports,
+        stats: sess.stats(),
+    };
+    (result, proc_summaries)
+}
+
+/// Summarize one procedure against the already-completed summaries of
+/// strictly lower call-graph levels.
+fn analyze_proc(
+    prog: &Program,
+    idx: usize,
+    co: &CallOrder,
+    summaries: &HashMap<String, Arc<Summary>>,
+    sess: &AnalysisSession,
+) -> (usize, Arc<Summary>, Vec<LoopReport>) {
+    let proc = &prog.procedures[idx];
     let mut az = Analyzer {
         prog,
-        opts,
-        proc_summaries: HashMap::new(),
+        sess,
+        proc_summaries: summaries,
         reports: Vec::new(),
     };
-    for &idx in &co.order {
-        let proc = &prog.procedures[idx];
-        let summary = if co.recursive.contains(&idx) {
-            conservative_summary(proc)
-        } else {
-            az.analyze_block(proc, &proc.body, 0)
-        };
-        az.proc_summaries.insert(proc.name.clone(), summary);
-    }
-    az.reports.sort_by_key(|r| r.id);
-    (AnalysisResult { loops: az.reports }, az.proc_summaries)
+    let summary = if co.recursive.contains(&idx) {
+        conservative_summary(proc)
+    } else {
+        az.analyze_block(proc, &proc.body, 0)
+    };
+    (idx, Arc::new(summary), az.reports)
 }
 
 struct Analyzer<'a> {
     prog: &'a Program,
-    opts: &'a Options,
-    proc_summaries: HashMap<String, Summary>,
+    sess: &'a AnalysisSession,
+    /// Summaries of procedures from lower call-graph levels (read-only:
+    /// every callee of the procedure under analysis is already here).
+    proc_summaries: &'a HashMap<String, Arc<Summary>>,
     reports: Vec<LoopReport>,
 }
 
@@ -62,7 +138,7 @@ impl<'a> Analyzer<'a> {
         let mut acc = Summary::empty();
         for stmt in &block.stmts {
             let s = self.analyze_stmt(proc, stmt, depth);
-            acc = acc.seq(&s, self.opts);
+            acc = acc.seq(&s, self.sess);
         }
         acc
     }
@@ -87,7 +163,7 @@ impl<'a> Analyzer<'a> {
                         arr.mw = PredComponent::unconditional(section);
                     }
                 }
-                reads.seq(&writes, self.opts)
+                reads.seq(&writes, self.sess)
             }
             Stmt::If {
                 cond,
@@ -99,8 +175,8 @@ impl<'a> Analyzer<'a> {
                 let t = self.analyze_block(proc, then_blk, depth);
                 let e = self.analyze_block(proc, else_blk, depth);
                 let cond_pred = Pred::from_bool(cond);
-                let merged = Summary::if_merge(&cond_pred, &t, &e, self.opts);
-                cond_reads.seq(&merged, self.opts)
+                let merged = Summary::if_merge(&cond_pred, &t, &e, self.sess);
+                cond_reads.seq(&merged, self.sess)
             }
             Stmt::For(l) => self.handle_loop(proc, l, depth),
             Stmt::Call { callee, args } => {
@@ -111,14 +187,14 @@ impl<'a> Analyzer<'a> {
                     .proc_summaries
                     .get(callee)
                     .cloned()
-                    .unwrap_or_else(|| conservative_summary(callee_proc));
+                    .unwrap_or_else(|| Arc::new(conservative_summary(callee_proc)));
                 let mut mech = Mechanisms::default();
                 translate_call(
                     &callee_summary,
                     callee_proc,
                     proc,
                     args,
-                    self.opts,
+                    self.sess,
                     &mut mech,
                 )
             }
@@ -145,8 +221,8 @@ impl<'a> Analyzer<'a> {
 
     /// Summarize and test one loop.
     fn handle_loop(&mut self, proc: &Procedure, l: &Loop, depth: usize) -> Summary {
-        let opts = self.opts;
-        let limits = opts.limits;
+        let sess = self.sess;
+        let opts = &sess.opts;
 
         // Bound expressions are read at loop entry.
         let mut bound_reads = Summary::empty();
@@ -190,9 +266,7 @@ impl<'a> Analyzer<'a> {
         let loop_var = l.var;
         let unstable = move |v: Var| writes.contains(&v);
         let writes2 = body.scalar_writes.clone();
-        let is_symbolic = move |v: Var| {
-            !v.is_synthetic() && v != loop_var && !writes2.contains(&v)
-        };
+        let is_symbolic = move |v: Var| !v.is_synthetic() && v != loop_var && !writes2.contains(&v);
 
         // Sanitize and embed the per-iteration summary.
         let mut mechanisms = Mechanisms::default();
@@ -204,22 +278,22 @@ impl<'a> Analyzer<'a> {
         for (&a, s) in &body.arrays {
             let sanitize = |c: &PredComponent, may: bool| c.degrade_unstable(&unstable, may);
             let mut arr = crate::summary::ArraySummary {
-                w: embed_index_preds(&sanitize(&s.w, false), l.var, false, opts, &mut mechanisms),
-                mw: embed_index_preds(&sanitize(&s.mw, true), l.var, true, opts, &mut mechanisms),
-                r: embed_index_preds(&sanitize(&s.r, true), l.var, true, opts, &mut mechanisms),
-                e: embed_index_preds(&sanitize(&s.e, true), l.var, true, opts, &mut mechanisms),
+                w: embed_index_preds(&sanitize(&s.w, false), l.var, false, sess, &mut mechanisms),
+                mw: embed_index_preds(&sanitize(&s.mw, true), l.var, true, sess, &mut mechanisms),
+                r: embed_index_preds(&sanitize(&s.r, true), l.var, true, sess, &mut mechanisms),
+                e: embed_index_preds(&sanitize(&s.e, true), l.var, true, sess, &mut mechanisms),
             };
-            arr.w.normalize(opts.max_pieces, false, limits);
-            arr.mw.normalize(opts.max_pieces, true, limits);
-            arr.r.normalize(opts.max_pieces, true, limits);
-            arr.e.normalize(opts.max_pieces, true, limits);
+            arr.w.normalize(opts.max_pieces, false, sess);
+            arr.mw.normalize(opts.max_pieces, true, sess);
+            arr.r.normalize(opts.max_pieces, true, sess);
+            arr.e.normalize(opts.max_pieces, true, sess);
             iter.arrays.insert(a, arr);
         }
 
         // Two-or-more-iterations predicate (suppresses degenerate tests).
         let trip2 = trip2_pred(&l.lo, &l.hi, &lo_lin, &hi_lin, l.step);
 
-        let decision = test_loop(&iter, &l.body, l.var, &ctx, opts, &is_symbolic, &trip2);
+        let decision = test_loop(&iter, &l.body, l.var, &ctx, sess, &is_symbolic, &trip2);
         mechanisms.predicates |= decision.mechanisms.predicates;
         mechanisms.embedding |= decision.mechanisms.embedding;
         mechanisms.extraction |= decision.mechanisms.extraction;
@@ -330,7 +404,12 @@ impl<'a> Analyzer<'a> {
                 }
                 out.push(p.pred.clone(), r);
             }
-            existentialize(out.project_out(&prev_project, false, limits), &prev_aux)
+            existentialize(
+                out.project_out(&prev_project, false, sess),
+                &prev_aux,
+                sess,
+                &proc.name,
+            )
         };
 
         let preds = opts.predicates_enabled();
@@ -345,7 +424,7 @@ impl<'a> Analyzer<'a> {
                 &w_prev_of_i(&s.w),
                 preds,
                 extract_fn,
-                limits,
+                sess,
                 &mut fired,
             );
             if fired {
@@ -355,44 +434,63 @@ impl<'a> Analyzer<'a> {
             }
             let mut arr = crate::summary::ArraySummary {
                 w: existentialize(
-                    with_ctx(&s.w).project_out(&project, false, limits),
+                    with_ctx(&s.w).project_out(&project, false, sess),
                     &aux_vars,
+                    sess,
+                    &proc.name,
                 ),
                 mw: existentialize(
-                    with_ctx(&s.mw).project_out(&project, true, limits),
+                    with_ctx(&s.mw).project_out(&project, true, sess),
                     &aux_vars,
+                    sess,
+                    &proc.name,
                 ),
                 r: existentialize(
-                    with_ctx(&s.r).project_out(&project, true, limits),
+                    with_ctx(&s.r).project_out(&project, true, sess),
                     &aux_vars,
+                    sess,
+                    &proc.name,
                 ),
-                e: existentialize(e_inner.project_out(&project, true, limits), &aux_vars),
+                e: existentialize(
+                    e_inner.project_out(&project, true, sess),
+                    &aux_vars,
+                    sess,
+                    &proc.name,
+                ),
             };
-            arr.w.normalize(opts.max_pieces, false, limits);
-            arr.mw.normalize(opts.max_pieces, true, limits);
-            arr.r.normalize(opts.max_pieces, true, limits);
-            arr.e.normalize(opts.max_pieces, true, limits);
+            arr.w.normalize(opts.max_pieces, false, sess);
+            arr.mw.normalize(opts.max_pieces, true, sess);
+            arr.r.normalize(opts.max_pieces, true, sess);
+            arr.e.normalize(opts.max_pieces, true, sess);
             if !arr.is_empty() {
                 loop_sum.arrays.insert(a, arr);
             }
         }
 
-        bound_reads.seq(&loop_sum, opts)
+        bound_reads.seq(&loop_sum, sess)
     }
 }
 
 /// Rename lattice existentials to fresh names, per piece, so regions
-/// from different loop summarizations never share an existential.
-fn existentialize(comp: PredComponent, aux: &[Var]) -> PredComponent {
+/// from different loop summarizations never share an existential. The
+/// replacement names are drawn from the session's per-procedure pool
+/// (`$lat.<proc>.<k>`), which keeps them deterministic under the
+/// parallel driver: each procedure is analyzed by exactly one worker.
+fn existentialize(
+    comp: PredComponent,
+    aux: &[Var],
+    sess: &AnalysisSession,
+    proc: &str,
+) -> PredComponent {
     if aux.is_empty() {
         return comp;
     }
     let mut out = PredComponent::empty();
     for p in comp.pieces {
-        let mut region = p.region;
+        let mut region = (*p.region).clone();
         for &v in aux {
             if region.vars().contains(&v) {
-                region = region.rename(v, Var::fresh("lat"));
+                region = region.rename(v, sess.lat_var(proc));
             }
         }
         out.push(p.pred, region);
@@ -439,7 +537,7 @@ fn embed_index_preds(
     comp: &PredComponent,
     loop_var: Var,
     may: bool,
-    opts: &Options,
+    sess: &AnalysisSession,
     mechanisms: &mut Mechanisms,
 ) -> PredComponent {
     let mut out = PredComponent::empty();
@@ -448,10 +546,10 @@ fn embed_index_preds(
             out.push(piece.pred.clone(), piece.region.clone());
             continue;
         }
-        if opts.embedding {
+        if sess.opts.embedding {
             if let Some(systems) = piece.pred.to_systems(8) {
                 let pred_region = Disjunction::from_systems(systems);
-                let embedded = piece.region.intersect(&pred_region, opts.limits);
+                let embedded = sess.intersect(&piece.region, &pred_region);
                 if may || embedded.is_exact() {
                     mechanisms.embedding = true;
                     out.push(Pred::True, embedded);
@@ -546,10 +644,7 @@ mod tests {
              for i = 1 to n { read x; a[i] = 1.0; } }",
             &Options::predicated(),
         );
-        assert_eq!(
-            r.loops[0].not_candidate,
-            Some(NotCandidateReason::ReadIo)
-        );
+        assert_eq!(r.loops[0].not_candidate, Some(NotCandidateReason::ReadIo));
     }
 
     #[test]
@@ -630,9 +725,7 @@ mod tests {
                 assert!(t.is_runtime_testable());
                 assert!(pr.loops[0].mechanisms.runtime_test);
                 // x <= 5 must make the loop safe.
-                let safe = Pred::from_bool(
-                    &padfa_ir::parse::parse_bool_expr("x <= 5").unwrap(),
-                );
+                let safe = Pred::from_bool(&padfa_ir::parse::parse_bool_expr("x <= 5").unwrap());
                 assert!(
                     safe.implies(t, Options::predicated().limits),
                     "x <= 5 should satisfy the test {t}"
@@ -664,9 +757,8 @@ mod tests {
                 assert!(t.is_runtime_testable(), "test: {t}");
                 assert!(pr.loops[0].mechanisms.extraction);
                 // m outside any iteration range must satisfy the test.
-                let outside = Pred::from_bool(
-                    &padfa_ir::parse::parse_bool_expr("m > 100").unwrap(),
-                );
+                let outside =
+                    Pred::from_bool(&padfa_ir::parse::parse_bool_expr("m > 100").unwrap());
                 assert!(
                     outside.implies(t, Options::predicated().limits),
                     "m > 100 should satisfy {t}"
@@ -701,7 +793,10 @@ mod tests {
             "outer loop: {}",
             pr.loops[0]
         );
-        assert!(pr.loops[0].privatized.iter().any(|p| p.array == Var::new("help")));
+        assert!(pr.loops[0]
+            .privatized
+            .iter()
+            .any(|p| p.array == Var::new("help")));
     }
 
     #[test]

@@ -1,15 +1,19 @@
 //! Predicated data-flow value components: sets of guarded regions.
 
+use crate::session::AnalysisSession;
 use padfa_omega::{Disjunction, Limits, Var};
 use padfa_pred::{extract_symbolic, Pred};
 use std::fmt;
+use std::sync::Arc;
 
 /// One guarded region: "when `pred` holds, the component includes
-/// `region`". A piece with `pred = True` is unconditional.
+/// `region`". Regions are shared immutable handles (hash-consed by the
+/// session on memoized paths), so cloning a piece never deep-copies the
+/// constraint systems. A piece with `pred = True` is unconditional.
 #[derive(Clone, PartialEq, Debug)]
 pub struct GuardedRegion {
     pub pred: Pred,
-    pub region: Disjunction,
+    pub region: Arc<Disjunction>,
 }
 
 /// A predicated component (one of W/MW/R/E for one array in one region):
@@ -31,25 +35,26 @@ impl PredComponent {
         PredComponent { pieces: Vec::new() }
     }
 
-    pub fn single(pred: Pred, region: Disjunction) -> PredComponent {
+    pub fn single(pred: Pred, region: impl Into<Arc<Disjunction>>) -> PredComponent {
         let mut c = PredComponent::empty();
         c.push(pred, region);
         c
     }
 
-    pub fn unconditional(region: Disjunction) -> PredComponent {
+    pub fn unconditional(region: impl Into<Arc<Disjunction>>) -> PredComponent {
         PredComponent::single(Pred::True, region)
     }
 
     /// Add a piece, dropping trivially-dead ones and merging with an
     /// existing piece that has the same predicate.
-    pub fn push(&mut self, pred: Pred, region: Disjunction) {
+    pub fn push(&mut self, pred: Pred, region: impl Into<Arc<Disjunction>>) {
+        let region = region.into();
         if pred.is_false() || region.is_empty_union() {
             return;
         }
         for p in &mut self.pieces {
             if p.pred == pred {
-                p.region = p.region.union(&region, Limits::default());
+                p.region = Arc::new(p.region.union(&region, Limits::default()));
                 return;
             }
         }
@@ -62,8 +67,8 @@ impl PredComponent {
     }
 
     /// Sound emptiness of the whole component (ignoring predicates).
-    pub fn is_region_empty(&self, limits: Limits) -> bool {
-        self.pieces.iter().all(|p| p.region.is_empty(limits))
+    pub fn is_region_empty(&self, sess: &AnalysisSession) -> bool {
+        self.pieces.iter().all(|p| sess.is_empty(&p.region))
     }
 
     /// Union of two components.
@@ -89,21 +94,21 @@ impl PredComponent {
 
     /// The union of all regions regardless of predicates — the sound
     /// **may** reading of the component.
-    pub fn may_region(&self, limits: Limits) -> Disjunction {
-        let mut acc = Disjunction::empty();
+    pub fn may_region(&self, sess: &AnalysisSession) -> Arc<Disjunction> {
+        let mut acc = Arc::new(Disjunction::empty());
         for p in &self.pieces {
-            acc = acc.union(&p.region, limits);
+            acc = sess.union(&acc, &p.region);
         }
         acc
     }
 
     /// The union of regions whose predicate is implied by `assume` — the
     /// sound **must** reading under an assumption.
-    pub fn must_region(&self, assume: &Pred, limits: Limits) -> Disjunction {
-        let mut acc = Disjunction::empty();
+    pub fn must_region(&self, assume: &Pred, sess: &AnalysisSession) -> Arc<Disjunction> {
+        let mut acc = Arc::new(Disjunction::empty());
         for p in &self.pieces {
-            if assume.implies(&p.pred, limits) {
-                acc = acc.union(&p.region, limits);
+            if sess.implies(assume, &p.pred) {
+                acc = sess.union(&acc, &p.region);
             }
         }
         acc
@@ -133,8 +138,9 @@ impl PredComponent {
     /// for may components the merged predicate is the disjunction (the
     /// region may be accessed if either guard held); for must components
     /// the conjunction (both writes happen only when both guards hold).
-    pub fn normalize(&mut self, max_pieces: usize, may: bool, limits: Limits) {
-        self.pieces.retain(|p| !p.pred.is_false() && !p.region.is_empty(limits));
+    pub fn normalize(&mut self, max_pieces: usize, may: bool, sess: &AnalysisSession) {
+        self.pieces
+            .retain(|p| !p.pred.is_false() && !sess.is_empty(&p.region));
         // Keep unconditional pieces first (they are the "default" value).
         self.pieces.sort_by_key(|p| !p.pred.is_true());
         while self.pieces.len() > max_pieces.max(1) {
@@ -145,7 +151,7 @@ impl PredComponent {
             } else {
                 Pred::and(a.pred, b.pred)
             };
-            let region = a.region.union(&b.region, limits);
+            let region = sess.union(&a.region, &b.region);
             self.push(pred, region);
         }
     }
@@ -153,10 +159,10 @@ impl PredComponent {
     /// Project variables out of every region. For must components
     /// (`may = false`) pieces whose projection is inexact are dropped
     /// (an over-approximated must-region would be unsound).
-    pub fn project_out(&self, vars: &[Var], may: bool, limits: Limits) -> PredComponent {
+    pub fn project_out(&self, vars: &[Var], may: bool, sess: &AnalysisSession) -> PredComponent {
         let mut out = PredComponent::empty();
         for p in &self.pieces {
-            let r = p.region.project_out(vars, limits);
+            let r = sess.project_out(&p.region, vars);
             if !may && !r.is_exact() {
                 continue;
             }
@@ -175,7 +181,7 @@ impl PredComponent {
                 .iter()
                 .map(|p| GuardedRegion {
                     pred: p.pred.clone(),
-                    region: p.region.rename(from, to),
+                    region: Arc::new(p.region.rename(from, to)),
                 })
                 .collect(),
         }
@@ -203,20 +209,20 @@ impl PredComponent {
         w: &PredComponent,
         predicates: bool,
         extract: Option<&dyn Fn(Var) -> bool>,
-        limits: Limits,
+        sess: &AnalysisSession,
         extraction_fired: &mut bool,
     ) -> PredComponent {
         let mut cur = self.clone();
         for wp in &w.pieces {
             let mut next = PredComponent::empty();
             for ep in &cur.pieces {
-                if wp.pred.is_true() || ep.pred.implies(&wp.pred, limits) {
-                    let rem = ep.region.subtract(&wp.region, limits);
+                if wp.pred.is_true() || sess.implies(&ep.pred, &wp.pred) {
+                    let rem = sess.subtract(&ep.region, &wp.region);
                     next.push(ep.pred.clone(), rem);
                 } else if predicates {
                     let optimistic = Pred::and(ep.pred.clone(), wp.pred.clone());
                     if !optimistic.is_false() {
-                        let rem = ep.region.subtract(&wp.region, limits);
+                        let rem = sess.subtract(&ep.region, &wp.region);
                         next.push(optimistic, rem);
                     }
                     let pessimistic = Pred::and(ep.pred.clone(), wp.pred.negate());
@@ -230,7 +236,7 @@ impl PredComponent {
             cur = next;
         }
         if let Some(is_symbolic) = extract {
-            cur = cur.extract_predicates(is_symbolic, limits, extraction_fired);
+            cur = cur.extract_predicates(is_symbolic, sess, extraction_fired);
         }
         cur
     }
@@ -247,9 +253,10 @@ impl PredComponent {
     pub fn extract_predicates(
         &self,
         is_symbolic: &dyn Fn(Var) -> bool,
-        limits: Limits,
+        sess: &AnalysisSession,
         fired: &mut bool,
     ) -> PredComponent {
+        let limits = sess.limits();
         let mut out = PredComponent::empty();
         for p in &self.pieces {
             if p.region.is_empty_union() {
@@ -265,6 +272,7 @@ impl PredComponent {
                     .into_iter()
                     .filter(|&v| !is_symbolic(v))
                     .collect();
+                sess.note_fm_projection();
                 let proj = residual.project_out(&junk, limits);
                 let (q_proj, leftover) = extract_symbolic(&proj.system, is_symbolic);
                 // `leftover` can only be non-universe if projection left
@@ -313,11 +321,15 @@ impl fmt::Display for PredComponent {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::options::Options;
     use padfa_omega::{Constraint, LinExpr, System};
     use padfa_pred::Pred;
 
     fn v(n: &str) -> Var {
         Var::new(n)
+    }
+    fn sess() -> AnalysisSession {
+        AnalysisSession::new(Options::predicated())
     }
     fn lim() -> Limits {
         Limits::default()
@@ -345,17 +357,18 @@ mod tests {
 
     #[test]
     fn may_and_must_readings() {
+        let s = sess();
         let mut c = PredComponent::empty();
         c.push(Pred::True, interval("d", 1, 3));
         c.push(pred("x > 1"), interval("d", 5, 8));
-        let may = c.may_region(lim());
+        let may = c.may_region(&s);
         assert_eq!(may.contains(&|_| Some(6)), Some(true));
         // Under no assumption, only the unconditional piece is must.
-        let must = c.must_region(&Pred::True, lim());
+        let must = c.must_region(&Pred::True, &s);
         assert_eq!(must.contains(&|_| Some(6)), Some(false));
         assert_eq!(must.contains(&|_| Some(2)), Some(true));
         // Under the assumption x > 1, both pieces are must.
-        let must2 = c.must_region(&pred("x > 1"), lim());
+        let must2 = c.must_region(&pred("x > 1"), &s);
         assert_eq!(must2.contains(&|_| Some(6)), Some(true));
     }
 
@@ -386,11 +399,12 @@ mod tests {
         c.push(pred("x > 1"), interval("d", 3, 4));
         c.push(pred("y > 1"), interval("d", 5, 6));
         c.push(pred("z > 1"), interval("d", 7, 8));
+        let s = sess();
         let mut may = c.clone();
-        may.normalize(2, true, lim());
+        may.normalize(2, true, &s);
         assert!(may.pieces.len() <= 2);
         // All regions must still be covered (may = over-approx).
-        let m = may.may_region(lim());
+        let m = may.may_region(&s);
         for x in [1, 3, 5, 7] {
             assert_eq!(m.contains(&|_| Some(x)), Some(true));
         }
@@ -399,11 +413,12 @@ mod tests {
     #[test]
     fn pred_subtract_implied_guard() {
         // E = [1,10] under p; W = [1,10] under p. p ⇒ p: remainder empty.
+        let s = sess();
         let e = PredComponent::single(pred("x > 1"), interval("d", 1, 10));
         let w = PredComponent::single(pred("x > 1"), interval("d", 1, 10));
         let mut fired = false;
-        let r = e.pred_subtract(&w, true, None, lim(), &mut fired);
-        assert!(r.is_region_empty(lim()));
+        let r = e.pred_subtract(&w, true, None, &s, &mut fired);
+        assert!(r.is_region_empty(&s));
         assert!(!fired);
     }
 
@@ -411,15 +426,16 @@ mod tests {
     fn pred_subtract_splits_on_unrelated_guard() {
         // E unconditional [1,10]; W guarded by x > 1 over [1,10]:
         // remainder exposed only when !(x > 1).
+        let s = sess();
         let e = PredComponent::unconditional(interval("d", 1, 10));
         let w = PredComponent::single(pred("x > 1"), interval("d", 1, 10));
         let mut fired = false;
-        let r = e.pred_subtract(&w, true, None, lim(), &mut fired);
+        let r = e.pred_subtract(&w, true, None, &s, &mut fired);
         // One piece (x > 1, ∅) dropped; one piece (x <= 1, [1,10]).
         assert_eq!(r.pieces.len(), 1);
         assert_eq!(r.pieces[0].pred, pred("x <= 1"));
         // Without predicates the subtraction cannot happen at all.
-        let r2 = e.pred_subtract(&w, false, None, lim(), &mut fired);
+        let r2 = e.pred_subtract(&w, false, None, &s, &mut fired);
         assert_eq!(r2.pieces[0].pred, Pred::True);
         assert_eq!(r2.pieces[0].region.contains(&|_| Some(5)), Some(true));
     }
@@ -433,9 +449,10 @@ mod tests {
             Constraint::geq(LinExpr::var(v("d")), LinExpr::constant(1)),
             Constraint::leq(LinExpr::var(v("d")), LinExpr::var(v("n"))),
         ])));
+        let s = sess();
         let mut fired = false;
         let nvar = v("n");
-        let r = e.pred_subtract(&w, true, Some(&|x| x == nvar), lim(), &mut fired);
+        let r = e.pred_subtract(&w, true, Some(&|x| x == nvar), &s, &mut fired);
         assert!(fired, "extraction should fire");
         assert_eq!(r.pieces.len(), 1);
         // The predicate must say n <= 9 (i.e. n + 1 <= 10).
@@ -451,11 +468,12 @@ mod tests {
             Constraint::geq0(LinExpr::term(v("q"), 2) - LinExpr::var(v("d"))),
             Constraint::geq0(LinExpr::term(v("q"), -3) + LinExpr::var(v("d"))),
         ]);
+        let s = sess();
         let c = PredComponent::unconditional(Disjunction::from_system(sys));
         let qv = v("q");
-        let must = c.project_out(&[qv], false, lim());
+        let must = c.project_out(&[qv], false, &s);
         assert!(must.is_empty());
-        let may = c.project_out(&[qv], true, lim());
+        let may = c.project_out(&[qv], true, &s);
         assert!(!may.is_empty());
     }
 }

@@ -2,10 +2,10 @@
 //! test derivation.
 
 use crate::component::PredComponent;
-use crate::options::Options;
 use crate::reduce::find_reductions;
 use crate::region::primed;
 use crate::report::{Mechanisms, Outcome, PrivArray, Reduction};
+use crate::session::AnalysisSession;
 use crate::summary::Summary;
 use padfa_ir::ast::Block;
 use padfa_omega::{Constraint, Disjunction, LinExpr, System, Var};
@@ -46,10 +46,11 @@ fn conflict_condition(
     ctx: &System,
     ctx2: &System,
     loop_var: Var,
-    opts: &Options,
+    sess: &AnalysisSession,
     is_symbolic: &dyn Fn(Var) -> bool,
     mechanisms: &mut Mechanisms,
 ) -> Pred {
+    let opts = &sess.opts;
     let i2 = primed(loop_var);
     // Guards: with predicates enabled, the conflict needs both guards
     // true. Complementary guards fold to False here (compile-time win).
@@ -73,10 +74,9 @@ fn conflict_condition(
         Constraint::gt(LinExpr::var(loop_var), LinExpr::var(i2)),
     ] {
         let x2 = x.rename(loop_var, i2);
-        let mut inter = w.intersect(&x2, limits);
-        inter = Disjunction::from_systems(
-            inter
-                .systems()
+        let base = sess.intersect(w, &x2);
+        let inter = Disjunction::from_systems(
+            base.systems()
                 .iter()
                 .map(|s| {
                     let mut t = s.and(ctx).and(ctx2);
@@ -85,7 +85,7 @@ fn conflict_condition(
                 })
                 .collect::<Vec<_>>(),
         );
-        if inter.is_empty(limits) {
+        if sess.is_empty(&inter) {
             continue;
         }
         if !opts.extraction {
@@ -94,7 +94,12 @@ fn conflict_condition(
         // Project out everything non-symbolic; the remaining constraints
         // on symbolics are the condition for the conflict to exist.
         for sys in inter.systems() {
-            let junk: Vec<Var> = sys.vars().into_iter().filter(|&v| !is_symbolic(v)).collect();
+            let junk: Vec<Var> = sys
+                .vars()
+                .into_iter()
+                .filter(|&v| !is_symbolic(v))
+                .collect();
+            sess.note_fm_projection();
             let p = sys.project_out(&junk, limits);
             if p.system.is_contradiction() {
                 continue;
@@ -124,7 +129,7 @@ fn array_dependence_condition(
     ctx: &System,
     ctx2: &System,
     loop_var: Var,
-    opts: &Options,
+    sess: &AnalysisSession,
     is_symbolic: &dyn Fn(Var) -> bool,
     mechanisms: &mut Mechanisms,
 ) -> Pred {
@@ -140,7 +145,7 @@ fn array_dependence_condition(
                 ctx,
                 ctx2,
                 loop_var,
-                opts,
+                sess,
                 is_symbolic,
                 mechanisms,
             );
@@ -163,7 +168,7 @@ fn privatization_unsafe_condition(
     ctx: &System,
     ctx2: &System,
     loop_var: Var,
-    opts: &Options,
+    sess: &AnalysisSession,
     is_symbolic: &dyn Fn(Var) -> bool,
     mechanisms: &mut Mechanisms,
 ) -> Pred {
@@ -178,7 +183,7 @@ fn privatization_unsafe_condition(
                 ctx,
                 ctx2,
                 loop_var,
-                opts,
+                sess,
                 is_symbolic,
                 mechanisms,
             );
@@ -208,12 +213,12 @@ pub fn test_loop(
     body_block: &Block,
     loop_var: Var,
     ctx: &System,
-    opts: &Options,
+    sess: &AnalysisSession,
     is_symbolic: &dyn Fn(Var) -> bool,
     trip2: &Pred,
 ) -> LoopDecision {
+    let opts = &sess.opts;
     let mut mechanisms = Mechanisms::default();
-    let limits = opts.limits;
     let i2 = primed(loop_var);
     // The primed context must rename not just the loop index but every
     // loop-varying synthetic variable in the context (e.g. the step
@@ -241,7 +246,14 @@ pub fn test_loop(
             continue; // read-only arrays never carry dependences
         }
         let dep = array_dependence_condition(
-            &s.mw, &s.r, ctx, &ctx2, loop_var, opts, is_symbolic, &mut mechanisms,
+            &s.mw,
+            &s.r,
+            ctx,
+            &ctx2,
+            loop_var,
+            sess,
+            is_symbolic,
+            &mut mechanisms,
         );
         if dep.is_false() {
             continue; // independent
@@ -249,12 +261,19 @@ pub fn test_loop(
         // Try privatization: legal when no exposed read of one iteration
         // overlaps a write of another.
         let unsafe_priv = privatization_unsafe_condition(
-            &s.e, &s.mw, ctx, &ctx2, loop_var, opts, is_symbolic, &mut mechanisms,
+            &s.e,
+            &s.mw,
+            ctx,
+            &ctx2,
+            loop_var,
+            sess,
+            is_symbolic,
+            &mut mechanisms,
         );
         if unsafe_priv.is_false() {
             privatized.push(PrivArray {
                 array,
-                copy_in: !s.e.is_region_empty(limits),
+                copy_in: !s.e.is_region_empty(sess),
                 copy_out: true,
             });
             continue;
@@ -278,7 +297,7 @@ pub fn test_loop(
                 if with_priv {
                     privatized.push(PrivArray {
                         array,
-                        copy_in: !s.e.is_region_empty(limits),
+                        copy_in: !s.e.is_region_empty(sess),
                         copy_out: true,
                     });
                 }
@@ -340,6 +359,7 @@ mod tests {
     // `test_loop` is exercised end-to-end through `analyze::tests` and
     // the integration suite; here we unit-test the conflict-condition
     // core on hand-built regions.
+    use crate::options::Options;
     use crate::region::dim_var;
     use padfa_omega::Limits;
 
@@ -374,7 +394,7 @@ mod tests {
     #[test]
     fn same_element_no_conflict() {
         // a[i] vs a[i]: different iterations never collide.
-        let opts = Options::predicated();
+        let sess = AnalysisSession::new(Options::predicated());
         let ctx = ctx_1_to_n();
         let ctx2 = ctx.rename(v("i"), primed(v("i")));
         let mut mech = Mechanisms::default();
@@ -386,7 +406,7 @@ mod tests {
             &ctx,
             &ctx2,
             v("i"),
-            &opts,
+            &sess,
             &sym,
             &mut mech,
         );
@@ -396,7 +416,7 @@ mod tests {
     #[test]
     fn shifted_access_conflicts() {
         // a[i] vs a[i-1]: adjacent iterations collide.
-        let opts = Options::predicated();
+        let sess = AnalysisSession::new(Options::predicated());
         let ctx = ctx_1_to_n();
         let ctx2 = ctx.rename(v("i"), primed(v("i")));
         let mut mech = Mechanisms::default();
@@ -408,7 +428,7 @@ mod tests {
             &ctx,
             &ctx2,
             v("i"),
-            &opts,
+            &sess,
             &sym,
             &mut mech,
         );
@@ -416,9 +436,7 @@ mod tests {
         // The conflict needs at least two iterations: extraction should
         // produce a condition involving n (roughly n >= 2).
         if mech.extraction {
-            let n_is_1 = Pred::from_bool(
-                &padfa_ir::parse::parse_bool_expr("n <= 1").unwrap(),
-            );
+            let n_is_1 = Pred::from_bool(&padfa_ir::parse::parse_bool_expr("n <= 1").unwrap());
             assert!(
                 n_is_1.implies(&c.negate(), Limits::default()),
                 "with n <= 1 there is no second iteration: cond={c}"
@@ -429,7 +447,7 @@ mod tests {
     #[test]
     fn complementary_guards_eliminate_conflict() {
         // Write guarded by x > 5, read guarded by x <= 5: never together.
-        let opts = Options::predicated();
+        let sess = AnalysisSession::new(Options::predicated());
         let ctx = ctx_1_to_n();
         let ctx2 = ctx.rename(v("i"), primed(v("i")));
         let mut mech = Mechanisms::default();
@@ -443,7 +461,7 @@ mod tests {
             &ctx,
             &ctx2,
             v("i"),
-            &opts,
+            &sess,
             &sym,
             &mut mech,
         );
@@ -453,7 +471,7 @@ mod tests {
 
     #[test]
     fn base_variant_ignores_guards() {
-        let opts = Options::base();
+        let sess = AnalysisSession::new(Options::base());
         let ctx = ctx_1_to_n();
         let ctx2 = ctx.rename(v("i"), primed(v("i")));
         let mut mech = Mechanisms::default();
@@ -467,7 +485,7 @@ mod tests {
             &ctx,
             &ctx2,
             v("i"),
-            &opts,
+            &sess,
             &sym,
             &mut mech,
         );
@@ -479,13 +497,10 @@ mod tests {
         // Write a[i], read a[i+m] (m symbolic): conflict only when m can
         // place a read on a written element within bounds — extraction
         // yields a testable condition on m and n.
-        let opts = Options::predicated();
+        let sess = AnalysisSession::new(Options::predicated());
         let d = dim_var(v("a"), 0);
         let read = Disjunction::from_system(System::from_constraints([
-            Constraint::eq(
-                LinExpr::var(d),
-                LinExpr::var(v("i")) + LinExpr::var(v("m")),
-            ),
+            Constraint::eq(LinExpr::var(d), LinExpr::var(v("i")) + LinExpr::var(v("m"))),
             Constraint::geq(LinExpr::var(d), LinExpr::constant(1)),
             Constraint::leq(LinExpr::var(d), LinExpr::constant(100)),
         ]));
@@ -500,7 +515,7 @@ mod tests {
             &ctx,
             &ctx2,
             v("i"),
-            &opts,
+            &sess,
             &sym,
             &mut mech,
         );

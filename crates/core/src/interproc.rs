@@ -3,12 +3,12 @@
 //! with its divisibility-predicate extraction.
 
 use crate::component::PredComponent;
-use crate::options::Options;
 use crate::region::{dim_var, whole_array};
 use crate::report::Mechanisms;
+use crate::session::AnalysisSession;
 use crate::summary::{ArraySummary, Summary};
-use padfa_ir::ast::{Arg, Block, BoolExpr, Expr, ParamTy, Procedure, Program, Stmt};
 use padfa_ir::affine;
+use padfa_ir::ast::{Arg, Block, BoolExpr, Expr, ParamTy, Procedure, Program, Stmt};
 use padfa_omega::{Constraint, Disjunction, LinExpr, System, Var};
 use padfa_pred::Pred;
 use std::collections::HashMap;
@@ -16,32 +16,41 @@ use std::collections::HashMap;
 /// Bottom-up (callees first) ordering of procedure indices. Procedures
 /// on call-graph cycles are reported in `recursive` and receive fully
 /// conservative summaries.
+///
+/// `levels` partitions `order` into topological levels: every procedure
+/// in level `k` only calls procedures in levels `< k` (ignoring cycle
+/// back-edges, whose members get conservative summaries anyway), so all
+/// procedures of one level can be analyzed concurrently once the
+/// previous levels are done. The levels cover exactly the procedures of
+/// `order` (each appears in exactly one level).
 pub struct CallOrder {
     pub order: Vec<usize>,
     pub recursive: Vec<usize>,
+    pub levels: Vec<Vec<usize>>,
+}
+
+/// Direct callee names of a procedure, in syntactic order.
+fn callees(p: &Procedure, out: &mut Vec<String>) {
+    fn walk(b: &Block, out: &mut Vec<String>) {
+        for s in &b.stmts {
+            match s {
+                Stmt::Call { callee, .. } => out.push(callee.clone()),
+                Stmt::If {
+                    then_blk, else_blk, ..
+                } => {
+                    walk(then_blk, out);
+                    walk(else_blk, out);
+                }
+                Stmt::For(l) => walk(&l.body, out),
+                _ => {}
+            }
+        }
+    }
+    walk(&p.body, out);
 }
 
 /// Compute the call order by depth-first search.
 pub fn call_order(prog: &Program) -> CallOrder {
-    fn callees(p: &Procedure, out: &mut Vec<String>) {
-        fn walk(b: &Block, out: &mut Vec<String>) {
-            for s in &b.stmts {
-                match s {
-                    Stmt::Call { callee, .. } => out.push(callee.clone()),
-                    Stmt::If {
-                        then_blk, else_blk, ..
-                    } => {
-                        walk(then_blk, out);
-                        walk(else_blk, out);
-                    }
-                    Stmt::For(l) => walk(&l.body, out),
-                    _ => {}
-                }
-            }
-        }
-        walk(&p.body, out);
-    }
-
     let index: HashMap<&str, usize> = prog
         .procedures
         .iter()
@@ -96,7 +105,37 @@ pub fn call_order(prog: &Program) -> CallOrder {
             dfs(i, prog, &index, &mut marks, &mut order, &mut recursive);
         }
     }
-    CallOrder { order, recursive }
+
+    // Assign topological levels along the postorder: a procedure sits one
+    // level above its deepest already-levelled callee. Callees not yet
+    // levelled are back-edges of a cycle; they are ignored, which is
+    // sound because cycle members receive conservative summaries that
+    // consult no callee summary at all, and the postorder still places
+    // them before their external callers.
+    let mut level = vec![usize::MAX; n];
+    let mut levels: Vec<Vec<usize>> = Vec::new();
+    for &i in &order {
+        let mut cs = Vec::new();
+        callees(&prog.procedures[i], &mut cs);
+        let mut lv = 0;
+        for c in cs {
+            if let Some(&j) = index.get(c.as_str()) {
+                if j != i && level[j] != usize::MAX {
+                    lv = lv.max(level[j] + 1);
+                }
+            }
+        }
+        level[i] = lv;
+        if levels.len() <= lv {
+            levels.resize(lv + 1, Vec::new());
+        }
+        levels[lv].push(i);
+    }
+    CallOrder {
+        order,
+        recursive,
+        levels,
+    }
 }
 
 /// Fully conservative summary for a procedure (used for recursion):
@@ -123,33 +162,14 @@ fn subst_expr(e: &Expr, map: &HashMap<Var, Expr>) -> Expr {
     match e {
         Expr::IntLit(_) | Expr::RealLit(_) => e.clone(),
         Expr::Scalar(v) => map.get(v).cloned().unwrap_or_else(|| e.clone()),
-        Expr::Elem(a, idxs) => {
-            Expr::Elem(*a, idxs.iter().map(|i| subst_expr(i, map)).collect())
-        }
-        Expr::Add(a, b) => Expr::Add(
-            Box::new(subst_expr(a, map)),
-            Box::new(subst_expr(b, map)),
-        ),
-        Expr::Sub(a, b) => Expr::Sub(
-            Box::new(subst_expr(a, map)),
-            Box::new(subst_expr(b, map)),
-        ),
-        Expr::Mul(a, b) => Expr::Mul(
-            Box::new(subst_expr(a, map)),
-            Box::new(subst_expr(b, map)),
-        ),
-        Expr::Div(a, b) => Expr::Div(
-            Box::new(subst_expr(a, map)),
-            Box::new(subst_expr(b, map)),
-        ),
-        Expr::Mod(a, b) => Expr::Mod(
-            Box::new(subst_expr(a, map)),
-            Box::new(subst_expr(b, map)),
-        ),
+        Expr::Elem(a, idxs) => Expr::Elem(*a, idxs.iter().map(|i| subst_expr(i, map)).collect()),
+        Expr::Add(a, b) => Expr::Add(Box::new(subst_expr(a, map)), Box::new(subst_expr(b, map))),
+        Expr::Sub(a, b) => Expr::Sub(Box::new(subst_expr(a, map)), Box::new(subst_expr(b, map))),
+        Expr::Mul(a, b) => Expr::Mul(Box::new(subst_expr(a, map)), Box::new(subst_expr(b, map))),
+        Expr::Div(a, b) => Expr::Div(Box::new(subst_expr(a, map)), Box::new(subst_expr(b, map))),
+        Expr::Mod(a, b) => Expr::Mod(Box::new(subst_expr(a, map)), Box::new(subst_expr(b, map))),
         Expr::Neg(a) => Expr::Neg(Box::new(subst_expr(a, map))),
-        Expr::Call(i, args) => {
-            Expr::Call(*i, args.iter().map(|a| subst_expr(a, map)).collect())
-        }
+        Expr::Call(i, args) => Expr::Call(*i, args.iter().map(|a| subst_expr(a, map)).collect()),
     }
 }
 
@@ -183,7 +203,7 @@ fn translate_component(
     affine_map: &HashMap<Var, LinExpr>,
     non_affine_formals: &[Var],
     is_must: bool,
-    opts: &Options,
+    sess: &AnalysisSession,
     mechanisms: &mut Mechanisms,
 ) -> PredComponent {
     // Callee extents in two forms: raw (over formal scalars, matching the
@@ -213,13 +233,11 @@ fn translate_component(
         // Formals with non-affine actuals keep their own variable; the
         // reshape full-coverage case can still reason about them, and any
         // other path must degrade.
-        let mut region = piece.region.clone();
+        let mut region = (*piece.region).clone();
         for (f, le) in affine_map {
             region = region.subst(*f, le);
         }
-        let mentions_untranslatable = non_affine_formals
-            .iter()
-            .any(|f| region.vars().contains(f));
+        let mentions_untranslatable = non_affine_formals.iter().any(|f| region.vars().contains(f));
 
         let same_shape = callee_dims.len() == caller_dims.len()
             && callee_dims.iter().zip(&caller_dims).all(|(a, b)| {
@@ -247,7 +265,7 @@ fn translate_component(
             &caller_dims,
             mentions_untranslatable,
             caller,
-            opts,
+            sess,
             mechanisms,
         ) {
             ReshapeResult::Exact(r) => out.push(pred, r),
@@ -288,10 +306,10 @@ fn reshape_full_coverage(
     callee_dims: &[Expr],
     caller_dims: &[Expr],
     caller: &Procedure,
-    opts: &Options,
+    sess: &AnalysisSession,
     mechanisms: &mut Mechanisms,
 ) -> ReshapeResult {
-    if !opts.extraction || callee_dims_raw.len() != 1 || caller_dims.len() != 2 {
+    if !sess.opts.extraction || callee_dims_raw.len() != 1 || caller_dims.len() != 2 {
         return ReshapeResult::Conservative;
     }
     let Some(m_raw) = affine::to_linexpr(&callee_dims_raw[0]) else {
@@ -304,7 +322,7 @@ fn reshape_full_coverage(
     ]));
     // Compare against the *unsubstituted* region so the formal extent
     // variable lines up.
-    if region.is_exact() && full.subset_of(region, opts.limits) {
+    if region.is_exact() && sess.subset_of(&full, region) {
         mechanisms.extraction = true;
         let guard = Pred::from_bool(&BoolExpr::cmp(
             padfa_ir::CmpOp::Eq,
@@ -353,10 +371,10 @@ fn reshape_region(
     caller_dims: &[Expr],
     mentions_untranslatable: bool,
     caller: &Procedure,
-    opts: &Options,
+    sess: &AnalysisSession,
     mechanisms: &mut Mechanisms,
 ) -> ReshapeResult {
-    let limits = opts.limits;
+    let limits = sess.opts.limits;
     // The affine translation cases require the region to be fully in
     // caller terms already.
     if mentions_untranslatable {
@@ -368,7 +386,7 @@ fn reshape_region(
             callee_dims,
             caller_dims,
             caller,
-            opts,
+            sess,
             mechanisms,
         );
     }
@@ -429,7 +447,7 @@ fn reshape_region(
             callee_dims,
             caller_dims,
             caller,
-            opts,
+            sess,
             mechanisms,
         );
     }
@@ -508,7 +526,7 @@ pub fn translate_call(
     callee: &Procedure,
     caller: &Procedure,
     args: &[Arg],
-    opts: &Options,
+    sess: &AnalysisSession,
     mechanisms: &mut Mechanisms,
 ) -> Summary {
     let mut out = Summary::empty();
@@ -569,7 +587,7 @@ pub fn translate_call(
                 &affine_map,
                 &non_affine,
                 is_must,
-                opts,
+                sess,
                 mech,
             )
         };
@@ -579,10 +597,11 @@ pub fn translate_call(
             r: tr(&asum.r, false, mechanisms),
             e: tr(&asum.e, false, mechanisms),
         };
-        a.w.normalize(opts.max_pieces, false, opts.limits);
-        a.mw.normalize(opts.max_pieces, true, opts.limits);
-        a.r.normalize(opts.max_pieces, true, opts.limits);
-        a.e.normalize(opts.max_pieces, true, opts.limits);
+        let opts = &sess.opts;
+        a.w.normalize(opts.max_pieces, false, sess);
+        a.mw.normalize(opts.max_pieces, true, sess);
+        a.r.normalize(opts.max_pieces, true, sess);
+        a.e.normalize(opts.max_pieces, true, sess);
         out.arrays.insert(actual, a);
     }
 
@@ -594,8 +613,12 @@ pub fn translate_call(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::options::Options;
     use padfa_ir::parse::parse_program;
-    use padfa_omega::Limits;
+
+    fn sess() -> AnalysisSession {
+        AnalysisSession::new(Options::predicated())
+    }
 
     #[test]
     fn call_order_bottom_up() {
@@ -627,6 +650,80 @@ mod tests {
     }
 
     #[test]
+    fn levels_partition_topologically() {
+        let p = parse_program(
+            "proc a() { call b(); call c(); }
+             proc b() { call c(); }
+             proc c() { }
+             proc d() { }",
+        )
+        .unwrap();
+        let co = call_order(&p);
+        let idx = |name: &str| p.procedures.iter().position(|x| x.name == name).unwrap();
+        let level_of = |i: usize| co.levels.iter().position(|l| l.contains(&i)).unwrap();
+        // The levels partition exactly the procedures of `order`.
+        let mut flat: Vec<usize> = co.levels.iter().flatten().copied().collect();
+        flat.sort_unstable();
+        let mut all = co.order.clone();
+        all.sort_unstable();
+        assert_eq!(flat, all);
+        assert_eq!(level_of(idx("c")), 0);
+        assert_eq!(level_of(idx("d")), 0, "leaf with no callees is level 0");
+        assert_eq!(level_of(idx("b")), 1);
+        assert_eq!(level_of(idx("a")), 2);
+        // Every callee sits strictly below its caller.
+        for (i, proc) in p.procedures.iter().enumerate() {
+            let mut cs = Vec::new();
+            callees(proc, &mut cs);
+            for c in cs {
+                let j = idx(&c);
+                assert!(level_of(j) < level_of(i), "{c} not below {}", proc.name);
+            }
+        }
+    }
+
+    #[test]
+    fn self_recursion_detected_and_levelled_once() {
+        let p = parse_program(
+            "proc a() { call a(); }
+             proc main() { call a(); }",
+        )
+        .unwrap();
+        let co = call_order(&p);
+        let ia = p.procedures.iter().position(|x| x.name == "a").unwrap();
+        assert!(
+            co.recursive.contains(&ia),
+            "self-recursion must be detected"
+        );
+        // Each procedure appears exactly once across all levels.
+        let mut flat: Vec<usize> = co.levels.iter().flatten().copied().collect();
+        flat.sort_unstable();
+        assert_eq!(flat, vec![0, 1]);
+        // The caller of the cycle still sits above it.
+        let level_of = |i: usize| co.levels.iter().position(|l| l.contains(&i)).unwrap();
+        let im = p.procedures.iter().position(|x| x.name == "main").unwrap();
+        assert!(level_of(im) > level_of(ia));
+    }
+
+    #[test]
+    fn mutual_recursion_levels_stay_below_external_caller() {
+        let p = parse_program(
+            "proc a() { call b(); }
+             proc b() { call a(); }
+             proc main() { call a(); call b(); }",
+        )
+        .unwrap();
+        let co = call_order(&p);
+        assert_eq!(co.recursive.len(), 2);
+        let flat: Vec<usize> = co.levels.iter().flatten().copied().collect();
+        assert_eq!(flat.len(), 3, "each procedure levelled exactly once");
+        let level_of = |i: usize| co.levels.iter().position(|l| l.contains(&i)).unwrap();
+        let idx = |name: &str| p.procedures.iter().position(|x| x.name == name).unwrap();
+        assert!(level_of(idx("main")) > level_of(idx("a")));
+        assert!(level_of(idx("main")) > level_of(idx("b")));
+    }
+
+    #[test]
     fn conservative_summary_shape() {
         let p = parse_program("proc f(n: int, a: array[10]) { }").unwrap();
         let s = conservative_summary(&p.procedures[0]);
@@ -652,7 +749,10 @@ mod tests {
         // Build the callee summary by hand: W = {1 <= $b.0 <= m}.
         let mut cs = Summary::empty();
         let region = Disjunction::from_system(System::from_constraints([
-            Constraint::geq(LinExpr::var(dim_var(Var::new("b"), 0)), LinExpr::constant(1)),
+            Constraint::geq(
+                LinExpr::var(dim_var(Var::new("b"), 0)),
+                LinExpr::constant(1),
+            ),
             Constraint::leq(
                 LinExpr::var(dim_var(Var::new("b"), 0)),
                 LinExpr::var(Var::new("m")),
@@ -663,10 +763,9 @@ mod tests {
 
         let args = vec![Arg::Array(Var::new("a")), Arg::Scalar(Expr::int(10))];
         let mut mech = Mechanisms::default();
-        let t = translate_call(&cs, callee, caller, &args, &Options::predicated(), &mut mech);
-        let w = t.arrays[&Var::new("a")]
-            .w
-            .must_region(&Pred::True, Limits::default());
+        let s = sess();
+        let t = translate_call(&cs, callee, caller, &args, &s, &mut mech);
+        let w = t.arrays[&Var::new("a")].w.must_region(&Pred::True, &s);
         let d = dim_var(Var::new("a"), 0);
         assert_eq!(
             w.contains(&|v| if v == d { Some(10) } else { None }),
@@ -690,7 +789,10 @@ mod tests {
         let caller = p.proc("main").unwrap();
         let mut cs = Summary::empty();
         let region = Disjunction::from_system(System::from_constraints([
-            Constraint::geq(LinExpr::var(dim_var(Var::new("b"), 0)), LinExpr::constant(1)),
+            Constraint::geq(
+                LinExpr::var(dim_var(Var::new("b"), 0)),
+                LinExpr::constant(1),
+            ),
             Constraint::leq(
                 LinExpr::var(dim_var(Var::new("b"), 0)),
                 LinExpr::constant(20),
@@ -699,10 +801,9 @@ mod tests {
         cs.array_mut(Var::new("b")).w = PredComponent::unconditional(region);
         let args = vec![Arg::Array(Var::new("a"))];
         let mut mech = Mechanisms::default();
-        let t = translate_call(&cs, callee, caller, &args, &Options::predicated(), &mut mech);
-        let w = t.arrays[&Var::new("a")]
-            .w
-            .must_region(&Pred::True, Limits::default());
+        let s = sess();
+        let t = translate_call(&cs, callee, caller, &args, &s, &mut mech);
+        let w = t.arrays[&Var::new("a")].w.must_region(&Pred::True, &s);
         let d0 = dim_var(Var::new("a"), 0);
         let d1 = dim_var(Var::new("a"), 1);
         let at = |i: i64, j: i64| {
@@ -736,19 +837,19 @@ mod tests {
         let caller = p.proc("main").unwrap();
         let mut cs = Summary::empty();
         let region = Disjunction::from_system(System::from_constraints([
-            Constraint::geq(LinExpr::var(dim_var(Var::new("b"), 0)), LinExpr::constant(1)),
+            Constraint::geq(
+                LinExpr::var(dim_var(Var::new("b"), 0)),
+                LinExpr::constant(1),
+            ),
             Constraint::leq(
                 LinExpr::var(dim_var(Var::new("b"), 0)),
                 LinExpr::var(Var::new("m")),
             ),
         ]));
         cs.array_mut(Var::new("b")).w = PredComponent::unconditional(region);
-        let args = vec![
-            Arg::Array(Var::new("a")),
-            Arg::Scalar(Expr::scalar("m")),
-        ];
+        let args = vec![Arg::Array(Var::new("a")), Arg::Scalar(Expr::scalar("m"))];
         let mut mech = Mechanisms::default();
-        let t = translate_call(&cs, callee, caller, &args, &Options::predicated(), &mut mech);
+        let t = translate_call(&cs, callee, caller, &args, &sess(), &mut mech);
         assert!(mech.extraction, "divisibility guard must be extracted");
         let w = &t.arrays[&Var::new("a")].w;
         assert_eq!(w.pieces.len(), 1);
@@ -758,7 +859,10 @@ mod tests {
         // Guard references m, r, c.
         let vars = guard.scalar_vars();
         for name in ["m", "r", "c"] {
-            assert!(vars.contains(&Var::new(name)), "guard {guard} missing {name}");
+            assert!(
+                vars.contains(&Var::new(name)),
+                "guard {guard} missing {name}"
+            );
         }
     }
 
@@ -774,17 +878,25 @@ mod tests {
         let caller = p.proc("main").unwrap();
         let mut cs = Summary::empty();
         let region = Disjunction::from_system(System::from_constraints([
-            Constraint::geq(LinExpr::var(dim_var(Var::new("b"), 0)), LinExpr::constant(1)),
-            Constraint::leq(LinExpr::var(dim_var(Var::new("b"), 0)), LinExpr::constant(3)),
-            Constraint::eq(LinExpr::var(dim_var(Var::new("b"), 1)), LinExpr::constant(1)),
+            Constraint::geq(
+                LinExpr::var(dim_var(Var::new("b"), 0)),
+                LinExpr::constant(1),
+            ),
+            Constraint::leq(
+                LinExpr::var(dim_var(Var::new("b"), 0)),
+                LinExpr::constant(3),
+            ),
+            Constraint::eq(
+                LinExpr::var(dim_var(Var::new("b"), 1)),
+                LinExpr::constant(1),
+            ),
         ]));
         cs.array_mut(Var::new("b")).w = PredComponent::unconditional(region);
         let args = vec![Arg::Array(Var::new("a"))];
         let mut mech = Mechanisms::default();
-        let t = translate_call(&cs, callee, caller, &args, &Options::predicated(), &mut mech);
-        let w = t.arrays[&Var::new("a")]
-            .w
-            .must_region(&Pred::True, Limits::default());
+        let s = sess();
+        let t = translate_call(&cs, callee, caller, &args, &s, &mut mech);
+        let w = t.arrays[&Var::new("a")].w.must_region(&Pred::True, &s);
         let d0 = dim_var(Var::new("a"), 0);
         let d1 = dim_var(Var::new("a"), 1);
         let at = |i: i64, j: i64| {
@@ -827,7 +939,7 @@ mod tests {
             Arg::Scalar(Expr::elem("idx", vec![Expr::int(1)])),
         ];
         let mut mech = Mechanisms::default();
-        let t = translate_call(&cs, callee, caller, &args, &Options::predicated(), &mut mech);
+        let t = translate_call(&cs, callee, caller, &args, &sess(), &mut mech);
         let a = &t.arrays[&Var::new("a")];
         assert!(a.w.is_empty(), "must-write must drop");
         assert!(!a.mw.is_empty(), "may-write survives conservatively");

@@ -57,13 +57,15 @@ pub mod options;
 pub mod reduce;
 pub mod region;
 pub mod report;
+pub mod session;
 pub mod summary;
 
-pub use analyze::{analyze_program, analyze_program_with_summaries};
+pub use analyze::{analyze_program, analyze_program_session, analyze_program_with_summaries};
 pub use component::{GuardedRegion, PredComponent};
 pub use options::{Options, Variant};
 pub use report::{
     AnalysisResult, LoopReport, Mechanisms, NotCandidateReason, Outcome, PrivArray, ReduceOp,
     Reduction,
 };
+pub use session::{AnalysisSession, QueryStats, StatsSnapshot};
 pub use summary::{ArraySummary, ScalarSummary, Summary};

@@ -209,9 +209,7 @@ fn scan_block(b: &Block, tallies: &mut BTreeMap<Var, Tally>) {
                 for a in args {
                     match a {
                         Arg::Scalar(e) => note_reads(e, tallies),
-                        Arg::Array(v) => {
-                            tallies.entry(*v).or_default().disqualified = true
-                        }
+                        Arg::Array(v) => tallies.entry(*v).or_default().disqualified = true,
                     }
                 }
             }

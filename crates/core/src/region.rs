@@ -173,7 +173,10 @@ mod tests {
         assert!(!sect.is_exact());
         // Region must still be bounded by the declaration.
         let d0 = dim_var(Var::new("a"), 0);
-        let at = |x: i64| sect.contains(&|v| if v == d0 { Some(x) } else { None }).unwrap();
+        let at = |x: i64| {
+            sect.contains(&|v| if v == d0 { Some(x) } else { None })
+                .unwrap()
+        };
         assert!(at(1));
         assert!(at(100));
         assert!(!at(101));

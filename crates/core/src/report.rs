@@ -111,6 +111,9 @@ impl LoopReport {
 pub struct AnalysisResult {
     /// One report per loop, in `LoopId` order.
     pub loops: Vec<LoopReport>,
+    /// Session query/caching statistics captured when the analysis run
+    /// finished (all zeros for a default-constructed result).
+    pub stats: crate::session::StatsSnapshot,
 }
 
 impl AnalysisResult {
@@ -119,7 +122,9 @@ impl AnalysisResult {
     }
 
     pub fn by_label(&self, label: &str) -> Option<&LoopReport> {
-        self.loops.iter().find(|l| l.label.as_deref() == Some(label))
+        self.loops
+            .iter()
+            .find(|l| l.label.as_deref() == Some(label))
     }
 
     pub fn num_parallelized(&self) -> usize {
@@ -127,7 +132,10 @@ impl AnalysisResult {
     }
 
     pub fn num_candidates(&self) -> usize {
-        self.loops.iter().filter(|l| l.not_candidate.is_none()).count()
+        self.loops
+            .iter()
+            .filter(|l| l.not_candidate.is_none())
+            .count()
     }
 
     pub fn num_runtime_tested(&self) -> usize {
@@ -213,6 +221,7 @@ mod tests {
                 mk(2, Outcome::Sequential, None),
                 mk(3, Outcome::Parallel, Some(NotCandidateReason::ReadIo)),
             ],
+            stats: Default::default(),
         };
         assert_eq!(r.num_parallelized(), 2);
         assert_eq!(r.num_candidates(), 3);

@@ -1,0 +1,567 @@
+//! The analysis session: hash-consed regions and predicates, memoized
+//! lattice queries, and deterministic synthetic-name management.
+//!
+//! The data-flow lattice operations (`is_empty`, `subset_of`,
+//! `subtract`, `intersect`, `union`, `project_out`, predicate
+//! implication) are pure functions of their operands and the session's
+//! [`Options`]. The analysis evaluates them over a small population of
+//! recurring values — the same loop regions reappear in every `seq`
+//! composition, every `normalize` pass, and every dependence pair — so
+//! an [`AnalysisSession`] interns operands into `Arc` handles with
+//! stable `u32` ids and memoizes each query on those ids.
+//!
+//! ## Determinism
+//!
+//! The session is shared (`&AnalysisSession` is `Sync`) across the
+//! per-procedure worker threads of the parallel driver. Three properties
+//! keep the analysis output bit-identical regardless of worker count:
+//!
+//! 1. Memo keys are *structural*: a cached result is only returned for
+//!    operands equal (including constraint order) to those of the
+//!    original computation, and the operations are deterministic pure
+//!    functions — so a cache hit returns exactly what a fresh
+//!    computation would.
+//! 2. `Var` ordering is intern-index order and seeps into constraint
+//!    sorting and Fourier–Motzkin tie-breaks. [`pre_intern`] interns
+//!    every synthetic name the analysis can create (dimension variables,
+//!    step-lattice counters, `$prev.*`, primed copies) in a
+//!    single-threaded pass over the program *before* workers start, so
+//!    concurrent first-interning can never reorder them.
+//! 3. Lattice existentials (`$lat.*`) are drawn from a per-procedure
+//!    counter ([`lat_var`]) instead of a global fresh counter; each
+//!    procedure is analyzed by exactly one worker, so the k-th request
+//!    in a procedure always yields the same name.
+//!
+//! [`pre_intern`]: AnalysisSession::pre_intern
+//! [`lat_var`]: AnalysisSession::lat_var
+
+use crate::options::Options;
+use padfa_ir::ast::{Block, ParamTy, Procedure, Program, Stmt};
+use padfa_omega::{Disjunction, Limits, System, Var};
+use padfa_pred::Pred;
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Pre-interned `$lat.<proc>.<k>` names per strided procedure; requests
+/// beyond the pool fall back to on-the-fly interning (counted in
+/// [`StatsSnapshot::lat_overflow`]).
+const LAT_POOL: u32 = 256;
+
+/// A hash-consing interner: equal values share one `Arc` and one id.
+struct Interner<T> {
+    map: Mutex<HashMap<Arc<T>, u32>>,
+}
+
+impl<T: Eq + Hash + Clone> Interner<T> {
+    fn new() -> Interner<T> {
+        Interner {
+            map: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Intern by reference; clones into a fresh `Arc` only on a miss.
+    fn intern(&self, value: &T) -> (Arc<T>, u32) {
+        let mut m = self.map.lock().unwrap();
+        if let Some((k, &id)) = m.get_key_value(value) {
+            return (Arc::clone(k), id);
+        }
+        let id = m.len() as u32;
+        let arc = Arc::new(value.clone());
+        m.insert(Arc::clone(&arc), id);
+        (arc, id)
+    }
+
+    fn len(&self) -> usize {
+        self.map.lock().unwrap().len()
+    }
+}
+
+/// A memo table over interned-id keys with hit/miss counters.
+struct Memo<K, V> {
+    map: Mutex<HashMap<K, V>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<K: Eq + Hash, V: Clone> Memo<K, V> {
+    fn new() -> Memo<K, V> {
+        Memo {
+            map: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Look up `key`, computing with `f` on a miss. The computation runs
+    /// *outside* the lock: two workers may race to compute the same
+    /// entry, which is benign (the operations are pure and
+    /// deterministic, so both produce the same value).
+    fn get_or(&self, key: K, f: impl FnOnce() -> V) -> V {
+        if let Some(v) = self.map.lock().unwrap().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return v.clone();
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let v = f();
+        self.map
+            .lock()
+            .unwrap()
+            .entry(key)
+            .or_insert_with(|| v.clone());
+        v
+    }
+
+    fn counters(&self) -> QueryStats {
+        QueryStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.map.lock().unwrap().len()
+    }
+}
+
+/// Hit/miss counters for one memoized query.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QueryStats {
+    pub hits: u64,
+    pub misses: u64,
+}
+
+impl QueryStats {
+    pub fn total(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Fraction of queries served from the memo table (0 when unused).
+    pub fn hit_rate(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.total() as f64
+        }
+    }
+}
+
+/// A point-in-time snapshot of the session's counters, attached to
+/// [`crate::report::AnalysisResult`] and serialized by the benchmarks.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct StatsSnapshot {
+    pub sys_empty: QueryStats,
+    pub subset: QueryStats,
+    pub subtract: QueryStats,
+    pub intersect: QueryStats,
+    pub union: QueryStats,
+    pub project: QueryStats,
+    pub implies: QueryStats,
+    /// Distinct interned systems / regions / predicates.
+    pub interned_systems: usize,
+    pub interned_regions: usize,
+    pub interned_preds: usize,
+    /// Peak memo-table entry count across all tables (tables only grow,
+    /// so the snapshot value is the peak).
+    pub peak_table_entries: usize,
+    /// Fourier–Motzkin projection computations actually run (memoized
+    /// projection misses; hits avoid these entirely).
+    pub fm_projections: u64,
+    /// `$lat` requests beyond the pre-interned per-procedure pool.
+    pub lat_overflow: u64,
+}
+
+impl StatsSnapshot {
+    fn tables(&self) -> [(&'static str, QueryStats); 7] {
+        [
+            ("sys_empty", self.sys_empty),
+            ("subset", self.subset),
+            ("subtract", self.subtract),
+            ("intersect", self.intersect),
+            ("union", self.union),
+            ("project", self.project),
+            ("implies", self.implies),
+        ]
+    }
+
+    pub fn total_hits(&self) -> u64 {
+        self.tables().iter().map(|(_, q)| q.hits).sum()
+    }
+
+    pub fn total_queries(&self) -> u64 {
+        self.tables().iter().map(|(_, q)| q.total()).sum()
+    }
+
+    /// Overall memo hit rate across every query kind.
+    pub fn hit_rate(&self) -> f64 {
+        let t = self.total_queries();
+        if t == 0 {
+            0.0
+        } else {
+            self.total_hits() as f64 / t as f64
+        }
+    }
+}
+
+impl std::fmt::Display for StatsSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "session: {} queries, {:.1}% memo hits; {} systems / {} regions / {} preds interned",
+            self.total_queries(),
+            100.0 * self.hit_rate(),
+            self.interned_systems,
+            self.interned_regions,
+            self.interned_preds,
+        )?;
+        for (name, q) in self.tables() {
+            if q.total() > 0 {
+                writeln!(
+                    f,
+                    "  {name:<10} {:>8} hits {:>8} misses ({:.1}%)",
+                    q.hits,
+                    q.misses,
+                    100.0 * q.hit_rate()
+                )?;
+            }
+        }
+        write!(
+            f,
+            "  fm-projections run: {}; peak table: {} entries",
+            self.fm_projections, self.peak_table_entries
+        )
+    }
+}
+
+/// Shared state for one analysis run: options, hash-consing interners,
+/// memo tables, per-procedure `$lat` pools, and statistics. Interior
+/// mutability throughout, so `&AnalysisSession` crosses thread
+/// boundaries in the parallel driver.
+pub struct AnalysisSession {
+    pub opts: Options,
+    jobs: usize,
+    systems: Interner<System>,
+    regions: Interner<Disjunction>,
+    preds: Interner<Pred>,
+    m_sys_empty: Memo<u32, bool>,
+    m_subset: Memo<(u32, u32), bool>,
+    m_subtract: Memo<(u32, u32), Arc<Disjunction>>,
+    m_intersect: Memo<(u32, u32), Arc<Disjunction>>,
+    m_union: Memo<(u32, u32), Arc<Disjunction>>,
+    m_project: Memo<(u32, Vec<Var>), Arc<Disjunction>>,
+    m_implies: Memo<(u32, u32), bool>,
+    fm_projections: AtomicU64,
+    lat_overflow: AtomicU64,
+    lat_pools: Mutex<HashMap<String, u32>>,
+}
+
+impl AnalysisSession {
+    pub fn new(opts: Options) -> AnalysisSession {
+        AnalysisSession {
+            opts,
+            jobs: 1,
+            systems: Interner::new(),
+            regions: Interner::new(),
+            preds: Interner::new(),
+            m_sys_empty: Memo::new(),
+            m_subset: Memo::new(),
+            m_subtract: Memo::new(),
+            m_intersect: Memo::new(),
+            m_union: Memo::new(),
+            m_project: Memo::new(),
+            m_implies: Memo::new(),
+            fm_projections: AtomicU64::new(0),
+            lat_overflow: AtomicU64::new(0),
+            lat_pools: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Number of worker threads for the per-procedure parallel driver.
+    pub fn with_jobs(mut self, jobs: usize) -> AnalysisSession {
+        self.jobs = jobs.max(1);
+        self
+    }
+
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    pub fn limits(&self) -> Limits {
+        self.opts.limits
+    }
+
+    /// Intern a region, returning the canonical shared handle.
+    pub fn intern_region(&self, d: &Disjunction) -> Arc<Disjunction> {
+        self.regions.intern(d).0
+    }
+
+    /// Memoized per-system emptiness.
+    pub fn sys_is_empty(&self, s: &System) -> bool {
+        // Fast paths that need no table round-trip.
+        if s.is_contradiction() {
+            return true;
+        }
+        if s.is_empty_conjunction() {
+            return false;
+        }
+        let limits = self.limits();
+        let (arc, id) = self.systems.intern(s);
+        self.m_sys_empty.get_or(id, || arc.is_empty(limits))
+    }
+
+    /// Memoized region emptiness (every disjunct empty). Decomposing to
+    /// per-system queries lets regions that share disjuncts share work.
+    pub fn is_empty(&self, d: &Disjunction) -> bool {
+        d.systems().iter().all(|s| self.sys_is_empty(s))
+    }
+
+    /// Memoized `a ⊆ b`.
+    pub fn subset_of(&self, a: &Disjunction, b: &Disjunction) -> bool {
+        let limits = self.limits();
+        let (aa, ia) = self.regions.intern(a);
+        let (ab, ib) = self.regions.intern(b);
+        self.m_subset.get_or((ia, ib), || aa.subset_of(&ab, limits))
+    }
+
+    /// Memoized region subtraction `a − b`.
+    pub fn subtract(&self, a: &Disjunction, b: &Disjunction) -> Arc<Disjunction> {
+        let limits = self.limits();
+        let (aa, ia) = self.regions.intern(a);
+        let (ab, ib) = self.regions.intern(b);
+        self.m_subtract
+            .get_or((ia, ib), || self.intern_region(&aa.subtract(&ab, limits)))
+    }
+
+    /// Memoized region intersection.
+    pub fn intersect(&self, a: &Disjunction, b: &Disjunction) -> Arc<Disjunction> {
+        let limits = self.limits();
+        let (aa, ia) = self.regions.intern(a);
+        let (ab, ib) = self.regions.intern(b);
+        self.m_intersect
+            .get_or((ia, ib), || self.intern_region(&aa.intersect(&ab, limits)))
+    }
+
+    /// Memoized region union.
+    pub fn union(&self, a: &Disjunction, b: &Disjunction) -> Arc<Disjunction> {
+        let limits = self.limits();
+        let (aa, ia) = self.regions.intern(a);
+        let (ab, ib) = self.regions.intern(b);
+        self.m_union
+            .get_or((ia, ib), || self.intern_region(&aa.union(&ab, limits)))
+    }
+
+    /// Memoized Fourier–Motzkin projection of `vars` out of `d`.
+    pub fn project_out(&self, d: &Disjunction, vars: &[Var]) -> Arc<Disjunction> {
+        let limits = self.limits();
+        let (ad, id) = self.regions.intern(d);
+        self.m_project.get_or((id, vars.to_vec()), || {
+            self.fm_projections.fetch_add(1, Ordering::Relaxed);
+            self.intern_region(&ad.project_out(vars, limits))
+        })
+    }
+
+    /// Memoized predicate implication `a ⇒ b`.
+    pub fn implies(&self, a: &Pred, b: &Pred) -> bool {
+        // Trivial cases stay out of the tables (they dominate call
+        // counts and would drown the hit-rate signal).
+        if b.is_true() || a == b {
+            return true;
+        }
+        if a.is_false() {
+            return true;
+        }
+        let limits = self.limits();
+        let (aa, ia) = self.preds.intern(a);
+        let (ab, ib) = self.preds.intern(b);
+        self.m_implies.get_or((ia, ib), || aa.implies(&ab, limits))
+    }
+
+    /// Count one Fourier–Motzkin projection run outside the memoized
+    /// path (system-level projections in extraction and reshape).
+    pub fn note_fm_projection(&self) {
+        self.fm_projections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The next deterministic lattice-existential name for `proc`
+    /// (`$lat.<proc>.<k>`). Each procedure is analyzed by one worker, so
+    /// the per-procedure counter is deterministic; names inside the
+    /// pre-interned pool were interned before workers started.
+    pub fn lat_var(&self, proc: &str) -> Var {
+        let k = {
+            let mut pools = self.lat_pools.lock().unwrap();
+            let c = pools.entry(proc.to_string()).or_insert(0);
+            let k = *c;
+            *c += 1;
+            k
+        };
+        if k >= LAT_POOL {
+            self.lat_overflow.fetch_add(1, Ordering::Relaxed);
+        }
+        Var::new(&format!("$lat.{proc}.{k}"))
+    }
+
+    /// Deterministic pre-interning prepass: intern every synthetic
+    /// variable name the analysis of `prog` can create, in program
+    /// order, before any worker thread runs. See the module docs for why
+    /// this is required for bit-deterministic parallel output.
+    pub fn pre_intern(&self, prog: &Program) {
+        for proc in &prog.procedures {
+            // Dimension variables for every visible array.
+            for d in &proc.arrays {
+                for k in 0..d.dims.len() {
+                    crate::region::dim_var(d.name, k);
+                }
+            }
+            for p in &proc.params {
+                if let ParamTy::Array { dims, .. } = &p.ty {
+                    for k in 0..dims.len() {
+                        crate::region::dim_var(p.name, k);
+                    }
+                }
+            }
+            // Loop-index bookkeeping names.
+            let mut strided = false;
+            pre_intern_block(&proc.body, proc, &mut strided);
+            if strided {
+                for k in 0..LAT_POOL {
+                    Var::new(&format!("$lat.{}.{}", proc.name, k));
+                }
+            }
+        }
+    }
+
+    /// Snapshot the counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        let peak = [
+            self.m_sys_empty.len(),
+            self.m_subset.len(),
+            self.m_subtract.len(),
+            self.m_intersect.len(),
+            self.m_union.len(),
+            self.m_project.len(),
+            self.m_implies.len(),
+        ]
+        .into_iter()
+        .max()
+        .unwrap_or(0);
+        StatsSnapshot {
+            sys_empty: self.m_sys_empty.counters(),
+            subset: self.m_subset.counters(),
+            subtract: self.m_subtract.counters(),
+            intersect: self.m_intersect.counters(),
+            union: self.m_union.counters(),
+            project: self.m_project.counters(),
+            implies: self.m_implies.counters(),
+            interned_systems: self.systems.len(),
+            interned_regions: self.regions.len(),
+            interned_preds: self.preds.len(),
+            peak_table_entries: peak,
+            fm_projections: self.fm_projections.load(Ordering::Relaxed),
+            lat_overflow: self.lat_overflow.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Walk a block interning the per-loop synthetic names `handle_loop` and
+/// `test_loop` will request: the primed index, the `$prev` copy, and —
+/// for strided loops — the step-lattice counter with its primed and
+/// `$prev` variants.
+fn pre_intern_block(b: &Block, proc: &Procedure, strided: &mut bool) {
+    for s in &b.stmts {
+        match s {
+            Stmt::For(l) => {
+                crate::region::primed(l.var);
+                Var::new(&format!("$prev.{}", l.var.name()));
+                if l.step.abs() > 1 {
+                    *strided = true;
+                    let t = Var::new(&format!("$step.{}.{}", proc.name, l.var.name()));
+                    crate::region::primed(t);
+                    Var::new(&format!("$prev.{}", t.name()));
+                }
+                pre_intern_block(&l.body, proc, strided);
+            }
+            Stmt::If {
+                then_blk, else_blk, ..
+            } => {
+                pre_intern_block(then_blk, proc, strided);
+                pre_intern_block(else_blk, proc, strided);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use padfa_omega::{Constraint, LinExpr};
+
+    fn interval(var: &str, lo: i64, hi: i64) -> Disjunction {
+        let v = Var::new(var);
+        Disjunction::from_system(System::from_constraints([
+            Constraint::geq(LinExpr::var(v), LinExpr::constant(lo)),
+            Constraint::leq(LinExpr::var(v), LinExpr::constant(hi)),
+        ]))
+    }
+
+    #[test]
+    fn interning_dedups_equal_regions() {
+        let sess = AnalysisSession::new(Options::predicated());
+        let a = sess.intern_region(&interval("d", 1, 10));
+        let b = sess.intern_region(&interval("d", 1, 10));
+        assert!(Arc::ptr_eq(&a, &b));
+        let c = sess.intern_region(&interval("d", 1, 11));
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(sess.stats().interned_regions, 2);
+    }
+
+    #[test]
+    fn memoized_queries_hit_on_repeat() {
+        let sess = AnalysisSession::new(Options::predicated());
+        let a = interval("d", 1, 10);
+        let b = interval("d", 5, 20);
+        let r1 = sess.subtract(&a, &b);
+        let r2 = sess.subtract(&a, &b);
+        assert!(Arc::ptr_eq(&r1, &r2));
+        let st = sess.stats();
+        assert_eq!(st.subtract.hits, 1);
+        assert_eq!(st.subtract.misses, 1);
+        // And the results agree with the unmemoized operation.
+        assert_eq!(*r1, a.subtract(&b, Limits::default()));
+    }
+
+    #[test]
+    fn memoized_results_match_fresh_computation() {
+        let sess = AnalysisSession::new(Options::predicated());
+        let a = interval("d", 1, 10);
+        let b = interval("d", 3, 7);
+        let lim = Limits::default();
+        assert_eq!(*sess.union(&a, &b), a.union(&b, lim));
+        assert_eq!(*sess.intersect(&a, &b), a.intersect(&b, lim));
+        assert_eq!(sess.subset_of(&b, &a), b.subset_of(&a, lim));
+        assert_eq!(sess.is_empty(&a), a.is_empty(lim));
+        let dv = Var::new("d");
+        assert_eq!(*sess.project_out(&a, &[dv]), a.project_out(&[dv], lim));
+    }
+
+    #[test]
+    fn lat_pool_is_deterministic_per_proc() {
+        let sess = AnalysisSession::new(Options::predicated());
+        let a0 = sess.lat_var("p");
+        let a1 = sess.lat_var("p");
+        let b0 = sess.lat_var("q");
+        assert_eq!(a0, Var::new("$lat.p.0"));
+        assert_eq!(a1, Var::new("$lat.p.1"));
+        assert_eq!(b0, Var::new("$lat.q.0"));
+        assert_eq!(sess.stats().lat_overflow, 0);
+    }
+
+    #[test]
+    fn trivial_implications_bypass_tables() {
+        let sess = AnalysisSession::new(Options::predicated());
+        assert!(sess.implies(&Pred::True, &Pred::True));
+        assert!(sess.implies(&Pred::False, &Pred::True));
+        assert_eq!(sess.stats().implies.total(), 0);
+    }
+}

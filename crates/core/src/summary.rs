@@ -1,7 +1,7 @@
 //! Data-flow summaries of program regions and their composition rules.
 
 use crate::component::PredComponent;
-use crate::options::Options;
+use crate::session::AnalysisSession;
 use padfa_omega::Var;
 use padfa_pred::Pred;
 use std::collections::{BTreeMap, BTreeSet};
@@ -91,7 +91,8 @@ impl Summary {
     /// whose predicate reads a scalar `self` may modify are degraded
     /// (weakened to `True` in may components, dropped from must
     /// components).
-    pub fn seq(&self, next: &Summary, opts: &Options) -> Summary {
+    pub fn seq(&self, next: &Summary, sess: &AnalysisSession) -> Summary {
+        let opts = &sess.opts;
         let mut out = Summary::empty();
         out.has_io = self.has_io || next.has_io;
         out.has_exit = self.has_exit || next.has_exit;
@@ -105,7 +106,12 @@ impl Summary {
         let unstable = |v: Var| writes.contains(&v);
         let preds = opts.predicates_enabled();
 
-        let keys: BTreeSet<Var> = self.arrays.keys().chain(next.arrays.keys()).copied().collect();
+        let keys: BTreeSet<Var> = self
+            .arrays
+            .keys()
+            .chain(next.arrays.keys())
+            .copied()
+            .collect();
         for a in keys {
             let empty = ArraySummary::default();
             let s1 = self.arrays.get(&a).unwrap_or(&empty);
@@ -117,7 +123,7 @@ impl Summary {
             let e2 = s2.e.degrade_unstable(&unstable, true);
 
             let mut fired = false;
-            let e2_minus_w1 = e2.pred_subtract(&s1.w, preds, None, opts.limits, &mut fired);
+            let e2_minus_w1 = e2.pred_subtract(&s1.w, preds, None, sess, &mut fired);
 
             let mut acc = ArraySummary {
                 w: s1.w.union(&w2),
@@ -125,15 +131,19 @@ impl Summary {
                 r: s1.r.union(&r2),
                 e: s1.e.union(&e2_minus_w1),
             };
-            acc.w.normalize(opts.max_pieces, false, opts.limits);
-            acc.mw.normalize(opts.max_pieces, true, opts.limits);
-            acc.r.normalize(opts.max_pieces, true, opts.limits);
-            acc.e.normalize(opts.max_pieces, true, opts.limits);
+            acc.w.normalize(opts.max_pieces, false, sess);
+            acc.mw.normalize(opts.max_pieces, true, sess);
+            acc.r.normalize(opts.max_pieces, true, sess);
+            acc.e.normalize(opts.max_pieces, true, sess);
             out.arrays.insert(a, acc);
         }
 
-        let skeys: BTreeSet<Var> =
-            self.scalars.keys().chain(next.scalars.keys()).copied().collect();
+        let skeys: BTreeSet<Var> = self
+            .scalars
+            .keys()
+            .chain(next.scalars.keys())
+            .copied()
+            .collect();
         for s in skeys {
             let a = self.scalars.get(&s).copied().unwrap_or_default();
             let b = next.scalars.get(&s).copied().unwrap_or_default();
@@ -156,7 +166,13 @@ impl Summary {
     /// must-write*). The unpredicated baseline must intersect must-writes
     /// and union everything else — precisely the precision loss the paper
     /// addresses.
-    pub fn if_merge(cond_pred: &Pred, then_s: &Summary, else_s: &Summary, opts: &Options) -> Summary {
+    pub fn if_merge(
+        cond_pred: &Pred,
+        then_s: &Summary,
+        else_s: &Summary,
+        sess: &AnalysisSession,
+    ) -> Summary {
+        let opts = &sess.opts;
         let mut out = Summary::empty();
         out.has_io = then_s.has_io || else_s.has_io;
         out.has_exit = then_s.has_exit || else_s.has_exit;
@@ -186,7 +202,7 @@ impl Summary {
                 }
             } else {
                 // Base SUIF: W must hold on both paths.
-                let w = intersect_must(&t.w, &e.w, opts);
+                let w = intersect_must(&t.w, &e.w, sess);
                 ArraySummary {
                     w,
                     mw: t.mw.union(&e.mw),
@@ -194,10 +210,10 @@ impl Summary {
                     e: t.e.union(&e.e),
                 }
             };
-            acc.w.normalize(opts.max_pieces, false, opts.limits);
-            acc.mw.normalize(opts.max_pieces, true, opts.limits);
-            acc.r.normalize(opts.max_pieces, true, opts.limits);
-            acc.e.normalize(opts.max_pieces, true, opts.limits);
+            acc.w.normalize(opts.max_pieces, false, sess);
+            acc.mw.normalize(opts.max_pieces, true, sess);
+            acc.r.normalize(opts.max_pieces, true, sess);
+            acc.e.normalize(opts.max_pieces, true, sess);
             out.arrays.insert(a, acc);
         }
 
@@ -225,10 +241,10 @@ impl Summary {
 
 /// Unpredicated must-write intersection (both branches definitely write
 /// the intersection of their must regions).
-fn intersect_must(a: &PredComponent, b: &PredComponent, opts: &Options) -> PredComponent {
-    let ra = a.must_region(&Pred::True, opts.limits);
-    let rb = b.must_region(&Pred::True, opts.limits);
-    let inter = ra.intersect(&rb, opts.limits);
+fn intersect_must(a: &PredComponent, b: &PredComponent, sess: &AnalysisSession) -> PredComponent {
+    let ra = a.must_region(&Pred::True, sess);
+    let rb = b.must_region(&Pred::True, sess);
+    let inter = sess.intersect(&ra, &rb);
     if inter.is_empty_union() || !inter.is_exact() {
         PredComponent::empty()
     } else {
@@ -256,10 +272,19 @@ impl fmt::Display for Summary {
 mod tests {
     use super::*;
     use crate::component::PredComponent;
-    use padfa_omega::{Constraint, Disjunction, LinExpr, Limits, System};
+    use crate::options::Options;
+    use padfa_omega::{Constraint, Disjunction, LinExpr, System};
 
     fn v(n: &str) -> Var {
         Var::new(n)
+    }
+
+    fn psess() -> AnalysisSession {
+        AnalysisSession::new(Options::predicated())
+    }
+
+    fn bsess() -> AnalysisSession {
+        AnalysisSession::new(Options::base())
     }
 
     fn interval(var: &str, lo: i64, hi: i64) -> Disjunction {
@@ -293,21 +318,23 @@ mod tests {
 
     #[test]
     fn seq_kills_covered_reads() {
+        let sess = psess();
         // write a[1..10]; read a[1..10]: nothing exposed.
-        let s = writes("a", 1, 10).seq(&reads("a", 1, 10), &Options::predicated());
+        let s = writes("a", 1, 10).seq(&reads("a", 1, 10), &sess);
         let e = &s.arrays[&v("a")].e;
-        assert!(e.is_region_empty(Limits::default()));
+        assert!(e.is_region_empty(&sess));
         // Reads beyond the write stay exposed.
-        let s2 = writes("a", 1, 5).seq(&reads("a", 1, 10), &Options::predicated());
-        let e2 = s2.arrays[&v("a")].e.may_region(Limits::default());
+        let s2 = writes("a", 1, 5).seq(&reads("a", 1, 10), &sess);
+        let e2 = s2.arrays[&v("a")].e.may_region(&sess);
         assert_eq!(e2.contains(&|_| Some(7)), Some(true));
         assert_eq!(e2.contains(&|_| Some(3)), Some(false));
     }
 
     #[test]
     fn seq_read_then_write_is_exposed() {
-        let s = reads("a", 1, 10).seq(&writes("a", 1, 10), &Options::predicated());
-        let e = s.arrays[&v("a")].e.may_region(Limits::default());
+        let sess = psess();
+        let s = reads("a", 1, 10).seq(&writes("a", 1, 10), &sess);
+        let e = s.arrays[&v("a")].e.may_region(&sess);
         assert_eq!(e.contains(&|_| Some(5)), Some(true));
     }
 
@@ -315,33 +342,33 @@ mod tests {
     fn if_merge_predicated_keeps_guarded_must_write() {
         let t = writes("a", 1, 10);
         let e = Summary::empty();
-        let opts = Options::predicated();
-        let m = Summary::if_merge(&pred("x > 5"), &t, &e, &opts);
+        let sess = psess();
+        let m = Summary::if_merge(&pred("x > 5"), &t, &e, &sess);
         let w = &m.arrays[&v("a")].w;
         assert_eq!(w.pieces.len(), 1);
         assert_eq!(w.pieces[0].pred, pred("x > 5"));
         // Must region under assumption x > 5 is the full write.
-        let must = w.must_region(&pred("x > 5"), Limits::default());
+        let must = w.must_region(&pred("x > 5"), &sess);
         assert_eq!(must.contains(&|_| Some(5)), Some(true));
         // Unconditional must region is empty.
-        assert!(w.must_region(&Pred::True, Limits::default()).is_empty_union());
+        assert!(w.must_region(&Pred::True, &sess).is_empty_union());
     }
 
     #[test]
     fn if_merge_base_intersects_must_writes() {
         let t = writes("a", 1, 10);
         let e = writes("a", 5, 20);
-        let opts = Options::base();
-        let m = Summary::if_merge(&pred("x > 5"), &t, &e, &opts);
-        let w = m.arrays[&v("a")].w.must_region(&Pred::True, Limits::default());
+        let sess = bsess();
+        let m = Summary::if_merge(&pred("x > 5"), &t, &e, &sess);
+        let w = m.arrays[&v("a")].w.must_region(&Pred::True, &sess);
         assert_eq!(w.contains(&|_| Some(7)), Some(true));
         assert_eq!(w.contains(&|_| Some(2)), Some(false), "only then-branch");
         assert_eq!(w.contains(&|_| Some(15)), Some(false), "only else-branch");
         // One-sided write: must is empty in base.
-        let m2 = Summary::if_merge(&pred("x > 5"), &t, &Summary::empty(), &opts);
+        let m2 = Summary::if_merge(&pred("x > 5"), &t, &Summary::empty(), &sess);
         assert!(m2.arrays[&v("a")]
             .w
-            .must_region(&Pred::True, Limits::default())
+            .must_region(&Pred::True, &sess)
             .is_empty_union());
     }
 
@@ -349,17 +376,32 @@ mod tests {
     fn guarded_write_kills_guarded_read_in_seq() {
         // if (x>5) write a[1..10]; then if (x>5) read a[1..10]:
         // predicated analysis proves nothing is exposed (Figure 1(a)).
-        let opts = Options::predicated();
-        let w = Summary::if_merge(&pred("x > 5"), &writes("a", 1, 10), &Summary::empty(), &opts);
-        let r = Summary::if_merge(&pred("x > 5"), &reads("a", 1, 10), &Summary::empty(), &opts);
-        let s = w.seq(&r, &opts);
-        assert!(s.arrays[&v("a")].e.is_region_empty(Limits::default()));
+        let sess = psess();
+        let w = Summary::if_merge(
+            &pred("x > 5"),
+            &writes("a", 1, 10),
+            &Summary::empty(),
+            &sess,
+        );
+        let r = Summary::if_merge(&pred("x > 5"), &reads("a", 1, 10), &Summary::empty(), &sess);
+        let s = w.seq(&r, &sess);
+        assert!(s.arrays[&v("a")].e.is_region_empty(&sess));
         // Base analysis leaves the read exposed.
-        let opts_b = Options::base();
-        let wb = Summary::if_merge(&pred("x > 5"), &writes("a", 1, 10), &Summary::empty(), &opts_b);
-        let rb = Summary::if_merge(&pred("x > 5"), &reads("a", 1, 10), &Summary::empty(), &opts_b);
-        let sb = wb.seq(&rb, &opts_b);
-        assert!(!sb.arrays[&v("a")].e.is_region_empty(Limits::default()));
+        let sess_b = bsess();
+        let wb = Summary::if_merge(
+            &pred("x > 5"),
+            &writes("a", 1, 10),
+            &Summary::empty(),
+            &sess_b,
+        );
+        let rb = Summary::if_merge(
+            &pred("x > 5"),
+            &reads("a", 1, 10),
+            &Summary::empty(),
+            &sess_b,
+        );
+        let sb = wb.seq(&rb, &sess_b);
+        assert!(!sb.arrays[&v("a")].e.is_region_empty(&sess_b));
     }
 
     #[test]
@@ -367,9 +409,14 @@ mod tests {
         // S1 writes scalar x; S2's pieces guarded by x > 5 must degrade.
         let mut s1 = Summary::empty();
         s1.write_scalar(v("x"));
-        let opts = Options::predicated();
-        let s2 = Summary::if_merge(&pred("x > 5"), &writes("a", 1, 10), &Summary::empty(), &opts);
-        let s = s1.seq(&s2, &opts);
+        let sess = psess();
+        let s2 = Summary::if_merge(
+            &pred("x > 5"),
+            &writes("a", 1, 10),
+            &Summary::empty(),
+            &sess,
+        );
+        let s = s1.seq(&s2, &sess);
         let arr = &s.arrays[&v("a")];
         // Must-write piece dropped entirely.
         assert!(arr.w.is_empty());
@@ -384,12 +431,12 @@ mod tests {
         s1.write_scalar(v("t"));
         let mut s2 = Summary::empty();
         s2.read_scalar(v("t"));
-        let opts = Options::predicated();
+        let sess = psess();
         // write; read => not exposed.
-        let a = s1.seq(&s2, &opts);
+        let a = s1.seq(&s2, &sess);
         assert!(!a.scalars[&v("t")].exposed_read);
         // read; write => exposed.
-        let b = s2.seq(&s1, &opts);
+        let b = s2.seq(&s1, &sess);
         assert!(b.scalars[&v("t")].exposed_read);
     }
 
@@ -398,8 +445,8 @@ mod tests {
         let mut t = Summary::empty();
         t.write_scalar(v("t"));
         let e = Summary::empty();
-        let opts = Options::predicated();
-        let m = Summary::if_merge(&pred("x > 0"), &t, &e, &opts);
+        let sess = psess();
+        let m = Summary::if_merge(&pred("x > 0"), &t, &e, &sess);
         let sc = m.scalars[&v("t")];
         assert!(!sc.must_write, "one-sided write is not a must-write");
         assert!(sc.may_write);

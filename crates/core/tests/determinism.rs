@@ -1,0 +1,96 @@
+//! The parallel per-procedure driver must be bit-deterministic: the
+//! rendered analysis output may not depend on the worker count or on
+//! scheduling. These tests exercise hand-written programs (including
+//! recursive call graphs); the full-corpus golden test lives in the
+//! suite crate.
+
+use padfa_core::{analyze_program_session, AnalysisSession, Options};
+use padfa_ir::parse::parse_program;
+
+/// Render everything observable about one run: every loop report plus
+/// every procedure summary, in a canonical order.
+fn render(src: &str, opts: &Options, jobs: usize) -> String {
+    let prog = parse_program(src).unwrap();
+    let sess = AnalysisSession::new(opts.clone()).with_jobs(jobs);
+    let (result, summaries) = analyze_program_session(&prog, &sess);
+    let mut out = String::new();
+    for report in &result.loops {
+        out.push_str(&format!("{report}\n"));
+    }
+    let mut names: Vec<&String> = summaries.keys().collect();
+    names.sort();
+    for name in names {
+        out.push_str(&format!("== {name} ==\n{}", summaries[name]));
+    }
+    out
+}
+
+const WIDE_PROGRAM: &str = "
+    proc leaf1(b: array[64], m: int) { for j = 1 to m { b[j] = 0.0; } }
+    proc leaf2(b: array[64], m: int) { for j = 1 to m { b[j] = b[j] + 1.0; } }
+    proc leaf3(b: array[64], m: int) {
+        for j = 1 to m { if (m > 10) { b[j] = 2.0; } }
+    }
+    proc leaf4(b: array[64], m: int) { for j = 2 to m { b[j] = b[j - 1]; } }
+    proc mid1(b: array[64], m: int) { call leaf1(b, m); call leaf2(b, m); }
+    proc mid2(b: array[64], m: int) { call leaf3(b, m); call leaf4(b, m); }
+    proc main(n: int, x: int) {
+        array a[64];
+        for i = 1 to n { call mid1(a, i); }
+        for i = 1 to n { if (x > 0) { call mid2(a, i); } }
+    }";
+
+const RECURSIVE_PROGRAM: &str = "
+    proc ping(b: array[32], k: int) { b[k] = 1.0; call pong(b, k); }
+    proc pong(b: array[32], k: int) { if (k > 1) { call ping(b, k); } else { b[1] = 0.0; } }
+    proc selfy(b: array[32], k: int) { b[k] = 2.0; call selfy(b, k); }
+    proc main(n: int) {
+        array a[32];
+        for i = 1 to n { call ping(a, i); }
+        for i = 1 to n { call selfy(a, i); }
+        for i = 1 to n { a[i] = a[i] + 1.0; }
+    }";
+
+#[test]
+fn wide_call_graph_is_deterministic_across_worker_counts() {
+    for opts in [Options::base(), Options::guarded(), Options::predicated()] {
+        let baseline = render(WIDE_PROGRAM, &opts, 1);
+        for jobs in 2..=4 {
+            assert_eq!(
+                baseline,
+                render(WIDE_PROGRAM, &opts, jobs),
+                "jobs={jobs} diverged ({:?})",
+                opts.variant
+            );
+        }
+    }
+}
+
+#[test]
+fn repeated_parallel_runs_are_identical() {
+    let opts = Options::predicated();
+    let a = render(WIDE_PROGRAM, &opts, 4);
+    let b = render(WIDE_PROGRAM, &opts, 4);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn recursive_call_graphs_are_stable_under_parallel_driver() {
+    // Recursive procedures get conservative summaries; that choice (and
+    // everything downstream of it) must not depend on the worker count.
+    let opts = Options::predicated();
+    let baseline = render(RECURSIVE_PROGRAM, &opts, 1);
+    for jobs in 2..=4 {
+        assert_eq!(baseline, render(RECURSIVE_PROGRAM, &opts, jobs));
+    }
+    // The conservative summaries disqualify the enclosing loops (has_io),
+    // while the pure loop stays parallel.
+    let prog = parse_program(RECURSIVE_PROGRAM).unwrap();
+    let sess = AnalysisSession::new(opts).with_jobs(4);
+    let (result, _) = analyze_program_session(&prog, &sess);
+    let main_loops: Vec<_> = result.loops.iter().filter(|l| l.proc == "main").collect();
+    assert_eq!(main_loops.len(), 3);
+    assert!(main_loops[0].not_candidate.is_some());
+    assert!(main_loops[1].not_candidate.is_some());
+    assert!(main_loops[2].parallelized());
+}

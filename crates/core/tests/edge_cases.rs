@@ -176,7 +176,10 @@ fn write_only_array_parallel_via_privatization_or_masking() {
     let report = r.by_label("w").unwrap();
     assert!(report.outcome.is_parallelizable(), "{}", report.outcome);
     assert!(
-        report.privatized.iter().any(|p| p.array == padfa_omega::Var::new("a")),
+        report
+            .privatized
+            .iter()
+            .any(|p| p.array == padfa_omega::Var::new("a")),
         "write-only conflicts resolve by privatization"
     );
 }

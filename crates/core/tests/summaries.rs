@@ -2,11 +2,15 @@
 //! the W/MW/R/E regions computed for canonical programs, via the
 //! procedure summaries returned by `analyze_program_with_summaries`.
 
-use padfa_core::{analyze_program_with_summaries, Options, Summary};
 use padfa_core::region::dim_var;
+use padfa_core::{analyze_program_with_summaries, AnalysisSession, Options, Summary};
 use padfa_ir::parse::parse_program;
 use padfa_omega::{Limits, Var};
 use padfa_pred::Pred;
+
+fn sess() -> AnalysisSession {
+    AnalysisSession::new(Options::predicated())
+}
 
 fn summarize(src: &str) -> Summary {
     let prog = parse_program(src).unwrap();
@@ -25,10 +29,7 @@ fn contains(
 ) -> bool {
     use padfa_omega::{Constraint, LinExpr};
     let d0 = dim_var(Var::new(array), 0);
-    let mut pinned = region.constrain(&Constraint::eq(
-        LinExpr::var(d0),
-        LinExpr::constant(elem),
-    ));
+    let mut pinned = region.constrain(&Constraint::eq(LinExpr::var(d0), LinExpr::constant(elem)));
     for &(name, val) in sym {
         pinned = pinned.constrain(&Constraint::eq(
             LinExpr::var(Var::new(name)),
@@ -44,9 +45,7 @@ fn write_loop_must_write_region_is_symbolic_interval() {
         "proc main(n: int) { array a[100];
          for i = 1 to n { a[i] = 1.0; } }",
     );
-    let w = s.arrays[&Var::new("a")]
-        .w
-        .must_region(&Pred::True, Limits::default());
+    let w = s.arrays[&Var::new("a")].w.must_region(&Pred::True, &sess());
     // [1..n]: with n = 7, elements 1 and 7 in, 0 and 8 out.
     assert!(contains(&w, "a", 1, &[("n", 7)]));
     assert!(contains(&w, "a", 7, &[("n", 7)]));
@@ -64,7 +63,7 @@ fn exposed_reads_subtract_prior_writes() {
          for i = 1 to m { a[i] = 1.0; }
          for i = 1 to n { out[i] = a[i]; } }",
     );
-    let e = s.arrays[&Var::new("a")].e.may_region(Limits::default());
+    let e = s.arrays[&Var::new("a")].e.may_region(&sess());
     let env = [("n", 9), ("m", 5)];
     assert!(!contains(&e, "a", 3, &env), "covered by the write");
     assert!(contains(&e, "a", 6, &env), "beyond the write");
@@ -82,11 +81,9 @@ fn guarded_write_appears_as_guarded_must_piece() {
     );
     let w = &s.arrays[&Var::new("a")].w;
     // Unconditional must region is empty; under x > 5 the interval shows.
-    assert!(w
-        .must_region(&Pred::True, Limits::default())
-        .is_empty_union());
+    assert!(w.must_region(&Pred::True, &sess()).is_empty_union());
     let guard = Pred::from_bool(&padfa_ir::parse::parse_bool_expr("x > 5").unwrap());
-    let under = w.must_region(&guard, Limits::default());
+    let under = w.must_region(&guard, &sess());
     assert!(contains(&under, "a", 3, &[("n", 5)]));
 }
 
@@ -103,10 +100,10 @@ fn downward_loop_covers_same_interval() {
     for elem in [1i64, 4, 7] {
         let wu = up.arrays[&Var::new("a")]
             .w
-            .must_region(&Pred::True, Limits::default());
+            .must_region(&Pred::True, &sess());
         let wd = down.arrays[&Var::new("a")]
             .w
-            .must_region(&Pred::True, Limits::default());
+            .must_region(&Pred::True, &sess());
         assert_eq!(
             contains(&wu, "a", elem, &[("n", 7)]),
             contains(&wd, "a", elem, &[("n", 7)]),
@@ -121,9 +118,7 @@ fn strided_write_region_keeps_lattice() {
         "proc main(n: int) { array a[100];
          for i = 1 to n step 2 { a[i] = 1.0; } }",
     );
-    let w = s.arrays[&Var::new("a")]
-        .w
-        .must_region(&Pred::True, Limits::default());
+    let w = s.arrays[&Var::new("a")].w.must_region(&Pred::True, &sess());
     // Odd elements written, even not.
     assert!(contains(&w, "a", 1, &[("n", 9)]));
     assert!(contains(&w, "a", 9, &[("n", 9)]));
@@ -143,9 +138,7 @@ fn call_effects_appear_in_caller_summary() {
              call fill(a, n);
          }",
     );
-    let w = s.arrays[&Var::new("a")]
-        .w
-        .must_region(&Pred::True, Limits::default());
+    let w = s.arrays[&Var::new("a")].w.must_region(&Pred::True, &sess());
     assert!(contains(&w, "a", 1, &[("n", 10)]));
     assert!(contains(&w, "a", 10, &[("n", 10)]));
     assert!(!contains(&w, "a", 11, &[("n", 10)]));

@@ -12,7 +12,7 @@ pub enum ScalarTy {
 }
 
 /// Comparison operators in boolean expressions.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum CmpOp {
     Eq,
     Ne,
@@ -71,7 +71,7 @@ impl CmpOp {
 }
 
 /// Numeric intrinsic functions (used to give kernels realistic work).
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum Intrinsic {
     Sin,
     Cos,
@@ -168,7 +168,10 @@ impl Expr {
                     e.scalar_vars(out);
                 }
             }
-            Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) | Expr::Div(a, b)
+            Expr::Add(a, b)
+            | Expr::Sub(a, b)
+            | Expr::Mul(a, b)
+            | Expr::Div(a, b)
             | Expr::Mod(a, b) => {
                 a.scalar_vars(out);
                 b.scalar_vars(out);
@@ -193,7 +196,10 @@ impl Expr {
                     e.for_each_access(f);
                 }
             }
-            Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) | Expr::Div(a, b)
+            Expr::Add(a, b)
+            | Expr::Sub(a, b)
+            | Expr::Mul(a, b)
+            | Expr::Div(a, b)
             | Expr::Mod(a, b) => {
                 a.for_each_access(f);
                 b.for_each_access(f);
@@ -203,6 +209,41 @@ impl Expr {
                 for e in args {
                     e.for_each_access(f);
                 }
+            }
+        }
+    }
+}
+
+/// `Eq`/`Hash` cannot be derived because of the `f64` literal. The
+/// grammar has no spelling for NaN, so every `RealLit` the parser (or
+/// the analysis) produces is a finite number for which the derived
+/// `PartialEq` is reflexive; hashing the IEEE bit pattern is then
+/// consistent with equality.
+impl Eq for Expr {}
+
+impl std::hash::Hash for Expr {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        std::mem::discriminant(self).hash(state);
+        match self {
+            Expr::IntLit(v) => v.hash(state),
+            Expr::RealLit(v) => v.to_bits().hash(state),
+            Expr::Scalar(v) => v.hash(state),
+            Expr::Elem(a, idxs) => {
+                a.hash(state);
+                idxs.hash(state);
+            }
+            Expr::Add(a, b)
+            | Expr::Sub(a, b)
+            | Expr::Mul(a, b)
+            | Expr::Div(a, b)
+            | Expr::Mod(a, b) => {
+                a.hash(state);
+                b.hash(state);
+            }
+            Expr::Neg(a) => a.hash(state),
+            Expr::Call(i, args) => {
+                i.hash(state);
+                args.hash(state);
             }
         }
     }
@@ -274,6 +315,28 @@ impl BoolExpr {
                 b.for_each_access(f);
             }
             BoolExpr::Not(a) => a.for_each_access(f),
+        }
+    }
+}
+
+/// See the note on [`Expr`]'s `Eq`: real literals are never NaN.
+impl Eq for BoolExpr {}
+
+impl std::hash::Hash for BoolExpr {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        std::mem::discriminant(self).hash(state);
+        match self {
+            BoolExpr::Lit(b) => b.hash(state),
+            BoolExpr::Cmp(op, a, b) => {
+                op.hash(state);
+                a.hash(state);
+                b.hash(state);
+            }
+            BoolExpr::And(a, b) | BoolExpr::Or(a, b) => {
+                a.hash(state);
+                b.hash(state);
+            }
+            BoolExpr::Not(a) => a.hash(state),
         }
     }
 }

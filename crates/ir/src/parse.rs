@@ -158,9 +158,7 @@ impl<'a> Lexer<'a> {
                     }
                 }
                 let mut is_real = false;
-                if self.peek() == Some(b'.')
-                    && self.peek2().is_some_and(|c| c.is_ascii_digit())
-                {
+                if self.peek() == Some(b'.') && self.peek2().is_some_and(|c| c.is_ascii_digit()) {
                     is_real = true;
                     self.bump();
                     while let Some(c) = self.peek() {
@@ -476,11 +474,7 @@ impl Parser {
                             s
                         }
                     }
-                    _ => {
-                        return Err(self.error(
-                            "loop step must be a non-zero integer constant",
-                        ))
-                    }
+                    _ => return Err(self.error("loop step must be a non-zero integer constant")),
                 }
             } else {
                 1
@@ -670,7 +664,9 @@ impl Parser {
             Tok::Punct("<=") => CmpOp::Le,
             Tok::Punct(">") => CmpOp::Gt,
             Tok::Punct(">=") => CmpOp::Ge,
-            other => return Err(self.error(format!("expected comparison operator, found {other:?}"))),
+            other => {
+                return Err(self.error(format!("expected comparison operator, found {other:?}")))
+            }
         };
         self.bump();
         Ok(op)
@@ -947,7 +943,10 @@ mod tests {
         let p1 = parse_program(src).unwrap();
         let text = crate::pretty::program_to_string(&p1);
         let p2 = parse_program(&text).unwrap();
-        assert_eq!(p1, p2, "pretty output must re-parse to the same AST:\n{text}");
+        assert_eq!(
+            p1, p2,
+            "pretty output must re-parse to the same AST:\n{text}"
+        );
     }
 
     #[test]
@@ -965,10 +964,9 @@ mod tests {
 
     #[test]
     fn parses_negative_step() {
-        let p = parse_program(
-            "proc m(n: int) { array a[10]; for i = n to 1 step -1 { a[i] = 0.0; } }",
-        )
-        .unwrap();
+        let p =
+            parse_program("proc m(n: int) { array a[10]; for i = n to 1 step -1 { a[i] = 0.0; } }")
+                .unwrap();
         match &p.procedures[0].body.stmts[0] {
             Stmt::For(l) => assert_eq!(l.step, -1),
             other => panic!("expected loop, got {other:?}"),

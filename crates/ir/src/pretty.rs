@@ -198,7 +198,11 @@ fn expr_prec(e: &Expr, min: u8) -> String {
         Expr::RealLit(v) => {
             let s = format!("{v}");
             (
-                if s.contains('.') || s.contains('e') { s } else { format!("{s}.0") },
+                if s.contains('.') || s.contains('e') {
+                    s
+                } else {
+                    format!("{s}.0")
+                },
                 if *v < 0.0 { 2 } else { 4 },
             )
         }
@@ -252,10 +256,7 @@ fn bool_prec(b: &BoolExpr, min: u8) -> String {
             };
             (format!("{} {} {}", expr(a), o, expr(c)), 3)
         }
-        BoolExpr::And(a, c) => (
-            format!("{} and {}", bool_prec(a, 2), bool_prec(c, 3)),
-            2,
-        ),
+        BoolExpr::And(a, c) => (format!("{} and {}", bool_prec(a, 2), bool_prec(c, 3)), 2),
         BoolExpr::Or(a, c) => (format!("{} or {}", bool_prec(a, 1), bool_prec(c, 2)), 1),
         BoolExpr::Not(a) => (format!("not {}", bool_prec(a, 3)), 2),
     };

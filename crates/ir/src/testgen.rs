@@ -224,7 +224,7 @@ pub fn random_program(seed: u64, cfg: GenConfig) -> Program {
         indices: Vec::new(),
     };
     let stmts = g.block(cfg.depth, cfg.stmts..cfg.stmts + 1);
-    
+
     build::program(vec![build::ProcBuilder::new("main")
         .int_param("n")
         .int_param("x")

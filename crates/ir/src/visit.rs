@@ -137,7 +137,10 @@ impl<'p> Resolver<'p> {
                     self.check_expr(proc, indices, i);
                 }
             }
-            Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) | Expr::Div(a, b)
+            Expr::Add(a, b)
+            | Expr::Sub(a, b)
+            | Expr::Mul(a, b)
+            | Expr::Div(a, b)
             | Expr::Mod(a, b) => {
                 self.check_expr(proc, indices, a);
                 self.check_expr(proc, indices, b);
@@ -183,9 +186,7 @@ impl<'p> Resolver<'p> {
                         }
                         LValue::Elem(a, idxs) => {
                             match proc.array_dims(*a) {
-                                None => {
-                                    self.err(format!("{}: undeclared array '{a}'", proc.name))
-                                }
+                                None => self.err(format!("{}: undeclared array '{a}'", proc.name)),
                                 Some(dims) => {
                                     if dims.len() != idxs.len() {
                                         self.err(format!(
@@ -226,7 +227,10 @@ impl<'p> Resolver<'p> {
                 }
                 Stmt::Call { callee, args } => {
                     let Some(target) = self.prog.proc(callee) else {
-                        self.err(format!("{}: call to unknown procedure '{callee}'", proc.name));
+                        self.err(format!(
+                            "{}: call to unknown procedure '{callee}'",
+                            proc.name
+                        ));
                         continue;
                     };
                     if target.params.len() != args.len() {
@@ -381,8 +385,6 @@ mod tests {
 
     #[test]
     fn whole_array_in_scalar_position_rejected() {
-        assert!(
-            parse_program("proc m() { array a[10]; var x: real; x = a; }").is_err()
-        );
+        assert!(parse_program("proc m() { array a[10]; var x: real; x = a; }").is_err());
     }
 }

@@ -7,7 +7,7 @@ use std::fmt;
 ///
 /// `exact = false` means the set is an **over-approximation** of the true
 /// set of integer points (it may contain extra points, never fewer).
-#[derive(Clone, PartialEq, Eq)]
+#[derive(Clone, PartialEq, Eq, Hash)]
 pub struct Disjunction {
     systems: Vec<System>,
     exact: bool,

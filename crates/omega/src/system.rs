@@ -1,6 +1,6 @@
 //! Conjunctions of constraints and the Fourier–Motzkin engine.
 
-use crate::{CKind, Constraint, LinExpr, Limits, Norm, Var};
+use crate::{CKind, Constraint, Limits, LinExpr, Norm, Var};
 use std::collections::BTreeSet;
 use std::fmt;
 
@@ -10,7 +10,7 @@ use std::fmt;
 /// The empty conjunction is the universe. A system that has been proven
 /// unsatisfiable during normalization is flagged `contradiction` and
 /// represents the empty set.
-#[derive(Clone, PartialEq, Eq, Default)]
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
 pub struct System {
     constraints: Vec<Constraint>,
     contradiction: bool,
@@ -161,9 +161,13 @@ impl System {
         if self.contradiction {
             return;
         }
-        use std::collections::HashMap;
-        // Key a Geq constraint by its variable-term part.
-        let mut geq: HashMap<Vec<(Var, i64)>, i64> = HashMap::new();
+        use std::collections::BTreeMap;
+        // Key a Geq constraint by its variable-term part. The map must
+        // iterate in a deterministic order: when an inequality pair
+        // collapses to an equality below, the first-visited key decides
+        // the emitted orientation, and a hash map would make that (and
+        // therefore the rendered output) vary per map instance.
+        let mut geq: BTreeMap<Vec<(Var, i64)>, i64> = BTreeMap::new();
         let mut eqs: Vec<Constraint> = Vec::new();
         for c in std::mem::take(&mut self.constraints) {
             match c.kind {
@@ -347,10 +351,7 @@ impl System {
             out.constraints.truncate(limits.max_constraints);
             exact = false;
         }
-        Projection {
-            system: out,
-            exact,
-        }
+        Projection { system: out, exact }
     }
 
     /// Project out several variables, picking a cheap elimination order.
@@ -402,10 +403,7 @@ impl System {
             cur = p.system;
             remaining.retain(|&w| cur.mentions(w));
         }
-        Projection {
-            system: cur,
-            exact,
-        }
+        Projection { system: cur, exact }
     }
 
     /// Decide emptiness soundly: `true` means the system has no integer
@@ -449,10 +447,7 @@ impl System {
 
     /// True when `self ⊆ other` can be proven.
     pub fn subset_of(&self, other: &System, limits: Limits) -> bool {
-        other
-            .constraints
-            .iter()
-            .all(|c| self.implies(c, limits))
+        other.constraints.iter().all(|c| self.implies(c, limits))
     }
 
     /// Membership test under a total assignment; `None` when a variable is

@@ -1,7 +1,7 @@
 //! Behavior at the combinatorial limits: operations must stay total and
 //! degrade to sound over-approximations when budgets are exceeded.
 
-use padfa_omega::{Constraint, Disjunction, LinExpr, Limits, System, Var};
+use padfa_omega::{Constraint, Disjunction, Limits, LinExpr, System, Var};
 
 fn interval(v: Var, lo: i64, hi: i64) -> System {
     System::from_constraints([
@@ -120,7 +120,8 @@ fn projection_constraint_cap_is_sound() {
         }
         if found {
             assert_eq!(
-                p.system.contains(&|v| if v == keep { Some(x) } else { None }),
+                p.system
+                    .contains(&|v| if v == keep { Some(x) } else { None }),
                 Some(true),
                 "capped projection lost x = {x}"
             );

@@ -8,7 +8,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use padfa_omega::{Constraint, LinExpr, Limits, System, Var};
+use padfa_omega::{Constraint, Limits, LinExpr, System, Var};
 
 const BOX: i64 = 6;
 const CASES: u64 = 128;
@@ -90,7 +90,8 @@ fn projection_keeps_every_point() {
         let p = sys.project_out(&[vy()], Limits::default());
         for (x, _) in box_points(&sys) {
             assert_eq!(
-                p.system.contains(&|v| if v == vx() { Some(x) } else { None }),
+                p.system
+                    .contains(&|v| if v == vx() { Some(x) } else { None }),
                 Some(true),
                 "projection of {} lost x = {}",
                 sys,

@@ -51,7 +51,10 @@ pub use padfa_suite as suite;
 
 /// The most common imports.
 pub mod prelude {
-    pub use padfa_core::{analyze_program, AnalysisResult, Options, Outcome, Variant};
+    pub use padfa_core::{
+        analyze_program, analyze_program_session, AnalysisResult, AnalysisSession, Options,
+        Outcome, StatsSnapshot, Variant,
+    };
     pub use padfa_ir::parse::{parse_bool_expr, parse_expr, parse_program};
     pub use padfa_ir::{LoopId, Program, Var};
     pub use padfa_pred::Pred;

@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! padfa analyze <file.mf> [--variant base|guarded|predicated] [--all] [--summaries]
+//!                         [--jobs N] [--stats]
 //! padfa run     <file.mf> [--workers N] [--seq] [--fuel N] [--deadline-ms N]
 //!                         [--no-fallback] [--inject W:S:KIND] [ARG...]
 //! padfa elpd    <file.mf> <loop-label-or-id> [--fuel N] [ARG...]
@@ -27,7 +28,8 @@ use std::process::exit;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  padfa analyze <file.mf> [--variant base|guarded|predicated] [--all]\n  \
+        "usage:\n  padfa analyze <file.mf> [--variant base|guarded|predicated] [--all]\n               \
+         [--summaries] [--jobs N] [--stats]\n  \
          padfa run <file.mf> [--workers N] [--seq] [--fuel N] [--deadline-ms N]\n            \
          [--no-fallback] [--inject W:S:panic|error|corrupt] [ARG...]\n  \
          padfa elpd <file.mf> <loop-label-or-id> [--fuel N] [ARG...]\n  \
@@ -70,7 +72,10 @@ fn entry_args(prog: &Program, words: &[String]) -> Vec<ArgValue> {
                     padfa::ir::ScalarTy::Int => match w.parse::<i64>() {
                         Ok(v) => out.push(ArgValue::Int(v)),
                         Err(_) => {
-                            eprintln!("padfa: '{w}' is not an integer (parameter '{}')", param.name);
+                            eprintln!(
+                                "padfa: '{w}' is not an integer (parameter '{}')",
+                                param.name
+                            );
                             exit(1)
                         }
                     },
@@ -126,20 +131,30 @@ fn cmd_analyze(args: &[String]) {
     let mut variant = "predicated".to_string();
     let mut show_all = false;
     let mut show_summaries = false;
+    let mut show_stats = false;
+    let mut jobs = 1usize;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--variant" => variant = it.next().cloned().unwrap_or_else(|| usage()),
             "--all" => show_all = true,
             "--summaries" => show_summaries = true,
+            "--stats" => show_stats = true,
+            "--jobs" => {
+                jobs = it
+                    .next()
+                    .and_then(|w| w.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| usage())
+            }
             _ if file.is_none() => file = Some(a.clone()),
             _ => usage(),
         }
     }
     let prog = load(&file.unwrap_or_else(|| usage()));
     let opts = variant_options(&variant);
-    let (result, summaries) =
-        padfa::analysis::analyze_program_with_summaries(&prog, &opts);
+    let sess = padfa::analysis::AnalysisSession::new(opts).with_jobs(jobs);
+    let (result, summaries) = padfa::analysis::analyze_program_session(&prog, &sess);
     if show_summaries {
         let mut names: Vec<&String> = summaries.keys().collect();
         names.sort();
@@ -169,15 +184,17 @@ fn cmd_analyze(args: &[String]) {
         rt,
         variant
     );
+    if show_stats {
+        println!("\n== session statistics ==");
+        print!("{}", result.stats);
+    }
 }
 
 /// Parse a `WORKER:STMT:KIND` fault-injection spec from `--inject`.
 fn parse_fault(spec: &str) -> padfa::rt::FaultSpec {
     use padfa::rt::{ExecError, FaultKind, FaultSpec};
     fn bad(spec: &str) -> ! {
-        eprintln!(
-            "padfa: bad --inject spec '{spec}' (want WORKER:STMT:panic|error|corrupt)"
-        );
+        eprintln!("padfa: bad --inject spec '{spec}' (want WORKER:STMT:panic|error|corrupt)");
         exit(2)
     }
     let parts: Vec<&str> = spec.split(':').collect();

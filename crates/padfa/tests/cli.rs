@@ -40,10 +40,8 @@ mod temppath {
 
     pub fn write(contents: &str) -> TempPath {
         let n = N.fetch_add(1, Ordering::Relaxed);
-        let path = std::env::temp_dir().join(format!(
-            "padfa-cli-test-{}-{n}.mf",
-            std::process::id()
-        ));
+        let path =
+            std::env::temp_dir().join(format!("padfa-cli-test-{}-{n}.mf", std::process::id()));
         std::fs::write(&path, contents).unwrap();
         TempPath(path)
     }
@@ -53,11 +51,18 @@ mod temppath {
 fn analyze_reports_two_version_loop() {
     let f = demo_file();
     let out = padfa().arg("analyze").arg(&f.0).output().unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("hot"), "{text}");
     assert!(text.contains("parallel if"), "{text}");
-    assert!(text.contains("2 parallelized (1 with run-time tests)"), "{text}");
+    assert!(
+        text.contains("2 parallelized (1 with run-time tests)"),
+        "{text}"
+    );
 }
 
 #[test]
@@ -69,7 +74,10 @@ fn analyze_variants_differ() {
         .output()
         .unwrap();
     let text = String::from_utf8_lossy(&base.stdout);
-    assert!(text.contains("1 parallelized (0 with run-time tests)"), "{text}");
+    assert!(
+        text.contains("1 parallelized (0 with run-time tests)"),
+        "{text}"
+    );
 }
 
 #[test]
@@ -81,7 +89,11 @@ fn run_executes_and_prints() {
         .args(["100", "3"])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     // s = sum of i * 0.5 for i = 1..100 = 2525.
     assert!(stdout.trim().starts_with("2525"), "{stdout}");
@@ -98,7 +110,11 @@ fn elpd_inspects_by_label() {
         .args(["hot", "50", "3"])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("parallelizable=true"), "{text}");
 }
@@ -192,9 +208,7 @@ fn out_of_bounds_fails_cleanly() {
 
 #[test]
 fn division_by_zero_fails_cleanly() {
-    let f = temppath::write(
-        "proc main(n: int) { var s: int; s = n / (n - n); print s; }",
-    );
+    let f = temppath::write("proc main(n: int) { var s: int; s = n / (n - n); print s; }");
     let out = padfa()
         .args(["run", "--seq"])
         .arg(&f.0)
@@ -220,7 +234,11 @@ fn injected_panic_recovers_and_reports() {
         .arg("128")
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.trim().starts_with("16512"), "{stdout}");
     let stderr = String::from_utf8_lossy(&out.stderr);
@@ -240,7 +258,14 @@ fn injected_panic_without_fallback_fails_cleanly() {
             for i = 1 to n { a[i] = i * 2.0; } }",
     );
     let out = padfa()
-        .args(["run", "--workers", "4", "--no-fallback", "--inject", "1:2:panic"])
+        .args([
+            "run",
+            "--workers",
+            "4",
+            "--no-fallback",
+            "--inject",
+            "1:2:panic",
+        ])
         .arg(&f.0)
         .arg("128")
         .output()
@@ -255,7 +280,14 @@ fn injected_error_without_fallback_fails_cleanly() {
             for i = 1 to n { a[i] = i * 2.0; } }",
     );
     let out = padfa()
-        .args(["run", "--workers", "4", "--no-fallback", "--inject", "0:2:error"])
+        .args([
+            "run",
+            "--workers",
+            "4",
+            "--no-fallback",
+            "--inject",
+            "0:2:error",
+        ])
         .arg(&f.0)
         .arg("128")
         .output()
@@ -270,7 +302,14 @@ fn injected_corruption_without_fallback_fails_cleanly() {
             for i = 1 to n { a[i] = i * 2.0; } }",
     );
     let out = padfa()
-        .args(["run", "--workers", "4", "--no-fallback", "--inject", "2:2:corrupt"])
+        .args([
+            "run",
+            "--workers",
+            "4",
+            "--no-fallback",
+            "--inject",
+            "2:2:corrupt",
+        ])
         .arg(&f.0)
         .arg("128")
         .output()

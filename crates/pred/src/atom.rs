@@ -6,7 +6,7 @@ use padfa_omega::{CKind, Constraint, LinExpr, Var};
 use std::fmt;
 
 /// Kind of an affine atom (the canonical comparisons against zero).
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum AtomKind {
     /// `expr >= 0`
     Geq,
@@ -15,7 +15,7 @@ pub enum AtomKind {
 }
 
 /// One indivisible predicate.
-#[derive(Clone, PartialEq, Debug)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub enum Atom {
     /// An affine comparison, canonicalized so that syntactically
     /// different spellings (`i < n`, `n > i`, `i + 1 <= n`) compare equal.
@@ -104,9 +104,10 @@ impl Atom {
                 // ¬(a >= 0) is (-a - 1 >= 0): check b == -a - 1.
                 *b == a.clone().scaled(-1) - LinExpr::constant(1)
             }
-            (Atom::Opaque(BoolExpr::Cmp(op1, x1, y1)), Atom::Opaque(BoolExpr::Cmp(op2, x2, y2))) => {
-                op1.negate() == *op2 && x1 == x2 && y1 == y2
-            }
+            (
+                Atom::Opaque(BoolExpr::Cmp(op1, x1, y1)),
+                Atom::Opaque(BoolExpr::Cmp(op2, x2, y2)),
+            ) => op1.negate() == *op2 && x1 == x2 && y1 == y2,
             _ => false,
         }
     }

@@ -13,7 +13,7 @@ use std::fmt;
 /// * a conjunction containing complementary atoms folds to `False` (and
 ///   dually for disjunctions);
 /// * a fully-affine conjunction proven unsatisfiable folds to `False`.
-#[derive(Clone, PartialEq, Debug)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub enum Pred {
     True,
     False,
@@ -101,13 +101,14 @@ impl Pred {
                 Pred::True => {}
                 Pred::False => return Pred::False,
                 Pred::And(inner) => stack.extend(inner),
-                other => {
-                    if !parts.contains(&other) {
-                        parts.push(other);
-                    }
-                }
+                other => parts.push(other),
             }
         }
+        // Canonical order first, then drop adjacent duplicates:
+        // O(n log n) where the old `contains` scan was quadratic in the
+        // width of the conjunction.
+        parts.sort_by(Pred::cmp_structural);
+        parts.dedup();
         // Complementary atom pair => false.
         for i in 0..parts.len() {
             for j in i + 1..parts.len() {
@@ -139,10 +140,8 @@ impl Pred {
         match parts.len() {
             0 => Pred::True,
             1 => parts.pop().unwrap(),
-            _ => {
-                parts.sort_by(Pred::cmp_structural);
-                Pred::And(parts)
-            }
+            // Already sorted; `prune_implied` preserves relative order.
+            _ => Pred::And(parts),
         }
     }
 
@@ -161,13 +160,12 @@ impl Pred {
                 Pred::False => {}
                 Pred::True => return Pred::True,
                 Pred::Or(inner) => stack.extend(inner),
-                other => {
-                    if !parts.contains(&other) {
-                        parts.push(other);
-                    }
-                }
+                other => parts.push(other),
             }
         }
+        // Same sort + adjacent-dedup canonicalization as `and_all`.
+        parts.sort_by(Pred::cmp_structural);
+        parts.dedup();
         for i in 0..parts.len() {
             for j in i + 1..parts.len() {
                 if let (Pred::Atom(x), Pred::Atom(y)) = (&parts[i], &parts[j]) {
@@ -183,10 +181,7 @@ impl Pred {
         match parts.len() {
             0 => Pred::False,
             1 => parts.pop().unwrap(),
-            _ => {
-                parts.sort_by(Pred::cmp_structural);
-                Pred::Or(parts)
-            }
+            _ => Pred::Or(parts),
         }
     }
 
@@ -205,29 +200,39 @@ impl Pred {
                 Pred::Or(_) => 5,
             }
         }
-        rank(self).cmp(&rank(other)).then_with(|| match (self, other) {
-            (
-                Pred::Atom(Atom::Affine { expr: a, kind: ka }),
-                Pred::Atom(Atom::Affine { expr: b, kind: kb }),
-            ) => a
-                .cmp_structural(b)
-                .then_with(|| format!("{ka:?}").cmp(&format!("{kb:?}"))),
-            (Pred::Atom(Atom::Opaque(a)), Pred::Atom(Atom::Opaque(b))) => {
-                padfa_ir::pretty::bool_expr(a).cmp(&padfa_ir::pretty::bool_expr(b))
-            }
-            (Pred::And(xs), Pred::And(ys)) | (Pred::Or(xs), Pred::Or(ys)) => {
-                xs.len().cmp(&ys.len()).then_with(|| {
-                    for (x, y) in xs.iter().zip(ys) {
-                        let c = x.cmp_structural(y);
-                        if c != Ordering::Equal {
-                            return c;
+        rank(self)
+            .cmp(&rank(other))
+            .then_with(|| match (self, other) {
+                (
+                    Pred::Atom(Atom::Affine { expr: a, kind: ka }),
+                    Pred::Atom(Atom::Affine { expr: b, kind: kb }),
+                ) => {
+                    // Eq before Geq, matching the old `{:?}`-string compare.
+                    fn kind_rank(k: &crate::atom::AtomKind) -> u8 {
+                        match k {
+                            crate::atom::AtomKind::Eq => 0,
+                            crate::atom::AtomKind::Geq => 1,
                         }
                     }
-                    Ordering::Equal
-                })
-            }
-            _ => Ordering::Equal,
-        })
+                    a.cmp_structural(b)
+                        .then_with(|| kind_rank(ka).cmp(&kind_rank(kb)))
+                }
+                (Pred::Atom(Atom::Opaque(a)), Pred::Atom(Atom::Opaque(b))) => {
+                    padfa_ir::pretty::bool_expr(a).cmp(&padfa_ir::pretty::bool_expr(b))
+                }
+                (Pred::And(xs), Pred::And(ys)) | (Pred::Or(xs), Pred::Or(ys)) => {
+                    xs.len().cmp(&ys.len()).then_with(|| {
+                        for (x, y) in xs.iter().zip(ys) {
+                            let c = x.cmp_structural(y);
+                            if c != Ordering::Equal {
+                                return c;
+                            }
+                        }
+                        Ordering::Equal
+                    })
+                }
+                _ => Ordering::Equal,
+            })
     }
 
     /// Logical negation (stays in negation normal form).
@@ -241,7 +246,9 @@ impl Pred {
                 Atom::Affine { .. } => {
                     let c = a.to_constraint().unwrap();
                     match c.kind {
-                        padfa_omega::CKind::Geq => Pred::atom(Atom::from_constraint(&c.negate_geq())),
+                        padfa_omega::CKind::Geq => {
+                            Pred::atom(Atom::from_constraint(&c.negate_geq()))
+                        }
                         padfa_omega::CKind::Eq => {
                             let (p, n) = c.as_geq_pair();
                             Pred::or(
@@ -331,9 +338,9 @@ impl Pred {
         // Affine check: lhs ∧ ¬rhs empty.
         let neg = other.negate();
         if let (Some(l), Some(n)) = (self.to_systems(8), neg.to_systems(8)) {
-            return l.iter().all(|ls| {
-                n.iter().all(|ns| ls.and(ns).is_empty(limits))
-            });
+            return l
+                .iter()
+                .all(|ls| n.iter().all(|ns| ls.and(ns).is_empty(limits)));
         }
         false
     }
@@ -664,6 +671,32 @@ mod tests {
         assert_eq!(p("x > 3 or x > 5"), p("x > 3"));
         match p("x > 5 or y > 3") {
             Pred::Or(parts) => assert_eq!(parts.len(), 2),
+            other => panic!("expected Or, got {other}"),
+        }
+    }
+
+    #[test]
+    fn wide_conjunction_dedup_is_canonical() {
+        // Twelve distinct atoms over distinct variables, each appearing
+        // twice, fed in two different orders. `prune_implied` skips lists
+        // wider than 8, so the sort + adjacent-dedup canonicalization is
+        // solely responsible for the result here.
+        let atoms: Vec<Pred> = (0..12).map(|k| p(&format!("x{k} > {k}"))).collect();
+        let fwd: Vec<Pred> = atoms.iter().chain(atoms.iter()).cloned().collect();
+        let mut rev = fwd.clone();
+        rev.reverse();
+        let a = Pred::and_all(fwd.clone());
+        let b = Pred::and_all(rev.clone());
+        assert_eq!(a, b, "order-insensitive canonical form");
+        match &a {
+            Pred::And(parts) => assert_eq!(parts.len(), 12, "duplicates removed"),
+            other => panic!("expected And, got {other}"),
+        }
+        let c = Pred::or_all(fwd);
+        let d = Pred::or_all(rev);
+        assert_eq!(c, d);
+        match &c {
+            Pred::Or(parts) => assert_eq!(parts.len(), 12),
             other => panic!("expected Or, got {other}"),
         }
     }

@@ -52,7 +52,9 @@ struct Shadow {
 pub enum ElpdClass {
     Independent,
     /// Privatization (with copy-in when flagged) makes the loop legal.
-    Privatizable { copy_in: bool },
+    Privatizable {
+        copy_in: bool,
+    },
     Sequential,
 }
 
@@ -493,13 +495,7 @@ mod tests {
         let src = "proc main(n: int) { var s: real; array a[64];
              for i = 1 to n { s = s + a[i]; } }";
         let prog = parse_program(src).unwrap();
-        let v = elpd_inspect(
-            &prog,
-            vec![ArgValue::Int(8)],
-            LoopId(0),
-            &[Var::new("s")],
-        )
-        .unwrap();
+        let v = elpd_inspect(&prog, vec![ArgValue::Int(8)], LoopId(0), &[Var::new("s")]).unwrap();
         assert!(v.parallelizable, "reduction target excluded");
     }
 

@@ -43,9 +43,9 @@ pub(crate) fn run_inspected_loop(
     let mut probe = Machine::new(machine.prog, machine.cfg);
     probe.arrays = machine.arrays.clone();
     probe.in_worker = true; // no nested parallelism inside the probe
-    // The probe spends the parent's budgets, not a fresh allocation: an
-    // inspection of a runaway loop must still hit the fuel/deadline
-    // limits, and inspection work is real work.
+                            // The probe spends the parent's budgets, not a fresh allocation: an
+                            // inspection of a runaway loop must still hit the fuel/deadline
+                            // limits, and inspection work is real work.
     probe.fuel = machine.fuel;
     probe.deadline = machine.deadline;
     let mut state = ElpdState::new(l.id);

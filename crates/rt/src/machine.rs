@@ -18,13 +18,19 @@ pub enum ExecError {
     UnknownProcedure(String),
     NoEntryProcedure,
     BadArgument(String),
-    OutOfBounds { array: String, idxs: Vec<i64> },
+    OutOfBounds {
+        array: String,
+        idxs: Vec<i64>,
+    },
     DivisionByZero,
     UnboundScalar(String),
     UnboundArray(String),
     /// A parallel worker panicked and sequential fallback was disabled
     /// (or the panic escaped a context with no fallback).
-    WorkerPanicked { worker: usize, message: String },
+    WorkerPanicked {
+        worker: usize,
+        message: String,
+    },
     /// The configured statement budget ran out (see
     /// [`RunConfig::with_fuel`]).
     FuelExhausted,
@@ -33,7 +39,10 @@ pub enum ExecError {
     DeadlineExceeded,
     /// A worker's write-tracker metadata failed validation on join and
     /// sequential fallback was disabled.
-    StateCorrupted { worker: usize, detail: String },
+    StateCorrupted {
+        worker: usize,
+        detail: String,
+    },
 }
 
 impl fmt::Display for ExecError {
@@ -439,15 +448,24 @@ impl<'p> Machine<'p> {
                 let (h, off) = self.index(frame, *a, subs)?;
                 self.arrays[h].get(off)
             }
-            Expr::Add(a, b) => num2(self.eval(frame, a)?, self.eval(frame, b)?, |x, y| x + y, |x, y| {
-                x.wrapping_add(y)
-            }),
-            Expr::Sub(a, b) => num2(self.eval(frame, a)?, self.eval(frame, b)?, |x, y| x - y, |x, y| {
-                x.wrapping_sub(y)
-            }),
-            Expr::Mul(a, b) => num2(self.eval(frame, a)?, self.eval(frame, b)?, |x, y| x * y, |x, y| {
-                x.wrapping_mul(y)
-            }),
+            Expr::Add(a, b) => num2(
+                self.eval(frame, a)?,
+                self.eval(frame, b)?,
+                |x, y| x + y,
+                |x, y| x.wrapping_add(y),
+            ),
+            Expr::Sub(a, b) => num2(
+                self.eval(frame, a)?,
+                self.eval(frame, b)?,
+                |x, y| x - y,
+                |x, y| x.wrapping_sub(y),
+            ),
+            Expr::Mul(a, b) => num2(
+                self.eval(frame, a)?,
+                self.eval(frame, b)?,
+                |x, y| x * y,
+                |x, y| x.wrapping_mul(y),
+            ),
             Expr::Div(a, b) => {
                 let x = self.eval(frame, a)?;
                 let y = self.eval(frame, b)?;
@@ -490,11 +508,13 @@ impl<'p> Machine<'p> {
                     Intrinsic::Min | Intrinsic::Max => {
                         let y = self.eval(frame, &args[1])?;
                         match (x, y) {
-                            (Value::Int(p), Value::Int(q)) => Value::Int(if *intr == Intrinsic::Min {
-                                p.min(q)
-                            } else {
-                                p.max(q)
-                            }),
+                            (Value::Int(p), Value::Int(q)) => {
+                                Value::Int(if *intr == Intrinsic::Min {
+                                    p.min(q)
+                                } else {
+                                    p.max(q)
+                                })
+                            }
                             _ => {
                                 let (p, q) = (x.as_f64(), y.as_f64());
                                 Value::Real(if *intr == Intrinsic::Min {
@@ -1175,10 +1195,7 @@ mod tests {
 
     #[test]
     fn read_and_print() {
-        let prog = parse_program(
-            "proc main() { var x: real; read x; print x * 2.0; }",
-        )
-        .unwrap();
+        let prog = parse_program("proc main() { var x: real; read x; print x * 2.0; }").unwrap();
         let cfg = RunConfig {
             input: vec![21.0],
             ..RunConfig::sequential()
@@ -1226,10 +1243,7 @@ mod tests {
 
     #[test]
     fn declared_int_scalar_keeps_type() {
-        let r = run(
-            "proc main() { var k: int; k = 5 / 2; k = k + 1; }",
-            vec![],
-        );
+        let r = run("proc main() { var k: int; k = 5 / 2; k = k + 1; }", vec![]);
         assert_eq!(r.scalar("k"), Some(Value::Int(3)));
     }
 }

@@ -182,7 +182,12 @@ pub fn run_parallel_loop(
     // Resolve reduction targets to handles / scalar vars.
     let mut red_arrays: Vec<(usize, ReduceOp)> = Vec::new();
     let mut red_scalars: Vec<(padfa_ir::Var, ReduceOp)> = Vec::new();
-    for PlannedReduction { target, is_array, op } in &plan.reductions {
+    for PlannedReduction {
+        target,
+        is_array,
+        op,
+    } in &plan.reductions
+    {
         if *is_array {
             if let Some(h) = frame.array_handle(*target) {
                 red_arrays.push((h, *op));
@@ -373,9 +378,7 @@ pub fn run_parallel_loop(
                     ExecError::WorkerPanicked { worker: w, message }
                 }
                 WorkerFailure::Failed(e) => e,
-                WorkerFailure::Corrupted(detail) => {
-                    ExecError::StateCorrupted { worker: w, detail }
-                }
+                WorkerFailure::Corrupted(detail) => ExecError::StateCorrupted { worker: w, detail },
             });
         }
         // Transactional fallback: drop every private copy (nothing was

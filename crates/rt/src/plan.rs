@@ -217,7 +217,9 @@ mod tests {
             plan.two_version_test(LoopId(7)),
             Err(PlanError::NotPlanned(LoopId(7)))
         );
-        assert!(PlanError::NotPlanned(LoopId(7)).to_string().contains("not in the plan"));
+        assert!(PlanError::NotPlanned(LoopId(7))
+            .to_string()
+            .contains("not in the plan"));
     }
 
     #[test]

@@ -170,10 +170,9 @@ impl ArrayStore {
         }
         match (&self.data, &other.data) {
             (Data::Int(a), Data::Int(b)) => a == b,
-            (Data::Real(a), Data::Real(b)) => a
-                .iter()
-                .zip(b)
-                .all(|(x, y)| x.to_bits() == y.to_bits()),
+            (Data::Real(a), Data::Real(b)) => {
+                a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+            }
             _ => false,
         }
     }

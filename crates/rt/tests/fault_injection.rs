@@ -7,9 +7,7 @@
 use padfa_core::{analyze_program, Options};
 use padfa_ir::parse::parse_program;
 use padfa_rt::machine::ExecError;
-use padfa_rt::{
-    run_main, ArgValue, ExecPlan, FaultKind, FaultPlan, FaultSpec, RunConfig,
-};
+use padfa_rt::{run_main, ArgValue, ExecPlan, FaultKind, FaultPlan, FaultSpec, RunConfig};
 
 /// The matrix program: privatized array `t`, last-value scalar `last`,
 /// and plain element writes — everything merges bit-exactly, so both
@@ -107,8 +105,7 @@ fn fault_matrix_recovers_or_fails_typed() {
                             "{label}: recovered state differs from oracle"
                         );
                         assert_eq!(out.stats.fallbacks, 1, "{label}");
-                        let expect_panics =
-                            u64::from(matches!(kind, FaultKind::Panic));
+                        let expect_panics = u64::from(matches!(kind, FaultKind::Panic));
                         assert_eq!(out.stats.worker_panics, expect_panics, "{label}");
                     }
                 }
@@ -172,7 +169,10 @@ fn no_fallback_surfaces_typed_errors() {
     };
     let err = run(FaultPlan::panic_at(1, 5));
     match err {
-        ExecError::WorkerPanicked { worker, ref message } => {
+        ExecError::WorkerPanicked {
+            worker,
+            ref message,
+        } => {
             assert_eq!(worker, 1);
             assert!(message.contains("injected fault"), "{message}");
         }

@@ -138,12 +138,7 @@ fn two_version_loop_takes_parallel_path_when_safe() {
     // Safe input: x = 3 -> test passes, parallel version runs.
     let safe_args = vec![ArgValue::Int(100), ArgValue::Int(3)];
     let seq = run_main(&prog, safe_args.clone(), &RunConfig::sequential()).unwrap();
-    let par = run_main(
-        &prog,
-        safe_args,
-        &RunConfig::parallel(4, plan.clone()),
-    )
-    .unwrap();
+    let par = run_main(&prog, safe_args, &RunConfig::parallel(4, plan.clone())).unwrap();
     assert_eq!(seq.max_abs_diff(&par), 0.0);
     assert_eq!(par.stats.tests_passed, 1);
     assert_eq!(par.stats.parallel_loops, 1);
@@ -302,7 +297,11 @@ fn downward_loops_execute_correctly() {
     let prog = parse_program(src).unwrap();
     let args = vec![ArgValue::Int(100)];
     let seq = run_main(&prog, args.clone(), &RunConfig::sequential()).unwrap();
-    assert_eq!(seq.scalar("last").unwrap().as_f64(), 2.0, "last iteration is i = 1");
+    assert_eq!(
+        seq.scalar("last").unwrap().as_f64(),
+        2.0,
+        "last iteration is i = 1"
+    );
     let result = analyze_program(&prog, &Options::predicated());
     for (workers, chunk) in [(4usize, None), (3, Some(5usize))] {
         let plan = ExecPlan::from_analysis(&prog, &result);
@@ -311,7 +310,11 @@ fn downward_loops_execute_correctly() {
             Some(c) => RunConfig::chunked(workers, plan, c),
         };
         let par = run_main(&prog, args.clone(), &cfg).unwrap();
-        assert_eq!(seq.max_abs_diff(&par), 0.0, "workers={workers} chunk={chunk:?}");
+        assert_eq!(
+            seq.max_abs_diff(&par),
+            0.0,
+            "workers={workers} chunk={chunk:?}"
+        );
     }
 }
 
@@ -345,7 +348,10 @@ fn worker_errors_propagate() {
     let prog = parse_program(src).unwrap();
     let mut bad = vec![1i64; 64];
     bad[40] = 9; // out of bounds for a[8]
-    let args = vec![ArgValue::Int(64), ArgValue::Array(ArrayStore::from_i64(bad))];
+    let args = vec![
+        ArgValue::Int(64),
+        ArgValue::Array(ArrayStore::from_i64(bad)),
+    ];
     let mut plan = ExecPlan::sequential();
     plan.insert(
         padfa_ir::LoopId(0),
@@ -356,7 +362,10 @@ fn worker_errors_propagate() {
         },
     );
     let err = run_main(&prog, args, &RunConfig::parallel(4, plan)).unwrap_err();
-    assert!(matches!(err, padfa_rt::ExecError::OutOfBounds { .. }), "{err}");
+    assert!(
+        matches!(err, padfa_rt::ExecError::OutOfBounds { .. }),
+        "{err}"
+    );
 }
 
 #[test]

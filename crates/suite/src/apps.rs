@@ -51,7 +51,10 @@ pub fn jacobi(n: usize, iters: usize) -> (Program, Vec<ArgValue>) {
         m = n - 1,
     );
     let prog = parse_program(&src).expect("jacobi parses");
-    (prog, vec![ArgValue::Int(iters as i64), ArgValue::Real(1e-6)])
+    (
+        prog,
+        vec![ArgValue::Int(iters as i64), ArgValue::Real(1e-6)],
+    )
 }
 
 /// Particle-in-cell style push with a guarded boundary reflection —
@@ -90,10 +93,7 @@ pub fn particle_push(particles: usize, steps: usize) -> (Program, Vec<ArgValue>)
         p = particles,
     );
     let prog = parse_program(&src).expect("particle_push parses");
-    (
-        prog,
-        vec![ArgValue::Int(steps as i64), ArgValue::Int(1)],
-    )
+    (prog, vec![ArgValue::Int(steps as i64), ArgValue::Int(1)])
 }
 
 /// Histogram binning through an index array — the loop every static

@@ -96,7 +96,10 @@ pub fn build_corpus() -> Vec<BenchProgram> {
             let hard = std::mem::take(&mut gen.hard);
             let source = gen.finish();
             let program = parse_program(&source).unwrap_or_else(|e| {
-                panic!("generated program '{}' failed to parse: {e}\n{source}", spec.name)
+                panic!(
+                    "generated program '{}' failed to parse: {e}\n{source}",
+                    spec.name
+                )
             });
             BenchProgram {
                 name: spec.name,

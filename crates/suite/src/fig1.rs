@@ -129,7 +129,10 @@ mod tests {
     fn fig1b_needs_runtime_test() {
         let p = fig1b();
         assert!(matches!(outer(&p, &Options::base()), Outcome::Sequential));
-        assert!(matches!(outer(&p, &Options::guarded()), Outcome::Sequential));
+        assert!(matches!(
+            outer(&p, &Options::guarded()),
+            Outcome::Sequential
+        ));
         assert!(matches!(
             outer(&p, &Options::predicated()),
             Outcome::ParallelIf(_)
@@ -140,8 +143,14 @@ mod tests {
     fn fig1c_needs_embedding() {
         let p = fig1c();
         assert!(matches!(outer(&p, &Options::base()), Outcome::Sequential));
-        assert!(matches!(outer(&p, &Options::guarded()), Outcome::Sequential));
-        assert!(matches!(outer(&p, &Options::predicated()), Outcome::Parallel));
+        assert!(matches!(
+            outer(&p, &Options::guarded()),
+            Outcome::Sequential
+        ));
+        assert!(matches!(
+            outer(&p, &Options::predicated()),
+            Outcome::Parallel
+        ));
     }
 
     #[test]
@@ -154,7 +163,10 @@ mod tests {
     fn fig1d_runtime_needs_extraction() {
         let p = fig1d_runtime();
         assert!(matches!(outer(&p, &Options::base()), Outcome::Sequential));
-        assert!(matches!(outer(&p, &Options::guarded()), Outcome::Sequential));
+        assert!(matches!(
+            outer(&p, &Options::guarded()),
+            Outcome::Sequential
+        ));
         match outer(&p, &Options::predicated()) {
             Outcome::ParallelIf(t) => assert!(t.is_runtime_testable()),
             other => panic!("expected run-time test, got {other}"),

@@ -22,11 +22,26 @@ pub struct KernelSpec {
 
 /// The five improved programs of the speedup figure.
 pub static KERNELS: &[KernelSpec] = &[
-    KernelSpec { name: "su2cor", mechanism: "guard run-time test" },
-    KernelSpec { name: "hydro2d", mechanism: "guarded privatization (compile time)" },
-    KernelSpec { name: "applu", mechanism: "boundary run-time test" },
-    KernelSpec { name: "turb3d", mechanism: "predicate embedding (compile time)" },
-    KernelSpec { name: "wave5", mechanism: "guard run-time test + privatization" },
+    KernelSpec {
+        name: "su2cor",
+        mechanism: "guard run-time test",
+    },
+    KernelSpec {
+        name: "hydro2d",
+        mechanism: "guarded privatization (compile time)",
+    },
+    KernelSpec {
+        name: "applu",
+        mechanism: "boundary run-time test",
+    },
+    KernelSpec {
+        name: "turb3d",
+        mechanism: "predicate embedding (compile time)",
+    },
+    KernelSpec {
+        name: "wave5",
+        mechanism: "guard run-time test + privatization",
+    },
 ];
 
 /// Build the kernel program for one of the five improved programs.

@@ -99,9 +99,8 @@ impl Gen {
         let k = self.next_k();
         let n = self.trip();
         let decls = format!("  array t{k}[{n}, {n}];\n");
-        let stmts = format!(
-            "  for i = 1 to {n} {{ for j = 1 to {n} {{ t{k}[i, j] = i + j * 1.5; }} }}\n"
-        );
+        let stmts =
+            format!("  for i = 1 to {n} {{ for j = 1 to {n} {{ t{k}[i, j] = i + j * 1.5; }} }}\n");
         self.emit(decls, stmts);
     }
 
@@ -142,9 +141,8 @@ impl Gen {
             0 => {
                 // Downward recurrence.
                 let decls = format!("  array q{k}[{sz}];\n", sz = n + 1);
-                let stmts = format!(
-                    "  for i = {n} to 1 step -1 {{ q{k}[i] = q{k}[i + 1] + 0.5; }}\n"
-                );
+                let stmts =
+                    format!("  for i = {n} to 1 step -1 {{ q{k}[i] = q{k}[i + 1] + 0.5; }}\n");
                 self.emit(decls, stmts);
             }
             1 => {
@@ -157,8 +155,7 @@ impl Gen {
             }
             _ => {
                 let decls = format!("  array q{k}[{n}];\n");
-                let stmts =
-                    format!("  for i = 2 to {n} {{ q{k}[i] = q{k}[i - 1] + 0.5; }}\n");
+                let stmts = format!("  for i = 2 to {n} {{ q{k}[i] = q{k}[i - 1] + 0.5; }}\n");
                 self.emit(decls, stmts);
             }
         }
@@ -169,9 +166,7 @@ impl Gen {
         let k = self.next_k();
         let n = self.trip();
         let decls = format!("  array io{k}[{n}];\n  var iv{k}: real;\n");
-        let stmts = format!(
-            "  for i = 1 to {n} {{ read iv{k}; io{k}[i] = iv{k}; }}\n"
-        );
+        let stmts = format!("  for i = 1 to {n} {{ read iv{k}; io{k}[i] = iv{k}; }}\n");
         self.emit(decls, stmts);
     }
 
@@ -240,10 +235,7 @@ impl Gen {
         let k = self.next_k();
         let n = self.trip();
         let label = format!("grt{k}");
-        let decls = format!(
-            "  array hb{k}[{sz}];\n  array ab{k}[{n}, 2];\n",
-            sz = n + 1
-        );
+        let decls = format!("  array hb{k}[{sz}];\n  array ab{k}[{n}, 2];\n", sz = n + 1);
         let stmts = format!(
             "  for@{label} i = 1 to {n} {{\n    if (x > 5) {{ hb{k}[i] = ab{k}[i, 1] + 1.0; }}\n    ab{k}[i, 2] = hb{k}[i + 1];\n  }}\n"
         );
@@ -317,10 +309,7 @@ impl Gen {
         let k = self.next_k();
         let n = self.trip();
         let label = format!("mg{k}");
-        let decls = format!(
-            "  array hm{k}[{sz}];\n  array am{k}[{n}];\n",
-            sz = n + 1
-        );
+        let decls = format!("  array hm{k}[{sz}];\n  array am{k}[{n}];\n", sz = n + 1);
         let stmts = format!(
             "  for@{label} i = 1 to {n} {{\n    if (x > 5) {{ hm{k}[i] = am{k}[i]; }}\n    if (x <= 5) {{ hm{k}[i + 1] = am{k}[i] * 2.0; }}\n    if (x > 5) {{ am{k}[i] = hm{k}[i]; }}\n    if (x <= 5) {{ am{k}[i] = hm{k}[i + 1]; }}\n  }}\n"
         );

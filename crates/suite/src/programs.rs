@@ -64,8 +64,7 @@ impl Wins {
     };
 
     pub fn outer(&self) -> usize {
-        self.fig1a + self.guard_rt + self.boundary_rt + self.embed + self.reshape
-            + self.multi_guard
+        self.fig1a + self.guard_rt + self.boundary_rt + self.embed + self.reshape + self.multi_guard
     }
 
     pub fn total(&self) -> usize {
@@ -196,62 +195,219 @@ macro_rules! wins {
 /// the paper does not preserve the original list.
 pub static PROGRAM_SPECS: &[ProgramSpec] = &[
     // ---- SPECfp95 ----
-    ProgramSpec { name: "tomcatv", suite: SuiteName::Specfp95, seed: 101, size: 20, wins: wins!() },
-    ProgramSpec { name: "swim", suite: SuiteName::Specfp95, seed: 102, size: 28, wins: wins!() },
-    ProgramSpec { name: "su2cor", suite: SuiteName::Specfp95, seed: 103, size: 150,
-        wins: wins!(fig1a: 3, guard_rt: 3, boundary_rt: 2, reshape: 1, guard_rt_in: 2) },
-    ProgramSpec { name: "hydro2d", suite: SuiteName::Specfp95, seed: 104, size: 180,
-        wins: wins!(fig1a: 4, guard_rt: 3, embed: 2, boundary_rt: 2, multi_guard: 1, fig1a_in: 1) },
-    ProgramSpec { name: "mgrid", suite: SuiteName::Specfp95, seed: 105, size: 56,
-        wins: wins!(guard_rt_in: 1) },
-    ProgramSpec { name: "applu", suite: SuiteName::Specfp95, seed: 106, size: 180,
-        wins: wins!(fig1a: 3, guard_rt: 3, boundary_rt: 2, embed: 1, reshape: 1, boundary_rt_in: 2) },
-    ProgramSpec { name: "turb3d", suite: SuiteName::Specfp95, seed: 107, size: 64,
-        wins: wins!(fig1a: 2, guard_rt: 2, embed: 1) },
-    ProgramSpec { name: "apsi", suite: SuiteName::Specfp95, seed: 108, size: 290,
-        wins: wins!(fig1a_in: 2, boundary_rt_in: 2, guard_rt_in: 1) },
-    ProgramSpec { name: "fpppp", suite: SuiteName::Specfp95, seed: 109, size: 56, wins: wins!() },
-    ProgramSpec { name: "wave5", suite: SuiteName::Specfp95, seed: 110, size: 360,
-        wins: wins!(fig1a: 4, guard_rt: 4, boundary_rt: 3, embed: 2, reshape: 1, multi_guard: 1, guard_rt_in: 2) },
+    ProgramSpec {
+        name: "tomcatv",
+        suite: SuiteName::Specfp95,
+        seed: 101,
+        size: 20,
+        wins: wins!(),
+    },
+    ProgramSpec {
+        name: "swim",
+        suite: SuiteName::Specfp95,
+        seed: 102,
+        size: 28,
+        wins: wins!(),
+    },
+    ProgramSpec {
+        name: "su2cor",
+        suite: SuiteName::Specfp95,
+        seed: 103,
+        size: 150,
+        wins: wins!(fig1a: 3, guard_rt: 3, boundary_rt: 2, reshape: 1, guard_rt_in: 2),
+    },
+    ProgramSpec {
+        name: "hydro2d",
+        suite: SuiteName::Specfp95,
+        seed: 104,
+        size: 180,
+        wins: wins!(fig1a: 4, guard_rt: 3, embed: 2, boundary_rt: 2, multi_guard: 1, fig1a_in: 1),
+    },
+    ProgramSpec {
+        name: "mgrid",
+        suite: SuiteName::Specfp95,
+        seed: 105,
+        size: 56,
+        wins: wins!(guard_rt_in: 1),
+    },
+    ProgramSpec {
+        name: "applu",
+        suite: SuiteName::Specfp95,
+        seed: 106,
+        size: 180,
+        wins: wins!(fig1a: 3, guard_rt: 3, boundary_rt: 2, embed: 1, reshape: 1, boundary_rt_in: 2),
+    },
+    ProgramSpec {
+        name: "turb3d",
+        suite: SuiteName::Specfp95,
+        seed: 107,
+        size: 64,
+        wins: wins!(fig1a: 2, guard_rt: 2, embed: 1),
+    },
+    ProgramSpec {
+        name: "apsi",
+        suite: SuiteName::Specfp95,
+        seed: 108,
+        size: 290,
+        wins: wins!(fig1a_in: 2, boundary_rt_in: 2, guard_rt_in: 1),
+    },
+    ProgramSpec {
+        name: "fpppp",
+        suite: SuiteName::Specfp95,
+        seed: 109,
+        size: 56,
+        wins: wins!(),
+    },
+    ProgramSpec {
+        name: "wave5",
+        suite: SuiteName::Specfp95,
+        seed: 110,
+        size: 360,
+        wins: wins!(fig1a: 4, guard_rt: 4, boundary_rt: 3, embed: 2, reshape: 1, multi_guard: 1, guard_rt_in: 2),
+    },
     // ---- NAS sample benchmarks ----
-    ProgramSpec { name: "appbt", suite: SuiteName::NasSample, seed: 201, size: 220,
-        wins: wins!(guard_rt_in: 2, boundary_rt_in: 2) },
-    ProgramSpec { name: "applu-nas", suite: SuiteName::NasSample, seed: 202, size: 160,
-        wins: wins!(fig1a_in: 2) },
-    ProgramSpec { name: "appsp", suite: SuiteName::NasSample, seed: 203, size: 200,
-        wins: wins!(embed_in: 2) },
-    ProgramSpec { name: "buk", suite: SuiteName::NasSample, seed: 204, size: 18, wins: wins!() },
-    ProgramSpec { name: "cgm", suite: SuiteName::NasSample, seed: 205, size: 26,
-        wins: wins!(guard_rt: 2, boundary_rt: 1) },
-    ProgramSpec { name: "embar", suite: SuiteName::NasSample, seed: 206, size: 10, wins: wins!() },
-    ProgramSpec { name: "fftpde", suite: SuiteName::NasSample, seed: 207, size: 46,
-        wins: wins!(boundary_rt_in: 1) },
-    ProgramSpec { name: "mgrid-nas", suite: SuiteName::NasSample, seed: 208, size: 46, wins: wins!() },
+    ProgramSpec {
+        name: "appbt",
+        suite: SuiteName::NasSample,
+        seed: 201,
+        size: 220,
+        wins: wins!(guard_rt_in: 2, boundary_rt_in: 2),
+    },
+    ProgramSpec {
+        name: "applu-nas",
+        suite: SuiteName::NasSample,
+        seed: 202,
+        size: 160,
+        wins: wins!(fig1a_in: 2),
+    },
+    ProgramSpec {
+        name: "appsp",
+        suite: SuiteName::NasSample,
+        seed: 203,
+        size: 200,
+        wins: wins!(embed_in: 2),
+    },
+    ProgramSpec {
+        name: "buk",
+        suite: SuiteName::NasSample,
+        seed: 204,
+        size: 18,
+        wins: wins!(),
+    },
+    ProgramSpec {
+        name: "cgm",
+        suite: SuiteName::NasSample,
+        seed: 205,
+        size: 26,
+        wins: wins!(guard_rt: 2, boundary_rt: 1),
+    },
+    ProgramSpec {
+        name: "embar",
+        suite: SuiteName::NasSample,
+        seed: 206,
+        size: 10,
+        wins: wins!(),
+    },
+    ProgramSpec {
+        name: "fftpde",
+        suite: SuiteName::NasSample,
+        seed: 207,
+        size: 46,
+        wins: wins!(boundary_rt_in: 1),
+    },
+    ProgramSpec {
+        name: "mgrid-nas",
+        suite: SuiteName::NasSample,
+        seed: 208,
+        size: 46,
+        wins: wins!(),
+    },
     // ---- Perfect ----
-    ProgramSpec { name: "adm", suite: SuiteName::Perfect, seed: 301, size: 280,
-        wins: wins!(fig1a: 3, guard_rt: 3, boundary_rt: 2, embed: 1, multi_guard: 1, fig1a_in: 1) },
-    ProgramSpec { name: "arc2d", suite: SuiteName::Perfect, seed: 302, size: 250,
-        wins: wins!(fig1a_in: 2, guard_rt_in: 2) },
-    ProgramSpec { name: "bdna", suite: SuiteName::Perfect, seed: 303, size: 200,
-        wins: wins!(boundary_rt_in: 2) },
-    ProgramSpec { name: "dyfesm", suite: SuiteName::Perfect, seed: 304, size: 230,
-        wins: wins!(fig1a: 3, guard_rt: 2, boundary_rt: 2, reshape: 1, embed_in: 1) },
-    ProgramSpec { name: "flo52", suite: SuiteName::Perfect, seed: 305, size: 160,
-        wins: wins!(embed_in: 2) },
-    ProgramSpec { name: "mdg", suite: SuiteName::Perfect, seed: 306, size: 36, wins: wins!() },
-    ProgramSpec { name: "mg3d", suite: SuiteName::Perfect, seed: 307, size: 260,
-        wins: wins!(guard_rt_in: 2) },
-    ProgramSpec { name: "ocean", suite: SuiteName::Perfect, seed: 308, size: 110,
-        wins: wins!(fig1a_in: 2) },
-    ProgramSpec { name: "qcd", suite: SuiteName::Perfect, seed: 309, size: 130,
-        wins: wins!(guard_rt: 2, boundary_rt: 2, embed: 1) },
-    ProgramSpec { name: "spec77", suite: SuiteName::Perfect, seed: 310, size: 340,
-        wins: wins!(fig1a_in: 2, guard_rt_in: 2, boundary_rt_in: 1) },
-    ProgramSpec { name: "track", suite: SuiteName::Perfect, seed: 311, size: 56,
-        wins: wins!(guard_rt_in: 1) },
+    ProgramSpec {
+        name: "adm",
+        suite: SuiteName::Perfect,
+        seed: 301,
+        size: 280,
+        wins: wins!(fig1a: 3, guard_rt: 3, boundary_rt: 2, embed: 1, multi_guard: 1, fig1a_in: 1),
+    },
+    ProgramSpec {
+        name: "arc2d",
+        suite: SuiteName::Perfect,
+        seed: 302,
+        size: 250,
+        wins: wins!(fig1a_in: 2, guard_rt_in: 2),
+    },
+    ProgramSpec {
+        name: "bdna",
+        suite: SuiteName::Perfect,
+        seed: 303,
+        size: 200,
+        wins: wins!(boundary_rt_in: 2),
+    },
+    ProgramSpec {
+        name: "dyfesm",
+        suite: SuiteName::Perfect,
+        seed: 304,
+        size: 230,
+        wins: wins!(fig1a: 3, guard_rt: 2, boundary_rt: 2, reshape: 1, embed_in: 1),
+    },
+    ProgramSpec {
+        name: "flo52",
+        suite: SuiteName::Perfect,
+        seed: 305,
+        size: 160,
+        wins: wins!(embed_in: 2),
+    },
+    ProgramSpec {
+        name: "mdg",
+        suite: SuiteName::Perfect,
+        seed: 306,
+        size: 36,
+        wins: wins!(),
+    },
+    ProgramSpec {
+        name: "mg3d",
+        suite: SuiteName::Perfect,
+        seed: 307,
+        size: 260,
+        wins: wins!(guard_rt_in: 2),
+    },
+    ProgramSpec {
+        name: "ocean",
+        suite: SuiteName::Perfect,
+        seed: 308,
+        size: 110,
+        wins: wins!(fig1a_in: 2),
+    },
+    ProgramSpec {
+        name: "qcd",
+        suite: SuiteName::Perfect,
+        seed: 309,
+        size: 130,
+        wins: wins!(guard_rt: 2, boundary_rt: 2, embed: 1),
+    },
+    ProgramSpec {
+        name: "spec77",
+        suite: SuiteName::Perfect,
+        seed: 310,
+        size: 340,
+        wins: wins!(fig1a_in: 2, guard_rt_in: 2, boundary_rt_in: 1),
+    },
+    ProgramSpec {
+        name: "track",
+        suite: SuiteName::Perfect,
+        seed: 311,
+        size: 56,
+        wins: wins!(guard_rt_in: 1),
+    },
     // ---- the additional program ----
-    ProgramSpec { name: "addl", suite: SuiteName::Additional, seed: 401, size: 36,
-        wins: wins!(guard_rt_in: 1) },
+    ProgramSpec {
+        name: "addl",
+        suite: SuiteName::Additional,
+        seed: 401,
+        size: 36,
+        wins: wins!(guard_rt_in: 1),
+    },
 ];
 
 #[cfg(test)]

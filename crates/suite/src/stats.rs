@@ -4,8 +4,8 @@
 use crate::corpus::BenchProgram;
 use padfa_core::{analyze_program, AnalysisResult, Options, Outcome, Variant};
 use padfa_ir::LoopId;
-use padfa_rt::elpd::elpd_inspect;
 use padfa_omega::Var;
+use padfa_rt::elpd::elpd_inspect;
 
 /// Per-program Table 1 row.
 #[derive(Clone, Debug)]
@@ -104,11 +104,7 @@ pub fn program_row(bp: &BenchProgram, run_elpd: bool) -> ProgramRow {
     let new_outer = pred
         .loops
         .iter()
-        .filter(|l| {
-            l.depth == 0
-                && l.parallelized()
-                && !base_ids.contains(&l.id)
-        })
+        .filter(|l| l.depth == 0 && l.parallelized() && !base_ids.contains(&l.id))
         .count();
 
     ProgramRow {
@@ -180,7 +176,10 @@ impl Totals {
 /// harness in `--verify` mode).
 pub fn verify_expectations(bp: &BenchProgram) -> Result<(), String> {
     let results = [
-        (Variant::Base, analyze_program(&bp.program, &Options::base())),
+        (
+            Variant::Base,
+            analyze_program(&bp.program, &Options::base()),
+        ),
         (
             Variant::Guarded,
             analyze_program(&bp.program, &Options::guarded()),
@@ -232,13 +231,20 @@ mod tests {
     fn small_program_row_shape() {
         let bp = build_program("tomcatv").unwrap();
         let row = program_row(&bp, true);
-        assert!(row.total_loops >= 15, "tomcatv has {} loops", row.total_loops);
+        assert!(
+            row.total_loops >= 15,
+            "tomcatv has {} loops",
+            row.total_loops
+        );
         assert!(row.base_par > 0);
         assert!(row.base_par <= row.candidates);
         assert!(row.remaining + row.base_par == row.candidates);
         // No win patterns in tomcatv.
         assert_eq!(row.new_outer, 0);
-        assert!(row.elpd_parallel >= 1, "nonaffine_par loops are ELPD-parallel");
+        assert!(
+            row.elpd_parallel >= 1,
+            "nonaffine_par loops are ELPD-parallel"
+        );
     }
 
     #[test]

@@ -1,0 +1,34 @@
+//! Golden determinism test over the full benchmark corpus: the rendered
+//! analysis output must be byte-identical regardless of the worker
+//! count, and across repeated parallel runs.
+
+use padfa_core::{analyze_program_session, AnalysisSession, Options};
+use padfa_suite::corpus::build_corpus;
+
+/// Render every loop report and every procedure summary of one corpus
+/// program in canonical order.
+fn render(prog: &padfa_ir::Program, jobs: usize) -> String {
+    let sess = AnalysisSession::new(Options::predicated()).with_jobs(jobs);
+    let (result, summaries) = analyze_program_session(prog, &sess);
+    let mut out = String::new();
+    for report in &result.loops {
+        out.push_str(&format!("{report}\n"));
+    }
+    let mut names: Vec<&String> = summaries.keys().collect();
+    names.sort();
+    for name in names {
+        out.push_str(&format!("== {name} ==\n{}", summaries[name]));
+    }
+    out
+}
+
+#[test]
+fn corpus_reports_identical_across_worker_counts() {
+    for bench in build_corpus() {
+        let seq = render(&bench.program, 1);
+        let par = render(&bench.program, 4);
+        assert_eq!(seq, par, "{}: --jobs 1 vs --jobs 4 diverged", bench.name);
+        let par_again = render(&bench.program, 4);
+        assert_eq!(par, par_again, "{}: two --jobs 4 runs diverged", bench.name);
+    }
+}

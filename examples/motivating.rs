@@ -13,8 +13,16 @@ fn main() {
             "guarded values improve compile-time analysis",
             fig1::fig1a(),
         ),
-        ("1(b)", "a run-time test is derived from guards", fig1::fig1b()),
-        ("1(c)", "predicate embedding (index-dependent guard)", fig1::fig1c()),
+        (
+            "1(b)",
+            "a run-time test is derived from guards",
+            fig1::fig1b(),
+        ),
+        (
+            "1(c)",
+            "predicate embedding (index-dependent guard)",
+            fig1::fig1c(),
+        ),
         (
             "1(d)",
             "extraction: exposure depends on a symbolic bound",
@@ -38,8 +46,7 @@ fn main() {
             let outer = result.by_label("outer").expect("outer loop");
             let mut extras = Vec::new();
             if !outer.privatized.is_empty() {
-                let names: Vec<String> =
-                    outer.privatized.iter().map(|p| p.array.name()).collect();
+                let names: Vec<String> = outer.privatized.iter().map(|p| p.array.name()).collect();
                 extras.push(format!("privatize {}", names.join(",")));
             }
             let m = outer.mechanisms;

@@ -42,7 +42,11 @@ fn main() {
     let par = run_main(&prog, args, &RunConfig::parallel(8, plan)).unwrap();
     println!(
         "\n8-worker run matches sequential oracle: {}",
-        if seq.max_abs_diff(&par) == 0.0 { "yes" } else { "NO" }
+        if seq.max_abs_diff(&par) == 0.0 {
+            "yes"
+        } else {
+            "NO"
+        }
     );
     // Last-value semantics: `work` and `t` hold the final iteration's
     // values, exactly as in the sequential run.

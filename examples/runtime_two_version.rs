@@ -17,7 +17,10 @@ fn main() {
     println!("test cost (atoms): {}\n", test.cost());
 
     let plan = ExecPlan::from_analysis(&prog, &result);
-    for (x, label) in [(3, "x = 3 (guard false: no writes, safe)"), (9, "x = 9 (guard true: dependence)")] {
+    for (x, label) in [
+        (3, "x = 3 (guard false: no writes, safe)"),
+        (9, "x = 9 (guard true: dependence)"),
+    ] {
         let args = vec![ArgValue::Int(100), ArgValue::Int(x)];
         let seq = run_main(&prog, args.clone(), &RunConfig::sequential()).unwrap();
         let par = run_main(&prog, args, &RunConfig::parallel(4, plan.clone())).unwrap();
@@ -28,7 +31,11 @@ fn main() {
         );
         println!(
             "  result matches sequential oracle: {}",
-            if seq.max_abs_diff(&par) == 0.0 { "yes" } else { "NO" }
+            if seq.max_abs_diff(&par) == 0.0 {
+                "yes"
+            } else {
+                "NO"
+            }
         );
     }
 }

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Measure analysis wall time and session cache statistics over the full
+# corpus, writing BENCH_analysis.json (plus a copy under results/).
+#
+# Usage: scripts/bench.sh [JOBS] [RUNS]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+JOBS="${1:-4}"
+RUNS="${2:-3}"
+mkdir -p results
+cargo build --release -p padfa-bench --bin analysis_stats
+./target/release/analysis_stats --jobs "$JOBS" --runs "$RUNS" --out BENCH_analysis.json \
+    | tee results/analysis_stats.txt
+cp BENCH_analysis.json results/BENCH_analysis.json
+echo "Wrote BENCH_analysis.json (and results/analysis_stats.txt)."

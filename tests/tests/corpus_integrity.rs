@@ -72,10 +72,18 @@ fn hard_loop_mechanisms_recorded() {
         let report = pred.by_label(&h.label).expect("labeled loop");
         match h.expect {
             Expect::EmbeddingCT => {
-                assert!(report.mechanisms.embedding, "{}: {:?}", h.label, report.mechanisms)
+                assert!(
+                    report.mechanisms.embedding,
+                    "{}: {:?}",
+                    h.label, report.mechanisms
+                )
             }
             Expect::PredicatedRT => {
-                assert!(report.mechanisms.runtime_test, "{}: {:?}", h.label, report.mechanisms)
+                assert!(
+                    report.mechanisms.runtime_test,
+                    "{}: {:?}",
+                    h.label, report.mechanisms
+                )
             }
             _ => {}
         }

@@ -165,7 +165,13 @@ fn sequential_program_stays_correct_under_plan() {
         outcome_of(src, "rec", &Options::predicated()),
         Outcome::Sequential
     ));
-    let par = assert_parallel_matches(src, vec![ArgValue::Int(512)], &Options::predicated(), 8, 0.0);
+    let par = assert_parallel_matches(
+        src,
+        vec![ArgValue::Int(512)],
+        &Options::predicated(),
+        8,
+        0.0,
+    );
     assert_eq!(par.stats.parallel_loops, 0);
 }
 

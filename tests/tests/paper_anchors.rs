@@ -42,7 +42,10 @@ fn corpus_matches_paper_aggregates() {
             .filter(|l| {
                 l.depth == 0
                     && l.parallelized()
-                    && !base.loop_report(l.id).map(|r| r.parallelized()).unwrap_or(false)
+                    && !base
+                        .loop_report(l.id)
+                        .map(|r| r.parallelized())
+                        .unwrap_or(false)
             })
             .count();
         if new_outer > 0 {

@@ -4,7 +4,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use padfa_omega::{Constraint, Disjunction, LinExpr, Limits, System, Var};
+use padfa_omega::{Constraint, Disjunction, Limits, LinExpr, System, Var};
 use padfa_pred::Pred;
 
 fn lim() -> Limits {

@@ -4,8 +4,8 @@
 //! scheduling mode, and the inspector/executor scheme. Any unsound
 //! "parallel" verdict diverges from the sequential oracle here.
 
-use padfa::prelude::*;
 use padfa::ir::testgen::{random_program, GenConfig};
+use padfa::prelude::*;
 
 const SEEDS: u64 = 60;
 
@@ -52,7 +52,10 @@ fn chunked_schedules_match_on_random_programs() {
             let par = run_main(&prog, workload(), &RunConfig::chunked(3, plan, chunk))
                 .unwrap_or_else(|e| panic!("seed {seed} chunk {chunk}: {e}"));
             let d = seq.max_abs_diff(&par);
-            assert!(d <= 1e-9, "seed {seed} chunk {chunk} diverged by {d}:\n{prog}");
+            assert!(
+                d <= 1e-9,
+                "seed {seed} chunk {chunk} diverged by {d}:\n{prog}"
+            );
         }
     }
 }
