@@ -20,7 +20,7 @@ fn bench_interpreter(c: &mut Criterion) {
 fn bench_parallel_scaling(c: &mut Criterion) {
     let prog = kernel("hydro2d", 16, 64);
     let args = kernel_args("hydro2d", 16);
-    let analysis = analyze_program(&prog, &Options::predicated());
+    let analysis = analyze_program(&prog, &Options::predicated()).expect("analysis failed");
     let mut group = c.benchmark_group("parallel_for");
     group.sample_size(10);
     for workers in [1usize, 2, 4] {
@@ -36,7 +36,7 @@ fn bench_two_version_test(c: &mut Criterion) {
     // The run-time test itself must be cheap: measure a run whose test
     // always fails (sequential fallback) against a plain sequential run.
     let prog = kernel("su2cor", 16, 64);
-    let analysis = analyze_program(&prog, &Options::predicated());
+    let analysis = analyze_program(&prog, &Options::predicated()).expect("analysis failed");
     let plan = ExecPlan::from_analysis(&prog, &analysis);
     // x = 9 makes the guard true, so the test fails and the loop runs
     // sequentially: the difference vs. RunConfig::sequential is the test.

@@ -20,7 +20,7 @@ fn measure(corpus: &[padfa_suite::BenchProgram], opts: &Options) -> (usize, usiz
     let mut parallelized = 0;
     let mut rt = 0;
     for bp in corpus {
-        let r = analyze_program(&bp.program, opts);
+        let r = analyze_program(&bp.program, opts).expect("analysis failed");
         parallelized += r.num_parallelized();
         rt += r.num_runtime_tested();
     }

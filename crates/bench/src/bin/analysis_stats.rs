@@ -74,7 +74,7 @@ fn main() {
         let time_with = |j: usize| {
             median_time(runs, || {
                 let sess = AnalysisSession::new(opts.clone()).with_jobs(j);
-                let _ = analyze_program_session(&bench.program, &sess);
+                let _ = analyze_program_session(&bench.program, &sess).expect("analysis failed");
             })
             .as_secs_f64()
                 * 1e3
@@ -83,7 +83,7 @@ fn main() {
         let wall_ms_jobs_n = time_with(jobs);
         // One more instrumented run for the stats snapshot.
         let sess = AnalysisSession::new(opts.clone()).with_jobs(1);
-        let (result, _) = analyze_program_session(&bench.program, &sess);
+        let (result, _) = analyze_program_session(&bench.program, &sess).expect("analysis failed");
         costs.push(ProgramCost {
             name: bench.name,
             suite: bench.suite.label(),

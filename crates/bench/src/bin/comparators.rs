@@ -66,7 +66,7 @@ fn main() {
         .sim_time;
 
         // Predicated two-version plan.
-        let analysis = analyze_program(&prog, &Options::predicated());
+        let analysis = analyze_program(&prog, &Options::predicated()).expect("analysis failed");
         let plan = ExecPlan::from_analysis(&prog, &analysis);
         let two_version = run_main(&prog, args.clone(), &RunConfig::parallel(workers, plan))
             .unwrap()

@@ -51,7 +51,7 @@ fn main() {
         });
 
         for (variant_name, opts) in [("base", Options::base()), ("pred", Options::predicated())] {
-            let analysis = analyze_program(&prog, &opts);
+            let analysis = analyze_program(&prog, &opts).expect("analysis failed");
             let plan = ExecPlan::from_analysis(&prog, &analysis);
             let mut cells = vec![spec.name.to_string(), variant_name.to_string()];
             for &w in &workers {

@@ -17,8 +17,8 @@ fn main() {
     let corpus = padfa_suite::build_corpus();
     let mut rows = Vec::new();
     for bp in &corpus {
-        let base = analyze_program(&bp.program, &Options::base());
-        let pred = analyze_program(&bp.program, &Options::predicated());
+        let base = analyze_program(&bp.program, &Options::base()).expect("analysis failed");
+        let pred = analyze_program(&bp.program, &Options::predicated()).expect("analysis failed");
         let base_par: Vec<_> = base
             .loops
             .iter()

@@ -1,12 +1,16 @@
 //! The analysis driver: bottom-up traversal of the region graph,
 //! loop summarization with predicate embedding, and report assembly.
 
+use crate::budget::{self, OnExhausted};
 use crate::component::PredComponent;
 use crate::deptest::test_loop;
-use crate::interproc::{call_order, conservative_summary, translate_call, CallOrder};
+use crate::error::AnalysisError;
+use crate::interproc::{
+    call_order, conservative_summary, degraded_summary, translate_call, CallOrder,
+};
 use crate::options::Options;
 use crate::region::access_section;
-use crate::report::{AnalysisResult, LoopReport, Mechanisms, NotCandidateReason};
+use crate::report::{AnalysisResult, LoopReport, Mechanisms, NotCandidateReason, Outcome};
 use crate::session::AnalysisSession;
 use crate::summary::Summary;
 use padfa_ir::affine;
@@ -14,6 +18,7 @@ use padfa_ir::ast::{Block, BoolExpr, Expr, Loop, Procedure, Program, Stmt};
 use padfa_omega::{Constraint, Disjunction, LinExpr, System, Var};
 use padfa_pred::{Atom, Pred};
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
 /// Run the analysis over a whole program.
@@ -21,9 +26,14 @@ use std::sync::Arc;
 /// Procedures are summarized bottom-up over the call graph; every loop
 /// receives a [`LoopReport`]. Loops in recursive procedures are handled
 /// conservatively.
-pub fn analyze_program(prog: &Program, opts: &Options) -> AnalysisResult {
+///
+/// With the default (unlimited, degrade-on-exhaustion) budget the
+/// analysis is total over resolver-valid programs: `Err` is only
+/// returned for internal invariant failures or when a strict budget
+/// ([`crate::budget::OnExhausted::Error`]) runs out.
+pub fn analyze_program(prog: &Program, opts: &Options) -> Result<AnalysisResult, AnalysisError> {
     let sess = AnalysisSession::new(opts.clone());
-    analyze_program_session(prog, &sess).0
+    Ok(analyze_program_session(prog, &sess)?.0)
 }
 
 /// Like [`analyze_program`], additionally returning the per-procedure
@@ -32,14 +42,14 @@ pub fn analyze_program(prog: &Program, opts: &Options) -> AnalysisResult {
 pub fn analyze_program_with_summaries(
     prog: &Program,
     opts: &Options,
-) -> (AnalysisResult, HashMap<String, Summary>) {
+) -> Result<(AnalysisResult, HashMap<String, Summary>), AnalysisError> {
     let sess = AnalysisSession::new(opts.clone());
-    let (result, summaries) = analyze_program_session(prog, &sess);
+    let (result, summaries) = analyze_program_session(prog, &sess)?;
     let summaries = summaries
         .into_iter()
         .map(|(name, s)| (name, (*s).clone()))
         .collect();
-    (result, summaries)
+    Ok((result, summaries))
 }
 
 /// Run the analysis against a caller-provided [`AnalysisSession`]
@@ -48,18 +58,35 @@ pub fn analyze_program_with_summaries(
 /// Procedures are partitioned into topological levels of the call graph
 /// and every level's procedures are analyzed concurrently when the
 /// session requests more than one job; the output is bit-identical
-/// regardless of worker count (see the session module docs).
+/// regardless of worker count (see the session module docs). This
+/// includes budget-degradation decisions: steps are charged per
+/// procedure by deterministic counting, so a starved budget degrades
+/// the same procedures at the same operation for any `--jobs`.
+///
+/// Each procedure runs under `catch_unwind`: budget exhaustion unwinds
+/// only that procedure (cancelling its remaining work rather than
+/// wedging the level), and any other panic is converted to
+/// [`AnalysisError::Internal`]. When several procedures of one level
+/// fail, the error of the lowest-indexed procedure is returned, keeping
+/// the error itself schedule-independent.
+/// One procedure's analysis outcome, tagged with its index in
+/// `Program::procedures` for deterministic ordering.
+type ProcOutcome = (
+    usize,
+    Result<(Arc<Summary>, Vec<LoopReport>), AnalysisError>,
+);
+
 pub fn analyze_program_session(
     prog: &Program,
     sess: &AnalysisSession,
-) -> (AnalysisResult, HashMap<String, Arc<Summary>>) {
+) -> Result<(AnalysisResult, HashMap<String, Arc<Summary>>), AnalysisError> {
     sess.pre_intern(prog);
     let co = call_order(prog);
     let mut proc_summaries: HashMap<String, Arc<Summary>> = HashMap::new();
     let mut reports: Vec<LoopReport> = Vec::new();
     let jobs = sess.jobs();
     for level in &co.levels {
-        let done: Vec<(usize, Arc<Summary>, Vec<LoopReport>)> = if jobs <= 1 || level.len() <= 1 {
+        let mut done: Vec<ProcOutcome> = if jobs <= 1 || level.len() <= 1 {
             level
                 .iter()
                 .map(|&idx| analyze_proc(prog, idx, &co, &proc_summaries, sess))
@@ -79,13 +106,27 @@ pub fn analyze_program_session(
                         })
                     })
                     .collect();
-                handles
-                    .into_iter()
-                    .flat_map(|h| h.join().expect("analysis worker panicked"))
-                    .collect()
+                let mut all: Vec<ProcOutcome> = Vec::new();
+                for h in handles {
+                    match h.join() {
+                        Ok(v) => all.extend(v),
+                        // Unreachable in practice: analyze_proc catches
+                        // all panics itself. Classified, not propagated.
+                        Err(_) => all.push((
+                            usize::MAX,
+                            Err(AnalysisError::Internal(
+                                "analysis worker thread died".into(),
+                            )),
+                        )),
+                    }
+                }
+                all
             })
         };
-        for (idx, summary, reps) in done {
+        // Deterministic error selection and report order within a level.
+        done.sort_by_key(|(idx, _)| *idx);
+        for (idx, outcome) in done {
+            let (summary, reps) = outcome?;
             proc_summaries.insert(prog.procedures[idx].name.clone(), summary);
             reports.extend(reps);
         }
@@ -97,31 +138,109 @@ pub fn analyze_program_session(
         loops: reports,
         stats: sess.stats(),
     };
-    (result, proc_summaries)
+    Ok((result, proc_summaries))
 }
 
 /// Summarize one procedure against the already-completed summaries of
 /// strictly lower call-graph levels.
+///
+/// The whole summarization runs under `catch_unwind` with this thread's
+/// budget meter armed: exhaustion unwinds to here and is resolved per
+/// the budget policy (degrade to [`degraded_summary`] or error); any
+/// other panic becomes [`AnalysisError::Internal`]. Worker threads of
+/// the parallel driver therefore never terminate by panic.
 fn analyze_proc(
     prog: &Program,
     idx: usize,
     co: &CallOrder,
     summaries: &HashMap<String, Arc<Summary>>,
     sess: &AnalysisSession,
-) -> (usize, Arc<Summary>, Vec<LoopReport>) {
+) -> ProcOutcome {
     let proc = &prog.procedures[idx];
-    let mut az = Analyzer {
-        prog,
-        sess,
-        proc_summaries: summaries,
-        reports: Vec::new(),
+    budget::install(&sess.opts.budget);
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        let mut az = Analyzer {
+            prog,
+            sess,
+            proc_summaries: summaries,
+            reports: Vec::new(),
+        };
+        let summary = if co.recursive.contains(&idx) {
+            conservative_summary(proc)
+        } else {
+            az.analyze_block(proc, &proc.body, 0)
+        };
+        (summary, az.reports)
+    }));
+    let meter = budget::take();
+    sess.note_proc_meter(&meter);
+    let res = match outcome {
+        Ok((summary, reports)) => Ok((Arc::new(summary), reports)),
+        Err(payload) if payload.downcast_ref::<budget::Exhausted>().is_some() => {
+            match sess.opts.budget.on_exhausted {
+                OnExhausted::Error => Err(AnalysisError::BudgetExhausted {
+                    proc: proc.name.clone(),
+                    steps: meter.steps,
+                }),
+                OnExhausted::Degrade => {
+                    sess.note_degraded();
+                    Ok((Arc::new(degraded_summary(proc)), budget_reports(proc)))
+                }
+            }
+        }
+        Err(payload) => Err(AnalysisError::Internal(format!(
+            "panic while analyzing '{}': {}",
+            proc.name,
+            panic_message(payload.as_ref())
+        ))),
     };
-    let summary = if co.recursive.contains(&idx) {
-        conservative_summary(proc)
-    } else {
-        az.analyze_block(proc, &proc.body, 0)
-    };
-    (idx, Arc::new(summary), az.reports)
+    (idx, res)
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    payload
+        .downcast_ref::<&str>()
+        .copied()
+        .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+        .unwrap_or("non-string panic payload")
+}
+
+/// Reports for every loop of a budget-degraded procedure: sequential,
+/// marked `not-parallel (budget)`. The degraded summary makes no claim
+/// about these loops, so none may be parallelized.
+fn budget_reports(proc: &Procedure) -> Vec<LoopReport> {
+    fn walk(b: &Block, depth: usize, proc: &str, out: &mut Vec<LoopReport>) {
+        for s in &b.stmts {
+            match s {
+                Stmt::For(l) => {
+                    out.push(LoopReport {
+                        id: l.id,
+                        label: l.label.clone(),
+                        proc: proc.to_string(),
+                        depth,
+                        not_candidate: Some(NotCandidateReason::BudgetExhausted),
+                        outcome: Outcome::Sequential,
+                        privatized: Vec::new(),
+                        privatized_scalars: Vec::new(),
+                        reductions: Vec::new(),
+                        mechanisms: Mechanisms::default(),
+                    });
+                    walk(&l.body, depth + 1, proc, out);
+                }
+                Stmt::If {
+                    then_blk, else_blk, ..
+                } => {
+                    walk(then_blk, depth, proc, out);
+                    walk(else_blk, depth, proc, out);
+                }
+                _ => {}
+            }
+        }
+    }
+    let mut out = Vec::new();
+    walk(&proc.body, 0, &proc.name, &mut out);
+    out
 }
 
 struct Analyzer<'a> {
@@ -614,7 +733,7 @@ mod tests {
 
     fn analyze(src: &str, opts: &Options) -> AnalysisResult {
         let p = parse_program(src).unwrap();
-        analyze_program(&p, opts)
+        analyze_program(&p, opts).unwrap()
     }
 
     #[test]

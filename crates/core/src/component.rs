@@ -144,8 +144,9 @@ impl PredComponent {
         // Keep unconditional pieces first (they are the "default" value).
         self.pieces.sort_by_key(|p| !p.pred.is_true());
         while self.pieces.len() > max_pieces.max(1) {
-            let b = self.pieces.pop().unwrap();
-            let a = self.pieces.pop().unwrap();
+            let (Some(b), Some(a)) = (self.pieces.pop(), self.pieces.pop()) else {
+                break; // unreachable: the loop guard keeps len >= 2
+            };
             let pred = if may {
                 Pred::or(a.pred, b.pred)
             } else {

@@ -1,0 +1,87 @@
+//! Typed analysis errors.
+//!
+//! The analysis pipeline never panics on user input: every failure mode
+//! is classified into one [`AnalysisError`] variant so drivers (the
+//! `padfa` CLI, the corpus runner, tests) can react with distinct exit
+//! codes and keep batch runs alive. Budget exhaustion only surfaces as
+//! an error under [`OnExhausted::Error`]; the default policy degrades
+//! the affected procedure to a sound conservative summary instead (see
+//! [`crate::budget`]).
+//!
+//! [`OnExhausted::Error`]: crate::budget::OnExhausted::Error
+
+use padfa_ir::parse::ParseError;
+use std::fmt;
+
+/// Why an analysis run failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AnalysisError {
+    /// The source text failed to parse. Carries the span so drivers can
+    /// render `file:line:col` diagnostics.
+    Parse(ParseError),
+    /// The program parsed but violates an IR invariant the analysis
+    /// relies on.
+    MalformedIr(String),
+    /// A procedure exhausted its [`crate::budget::WorkBudget`] and the
+    /// budget policy was [`crate::budget::OnExhausted::Error`].
+    BudgetExhausted {
+        /// Procedure under analysis when the budget ran out.
+        proc: String,
+        /// Lattice-operation steps charged before exhaustion.
+        steps: u64,
+    },
+    /// An internal invariant failed (a bug in the analysis, surfaced as
+    /// a typed error instead of a crash).
+    Internal(String),
+}
+
+impl fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalysisError::Parse(e) => write!(f, "{e}"),
+            AnalysisError::MalformedIr(m) => write!(f, "malformed IR: {m}"),
+            AnalysisError::BudgetExhausted { proc, steps } => {
+                write!(f, "work budget exhausted in '{proc}' after {steps} steps")
+            }
+            AnalysisError::Internal(m) => write!(f, "internal analysis error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for AnalysisError {}
+
+impl From<ParseError> for AnalysisError {
+    fn from(e: ParseError) -> AnalysisError {
+        AnalysisError::Parse(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = AnalysisError::BudgetExhausted {
+            proc: "main".into(),
+            steps: 42,
+        };
+        assert_eq!(
+            e.to_string(),
+            "work budget exhausted in 'main' after 42 steps"
+        );
+        let p: AnalysisError = ParseError {
+            msg: "boom".into(),
+            line: 3,
+            col: 7,
+        }
+        .into();
+        assert!(p.to_string().contains("3:7"));
+        assert!(AnalysisError::Internal("x".into())
+            .to_string()
+            .contains("x"));
+        assert!(AnalysisError::MalformedIr("y".into())
+            .to_string()
+            .contains("y"));
+    }
+}

@@ -158,6 +158,19 @@ pub fn conservative_summary(proc: &Procedure) -> Summary {
     s
 }
 
+/// The sound degraded summary substituted for a procedure whose work
+/// budget ran out: the conservative summary (may-read/may-write = the
+/// whole declared extent of every array parameter, inexact; exposed
+/// reads everywhere; no must-writes; `has_io` so enclosing loops are
+/// disqualified) tagged `degraded`. Every component over-approximates
+/// (W under-approximates as ∅), so replacing any exact summary with this
+/// one can only *lose* parallel loops downstream — never invent one.
+pub fn degraded_summary(proc: &Procedure) -> Summary {
+    let mut s = conservative_summary(proc);
+    s.degraded = true;
+    s
+}
+
 fn subst_expr(e: &Expr, map: &HashMap<Var, Expr>) -> Expr {
     match e {
         Expr::IntLit(_) | Expr::RealLit(_) => e.clone(),
@@ -533,6 +546,10 @@ pub fn translate_call(
     out.has_io = callee_summary.has_io;
     // Internal exits are local to the callee's own loops.
     out.has_exit = false;
+    // A degraded callee taints the call-site summary so the imprecision
+    // stays visible (soundness needs nothing more: the degraded summary
+    // already carries ⊤ may-regions and `has_io`).
+    out.degraded = callee_summary.degraded;
 
     // Bind scalar formals.
     let mut scalar_map: HashMap<Var, Expr> = HashMap::new();

@@ -37,21 +37,39 @@
 //! [`Variant::Guarded`] (compile-time predicates only, the Gu/Li/Lee
 //! comparator), and [`Variant::Predicated`] (full system).
 //!
-//! ```
-//! use padfa_core::{analyze_program, Options, Outcome};
+//! All failure modes are typed ([`AnalysisError`]): the analysis never
+//! panics on user input, and per-procedure [`budget::WorkBudget`]s bound
+//! its work, degrading exhausted procedures to sound conservative
+//! summaries instead of hanging or crashing.
 //!
+//! ```
+//! use padfa_core::{analyze_program, AnalysisError, Options, Outcome};
+//!
+//! # fn main() -> Result<(), AnalysisError> {
 //! let src = "proc main(n: int, x: int) {
 //!     array a[100];
 //!     for i = 1 to n { a[i] = a[i] + 1.0; }
 //! }";
-//! let prog = padfa_ir::parse::parse_program(src).unwrap();
-//! let result = analyze_program(&prog, &Options::predicated());
+//! let prog = padfa_ir::parse::parse_program(src)?;
+//! let result = analyze_program(&prog, &Options::predicated())?;
 //! assert!(matches!(result.loops[0].outcome, padfa_core::Outcome::Parallel));
+//! # Ok(())
+//! # }
 //! ```
 
+// The analysis must stay total on arbitrary input: unwinding is
+// reserved for the budget watchdog (raised via `panic_any`, caught at
+// the procedure boundary) and everything else returns `AnalysisError`.
+#![cfg_attr(
+    not(test),
+    deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
+
 pub mod analyze;
+pub mod budget;
 pub mod component;
 pub mod deptest;
+pub mod error;
 pub mod interproc;
 pub mod options;
 pub mod reduce;
@@ -61,7 +79,9 @@ pub mod session;
 pub mod summary;
 
 pub use analyze::{analyze_program, analyze_program_session, analyze_program_with_summaries};
+pub use budget::{OnExhausted, WorkBudget};
 pub use component::{GuardedRegion, PredComponent};
+pub use error::AnalysisError;
 pub use options::{Options, Variant};
 pub use report::{
     AnalysisResult, LoopReport, Mechanisms, NotCandidateReason, Outcome, PrivArray, ReduceOp,

@@ -1,5 +1,6 @@
 //! Analysis configuration: variants and feature toggles.
 
+use crate::budget::WorkBudget;
 use padfa_omega::Limits;
 
 /// Which analysis the driver runs. The three variants reproduce the
@@ -40,6 +41,9 @@ pub struct Options {
     pub test_cost_budget: u32,
     /// Combinatorial limits for the linear engine.
     pub limits: Limits,
+    /// Per-procedure work budget (steps / wall deadline) and the policy
+    /// on exhaustion. Unlimited by default.
+    pub budget: WorkBudget,
 }
 
 impl Options {
@@ -53,6 +57,7 @@ impl Options {
             max_pieces: 4,
             test_cost_budget: 16,
             limits: Limits::default(),
+            budget: WorkBudget::UNLIMITED,
         }
     }
 
@@ -66,6 +71,7 @@ impl Options {
             max_pieces: 1,
             test_cost_budget: 0,
             limits: Limits::default(),
+            budget: WorkBudget::UNLIMITED,
         }
     }
 
@@ -79,7 +85,14 @@ impl Options {
             max_pieces: 4,
             test_cost_budget: 0,
             limits: Limits::default(),
+            budget: WorkBudget::UNLIMITED,
         }
+    }
+
+    /// Replace the work budget (builder style).
+    pub fn with_budget(mut self, budget: WorkBudget) -> Options {
+        self.budget = budget;
+        self
     }
 
     /// Whether predicates are tracked at all.

@@ -12,6 +12,19 @@ pub enum NotCandidateReason {
     ReadIo,
     /// Contains an internal exit.
     InternalExit,
+    /// The enclosing procedure exhausted its work budget; the loop is
+    /// covered only by the degraded conservative summary.
+    BudgetExhausted,
+}
+
+impl fmt::Display for NotCandidateReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NotCandidateReason::ReadIo => write!(f, "read-io"),
+            NotCandidateReason::InternalExit => write!(f, "internal-exit"),
+            NotCandidateReason::BudgetExhausted => write!(f, "budget"),
+        }
+    }
 }
 
 /// Parallelization decision for one loop.
@@ -169,7 +182,7 @@ impl fmt::Display for LoopReport {
             self.outcome
         )?;
         if let Some(r) = self.not_candidate {
-            write!(f, " [not a candidate: {r:?}]")?;
+            write!(f, " [not-parallel ({r})]")?;
         }
         if !self.privatized.is_empty() {
             let names: Vec<String> = self.privatized.iter().map(|p| p.array.name()).collect();

@@ -35,14 +35,24 @@
 //! [`pre_intern`]: AnalysisSession::pre_intern
 //! [`lat_var`]: AnalysisSession::lat_var
 
+use crate::budget;
 use crate::options::Options;
 use padfa_ir::ast::{Block, ParamTy, Procedure, Program, Stmt};
 use padfa_omega::{Disjunction, Limits, System, Var};
 use padfa_pred::Pred;
 use std::collections::HashMap;
 use std::hash::Hash;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Poison-recovering lock: a panic in *other* code while a guard was
+/// held (never the session's own paths — budget unwinds are raised
+/// before any lock is taken) must not wedge every later query. The
+/// protected tables are memo caches whose entries are pure functions of
+/// their keys, so recovering the inner value is always sound.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
 
 /// Pre-interned `$lat.<proc>.<k>` names per strided procedure; requests
 /// beyond the pool fall back to on-the-fly interning (counted in
@@ -63,7 +73,7 @@ impl<T: Eq + Hash + Clone> Interner<T> {
 
     /// Intern by reference; clones into a fresh `Arc` only on a miss.
     fn intern(&self, value: &T) -> (Arc<T>, u32) {
-        let mut m = self.map.lock().unwrap();
+        let mut m = lock(&self.map);
         if let Some((k, &id)) = m.get_key_value(value) {
             return (Arc::clone(k), id);
         }
@@ -74,7 +84,7 @@ impl<T: Eq + Hash + Clone> Interner<T> {
     }
 
     fn len(&self) -> usize {
-        self.map.lock().unwrap().len()
+        lock(&self.map).len()
     }
 }
 
@@ -99,17 +109,13 @@ impl<K: Eq + Hash, V: Clone> Memo<K, V> {
     /// entry, which is benign (the operations are pure and
     /// deterministic, so both produce the same value).
     fn get_or(&self, key: K, f: impl FnOnce() -> V) -> V {
-        if let Some(v) = self.map.lock().unwrap().get(&key) {
+        if let Some(v) = lock(&self.map).get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return v.clone();
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let v = f();
-        self.map
-            .lock()
-            .unwrap()
-            .entry(key)
-            .or_insert_with(|| v.clone());
+        lock(&self.map).entry(key).or_insert_with(|| v.clone());
         v
     }
 
@@ -121,7 +127,7 @@ impl<K: Eq + Hash, V: Clone> Memo<K, V> {
     }
 
     fn len(&self) -> usize {
-        self.map.lock().unwrap().len()
+        lock(&self.map).len()
     }
 }
 
@@ -170,6 +176,21 @@ pub struct StatsSnapshot {
     pub fm_projections: u64,
     /// `$lat` requests beyond the pre-interned per-procedure pool.
     pub lat_overflow: u64,
+    /// Lattice-operation steps charged against per-procedure work
+    /// budgets, summed over all procedures (0 when unbudgeted).
+    pub budget_steps: u64,
+    /// Peak disjunct count seen in any budgeted lattice operand.
+    pub peak_disjuncts: usize,
+    /// Peak constraint count seen in any system of a budgeted operand.
+    pub peak_constraints: usize,
+    /// Procedures whose summary was replaced by the degraded
+    /// conservative summary after budget exhaustion.
+    pub degraded_procs: u64,
+    /// `Limits` overflow events (capped eliminations / disjunct-cap
+    /// fallbacks) observed during this session, from the process-wide
+    /// counter ([`padfa_omega::limit_stats`]). Approximate when several
+    /// sessions run concurrently in one process.
+    pub limit_overflows: u64,
 }
 
 impl StatsSnapshot {
@@ -226,11 +247,20 @@ impl std::fmt::Display for StatsSnapshot {
                 )?;
             }
         }
-        write!(
+        writeln!(
             f,
             "  fm-projections run: {}; peak table: {} entries",
             self.fm_projections, self.peak_table_entries
-        )
+        )?;
+        write!(f, "  limit overflows: {}", self.limit_overflows)?;
+        if self.budget_steps > 0 {
+            write!(
+                f,
+                "\n  budget: {} steps, peak {} disjuncts / {} constraints, {} degraded procedure(s)",
+                self.budget_steps, self.peak_disjuncts, self.peak_constraints, self.degraded_procs
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -254,6 +284,13 @@ pub struct AnalysisSession {
     fm_projections: AtomicU64,
     lat_overflow: AtomicU64,
     lat_pools: Mutex<HashMap<String, u32>>,
+    budget_steps: AtomicU64,
+    peak_disjuncts: AtomicUsize,
+    peak_constraints: AtomicUsize,
+    degraded_procs: AtomicU64,
+    /// `limit_stats` baseline at session creation: `stats()` reports the
+    /// difference.
+    overflow_baseline: u64,
 }
 
 impl AnalysisSession {
@@ -274,6 +311,11 @@ impl AnalysisSession {
             fm_projections: AtomicU64::new(0),
             lat_overflow: AtomicU64::new(0),
             lat_pools: Mutex::new(HashMap::new()),
+            budget_steps: AtomicU64::new(0),
+            peak_disjuncts: AtomicUsize::new(0),
+            peak_constraints: AtomicUsize::new(0),
+            degraded_procs: AtomicU64::new(0),
+            overflow_baseline: padfa_omega::limit_stats::overflows(),
         }
     }
 
@@ -305,6 +347,7 @@ impl AnalysisSession {
         if s.is_empty_conjunction() {
             return false;
         }
+        budget::charge(1);
         let limits = self.limits();
         let (arc, id) = self.systems.intern(s);
         self.m_sys_empty.get_or(id, || arc.is_empty(limits))
@@ -318,6 +361,9 @@ impl AnalysisSession {
 
     /// Memoized `a ⊆ b`.
     pub fn subset_of(&self, a: &Disjunction, b: &Disjunction) -> bool {
+        budget::charge(1);
+        budget::note_region(a);
+        budget::note_region(b);
         let limits = self.limits();
         let (aa, ia) = self.regions.intern(a);
         let (ab, ib) = self.regions.intern(b);
@@ -326,6 +372,9 @@ impl AnalysisSession {
 
     /// Memoized region subtraction `a − b`.
     pub fn subtract(&self, a: &Disjunction, b: &Disjunction) -> Arc<Disjunction> {
+        budget::charge(1);
+        budget::note_region(a);
+        budget::note_region(b);
         let limits = self.limits();
         let (aa, ia) = self.regions.intern(a);
         let (ab, ib) = self.regions.intern(b);
@@ -335,6 +384,9 @@ impl AnalysisSession {
 
     /// Memoized region intersection.
     pub fn intersect(&self, a: &Disjunction, b: &Disjunction) -> Arc<Disjunction> {
+        budget::charge(1);
+        budget::note_region(a);
+        budget::note_region(b);
         let limits = self.limits();
         let (aa, ia) = self.regions.intern(a);
         let (ab, ib) = self.regions.intern(b);
@@ -344,6 +396,9 @@ impl AnalysisSession {
 
     /// Memoized region union.
     pub fn union(&self, a: &Disjunction, b: &Disjunction) -> Arc<Disjunction> {
+        budget::charge(1);
+        budget::note_region(a);
+        budget::note_region(b);
         let limits = self.limits();
         let (aa, ia) = self.regions.intern(a);
         let (ab, ib) = self.regions.intern(b);
@@ -353,6 +408,8 @@ impl AnalysisSession {
 
     /// Memoized Fourier–Motzkin projection of `vars` out of `d`.
     pub fn project_out(&self, d: &Disjunction, vars: &[Var]) -> Arc<Disjunction> {
+        budget::charge(1);
+        budget::note_region(d);
         let limits = self.limits();
         let (ad, id) = self.regions.intern(d);
         self.m_project.get_or((id, vars.to_vec()), || {
@@ -371,6 +428,7 @@ impl AnalysisSession {
         if a.is_false() {
             return true;
         }
+        budget::charge(1);
         let limits = self.limits();
         let (aa, ia) = self.preds.intern(a);
         let (ab, ib) = self.preds.intern(b);
@@ -389,7 +447,7 @@ impl AnalysisSession {
     /// pre-interned pool were interned before workers started.
     pub fn lat_var(&self, proc: &str) -> Var {
         let k = {
-            let mut pools = self.lat_pools.lock().unwrap();
+            let mut pools = lock(&self.lat_pools);
             let c = pools.entry(proc.to_string()).or_insert(0);
             let k = *c;
             *c += 1;
@@ -431,6 +489,21 @@ impl AnalysisSession {
         }
     }
 
+    /// Fold one procedure's budget-meter report into the session
+    /// counters (called by the driver after each procedure).
+    pub(crate) fn note_proc_meter(&self, m: &budget::MeterReport) {
+        self.budget_steps.fetch_add(m.steps, Ordering::Relaxed);
+        self.peak_disjuncts
+            .fetch_max(m.peak_disjuncts, Ordering::Relaxed);
+        self.peak_constraints
+            .fetch_max(m.peak_constraints, Ordering::Relaxed);
+    }
+
+    /// Record one budget-degraded procedure.
+    pub(crate) fn note_degraded(&self) {
+        self.degraded_procs.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Snapshot the counters.
     pub fn stats(&self) -> StatsSnapshot {
         let peak = [
@@ -459,6 +532,12 @@ impl AnalysisSession {
             peak_table_entries: peak,
             fm_projections: self.fm_projections.load(Ordering::Relaxed),
             lat_overflow: self.lat_overflow.load(Ordering::Relaxed),
+            budget_steps: self.budget_steps.load(Ordering::Relaxed),
+            peak_disjuncts: self.peak_disjuncts.load(Ordering::Relaxed),
+            peak_constraints: self.peak_constraints.load(Ordering::Relaxed),
+            degraded_procs: self.degraded_procs.load(Ordering::Relaxed),
+            limit_overflows: padfa_omega::limit_stats::overflows()
+                .saturating_sub(self.overflow_baseline),
         }
     }
 }

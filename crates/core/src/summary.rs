@@ -50,6 +50,9 @@ pub struct Summary {
     pub has_io: bool,
     /// Region contains an internal loop exit.
     pub has_exit: bool,
+    /// The summary was replaced by a budget-degraded conservative
+    /// summary (or composes one): sound but maximally imprecise.
+    pub degraded: bool,
 }
 
 impl Summary {
@@ -96,6 +99,7 @@ impl Summary {
         let mut out = Summary::empty();
         out.has_io = self.has_io || next.has_io;
         out.has_exit = self.has_exit || next.has_exit;
+        out.degraded = self.degraded || next.degraded;
         out.scalar_writes = self
             .scalar_writes
             .union(&next.scalar_writes)
@@ -176,6 +180,7 @@ impl Summary {
         let mut out = Summary::empty();
         out.has_io = then_s.has_io || else_s.has_io;
         out.has_exit = then_s.has_exit || else_s.has_exit;
+        out.degraded = then_s.degraded || else_s.degraded;
         out.scalar_writes = then_s
             .scalar_writes
             .union(&else_s.scalar_writes)
@@ -254,6 +259,9 @@ fn intersect_must(a: &PredComponent, b: &PredComponent, sess: &AnalysisSession) 
 
 impl fmt::Display for Summary {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.degraded {
+            writeln!(f, "(degraded: budget-exhausted conservative summary)")?;
+        }
         for (a, s) in &self.arrays {
             writeln!(f, "{a}: W={} MW={} R={} E={}", s.w, s.mw, s.r, s.e)?;
         }

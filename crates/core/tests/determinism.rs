@@ -12,7 +12,7 @@ use padfa_ir::parse::parse_program;
 fn render(src: &str, opts: &Options, jobs: usize) -> String {
     let prog = parse_program(src).unwrap();
     let sess = AnalysisSession::new(opts.clone()).with_jobs(jobs);
-    let (result, summaries) = analyze_program_session(&prog, &sess);
+    let (result, summaries) = analyze_program_session(&prog, &sess).unwrap();
     let mut out = String::new();
     for report in &result.loops {
         out.push_str(&format!("{report}\n"));
@@ -87,7 +87,7 @@ fn recursive_call_graphs_are_stable_under_parallel_driver() {
     // while the pure loop stays parallel.
     let prog = parse_program(RECURSIVE_PROGRAM).unwrap();
     let sess = AnalysisSession::new(opts).with_jobs(4);
-    let (result, _) = analyze_program_session(&prog, &sess);
+    let (result, _) = analyze_program_session(&prog, &sess).unwrap();
     let main_loops: Vec<_> = result.loops.iter().filter(|l| l.proc == "main").collect();
     assert_eq!(main_loops.len(), 3);
     assert!(main_loops[0].not_candidate.is_some());

@@ -8,6 +8,7 @@ use padfa_ir::parse::parse_program;
 fn outcome(src: &str, label: &str, opts: &Options) -> Outcome {
     let prog = parse_program(src).unwrap_or_else(|e| panic!("{e}"));
     analyze_program(&prog, opts)
+        .unwrap()
         .by_label(label)
         .unwrap_or_else(|| panic!("no loop {label}"))
         .outcome
@@ -92,7 +93,7 @@ fn three_deep_call_chain() {
         call mid(a, n);
     }";
     let prog = parse_program(src).unwrap();
-    let r = analyze_program(&prog, &Options::predicated());
+    let r = analyze_program(&prog, &Options::predicated()).unwrap();
     assert!(r.by_label("lf").unwrap().outcome.is_parallelizable());
     assert!(r.by_label("top").unwrap().outcome.is_parallelizable());
 }
@@ -107,7 +108,7 @@ fn recursion_is_conservative() {
         for@outer i = 1 to n { call rec(b, n); }
     }";
     let prog = parse_program(src).unwrap();
-    let r = analyze_program(&prog, &Options::predicated());
+    let r = analyze_program(&prog, &Options::predicated()).unwrap();
     // The caller loop must not be parallelized (conservative summary
     // marks recursive callees as I/O).
     let outer = r.by_label("outer").unwrap();
@@ -172,7 +173,7 @@ fn write_only_array_parallel_via_privatization_or_masking() {
     let src = "proc m(n: int) { array a[4];
         for@w i = 1 to n { a[1] = i * 1.0; } }";
     let prog = parse_program(src).unwrap();
-    let r = analyze_program(&prog, &Options::predicated());
+    let r = analyze_program(&prog, &Options::predicated()).unwrap();
     let report = r.by_label("w").unwrap();
     assert!(report.outcome.is_parallelizable(), "{}", report.outcome);
     assert!(
@@ -274,7 +275,7 @@ fn downward_loop_must_write_region() {
             for j = 1 to n { a[i, j] = t[j]; }
         } }";
     let prog = padfa_ir::parse::parse_program(src).unwrap();
-    let r = analyze_program(&prog, &Options::predicated());
+    let r = analyze_program(&prog, &Options::predicated()).unwrap();
     let outer = r.by_label("outer").unwrap();
     assert!(outer.outcome.is_parallelizable(), "{}", outer.outcome);
 }

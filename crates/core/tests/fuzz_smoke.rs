@@ -1,0 +1,55 @@
+//! Panic-freedom smoke fuzz: the analysis must return `Ok` (possibly
+//! degraded) on every generator-produced program, under generous and
+//! starved budgets alike, for every variant. Kept fast enough to run
+//! in CI on every push (~40 seeds, well under 30 seconds).
+
+use padfa_core::{analyze_program, Options, WorkBudget};
+use padfa_ir::testgen::{random_program, GenConfig};
+
+#[test]
+fn analysis_is_total_over_random_programs() {
+    for seed in 0..40u64 {
+        let prog = random_program(seed, GenConfig::default());
+        for opts in [Options::base(), Options::guarded(), Options::predicated()] {
+            for budget in [
+                WorkBudget::UNLIMITED,
+                WorkBudget::steps(10_000),
+                WorkBudget::steps(25),
+                WorkBudget::steps(1),
+            ] {
+                let opts = opts.clone().with_budget(budget);
+                let result = analyze_program(&prog, &opts);
+                assert!(
+                    result.is_ok(),
+                    "seed {seed} variant {:?} budget {:?}: {:?}",
+                    opts.variant,
+                    opts.budget,
+                    result.err()
+                );
+            }
+        }
+    }
+}
+
+/// Starved budgets never *gain* parallel loops relative to the exact
+/// run — the differential monotonicity property, on adversarial random
+/// shapes rather than hand-written fixtures.
+#[test]
+fn random_programs_degrade_monotonically() {
+    for seed in 0..20u64 {
+        let prog = random_program(seed, GenConfig::default());
+        let exact = analyze_program(&prog, &Options::predicated()).unwrap();
+        for steps in [1, 50, 500] {
+            let opts = Options::predicated().with_budget(WorkBudget::steps(steps));
+            let starved = analyze_program(&prog, &opts).unwrap();
+            assert_eq!(exact.loops.len(), starved.loops.len());
+            for (ex, st) in exact.loops.iter().zip(starved.loops.iter()) {
+                assert!(
+                    !st.parallelized() || ex.parallelized(),
+                    "seed {seed} budget {steps}: loop {:?} parallel only when starved",
+                    st.id
+                );
+            }
+        }
+    }
+}

@@ -14,7 +14,7 @@ fn sess() -> AnalysisSession {
 
 fn summarize(src: &str) -> Summary {
     let prog = parse_program(src).unwrap();
-    let (_, summaries) = analyze_program_with_summaries(&prog, &Options::predicated());
+    let (_, summaries) = analyze_program_with_summaries(&prog, &Options::predicated()).unwrap();
     summaries["main"].clone()
 }
 
@@ -153,7 +153,7 @@ fn local_arrays_do_not_leak_into_proc_summary() {
          proc main(n: int) { call helper(n); }",
     )
     .unwrap();
-    let (_, summaries) = analyze_program_with_summaries(&prog, &Options::predicated());
+    let (_, summaries) = analyze_program_with_summaries(&prog, &Options::predicated()).unwrap();
     assert!(
         summaries["main"].arrays.is_empty(),
         "callee-local arrays are invisible to the caller"

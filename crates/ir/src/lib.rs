@@ -39,6 +39,12 @@
 pub mod affine;
 pub mod ast;
 pub mod build;
+// The parser is the input boundary: every malformed program must come
+// back as a spanned `ParseError`, never a panic.
+#[cfg_attr(
+    not(test),
+    deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
 pub mod parse;
 pub mod pretty;
 pub mod testgen;

@@ -120,6 +120,7 @@ impl Disjunction {
                     out.systems.push(s);
                     if out.systems.len() >= limits.max_disjuncts {
                         out.exact = false;
+                        crate::limit_stats::note_overflow();
                         break 'outer;
                     }
                 }
@@ -150,6 +151,7 @@ impl Disjunction {
                     // Give up: keep the unsubtracted remainder.
                     let mut fallback = cur.clone();
                     fallback.exact = false;
+                    crate::limit_stats::note_overflow();
                     return fallback;
                 }
             }

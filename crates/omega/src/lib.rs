@@ -88,6 +88,31 @@ impl Default for Limits {
     }
 }
 
+/// Process-wide monotone counter of [`Limits`] overflow events: every
+/// time an operation hits a cap and degrades to a truncated (inexact)
+/// answer, the counter is bumped. Consumers snapshot the counter before
+/// a run and report the difference, so capped runs are visible instead
+/// of silent. The counter is global (operations take no session handle),
+/// so concurrent runs in one process see each other's overflows; the
+/// intended use is coarse visibility, not exact attribution.
+pub mod limit_stats {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static OVERFLOWS: AtomicU64 = AtomicU64::new(0);
+
+    /// Record one cap-hit (truncated elimination, disjunct-cap fallback).
+    #[inline]
+    pub fn note_overflow() {
+        OVERFLOWS.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total overflow events since process start.
+    #[inline]
+    pub fn overflows() -> u64 {
+        OVERFLOWS.load(Ordering::Relaxed)
+    }
+}
+
 /// Greatest common divisor of two non-negative numbers (`gcd(0, n) = n`).
 #[inline]
 pub(crate) fn gcd(a: i64, b: i64) -> i64 {

@@ -350,6 +350,7 @@ impl System {
         if out.len() > limits.max_constraints {
             out.constraints.truncate(limits.max_constraints);
             exact = false;
+            crate::limit_stats::note_overflow();
         }
         Projection { system: out, exact }
     }

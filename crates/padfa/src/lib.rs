@@ -30,7 +30,7 @@
 //! let prog = parse_program(src).unwrap();
 //!
 //! // Analyze: the hot loop needs a run-time test.
-//! let result = analyze_program(&prog, &Options::predicated());
+//! let result = analyze_program(&prog, &Options::predicated()).unwrap();
 //! let hot = result.by_label("hot").unwrap();
 //! assert!(matches!(hot.outcome, Outcome::ParallelIf(_)));
 //!
@@ -52,8 +52,8 @@ pub use padfa_suite as suite;
 /// The most common imports.
 pub mod prelude {
     pub use padfa_core::{
-        analyze_program, analyze_program_session, AnalysisResult, AnalysisSession, Options,
-        Outcome, StatsSnapshot, Variant,
+        analyze_program, analyze_program_session, AnalysisError, AnalysisResult, AnalysisSession,
+        OnExhausted, Options, Outcome, StatsSnapshot, Variant, WorkBudget,
     };
     pub use padfa_ir::parse::{parse_bool_expr, parse_expr, parse_program};
     pub use padfa_ir::{LoopId, Program, Var};

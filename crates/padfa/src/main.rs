@@ -3,11 +3,13 @@
 //!
 //! ```text
 //! padfa analyze <file.mf> [--variant base|guarded|predicated] [--all] [--summaries]
-//!                         [--jobs N] [--stats]
+//!                         [--jobs N] [--stats] [--max-steps N] [--deadline-ms N] [--strict]
 //! padfa run     <file.mf> [--workers N] [--seq] [--fuel N] [--deadline-ms N]
 //!                         [--no-fallback] [--inject W:S:KIND] [ARG...]
 //! padfa elpd    <file.mf> <loop-label-or-id> [--fuel N] [ARG...]
 //! padfa fmt     <file.mf>
+//! padfa corpus  [--variant V] [--jobs N] [--max-steps N] [--deadline-ms N]
+//!               [--ledger PATH] [--resume] [--keep-going]
 //! ```
 //!
 //! Scalar entry arguments are given positionally (`8 3 50`); integer
@@ -22,30 +24,63 @@
 //! fault-injection harness, and `--no-fallback` turns the transparent
 //! sequential re-run into a hard error (useful for scripting around
 //! failures).
+//!
+//! `analyze` exposes the analysis-side watchdog: `--max-steps` bounds
+//! the lattice-operation count per procedure (deterministic),
+//! `--deadline-ms` bounds per-procedure wall time, and `--strict` turns
+//! budget exhaustion into a hard error (exit 4) instead of degrading
+//! the procedure to a sound conservative summary.
+//!
+//! `corpus` runs the analysis over the full synthetic benchmark corpus,
+//! isolating each program behind `catch_unwind`, and streams one JSON
+//! line per program to a ledger for offline triage.
+//!
+//! ## Exit codes
+//!
+//! | code | meaning                                              |
+//! |------|------------------------------------------------------|
+//! | 0    | success (degraded summaries still count as success)  |
+//! | 1    | runtime/execution failure (`run`, `elpd`)            |
+//! | 2    | usage error                                          |
+//! | 3    | unreadable input or parse/malformed-IR error         |
+//! | 4    | work budget exhausted under `--strict`               |
+//! | 5    | internal invariant failure (analyzer bug or panic)   |
 
 use padfa::prelude::*;
+use std::io::Write as _;
 use std::process::exit;
 
 fn usage() -> ! {
     eprintln!(
         "usage:\n  padfa analyze <file.mf> [--variant base|guarded|predicated] [--all]\n               \
-         [--summaries] [--jobs N] [--stats]\n  \
+         [--summaries] [--jobs N] [--stats] [--max-steps N] [--deadline-ms N] [--strict]\n  \
          padfa run <file.mf> [--workers N] [--seq] [--fuel N] [--deadline-ms N]\n            \
          [--no-fallback] [--inject W:S:panic|error|corrupt] [ARG...]\n  \
          padfa elpd <file.mf> <loop-label-or-id> [--fuel N] [ARG...]\n  \
-         padfa fmt <file.mf>"
+         padfa fmt <file.mf>\n  \
+         padfa corpus [--variant V] [--jobs N] [--max-steps N] [--deadline-ms N]\n               \
+         [--ledger PATH] [--resume] [--keep-going]"
     );
     exit(2)
+}
+
+/// Map a typed analysis error to the documented exit code.
+fn exit_code(e: &AnalysisError) -> i32 {
+    match e {
+        AnalysisError::Parse(_) | AnalysisError::MalformedIr(_) => 3,
+        AnalysisError::BudgetExhausted { .. } => 4,
+        AnalysisError::Internal(_) => 5,
+    }
 }
 
 fn load(path: &str) -> Program {
     let src = std::fs::read_to_string(path).unwrap_or_else(|e| {
         eprintln!("padfa: cannot read {path}: {e}");
-        exit(1)
+        exit(3)
     });
     parse_program(&src).unwrap_or_else(|e| {
-        eprintln!("padfa: {path}: {e}");
-        exit(1)
+        eprintln!("{path}:{}:{}: error: {}", e.line, e.col, e.msg);
+        exit(3)
     })
 }
 
@@ -126,6 +161,28 @@ fn variant_options(name: &str) -> Options {
     }
 }
 
+/// Shared budget-flag state for `analyze` and `corpus`.
+#[derive(Default)]
+struct BudgetFlags {
+    max_steps: Option<u64>,
+    deadline_ms: Option<u64>,
+    strict: bool,
+}
+
+impl BudgetFlags {
+    fn to_budget(&self) -> WorkBudget {
+        WorkBudget {
+            max_steps: self.max_steps,
+            deadline_ms: self.deadline_ms,
+            on_exhausted: if self.strict {
+                OnExhausted::Error
+            } else {
+                OnExhausted::Degrade
+            },
+        }
+    }
+}
+
 fn cmd_analyze(args: &[String]) {
     let mut file = None;
     let mut variant = "predicated".to_string();
@@ -133,6 +190,7 @@ fn cmd_analyze(args: &[String]) {
     let mut show_summaries = false;
     let mut show_stats = false;
     let mut jobs = 1usize;
+    let mut budget = BudgetFlags::default();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -147,14 +205,36 @@ fn cmd_analyze(args: &[String]) {
                     .filter(|&n| n >= 1)
                     .unwrap_or_else(|| usage())
             }
+            "--max-steps" => {
+                budget.max_steps = Some(
+                    it.next()
+                        .and_then(|w| w.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            "--deadline-ms" => {
+                budget.deadline_ms = Some(
+                    it.next()
+                        .and_then(|w| w.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            "--strict" => budget.strict = true,
             _ if file.is_none() => file = Some(a.clone()),
             _ => usage(),
         }
     }
-    let prog = load(&file.unwrap_or_else(|| usage()));
-    let opts = variant_options(&variant);
+    let path = file.unwrap_or_else(|| usage());
+    let prog = load(&path);
+    let opts = variant_options(&variant).with_budget(budget.to_budget());
     let sess = padfa::analysis::AnalysisSession::new(opts).with_jobs(jobs);
-    let (result, summaries) = padfa::analysis::analyze_program_session(&prog, &sess);
+    let (result, summaries) = match padfa::analysis::analyze_program_session(&prog, &sess) {
+        Ok(out) => out,
+        Err(e) => {
+            eprintln!("padfa: {path}: {e}");
+            exit(exit_code(&e))
+        }
+    };
     if show_summaries {
         let mut names: Vec<&String> = summaries.keys().collect();
         names.sort();
@@ -184,9 +264,284 @@ fn cmd_analyze(args: &[String]) {
         rt,
         variant
     );
+    if result.stats.degraded_procs > 0 {
+        println!(
+            "note: {} procedure(s) hit the work budget and were degraded to \
+             conservative (sequential) summaries",
+            result.stats.degraded_procs
+        );
+    }
     if show_stats {
         println!("\n== session statistics ==");
         print!("{}", result.stats);
+    }
+}
+
+/// Minimal JSON string escaping for the corpus ledger.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// One corpus-run outcome, serialized as a ledger line.
+struct CorpusRow {
+    name: String,
+    suite: &'static str,
+    outcome: &'static str,
+    ms: u128,
+    loops: usize,
+    parallel: usize,
+    steps: u64,
+    peak_disjuncts: usize,
+    peak_constraints: usize,
+    degraded_procs: u64,
+    limit_overflows: u64,
+    error: Option<String>,
+}
+
+impl CorpusRow {
+    fn to_jsonl(&self) -> String {
+        let mut line = format!(
+            "{{\"name\":\"{}\",\"suite\":\"{}\",\"outcome\":\"{}\",\"ms\":{},\
+             \"loops\":{},\"parallel\":{},\"steps\":{},\"peak_disjuncts\":{},\
+             \"peak_constraints\":{},\"degraded_procs\":{},\"limit_overflows\":{}",
+            json_escape(&self.name),
+            json_escape(self.suite),
+            self.outcome,
+            self.ms,
+            self.loops,
+            self.parallel,
+            self.steps,
+            self.peak_disjuncts,
+            self.peak_constraints,
+            self.degraded_procs,
+            self.limit_overflows,
+        );
+        if let Some(err) = &self.error {
+            line.push_str(&format!(",\"error\":\"{}\"", json_escape(err)));
+        }
+        line.push('}');
+        line
+    }
+}
+
+/// Names already present in an existing ledger (for `--resume`). The
+/// ledger is our own output format, so a plain prefix scan of each
+/// line's `"name":"..."` field is sufficient — no JSON parser needed.
+fn ledger_names(path: &str) -> Vec<String> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    text.lines()
+        .filter_map(|l| {
+            let rest = l.strip_prefix("{\"name\":\"")?;
+            Some(rest.split('"').next()?.to_string())
+        })
+        .collect()
+}
+
+fn cmd_corpus(args: &[String]) {
+    let mut variant = "predicated".to_string();
+    let mut jobs = 1usize;
+    let mut budget = BudgetFlags::default();
+    let mut ledger: Option<String> = None;
+    let mut resume = false;
+    let mut keep_going = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--variant" => variant = it.next().cloned().unwrap_or_else(|| usage()),
+            "--jobs" => {
+                jobs = it
+                    .next()
+                    .and_then(|w| w.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| usage())
+            }
+            "--max-steps" => {
+                budget.max_steps = Some(
+                    it.next()
+                        .and_then(|w| w.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            "--deadline-ms" => {
+                budget.deadline_ms = Some(
+                    it.next()
+                        .and_then(|w| w.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            "--strict" => budget.strict = true,
+            "--ledger" => ledger = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            "--resume" => resume = true,
+            "--keep-going" => keep_going = true,
+            _ => usage(),
+        }
+    }
+    let opts = variant_options(&variant).with_budget(budget.to_budget());
+
+    let done: Vec<String> = match (&ledger, resume) {
+        (Some(path), true) => ledger_names(path),
+        _ => Vec::new(),
+    };
+    let mut ledger_file = ledger.as_ref().map(|path| {
+        let f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(resume)
+            .truncate(!resume)
+            .write(true)
+            .open(path)
+            .unwrap_or_else(|e| {
+                eprintln!("padfa: cannot open ledger {path}: {e}");
+                exit(1)
+            });
+        std::io::BufWriter::new(f)
+    });
+
+    let corpus = padfa::suite::build_corpus();
+    let total = corpus.len();
+    let mut counts = [0usize; 4]; // ok, degraded, error, panic
+    let mut skipped = 0usize;
+    let mut first_failure: Option<i32> = None;
+    let started = std::time::Instant::now();
+    for bp in &corpus {
+        if done.iter().any(|n| n == bp.name) {
+            skipped += 1;
+            continue;
+        }
+        let t0 = std::time::Instant::now();
+        // Each program runs behind its own unwind boundary: a panicking
+        // program must not take the rest of the corpus down with it.
+        let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let sess = padfa::analysis::AnalysisSession::new(opts.clone()).with_jobs(jobs);
+            padfa::analysis::analyze_program_session(&bp.program, &sess)
+        }));
+        let ms = t0.elapsed().as_millis();
+        let row = match run {
+            Ok(Ok((result, _))) => {
+                let outcome = if result.stats.degraded_procs > 0 {
+                    "degraded"
+                } else {
+                    "ok"
+                };
+                CorpusRow {
+                    name: bp.name.to_string(),
+                    suite: bp.suite.label(),
+                    outcome,
+                    ms,
+                    loops: result.loops.len(),
+                    parallel: result.loops.iter().filter(|r| r.parallelized()).count(),
+                    steps: result.stats.budget_steps,
+                    peak_disjuncts: result.stats.peak_disjuncts,
+                    peak_constraints: result.stats.peak_constraints,
+                    degraded_procs: result.stats.degraded_procs,
+                    limit_overflows: result.stats.limit_overflows,
+                    error: None,
+                }
+            }
+            Ok(Err(e)) => CorpusRow {
+                name: bp.name.to_string(),
+                suite: bp.suite.label(),
+                outcome: "error",
+                ms,
+                loops: 0,
+                parallel: 0,
+                steps: 0,
+                peak_disjuncts: 0,
+                peak_constraints: 0,
+                degraded_procs: 0,
+                limit_overflows: 0,
+                error: Some(e.to_string()),
+            },
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".to_string());
+                CorpusRow {
+                    name: bp.name.to_string(),
+                    suite: bp.suite.label(),
+                    outcome: "panic",
+                    ms,
+                    loops: 0,
+                    parallel: 0,
+                    steps: 0,
+                    peak_disjuncts: 0,
+                    peak_constraints: 0,
+                    degraded_procs: 0,
+                    limit_overflows: 0,
+                    error: Some(msg),
+                }
+            }
+        };
+        let idx = match row.outcome {
+            "ok" => 0,
+            "degraded" => 1,
+            "error" => 2,
+            _ => 3,
+        };
+        counts[idx] += 1;
+        if idx >= 2 && first_failure.is_none() {
+            first_failure = Some(match &row.error {
+                _ if row.outcome == "panic" => 5,
+                Some(msg) if msg.contains("work budget exhausted") => 4,
+                _ => 5,
+            });
+        }
+        println!(
+            "{:<28} {:>9} {:>6} ms  {} loops, {} parallel{}",
+            row.name,
+            row.outcome,
+            row.ms,
+            row.loops,
+            row.parallel,
+            row.error
+                .as_deref()
+                .map(|e| format!("  ({e})"))
+                .unwrap_or_default()
+        );
+        if let Some(f) = &mut ledger_file {
+            if let Err(e) = writeln!(f, "{}", row.to_jsonl()) {
+                eprintln!("padfa: cannot write ledger: {e}");
+                exit(1)
+            }
+            // Flush per row so a crashed run leaves a usable ledger for
+            // `--resume`.
+            let _ = f.flush();
+        }
+        if idx >= 2 && !keep_going {
+            break;
+        }
+    }
+    println!(
+        "\ncorpus: {total} program(s): {} ok, {} degraded, {} error, {} panic{} in {:.1}s",
+        counts[0],
+        counts[1],
+        counts[2],
+        counts[3],
+        if skipped > 0 {
+            format!(" ({skipped} skipped via --resume)")
+        } else {
+            String::new()
+        },
+        started.elapsed().as_secs_f64()
+    );
+    match first_failure {
+        Some(code) if !keep_going => exit(code),
+        _ => {}
     }
 }
 
@@ -258,12 +613,19 @@ fn cmd_run(args: &[String]) {
             _ => rest.push(a.clone()),
         }
     }
-    let prog = load(&file.unwrap_or_else(|| usage()));
+    let path = file.unwrap_or_else(|| usage());
+    let prog = load(&path);
     let args = entry_args(&prog, &rest);
     let mut cfg = if seq || workers <= 1 {
         RunConfig::sequential()
     } else {
-        let result = analyze_program(&prog, &Options::predicated());
+        let result = match analyze_program(&prog, &Options::predicated()) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("padfa: {path}: {e}");
+                exit(exit_code(&e))
+            }
+        };
         RunConfig::parallel(workers, ExecPlan::from_analysis(&prog, &result))
     };
     cfg.fuel = fuel;
@@ -380,6 +742,7 @@ fn main() {
             "run" => cmd_run(rest),
             "elpd" => cmd_elpd(rest),
             "fmt" => cmd_fmt(rest),
+            "corpus" => cmd_corpus(rest),
             _ => usage(),
         },
         None => usage(),

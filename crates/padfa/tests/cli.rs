@@ -133,9 +133,11 @@ fn fmt_round_trips() {
 fn bad_file_fails_cleanly() {
     let f = temppath::write("proc broken( {");
     let out = padfa().arg("analyze").arg(&f.0).output().unwrap();
-    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(3), "parse errors exit with code 3");
     let err = String::from_utf8_lossy(&out.stderr);
-    assert!(err.contains("parse error"), "{err}");
+    // Diagnostics carry a file:line:col span for editor integration.
+    assert!(err.contains(&format!("{}:1:", f.0.display())), "{err}");
+    assert!(err.contains("error:"), "{err}");
 }
 
 #[test]
@@ -391,4 +393,110 @@ fn analyze_summaries_prints_dataflow_values() {
     assert!(text.contains("summary of main"), "{text}");
     assert!(text.contains("W="), "{text}");
     assert!(text.contains("E="), "{text}");
+}
+
+#[test]
+fn usage_errors_exit_2() {
+    let out = padfa().output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let out = padfa().arg("analyze").output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let out = padfa().arg("frobnicate").output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn unreadable_file_exits_3() {
+    let out = padfa()
+        .arg("analyze")
+        .arg("/nonexistent/padfa-no-such-file.mf")
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(3));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("cannot read"), "{err}");
+}
+
+#[test]
+fn strict_budget_exhaustion_exits_4() {
+    let f = demo_file();
+    let out = padfa()
+        .args(["analyze", "--max-steps", "1", "--strict"])
+        .arg(&f.0)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(4));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("work budget exhausted"), "{err}");
+}
+
+#[test]
+fn degrading_budget_still_succeeds_and_marks_loops() {
+    let f = demo_file();
+    let out = padfa()
+        .args(["analyze", "--max-steps", "1"])
+        .arg(&f.0)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("not-parallel (budget)"), "{text}");
+    assert!(text.contains("degraded to conservative"), "{text}");
+}
+
+#[test]
+fn corpus_classifies_every_program_and_resumes() {
+    let ledger = std::env::temp_dir().join(format!(
+        "padfa-cli-test-{}-corpus.jsonl",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&ledger);
+    let out = padfa()
+        .args(["corpus", "--max-steps", "1000", "--keep-going", "--ledger"])
+        .arg(&ledger)
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("0 error, 0 panic"), "{text}");
+
+    let lines: Vec<String> = std::fs::read_to_string(&ledger)
+        .unwrap()
+        .lines()
+        .map(str::to_string)
+        .collect();
+    assert!(!lines.is_empty());
+    for line in &lines {
+        assert!(line.starts_with("{\"name\":\""), "{line}");
+        assert!(
+            line.contains("\"outcome\":\"ok\"") || line.contains("\"outcome\":\"degraded\""),
+            "{line}"
+        );
+    }
+
+    // A resumed run skips everything already in the ledger and appends
+    // nothing new.
+    let out = padfa()
+        .args([
+            "corpus",
+            "--max-steps",
+            "1000",
+            "--keep-going",
+            "--resume",
+            "--ledger",
+        ])
+        .arg(&ledger)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("skipped via --resume"), "{text}");
+    let after: usize = std::fs::read_to_string(&ledger).unwrap().lines().count();
+    assert_eq!(after, lines.len());
+    let _ = std::fs::remove_file(&ledger);
 }

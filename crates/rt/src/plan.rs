@@ -162,7 +162,7 @@ mod tests {
         let src = "proc m(n: int) { array a[64, 64];
             for i = 1 to n { for j = 1 to n { a[i, j] = 1.0; } } }";
         let prog = parse_program(src).unwrap();
-        let res = analyze_program(&prog, &Options::predicated());
+        let res = analyze_program(&prog, &Options::predicated()).unwrap();
         let plan = ExecPlan::from_analysis(&prog, &res);
         assert_eq!(plan.len(), 1);
         assert!(plan.get(LoopId(0)).is_some(), "outer loop planned");
@@ -176,7 +176,7 @@ mod tests {
                 for j = 1 to n { a[i, j] = a[i - 1, j] + 1.0; }
             } }";
         let prog = parse_program(src).unwrap();
-        let res = analyze_program(&prog, &Options::predicated());
+        let res = analyze_program(&prog, &Options::predicated()).unwrap();
         let plan = ExecPlan::from_analysis(&prog, &res);
         assert!(plan.get(LoopId(0)).is_none(), "outer carries a dependence");
         assert!(plan.get(LoopId(1)).is_some(), "inner is parallel");
@@ -191,7 +191,7 @@ mod tests {
                 a[i, 2] = help[i + 1];
             } }";
         let prog = parse_program(src).unwrap();
-        let res = analyze_program(&prog, &Options::predicated());
+        let res = analyze_program(&prog, &Options::predicated()).unwrap();
         let plan = ExecPlan::from_analysis(&prog, &res);
         let test = plan
             .two_version_test(LoopId(0))
@@ -204,7 +204,7 @@ mod tests {
         let src = "proc m(n: int) { array a[64];
             for i = 1 to n { a[i] = 1.0; } }";
         let prog = parse_program(src).unwrap();
-        let res = analyze_program(&prog, &Options::predicated());
+        let res = analyze_program(&prog, &Options::predicated()).unwrap();
         let plan = ExecPlan::from_analysis(&prog, &res);
         // Loop 0 is unconditionally parallel: planned, but not
         // two-version.
@@ -227,7 +227,7 @@ mod tests {
         let src = "proc m(n: int) { array a[8]; var x: int;
             for i = 1 to n { read x; a[i] = 1.0; } }";
         let prog = parse_program(src).unwrap();
-        let res = analyze_program(&prog, &Options::predicated());
+        let res = analyze_program(&prog, &Options::predicated()).unwrap();
         let plan = ExecPlan::from_analysis(&prog, &res);
         assert!(plan.is_empty());
     }

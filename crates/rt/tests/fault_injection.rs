@@ -27,7 +27,7 @@ const TRIP: i64 = 64;
 const STMTS_PER_ITER: u64 = 11;
 
 fn matrix_plan(prog: &padfa_ir::Program) -> ExecPlan {
-    let result = analyze_program(prog, &Options::predicated());
+    let result = analyze_program(prog, &Options::predicated()).unwrap();
     let plan = ExecPlan::from_analysis(prog, &result);
     assert!(!plan.is_empty(), "matrix loop must be planned parallel");
     plan
@@ -221,7 +221,7 @@ fn pre_loop_state_is_transactional() {
 }
 
 fn matrix_plan_for(prog: &padfa_ir::Program) -> ExecPlan {
-    let result = analyze_program(prog, &Options::predicated());
+    let result = analyze_program(prog, &Options::predicated()).unwrap();
     ExecPlan::from_analysis(prog, &result)
 }
 

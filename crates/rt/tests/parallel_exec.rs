@@ -8,7 +8,7 @@ use padfa_rt::{run_main, ArgValue, ArrayStore, ExecPlan, RunConfig};
 fn diff_run(src: &str, args: Vec<ArgValue>, workers: usize) -> (f64, padfa_rt::RunResult) {
     let prog = parse_program(src).unwrap();
     let seq = run_main(&prog, args.clone(), &RunConfig::sequential()).unwrap();
-    let result = analyze_program(&prog, &Options::predicated());
+    let result = analyze_program(&prog, &Options::predicated()).unwrap();
     let plan = ExecPlan::from_analysis(&prog, &result);
     let par = run_main(&prog, args, &RunConfig::parallel(workers, plan)).unwrap();
     (seq.max_abs_diff(&par), par)
@@ -82,7 +82,7 @@ fn sum_reduction_approximately_equal() {
         ArgValue::Array(ArrayStore::from_f64(data)),
     ];
     let seq = run_main(&prog, args.clone(), &RunConfig::sequential()).unwrap();
-    let result = analyze_program(&prog, &Options::predicated());
+    let result = analyze_program(&prog, &Options::predicated()).unwrap();
     let plan = ExecPlan::from_analysis(&prog, &result);
     let par = run_main(&prog, args, &RunConfig::parallel(8, plan)).unwrap();
     let s1 = seq.scalar("s").unwrap().as_f64();
@@ -108,7 +108,7 @@ fn min_max_reductions_exact() {
         ArgValue::Array(ArrayStore::from_f64(data)),
     ];
     let seq = run_main(&prog, args.clone(), &RunConfig::sequential()).unwrap();
-    let result = analyze_program(&prog, &Options::predicated());
+    let result = analyze_program(&prog, &Options::predicated()).unwrap();
     let plan = ExecPlan::from_analysis(&prog, &result);
     let par = run_main(&prog, args, &RunConfig::parallel(8, plan)).unwrap();
     assert_eq!(
@@ -131,7 +131,7 @@ fn two_version_loop_takes_parallel_path_when_safe() {
             a[i, 2] = help[i + 1];
         } }";
     let prog = parse_program(src).unwrap();
-    let result = analyze_program(&prog, &Options::predicated());
+    let result = analyze_program(&prog, &Options::predicated()).unwrap();
     let plan = ExecPlan::from_analysis(&prog, &result);
     assert_eq!(plan.len(), 1, "two-version loop must be planned");
 
@@ -179,7 +179,7 @@ fn worker_counts_all_agree() {
          } }";
     let prog = parse_program(src).unwrap();
     let seq = run_main(&prog, vec![ArgValue::Int(512)], &RunConfig::sequential()).unwrap();
-    let result = analyze_program(&prog, &Options::predicated());
+    let result = analyze_program(&prog, &Options::predicated()).unwrap();
     for workers in [2, 3, 4, 7, 8] {
         let plan = ExecPlan::from_analysis(&prog, &result);
         let par = run_main(
@@ -227,7 +227,7 @@ fn chunked_scheduling_matches_block_and_sequential() {
     let prog = parse_program(src).unwrap();
     let args = vec![ArgValue::Int(331)];
     let seq = run_main(&prog, args.clone(), &RunConfig::sequential()).unwrap();
-    let result = analyze_program(&prog, &Options::predicated());
+    let result = analyze_program(&prog, &Options::predicated()).unwrap();
     for chunk in [1usize, 2, 7, 50, 1000] {
         for workers in [2usize, 3, 8] {
             let plan = ExecPlan::from_analysis(&prog, &result);
@@ -258,7 +258,7 @@ fn chunked_overlapping_privatized_writes() {
     let prog = parse_program(src).unwrap();
     let args = vec![ArgValue::Int(97)];
     let seq = run_main(&prog, args.clone(), &RunConfig::sequential()).unwrap();
-    let result = analyze_program(&prog, &Options::predicated());
+    let result = analyze_program(&prog, &Options::predicated()).unwrap();
     for chunk in [1usize, 3, 10] {
         let plan = ExecPlan::from_analysis(&prog, &result);
         let par = run_main(&prog, args.clone(), &RunConfig::chunked(4, plan, chunk)).unwrap();
@@ -278,7 +278,7 @@ fn chunked_reduction() {
         ArgValue::Array(ArrayStore::from_f64(data)),
     ];
     let seq = run_main(&prog, args.clone(), &RunConfig::sequential()).unwrap();
-    let result = analyze_program(&prog, &Options::predicated());
+    let result = analyze_program(&prog, &Options::predicated()).unwrap();
     let plan = ExecPlan::from_analysis(&prog, &result);
     let par = run_main(&prog, args, &RunConfig::chunked(4, plan, 16)).unwrap();
     let (a, b) = (
@@ -302,7 +302,7 @@ fn downward_loops_execute_correctly() {
         2.0,
         "last iteration is i = 1"
     );
-    let result = analyze_program(&prog, &Options::predicated());
+    let result = analyze_program(&prog, &Options::predicated()).unwrap();
     for (workers, chunk) in [(4usize, None), (3, Some(5usize))] {
         let plan = ExecPlan::from_analysis(&prog, &result);
         let cfg = match chunk {
@@ -330,7 +330,7 @@ fn downward_strided_loop() {
     assert_eq!(a[99], 150.0);
     assert_eq!(a[96], 97.0 * 1.5);
     assert_eq!(a[98], 0.0);
-    let result = analyze_program(&prog, &Options::predicated());
+    let result = analyze_program(&prog, &Options::predicated()).unwrap();
     let plan = ExecPlan::from_analysis(&prog, &result);
     let par = run_main(&prog, args, &RunConfig::parallel(4, plan)).unwrap();
     assert_eq!(seq.max_abs_diff(&par), 0.0);
@@ -379,7 +379,7 @@ fn simulated_time_model_shape() {
     let args = vec![ArgValue::Int(2000)];
     let seq = run_main(&prog, args.clone(), &RunConfig::sequential()).unwrap();
     assert_eq!(seq.sim_time, seq.total_work);
-    let result = analyze_program(&prog, &Options::predicated());
+    let result = analyze_program(&prog, &Options::predicated()).unwrap();
     let mut last = u64::MAX;
     for workers in [2usize, 4, 8] {
         let plan = ExecPlan::from_analysis(&prog, &result);
@@ -397,7 +397,7 @@ fn chunk_larger_than_trip_degenerates_to_one_block() {
     let prog = parse_program(src).unwrap();
     let args = vec![ArgValue::Int(10)];
     let seq = run_main(&prog, args.clone(), &RunConfig::sequential()).unwrap();
-    let result = analyze_program(&prog, &Options::predicated());
+    let result = analyze_program(&prog, &Options::predicated()).unwrap();
     let plan = ExecPlan::from_analysis(&prog, &result);
     let par = run_main(&prog, args, &RunConfig::chunked(4, plan, 1000)).unwrap();
     assert_eq!(seq.max_abs_diff(&par), 0.0);
@@ -433,7 +433,7 @@ fn printed_output_preserved_outside_parallel_loops() {
          print n * 2; }";
     let prog = parse_program(src).unwrap();
     let args = vec![ArgValue::Int(50)];
-    let result = analyze_program(&prog, &Options::predicated());
+    let result = analyze_program(&prog, &Options::predicated()).unwrap();
     let plan = ExecPlan::from_analysis(&prog, &result);
     let par = run_main(&prog, args, &RunConfig::parallel(4, plan)).unwrap();
     assert_eq!(par.printed.len(), 2);

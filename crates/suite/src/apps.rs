@@ -156,7 +156,7 @@ mod tests {
 
     fn check_parallel_matches(prog: &Program, args: Vec<ArgValue>, tol: f64) {
         let seq = run_main(prog, args.clone(), &RunConfig::sequential()).unwrap();
-        let result = analyze_program(prog, &Options::predicated());
+        let result = analyze_program(prog, &Options::predicated()).unwrap();
         let plan = ExecPlan::from_analysis(prog, &result);
         let par = run_main(prog, args, &RunConfig::parallel(4, plan)).unwrap();
         let d = seq.max_abs_diff(&par);
@@ -166,7 +166,7 @@ mod tests {
     #[test]
     fn jacobi_analysis_shape() {
         let (prog, args) = jacobi(16, 10);
-        let r = analyze_program(&prog, &Options::predicated());
+        let r = analyze_program(&prog, &Options::predicated()).unwrap();
         assert!(
             r.by_label("time").unwrap().not_candidate.is_some(),
             "time loop has an internal exit"
@@ -195,7 +195,7 @@ mod tests {
     #[test]
     fn particle_push_parallel_loops() {
         let (prog, args) = particle_push(128, 4);
-        let r = analyze_program(&prog, &Options::predicated());
+        let r = analyze_program(&prog, &Options::predicated()).unwrap();
         assert!(r.by_label("force").unwrap().outcome.is_parallel());
         assert!(r.by_label("push").unwrap().outcome.is_parallel());
         // The time loop carries flow dependences through pos/vel.
@@ -215,7 +215,7 @@ mod tests {
         assert!(matches!(err, ExecError::FuelExhausted), "got {err:?}");
         // Parallel path: the hot loop is planned parallel (reduction),
         // so the budget must bite inside the worker pool too.
-        let r = analyze_program(&prog, &Options::predicated());
+        let r = analyze_program(&prog, &Options::predicated()).unwrap();
         assert!(r.by_label("hot").unwrap().outcome.is_parallelizable());
         let plan = ExecPlan::from_analysis(&prog, &r);
         let cfg = RunConfig::parallel(4, plan).with_fuel(10_000);
@@ -230,7 +230,7 @@ mod tests {
     #[test]
     fn histogram_reduction_and_elpd() {
         let (prog, args) = histogram(64, 8);
-        let r = analyze_program(&prog, &Options::predicated());
+        let r = analyze_program(&prog, &Options::predicated()).unwrap();
         let hist = r.by_label("hist").unwrap();
         assert!(
             hist.outcome.is_parallelizable(),

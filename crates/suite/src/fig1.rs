@@ -111,6 +111,7 @@ mod tests {
 
     fn outer(prog: &Program, opts: &Options) -> Outcome {
         analyze_program(prog, opts)
+            .unwrap()
             .by_label("outer")
             .expect("outer loop")
             .outcome

@@ -166,8 +166,8 @@ mod tests {
     fn all_kernels_parse_and_split_variants() {
         for spec in KERNELS {
             let prog = kernel(spec.name, 32, 16);
-            let base = analyze_program(&prog, &Options::base());
-            let pred = analyze_program(&prog, &Options::predicated());
+            let base = analyze_program(&prog, &Options::base()).unwrap();
+            let pred = analyze_program(&prog, &Options::predicated()).unwrap();
             let hot_base = &base.by_label("hot").unwrap().outcome;
             let hot_pred = &pred.by_label("hot").unwrap().outcome;
             assert!(
@@ -190,7 +190,7 @@ mod tests {
             let args = kernel_args(spec.name, 16);
             let seq = run_main(&prog, args.clone(), &RunConfig::sequential()).unwrap();
             for opts in [Options::base(), Options::predicated()] {
-                let res = analyze_program(&prog, &opts);
+                let res = analyze_program(&prog, &opts).unwrap();
                 let plan = ExecPlan::from_analysis(&prog, &res);
                 let par = run_main(&prog, args.clone(), &RunConfig::parallel(4, plan)).unwrap();
                 assert!(
@@ -208,7 +208,7 @@ mod tests {
         for spec in KERNELS {
             let prog = kernel(spec.name, 16, 8);
             let args = kernel_args(spec.name, 16);
-            let res = analyze_program(&prog, &Options::predicated());
+            let res = analyze_program(&prog, &Options::predicated()).unwrap();
             let plan = ExecPlan::from_analysis(&prog, &res);
             let par = run_main(&prog, args, &RunConfig::parallel(4, plan)).unwrap();
             assert!(

@@ -57,9 +57,9 @@ fn parallelized_ids(result: &AnalysisResult) -> Vec<LoopId> {
 /// inspection is performed (it executes the program once per remaining
 /// loop).
 pub fn program_row(bp: &BenchProgram, run_elpd: bool) -> ProgramRow {
-    let base = analyze_program(&bp.program, &Options::base());
-    let guarded = analyze_program(&bp.program, &Options::guarded());
-    let pred = analyze_program(&bp.program, &Options::predicated());
+    let base = analyze_program(&bp.program, &Options::base()).expect("analysis failed");
+    let guarded = analyze_program(&bp.program, &Options::guarded()).expect("analysis failed");
+    let pred = analyze_program(&bp.program, &Options::predicated()).expect("analysis failed");
 
     let base_ids = parallelized_ids(&base);
     let pred_ids = parallelized_ids(&pred);
@@ -178,15 +178,15 @@ pub fn verify_expectations(bp: &BenchProgram) -> Result<(), String> {
     let results = [
         (
             Variant::Base,
-            analyze_program(&bp.program, &Options::base()),
+            analyze_program(&bp.program, &Options::base()).expect("analysis failed"),
         ),
         (
             Variant::Guarded,
-            analyze_program(&bp.program, &Options::guarded()),
+            analyze_program(&bp.program, &Options::guarded()).expect("analysis failed"),
         ),
         (
             Variant::Predicated,
-            analyze_program(&bp.program, &Options::predicated()),
+            analyze_program(&bp.program, &Options::predicated()).expect("analysis failed"),
         ),
     ];
     let mut errors = Vec::new();

@@ -9,7 +9,7 @@ use padfa_suite::corpus::build_corpus;
 /// program in canonical order.
 fn render(prog: &padfa_ir::Program, jobs: usize) -> String {
     let sess = AnalysisSession::new(Options::predicated()).with_jobs(jobs);
-    let (result, summaries) = analyze_program_session(prog, &sess);
+    let (result, summaries) = analyze_program_session(prog, &sess).unwrap();
     let mut out = String::new();
     for report in &result.loops {
         out.push_str(&format!("{report}\n"));

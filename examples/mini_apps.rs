@@ -22,7 +22,7 @@ fn main() {
 
     for (name, prog, args) in cases {
         println!("== {name}");
-        let result = analyze_program(&prog, &Options::predicated());
+        let result = analyze_program(&prog, &Options::predicated()).expect("analysis failed");
         for report in &result.loops {
             if report.label.is_some() {
                 println!("  {report}");

@@ -42,7 +42,7 @@ fn main() {
             ("guarded", Options::guarded()),
             ("predicated", Options::predicated()),
         ] {
-            let result = analyze_program(&prog, &opts);
+            let result = analyze_program(&prog, &opts).expect("analysis failed");
             let outer = result.by_label("outer").expect("outer loop");
             let mut extras = Vec::new();
             if !outer.privatized.is_empty() {

@@ -22,7 +22,7 @@ fn main() {
         }
     }";
     let prog = parse_program(src).unwrap();
-    let result = analyze_program(&prog, &Options::predicated());
+    let result = analyze_program(&prog, &Options::predicated()).expect("analysis failed");
     let report = result.by_label("pipeline").unwrap();
 
     println!("outcome: {}", report.outcome);

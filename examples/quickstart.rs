@@ -32,7 +32,7 @@ fn main() {
         ("guarded      ", Options::guarded()),
         ("predicated   ", Options::predicated()),
     ] {
-        let result = analyze_program(&prog, &opts);
+        let result = analyze_program(&prog, &opts).expect("analysis failed");
         let describe = |label: &str| {
             result
                 .by_label(label)
@@ -49,7 +49,7 @@ fn main() {
 
     // Execute with the predicated plan at 4 workers; x = 3 keeps the
     // two-version test on its parallel path.
-    let result = analyze_program(&prog, &Options::predicated());
+    let result = analyze_program(&prog, &Options::predicated()).expect("analysis failed");
     let plan = ExecPlan::from_analysis(&prog, &result);
     let args = vec![ArgValue::Int(100), ArgValue::Int(3)];
     let seq = run_main(&prog, args.clone(), &RunConfig::sequential()).expect("sequential run");

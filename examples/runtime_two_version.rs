@@ -8,7 +8,7 @@ use padfa::prelude::*;
 
 fn main() {
     let prog = padfa::suite::fig1::fig1b();
-    let result = analyze_program(&prog, &Options::predicated());
+    let result = analyze_program(&prog, &Options::predicated()).expect("analysis failed");
     let hot = result.by_label("outer").expect("outer loop");
     let Outcome::ParallelIf(test) = &hot.outcome else {
         panic!("expected a two-version loop, got {}", hot.outcome);

@@ -14,7 +14,7 @@ pub fn assert_parallel_matches(
 ) -> padfa::rt::RunResult {
     let prog = parse_program(src).unwrap_or_else(|e| panic!("parse error: {e}\n{src}"));
     let seq = run_main(&prog, args.clone(), &RunConfig::sequential()).expect("sequential run");
-    let result = analyze_program(&prog, opts);
+    let result = analyze_program(&prog, opts).expect("analysis failed");
     let plan = ExecPlan::from_analysis(&prog, &result);
     let par = run_main(&prog, args, &RunConfig::parallel(workers, plan)).expect("parallel run");
     let diff = seq.max_abs_diff(&par);
@@ -29,6 +29,7 @@ pub fn assert_parallel_matches(
 pub fn outcome_of(src: &str, label: &str, opts: &Options) -> Outcome {
     let prog = parse_program(src).unwrap_or_else(|e| panic!("parse error: {e}"));
     analyze_program(&prog, opts)
+        .expect("analysis failed")
         .by_label(label)
         .unwrap_or_else(|| panic!("no loop labeled {label}"))
         .outcome

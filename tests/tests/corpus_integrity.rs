@@ -23,7 +23,7 @@ fn expectations_hold_on_representative_programs() {
 fn elpd_agrees_with_expectations_on_small_programs() {
     for name in ["tomcatv", "buk", "cgm", "addl"] {
         let bp = build_program(name).expect("program exists");
-        let base = analyze_program(&bp.program, &Options::base());
+        let base = analyze_program(&bp.program, &Options::base()).unwrap();
         for h in &bp.hard {
             let report = base.by_label(&h.label).expect("labeled loop");
             if report.parallelized() {
@@ -53,7 +53,7 @@ fn corpus_programs_execute_cleanly() {
         let bp = build_program(name).expect("program exists");
         let seq = run_main(&bp.program, bp.args.clone(), &RunConfig::sequential())
             .unwrap_or_else(|e| panic!("{name}: sequential run failed: {e}"));
-        let result = analyze_program(&bp.program, &Options::predicated());
+        let result = analyze_program(&bp.program, &Options::predicated()).unwrap();
         let plan = ExecPlan::from_analysis(&bp.program, &result);
         let par = run_main(&bp.program, bp.args.clone(), &RunConfig::parallel(4, plan))
             .unwrap_or_else(|e| panic!("{name}: parallel run failed: {e}"));
@@ -67,7 +67,7 @@ fn corpus_programs_execute_cleanly() {
 fn hard_loop_mechanisms_recorded() {
     // Loops expected to need embedding/extraction must have the flags.
     let bp = build_program("qcd").expect("program exists");
-    let pred = analyze_program(&bp.program, &Options::predicated());
+    let pred = analyze_program(&bp.program, &Options::predicated()).unwrap();
     for h in &bp.hard {
         let report = pred.by_label(&h.label).expect("labeled loop");
         match h.expect {

@@ -144,7 +144,7 @@ fn deep_nest_single_level_parallelism() {
         }
     }";
     let prog = parse_program(src).unwrap();
-    let result = analyze_program(&prog, &Options::predicated());
+    let result = analyze_program(&prog, &Options::predicated()).unwrap();
     assert!(result.loops.iter().all(|l| l.outcome.is_parallelizable()));
     let plan = ExecPlan::from_analysis(&prog, &result);
     assert_eq!(plan.len(), 1, "only the outermost loop is planned");

@@ -28,9 +28,9 @@ fn corpus_matches_paper_aggregates() {
     let mut elpd_only = 0usize;
 
     for bp in &corpus {
-        let base = analyze_program(&bp.program, &Options::base());
-        let guarded = analyze_program(&bp.program, &Options::guarded());
-        let pred = analyze_program(&bp.program, &Options::predicated());
+        let base = analyze_program(&bp.program, &Options::base()).unwrap();
+        let guarded = analyze_program(&bp.program, &Options::guarded()).unwrap();
+        let pred = analyze_program(&bp.program, &Options::predicated()).unwrap();
         total_loops += base.loops.len();
         base_par += base.num_parallelized();
         guarded_par += guarded.num_parallelized();
@@ -112,7 +112,7 @@ fn runtime_tests_are_low_cost() {
     let opts = Options::predicated();
     let mut seen = 0;
     for bp in &corpus {
-        let result = analyze_program(&bp.program, &opts);
+        let result = analyze_program(&bp.program, &opts).unwrap();
         for l in &result.loops {
             if let padfa_core::Outcome::ParallelIf(t) = &l.outcome {
                 seen += 1;
@@ -141,9 +141,9 @@ fn corpus_is_deterministic_golden_numbers() {
     let mut pred = 0usize;
     let mut rt = 0usize;
     for bp in &corpus {
-        let b = analyze_program(&bp.program, &Options::base());
-        let g = analyze_program(&bp.program, &Options::guarded());
-        let p = analyze_program(&bp.program, &Options::predicated());
+        let b = analyze_program(&bp.program, &Options::base()).unwrap();
+        let g = analyze_program(&bp.program, &Options::guarded()).unwrap();
+        let p = analyze_program(&bp.program, &Options::predicated()).unwrap();
         total += b.loops.len();
         base += b.num_parallelized();
         guarded += g.num_parallelized();

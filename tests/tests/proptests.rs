@@ -294,7 +294,7 @@ fn random_loop_programs_execute_identically() {
         let prog = parse_program(&src).unwrap();
         let args = vec![ArgValue::Int(64), ArgValue::Int(x)];
         let seq = run_main(&prog, args.clone(), &RunConfig::sequential()).unwrap();
-        let result = analyze_program(&prog, &Options::predicated());
+        let result = analyze_program(&prog, &Options::predicated()).unwrap();
         let plan = ExecPlan::from_analysis(&prog, &result);
         let par = run_main(&prog, args, &RunConfig::parallel(4, plan)).unwrap();
         assert!(seq.max_abs_diff(&par) <= 1e-9, "diverged on:\n{}", src);

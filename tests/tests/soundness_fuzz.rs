@@ -23,7 +23,7 @@ fn all_variants_match_sequential_on_random_programs() {
             .unwrap_or_else(|e| panic!("seed {seed}: sequential run failed: {e}\n{prog}"));
         for opts in [Options::base(), Options::guarded(), Options::predicated()] {
             let variant = opts.variant;
-            let result = analyze_program(&prog, &opts);
+            let result = analyze_program(&prog, &opts).unwrap();
             let plan = ExecPlan::from_analysis(&prog, &result);
             planned_parallel += plan.len() as u64;
             let par = run_main(&prog, workload(), &RunConfig::parallel(4, plan))
@@ -46,7 +46,7 @@ fn chunked_schedules_match_on_random_programs() {
     for seed in 0..SEEDS / 2 {
         let prog = random_program(seed, GenConfig::default());
         let seq = run_main(&prog, workload(), &RunConfig::sequential()).unwrap();
-        let result = analyze_program(&prog, &Options::predicated());
+        let result = analyze_program(&prog, &Options::predicated()).unwrap();
         for chunk in [1usize, 3] {
             let plan = ExecPlan::from_analysis(&prog, &result);
             let par = run_main(&prog, workload(), &RunConfig::chunked(3, plan, chunk))
@@ -66,7 +66,7 @@ fn inspector_matches_on_random_programs() {
         let prog = random_program(seed, GenConfig::default());
         let seq = run_main(&prog, workload(), &RunConfig::sequential()).unwrap();
         // Inspect every outermost loop that has no compile-time plan.
-        let result = analyze_program(&prog, &Options::predicated());
+        let result = analyze_program(&prog, &Options::predicated()).unwrap();
         let plan = ExecPlan::from_analysis(&prog, &result);
         let parents = padfa::ir::visit::loop_parents(&prog);
         let mut inspect = Vec::new();
@@ -90,8 +90,8 @@ fn inspector_matches_on_random_programs() {
 fn analysis_is_deterministic_on_random_programs() {
     for seed in 0..SEEDS / 3 {
         let prog = random_program(seed, GenConfig::default());
-        let a = analyze_program(&prog, &Options::predicated());
-        let b = analyze_program(&prog, &Options::predicated());
+        let a = analyze_program(&prog, &Options::predicated()).unwrap();
+        let b = analyze_program(&prog, &Options::predicated()).unwrap();
         assert_eq!(a.loops.len(), b.loops.len());
         for (x, y) in a.loops.iter().zip(&b.loops) {
             assert_eq!(x, y, "seed {seed}: non-deterministic report");
