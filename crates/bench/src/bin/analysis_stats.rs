@@ -56,6 +56,42 @@ fn json_stats(s: &StatsSnapshot) -> String {
     o
 }
 
+/// Current git revision (short; `+dirty` when the tree is modified), or
+/// `"unknown"` outside a checkout. Stamped into the JSON so benchmark
+/// trajectories stay attributable to a revision.
+fn git_rev() -> String {
+    let out = |args: &[&str]| {
+        std::process::Command::new("git")
+            .args(args)
+            .output()
+            .ok()
+            .filter(|o| o.status.success())
+            .and_then(|o| String::from_utf8(o.stdout).ok())
+            .map(|s| s.trim().to_string())
+    };
+    match out(&["rev-parse", "--short=12", "HEAD"]).filter(|s| !s.is_empty()) {
+        Some(rev) => {
+            if out(&["status", "--porcelain"]).map(|s| !s.is_empty()) == Some(true) {
+                format!("{rev}+dirty")
+            } else {
+                rev
+            }
+        }
+        None => "unknown".to_string(),
+    }
+}
+
+fn host_info() -> String {
+    let host = std::env::var("HOSTNAME")
+        .or_else(|_| std::env::var("HOST"))
+        .unwrap_or_else(|_| "unknown-host".to_string());
+    format!(
+        "{host} ({} {})",
+        std::env::consts::OS,
+        std::env::consts::ARCH
+    )
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let flag = |name: &str| {
@@ -97,6 +133,9 @@ fn main() {
 
     let mut json = String::new();
     json.push_str("{\n");
+    json.push_str("  \"schema_version\": 2,\n");
+    let _ = writeln!(json, "  \"git_rev\": \"{}\",", git_rev());
+    let _ = writeln!(json, "  \"host\": \"{}\",", host_info());
     let _ = writeln!(json, "  \"jobs\": {jobs},");
     let _ = writeln!(json, "  \"runs\": {runs},");
     json.push_str("  \"programs\": [\n");

@@ -9,10 +9,12 @@ use crate::interproc::{
     call_order, conservative_summary, degraded_summary, translate_call, CallOrder,
 };
 use crate::options::Options;
+use crate::provenance::{BudgetEvent, Mechanism, Provenance};
 use crate::region::access_section;
 use crate::report::{AnalysisResult, LoopReport, Mechanisms, NotCandidateReason, Outcome};
 use crate::session::AnalysisSession;
 use crate::summary::Summary;
+use crate::trace;
 use padfa_ir::affine;
 use padfa_ir::ast::{Block, BoolExpr, Expr, Loop, Procedure, Program, Stmt};
 use padfa_omega::{Constraint, Disjunction, LinExpr, System, Var};
@@ -80,12 +82,17 @@ pub fn analyze_program_session(
     prog: &Program,
     sess: &AnalysisSession,
 ) -> Result<(AnalysisResult, HashMap<String, Arc<Summary>>), AnalysisError> {
-    sess.pre_intern(prog);
+    {
+        let _s = trace::span("pre_intern", "driver");
+        sess.pre_intern(prog);
+    }
     let co = call_order(prog);
     let mut proc_summaries: HashMap<String, Arc<Summary>> = HashMap::new();
     let mut reports: Vec<LoopReport> = Vec::new();
     let jobs = sess.jobs();
-    for level in &co.levels {
+    for (level_no, level) in co.levels.iter().enumerate() {
+        let mut level_span = trace::span(format!("level{level_no}"), "driver");
+        level_span.arg("procs", level.len().to_string());
         let mut done: Vec<ProcOutcome> = if jobs <= 1 || level.len() <= 1 {
             level
                 .iter()
@@ -158,6 +165,7 @@ fn analyze_proc(
 ) -> ProcOutcome {
     let proc = &prog.procedures[idx];
     budget::install(&sess.opts.budget);
+    let mut proc_span = trace::span(format!("proc {}", proc.name), "summarize");
     let outcome = catch_unwind(AssertUnwindSafe(|| {
         let mut az = Analyzer {
             prog,
@@ -174,9 +182,13 @@ fn analyze_proc(
     }));
     let meter = budget::take();
     sess.note_proc_meter(&meter);
+    proc_span.arg("steps", meter.steps.to_string());
+    drop(proc_span);
+    trace::flush_lattice_batch();
     let res = match outcome {
         Ok((summary, reports)) => Ok((Arc::new(summary), reports)),
         Err(payload) if payload.downcast_ref::<budget::Exhausted>().is_some() => {
+            trace::instant(format!("budget-exhausted {}", proc.name), "budget");
             match sess.opts.budget.on_exhausted {
                 OnExhausted::Error => Err(AnalysisError::BudgetExhausted {
                     proc: proc.name.clone(),
@@ -184,7 +196,10 @@ fn analyze_proc(
                 }),
                 OnExhausted::Degrade => {
                     sess.note_degraded();
-                    Ok((Arc::new(degraded_summary(proc)), budget_reports(proc)))
+                    Ok((
+                        Arc::new(degraded_summary(proc)),
+                        budget_reports(proc, meter.steps),
+                    ))
                 }
             }
         }
@@ -208,9 +223,11 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
 
 /// Reports for every loop of a budget-degraded procedure: sequential,
 /// marked `not-parallel (budget)`. The degraded summary makes no claim
-/// about these loops, so none may be parallelized.
-fn budget_reports(proc: &Procedure) -> Vec<LoopReport> {
-    fn walk(b: &Block, depth: usize, proc: &str, out: &mut Vec<LoopReport>) {
+/// about these loops, so none may be parallelized. Each report's
+/// provenance carries the [`BudgetEvent`] (with the step count at
+/// exhaustion) as its concrete blocker.
+fn budget_reports(proc: &Procedure, steps: u64) -> Vec<LoopReport> {
+    fn walk(b: &Block, depth: usize, proc: &str, steps: u64, out: &mut Vec<LoopReport>) {
         for s in &b.stmts {
             match s {
                 Stmt::For(l) => {
@@ -225,21 +242,25 @@ fn budget_reports(proc: &Procedure) -> Vec<LoopReport> {
                         privatized_scalars: Vec::new(),
                         reductions: Vec::new(),
                         mechanisms: Mechanisms::default(),
+                        provenance: Provenance {
+                            budget: Some(BudgetEvent { steps }),
+                            ..Provenance::default()
+                        },
                     });
-                    walk(&l.body, depth + 1, proc, out);
+                    walk(&l.body, depth + 1, proc, steps, out);
                 }
                 Stmt::If {
                     then_blk, else_blk, ..
                 } => {
-                    walk(then_blk, depth, proc, out);
-                    walk(else_blk, depth, proc, out);
+                    walk(then_blk, depth, proc, steps, out);
+                    walk(else_blk, depth, proc, steps, out);
                 }
                 _ => {}
             }
         }
     }
     let mut out = Vec::new();
-    walk(&proc.body, 0, &proc.name, &mut out);
+    walk(&proc.body, 0, &proc.name, steps, &mut out);
     out
 }
 
@@ -342,6 +363,10 @@ impl<'a> Analyzer<'a> {
     fn handle_loop(&mut self, proc: &Procedure, l: &Loop, depth: usize) -> Summary {
         let sess = self.sess;
         let opts = &sess.opts;
+        let _loop_span = trace::span(
+            l.label.clone().unwrap_or_else(|| format!("L{}", l.id.0)),
+            "loop",
+        );
 
         // Bound expressions are read at loop entry.
         let mut bound_reads = Summary::empty();
@@ -349,6 +374,12 @@ impl<'a> Analyzer<'a> {
         add_expr_reads(&mut bound_reads, proc, &l.hi);
 
         let body = self.analyze_block(proc, &l.body, depth + 1);
+
+        // Attribution baselines, taken *after* the body so inner loops
+        // self-attribute their own cap-hits. Each procedure runs on
+        // exactly one worker thread, so thread-local deltas are exact.
+        let limit_base = padfa_omega::limit_stats::thread_overflows();
+        let lat_base = sess.lat_overflow_for(&proc.name);
 
         // Iteration-space context.
         let lo_lin = affine::to_linexpr(&l.lo);
@@ -387,8 +418,11 @@ impl<'a> Analyzer<'a> {
         let writes2 = body.scalar_writes.clone();
         let is_symbolic = move |v: Var| !v.is_synthetic() && v != loop_var && !writes2.contains(&v);
 
-        // Sanitize and embed the per-iteration summary.
+        // Sanitize and embed the per-iteration summary. Embedding is
+        // attributed per array (a fresh `Mechanisms` per array) so the
+        // provenance tree can name which arrays had guards embedded.
         let mut mechanisms = Mechanisms::default();
+        let mut embedded_arrays: Vec<Var> = Vec::new();
         let mut iter = Summary::empty();
         iter.scalars = body.scalars.clone();
         iter.scalar_writes = body.scalar_writes.clone();
@@ -396,12 +430,17 @@ impl<'a> Analyzer<'a> {
         iter.has_exit = body.has_exit;
         for (&a, s) in &body.arrays {
             let sanitize = |c: &PredComponent, may: bool| c.degrade_unstable(&unstable, may);
+            let mut amech = Mechanisms::default();
             let mut arr = crate::summary::ArraySummary {
-                w: embed_index_preds(&sanitize(&s.w, false), l.var, false, sess, &mut mechanisms),
-                mw: embed_index_preds(&sanitize(&s.mw, true), l.var, true, sess, &mut mechanisms),
-                r: embed_index_preds(&sanitize(&s.r, true), l.var, true, sess, &mut mechanisms),
-                e: embed_index_preds(&sanitize(&s.e, true), l.var, true, sess, &mut mechanisms),
+                w: embed_index_preds(&sanitize(&s.w, false), l.var, false, sess, &mut amech),
+                mw: embed_index_preds(&sanitize(&s.mw, true), l.var, true, sess, &mut amech),
+                r: embed_index_preds(&sanitize(&s.r, true), l.var, true, sess, &mut amech),
+                e: embed_index_preds(&sanitize(&s.e, true), l.var, true, sess, &mut amech),
             };
+            if amech.embedding {
+                mechanisms.embedding = true;
+                embedded_arrays.push(a);
+            }
             arr.w.normalize(opts.max_pieces, false, sess);
             arr.mw.normalize(opts.max_pieces, true, sess);
             arr.r.normalize(opts.max_pieces, true, sess);
@@ -417,6 +456,8 @@ impl<'a> Analyzer<'a> {
         mechanisms.embedding |= decision.mechanisms.embedding;
         mechanisms.extraction |= decision.mechanisms.extraction;
         mechanisms.runtime_test |= decision.mechanisms.runtime_test;
+        let mut prov = decision.provenance;
+        prov.embedded = embedded_arrays;
 
         let not_candidate = if body.has_io {
             Some(NotCandidateReason::ReadIo)
@@ -425,18 +466,7 @@ impl<'a> Analyzer<'a> {
         } else {
             None
         };
-        self.reports.push(LoopReport {
-            id: l.id,
-            label: l.label.clone(),
-            proc: proc.name.clone(),
-            depth,
-            not_candidate,
-            outcome: decision.outcome,
-            privatized: decision.privatized,
-            privatized_scalars: decision.privatized_scalars,
-            reductions: decision.reductions,
-            mechanisms,
-        });
+        let outcome = decision.outcome;
 
         // ---- Loop-level summary for the enclosing region. ----
         let with_ctx = |c: &PredComponent| -> PredComponent {
@@ -547,9 +577,7 @@ impl<'a> Analyzer<'a> {
                 &mut fired,
             );
             if fired {
-                if let Some(rep) = self.reports.last_mut() {
-                    rep.mechanisms.extraction = true;
-                }
+                mechanisms.extraction = true;
             }
             let mut arr = crate::summary::ArraySummary {
                 w: existentialize(
@@ -585,6 +613,31 @@ impl<'a> Analyzer<'a> {
                 loop_sum.arrays.insert(a, arr);
             }
         }
+
+        // Attribute this loop's cap-hit deltas, settle the winning
+        // mechanism, and emit the report (after loop-level summarization
+        // so extraction fired there is included).
+        prov.limit_overflows = padfa_omega::limit_stats::thread_overflows() - limit_base;
+        prov.lat_overflow = sess.lat_overflow_for(&proc.name) - lat_base;
+        let parallelized = not_candidate.is_none() && outcome.is_parallelizable();
+        prov.winner = if parallelized {
+            Some(Mechanism::winner(&mechanisms))
+        } else {
+            None
+        };
+        self.reports.push(LoopReport {
+            id: l.id,
+            label: l.label.clone(),
+            proc: proc.name.clone(),
+            depth,
+            not_candidate,
+            outcome,
+            privatized: decision.privatized,
+            privatized_scalars: decision.privatized_scalars,
+            reductions: decision.reductions,
+            mechanisms,
+            provenance: prov,
+        });
 
         bound_reads.seq(&loop_sum, sess)
     }

@@ -2,6 +2,10 @@
 //! test derivation.
 
 use crate::component::PredComponent;
+use crate::provenance::{
+    ArrayEvidence, ArrayVerdict, PairEvidence, PairKind, PairOutcome, Provenance, RejectReason,
+    ScalarEvidence, ScalarVerdict,
+};
 use crate::reduce::find_reductions;
 use crate::region::primed;
 use crate::report::{Mechanisms, Outcome, PrivArray, Reduction};
@@ -10,6 +14,14 @@ use crate::summary::Summary;
 use padfa_ir::ast::Block;
 use padfa_omega::{Constraint, Disjunction, LinExpr, System, Var};
 use padfa_pred::{extract_symbolic, Pred};
+use std::sync::Arc;
+
+/// `Arc`-wrap each piece guard once, up front: a piece takes part in
+/// O(pieces) pair tests, and the [`PairEvidence`] rows all share these
+/// handles instead of deep-cloning the predicate tree per pair.
+fn piece_preds(c: &PredComponent) -> Vec<Arc<Pred>> {
+    c.pieces.iter().map(|p| Arc::new(p.pred.clone())).collect()
+}
 
 /// The decision for one loop.
 #[derive(Clone, Debug)]
@@ -19,6 +31,10 @@ pub struct LoopDecision {
     pub privatized_scalars: Vec<Var>,
     pub reductions: Vec<Reduction>,
     pub mechanisms: Mechanisms,
+    /// Array/scalar evidence and the emitted run-time test; the caller
+    /// (`analyze::handle_loop`) fills in the winner, embedding, budget,
+    /// and cap-hit fields before attaching it to the `LoopReport`.
+    pub provenance: Provenance,
 }
 
 /// Compute the condition under which two accesses from *different*
@@ -29,7 +45,10 @@ pub struct LoopDecision {
 /// symbolics). The conflict condition is
 /// `p_w ∧ p_x ∧ extract(∃ dims, i, i2 : regions intersect ∧ ctx ∧ i ≠ i2)`.
 ///
-/// Returns [`Pred::False`] when the accesses provably never conflict.
+/// Returns [`Pred::False`] when the accesses provably never conflict,
+/// together with the [`PairOutcome`] naming how the pair was decided
+/// (complementary guards, region disjointness, an extracted symbolic
+/// condition, or an assumed conflict).
 ///
 /// (The argument list mirrors the test's mathematical inputs.)
 /// The extraction step (when enabled) projects the intersection onto the
@@ -49,7 +68,7 @@ fn conflict_condition(
     sess: &AnalysisSession,
     is_symbolic: &dyn Fn(Var) -> bool,
     mechanisms: &mut Mechanisms,
-) -> Pred {
+) -> (Pred, PairOutcome) {
     let opts = &sess.opts;
     let i2 = primed(loop_var);
     // Guards: with predicates enabled, the conflict needs both guards
@@ -64,11 +83,12 @@ fn conflict_condition(
         Pred::True
     };
     if guard.is_false() {
-        return Pred::False;
+        return (Pred::False, PairOutcome::GuardsExclude);
     }
 
     let limits = opts.limits;
     let mut region_cond = Pred::False;
+    let mut extracted = false;
     for order in [
         Constraint::lt(LinExpr::var(loop_var), LinExpr::var(i2)),
         Constraint::gt(LinExpr::var(loop_var), LinExpr::var(i2)),
@@ -89,7 +109,8 @@ fn conflict_condition(
             continue;
         }
         if !opts.extraction {
-            return guard; // conflict possible whenever both guards hold
+            // Conflict possible whenever both guards hold.
+            return (guard, PairOutcome::Assumed);
         }
         // Project out everything non-symbolic; the remaining constraints
         // on symbolics are the condition for the conflict to exist.
@@ -108,20 +129,32 @@ fn conflict_condition(
             if !residual.is_universe() {
                 // Left-over non-symbolic constraints: cannot characterize
                 // the conflict; assume it always exists.
-                return guard;
+                return (guard, PairOutcome::Assumed);
             }
             if q.is_true() {
-                return guard;
+                return (guard, PairOutcome::Assumed);
             }
             mechanisms.extraction = true;
+            extracted = true;
             region_cond = Pred::or(region_cond, q);
         }
     }
-    Pred::and(guard, region_cond)
+    let cond = Pred::and(guard, region_cond);
+    let outcome = if extracted {
+        PairOutcome::Extracted
+    } else {
+        // Every intersection was empty (or contradictory after
+        // projection) in both iteration orders.
+        PairOutcome::RegionsDisjoint
+    };
+    (cond, outcome)
 }
 
 /// Test all cross-iteration conflicts for one array, returning the
 /// condition under which *some* dependence exists (`False` = independent).
+/// Each pair test run is appended to `pairs`, in test order; the early
+/// exit on an unconditional conflict means later pairs were not tested
+/// and carry no evidence.
 #[allow(clippy::too_many_arguments)]
 fn array_dependence_condition(
     mw: &PredComponent,
@@ -132,12 +165,26 @@ fn array_dependence_condition(
     sess: &AnalysisSession,
     is_symbolic: &dyn Fn(Var) -> bool,
     mechanisms: &mut Mechanisms,
+    pairs: &mut Vec<PairEvidence>,
 ) -> Pred {
     let mut cond = Pred::False;
-    for wp in &mw.pieces {
+    let mw_preds = piece_preds(mw);
+    let r_preds = piece_preds(r);
+    for (wi, wp) in mw.pieces.iter().enumerate() {
         // Write/write (output) and write/read (flow+anti) conflicts.
-        for xp in mw.pieces.iter().chain(r.pieces.iter()) {
-            let c = conflict_condition(
+        let tagged = mw
+            .pieces
+            .iter()
+            .zip(&mw_preds)
+            .map(|(p, a)| (PairKind::WriteWrite, p, a))
+            .chain(
+                r.pieces
+                    .iter()
+                    .zip(&r_preds)
+                    .map(|(p, a)| (PairKind::WriteRead, p, a)),
+            );
+        for (kind, xp, x_pred) in tagged {
+            let (c, outcome) = conflict_condition(
                 &wp.pred,
                 &wp.region,
                 &xp.pred,
@@ -149,6 +196,13 @@ fn array_dependence_condition(
                 is_symbolic,
                 mechanisms,
             );
+            pairs.push(PairEvidence {
+                kind,
+                w_pred: Arc::clone(&mw_preds[wi]),
+                x_pred: Arc::clone(x_pred),
+                outcome,
+                condition: c.clone(),
+            });
             cond = Pred::or(cond, c);
             if cond.is_true() {
                 return cond;
@@ -160,7 +214,7 @@ fn array_dependence_condition(
 
 /// Privatization test for one array: exposed reads of one iteration must
 /// not overlap may-writes of another. Returns the condition under which
-/// privatization is *unsafe*.
+/// privatization is *unsafe*; pair tests run are appended to `pairs`.
 #[allow(clippy::too_many_arguments)]
 fn privatization_unsafe_condition(
     e: &PredComponent,
@@ -171,11 +225,14 @@ fn privatization_unsafe_condition(
     sess: &AnalysisSession,
     is_symbolic: &dyn Fn(Var) -> bool,
     mechanisms: &mut Mechanisms,
+    pairs: &mut Vec<PairEvidence>,
 ) -> Pred {
     let mut cond = Pred::False;
-    for ep in &e.pieces {
-        for wp in &mw.pieces {
-            let c = conflict_condition(
+    let e_preds = piece_preds(e);
+    let mw_preds = piece_preds(mw);
+    for (ei, ep) in e.pieces.iter().enumerate() {
+        for (wi, wp) in mw.pieces.iter().enumerate() {
+            let (c, outcome) = conflict_condition(
                 &ep.pred,
                 &ep.region,
                 &wp.pred,
@@ -187,6 +244,13 @@ fn privatization_unsafe_condition(
                 is_symbolic,
                 mechanisms,
             );
+            pairs.push(PairEvidence {
+                kind: PairKind::ExposedWrite,
+                w_pred: Arc::clone(&mw_preds[wi]),
+                x_pred: Arc::clone(&e_preds[ei]),
+                outcome,
+                condition: c.clone(),
+            });
             cond = Pred::or(cond, c);
             if cond.is_true() {
                 return cond;
@@ -237,14 +301,22 @@ pub fn test_loop(
     let mut privatized = Vec::new();
     let mut tests = Pred::True;
     let mut hard_dep = false;
+    let mut prov = Provenance::default();
 
     for (&array, s) in &body.arrays {
         if is_reduction(array) {
+            prov.arrays.push(ArrayEvidence {
+                array,
+                verdict: ArrayVerdict::Reduction,
+                dep_pairs: Vec::new(),
+                priv_pairs: Vec::new(),
+            });
             continue;
         }
         if s.mw.is_empty() {
             continue; // read-only arrays never carry dependences
         }
+        let mut dep_pairs = Vec::new();
         let dep = array_dependence_condition(
             &s.mw,
             &s.r,
@@ -254,12 +326,20 @@ pub fn test_loop(
             sess,
             is_symbolic,
             &mut mechanisms,
+            &mut dep_pairs,
         );
         if dep.is_false() {
+            prov.arrays.push(ArrayEvidence {
+                array,
+                verdict: ArrayVerdict::Independent,
+                dep_pairs,
+                priv_pairs: Vec::new(),
+            });
             continue; // independent
         }
         // Try privatization: legal when no exposed read of one iteration
         // overlaps a write of another.
+        let mut priv_pairs = Vec::new();
         let unsafe_priv = privatization_unsafe_condition(
             &s.e,
             &s.mw,
@@ -269,12 +349,20 @@ pub fn test_loop(
             sess,
             is_symbolic,
             &mut mechanisms,
+            &mut priv_pairs,
         );
         if unsafe_priv.is_false() {
+            let copy_in = !s.e.is_region_empty(sess);
             privatized.push(PrivArray {
                 array,
-                copy_in: !s.e.is_region_empty(sess),
+                copy_in,
                 copy_out: true,
+            });
+            prov.arrays.push(ArrayEvidence {
+                array,
+                verdict: ArrayVerdict::Privatized { copy_in },
+                dep_pairs,
+                priv_pairs,
             });
             continue;
         }
@@ -282,6 +370,7 @@ pub fn test_loop(
         // safe to run in parallel when the dependence condition is false
         // (no transformation), or when the privatization-unsafety
         // condition is false (privatize). We emit the cheaper test.
+        let rejected;
         if opts.runtime_tests {
             let no_dep = dep.negate();
             let priv_ok = unsafe_priv.negate();
@@ -294,18 +383,47 @@ pub fn test_loop(
             };
             let degenerate = Pred::and(test.clone(), trip2.clone()).is_false();
             if !degenerate && test.is_runtime_testable() && test.cost() <= opts.test_cost_budget {
+                let copy_in = !s.e.is_region_empty(sess);
                 if with_priv {
                     privatized.push(PrivArray {
                         array,
-                        copy_in: !s.e.is_region_empty(sess),
+                        copy_in,
                         copy_out: true,
                     });
                 }
-                tests = Pred::and(tests, test);
+                tests = Pred::and(tests, test.clone());
                 mechanisms.runtime_test = true;
+                prov.arrays.push(ArrayEvidence {
+                    array,
+                    verdict: ArrayVerdict::RuntimeTested {
+                        test,
+                        with_privatization: with_priv,
+                    },
+                    dep_pairs,
+                    priv_pairs,
+                });
                 continue;
             }
+            let reason = if degenerate {
+                RejectReason::Degenerate
+            } else if !test.is_runtime_testable() {
+                RejectReason::NotScalarTest
+            } else {
+                RejectReason::OverCostBudget
+            };
+            rejected = Some((test, reason));
+        } else {
+            rejected = Some((dep.negate(), RejectReason::Disabled));
         }
+        prov.arrays.push(ArrayEvidence {
+            array,
+            verdict: ArrayVerdict::Blocking {
+                dep: dep.clone(),
+                rejected,
+            },
+            dep_pairs,
+            priv_pairs,
+        });
         hard_dep = true;
     }
 
@@ -314,13 +432,30 @@ pub fn test_loop(
     // scalars privatize.
     let mut privatized_scalars = Vec::new();
     for (&sv, sc) in &body.scalars {
-        if sv == loop_var || is_reduction(sv) {
+        if sv == loop_var {
+            continue;
+        }
+        if is_reduction(sv) {
+            if sc.may_write {
+                prov.scalars.push(ScalarEvidence {
+                    scalar: sv,
+                    verdict: ScalarVerdict::Reduction,
+                });
+            }
             continue;
         }
         if sc.may_write {
             if sc.exposed_read {
+                prov.scalars.push(ScalarEvidence {
+                    scalar: sv,
+                    verdict: ScalarVerdict::ExposedFlow,
+                });
                 hard_dep = true;
             } else {
+                prov.scalars.push(ScalarEvidence {
+                    scalar: sv,
+                    verdict: ScalarVerdict::Privatized,
+                });
                 privatized_scalars.push(sv);
             }
         }
@@ -331,16 +466,20 @@ pub fn test_loop(
     } else if tests.is_true() {
         Outcome::Parallel
     } else {
+        prov.runtime_test = Some(tests.clone());
         Outcome::ParallelIf(tests)
     };
     if matches!(outcome, Outcome::Sequential) {
-        // A sequential verdict reports no transformations.
+        // A sequential verdict reports no transformations (the evidence
+        // tree keeps the attempted ones for `padfa explain`).
+        prov.runtime_test = None;
         return LoopDecision {
             outcome,
             privatized: Vec::new(),
             privatized_scalars: Vec::new(),
             reductions,
             mechanisms,
+            provenance: prov,
         };
     }
     LoopDecision {
@@ -349,6 +488,7 @@ pub fn test_loop(
         privatized_scalars,
         reductions,
         mechanisms,
+        provenance: prov,
     }
 }
 
@@ -398,7 +538,7 @@ mod tests {
         let ctx = ctx_1_to_n();
         let ctx2 = ctx.rename(v("i"), primed(v("i")));
         let mut mech = Mechanisms::default();
-        let c = conflict_condition(
+        let (c, _) = conflict_condition(
             &Pred::True,
             &shifted(0),
             &Pred::True,
@@ -420,7 +560,7 @@ mod tests {
         let ctx = ctx_1_to_n();
         let ctx2 = ctx.rename(v("i"), primed(v("i")));
         let mut mech = Mechanisms::default();
-        let c = conflict_condition(
+        let (c, _) = conflict_condition(
             &Pred::True,
             &shifted(0),
             &Pred::True,
@@ -453,7 +593,7 @@ mod tests {
         let mut mech = Mechanisms::default();
         let p = Pred::from_bool(&padfa_ir::parse::parse_bool_expr("x > 5").unwrap());
         let np = p.negate();
-        let c = conflict_condition(
+        let (c, _) = conflict_condition(
             &p,
             &shifted(0),
             &np,
@@ -477,7 +617,7 @@ mod tests {
         let mut mech = Mechanisms::default();
         let p = Pred::from_bool(&padfa_ir::parse::parse_bool_expr("x > 5").unwrap());
         let np = p.negate();
-        let c = conflict_condition(
+        let (c, _) = conflict_condition(
             &p,
             &shifted(0),
             &np,
@@ -507,7 +647,7 @@ mod tests {
         let ctx = ctx_1_to_n();
         let ctx2 = ctx.rename(v("i"), primed(v("i")));
         let mut mech = Mechanisms::default();
-        let c = conflict_condition(
+        let (c, _) = conflict_condition(
             &Pred::True,
             &shifted(0),
             &Pred::True,

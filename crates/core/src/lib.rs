@@ -71,18 +71,26 @@ pub mod component;
 pub mod deptest;
 pub mod error;
 pub mod interproc;
+pub mod metrics;
 pub mod options;
+pub mod provenance;
 pub mod reduce;
 pub mod region;
 pub mod report;
 pub mod session;
 pub mod summary;
+pub mod trace;
 
 pub use analyze::{analyze_program, analyze_program_session, analyze_program_with_summaries};
 pub use budget::{OnExhausted, WorkBudget};
 pub use component::{GuardedRegion, PredComponent};
 pub use error::AnalysisError;
+pub use metrics::{Counter, Histogram, MetricsRegistry, QueryKind};
 pub use options::{Options, Variant};
+pub use provenance::{
+    loop_json, render_text, ArrayEvidence, ArrayVerdict, BudgetEvent, Mechanism, PairEvidence,
+    PairKind, PairOutcome, Provenance, RejectReason, ScalarEvidence, ScalarVerdict,
+};
 pub use report::{
     AnalysisResult, LoopReport, Mechanisms, NotCandidateReason, Outcome, PrivArray, ReduceOp,
     Reduction,

@@ -1,0 +1,303 @@
+//! A metrics registry: named counters and log₂-bucketed latency
+//! histograms, snapshotted to JSON per run.
+//!
+//! The registry is opt-in: an [`crate::AnalysisSession`] built with
+//! [`crate::AnalysisSession::with_metrics`] records a latency sample per
+//! memoized lattice query (one `Instant` pair per call) and folds its
+//! final [`crate::StatsSnapshot`] into counters on
+//! [`crate::AnalysisSession::publish_metrics`]. Without a registry the
+//! session pays only an `Option` check per query.
+//!
+//! ## Determinism
+//!
+//! Counter *names* and JSON field order are deterministic (`BTreeMap`).
+//! Counter *values* split into two classes: per-kind query totals
+//! (`query.<kind>.total`), `budget.steps`, interner sizes, and peak
+//! table entries are bit-identical for any `--jobs`; the hit/miss split
+//! (`memo.<kind>.hits`/`.misses`) and `fm.projections` are not, because
+//! two workers may benignly race to compute the same memo entry (both
+//! count a miss). Latency histograms are inherently timing-dependent.
+//! Tests that assert cross-jobs determinism must compare only the first
+//! class — [`MetricsRegistry::deterministic_counters`] selects it.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// The memoized lattice query kinds instrumented by the session.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum QueryKind {
+    SysEmpty = 0,
+    Subset = 1,
+    Subtract = 2,
+    Intersect = 3,
+    Union = 4,
+    Project = 5,
+    Implies = 6,
+}
+
+impl QueryKind {
+    pub const ALL: [QueryKind; 7] = [
+        QueryKind::SysEmpty,
+        QueryKind::Subset,
+        QueryKind::Subtract,
+        QueryKind::Intersect,
+        QueryKind::Union,
+        QueryKind::Project,
+        QueryKind::Implies,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            QueryKind::SysEmpty => "sys_empty",
+            QueryKind::Subset => "subset",
+            QueryKind::Subtract => "subtract",
+            QueryKind::Intersect => "intersect",
+            QueryKind::Union => "union",
+            QueryKind::Project => "project",
+            QueryKind::Implies => "implies",
+        }
+    }
+}
+
+/// A monotone (or last-write-wins via [`Counter::set`]) atomic counter.
+#[derive(Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+const BUCKETS: usize = 64;
+
+/// A latency histogram over power-of-two nanosecond buckets: bucket `k`
+/// holds samples in `[2^(k-1), 2^k)` (bucket 0 holds 0 ns).
+pub struct Histogram {
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+    max_ns: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+            max_ns: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl Histogram {
+    pub fn record_ns(&self, ns: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+        let idx = (64 - ns.leading_zeros() as usize).min(BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    pub fn sum_ns(&self) -> u64 {
+        self.sum_ns.load(Ordering::Relaxed)
+    }
+
+    pub fn max_ns(&self) -> u64 {
+        self.max_ns.load(Ordering::Relaxed)
+    }
+
+    /// Upper bound of the bucket containing the `q`-quantile sample
+    /// (`q` in 0..=1); 0 when empty.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (idx, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return if idx == 0 {
+                    0
+                } else {
+                    (1u64 << idx.min(63)) - 1
+                };
+            }
+        }
+        self.max_ns()
+    }
+}
+
+/// A named registry of counters and histograms. Shareable across
+/// threads; handles are `Arc`s so hot paths never re-hash names.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl MetricsRegistry {
+    pub fn new() -> Arc<MetricsRegistry> {
+        Arc::new(MetricsRegistry::default())
+    }
+
+    /// Get or create the counter `name`.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut m = lock(&self.counters);
+        if let Some(c) = m.get(name) {
+            return Arc::clone(c);
+        }
+        let c = Arc::new(Counter::default());
+        m.insert(name.to_string(), Arc::clone(&c));
+        c
+    }
+
+    /// Get or create the histogram `name`.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut m = lock(&self.histograms);
+        if let Some(h) = m.get(name) {
+            return Arc::clone(h);
+        }
+        let h = Arc::new(Histogram::default());
+        m.insert(name.to_string(), Arc::clone(&h));
+        h
+    }
+
+    /// All counters, by name.
+    pub fn counters_snapshot(&self) -> BTreeMap<String, u64> {
+        lock(&self.counters)
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect()
+    }
+
+    /// The jobs-deterministic counter subset: per-kind query totals and
+    /// structural sizes, excluding the racy hit/miss split,
+    /// `fm.projections`, `limit.overflows` (both only advance on memo
+    /// misses, which race benignly), and anything timing-derived (see
+    /// module docs).
+    pub fn deterministic_counters(&self) -> BTreeMap<String, u64> {
+        self.counters_snapshot()
+            .into_iter()
+            .filter(|(k, _)| {
+                !k.ends_with(".hits")
+                    && !k.ends_with(".misses")
+                    && k != "fm.projections"
+                    && k != "limit.overflows"
+            })
+            .collect()
+    }
+
+    /// Serialize every counter and histogram to one JSON object.
+    pub fn snapshot_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        let counters = self.counters_snapshot();
+        let mut first = true;
+        for (k, v) in &counters {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!("\"{k}\":{v}"));
+        }
+        out.push_str("},\"histograms\":{");
+        let hists = lock(&self.histograms);
+        let mut first = true;
+        for (k, h) in hists.iter() {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!(
+                "\"{k}\":{{\"count\":{},\"sum_ns\":{},\"max_ns\":{},\
+                 \"p50_ns\":{},\"p90_ns\":{},\"p99_ns\":{}}}",
+                h.count(),
+                h.sum_ns(),
+                h.max_ns(),
+                h.quantile_ns(0.50),
+                h.quantile_ns(0.90),
+                h.quantile_ns(0.99),
+            ));
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_set() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("a.b");
+        c.add(3);
+        c.add(4);
+        assert_eq!(c.get(), 7);
+        c.set(2);
+        assert_eq!(reg.counter("a.b").get(), 2);
+        assert_eq!(reg.counters_snapshot().get("a.b"), Some(&2));
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let h = Histogram::default();
+        for ns in [1u64, 2, 3, 100, 1000] {
+            h.record_ns(ns);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum_ns(), 1106);
+        assert_eq!(h.max_ns(), 1000);
+        // p50 falls in the bucket holding 3 (bucket [2,4) -> bound 3).
+        assert_eq!(h.quantile_ns(0.5), 3);
+        assert!(h.quantile_ns(0.99) >= 1000);
+        assert_eq!(Histogram::default().quantile_ns(0.5), 0);
+    }
+
+    #[test]
+    fn deterministic_subset_filters_racy_names() {
+        let reg = MetricsRegistry::new();
+        reg.counter("memo.subtract.hits").set(5);
+        reg.counter("memo.subtract.misses").set(2);
+        reg.counter("query.subtract.total").set(7);
+        reg.counter("fm.projections").set(3);
+        reg.counter("budget.steps").set(11);
+        let det = reg.deterministic_counters();
+        assert_eq!(det.len(), 2);
+        assert_eq!(det.get("query.subtract.total"), Some(&7));
+        assert_eq!(det.get("budget.steps"), Some(&11));
+    }
+
+    #[test]
+    fn snapshot_json_is_well_formed_and_sorted() {
+        let reg = MetricsRegistry::new();
+        reg.counter("b").set(2);
+        reg.counter("a").set(1);
+        reg.histogram("lat.x").record_ns(5);
+        let j = reg.snapshot_json();
+        assert!(j.starts_with("{\"counters\":{\"a\":1,\"b\":2}"));
+        assert!(j.contains("\"lat.x\":{\"count\":1"));
+        assert!(j.ends_with("}}"));
+    }
+}

@@ -109,6 +109,8 @@ pub struct LoopReport {
     pub privatized_scalars: Vec<Var>,
     pub reductions: Vec<Reduction>,
     pub mechanisms: Mechanisms,
+    /// The evidence chain behind the verdict (see [`crate::provenance`]).
+    pub provenance: crate::provenance::Provenance,
 }
 
 impl LoopReport {
@@ -226,6 +228,7 @@ mod tests {
             privatized_scalars: vec![],
             reductions: vec![],
             mechanisms: Mechanisms::default(),
+            provenance: Default::default(),
         };
         let r = AnalysisResult {
             loops: vec![

@@ -36,7 +36,9 @@
 //! [`lat_var`]: AnalysisSession::lat_var
 
 use crate::budget;
+use crate::metrics::{Histogram, MetricsRegistry, QueryKind};
 use crate::options::Options;
+use crate::trace;
 use padfa_ir::ast::{Block, ParamTy, Procedure, Program, Stmt};
 use padfa_omega::{Disjunction, Limits, System, Var};
 use padfa_pred::Pred;
@@ -44,6 +46,7 @@ use std::collections::HashMap;
 use std::hash::Hash;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Instant;
 
 /// Poison-recovering lock: a panic in *other* code while a guard was
 /// held (never the session's own paths — budget unwinds are raised
@@ -291,6 +294,16 @@ pub struct AnalysisSession {
     /// `limit_stats` baseline at session creation: `stats()` reports the
     /// difference.
     overflow_baseline: u64,
+    /// Optional metrics sink: per-query latency histograms sampled on
+    /// the hot path, plus the registry the final snapshot is published
+    /// to. `None` costs one branch per query.
+    metrics: Option<SessionMetrics>,
+}
+
+/// Pre-resolved metrics handles (no name hashing per query).
+struct SessionMetrics {
+    registry: Arc<MetricsRegistry>,
+    latency: [Arc<Histogram>; 7],
 }
 
 impl AnalysisSession {
@@ -316,6 +329,7 @@ impl AnalysisSession {
             peak_constraints: AtomicUsize::new(0),
             degraded_procs: AtomicU64::new(0),
             overflow_baseline: padfa_omega::limit_stats::overflows(),
+            metrics: None,
         }
     }
 
@@ -323,6 +337,34 @@ impl AnalysisSession {
     pub fn with_jobs(mut self, jobs: usize) -> AnalysisSession {
         self.jobs = jobs.max(1);
         self
+    }
+
+    /// Attach a metrics registry: every lattice query records a latency
+    /// sample into `latency.query.<kind>`, and [`publish_metrics`]
+    /// folds the final counter snapshot in.
+    ///
+    /// [`publish_metrics`]: AnalysisSession::publish_metrics
+    pub fn with_metrics(mut self, registry: Arc<MetricsRegistry>) -> AnalysisSession {
+        let latency =
+            QueryKind::ALL.map(|k| registry.histogram(&format!("latency.query.{}", k.name())));
+        self.metrics = Some(SessionMetrics { registry, latency });
+        self
+    }
+
+    /// Start one query probe: counts the op toward the trace lattice
+    /// batch and, when metrics are attached, starts a latency sample.
+    #[inline]
+    fn probe(&self, kind: QueryKind) -> Option<Instant> {
+        trace::note_lattice_op(kind.name());
+        self.metrics.as_ref().map(|_| Instant::now())
+    }
+
+    /// Finish a probe started by [`Self::probe`].
+    #[inline]
+    fn observe(&self, kind: QueryKind, t0: Option<Instant>) {
+        if let (Some(m), Some(t0)) = (self.metrics.as_ref(), t0) {
+            m.latency[kind as usize].record_ns(t0.elapsed().as_nanos() as u64);
+        }
     }
 
     pub fn jobs(&self) -> usize {
@@ -348,9 +390,12 @@ impl AnalysisSession {
             return false;
         }
         budget::charge(1);
+        let t0 = self.probe(QueryKind::SysEmpty);
         let limits = self.limits();
         let (arc, id) = self.systems.intern(s);
-        self.m_sys_empty.get_or(id, || arc.is_empty(limits))
+        let r = self.m_sys_empty.get_or(id, || arc.is_empty(limits));
+        self.observe(QueryKind::SysEmpty, t0);
+        r
     }
 
     /// Memoized region emptiness (every disjunct empty). Decomposing to
@@ -364,10 +409,13 @@ impl AnalysisSession {
         budget::charge(1);
         budget::note_region(a);
         budget::note_region(b);
+        let t0 = self.probe(QueryKind::Subset);
         let limits = self.limits();
         let (aa, ia) = self.regions.intern(a);
         let (ab, ib) = self.regions.intern(b);
-        self.m_subset.get_or((ia, ib), || aa.subset_of(&ab, limits))
+        let r = self.m_subset.get_or((ia, ib), || aa.subset_of(&ab, limits));
+        self.observe(QueryKind::Subset, t0);
+        r
     }
 
     /// Memoized region subtraction `a − b`.
@@ -375,11 +423,15 @@ impl AnalysisSession {
         budget::charge(1);
         budget::note_region(a);
         budget::note_region(b);
+        let t0 = self.probe(QueryKind::Subtract);
         let limits = self.limits();
         let (aa, ia) = self.regions.intern(a);
         let (ab, ib) = self.regions.intern(b);
-        self.m_subtract
-            .get_or((ia, ib), || self.intern_region(&aa.subtract(&ab, limits)))
+        let r = self
+            .m_subtract
+            .get_or((ia, ib), || self.intern_region(&aa.subtract(&ab, limits)));
+        self.observe(QueryKind::Subtract, t0);
+        r
     }
 
     /// Memoized region intersection.
@@ -387,11 +439,15 @@ impl AnalysisSession {
         budget::charge(1);
         budget::note_region(a);
         budget::note_region(b);
+        let t0 = self.probe(QueryKind::Intersect);
         let limits = self.limits();
         let (aa, ia) = self.regions.intern(a);
         let (ab, ib) = self.regions.intern(b);
-        self.m_intersect
-            .get_or((ia, ib), || self.intern_region(&aa.intersect(&ab, limits)))
+        let r = self
+            .m_intersect
+            .get_or((ia, ib), || self.intern_region(&aa.intersect(&ab, limits)));
+        self.observe(QueryKind::Intersect, t0);
+        r
     }
 
     /// Memoized region union.
@@ -399,23 +455,30 @@ impl AnalysisSession {
         budget::charge(1);
         budget::note_region(a);
         budget::note_region(b);
+        let t0 = self.probe(QueryKind::Union);
         let limits = self.limits();
         let (aa, ia) = self.regions.intern(a);
         let (ab, ib) = self.regions.intern(b);
-        self.m_union
-            .get_or((ia, ib), || self.intern_region(&aa.union(&ab, limits)))
+        let r = self
+            .m_union
+            .get_or((ia, ib), || self.intern_region(&aa.union(&ab, limits)));
+        self.observe(QueryKind::Union, t0);
+        r
     }
 
     /// Memoized Fourier–Motzkin projection of `vars` out of `d`.
     pub fn project_out(&self, d: &Disjunction, vars: &[Var]) -> Arc<Disjunction> {
         budget::charge(1);
         budget::note_region(d);
+        let t0 = self.probe(QueryKind::Project);
         let limits = self.limits();
         let (ad, id) = self.regions.intern(d);
-        self.m_project.get_or((id, vars.to_vec()), || {
+        let r = self.m_project.get_or((id, vars.to_vec()), || {
             self.fm_projections.fetch_add(1, Ordering::Relaxed);
             self.intern_region(&ad.project_out(vars, limits))
-        })
+        });
+        self.observe(QueryKind::Project, t0);
+        r
     }
 
     /// Memoized predicate implication `a ⇒ b`.
@@ -429,10 +492,13 @@ impl AnalysisSession {
             return true;
         }
         budget::charge(1);
+        let t0 = self.probe(QueryKind::Implies);
         let limits = self.limits();
         let (aa, ia) = self.preds.intern(a);
         let (ab, ib) = self.preds.intern(b);
-        self.m_implies.get_or((ia, ib), || aa.implies(&ab, limits))
+        let r = self.m_implies.get_or((ia, ib), || aa.implies(&ab, limits));
+        self.observe(QueryKind::Implies, t0);
+        r
     }
 
     /// Count one Fourier–Motzkin projection run outside the memoized
@@ -457,6 +523,16 @@ impl AnalysisSession {
             self.lat_overflow.fetch_add(1, Ordering::Relaxed);
         }
         Var::new(&format!("$lat.{proc}.{k}"))
+    }
+
+    /// How many `$lat` requests for `proc` have fallen beyond the
+    /// pre-interned pool so far. Each procedure is analyzed by exactly
+    /// one worker, so deltas of this value around a loop's
+    /// classification attribute overflows to that loop exactly.
+    pub(crate) fn lat_overflow_for(&self, proc: &str) -> u64 {
+        lock(&self.lat_pools)
+            .get(proc)
+            .map_or(0, |&used| u64::from(used.saturating_sub(LAT_POOL)))
     }
 
     /// Deterministic pre-interning prepass: intern every synthetic
@@ -539,6 +615,48 @@ impl AnalysisSession {
             limit_overflows: padfa_omega::limit_stats::overflows()
                 .saturating_sub(self.overflow_baseline),
         }
+    }
+
+    /// Fold the final [`StatsSnapshot`] into the attached metrics
+    /// registry (no-op without one). Counter names follow
+    /// `memo.<kind>.hits|misses`, `query.<kind>.total`, plus structural
+    /// and budget counters; see [`crate::metrics`] for which of them are
+    /// jobs-deterministic.
+    pub fn publish_metrics(&self) {
+        let Some(m) = &self.metrics else { return };
+        let st = self.stats();
+        let reg = &m.registry;
+        let kinds: [(QueryKind, QueryStats); 7] = [
+            (QueryKind::SysEmpty, st.sys_empty),
+            (QueryKind::Subset, st.subset),
+            (QueryKind::Subtract, st.subtract),
+            (QueryKind::Intersect, st.intersect),
+            (QueryKind::Union, st.union),
+            (QueryKind::Project, st.project),
+            (QueryKind::Implies, st.implies),
+        ];
+        for (k, q) in kinds {
+            reg.counter(&format!("memo.{}.hits", k.name())).set(q.hits);
+            reg.counter(&format!("memo.{}.misses", k.name()))
+                .set(q.misses);
+            reg.counter(&format!("query.{}.total", k.name()))
+                .set(q.total());
+        }
+        reg.counter("fm.projections").set(st.fm_projections);
+        reg.counter("interned.systems")
+            .set(st.interned_systems as u64);
+        reg.counter("interned.regions")
+            .set(st.interned_regions as u64);
+        reg.counter("interned.preds").set(st.interned_preds as u64);
+        reg.counter("peak.table_entries")
+            .set(st.peak_table_entries as u64);
+        reg.counter("budget.steps").set(st.budget_steps);
+        reg.counter("peak.disjuncts").set(st.peak_disjuncts as u64);
+        reg.counter("peak.constraints")
+            .set(st.peak_constraints as u64);
+        reg.counter("degraded.procs").set(st.degraded_procs);
+        reg.counter("lat.overflow").set(st.lat_overflow);
+        reg.counter("limit.overflows").set(st.limit_overflows);
     }
 }
 

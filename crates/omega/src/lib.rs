@@ -95,21 +95,43 @@ impl Default for Limits {
 /// of silent. The counter is global (operations take no session handle),
 /// so concurrent runs in one process see each other's overflows; the
 /// intended use is coarse visibility, not exact attribution.
+///
+/// For *exact* attribution a second, thread-local counter is bumped in
+/// lockstep ([`thread_overflows`]). The analysis drives each procedure
+/// on exactly one worker thread, so deltas of the thread-local counter
+/// taken around a loop's classification attribute every cap-hit to the
+/// loop that caused it — deterministically, independent of how many
+/// other workers run concurrently.
 pub mod limit_stats {
+    use std::cell::Cell;
     use std::sync::atomic::{AtomicU64, Ordering};
 
     static OVERFLOWS: AtomicU64 = AtomicU64::new(0);
+
+    thread_local! {
+        static THREAD_OVERFLOWS: Cell<u64> = const { Cell::new(0) };
+    }
 
     /// Record one cap-hit (truncated elimination, disjunct-cap fallback).
     #[inline]
     pub fn note_overflow() {
         OVERFLOWS.fetch_add(1, Ordering::Relaxed);
+        THREAD_OVERFLOWS.with(|c| c.set(c.get() + 1));
     }
 
     /// Total overflow events since process start.
     #[inline]
     pub fn overflows() -> u64 {
         OVERFLOWS.load(Ordering::Relaxed)
+    }
+
+    /// Overflow events recorded *by the calling thread* since it
+    /// started. Deltas of this counter around a single-threaded region
+    /// of work attribute cap-hits exactly, with no bleed-through from
+    /// concurrent workers.
+    #[inline]
+    pub fn thread_overflows() -> u64 {
+        THREAD_OVERFLOWS.with(|c| c.get())
     }
 }
 

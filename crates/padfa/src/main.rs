@@ -4,12 +4,14 @@
 //! ```text
 //! padfa analyze <file.mf> [--variant base|guarded|predicated] [--all] [--summaries]
 //!                         [--jobs N] [--stats] [--max-steps N] [--deadline-ms N] [--strict]
+//!                         [--trace PATH] [--metrics-out PATH]
+//! padfa explain <file.mf> [--loop <label-or-id>] [--json] [--variant V] [--jobs N]
 //! padfa run     <file.mf> [--workers N] [--seq] [--fuel N] [--deadline-ms N]
 //!                         [--no-fallback] [--inject W:S:KIND] [ARG...]
 //! padfa elpd    <file.mf> <loop-label-or-id> [--fuel N] [ARG...]
 //! padfa fmt     <file.mf>
 //! padfa corpus  [--variant V] [--jobs N] [--max-steps N] [--deadline-ms N]
-//!               [--ledger PATH] [--resume] [--keep-going]
+//!               [--ledger PATH] [--resume] [--keep-going] [--metrics-out PATH]
 //! ```
 //!
 //! Scalar entry arguments are given positionally (`8 3 50`); integer
@@ -31,9 +33,26 @@
 //! budget exhaustion into a hard error (exit 4) instead of degrading
 //! the procedure to a sound conservative summary.
 //!
+//! `explain` prints the decision-provenance tree behind every loop
+//! verdict — the dependence pair or exposed read that blocked
+//! parallelism, the query outcome that discharged it, the decisive
+//! predicate, the emitted run-time test, and any budget or cap-hit
+//! degradation — as a human-readable tree or (`--json`) machine JSON.
+//!
+//! `analyze --trace PATH` writes a Chrome trace-event JSON file
+//! (loadable in Perfetto / `chrome://tracing`) with spans for parse,
+//! per-procedure summarization, loop classification, and lattice-op
+//! batches across all worker threads. `--metrics-out PATH` writes the
+//! run's metrics-registry snapshot (counters + latency histograms).
+//!
 //! `corpus` runs the analysis over the full synthetic benchmark corpus,
 //! isolating each program behind `catch_unwind`, and streams one JSON
-//! line per program to a ledger for offline triage.
+//! line per program to a ledger for offline triage. Each row carries the
+//! per-mechanism loop attribution (which technique won each parallelized
+//! loop), and the run ends with the paper-style per-suite attribution
+//! table. Fresh ledgers start with a `{"meta":...}` stamp line
+//! (`schema_version`, git revision, host) so trajectories across
+//! revisions stay comparable.
 //!
 //! ## Exit codes
 //!
@@ -53,15 +72,57 @@ use std::process::exit;
 fn usage() -> ! {
     eprintln!(
         "usage:\n  padfa analyze <file.mf> [--variant base|guarded|predicated] [--all]\n               \
-         [--summaries] [--jobs N] [--stats] [--max-steps N] [--deadline-ms N] [--strict]\n  \
+         [--summaries] [--jobs N] [--stats] [--max-steps N] [--deadline-ms N] [--strict]\n               \
+         [--trace PATH] [--metrics-out PATH]\n  \
+         padfa explain <file.mf> [--loop <label-or-id>] [--json] [--variant V] [--jobs N]\n  \
          padfa run <file.mf> [--workers N] [--seq] [--fuel N] [--deadline-ms N]\n            \
          [--no-fallback] [--inject W:S:panic|error|corrupt] [ARG...]\n  \
          padfa elpd <file.mf> <loop-label-or-id> [--fuel N] [ARG...]\n  \
          padfa fmt <file.mf>\n  \
          padfa corpus [--variant V] [--jobs N] [--max-steps N] [--deadline-ms N]\n               \
-         [--ledger PATH] [--resume] [--keep-going]"
+         [--ledger PATH] [--resume] [--keep-going] [--metrics-out PATH]"
     );
     exit(2)
+}
+
+/// Ledger / snapshot schema version. Bump when a field changes meaning.
+const SCHEMA_VERSION: u32 = 2;
+
+/// The current git revision (short hash, `+dirty` when the tree has
+/// local modifications), or `"unknown"` outside a git checkout.
+fn git_rev() -> String {
+    let out = |args: &[&str]| {
+        std::process::Command::new("git")
+            .args(args)
+            .output()
+            .ok()
+            .filter(|o| o.status.success())
+            .and_then(|o| String::from_utf8(o.stdout).ok())
+            .map(|s| s.trim().to_string())
+    };
+    match out(&["rev-parse", "--short=12", "HEAD"]).filter(|s| !s.is_empty()) {
+        Some(rev) => {
+            let dirty = out(&["status", "--porcelain"]).map(|s| !s.is_empty());
+            if dirty == Some(true) {
+                format!("{rev}+dirty")
+            } else {
+                rev
+            }
+        }
+        None => "unknown".to_string(),
+    }
+}
+
+/// Coarse host identification for run stamps.
+fn host_info() -> String {
+    let host = std::env::var("HOSTNAME")
+        .or_else(|_| std::env::var("HOST"))
+        .unwrap_or_else(|_| "unknown-host".to_string());
+    format!(
+        "{host} ({} {})",
+        std::env::consts::OS,
+        std::env::consts::ARCH
+    )
 }
 
 /// Map a typed analysis error to the documented exit code.
@@ -191,6 +252,8 @@ fn cmd_analyze(args: &[String]) {
     let mut show_stats = false;
     let mut jobs = 1usize;
     let mut budget = BudgetFlags::default();
+    let mut trace_out: Option<String> = None;
+    let mut metrics_out: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -198,6 +261,8 @@ fn cmd_analyze(args: &[String]) {
             "--all" => show_all = true,
             "--summaries" => show_summaries = true,
             "--stats" => show_stats = true,
+            "--trace" => trace_out = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            "--metrics-out" => metrics_out = Some(it.next().cloned().unwrap_or_else(|| usage())),
             "--jobs" => {
                 jobs = it
                     .next()
@@ -225,9 +290,21 @@ fn cmd_analyze(args: &[String]) {
         }
     }
     let path = file.unwrap_or_else(|| usage());
-    let prog = load(&path);
+    if trace_out.is_some() {
+        padfa::analysis::trace::start_capture();
+    }
+    let prog = {
+        let _s = padfa::analysis::trace::span("parse", "parse");
+        load(&path)
+    };
     let opts = variant_options(&variant).with_budget(budget.to_budget());
-    let sess = padfa::analysis::AnalysisSession::new(opts).with_jobs(jobs);
+    let registry = metrics_out
+        .as_ref()
+        .map(|_| padfa::analysis::MetricsRegistry::new());
+    let mut sess = padfa::analysis::AnalysisSession::new(opts).with_jobs(jobs);
+    if let Some(reg) = &registry {
+        sess = sess.with_metrics(std::sync::Arc::clone(reg));
+    }
     let (result, summaries) = match padfa::analysis::analyze_program_session(&prog, &sess) {
         Ok(out) => out,
         Err(e) => {
@@ -235,6 +312,33 @@ fn cmd_analyze(args: &[String]) {
             exit(exit_code(&e))
         }
     };
+    if let Some(out_path) = &trace_out {
+        match padfa::analysis::trace::finish_capture() {
+            Some(json) => {
+                if let Err(e) = std::fs::write(out_path, json) {
+                    eprintln!("padfa: cannot write trace {out_path}: {e}");
+                    exit(1)
+                }
+                eprintln!("trace written to {out_path} (load in Perfetto or chrome://tracing)");
+            }
+            None => eprintln!("padfa: tracing support not compiled in; no trace written"),
+        }
+    }
+    if let (Some(out_path), Some(reg)) = (&metrics_out, &registry) {
+        sess.publish_metrics();
+        let json = format!(
+            "{{\"schema_version\":{SCHEMA_VERSION},\"git_rev\":\"{}\",\"host\":\"{}\",\
+             \"variant\":\"{}\",\"jobs\":{jobs},\"metrics\":{}}}",
+            json_escape(&git_rev()),
+            json_escape(&host_info()),
+            json_escape(&variant),
+            reg.snapshot_json()
+        );
+        if let Err(e) = std::fs::write(out_path, json) {
+            eprintln!("padfa: cannot write metrics {out_path}: {e}");
+            exit(1)
+        }
+    }
     if show_summaries {
         let mut names: Vec<&String> = summaries.keys().collect();
         names.sort();
@@ -277,6 +381,97 @@ fn cmd_analyze(args: &[String]) {
     }
 }
 
+/// `padfa explain`: print the decision-provenance tree behind every
+/// loop verdict (or one loop selected by `--loop <label-or-id>`).
+fn cmd_explain(args: &[String]) {
+    let mut file = None;
+    let mut variant = "predicated".to_string();
+    let mut target: Option<String> = None;
+    let mut json = false;
+    let mut jobs = 1usize;
+    let mut budget = BudgetFlags::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--variant" => variant = it.next().cloned().unwrap_or_else(|| usage()),
+            "--loop" => target = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            "--json" => json = true,
+            "--jobs" => {
+                jobs = it
+                    .next()
+                    .and_then(|w| w.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| usage())
+            }
+            "--max-steps" => {
+                budget.max_steps = Some(
+                    it.next()
+                        .and_then(|w| w.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            "--deadline-ms" => {
+                budget.deadline_ms = Some(
+                    it.next()
+                        .and_then(|w| w.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            _ if file.is_none() => file = Some(a.clone()),
+            _ => usage(),
+        }
+    }
+    let path = file.unwrap_or_else(|| usage());
+    let prog = load(&path);
+    let opts = variant_options(&variant).with_budget(budget.to_budget());
+    let sess = padfa::analysis::AnalysisSession::new(opts).with_jobs(jobs);
+    let (result, _) = match padfa::analysis::analyze_program_session(&prog, &sess) {
+        Ok(out) => out,
+        Err(e) => {
+            eprintln!("padfa: {path}: {e}");
+            exit(exit_code(&e))
+        }
+    };
+    let selected: Vec<_> = match &target {
+        Some(t) => {
+            let hits: Vec<_> = result
+                .loops
+                .iter()
+                .filter(|r| {
+                    r.label.as_deref() == Some(t.as_str())
+                        || t.parse::<u32>().is_ok_and(|n| r.id.0 == n)
+                })
+                .collect();
+            if hits.is_empty() {
+                eprintln!("padfa: no analyzed loop labeled or numbered '{t}'");
+                exit(1)
+            }
+            hits
+        }
+        None => result.loops.iter().collect(),
+    };
+    if json {
+        let loops: Vec<String> = selected
+            .iter()
+            .map(|r| padfa::analysis::loop_json(r))
+            .collect();
+        println!(
+            "{{\"schema_version\":{SCHEMA_VERSION},\"file\":\"{}\",\"variant\":\"{}\",\
+             \"loops\":[{}]}}",
+            json_escape(&path),
+            json_escape(&variant),
+            loops.join(",")
+        );
+    } else {
+        for (i, r) in selected.iter().enumerate() {
+            if i > 0 {
+                println!();
+            }
+            print!("{}", padfa::analysis::render_text(r));
+        }
+    }
+}
+
 /// Minimal JSON string escaping for the corpus ledger.
 fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
@@ -307,6 +502,12 @@ struct CorpusRow {
     peak_constraints: usize,
     degraded_procs: u64,
     limit_overflows: u64,
+    /// Parallelized loops won by each mechanism, indexed by
+    /// [`padfa::analysis::Mechanism`] discriminant order.
+    won: [u64; 5],
+    /// Sequential candidate loops attributed to a concrete blocking
+    /// dependence, exposed read, or budget event.
+    blocked: u64,
     error: Option<String>,
 }
 
@@ -328,6 +529,14 @@ impl CorpusRow {
             self.degraded_procs,
             self.limit_overflows,
         );
+        line.push_str(",\"won\":{");
+        for (i, m) in padfa::analysis::Mechanism::ALL.iter().enumerate() {
+            if i > 0 {
+                line.push(',');
+            }
+            line.push_str(&format!("\"{}\":{}", m.label(), self.won[i]));
+        }
+        line.push_str(&format!("}},\"blocked\":{}", self.blocked));
         if let Some(err) = &self.error {
             line.push_str(&format!(",\"error\":\"{}\"", json_escape(err)));
         }
@@ -358,6 +567,7 @@ fn cmd_corpus(args: &[String]) {
     let mut ledger: Option<String> = None;
     let mut resume = false;
     let mut keep_going = false;
+    let mut metrics_out: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -387,6 +597,7 @@ fn cmd_corpus(args: &[String]) {
             "--ledger" => ledger = Some(it.next().cloned().unwrap_or_else(|| usage())),
             "--resume" => resume = true,
             "--keep-going" => keep_going = true,
+            "--metrics-out" => metrics_out = Some(it.next().cloned().unwrap_or_else(|| usage())),
             _ => usage(),
         }
     }
@@ -409,12 +620,36 @@ fn cmd_corpus(args: &[String]) {
             });
         std::io::BufWriter::new(f)
     });
+    // Stamp fresh ledgers so rows stay attributable to a revision and
+    // host. `--resume` scans only `{"name":"` prefixes, so the meta
+    // line is invisible to it.
+    if let (Some(f), false) = (&mut ledger_file, resume) {
+        let meta = format!(
+            "{{\"meta\":{{\"schema_version\":{SCHEMA_VERSION},\"git_rev\":\"{}\",\
+             \"host\":\"{}\",\"variant\":\"{}\",\"jobs\":{jobs}}}}}",
+            json_escape(&git_rev()),
+            json_escape(&host_info()),
+            json_escape(&variant),
+        );
+        if let Err(e) = writeln!(f, "{meta}") {
+            eprintln!("padfa: cannot write ledger: {e}");
+            exit(1)
+        }
+    }
 
     let corpus = padfa::suite::build_corpus();
     let total = corpus.len();
     let mut counts = [0usize; 4]; // ok, degraded, error, panic
     let mut skipped = 0usize;
     let mut first_failure: Option<i32> = None;
+    // Winning-mechanism attribution per suite (the paper's table): how
+    // many parallelized loops each technique won, plus the sequential
+    // candidates pinned to a concrete blocker.
+    let mut attribution: std::collections::BTreeMap<&'static str, ([u64; 5], u64)> =
+        std::collections::BTreeMap::new();
+    let aggregate = metrics_out
+        .as_ref()
+        .map(|_| padfa::analysis::MetricsRegistry::new());
     let started = std::time::Instant::now();
     for bp in &corpus {
         if done.iter().any(|n| n == bp.name) {
@@ -425,12 +660,49 @@ fn cmd_corpus(args: &[String]) {
         // Each program runs behind its own unwind boundary: a panicking
         // program must not take the rest of the corpus down with it.
         let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let sess = padfa::analysis::AnalysisSession::new(opts.clone()).with_jobs(jobs);
-            padfa::analysis::analyze_program_session(&bp.program, &sess)
+            let reg = aggregate
+                .as_ref()
+                .map(|_| padfa::analysis::MetricsRegistry::new());
+            let mut sess = padfa::analysis::AnalysisSession::new(opts.clone()).with_jobs(jobs);
+            if let Some(r) = &reg {
+                sess = sess.with_metrics(std::sync::Arc::clone(r));
+            }
+            let out = padfa::analysis::analyze_program_session(&bp.program, &sess);
+            if out.is_ok() {
+                sess.publish_metrics();
+            }
+            (out, reg)
         }));
         let ms = t0.elapsed().as_millis();
         let row = match run {
-            Ok(Ok((result, _))) => {
+            Ok((Ok((result, _)), reg)) => {
+                // Fold this program's registry into the corpus-wide
+                // aggregate: counters add up, except `peak.*`, which
+                // keeps the per-program maximum.
+                if let (Some(agg), Some(reg)) = (&aggregate, &reg) {
+                    for (k, v) in reg.counters_snapshot() {
+                        let c = agg.counter(&k);
+                        if k.starts_with("peak.") {
+                            c.set(c.get().max(v));
+                        } else {
+                            c.add(v);
+                        }
+                    }
+                }
+                let mut won = [0u64; 5];
+                let mut blocked = 0u64;
+                for r in &result.loops {
+                    if let Some(w) = r.provenance.winner {
+                        won[w as usize] += 1;
+                    } else if r.not_candidate.is_none() && r.provenance.has_blocker() {
+                        blocked += 1;
+                    }
+                }
+                let entry = attribution.entry(bp.suite.label()).or_default();
+                for (slot, n) in entry.0.iter_mut().zip(won) {
+                    *slot += n;
+                }
+                entry.1 += blocked;
                 let outcome = if result.stats.degraded_procs > 0 {
                     "degraded"
                 } else {
@@ -448,10 +720,12 @@ fn cmd_corpus(args: &[String]) {
                     peak_constraints: result.stats.peak_constraints,
                     degraded_procs: result.stats.degraded_procs,
                     limit_overflows: result.stats.limit_overflows,
+                    won,
+                    blocked,
                     error: None,
                 }
             }
-            Ok(Err(e)) => CorpusRow {
+            Ok((Err(e), _)) => CorpusRow {
                 name: bp.name.to_string(),
                 suite: bp.suite.label(),
                 outcome: "error",
@@ -463,6 +737,8 @@ fn cmd_corpus(args: &[String]) {
                 peak_constraints: 0,
                 degraded_procs: 0,
                 limit_overflows: 0,
+                won: [0; 5],
+                blocked: 0,
                 error: Some(e.to_string()),
             },
             Err(payload) => {
@@ -483,6 +759,8 @@ fn cmd_corpus(args: &[String]) {
                     peak_constraints: 0,
                     degraded_procs: 0,
                     limit_overflows: 0,
+                    won: [0; 5],
+                    blocked: 0,
                     error: Some(msg),
                 }
             }
@@ -526,6 +804,31 @@ fn cmd_corpus(args: &[String]) {
             break;
         }
     }
+    if !attribution.is_empty() {
+        println!("\nper-suite loop attribution (winning mechanism):");
+        print!("{:<12}", "suite");
+        for m in padfa::analysis::Mechanism::ALL {
+            print!(" {:>12}", m.label());
+        }
+        println!(" {:>12}", "blocked");
+        let mut totals = ([0u64; 5], 0u64);
+        for (suite, (won, blocked)) in &attribution {
+            print!("{suite:<12}");
+            for (slot, n) in totals.0.iter_mut().zip(won) {
+                *slot += n;
+            }
+            totals.1 += blocked;
+            for n in won {
+                print!(" {n:>12}");
+            }
+            println!(" {blocked:>12}");
+        }
+        print!("{:<12}", "total");
+        for n in totals.0 {
+            print!(" {n:>12}");
+        }
+        println!(" {:>12}", totals.1);
+    }
     println!(
         "\ncorpus: {total} program(s): {} ok, {} degraded, {} error, {} panic{} in {:.1}s",
         counts[0],
@@ -539,6 +842,34 @@ fn cmd_corpus(args: &[String]) {
         },
         started.elapsed().as_secs_f64()
     );
+    if let (Some(out_path), Some(agg)) = (&metrics_out, &aggregate) {
+        let mut attr = String::from("{");
+        for (i, (suite, (won, blocked))) in attribution.iter().enumerate() {
+            if i > 0 {
+                attr.push(',');
+            }
+            attr.push_str(&format!("\"{}\":{{", json_escape(suite)));
+            for (j, m) in padfa::analysis::Mechanism::ALL.iter().enumerate() {
+                attr.push_str(&format!("\"{}\":{},", m.label(), won[j]));
+            }
+            attr.push_str(&format!("\"blocked\":{blocked}}}"));
+        }
+        attr.push('}');
+        let json = format!(
+            "{{\"schema_version\":{SCHEMA_VERSION},\"git_rev\":\"{}\",\"host\":\"{}\",\
+             \"variant\":\"{}\",\"jobs\":{jobs},\"programs\":{total},\
+             \"attribution\":{attr},\"metrics\":{}}}",
+            json_escape(&git_rev()),
+            json_escape(&host_info()),
+            json_escape(&variant),
+            agg.snapshot_json()
+        );
+        if let Err(e) = std::fs::write(out_path, json) {
+            eprintln!("padfa: cannot write metrics {out_path}: {e}");
+            exit(1)
+        }
+        println!("metrics snapshot written to {out_path}");
+    }
     match first_failure {
         Some(code) if !keep_going => exit(code),
         _ => {}
@@ -739,6 +1070,7 @@ fn main() {
     match argv.split_first() {
         Some((cmd, rest)) => match cmd.as_str() {
             "analyze" => cmd_analyze(rest),
+            "explain" => cmd_explain(rest),
             "run" => cmd_run(rest),
             "elpd" => cmd_elpd(rest),
             "fmt" => cmd_fmt(rest),

@@ -464,19 +464,30 @@ fn corpus_classifies_every_program_and_resumes() {
     );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("0 error, 0 panic"), "{text}");
+    assert!(text.contains("per-suite loop attribution"), "{text}");
 
     let lines: Vec<String> = std::fs::read_to_string(&ledger)
         .unwrap()
         .lines()
         .map(str::to_string)
         .collect();
-    assert!(!lines.is_empty());
-    for line in &lines {
+    // Line 0 is the run stamp; every other line is one program row.
+    assert!(lines.len() >= 2);
+    assert!(
+        lines[0].starts_with("{\"meta\":{\"schema_version\":"),
+        "{}",
+        lines[0]
+    );
+    assert!(lines[0].contains("\"git_rev\":"), "{}", lines[0]);
+    assert!(lines[0].contains("\"host\":"), "{}", lines[0]);
+    for line in &lines[1..] {
         assert!(line.starts_with("{\"name\":\""), "{line}");
         assert!(
             line.contains("\"outcome\":\"ok\"") || line.contains("\"outcome\":\"degraded\""),
             "{line}"
         );
+        assert!(line.contains("\"won\":{\"base\":"), "{line}");
+        assert!(line.contains("\"blocked\":"), "{line}");
     }
 
     // A resumed run skips everything already in the ledger and appends

@@ -397,8 +397,11 @@ pub static PROGRAM_SPECS: &[ProgramSpec] = &[
         name: "track",
         suite: SuiteName::Perfect,
         seed: 311,
-        size: 56,
-        wins: wins!(guard_rt_in: 1),
+        // Distinct from mgrid's (56, guard_rt_in: 1): the generator is
+        // structural, so sharing a (size, wins) shape would make the two
+        // programs — and their session stats — byte-identical twins.
+        size: 48,
+        wins: wins!(guard_rt_in: 1, boundary_rt_in: 1),
     },
     // ---- the additional program ----
     ProgramSpec {
@@ -432,6 +435,26 @@ mod tests {
         assert_eq!(count(SuiteName::NasSample), 8);
         assert_eq!(count(SuiteName::Perfect), 11);
         assert_eq!(count(SuiteName::Additional), 1);
+    }
+
+    /// The generator is structural: two specs sharing a `(size, wins)`
+    /// shape produce byte-identical program bodies (and therefore
+    /// byte-identical session stats), which silently degrades the corpus
+    /// to 29 distinct programs. `track` was once such a twin of `mgrid`.
+    #[test]
+    fn no_structural_twins() {
+        let mut shapes: Vec<String> = PROGRAM_SPECS
+            .iter()
+            .map(|s| format!("{} {:?}", s.size, s.wins))
+            .collect();
+        shapes.sort_unstable();
+        let before = shapes.len();
+        shapes.dedup();
+        assert_eq!(
+            shapes.len(),
+            before,
+            "two programs share a (size, wins) shape and generate identical bodies"
+        );
     }
 
     #[test]

@@ -152,7 +152,7 @@ fn corpus_is_deterministic_golden_numbers() {
     }
     assert_eq!(
         (total, base, guarded, pred, rt),
-        (4488, 2279, 2316, 2399, 70),
+        (4482, 2275, 2312, 2396, 71),
         "golden corpus aggregates changed"
     );
 }
