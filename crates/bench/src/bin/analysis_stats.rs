@@ -3,7 +3,12 @@
 //! `BENCH_analysis.json` (consumed by CI as a build artifact).
 //!
 //! Usage: `cargo run --release -p padfa-bench --bin analysis_stats
-//!         [--jobs N] [--runs N] [--out PATH]`
+//!         [--jobs N] [--runs N] [--warmup N] [--out PATH]`
+//!
+//! Every program is timed at `--jobs 1` and at `--jobs N`; the ratio is
+//! reported as `speedup_jobs` per program and per suite. `--warmup`
+//! untimed runs precede each measurement so allocator state and CPU
+//! frequency scaling do not pollute the first sample.
 
 use padfa_bench::median_time;
 use padfa_core::{analyze_program_session, AnalysisSession, Options, StatsSnapshot};
@@ -17,6 +22,18 @@ struct ProgramCost {
     wall_ms_jobs1: f64,
     wall_ms_jobs_n: f64,
     stats: StatsSnapshot,
+}
+
+impl ProgramCost {
+    /// Parallel speedup of the intra-/inter-procedure fan-out:
+    /// `wall(jobs=1) / wall(jobs=N)`.
+    fn speedup_jobs(&self) -> f64 {
+        if self.wall_ms_jobs_n > 0.0 {
+            self.wall_ms_jobs1 / self.wall_ms_jobs_n
+        } else {
+            0.0
+        }
+    }
 }
 
 fn json_stats(s: &StatsSnapshot) -> String {
@@ -101,6 +118,7 @@ fn main() {
     };
     let jobs: usize = flag("--jobs").and_then(|v| v.parse().ok()).unwrap_or(4);
     let runs: usize = flag("--runs").and_then(|v| v.parse().ok()).unwrap_or(3);
+    let warmup: usize = flag("--warmup").and_then(|v| v.parse().ok()).unwrap_or(1);
     let out_path = flag("--out").unwrap_or_else(|| "BENCH_analysis.json".to_string());
 
     let corpus = padfa_suite::build_corpus();
@@ -108,6 +126,10 @@ fn main() {
     let mut costs: Vec<ProgramCost> = Vec::new();
     for bench in &corpus {
         let time_with = |j: usize| {
+            for _ in 0..warmup {
+                let sess = AnalysisSession::new(opts.clone()).with_jobs(j);
+                let _ = analyze_program_session(&bench.program, &sess).expect("analysis failed");
+            }
             median_time(runs, || {
                 let sess = AnalysisSession::new(opts.clone()).with_jobs(j);
                 let _ = analyze_program_session(&bench.program, &sess).expect("analysis failed");
@@ -138,12 +160,14 @@ fn main() {
     let _ = writeln!(json, "  \"host\": \"{}\",", host_info());
     let _ = writeln!(json, "  \"jobs\": {jobs},");
     let _ = writeln!(json, "  \"runs\": {runs},");
+    let _ = writeln!(json, "  \"warmup\": {warmup},");
     json.push_str("  \"programs\": [\n");
     for (i, c) in costs.iter().enumerate() {
         let _ = write!(
             json,
             "    {{\"name\": \"{}\", \"suite\": \"{}\", \"procedures\": {}, \"loops\": {}, \
-             \"wall_ms_jobs1\": {:.3}, \"wall_ms_jobs{}\": {:.3}, \"session\": {}}}",
+             \"wall_ms_jobs1\": {:.3}, \"wall_ms_jobs{}\": {:.3}, \"speedup_jobs\": {:.2}, \
+             \"session\": {}}}",
             c.name,
             c.suite,
             c.procedures,
@@ -151,6 +175,7 @@ fn main() {
             c.wall_ms_jobs1,
             jobs,
             c.wall_ms_jobs_n,
+            c.speedup_jobs(),
             json_stats(&c.stats),
         );
         json.push_str(if i + 1 < costs.len() { ",\n" } else { "\n" });
@@ -178,12 +203,14 @@ fn main() {
         let _ = write!(
             json,
             "    {{\"suite\": \"{}\", \"programs\": {}, \"wall_ms_jobs1\": {:.3}, \
-             \"wall_ms_jobs{}\": {:.3}, \"hit_rate\": {:.4}, \"best_program_hit_rate\": {:.4}}}",
+             \"wall_ms_jobs{}\": {:.3}, \"speedup_jobs\": {:.2}, \"hit_rate\": {:.4}, \
+             \"best_program_hit_rate\": {:.4}}}",
             suite,
             members.len(),
             wall1,
             jobs,
             walln,
+            if walln > 0.0 { wall1 / walln } else { 0.0 },
             if queries > 0 {
                 hits as f64 / queries as f64
             } else {
@@ -203,11 +230,12 @@ fn main() {
     // Human-readable recap on stdout.
     for c in &costs {
         println!(
-            "{:<12} {:>7.2} ms (jobs=1) {:>7.2} ms (jobs={jobs})  hit rate {:>5.1}%  \
-             [{} loops, {} procs]",
+            "{:<12} {:>7.2} ms (jobs=1) {:>7.2} ms (jobs={jobs})  speedup {:>5.2}x  \
+             hit rate {:>5.1}%  [{} loops, {} procs]",
             c.name,
             c.wall_ms_jobs1,
             c.wall_ms_jobs_n,
+            c.speedup_jobs(),
             c.stats.hit_rate() * 100.0,
             c.loops,
             c.procedures,

@@ -89,47 +89,18 @@ pub fn analyze_program_session(
     let co = call_order(prog);
     let mut proc_summaries: HashMap<String, Arc<Summary>> = HashMap::new();
     let mut reports: Vec<LoopReport> = Vec::new();
-    let jobs = sess.jobs();
     for (level_no, level) in co.levels.iter().enumerate() {
         let mut level_span = trace::span(format!("level{level_no}"), "driver");
         level_span.arg("procs", level.len().to_string());
-        let mut done: Vec<ProcOutcome> = if jobs <= 1 || level.len() <= 1 {
-            level
-                .iter()
-                .map(|&idx| analyze_proc(prog, idx, &co, &proc_summaries, sess))
-                .collect()
-        } else {
-            let chunk = level.len().div_ceil(jobs);
-            let summaries = &proc_summaries;
-            let co_ref = &co;
-            std::thread::scope(|s| {
-                let handles: Vec<_> = level
-                    .chunks(chunk)
-                    .map(|ids| {
-                        s.spawn(move || {
-                            ids.iter()
-                                .map(|&idx| analyze_proc(prog, idx, co_ref, summaries, sess))
-                                .collect::<Vec<_>>()
-                        })
-                    })
-                    .collect();
-                let mut all: Vec<ProcOutcome> = Vec::new();
-                for h in handles {
-                    match h.join() {
-                        Ok(v) => all.extend(v),
-                        // Unreachable in practice: analyze_proc catches
-                        // all panics itself. Classified, not propagated.
-                        Err(_) => all.push((
-                            usize::MAX,
-                            Err(AnalysisError::Internal(
-                                "analysis worker thread died".into(),
-                            )),
-                        )),
-                    }
-                }
-                all
-            })
-        };
+        let summaries = &proc_summaries;
+        let co_ref = &co;
+        // Procedures of one level share no data flow, so fan out over
+        // the session's worker-token pool. `analyze_proc` arms the
+        // budget meter on whichever lane runs it, so nested fan-outs
+        // inside a budgeted procedure correctly run inline.
+        let mut done: Vec<ProcOutcome> = crate::pool::par_map(sess.tokens(), level, |_, &idx| {
+            analyze_proc(prog, idx, co_ref, summaries, sess)
+        });
         // Deterministic error selection and report order within a level.
         done.sort_by_key(|(idx, _)| *idx);
         for (idx, outcome) in done {
@@ -172,6 +143,7 @@ fn analyze_proc(
             sess,
             proc_summaries: summaries,
             reports: Vec::new(),
+            par_ok: !block_has_strided(&proc.body),
         };
         let summary = if co.recursive.contains(&idx) {
             conservative_summary(proc)
@@ -271,10 +243,52 @@ struct Analyzer<'a> {
     /// every callee of the procedure under analysis is already here).
     proc_summaries: &'a HashMap<String, Arc<Summary>>,
     reports: Vec<LoopReport>,
+    /// Whether intra-procedure fan-out is allowed: false when the
+    /// procedure contains a strided loop, whose summarization draws
+    /// `$lat` existential names from the session's per-procedure pool
+    /// in traversal order (see [`existentialize`]) — an order only a
+    /// single-threaded walk reproduces.
+    par_ok: bool,
+}
+
+/// Whether any loop in the block (recursively) has a non-unit step.
+fn block_has_strided(b: &Block) -> bool {
+    b.stmts.iter().any(|s| match s {
+        Stmt::For(l) => l.step.abs() > 1 || block_has_strided(&l.body),
+        Stmt::If {
+            then_blk, else_blk, ..
+        } => block_has_strided(then_blk) || block_has_strided(else_blk),
+        _ => false,
+    })
 }
 
 impl<'a> Analyzer<'a> {
     fn analyze_block(&mut self, proc: &Procedure, block: &Block, depth: usize) -> Summary {
+        // Statement summaries are mutually independent — `seq` composes
+        // them only afterward — so fan the statements out when the
+        // procedure permits it. Each task gets a sub-analyzer collecting
+        // its own reports; merging summaries and reports in statement
+        // order reproduces the sequential walk exactly (a loop's inner
+        // reports precede its own, as in the recursive order).
+        if self.par_ok && block.stmts.len() >= 2 {
+            let results = crate::pool::par_map(self.sess.tokens(), &block.stmts, |_, stmt| {
+                let mut sub = Analyzer {
+                    prog: self.prog,
+                    sess: self.sess,
+                    proc_summaries: self.proc_summaries,
+                    reports: Vec::new(),
+                    par_ok: self.par_ok,
+                };
+                let s = sub.analyze_stmt(proc, stmt, depth);
+                (s, sub.reports)
+            });
+            let mut acc = Summary::empty();
+            for (s, reps) in results {
+                self.reports.extend(reps);
+                acc = acc.seq(&s, self.sess);
+            }
+            return acc;
+        }
         let mut acc = Summary::empty();
         for stmt in &block.stmts {
             let s = self.analyze_stmt(proc, stmt, depth);
@@ -376,8 +390,11 @@ impl<'a> Analyzer<'a> {
         let body = self.analyze_block(proc, &l.body, depth + 1);
 
         // Attribution baselines, taken *after* the body so inner loops
-        // self-attribute their own cap-hits. Each procedure runs on
-        // exactly one worker thread, so thread-local deltas are exact.
+        // self-attribute their own cap-hits. Thread-local deltas are
+        // exact even under intra-procedure fan-out: `par_map` migrates
+        // every worker's overflow delta back to the calling thread
+        // before returning, and the body's fan-outs finish before the
+        // baseline is read.
         let limit_base = padfa_omega::limit_stats::thread_overflows();
         let lat_base = sess.lat_overflow_for(&proc.name);
 
@@ -562,12 +579,12 @@ impl<'a> Analyzer<'a> {
         };
 
         let preds = opts.predicates_enabled();
-        let extract_fn: Option<&dyn Fn(Var) -> bool> = if opts.extraction {
-            Some(&is_symbolic)
-        } else {
-            None
-        };
-        for (&a, s) in &iter.arrays {
+        let summarize = |s: &crate::summary::ArraySummary| -> (crate::summary::ArraySummary, bool) {
+            let extract_fn: Option<&dyn Fn(Var) -> bool> = if opts.extraction {
+                Some(&is_symbolic)
+            } else {
+                None
+            };
             let mut fired = false;
             let e_inner = with_ctx(&s.e).pred_subtract(
                 &w_prev_of_i(&s.w),
@@ -576,9 +593,6 @@ impl<'a> Analyzer<'a> {
                 sess,
                 &mut fired,
             );
-            if fired {
-                mechanisms.extraction = true;
-            }
             let mut arr = crate::summary::ArraySummary {
                 w: existentialize(
                     with_ctx(&s.w).project_out(&project, false, sess),
@@ -609,6 +623,22 @@ impl<'a> Analyzer<'a> {
             arr.mw.normalize(opts.max_pieces, true, sess);
             arr.r.normalize(opts.max_pieces, true, sess);
             arr.e.normalize(opts.max_pieces, true, sess);
+            (arr, fired)
+        };
+        // Per-array subtractions are independent; fan out unless the
+        // loop is strided — then `existentialize` draws `$lat` names and
+        // must keep the sequential draw order.
+        let arr_items: Vec<(Var, &crate::summary::ArraySummary)> =
+            iter.arrays.iter().map(|(&a, s)| (a, s)).collect();
+        let summarized: Vec<(crate::summary::ArraySummary, bool)> = if aux_vars.is_empty() {
+            crate::pool::par_map(sess.tokens(), &arr_items, |_, &(_, s)| summarize(s))
+        } else {
+            arr_items.iter().map(|&(_, s)| summarize(s)).collect()
+        };
+        for (&(a, _), (arr, fired)) in arr_items.iter().zip(summarized) {
+            if fired {
+                mechanisms.extraction = true;
+            }
             if !arr.is_empty() {
                 loop_sum.arrays.insert(a, arr);
             }
@@ -647,7 +677,9 @@ impl<'a> Analyzer<'a> {
 /// from different loop summarizations never share an existential. The
 /// replacement names are drawn from the session's per-procedure pool
 /// (`$lat.<proc>.<k>`), which keeps them deterministic under the
-/// parallel driver: each procedure is analyzed by exactly one worker.
+/// parallel driver: intra-procedure fan-out is disabled wherever a draw
+/// can occur (strided loops), so within a procedure the draws happen in
+/// sequential traversal order no matter how many workers exist.
 fn existentialize(
     comp: PredComponent,
     aux: &[Var],

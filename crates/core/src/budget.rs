@@ -174,6 +174,16 @@ pub(crate) fn take() -> MeterReport {
     })
 }
 
+/// Whether this thread's meter is armed (a finite budget is in force).
+/// The intra-procedure fan-out checks this and runs inline when armed:
+/// the meter is thread-local, so spawning workers would split the step
+/// count across meters and change where the watchdog fires. Budgeted
+/// runs are diagnostics, not the perf target, so losing fan-out there
+/// is the right trade for exact budget semantics.
+pub(crate) fn armed() -> bool {
+    METER.with(|m| m.borrow().is_some())
+}
+
 /// Charge `n` steps against this thread's meter (no-op when unarmed).
 /// Unwinds with [`Exhausted`] when the budget runs out. Must only be
 /// called while no session lock is held.

@@ -61,6 +61,40 @@ impl PredComponent {
         self.pieces.push(GuardedRegion { pred, region });
     }
 
+    /// Like [`PredComponent::push`], but same-predicate merges go
+    /// through the session's memoized [`AnalysisSession::union`], so the
+    /// merged region is hash-consed and the union memo sees the traffic.
+    /// (The session's limits equal the defaults used by `push`, so the
+    /// resulting component is identical — only memoization differs.)
+    pub fn push_in(
+        &mut self,
+        pred: Pred,
+        region: impl Into<Arc<Disjunction>>,
+        sess: &AnalysisSession,
+    ) {
+        let region = region.into();
+        if pred.is_false() || region.is_empty_union() {
+            return;
+        }
+        for p in &mut self.pieces {
+            if p.pred == pred {
+                p.region = sess.union(&p.region, &region);
+                return;
+            }
+        }
+        self.pieces.push(GuardedRegion { pred, region });
+    }
+
+    /// Session-aware [`PredComponent::union`]: piece merges are memoized
+    /// via [`PredComponent::push_in`].
+    pub fn union_in(&self, other: &PredComponent, sess: &AnalysisSession) -> PredComponent {
+        let mut out = self.clone();
+        for p in &other.pieces {
+            out.push_in(p.pred.clone(), p.region.clone(), sess);
+        }
+        out
+    }
+
     /// True when no pieces remain.
     pub fn is_empty(&self) -> bool {
         self.pieces.is_empty()

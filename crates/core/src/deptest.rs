@@ -66,7 +66,7 @@ fn conflict_condition(
     ctx2: &System,
     loop_var: Var,
     sess: &AnalysisSession,
-    is_symbolic: &dyn Fn(Var) -> bool,
+    is_symbolic: &(dyn Fn(Var) -> bool + Sync),
     mechanisms: &mut Mechanisms,
 ) -> (Pred, PairOutcome) {
     let opts = &sess.opts;
@@ -163,7 +163,7 @@ fn array_dependence_condition(
     ctx2: &System,
     loop_var: Var,
     sess: &AnalysisSession,
-    is_symbolic: &dyn Fn(Var) -> bool,
+    is_symbolic: &(dyn Fn(Var) -> bool + Sync),
     mechanisms: &mut Mechanisms,
     pairs: &mut Vec<PairEvidence>,
 ) -> Pred {
@@ -223,7 +223,7 @@ fn privatization_unsafe_condition(
     ctx2: &System,
     loop_var: Var,
     sess: &AnalysisSession,
-    is_symbolic: &dyn Fn(Var) -> bool,
+    is_symbolic: &(dyn Fn(Var) -> bool + Sync),
     mechanisms: &mut Mechanisms,
     pairs: &mut Vec<PairEvidence>,
 ) -> Pred {
@@ -278,7 +278,7 @@ pub fn test_loop(
     loop_var: Var,
     ctx: &System,
     sess: &AnalysisSession,
-    is_symbolic: &dyn Fn(Var) -> bool,
+    is_symbolic: &(dyn Fn(Var) -> bool + Sync),
     trip2: &Pred,
 ) -> LoopDecision {
     let opts = &sess.opts;
@@ -303,18 +303,39 @@ pub fn test_loop(
     let mut hard_dep = false;
     let mut prov = Provenance::default();
 
-    for (&array, s) in &body.arrays {
+    // One array's complete dependence/privatization/run-time-test
+    // verdict. Arrays are mutually independent (no early exit crosses an
+    // array boundary and the pair tests only read this array's summary),
+    // so `test_loop` fans them out and merges the outcomes in array
+    // order below — evidence rows, privatization pushes, and the
+    // `Pred::and` test chain compose exactly as the sequential loop did.
+    struct ArrayOutcome {
+        evidence: Option<ArrayEvidence>,
+        privatize: Option<PrivArray>,
+        test: Option<Pred>,
+        hard_dep: bool,
+        mech: Mechanisms,
+    }
+
+    let test_array = |array: Var, s: &crate::summary::ArraySummary| -> ArrayOutcome {
+        let mut out = ArrayOutcome {
+            evidence: None,
+            privatize: None,
+            test: None,
+            hard_dep: false,
+            mech: Mechanisms::default(),
+        };
         if is_reduction(array) {
-            prov.arrays.push(ArrayEvidence {
+            out.evidence = Some(ArrayEvidence {
                 array,
                 verdict: ArrayVerdict::Reduction,
                 dep_pairs: Vec::new(),
                 priv_pairs: Vec::new(),
             });
-            continue;
+            return out;
         }
         if s.mw.is_empty() {
-            continue; // read-only arrays never carry dependences
+            return out; // read-only arrays never carry dependences
         }
         let mut dep_pairs = Vec::new();
         let dep = array_dependence_condition(
@@ -325,17 +346,17 @@ pub fn test_loop(
             loop_var,
             sess,
             is_symbolic,
-            &mut mechanisms,
+            &mut out.mech,
             &mut dep_pairs,
         );
         if dep.is_false() {
-            prov.arrays.push(ArrayEvidence {
+            out.evidence = Some(ArrayEvidence {
                 array,
                 verdict: ArrayVerdict::Independent,
                 dep_pairs,
                 priv_pairs: Vec::new(),
             });
-            continue; // independent
+            return out; // independent
         }
         // Try privatization: legal when no exposed read of one iteration
         // overlaps a write of another.
@@ -348,23 +369,23 @@ pub fn test_loop(
             loop_var,
             sess,
             is_symbolic,
-            &mut mechanisms,
+            &mut out.mech,
             &mut priv_pairs,
         );
         if unsafe_priv.is_false() {
             let copy_in = !s.e.is_region_empty(sess);
-            privatized.push(PrivArray {
+            out.privatize = Some(PrivArray {
                 array,
                 copy_in,
                 copy_out: true,
             });
-            prov.arrays.push(ArrayEvidence {
+            out.evidence = Some(ArrayEvidence {
                 array,
                 verdict: ArrayVerdict::Privatized { copy_in },
                 dep_pairs,
                 priv_pairs,
             });
-            continue;
+            return out;
         }
         // Neither unconditional: derive a run-time test. The loop is
         // safe to run in parallel when the dependence condition is false
@@ -385,15 +406,15 @@ pub fn test_loop(
             if !degenerate && test.is_runtime_testable() && test.cost() <= opts.test_cost_budget {
                 let copy_in = !s.e.is_region_empty(sess);
                 if with_priv {
-                    privatized.push(PrivArray {
+                    out.privatize = Some(PrivArray {
                         array,
                         copy_in,
                         copy_out: true,
                     });
                 }
-                tests = Pred::and(tests, test.clone());
-                mechanisms.runtime_test = true;
-                prov.arrays.push(ArrayEvidence {
+                out.test = Some(test.clone());
+                out.mech.runtime_test = true;
+                out.evidence = Some(ArrayEvidence {
                     array,
                     verdict: ArrayVerdict::RuntimeTested {
                         test,
@@ -402,7 +423,7 @@ pub fn test_loop(
                     dep_pairs,
                     priv_pairs,
                 });
-                continue;
+                return out;
             }
             let reason = if degenerate {
                 RejectReason::Degenerate
@@ -415,7 +436,7 @@ pub fn test_loop(
         } else {
             rejected = Some((dep.negate(), RejectReason::Disabled));
         }
-        prov.arrays.push(ArrayEvidence {
+        out.evidence = Some(ArrayEvidence {
             array,
             verdict: ArrayVerdict::Blocking {
                 dep: dep.clone(),
@@ -424,7 +445,27 @@ pub fn test_loop(
             dep_pairs,
             priv_pairs,
         });
-        hard_dep = true;
+        out.hard_dep = true;
+        out
+    };
+
+    let arrays: Vec<(Var, &crate::summary::ArraySummary)> =
+        body.arrays.iter().map(|(&a, s)| (a, s)).collect();
+    for out in crate::pool::par_map(sess.tokens(), &arrays, |_, &(a, s)| test_array(a, s)) {
+        mechanisms.predicates |= out.mech.predicates;
+        mechanisms.embedding |= out.mech.embedding;
+        mechanisms.extraction |= out.mech.extraction;
+        mechanisms.runtime_test |= out.mech.runtime_test;
+        if let Some(p) = out.privatize {
+            privatized.push(p);
+        }
+        if let Some(t) = out.test {
+            tests = Pred::and(tests, t);
+        }
+        if let Some(ev) = out.evidence {
+            prov.arrays.push(ev);
+        }
+        hard_dep |= out.hard_dep;
     }
 
     // Scalars: exposed-and-written scalars carry a cross-iteration flow

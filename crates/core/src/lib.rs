@@ -73,11 +73,13 @@ pub mod error;
 pub mod interproc;
 pub mod metrics;
 pub mod options;
+pub(crate) mod pool;
 pub mod provenance;
 pub mod reduce;
 pub mod region;
 pub mod report;
 pub mod session;
+pub(crate) mod shard;
 pub mod summary;
 pub mod trace;
 

@@ -20,13 +20,10 @@
 //! Tests that assert cross-jobs determinism must compare only the first
 //! class — [`MetricsRegistry::deterministic_counters`] selects it.
 
+use padfa_omega::sync::lock;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard};
-
-fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
-}
+use std::sync::{Arc, Mutex};
 
 /// The memoized lattice query kinds instrumented by the session.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]

@@ -10,17 +10,24 @@
 //! an [`AnalysisSession`] interns operands into `Arc` handles with
 //! stable `u32` ids and memoizes each query on those ids.
 //!
+//! The interners and memo tables are lock-striped ([`crate::shard`]):
+//! the hot `sys_empty` path is ~90% of all queries, and with one global
+//! mutex per table every worker serialized on it.
+//!
 //! ## Determinism
 //!
 //! The session is shared (`&AnalysisSession` is `Sync`) across the
-//! per-procedure worker threads of the parallel driver. Three properties
-//! keep the analysis output bit-identical regardless of worker count:
+//! worker threads of the parallel driver — both the per-procedure
+//! level driver and the intra-procedure fan-out
+//! ([`crate::pool::par_map`]). Three properties keep the analysis
+//! output bit-identical regardless of worker count:
 //!
 //! 1. Memo keys are *structural*: a cached result is only returned for
 //!    operands equal (including constraint order) to those of the
 //!    original computation, and the operations are deterministic pure
 //!    functions — so a cache hit returns exactly what a fresh
-//!    computation would.
+//!    computation would. (Interned ids are schedule-dependent, but they
+//!    never reach the output: they only key memo entries.)
 //! 2. `Var` ordering is intern-index order and seeps into constraint
 //!    sorting and Fourier–Motzkin tie-breaks. [`pre_intern`] interns
 //!    every synthetic name the analysis can create (dimension variables,
@@ -28,9 +35,11 @@
 //!    single-threaded pass over the program *before* workers start, so
 //!    concurrent first-interning can never reorder them.
 //! 3. Lattice existentials (`$lat.*`) are drawn from a per-procedure
-//!    counter ([`lat_var`]) instead of a global fresh counter; each
-//!    procedure is analyzed by exactly one worker, so the k-th request
-//!    in a procedure always yields the same name.
+//!    counter ([`lat_var`]) instead of a global fresh counter. Only
+//!    strided loops ever request them, and the driver disables
+//!    statement- and summary-level fan-out inside procedures containing
+//!    a strided loop, so the k-th request in a procedure always comes
+//!    from the same (single) thread in the same order.
 //!
 //! [`pre_intern`]: AnalysisSession::pre_intern
 //! [`lat_var`]: AnalysisSession::lat_var
@@ -38,101 +47,22 @@
 use crate::budget;
 use crate::metrics::{Histogram, MetricsRegistry, QueryKind};
 use crate::options::Options;
+use crate::pool::WorkerTokens;
+use crate::shard::{Interner, Memo};
 use crate::trace;
 use padfa_ir::ast::{Block, ParamTy, Procedure, Program, Stmt};
+use padfa_omega::sync::lock;
 use padfa_omega::{Disjunction, Limits, System, Var};
 use padfa_pred::Pred;
 use std::collections::HashMap;
-use std::hash::Hash;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
-
-/// Poison-recovering lock: a panic in *other* code while a guard was
-/// held (never the session's own paths — budget unwinds are raised
-/// before any lock is taken) must not wedge every later query. The
-/// protected tables are memo caches whose entries are pure functions of
-/// their keys, so recovering the inner value is always sound.
-fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
-}
 
 /// Pre-interned `$lat.<proc>.<k>` names per strided procedure; requests
 /// beyond the pool fall back to on-the-fly interning (counted in
 /// [`StatsSnapshot::lat_overflow`]).
 const LAT_POOL: u32 = 256;
-
-/// A hash-consing interner: equal values share one `Arc` and one id.
-struct Interner<T> {
-    map: Mutex<HashMap<Arc<T>, u32>>,
-}
-
-impl<T: Eq + Hash + Clone> Interner<T> {
-    fn new() -> Interner<T> {
-        Interner {
-            map: Mutex::new(HashMap::new()),
-        }
-    }
-
-    /// Intern by reference; clones into a fresh `Arc` only on a miss.
-    fn intern(&self, value: &T) -> (Arc<T>, u32) {
-        let mut m = lock(&self.map);
-        if let Some((k, &id)) = m.get_key_value(value) {
-            return (Arc::clone(k), id);
-        }
-        let id = m.len() as u32;
-        let arc = Arc::new(value.clone());
-        m.insert(Arc::clone(&arc), id);
-        (arc, id)
-    }
-
-    fn len(&self) -> usize {
-        lock(&self.map).len()
-    }
-}
-
-/// A memo table over interned-id keys with hit/miss counters.
-struct Memo<K, V> {
-    map: Mutex<HashMap<K, V>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
-}
-
-impl<K: Eq + Hash, V: Clone> Memo<K, V> {
-    fn new() -> Memo<K, V> {
-        Memo {
-            map: Mutex::new(HashMap::new()),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-        }
-    }
-
-    /// Look up `key`, computing with `f` on a miss. The computation runs
-    /// *outside* the lock: two workers may race to compute the same
-    /// entry, which is benign (the operations are pure and
-    /// deterministic, so both produce the same value).
-    fn get_or(&self, key: K, f: impl FnOnce() -> V) -> V {
-        if let Some(v) = lock(&self.map).get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return v.clone();
-        }
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        let v = f();
-        lock(&self.map).entry(key).or_insert_with(|| v.clone());
-        v
-    }
-
-    fn counters(&self) -> QueryStats {
-        QueryStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-        }
-    }
-
-    fn len(&self) -> usize {
-        lock(&self.map).len()
-    }
-}
 
 /// Hit/miss counters for one memoized query.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -274,6 +204,9 @@ impl std::fmt::Display for StatsSnapshot {
 pub struct AnalysisSession {
     pub opts: Options,
     jobs: usize,
+    /// Spawnable-worker tokens for the intra-procedure fan-out
+    /// ([`crate::pool::par_map`]); `jobs - 1` exist session-wide.
+    tokens: WorkerTokens,
     systems: Interner<System>,
     regions: Interner<Disjunction>,
     preds: Interner<Pred>,
@@ -311,6 +244,7 @@ impl AnalysisSession {
         AnalysisSession {
             opts,
             jobs: 1,
+            tokens: WorkerTokens::new(1),
             systems: Interner::new(),
             regions: Interner::new(),
             preds: Interner::new(),
@@ -333,10 +267,26 @@ impl AnalysisSession {
         }
     }
 
-    /// Number of worker threads for the per-procedure parallel driver.
+    /// Number of worker threads for the parallel driver (across
+    /// procedures *and*, via the shared token pool, within them).
+    ///
+    /// The spawnable-worker pool is additionally clamped to the host's
+    /// physical parallelism: oversubscribing cores cannot speed up a
+    /// CPU-bound analysis and measurably slows it (thread spawns and
+    /// scheduler churn), so `--jobs 4` on a single-core host runs the
+    /// inline path. Output is bit-identical either way.
     pub fn with_jobs(mut self, jobs: usize) -> AnalysisSession {
         self.jobs = jobs.max(1);
+        let cores = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        self.tokens = WorkerTokens::new(self.jobs.min(cores));
         self
+    }
+
+    /// The session's worker-token pool (for [`crate::pool::par_map`]).
+    pub(crate) fn tokens(&self) -> &WorkerTokens {
+        &self.tokens
     }
 
     /// Attach a metrics registry: every lattice query records a latency

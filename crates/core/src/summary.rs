@@ -130,10 +130,10 @@ impl Summary {
             let e2_minus_w1 = e2.pred_subtract(&s1.w, preds, None, sess, &mut fired);
 
             let mut acc = ArraySummary {
-                w: s1.w.union(&w2),
-                mw: s1.mw.union(&mw2),
-                r: s1.r.union(&r2),
-                e: s1.e.union(&e2_minus_w1),
+                w: s1.w.union_in(&w2, sess),
+                mw: s1.mw.union_in(&mw2, sess),
+                r: s1.r.union_in(&r2, sess),
+                e: s1.e.union_in(&e2_minus_w1, sess),
             };
             acc.w.normalize(opts.max_pieces, false, sess);
             acc.mw.normalize(opts.max_pieces, true, sess);
@@ -200,19 +200,19 @@ impl Summary {
             let e = else_s.arrays.get(&a).unwrap_or(&empty);
             let mut acc = if opts.predicates_enabled() {
                 ArraySummary {
-                    w: t.w.guard(cond_pred).union(&e.w.guard(&neg)),
-                    mw: t.mw.guard(cond_pred).union(&e.mw.guard(&neg)),
-                    r: t.r.guard(cond_pred).union(&e.r.guard(&neg)),
-                    e: t.e.guard(cond_pred).union(&e.e.guard(&neg)),
+                    w: t.w.guard(cond_pred).union_in(&e.w.guard(&neg), sess),
+                    mw: t.mw.guard(cond_pred).union_in(&e.mw.guard(&neg), sess),
+                    r: t.r.guard(cond_pred).union_in(&e.r.guard(&neg), sess),
+                    e: t.e.guard(cond_pred).union_in(&e.e.guard(&neg), sess),
                 }
             } else {
                 // Base SUIF: W must hold on both paths.
                 let w = intersect_must(&t.w, &e.w, sess);
                 ArraySummary {
                     w,
-                    mw: t.mw.union(&e.mw),
-                    r: t.r.union(&e.r),
-                    e: t.e.union(&e.e),
+                    mw: t.mw.union_in(&e.mw, sess),
+                    r: t.r.union_in(&e.r, sess),
+                    e: t.e.union_in(&e.e, sess),
                 }
             };
             acc.w.normalize(opts.max_pieces, false, sess);

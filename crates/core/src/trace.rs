@@ -28,15 +28,12 @@
 
 #[cfg(feature = "trace")]
 mod imp {
+    use padfa_omega::sync::lock;
     use std::cell::RefCell;
     use std::collections::{BTreeMap, HashMap};
     use std::sync::atomic::{AtomicBool, Ordering};
-    use std::sync::{Mutex, MutexGuard};
+    use std::sync::Mutex;
     use std::time::Instant;
-
-    fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-        m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
-    }
 
     struct Event {
         name: String,

@@ -55,6 +55,7 @@
 pub mod constraint;
 pub mod disjunction;
 pub mod linexpr;
+pub mod sync;
 pub mod system;
 pub mod var;
 
@@ -132,6 +133,18 @@ pub mod limit_stats {
     #[inline]
     pub fn thread_overflows() -> u64 {
         THREAD_OVERFLOWS.with(|c| c.get())
+    }
+
+    /// Credit `n` overflow events to the calling thread's counter
+    /// *without* touching the global total (the events were already
+    /// counted globally on the thread that produced them). The
+    /// intra-procedure fan-out migrates each worker task's thread-local
+    /// delta back to the spawning thread with this, so per-loop
+    /// attribution via [`thread_overflows`] deltas keeps summing the
+    /// same events regardless of which thread ran them.
+    #[inline]
+    pub fn adopt_thread_overflows(n: u64) {
+        THREAD_OVERFLOWS.with(|c| c.set(c.get() + n));
     }
 }
 

@@ -1,18 +1,122 @@
 //! Linear expressions over interned variables.
 
 use crate::{gcd, Var};
-use std::collections::BTreeMap;
 use std::fmt;
+use std::hash::{Hash, Hasher};
 use std::ops::{Add, Mul, Neg, Sub};
+
+/// Terms stored inline before spilling to the heap. Region constraints
+/// mention a handful of variables (a subscript position, a loop index or
+/// two, a few symbolics); almost every expression the analysis builds
+/// fits inline, so the hot lattice path never allocates per-expression.
+const INLINE_TERMS: usize = 8;
+
+/// Sorted `(var, coeff)` term storage: a fixed inline buffer for small
+/// expressions, a `Vec` past [`INLINE_TERMS`]. The logical value is the
+/// sorted slice of non-zero terms; the representation (inline vs heap)
+/// is *not* part of equality or hashing, so an expression that spilled
+/// and later shrank compares equal to one built small.
+#[derive(Clone)]
+enum Terms {
+    Inline {
+        len: u8,
+        buf: [(Var, i64); INLINE_TERMS],
+    },
+    Heap(Vec<(Var, i64)>),
+}
+
+impl Terms {
+    const EMPTY: Terms = Terms::Inline {
+        len: 0,
+        buf: [(crate::var::PLACEHOLDER, 0); INLINE_TERMS],
+    };
+
+    #[inline]
+    fn as_slice(&self) -> &[(Var, i64)] {
+        match self {
+            Terms::Inline { len, buf } => &buf[..*len as usize],
+            Terms::Heap(v) => v,
+        }
+    }
+
+    #[inline]
+    fn as_mut_slice(&mut self) -> &mut [(Var, i64)] {
+        match self {
+            Terms::Inline { len, buf } => &mut buf[..*len as usize],
+            Terms::Heap(v) => v,
+        }
+    }
+
+    /// Insert `pair` at sorted position `idx`, spilling to the heap when
+    /// the inline buffer is full.
+    fn insert_at(&mut self, idx: usize, pair: (Var, i64)) {
+        match self {
+            Terms::Inline { len, buf } => {
+                let n = *len as usize;
+                if n < INLINE_TERMS {
+                    buf.copy_within(idx..n, idx + 1);
+                    buf[idx] = pair;
+                    *len += 1;
+                } else {
+                    let mut v = Vec::with_capacity(2 * INLINE_TERMS);
+                    v.extend_from_slice(&buf[..idx]);
+                    v.push(pair);
+                    v.extend_from_slice(&buf[idx..]);
+                    *self = Terms::Heap(v);
+                }
+            }
+            Terms::Heap(v) => v.insert(idx, pair),
+        }
+    }
+
+    fn remove_at(&mut self, idx: usize) {
+        match self {
+            Terms::Inline { len, buf } => {
+                let n = *len as usize;
+                buf.copy_within(idx + 1..n, idx);
+                *len -= 1;
+            }
+            Terms::Heap(v) => {
+                v.remove(idx);
+            }
+        }
+    }
+}
 
 /// A linear expression `konst + Σ coeff_v * v` with integer coefficients.
 ///
-/// The term map never stores zero coefficients, so structural equality is
-/// semantic equality.
-#[derive(Clone, PartialEq, Eq, Hash, Default)]
+/// Terms are kept sorted by variable and never store zero coefficients,
+/// so structural equality is semantic equality.
+#[derive(Clone)]
 pub struct LinExpr {
-    terms: BTreeMap<Var, i64>,
+    terms: Terms,
     konst: i64,
+}
+
+impl Default for LinExpr {
+    fn default() -> LinExpr {
+        LinExpr {
+            terms: Terms::EMPTY,
+            konst: 0,
+        }
+    }
+}
+
+impl PartialEq for LinExpr {
+    fn eq(&self, other: &LinExpr) -> bool {
+        self.konst == other.konst && self.terms.as_slice() == other.terms.as_slice()
+    }
+}
+
+impl Eq for LinExpr {}
+
+impl Hash for LinExpr {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // Hash the logical content only, so inline and spilled
+        // representations of the same expression hash identically.
+        self.terms.as_slice().hash(state);
+        self.konst.hash(state);
+    }
 }
 
 impl LinExpr {
@@ -24,7 +128,7 @@ impl LinExpr {
     /// A constant expression.
     pub fn constant(c: i64) -> LinExpr {
         LinExpr {
-            terms: BTreeMap::new(),
+            terms: Terms::EMPTY,
             konst: c,
         }
     }
@@ -41,15 +145,26 @@ impl LinExpr {
         e
     }
 
+    /// Index of `v` in the sorted term slice.
+    #[inline]
+    fn find(&self, v: Var) -> Result<usize, usize> {
+        self.terms.as_slice().binary_search_by_key(&v, |&(w, _)| w)
+    }
+
     /// Add `coeff * v` in place.
     pub fn add_term(&mut self, v: Var, coeff: i64) {
         if coeff == 0 {
             return;
         }
-        let entry = self.terms.entry(v).or_insert(0);
-        *entry += coeff;
-        if *entry == 0 {
-            self.terms.remove(&v);
+        match self.find(v) {
+            Ok(i) => {
+                let slot = &mut self.terms.as_mut_slice()[i].1;
+                *slot += coeff;
+                if *slot == 0 {
+                    self.terms.remove_at(i);
+                }
+            }
+            Err(i) => self.terms.insert_at(i, (v, coeff)),
         }
     }
 
@@ -65,32 +180,36 @@ impl LinExpr {
 
     /// The coefficient of `v` (0 when absent).
     pub fn coeff(&self, v: Var) -> i64 {
-        self.terms.get(&v).copied().unwrap_or(0)
+        match self.find(v) {
+            Ok(i) => self.terms.as_slice()[i].1,
+            Err(_) => 0,
+        }
     }
 
-    /// Iterate over `(var, coeff)` pairs with non-zero coefficients.
+    /// Iterate over `(var, coeff)` pairs with non-zero coefficients, in
+    /// variable order.
     pub fn terms(&self) -> impl Iterator<Item = (Var, i64)> + '_ {
-        self.terms.iter().map(|(&v, &c)| (v, c))
+        self.terms.as_slice().iter().copied()
     }
 
     /// Number of variables with non-zero coefficients.
     pub fn num_terms(&self) -> usize {
-        self.terms.len()
+        self.terms.as_slice().len()
     }
 
     /// True when the expression is a constant.
     pub fn is_const(&self) -> bool {
-        self.terms.is_empty()
+        self.terms.as_slice().is_empty()
     }
 
     /// All variables mentioned.
     pub fn vars(&self) -> impl Iterator<Item = Var> + '_ {
-        self.terms.keys().copied()
+        self.terms.as_slice().iter().map(|&(v, _)| v)
     }
 
     /// True when `v` occurs with a non-zero coefficient.
     pub fn mentions(&self, v: Var) -> bool {
-        self.terms.contains_key(&v)
+        self.find(v).is_ok()
     }
 
     /// Multiply every coefficient and the constant by `k`.
@@ -98,27 +217,31 @@ impl LinExpr {
         if k == 0 {
             return LinExpr::zero();
         }
-        LinExpr {
-            terms: self.terms.iter().map(|(&v, &c)| (v, c * k)).collect(),
-            konst: self.konst * k,
+        let mut out = self.clone();
+        for t in out.terms.as_mut_slice() {
+            t.1 *= k;
         }
+        out.konst *= k;
+        out
     }
 
     /// GCD of all variable coefficients (0 for a constant expression).
     pub fn content(&self) -> i64 {
-        self.terms.values().fold(0, |g, &c| gcd(g, c))
+        self.terms.as_slice().iter().fold(0, |g, &(_, c)| gcd(g, c))
     }
 
     /// Divide all coefficients and the constant by `d`, which must divide
     /// them exactly (checked in debug builds).
     pub fn exact_div(&self, d: i64) -> LinExpr {
         debug_assert!(d != 0);
-        debug_assert!(self.terms.values().all(|c| c % d == 0));
+        debug_assert!(self.terms.as_slice().iter().all(|&(_, c)| c % d == 0));
         debug_assert!(self.konst % d == 0);
-        LinExpr {
-            terms: self.terms.iter().map(|(&v, &c)| (v, c / d)).collect(),
-            konst: self.konst / d,
+        let mut out = self.clone();
+        for t in out.terms.as_mut_slice() {
+            t.1 /= d;
         }
+        out.konst /= d;
+        out
     }
 
     /// Substitute `v := e`, i.e. replace each occurrence `c * v` with `c * e`.
@@ -128,7 +251,9 @@ impl LinExpr {
             return self.clone();
         }
         let mut out = self.clone();
-        out.terms.remove(&v);
+        if let Ok(i) = out.find(v) {
+            out.terms.remove_at(i);
+        }
         out = out + e.scaled(c);
         out
     }
@@ -140,7 +265,9 @@ impl LinExpr {
             return self.clone();
         }
         let mut out = self.clone();
-        out.terms.remove(&from);
+        if let Ok(i) = out.find(from) {
+            out.terms.remove_at(i);
+        }
         out.add_term(to, c);
         out
     }
@@ -150,10 +277,10 @@ impl LinExpr {
     /// constraint lists and predicate operand lists canonically sorted
     /// without formatting.
     pub fn cmp_structural(&self, other: &LinExpr) -> std::cmp::Ordering {
-        self.terms
-            .len()
-            .cmp(&other.terms.len())
-            .then_with(|| self.terms.iter().cmp(other.terms.iter()))
+        let (a, b) = (self.terms.as_slice(), other.terms.as_slice());
+        a.len()
+            .cmp(&b.len())
+            .then_with(|| a.cmp(b))
             .then_with(|| self.konst.cmp(&other.konst))
     }
 
@@ -172,7 +299,7 @@ impl Add for LinExpr {
     type Output = LinExpr;
     fn add(self, rhs: LinExpr) -> LinExpr {
         let mut out = self;
-        for (v, c) in rhs.terms {
+        for (v, c) in rhs.terms() {
             out.add_term(v, c);
         }
         out.konst += rhs.konst;
@@ -314,5 +441,53 @@ mod tests {
         let e = LinExpr::var(v("i")) - LinExpr::term(v("j"), 2) + LinExpr::constant(-3);
         assert_eq!(format!("{e}"), "i - 2j - 3");
         assert_eq!(format!("{}", LinExpr::constant(0)), "0");
+    }
+
+    #[test]
+    fn spill_to_heap_and_back_preserves_identity() {
+        // Build an expression crossing the inline threshold both ways and
+        // check equality/hash are representation-independent.
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let vars: Vec<Var> = (0..INLINE_TERMS + 3)
+            .map(|k| Var::new(&format!("sv{k}")))
+            .collect();
+        let mut big = LinExpr::constant(9);
+        for (k, &var) in vars.iter().enumerate() {
+            big.add_term(var, k as i64 + 1);
+        }
+        assert_eq!(big.num_terms(), INLINE_TERMS + 3);
+        // Remove terms until only the first two remain: the value is now
+        // expressible inline, though `big` spilled.
+        for &var in &vars[2..] {
+            let c = big.coeff(var);
+            big.add_term(var, -c);
+        }
+        let small = LinExpr::term(vars[0], 1) + LinExpr::term(vars[1], 2) + LinExpr::constant(9);
+        assert_eq!(big, small);
+        let hash = |e: &LinExpr| {
+            let mut h = DefaultHasher::new();
+            e.hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(hash(&big), hash(&small));
+        assert_eq!(big.cmp_structural(&small), std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn ordered_iteration_across_spill_boundary() {
+        // Terms inserted in reverse order still iterate sorted by Var,
+        // on both sides of the spill threshold.
+        for n in [INLINE_TERMS - 1, INLINE_TERMS, INLINE_TERMS + 1] {
+            let vars: Vec<Var> = (0..n).map(|k| Var::new(&format!("ov{k}"))).collect();
+            let mut e = LinExpr::zero();
+            for &var in vars.iter().rev() {
+                e.add_term(var, 7);
+            }
+            let got: Vec<Var> = e.vars().collect();
+            let mut want = vars.clone();
+            want.sort();
+            assert_eq!(got, want, "n = {n}");
+        }
     }
 }

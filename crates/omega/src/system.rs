@@ -416,12 +416,90 @@ impl System {
         if self.constraints.is_empty() {
             return false;
         }
+        if self.quick_unsat() {
+            return true;
+        }
         let vars: Vec<Var> = self.vars().into_iter().collect();
         let p = self.project_out(&vars, limits);
         // Every conclusion drawn during elimination is implied by the
         // original constraints, so a contradiction here is sound even on
         // inexact paths.
         p.system.contradiction
+    }
+
+    /// Cheap, sound unsatisfiability pre-checks that short-circuit the
+    /// full Fourier–Motzkin cascade in [`System::is_empty`]. `true`
+    /// means definitely empty; `false` means "run the full test". Two
+    /// linear passes over the constraint list:
+    ///
+    /// 1. **GCD test on equalities**: `Σ cᵥ·v + c == 0` has no integer
+    ///    solution when `gcd(cᵥ) ∤ c`. ([`Constraint::normalize`] folds
+    ///    this at push time, so it only fires on constraints built
+    ///    outside `push` — but it is one gcd fold per equality.)
+    /// 2. **Constant-bound window per variable**: single-variable
+    ///    constraints pin an interval `[lo, hi]` for their variable
+    ///    (normalization makes their coefficients ±1, but general
+    ///    coefficients are handled too); an empty window on any
+    ///    variable is a contradiction that FM would only discover after
+    ///    eliminating every other variable it is entangled with.
+    pub fn quick_unsat(&self) -> bool {
+        if self.contradiction {
+            return true;
+        }
+        // Pass 1: integer-infeasible equalities.
+        for c in &self.constraints {
+            if c.kind == CKind::Eq {
+                let g = c.expr.content();
+                if g != 0 && c.expr.konst() % g != 0 {
+                    return true;
+                }
+            }
+        }
+        // Pass 2: per-variable constant windows from single-variable
+        // constraints. `a*v + c >= 0` gives `v >= ceil(-c/a)` (a > 0) or
+        // `v <= floor(-c/a)` (a < 0); an equality contributes both.
+        let mut windows: Vec<(Var, i64, i64)> = Vec::new();
+        for c in &self.constraints {
+            let mut terms = c.expr.terms();
+            let Some((v, a)) = terms.next() else { continue };
+            if terms.next().is_some() {
+                continue;
+            }
+            let k = c.expr.konst();
+            // Bounds implied for v (i64::MIN/MAX = unconstrained side).
+            let (lo, hi) = match c.kind {
+                CKind::Geq => {
+                    if a > 0 {
+                        (-crate::div_floor(k, a), i64::MAX)
+                    } else {
+                        (i64::MIN, crate::div_floor(k, -a))
+                    }
+                }
+                CKind::Eq => {
+                    if k % a != 0 {
+                        return true;
+                    }
+                    let x = -k / a;
+                    (x, x)
+                }
+            };
+            match windows.iter_mut().find(|w| w.0 == v) {
+                Some(w) => {
+                    w.1 = w.1.max(lo);
+                    w.2 = w.2.min(hi);
+                    if w.1 > w.2 {
+                        return true;
+                    }
+                }
+                None => {
+                    if lo > hi {
+                        return true;
+                    }
+                    windows.push((v, lo, hi));
+                }
+            }
+        }
+        false
     }
 
     /// Sound implication test: does every point of `self` satisfy `c`?

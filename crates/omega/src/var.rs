@@ -6,6 +6,7 @@
 //! crate in the workspace agree on variable identity without threading a
 //! context through the whole API.
 
+use crate::sync;
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU32, Ordering};
@@ -26,16 +27,20 @@ struct Interner {
 static INTERNER: RwLock<Option<Interner>> = RwLock::new(None);
 static FRESH: AtomicU32 = AtomicU32::new(0);
 
+/// Crate-internal filler for fixed-size term buffers (`LinExpr`'s inline
+/// representation); never observable through the public API.
+pub(crate) const PLACEHOLDER: Var = Var(u32::MAX);
+
 /// The interner must stay usable even after a thread panicked while
 /// holding the lock (worker panics are caught and recovered from, see
 /// `padfa-rt`); the map is append-only, so a poisoned guard is still
-/// structurally sound and can be adopted.
+/// structurally sound and can be adopted ([`crate::sync`]).
 fn read_interner() -> RwLockReadGuard<'static, Option<Interner>> {
-    INTERNER.read().unwrap_or_else(|e| e.into_inner())
+    sync::read(&INTERNER)
 }
 
 fn write_interner() -> RwLockWriteGuard<'static, Option<Interner>> {
-    INTERNER.write().unwrap_or_else(|e| e.into_inner())
+    sync::write(&INTERNER)
 }
 
 impl Var {

@@ -1,15 +1,20 @@
 #!/usr/bin/env bash
 # Measure analysis wall time and session cache statistics over the full
 # corpus, writing BENCH_analysis.json (plus a copy under results/).
+# Every program is timed at --jobs 1 and --jobs JOBS; per-program and
+# per-suite speedups land in the JSON as "speedup_jobs". Each
+# measurement is preceded by WARMUP untimed runs.
 #
-# Usage: scripts/bench.sh [JOBS] [RUNS]
+# Usage: scripts/bench.sh [JOBS] [RUNS] [WARMUP]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 JOBS="${1:-4}"
 RUNS="${2:-3}"
+WARMUP="${3:-1}"
 mkdir -p results
 cargo build --release -p padfa-bench --bin analysis_stats
-./target/release/analysis_stats --jobs "$JOBS" --runs "$RUNS" --out BENCH_analysis.json \
+./target/release/analysis_stats --jobs "$JOBS" --runs "$RUNS" --warmup "$WARMUP" \
+    --out BENCH_analysis.json \
     | tee results/analysis_stats.txt
 cp BENCH_analysis.json results/BENCH_analysis.json
 echo "Wrote BENCH_analysis.json (and results/analysis_stats.txt)."
