@@ -11,8 +11,11 @@
 //! frequency scaling do not pollute the first sample.
 
 use padfa_bench::median_time;
-use padfa_core::{analyze_program_session, AnalysisSession, Options, StatsSnapshot};
+use padfa_core::{
+    analyze_program_session, AnalysisSession, Options, StatsSnapshot, Store, StoreConfig,
+};
 use std::fmt::Write as _;
+use std::sync::Arc;
 
 struct ProgramCost {
     name: &'static str,
@@ -153,9 +156,33 @@ fn main() {
         });
     }
 
+    // Persistent-store measurement: one cold corpus pass that populates
+    // a fresh store, then a warm pass that replays it from disk. The
+    // warm/cold ratio is the headline number for the memo store.
+    let store_dir = std::env::temp_dir().join(format!("padfa_bench_store_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let corpus_pass = |store: &Arc<Store>| -> f64 {
+        let t0 = std::time::Instant::now();
+        for bench in &corpus {
+            let sess = AnalysisSession::new(opts.clone())
+                .with_jobs(1)
+                .with_store(Arc::clone(store));
+            let _ = analyze_program_session(&bench.program, &sess).expect("analysis failed");
+        }
+        t0.elapsed().as_secs_f64() * 1e3
+    };
+    let cold_store = Arc::new(Store::open(StoreConfig::new(&store_dir, git_rev())));
+    let store_cold_ms = corpus_pass(&cold_store);
+    drop(cold_store); // seal the journal
+    let warm_store = Arc::new(Store::open(StoreConfig::new(&store_dir, git_rev())));
+    let store_warm_ms = corpus_pass(&warm_store);
+    let store_stats = warm_store.stats();
+    drop(warm_store);
+    let _ = std::fs::remove_dir_all(&store_dir);
+
     let mut json = String::new();
     json.push_str("{\n");
-    json.push_str("  \"schema_version\": 2,\n");
+    json.push_str("  \"schema_version\": 3,\n");
     let _ = writeln!(json, "  \"git_rev\": \"{}\",", git_rev());
     let _ = writeln!(json, "  \"host\": \"{}\",", host_info());
     let _ = writeln!(json, "  \"jobs\": {jobs},");
@@ -220,7 +247,26 @@ fn main() {
         );
         json.push_str(if i + 1 < suites.len() { ",\n" } else { "\n" });
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n");
+
+    let _ = writeln!(
+        json,
+        "  \"store\": {{\"cold_wall_ms\": {:.3}, \"warm_wall_ms\": {:.3}, \
+         \"warm_speedup\": {:.2}, \"warm_hit_rate\": {:.4}, \"warm_hits\": {}, \
+         \"warm_misses\": {}, \"entries_loaded\": {}}}",
+        store_cold_ms,
+        store_warm_ms,
+        if store_warm_ms > 0.0 {
+            store_cold_ms / store_warm_ms
+        } else {
+            0.0
+        },
+        store_stats.hit_rate(),
+        store_stats.hits,
+        store_stats.misses,
+        store_stats.loaded,
+    );
+    json.push_str("}\n");
 
     std::fs::write(&out_path, &json).unwrap_or_else(|e| {
         eprintln!("analysis_stats: cannot write {out_path}: {e}");
@@ -245,6 +291,17 @@ fn main() {
         .iter()
         .max_by(|a, b| a.stats.hit_rate().total_cmp(&b.stats.hit_rate()))
         .expect("non-empty corpus");
+    println!(
+        "store: corpus cold {store_cold_ms:.1} ms, warm {:.1} ms ({:.1}x), \
+         warm hit rate {:.1}%",
+        store_warm_ms,
+        if store_warm_ms > 0.0 {
+            store_cold_ms / store_warm_ms
+        } else {
+            0.0
+        },
+        store_stats.hit_rate() * 100.0,
+    );
     println!(
         "\nwrote {out_path}; best memo hit rate: {:.1}% ({})",
         best.stats.hit_rate() * 100.0,

@@ -13,13 +13,14 @@ use crate::provenance::{BudgetEvent, Mechanism, Provenance};
 use crate::region::access_section;
 use crate::report::{AnalysisResult, LoopReport, Mechanisms, NotCandidateReason, Outcome};
 use crate::session::AnalysisSession;
+use crate::store;
 use crate::summary::Summary;
 use crate::trace;
 use padfa_ir::affine;
 use padfa_ir::ast::{Block, BoolExpr, Expr, Loop, Procedure, Program, Stmt};
 use padfa_omega::{Constraint, Disjunction, LinExpr, System, Var};
 use padfa_pred::{Atom, Pred};
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
@@ -89,17 +90,40 @@ pub fn analyze_program_session(
     let co = call_order(prog);
     let mut proc_summaries: HashMap<String, Arc<Summary>> = HashMap::new();
     let mut reports: Vec<LoopReport> = Vec::new();
+    // Content-addressed keys for whole-procedure store entries. Only
+    // unbudgeted sessions use them: a budgeted run can degrade mid-way,
+    // and persisting (or replaying) degraded summaries keyed purely on
+    // IR would leak one run's budget decisions into another's results.
+    let mut proc_store: HashMap<String, ProcStoreInfo> = HashMap::new();
+    let store_eligible = sess.store().is_some() && sess.opts.budget.is_unlimited();
     for (level_no, level) in co.levels.iter().enumerate() {
         let mut level_span = trace::span(format!("level{level_no}"), "driver");
         level_span.arg("procs", level.len().to_string());
+        if store_eligible {
+            // Sequential per-level key computation: callee keys come
+            // from strictly lower levels, already present in the map.
+            for &idx in level {
+                if let Some(info) = proc_store_info(prog, idx, &co, sess, &proc_store) {
+                    proc_store.insert(prog.procedures[idx].name.clone(), info);
+                }
+            }
+        }
         let summaries = &proc_summaries;
         let co_ref = &co;
+        let keys = &proc_store;
         // Procedures of one level share no data flow, so fan out over
         // the session's worker-token pool. `analyze_proc` arms the
         // budget meter on whichever lane runs it, so nested fan-outs
         // inside a budgeted procedure correctly run inline.
         let mut done: Vec<ProcOutcome> = crate::pool::par_map(sess.tokens(), level, |_, &idx| {
-            analyze_proc(prog, idx, co_ref, summaries, sess)
+            analyze_proc(
+                prog,
+                idx,
+                co_ref,
+                summaries,
+                sess,
+                keys.get(&prog.procedures[idx].name),
+            )
         });
         // Deterministic error selection and report order within a level.
         done.sort_by_key(|(idx, _)| *idx);
@@ -119,6 +143,53 @@ pub fn analyze_program_session(
     Ok((result, proc_summaries))
 }
 
+/// Store addressing for one procedure: its content-addressed summary
+/// key and the set of procedure-IR hashes it transitively depends on
+/// (for the persisted invalidation graph).
+struct ProcStoreInfo {
+    key: u128,
+    dep_irs: BTreeSet<u128>,
+}
+
+/// Compute the Merkle-style store key for `prog.procedures[idx]`:
+/// options fingerprint + own IR hash + the keys of all direct callees
+/// (so an edit anywhere in the callee tree changes the key). Returns
+/// `None` when the procedure is ineligible for whole-procedure caching:
+/// it is recursive, or a defined callee is itself ineligible (its
+/// summary then isn't content-addressed). Undefined callees contribute
+/// a fixed marker — their conservative summary depends on no IR.
+fn proc_store_info(
+    prog: &Program,
+    idx: usize,
+    co: &CallOrder,
+    sess: &AnalysisSession,
+    done: &HashMap<String, ProcStoreInfo>,
+) -> Option<ProcStoreInfo> {
+    let opts_fp = sess.store_opts_fp()?;
+    if co.recursive.contains(&idx) {
+        return None;
+    }
+    let proc = &prog.procedures[idx];
+    let ir = store::hash_procedure(proc);
+    let mut names = Vec::new();
+    crate::interproc::callees(proc, &mut names);
+    let mut callee_keys = Vec::with_capacity(names.len());
+    let mut dep_irs = BTreeSet::from([ir]);
+    for name in names {
+        if prog.proc(&name).is_some() {
+            let info = done.get(&name)?;
+            callee_keys.push(info.key);
+            dep_irs.extend(info.dep_irs.iter().copied());
+        } else {
+            callee_keys.push(store::UNDEFINED_CALLEE);
+        }
+    }
+    Some(ProcStoreInfo {
+        key: store::proc_key(opts_fp, ir, &callee_keys),
+        dep_irs,
+    })
+}
+
 /// Summarize one procedure against the already-completed summaries of
 /// strictly lower call-graph levels.
 ///
@@ -133,8 +204,19 @@ fn analyze_proc(
     co: &CallOrder,
     summaries: &HashMap<String, Arc<Summary>>,
     sess: &AnalysisSession,
+    store_info: Option<&ProcStoreInfo>,
 ) -> ProcOutcome {
     let proc = &prog.procedures[idx];
+    // A whole-procedure store hit skips summarization entirely: the
+    // entry carries both the summary and the loop reports derived while
+    // computing it. Only unbudgeted, non-recursive procedures get here
+    // (see `proc_store_info`), so no budget meter state is skipped.
+    if let (Some(info), Some(s)) = (store_info, sess.store()) {
+        if let Some((summary, reports)) = s.get_proc(info.key) {
+            trace::instant(format!("store-hit {}", proc.name), "store");
+            return (idx, Ok((Arc::new(summary), reports)));
+        }
+    }
     budget::install(&sess.opts.budget);
     let mut proc_span = trace::span(format!("proc {}", proc.name), "summarize");
     let outcome = catch_unwind(AssertUnwindSafe(|| {
@@ -158,7 +240,12 @@ fn analyze_proc(
     drop(proc_span);
     trace::flush_lattice_batch();
     let res = match outcome {
-        Ok((summary, reports)) => Ok((Arc::new(summary), reports)),
+        Ok((summary, reports)) => {
+            if let (Some(info), Some(s)) = (store_info, sess.store()) {
+                s.put_proc(info.key, &summary, &reports, &info.dep_irs);
+            }
+            Ok((Arc::new(summary), reports))
+        }
         Err(payload) if payload.downcast_ref::<budget::Exhausted>().is_some() => {
             trace::instant(format!("budget-exhausted {}", proc.name), "budget");
             match sess.opts.budget.on_exhausted {

@@ -56,6 +56,66 @@ impl From<ParseError> for AnalysisError {
     }
 }
 
+/// A persistent-store failure. Never fatal: every variant is collected
+/// as a warning while the session degrades to recomputation (in-memory
+/// analysis is always available), so a broken cache can slow a run down
+/// but can never change its output or crash it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StoreError {
+    /// An IO operation on the store directory failed; the session
+    /// continues without persistence (or without the affected side).
+    Io {
+        /// Which operation failed (`open`, `read`, `append`, `seal`,
+        /// `lock`, ...).
+        op: &'static str,
+        /// Path involved.
+        path: String,
+        /// OS error text (or the injected-fault label).
+        msg: String,
+    },
+    /// An entry or segment failed validation (checksum mismatch, torn
+    /// tail, undecodable payload) and was quarantined to the `corrupt/`
+    /// sidecar; the keys involved fall through to recomputation.
+    Corrupt {
+        /// Quarantined file (segment or sidecar).
+        path: String,
+        /// What failed to validate.
+        detail: String,
+    },
+    /// Another live process holds the store lock; this session runs
+    /// in-memory-only rather than risking interleaved journal writes.
+    Locked {
+        /// The lock file path.
+        path: String,
+        /// PID recorded in the lock file.
+        pid: u32,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io { op, path, msg } => {
+                write!(
+                    f,
+                    "store {op} failed on {path}: {msg}; continuing without persistence"
+                )
+            }
+            StoreError::Corrupt { path, detail } => {
+                write!(f, "store entry quarantined ({path}): {detail}; recomputing")
+            }
+            StoreError::Locked { path, pid } => {
+                write!(
+                    f,
+                    "store locked by pid {pid} ({path}); running in-memory only"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -83,5 +143,25 @@ mod tests {
         assert!(AnalysisError::MalformedIr("y".into())
             .to_string()
             .contains("y"));
+    }
+
+    #[test]
+    fn store_error_display_names_degradation() {
+        let io = StoreError::Io {
+            op: "append",
+            path: "/tmp/s".into(),
+            msg: "disk full".into(),
+        };
+        assert!(io.to_string().contains("continuing without persistence"));
+        let c = StoreError::Corrupt {
+            path: "corrupt/q-1.bin".into(),
+            detail: "checksum mismatch".into(),
+        };
+        assert!(c.to_string().contains("recomputing"));
+        let l = StoreError::Locked {
+            path: "/tmp/s/lock".into(),
+            pid: 123,
+        };
+        assert!(l.to_string().contains("in-memory only"));
     }
 }

@@ -80,13 +80,14 @@ pub mod region;
 pub mod report;
 pub mod session;
 pub(crate) mod shard;
+pub mod store;
 pub mod summary;
 pub mod trace;
 
 pub use analyze::{analyze_program, analyze_program_session, analyze_program_with_summaries};
 pub use budget::{OnExhausted, WorkBudget};
 pub use component::{GuardedRegion, PredComponent};
-pub use error::AnalysisError;
+pub use error::{AnalysisError, StoreError};
 pub use metrics::{Counter, Histogram, MetricsRegistry, QueryKind};
 pub use options::{Options, Variant};
 pub use provenance::{
@@ -98,4 +99,5 @@ pub use report::{
     Reduction,
 };
 pub use session::{AnalysisSession, QueryStats, StatsSnapshot};
+pub use store::{IoFaultKind, IoFaultPlan, IoFaultSpec, Store, StoreConfig, StoreStatsSnapshot};
 pub use summary::{ArraySummary, ScalarSummary, Summary};

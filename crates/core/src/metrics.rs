@@ -191,14 +191,18 @@ impl MetricsRegistry {
     /// The jobs-deterministic counter subset: per-kind query totals and
     /// structural sizes, excluding the racy hit/miss split,
     /// `fm.projections`, `limit.overflows` (both only advance on memo
-    /// misses, which race benignly), and anything timing-derived (see
-    /// module docs).
+    /// misses, which race benignly), every `store.*` counter (those
+    /// depend on on-disk state from *prior* runs — a warm cache shifts
+    /// hits/misses/puts without changing any analysis result — so they
+    /// can never be part of a cross-jobs determinism check), and
+    /// anything timing-derived (see module docs).
     pub fn deterministic_counters(&self) -> BTreeMap<String, u64> {
         self.counters_snapshot()
             .into_iter()
             .filter(|(k, _)| {
                 !k.ends_with(".hits")
                     && !k.ends_with(".misses")
+                    && !k.starts_with("store.")
                     && k != "fm.projections"
                     && k != "limit.overflows"
             })
@@ -280,6 +284,8 @@ mod tests {
         reg.counter("query.subtract.total").set(7);
         reg.counter("fm.projections").set(3);
         reg.counter("budget.steps").set(11);
+        reg.counter("store.puts").set(4);
+        reg.counter("store.quarantined").set(1);
         let det = reg.deterministic_counters();
         assert_eq!(det.len(), 2);
         assert_eq!(det.get("query.subtract.total"), Some(&7));

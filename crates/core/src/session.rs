@@ -49,6 +49,7 @@ use crate::metrics::{Histogram, MetricsRegistry, QueryKind};
 use crate::options::Options;
 use crate::pool::WorkerTokens;
 use crate::shard::{Interner, Memo};
+use crate::store::{self, Store, StoreStatsSnapshot};
 use crate::trace;
 use padfa_ir::ast::{Block, ParamTy, Procedure, Program, Stmt};
 use padfa_omega::sync::lock;
@@ -124,6 +125,8 @@ pub struct StatsSnapshot {
     /// counter ([`padfa_omega::limit_stats`]). Approximate when several
     /// sessions run concurrently in one process.
     pub limit_overflows: u64,
+    /// Persistent-store counters (`None` when no store is attached).
+    pub store: Option<StoreStatsSnapshot>,
 }
 
 impl StatsSnapshot {
@@ -193,6 +196,33 @@ impl std::fmt::Display for StatsSnapshot {
                 self.budget_steps, self.peak_disjuncts, self.peak_constraints, self.degraded_procs
             )?;
         }
+        if let Some(st) = &self.store {
+            write!(
+                f,
+                "\n  store: {} hits {} misses ({:.1}% hit rate), {} puts, {} loaded",
+                st.hits,
+                st.misses,
+                100.0 * st.hit_rate(),
+                st.puts,
+                st.loaded
+            )?;
+            if st.quarantined > 0 || st.stale_segments > 0 || st.salvaged > 0 || st.invalidated > 0
+            {
+                write!(
+                    f,
+                    "\n  store hygiene: {} quarantined, {} stale segment(s), {} salvaged, {} invalidated",
+                    st.quarantined, st.stale_segments, st.salvaged, st.invalidated
+                )?;
+            }
+            if st.degraded {
+                write!(f, "\n  store degraded: running in-memory only")?;
+            } else if st.writes_degraded {
+                write!(
+                    f,
+                    "\n  store degraded: persistence disabled, reads still served"
+                )?;
+            }
+        }
         Ok(())
     }
 }
@@ -231,6 +261,17 @@ pub struct AnalysisSession {
     /// the hot path, plus the registry the final snapshot is published
     /// to. `None` costs one branch per query.
     metrics: Option<SessionMetrics>,
+    /// Optional persistent memo store, consulted *inside* memo-miss
+    /// closures (after budget charging), so memo statistics, budget
+    /// steps, and operand peaks stay bit-identical warm vs cold.
+    store: Option<SessionStore>,
+}
+
+/// A persistent store attached to this session, with the session's
+/// options fingerprint pre-mixed into every key.
+struct SessionStore {
+    store: Arc<Store>,
+    opts_fp: u128,
 }
 
 /// Pre-resolved metrics handles (no name hashing per query).
@@ -264,7 +305,89 @@ impl AnalysisSession {
             degraded_procs: AtomicU64::new(0),
             overflow_baseline: padfa_omega::limit_stats::overflows(),
             metrics: None,
+            store: None,
         }
+    }
+
+    /// Attach a persistent memo store: every memo *miss* consults the
+    /// store before computing, and computed results are written back.
+    /// Output is bit-identical with and without the store (hits replay
+    /// the recorded overflow deltas; a corrupt or failing store degrades
+    /// to recomputation).
+    ///
+    /// Budgeted sessions ignore the attachment: a store hit skips the
+    /// nested work a computation would have charged, so step accounting
+    /// — and with it degradation decisions — could depend on what a
+    /// previous run happened to persist.
+    pub fn with_store(mut self, s: Arc<Store>) -> AnalysisSession {
+        if !self.opts.budget.is_unlimited() {
+            return self;
+        }
+        let opts_fp = store::options_fingerprint(&self.opts);
+        self.store = Some(SessionStore { store: s, opts_fp });
+        self
+    }
+
+    /// The attached store (for the interprocedural driver and stats).
+    pub fn store(&self) -> Option<&Arc<Store>> {
+        self.store.as_ref().map(|s| &s.store)
+    }
+
+    /// The session's options fingerprint, mixed into every store key.
+    pub(crate) fn store_opts_fp(&self) -> Option<u128> {
+        self.store.as_ref().map(|s| s.opts_fp)
+    }
+
+    /// Consult-or-compute for boolean lattice results. `key_of` appends
+    /// the canonicalized operand bytes (the tag + options fingerprint
+    /// are prepended here).
+    fn store_bool(
+        &self,
+        tag: u8,
+        key_of: impl FnOnce(&mut Vec<u8>),
+        compute: impl FnOnce() -> bool,
+    ) -> bool {
+        let Some(h) = &self.store else {
+            return compute();
+        };
+        let key = self.store_key(h, tag, key_of);
+        if let Some(v) = h.store.get_bool(key) {
+            return v;
+        }
+        let before = padfa_omega::limit_stats::thread_overflows();
+        let v = compute();
+        let delta = padfa_omega::limit_stats::thread_overflows() - before;
+        h.store.put_bool(key, v, delta);
+        v
+    }
+
+    /// Consult-or-compute for region-valued lattice results.
+    fn store_region(
+        &self,
+        tag: u8,
+        key_of: impl FnOnce(&mut Vec<u8>),
+        compute: impl FnOnce() -> Arc<Disjunction>,
+    ) -> Arc<Disjunction> {
+        let Some(h) = &self.store else {
+            return compute();
+        };
+        let key = self.store_key(h, tag, key_of);
+        if let Some(d) = h.store.get_region(key) {
+            return self.intern_region(&d);
+        }
+        let before = padfa_omega::limit_stats::thread_overflows();
+        let v = compute();
+        let delta = padfa_omega::limit_stats::thread_overflows() - before;
+        h.store.put_region(key, &v, delta);
+        v
+    }
+
+    fn store_key(&self, h: &SessionStore, tag: u8, key_of: impl FnOnce(&mut Vec<u8>)) -> u128 {
+        let mut buf = Vec::with_capacity(256);
+        buf.push(tag);
+        store::codec::put_u128(&mut buf, h.opts_fp);
+        key_of(&mut buf);
+        store::hash::fnv128(&buf)
     }
 
     /// Number of worker threads for the parallel driver (across
@@ -343,7 +466,13 @@ impl AnalysisSession {
         let t0 = self.probe(QueryKind::SysEmpty);
         let limits = self.limits();
         let (arc, id) = self.systems.intern(s);
-        let r = self.m_sys_empty.get_or(id, || arc.is_empty(limits));
+        let r = self.m_sys_empty.get_or(id, || {
+            self.store_bool(
+                b'E',
+                |buf| store::codec::put_system(buf, &arc),
+                || arc.is_empty(limits),
+            )
+        });
         self.observe(QueryKind::SysEmpty, t0);
         r
     }
@@ -363,7 +492,16 @@ impl AnalysisSession {
         let limits = self.limits();
         let (aa, ia) = self.regions.intern(a);
         let (ab, ib) = self.regions.intern(b);
-        let r = self.m_subset.get_or((ia, ib), || aa.subset_of(&ab, limits));
+        let r = self.m_subset.get_or((ia, ib), || {
+            self.store_bool(
+                b'S',
+                |buf| {
+                    store::codec::put_region(buf, &aa);
+                    store::codec::put_region(buf, &ab);
+                },
+                || aa.subset_of(&ab, limits),
+            )
+        });
         self.observe(QueryKind::Subset, t0);
         r
     }
@@ -377,9 +515,16 @@ impl AnalysisSession {
         let limits = self.limits();
         let (aa, ia) = self.regions.intern(a);
         let (ab, ib) = self.regions.intern(b);
-        let r = self
-            .m_subtract
-            .get_or((ia, ib), || self.intern_region(&aa.subtract(&ab, limits)));
+        let r = self.m_subtract.get_or((ia, ib), || {
+            self.store_region(
+                b'-',
+                |buf| {
+                    store::codec::put_region(buf, &aa);
+                    store::codec::put_region(buf, &ab);
+                },
+                || self.intern_region(&aa.subtract(&ab, limits)),
+            )
+        });
         self.observe(QueryKind::Subtract, t0);
         r
     }
@@ -393,9 +538,16 @@ impl AnalysisSession {
         let limits = self.limits();
         let (aa, ia) = self.regions.intern(a);
         let (ab, ib) = self.regions.intern(b);
-        let r = self
-            .m_intersect
-            .get_or((ia, ib), || self.intern_region(&aa.intersect(&ab, limits)));
+        let r = self.m_intersect.get_or((ia, ib), || {
+            self.store_region(
+                b'&',
+                |buf| {
+                    store::codec::put_region(buf, &aa);
+                    store::codec::put_region(buf, &ab);
+                },
+                || self.intern_region(&aa.intersect(&ab, limits)),
+            )
+        });
         self.observe(QueryKind::Intersect, t0);
         r
     }
@@ -409,9 +561,16 @@ impl AnalysisSession {
         let limits = self.limits();
         let (aa, ia) = self.regions.intern(a);
         let (ab, ib) = self.regions.intern(b);
-        let r = self
-            .m_union
-            .get_or((ia, ib), || self.intern_region(&aa.union(&ab, limits)));
+        let r = self.m_union.get_or((ia, ib), || {
+            self.store_region(
+                b'|',
+                |buf| {
+                    store::codec::put_region(buf, &aa);
+                    store::codec::put_region(buf, &ab);
+                },
+                || self.intern_region(&aa.union(&ab, limits)),
+            )
+        });
         self.observe(QueryKind::Union, t0);
         r
     }
@@ -425,7 +584,14 @@ impl AnalysisSession {
         let (ad, id) = self.regions.intern(d);
         let r = self.m_project.get_or((id, vars.to_vec()), || {
             self.fm_projections.fetch_add(1, Ordering::Relaxed);
-            self.intern_region(&ad.project_out(vars, limits))
+            self.store_region(
+                b'J',
+                |buf| {
+                    store::codec::put_region(buf, &ad);
+                    store::codec::put_vars(buf, vars);
+                },
+                || self.intern_region(&ad.project_out(vars, limits)),
+            )
         });
         self.observe(QueryKind::Project, t0);
         r
@@ -446,7 +612,16 @@ impl AnalysisSession {
         let limits = self.limits();
         let (aa, ia) = self.preds.intern(a);
         let (ab, ib) = self.preds.intern(b);
-        let r = self.m_implies.get_or((ia, ib), || aa.implies(&ab, limits));
+        let r = self.m_implies.get_or((ia, ib), || {
+            self.store_bool(
+                b'I',
+                |buf| {
+                    store::codec::put_pred(buf, &aa);
+                    store::codec::put_pred(buf, &ab);
+                },
+                || aa.implies(&ab, limits),
+            )
+        });
         self.observe(QueryKind::Implies, t0);
         r
     }
@@ -564,6 +739,7 @@ impl AnalysisSession {
             degraded_procs: self.degraded_procs.load(Ordering::Relaxed),
             limit_overflows: padfa_omega::limit_stats::overflows()
                 .saturating_sub(self.overflow_baseline),
+            store: self.store.as_ref().map(|s| s.store.stats()),
         }
     }
 
@@ -607,6 +783,19 @@ impl AnalysisSession {
         reg.counter("degraded.procs").set(st.degraded_procs);
         reg.counter("lat.overflow").set(st.lat_overflow);
         reg.counter("limit.overflows").set(st.limit_overflows);
+        if let Some(s) = &st.store {
+            reg.counter("store.hits").set(s.hits);
+            reg.counter("store.misses").set(s.misses);
+            reg.counter("store.puts").set(s.puts);
+            reg.counter("store.quarantined").set(s.quarantined);
+            reg.counter("store.stale_segments").set(s.stale_segments);
+            reg.counter("store.salvaged").set(s.salvaged);
+            reg.counter("store.invalidated").set(s.invalidated);
+            reg.counter("store.loaded").set(s.loaded);
+            reg.counter("store.degraded").set(u64::from(s.degraded));
+            reg.counter("store.writes_degraded")
+                .set(u64::from(s.writes_degraded));
+        }
     }
 }
 

@@ -1,0 +1,190 @@
+//! Deterministic IO fault injection for the persistent store, mirroring
+//! the `rt::faults` discipline: a plan names which store operation fails
+//! and how, the same plan always produces the same failure, and the test
+//! suite uses plans to prove every failure mode degrades soundly.
+//!
+//! Counting is per *category*: the N-th read (or write) performed by the
+//! store fires the fault armed at `at_op = N`. Store operations are
+//! sequenced deterministically on the paths that matter (opens and
+//! journal appends run under the journal lock; the crash-consistency
+//! tests drive single-threaded sessions), so a plan pins down one
+//! concrete failure.
+
+/// What kind of IO fault fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoFaultKind {
+    /// A journal write fails with an injected IO error.
+    WriteFail,
+    /// A segment read fails with an injected IO error.
+    ReadFail,
+    /// A journal write persists only a prefix of the record and then the
+    /// "process" dies: subsequent writes fail. Reopening the store sees
+    /// a torn tail — exactly what a crash mid-append leaves behind.
+    TornWrite,
+    /// A segment read succeeds but one deterministic bit of the returned
+    /// bytes is flipped (silent media corruption).
+    BitFlip,
+}
+
+impl IoFaultKind {
+    pub fn label(self) -> &'static str {
+        match self {
+            IoFaultKind::WriteFail => "store-write-fail",
+            IoFaultKind::ReadFail => "store-read-fail",
+            IoFaultKind::TornWrite => "store-torn-write",
+            IoFaultKind::BitFlip => "store-bitflip",
+        }
+    }
+
+    fn is_write(self) -> bool {
+        matches!(self, IoFaultKind::WriteFail | IoFaultKind::TornWrite)
+    }
+}
+
+/// One fault: fires on the `at_op`-th store operation of its category
+/// (1-based; reads for read-side kinds, writes for write-side kinds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IoFaultSpec {
+    pub at_op: u64,
+    pub kind: IoFaultKind,
+}
+
+/// A deterministic set of IO faults to inject into a store.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IoFaultPlan {
+    pub faults: Vec<IoFaultSpec>,
+}
+
+impl IoFaultPlan {
+    pub fn none() -> IoFaultPlan {
+        IoFaultPlan::default()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Add a fault to the plan (builder-style).
+    pub fn with(mut self, spec: IoFaultSpec) -> IoFaultPlan {
+        self.faults.push(spec);
+        self
+    }
+
+    /// `kind` fires on the `at_op`-th operation of its category.
+    pub fn at(kind: IoFaultKind, at_op: u64) -> IoFaultPlan {
+        IoFaultPlan::none().with(IoFaultSpec { at_op, kind })
+    }
+
+    /// A seeded pseudo-random plan of `count` faults over operation
+    /// counts in `1..=max_op`. The same seed always yields the same
+    /// plan (same generator as `rt::faults`).
+    pub fn seeded(seed: u64, count: usize, max_op: u64) -> IoFaultPlan {
+        let mut state = seed ^ 0x9E37_79B9_7F4A_7C15;
+        let mut next = move || {
+            // xorshift64*: cheap, deterministic, no external deps.
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        };
+        let max_op = max_op.max(1);
+        let mut plan = IoFaultPlan::none();
+        for _ in 0..count {
+            let at_op = next() % max_op + 1;
+            let kind = match next() % 4 {
+                0 => IoFaultKind::WriteFail,
+                1 => IoFaultKind::ReadFail,
+                2 => IoFaultKind::TornWrite,
+                _ => IoFaultKind::BitFlip,
+            };
+            plan.faults.push(IoFaultSpec { at_op, kind });
+        }
+        plan
+    }
+
+    /// The fault (if any) armed for the `op`-th *read* operation.
+    pub fn read_fault(&self, op: u64) -> Option<IoFaultKind> {
+        self.faults
+            .iter()
+            .find(|f| !f.kind.is_write() && f.at_op == op)
+            .map(|f| f.kind)
+    }
+
+    /// The fault (if any) armed for the `op`-th *write* operation.
+    pub fn write_fault(&self, op: u64) -> Option<IoFaultKind> {
+        self.faults
+            .iter()
+            .find(|f| f.kind.is_write() && f.at_op == op)
+            .map(|f| f.kind)
+    }
+}
+
+/// Flip one seed-determined bit of `bytes` in place (the `BitFlip`
+/// payload mutation). No-op on an empty slice.
+pub fn flip_bit(bytes: &mut [u8], op: u64) {
+    if bytes.is_empty() {
+        return;
+    }
+    let mut state = op ^ 0x9E37_79B9_7F4A_7C15;
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    let r = state.wrapping_mul(0x2545_F491_4F6C_DD1D);
+    let idx = (r % bytes.len() as u64) as usize;
+    let bit = (r >> 32) % 8;
+    bytes[idx] ^= 1 << bit;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_compose() {
+        let plan = IoFaultPlan::at(IoFaultKind::WriteFail, 3).with(IoFaultSpec {
+            at_op: 1,
+            kind: IoFaultKind::BitFlip,
+        });
+        assert_eq!(plan.faults.len(), 2);
+        assert_eq!(plan.write_fault(3), Some(IoFaultKind::WriteFail));
+        assert_eq!(plan.write_fault(1), None);
+        assert_eq!(plan.read_fault(1), Some(IoFaultKind::BitFlip));
+        assert_eq!(plan.read_fault(3), None);
+    }
+
+    #[test]
+    fn seeded_plans_are_deterministic() {
+        let a = IoFaultPlan::seeded(42, 8, 100);
+        let b = IoFaultPlan::seeded(42, 8, 100);
+        assert_eq!(a, b);
+        assert_eq!(a.faults.len(), 8);
+        for f in &a.faults {
+            assert!((1..=100).contains(&f.at_op));
+        }
+        assert_ne!(a, IoFaultPlan::seeded(43, 8, 100));
+    }
+
+    #[test]
+    fn bit_flips_are_deterministic_and_single_bit() {
+        let orig = [0u8; 16];
+        let mut a = orig;
+        let mut b = orig;
+        flip_bit(&mut a, 5);
+        flip_bit(&mut b, 5);
+        assert_eq!(a, b);
+        let diff: u32 = orig
+            .iter()
+            .zip(a.iter())
+            .map(|(x, y)| (x ^ y).count_ones())
+            .sum();
+        assert_eq!(diff, 1);
+        flip_bit(&mut [], 1); // must not panic
+    }
+
+    #[test]
+    fn empty_plan_arms_nothing() {
+        assert!(IoFaultPlan::none().is_empty());
+        assert_eq!(IoFaultPlan::none().read_fault(1), None);
+        assert_eq!(IoFaultPlan::none().write_fault(1), None);
+    }
+}

@@ -1,0 +1,1122 @@
+//! Crash-safe persistent memo store.
+//!
+//! A content-addressed on-disk cache mapping hashes of procedure IR to
+//! interprocedural summaries (plus their derived loop reports) and
+//! hashes of canonicalized lattice-query operands to lattice results.
+//! [`crate::AnalysisSession`] consults it on memo misses and writes
+//! results back through an append-only journal; a warm store lets a
+//! corpus rerun skip nearly all analysis work while producing
+//! **bit-identical** output.
+//!
+//! ## On-disk layout
+//!
+//! ```text
+//! <dir>/
+//!   seg-0000.log    sealed journal segments (immutable once renamed)
+//!   seg-0001.log
+//!   active.tmp      the segment currently being appended
+//!   lock            pid of the process holding the store
+//!   corrupt/        quarantined bytes (torn tails, checksum mismatches)
+//! ```
+//!
+//! Appends go to `active.tmp`; sealing flushes, fsyncs, and *renames*
+//! it to the next `seg-NNNN.log` — the only atomic step, so a crash at
+//! any point leaves either a sealed segment or a salvageable/quarantinable
+//! tmp, never a half-renamed segment. Each segment opens with a
+//! [`journal::RecordKind::Header`] record carrying the codec version and
+//! the producing `git_rev`; segments from another build are deleted as
+//! stale on open (cache hygiene — results could legitimately differ
+//! across builds).
+//!
+//! ## Failure model — sound graceful degradation
+//!
+//! The store can *never* fail an analysis run or change its output:
+//!
+//! * checksum mismatch / torn tail / undecodable payload → the bytes are
+//!   quarantined into `corrupt/`, counted, reported as a typed
+//!   [`StoreError::Corrupt`] warning, and the key falls through to
+//!   recomputation;
+//! * any IO error on open/read/lock → the store disables itself
+//!   ([`StoreError::Io`] / [`StoreError::Locked`] warning) and the
+//!   session runs in-memory-only;
+//! * any IO error on append/seal → writes stop ([`StoreError::Io`]
+//!   warning) while already-loaded entries keep serving reads.
+//!
+//! Every failure path is exercised deterministically by the
+//! [`faults::IoFaultPlan`] injection layer (`--inject store-write-fail`,
+//! `store-read-fail`, `store-torn-write`, `store-bitflip`).
+//!
+//! ## Invalidation
+//!
+//! Keys are Merkle-style over procedure IR ([`hash::proc_key`]), so an
+//! edited procedure *automatically* misses along with every transitive
+//! caller. Additionally, `DepEdge` records persist the reverse map
+//! (procedure IR hash → dependent summary keys), so
+//! [`Store::invalidate_procedure`] can eagerly tombstone everything a
+//! procedure's change invalidates without waiting for natural eviction.
+
+pub mod codec;
+pub mod faults;
+pub mod hash;
+pub mod journal;
+
+pub use faults::{IoFaultKind, IoFaultPlan, IoFaultSpec};
+pub use hash::{hash_procedure, options_fingerprint, proc_key, CODEC_VERSION, UNDEFINED_CALLEE};
+
+use crate::error::StoreError;
+use crate::report::LoopReport;
+use crate::summary::Summary;
+use journal::{RawRecord, RecordKind};
+use padfa_omega::sync::{lock, read, write};
+use padfa_omega::Disjunction;
+use std::collections::{BTreeSet, HashMap};
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, RwLock};
+
+/// Rotation threshold for the active segment (bytes). Small enough that
+/// a crash loses at most one modest tail, large enough that a corpus run
+/// produces a handful of segments, not thousands.
+pub const DEFAULT_MAX_SEGMENT_BYTES: u64 = 4 << 20;
+
+/// Configuration for [`Store::open`].
+#[derive(Debug, Clone)]
+pub struct StoreConfig {
+    /// Store directory (created if absent).
+    pub dir: PathBuf,
+    /// Build identity stamped into segment headers; segments written by
+    /// a different build are discarded as stale.
+    pub git_rev: String,
+    /// Deterministic IO fault plan (empty in production).
+    pub faults: IoFaultPlan,
+    /// Active-segment rotation threshold.
+    pub max_segment_bytes: u64,
+}
+
+impl StoreConfig {
+    pub fn new(dir: impl Into<PathBuf>, git_rev: impl Into<String>) -> StoreConfig {
+        StoreConfig {
+            dir: dir.into(),
+            git_rev: git_rev.into(),
+            faults: IoFaultPlan::none(),
+            max_segment_bytes: DEFAULT_MAX_SEGMENT_BYTES,
+        }
+    }
+
+    pub fn with_faults(mut self, faults: IoFaultPlan) -> StoreConfig {
+        self.faults = faults;
+        self
+    }
+}
+
+/// Point-in-time store counters (all zeros for an absent store).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStatsSnapshot {
+    /// Lookups served from the store.
+    pub hits: u64,
+    /// Lookups that fell through to recomputation.
+    pub misses: u64,
+    /// Entries written back this session.
+    pub puts: u64,
+    /// Entries/segment tails quarantined to `corrupt/`.
+    pub quarantined: u64,
+    /// Segments discarded for codec-version or `git_rev` mismatch.
+    pub stale_segments: u64,
+    /// Records salvaged from a crashed `active.tmp`.
+    pub salvaged: u64,
+    /// Entries tombstoned by [`Store::invalidate_procedure`].
+    pub invalidated: u64,
+    /// Entries loaded from sealed segments at open.
+    pub loaded: u64,
+    /// True when the store disabled itself entirely (reads and writes).
+    pub degraded: bool,
+    /// True when only persistence stopped (reads keep serving).
+    pub writes_degraded: bool,
+}
+
+impl StoreStatsSnapshot {
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Fraction of store lookups served from disk (0 when unused).
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups() as f64
+        }
+    }
+}
+
+/// State of the segment currently being appended.
+struct ActiveSeg {
+    file: fs::File,
+    bytes: u64,
+}
+
+/// Journal writer state, behind one mutex so appends and rotation are
+/// atomic with respect to each other (and the write-op fault counter
+/// advances deterministically under contention).
+struct JournalState {
+    active: Option<ActiveSeg>,
+    next_seg: u32,
+    write_ops: u64,
+}
+
+/// The persistent memo store. Cheap shared handle: wrap in `Arc` and
+/// clone across sessions/threads; all mutation is interior.
+pub struct Store {
+    dir: PathBuf,
+    git_rev: String,
+    faults: IoFaultPlan,
+    max_segment_bytes: u64,
+    /// key → latest record for it (payload decoded lazily on get).
+    index: RwLock<HashMap<u128, (RecordKind, Vec<u8>)>>,
+    /// procedure IR hash → summary keys depending on it.
+    deps: Mutex<HashMap<u128, Vec<u128>>>,
+    journal: Mutex<JournalState>,
+    /// Full degrade: serve nothing, persist nothing.
+    disabled: AtomicBool,
+    /// Write-side degrade: keep serving loaded entries, stop persisting.
+    writes_disabled: AtomicBool,
+    /// Whether this process owns `<dir>/lock` (and must remove it).
+    holds_lock: AtomicBool,
+    warnings: Mutex<Vec<StoreError>>,
+    quarantine_seq: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    puts: AtomicU64,
+    quarantined: AtomicU64,
+    stale_segments: AtomicU64,
+    salvaged: AtomicU64,
+    invalidated: AtomicU64,
+    loaded: AtomicU64,
+}
+
+impl Store {
+    /// Open (or create) the store at `config.dir`. Infallible by design:
+    /// any failure yields a disabled store plus typed warnings, never an
+    /// error the analysis has to handle.
+    pub fn open(config: StoreConfig) -> Store {
+        let store = Store {
+            dir: config.dir,
+            git_rev: config.git_rev,
+            faults: config.faults,
+            max_segment_bytes: config.max_segment_bytes.max(1),
+            index: RwLock::new(HashMap::new()),
+            deps: Mutex::new(HashMap::new()),
+            journal: Mutex::new(JournalState {
+                active: None,
+                next_seg: 0,
+                write_ops: 0,
+            }),
+            disabled: AtomicBool::new(false),
+            writes_disabled: AtomicBool::new(false),
+            holds_lock: AtomicBool::new(false),
+            warnings: Mutex::new(Vec::new()),
+            quarantine_seq: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            puts: AtomicU64::new(0),
+            quarantined: AtomicU64::new(0),
+            stale_segments: AtomicU64::new(0),
+            salvaged: AtomicU64::new(0),
+            invalidated: AtomicU64::new(0),
+            loaded: AtomicU64::new(0),
+        };
+        if let Err(e) = store.load() {
+            store.disabled.store(true, Ordering::Relaxed);
+            store.warn(e);
+        }
+        store
+    }
+
+    /// True while the store serves reads (not fully degraded).
+    pub fn enabled(&self) -> bool {
+        !self.disabled.load(Ordering::Relaxed)
+    }
+
+    fn warn(&self, e: StoreError) {
+        lock(&self.warnings).push(e);
+    }
+
+    /// Drain the typed warnings accumulated so far (drivers print them).
+    pub fn take_warnings(&self) -> Vec<StoreError> {
+        std::mem::take(&mut lock(&self.warnings))
+    }
+
+    /// Snapshot the counters.
+    pub fn stats(&self) -> StoreStatsSnapshot {
+        StoreStatsSnapshot {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            puts: self.puts.load(Ordering::Relaxed),
+            quarantined: self.quarantined.load(Ordering::Relaxed),
+            stale_segments: self.stale_segments.load(Ordering::Relaxed),
+            salvaged: self.salvaged.load(Ordering::Relaxed),
+            invalidated: self.invalidated.load(Ordering::Relaxed),
+            loaded: self.loaded.load(Ordering::Relaxed),
+            degraded: self.disabled.load(Ordering::Relaxed),
+            writes_degraded: self.writes_disabled.load(Ordering::Relaxed),
+        }
+    }
+
+    // --------------------------------------------------------------
+    // Open-time loading
+    // --------------------------------------------------------------
+
+    fn io_err(op: &'static str, path: &Path, e: &std::io::Error) -> StoreError {
+        StoreError::Io {
+            op,
+            path: path.display().to_string(),
+            msg: e.to_string(),
+        }
+    }
+
+    fn load(&self) -> Result<(), StoreError> {
+        fs::create_dir_all(&self.dir).map_err(|e| Self::io_err("open", &self.dir, &e))?;
+        let corrupt = self.dir.join("corrupt");
+        fs::create_dir_all(&corrupt).map_err(|e| Self::io_err("open", &corrupt, &e))?;
+        self.acquire_lock()?;
+
+        // Sealed segments, in append (= filename) order.
+        let mut segs: Vec<PathBuf> = Vec::new();
+        let entries = fs::read_dir(&self.dir).map_err(|e| Self::io_err("open", &self.dir, &e))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| Self::io_err("open", &self.dir, &e))?;
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if name.starts_with("seg-") && name.ends_with(".log") {
+                segs.push(entry.path());
+            }
+        }
+        segs.sort();
+        let mut read_ops = 0u64;
+        let mut next_seg = 0u32;
+        for path in &segs {
+            if let Some(n) = seg_number(path) {
+                next_seg = next_seg.max(n + 1);
+            }
+            let bytes = self.faulted_read(path, &mut read_ops)?;
+            self.absorb_segment(path, bytes, false);
+        }
+
+        // Salvage a crashed active segment, if any.
+        let tmp = self.dir.join("active.tmp");
+        if tmp.exists() {
+            let bytes = self.faulted_read(&tmp, &mut read_ops)?;
+            next_seg = self.salvage_active(&tmp, bytes, next_seg)?;
+        }
+        lock(&self.journal).next_seg = next_seg;
+        Ok(())
+    }
+
+    /// Read a file with read-side fault injection applied.
+    fn faulted_read(&self, path: &Path, read_ops: &mut u64) -> Result<Vec<u8>, StoreError> {
+        *read_ops += 1;
+        match self.faults.read_fault(*read_ops) {
+            Some(IoFaultKind::ReadFail) => Err(StoreError::Io {
+                op: "read",
+                path: path.display().to_string(),
+                msg: "injected read failure".into(),
+            }),
+            Some(IoFaultKind::BitFlip) => {
+                let mut bytes = fs::read(path).map_err(|e| Self::io_err("read", path, &e))?;
+                faults::flip_bit(&mut bytes, *read_ops);
+                Ok(bytes)
+            }
+            _ => fs::read(path).map_err(|e| Self::io_err("read", path, &e)),
+        }
+    }
+
+    /// Validate and index one sealed segment's bytes. Stale or headerless
+    /// segments are deleted; corrupt ranges are quarantined.
+    fn absorb_segment(&self, path: &Path, bytes: Vec<u8>, salvaged: bool) {
+        let scan = journal::scan(&bytes);
+        let valid_header = scan.records.first().is_some_and(|r| {
+            r.kind == RecordKind::Header
+                && journal::decode_header_payload(&r.payload)
+                    .is_some_and(|(v, rev)| v == hash::CODEC_VERSION && rev == self.git_rev)
+        });
+        if !valid_header {
+            // Another build's cache (or a destroyed header): results may
+            // legitimately differ, so the whole segment is stale.
+            self.stale_segments.fetch_add(1, Ordering::Relaxed);
+            let _ = fs::remove_file(path);
+            return;
+        }
+        if !scan.is_clean() {
+            self.quarantine_bytes(&bytes, &scan.quarantined, path, "checksum/frame failure");
+        }
+        for rec in &scan.records {
+            if salvaged && rec.kind != RecordKind::Header {
+                self.salvaged.fetch_add(1, Ordering::Relaxed);
+            }
+            self.apply_record(rec);
+        }
+    }
+
+    fn apply_record(&self, rec: &RawRecord) {
+        match rec.kind {
+            RecordKind::Header => {}
+            RecordKind::Bool | RecordKind::Region | RecordKind::Proc => {
+                self.loaded.fetch_add(1, Ordering::Relaxed);
+                write(&self.index).insert(rec.key, (rec.kind, rec.payload.clone()));
+            }
+            RecordKind::DepEdge => {
+                let mut r = codec::Reader::new(&rec.payload);
+                if let Some(dep_key) = r.u128() {
+                    if r.at_end() {
+                        lock(&self.deps).entry(rec.key).or_default().push(dep_key);
+                    }
+                }
+            }
+            RecordKind::Tombstone => {
+                write(&self.index).remove(&rec.key);
+            }
+        }
+    }
+
+    /// Seal the valid records of a crashed `active.tmp` into a proper
+    /// segment and quarantine whatever was torn.
+    fn salvage_active(&self, tmp: &Path, bytes: Vec<u8>, next_seg: u32) -> Result<u32, StoreError> {
+        let scan = journal::scan(&bytes);
+        let valid_header = scan.records.first().is_some_and(|r| {
+            r.kind == RecordKind::Header
+                && journal::decode_header_payload(&r.payload)
+                    .is_some_and(|(v, rev)| v == hash::CODEC_VERSION && rev == self.git_rev)
+        });
+        if !scan.is_clean() {
+            self.quarantine_bytes(&bytes, &scan.quarantined, tmp, "torn active segment");
+        }
+        let mut next_seg = next_seg;
+        if valid_header && scan.records.len() > 1 {
+            // Re-encode only the verified records into a sealed segment
+            // (write-to-temp + fsync + rename).
+            let mut sealed = journal::encode_record(
+                RecordKind::Header,
+                0,
+                &journal::encode_header_payload(&self.git_rev),
+            );
+            for rec in &scan.records[1..] {
+                sealed.extend_from_slice(&journal::encode_record(rec.kind, rec.key, &rec.payload));
+            }
+            let staging = self.dir.join("salvage.tmp");
+            let seg_path = self.dir.join(format!("seg-{next_seg:04}.log"));
+            let write_sealed = || -> std::io::Result<()> {
+                let mut f = fs::File::create(&staging)?;
+                f.write_all(&sealed)?;
+                f.sync_all()?;
+                fs::rename(&staging, &seg_path)
+            };
+            write_sealed().map_err(|e| Self::io_err("seal", &seg_path, &e))?;
+            next_seg += 1;
+            for rec in &scan.records {
+                if rec.kind != RecordKind::Header {
+                    self.salvaged.fetch_add(1, Ordering::Relaxed);
+                }
+                self.apply_record(rec);
+            }
+        }
+        let _ = fs::remove_file(tmp);
+        Ok(next_seg)
+    }
+
+    /// Move corrupt byte ranges into the `corrupt/` sidecar and record
+    /// the typed warning.
+    fn quarantine_bytes(
+        &self,
+        bytes: &[u8],
+        ranges: &[(usize, usize)],
+        origin: &Path,
+        detail: &str,
+    ) {
+        self.quarantined
+            .fetch_add(ranges.len() as u64, Ordering::Relaxed);
+        let seq = self.quarantine_seq.fetch_add(1, Ordering::Relaxed);
+        let sidecar =
+            self.dir
+                .join("corrupt")
+                .join(format!("q-{}-{}.bin", std::process::id(), seq));
+        let mut payload = Vec::new();
+        for &(a, b) in ranges {
+            if let Some(slice) = bytes.get(a..b) {
+                payload.extend_from_slice(slice);
+            }
+        }
+        let _ = fs::write(&sidecar, &payload); // best-effort sidecar
+        self.warn(StoreError::Corrupt {
+            path: format!("{} -> {}", origin.display(), sidecar.display()),
+            detail: detail.to_string(),
+        });
+    }
+
+    /// Take the store lock, refusing (with degradation) when a live
+    /// process holds it. A lock left by a dead process is stale and
+    /// reclaimed.
+    fn acquire_lock(&self) -> Result<(), StoreError> {
+        let path = self.dir.join("lock");
+        if let Ok(text) = fs::read_to_string(&path) {
+            if let Ok(pid) = text.trim().parse::<u32>() {
+                if pid != std::process::id() && pid_alive(pid) {
+                    return Err(StoreError::Locked {
+                        path: path.display().to_string(),
+                        pid,
+                    });
+                }
+            }
+        }
+        fs::write(&path, format!("{}\n", std::process::id()))
+            .map_err(|e| Self::io_err("lock", &path, &e))?;
+        self.holds_lock.store(true, Ordering::Relaxed);
+        Ok(())
+    }
+
+    // --------------------------------------------------------------
+    // Reads
+    // --------------------------------------------------------------
+
+    fn get_entry(&self, key: u128, want: RecordKind) -> Option<Vec<u8>> {
+        if self.disabled.load(Ordering::Relaxed) {
+            return None;
+        }
+        let entry = read(&self.index).get(&key).cloned();
+        match entry {
+            Some((kind, payload)) if kind == want => Some(payload),
+            Some((_, payload)) => {
+                // A key aliasing two kinds means the entry cannot be
+                // trusted (kind tags are hashed into keys).
+                self.drop_corrupt_entry(key, &payload, "record kind mismatch");
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Quarantine an entry whose payload failed to decode, tombstone it,
+    /// and fall through to recomputation.
+    fn drop_corrupt_entry(&self, key: u128, payload: &[u8], detail: &str) {
+        write(&self.index).remove(&key);
+        self.quarantine_bytes(
+            payload,
+            &[(0, payload.len())],
+            &self.dir.join("index"),
+            detail,
+        );
+        self.append(RecordKind::Tombstone, key, &[]);
+    }
+
+    /// Memoized boolean lattice result. On a hit the recorded omega
+    /// cap-hit delta is replayed onto this thread's counter so per-loop
+    /// provenance stays bit-identical with a cold run.
+    pub fn get_bool(&self, key: u128) -> Option<bool> {
+        let payload = self.get_entry(key, RecordKind::Bool)?;
+        match codec::decode_bool_entry(&payload) {
+            Some((value, delta)) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                padfa_omega::limit_stats::adopt_thread_overflows(delta);
+                Some(value)
+            }
+            None => {
+                self.drop_corrupt_entry(key, &payload, "undecodable bool entry");
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Memoized region-valued lattice result (see [`Store::get_bool`]
+    /// for the overflow-delta replay).
+    pub fn get_region(&self, key: u128) -> Option<Disjunction> {
+        let payload = self.get_entry(key, RecordKind::Region)?;
+        match codec::decode_region_entry(&payload) {
+            Some((region, delta)) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                padfa_omega::limit_stats::adopt_thread_overflows(delta);
+                Some(region)
+            }
+            None => {
+                self.drop_corrupt_entry(key, &payload, "undecodable region entry");
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Memoized interprocedural summary plus the loop reports derived
+    /// while building it. A hit skips the procedure's analysis entirely.
+    pub fn get_proc(&self, key: u128) -> Option<(Summary, Vec<LoopReport>)> {
+        let payload = self.get_entry(key, RecordKind::Proc)?;
+        match codec::decode_proc_entry(&payload) {
+            Some(decoded) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(decoded)
+            }
+            None => {
+                self.drop_corrupt_entry(key, &payload, "undecodable proc entry");
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    // --------------------------------------------------------------
+    // Writes
+    // --------------------------------------------------------------
+
+    pub fn put_bool(&self, key: u128, value: bool, overflow_delta: u64) {
+        self.put(
+            key,
+            RecordKind::Bool,
+            codec::encode_bool_entry(value, overflow_delta),
+        );
+    }
+
+    pub fn put_region(&self, key: u128, region: &Disjunction, overflow_delta: u64) {
+        self.put(
+            key,
+            RecordKind::Region,
+            codec::encode_region_entry(region, overflow_delta),
+        );
+    }
+
+    /// Persist one procedure's summary + reports, plus the dependency
+    /// edges from every IR hash it transitively depends on to this key.
+    pub fn put_proc(
+        &self,
+        key: u128,
+        summary: &Summary,
+        reports: &[LoopReport],
+        dep_ir_hashes: &BTreeSet<u128>,
+    ) {
+        self.put(
+            key,
+            RecordKind::Proc,
+            codec::encode_proc_entry(summary, reports),
+        );
+        if self.disabled.load(Ordering::Relaxed) {
+            return;
+        }
+        for &ir in dep_ir_hashes {
+            let known = lock(&self.deps)
+                .get(&ir)
+                .is_some_and(|deps| deps.contains(&key));
+            if !known {
+                lock(&self.deps).entry(ir).or_default().push(key);
+                let mut payload = Vec::new();
+                codec::put_u128(&mut payload, key);
+                self.append(RecordKind::DepEdge, ir, &payload);
+            }
+        }
+    }
+
+    fn put(&self, key: u128, kind: RecordKind, payload: Vec<u8>) {
+        if self.disabled.load(Ordering::Relaxed) {
+            return;
+        }
+        self.puts.fetch_add(1, Ordering::Relaxed);
+        write(&self.index).insert(key, (kind, payload.clone()));
+        self.append(kind, key, &payload);
+    }
+
+    /// Append one record to the active segment, honoring write-side
+    /// fault injection and degrading (with a typed warning) on any
+    /// failure. Real and injected errors take the same path.
+    fn append(&self, kind: RecordKind, key: u128, payload: &[u8]) {
+        if self.disabled.load(Ordering::Relaxed) || self.writes_disabled.load(Ordering::Relaxed) {
+            return;
+        }
+        let mut j = lock(&self.journal);
+        if self.writes_disabled.load(Ordering::Relaxed) {
+            return; // another thread degraded while we waited
+        }
+        let tmp_path = self.dir.join("active.tmp");
+        // Lazily start a segment: header first.
+        if j.active.is_none() {
+            match fs::File::create(&tmp_path) {
+                Ok(file) => {
+                    j.active = Some(ActiveSeg { file, bytes: 0 });
+                    let header = journal::encode_record(
+                        RecordKind::Header,
+                        0,
+                        &journal::encode_header_payload(&self.git_rev),
+                    );
+                    if !self.write_record(&mut j, &tmp_path, &header) {
+                        return;
+                    }
+                }
+                Err(e) => {
+                    self.degrade_writes(&mut j, Self::io_err("append", &tmp_path, &e));
+                    return;
+                }
+            }
+        }
+        let record = journal::encode_record(kind, key, payload);
+        if !self.write_record(&mut j, &tmp_path, &record) {
+            return;
+        }
+        // Rotate once the active segment is big enough.
+        let full = j
+            .active
+            .as_ref()
+            .is_some_and(|a| a.bytes >= self.max_segment_bytes);
+        if full {
+            self.seal_locked(&mut j);
+        }
+    }
+
+    /// Write one framed record, applying write-fault injection. Returns
+    /// false when writes degraded.
+    fn write_record(&self, j: &mut JournalState, path: &Path, record: &[u8]) -> bool {
+        j.write_ops += 1;
+        let op = j.write_ops;
+        match self.faults.write_fault(op) {
+            Some(IoFaultKind::WriteFail) => {
+                self.degrade_writes(
+                    j,
+                    StoreError::Io {
+                        op: "append",
+                        path: path.display().to_string(),
+                        msg: "injected write failure".into(),
+                    },
+                );
+                return false;
+            }
+            Some(IoFaultKind::TornWrite) => {
+                // Persist a prefix, then "crash": the torn tail stays on
+                // disk for the next open to quarantine.
+                if let Some(active) = j.active.as_mut() {
+                    let half = record.len() / 2;
+                    let _ = active.file.write_all(&record[..half]);
+                    let _ = active.file.flush();
+                    let _ = active.file.sync_all();
+                }
+                j.active = None; // keep active.tmp on disk, torn
+                self.degrade_writes(
+                    j,
+                    StoreError::Io {
+                        op: "append",
+                        path: path.display().to_string(),
+                        msg: "injected torn write (crash mid-append)".into(),
+                    },
+                );
+                return false;
+            }
+            _ => {}
+        }
+        let Some(active) = j.active.as_mut() else {
+            return false;
+        };
+        match active.file.write_all(record) {
+            Ok(()) => {
+                active.bytes += record.len() as u64;
+                true
+            }
+            Err(e) => {
+                let err = Self::io_err("append", path, &e);
+                self.degrade_writes(j, err);
+                false
+            }
+        }
+    }
+
+    fn degrade_writes(&self, j: &mut JournalState, e: StoreError) {
+        // Leave active.tmp on disk: whatever was fully appended is
+        // salvageable by the next open.
+        j.active = None;
+        self.writes_disabled.store(true, Ordering::Relaxed);
+        self.warn(e);
+    }
+
+    /// Seal the active segment: flush + fsync + atomic rename. A
+    /// header-only segment is discarded instead of sealed.
+    fn seal_locked(&self, j: &mut JournalState) {
+        let Some(mut active) = j.active.take() else {
+            return;
+        };
+        let tmp_path = self.dir.join("active.tmp");
+        let header_len = journal::encode_record(
+            RecordKind::Header,
+            0,
+            &journal::encode_header_payload(&self.git_rev),
+        )
+        .len() as u64;
+        if active.bytes <= header_len {
+            drop(active);
+            let _ = fs::remove_file(&tmp_path);
+            return;
+        }
+        let seal = || -> std::io::Result<PathBuf> {
+            active.file.flush()?;
+            active.file.sync_all()?;
+            drop(active);
+            let seg_path = self.dir.join(format!("seg-{:04}.log", j.next_seg));
+            fs::rename(&tmp_path, &seg_path)?;
+            Ok(seg_path)
+        };
+        match seal() {
+            Ok(_) => j.next_seg += 1,
+            Err(e) => {
+                let err = Self::io_err("seal", &tmp_path, &e);
+                self.writes_disabled.store(true, Ordering::Relaxed);
+                self.warn(err);
+            }
+        }
+    }
+
+    /// Flush and seal the active segment (called at the end of a run;
+    /// also runs on drop).
+    pub fn flush(&self) {
+        if self.disabled.load(Ordering::Relaxed) || self.writes_disabled.load(Ordering::Relaxed) {
+            return;
+        }
+        let mut j = lock(&self.journal);
+        self.seal_locked(&mut j);
+    }
+
+    // --------------------------------------------------------------
+    // Invalidation
+    // --------------------------------------------------------------
+
+    /// Tombstone every summary entry that depends (transitively, via the
+    /// persisted dependency edges) on the procedure whose IR hashes to
+    /// `ir_hash`. Returns the number of entries invalidated.
+    ///
+    /// Content addressing already makes edited procedures *miss* — their
+    /// keys change — so this is eager garbage collection: it reclaims
+    /// entries that can never hit again after an edit.
+    pub fn invalidate_procedure(&self, ir_hash: u128) -> usize {
+        if self.disabled.load(Ordering::Relaxed) {
+            return 0;
+        }
+        let dep_keys: Vec<u128> = lock(&self.deps).get(&ir_hash).cloned().unwrap_or_default();
+        let mut n = 0;
+        for key in dep_keys {
+            if write(&self.index).remove(&key).is_some() {
+                n += 1;
+                self.append(RecordKind::Tombstone, key, &[]);
+            }
+        }
+        self.invalidated.fetch_add(n as u64, Ordering::Relaxed);
+        n
+    }
+}
+
+impl Drop for Store {
+    fn drop(&mut self) {
+        self.flush();
+        if self.holds_lock.load(Ordering::Relaxed) {
+            let _ = fs::remove_file(self.dir.join("lock"));
+        }
+    }
+}
+
+/// Segment sequence number from a `seg-NNNN.log` path.
+fn seg_number(path: &Path) -> Option<u32> {
+    let name = path.file_name()?.to_str()?;
+    name.strip_prefix("seg-")?
+        .strip_suffix(".log")?
+        .parse()
+        .ok()
+}
+
+/// Is `pid` a live process? Linux answers via `/proc`; elsewhere we
+/// assume dead (a stale-looking lock is reclaimed — the single-machine,
+/// Linux-first deployment makes this the pragmatic default).
+fn pid_alive(pid: u32) -> bool {
+    if cfg!(target_os = "linux") {
+        Path::new(&format!("/proc/{pid}")).exists()
+    } else {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn test_dir(suffix: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("padfa_store_test_{}_{suffix}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn cfg(dir: &Path) -> StoreConfig {
+        StoreConfig::new(dir, "testrev")
+    }
+
+    #[test]
+    fn cold_put_then_warm_get_across_reopen() {
+        let dir = test_dir("roundtrip");
+        {
+            let s = Store::open(cfg(&dir));
+            assert!(s.enabled());
+            s.put_bool(1, true, 3);
+            s.put_bool(2, false, 0);
+            assert_eq!(s.get_bool(1), Some(true));
+            assert!(s.take_warnings().is_empty());
+        } // drop seals the segment
+        let s = Store::open(cfg(&dir));
+        assert_eq!(s.get_bool(1), Some(true));
+        assert_eq!(s.get_bool(2), Some(false));
+        assert_eq!(s.get_bool(3), None);
+        let st = s.stats();
+        assert_eq!(st.hits, 2);
+        assert_eq!(st.misses, 1);
+        assert_eq!(st.loaded, 2);
+        assert!(s.take_warnings().is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn different_git_rev_discards_segments() {
+        let dir = test_dir("stale");
+        {
+            let s = Store::open(cfg(&dir));
+            s.put_bool(1, true, 0);
+        }
+        let s = Store::open(StoreConfig::new(&dir, "otherrev"));
+        assert_eq!(s.get_bool(1), None);
+        assert_eq!(s.stats().stale_segments, 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_write_leaves_salvageable_tail() {
+        let dir = test_dir("torn");
+        {
+            // Fault on the 4th write op: header + two entries land, the
+            // third entry is torn mid-record.
+            let faults = IoFaultPlan::at(IoFaultKind::TornWrite, 4);
+            let s = Store::open(cfg(&dir).with_faults(faults));
+            s.put_bool(1, true, 0);
+            s.put_bool(2, false, 0);
+            s.put_bool(3, true, 0);
+            let warnings = s.take_warnings();
+            assert_eq!(warnings.len(), 1);
+            assert!(matches!(warnings[0], StoreError::Io { op: "append", .. }));
+            assert!(s.stats().writes_degraded);
+            // Reads keep working after write degradation.
+            assert_eq!(s.get_bool(1), Some(true));
+        }
+        // Reopen: the two complete records are salvaged, the torn tail
+        // is quarantined, and analysis-visible state is sound.
+        let s = Store::open(cfg(&dir));
+        assert_eq!(s.get_bool(1), Some(true));
+        assert_eq!(s.get_bool(2), Some(false));
+        assert_eq!(s.get_bool(3), None);
+        let st = s.stats();
+        assert_eq!(st.salvaged, 2);
+        assert!(st.quarantined >= 1);
+        let warnings = s.take_warnings();
+        assert!(warnings
+            .iter()
+            .any(|w| matches!(w, StoreError::Corrupt { .. })));
+        // The quarantine sidecar exists.
+        let corrupt_files = fs::read_dir(dir.join("corrupt")).unwrap().count();
+        assert!(corrupt_files >= 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn write_fail_degrades_writes_only() {
+        let dir = test_dir("wfail");
+        let s = Store::open(cfg(&dir).with_faults(IoFaultPlan::at(IoFaultKind::WriteFail, 2)));
+        s.put_bool(1, true, 0); // header (op 1) + entry (op 2 -> fails)
+        assert!(s.stats().writes_degraded);
+        assert!(!s.stats().degraded);
+        // The in-memory index still serves the entry this session.
+        assert_eq!(s.get_bool(1), Some(true));
+        let warnings = s.take_warnings();
+        assert_eq!(warnings.len(), 1);
+        assert!(matches!(warnings[0], StoreError::Io { .. }));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn read_fail_disables_store() {
+        let dir = test_dir("rfail");
+        {
+            let s = Store::open(cfg(&dir));
+            s.put_bool(1, true, 0);
+        }
+        let s = Store::open(cfg(&dir).with_faults(IoFaultPlan::at(IoFaultKind::ReadFail, 1)));
+        assert!(!s.enabled());
+        assert_eq!(s.get_bool(1), None); // degraded: no reads served
+        s.put_bool(2, true, 0); // and no writes persisted
+        let warnings = s.take_warnings();
+        assert_eq!(warnings.len(), 1);
+        assert!(matches!(warnings[0], StoreError::Io { op: "read", .. }));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bitflip_quarantines_and_recovers() {
+        let dir = test_dir("bitflip");
+        {
+            let s = Store::open(cfg(&dir));
+            for k in 0..20u128 {
+                s.put_bool(k, true, 0);
+            }
+        }
+        let s = Store::open(cfg(&dir).with_faults(IoFaultPlan::at(IoFaultKind::BitFlip, 1)));
+        assert!(s.enabled());
+        let st = s.stats();
+        // One record was corrupted (or the header, making the segment
+        // stale); either way the store stays sound and usable.
+        assert!(st.quarantined >= 1 || st.stale_segments >= 1);
+        let served: usize = (0..20u128).filter(|&k| s.get_bool(k) == Some(true)).count();
+        assert!(served >= 19 || st.stale_segments == 1);
+        s.put_bool(99, false, 0);
+        assert_eq!(s.get_bool(99), Some(false));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn live_foreign_lock_degrades_opener() {
+        let dir = test_dir("lock");
+        fs::create_dir_all(&dir).unwrap();
+        // PID 1 is alive on any Linux box and is never us.
+        fs::write(dir.join("lock"), "1\n").unwrap();
+        let b = Store::open(cfg(&dir));
+        if cfg!(target_os = "linux") {
+            assert!(!b.enabled());
+            let warnings = b.take_warnings();
+            assert!(matches!(warnings[0], StoreError::Locked { pid: 1, .. }));
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn drop_releases_the_lock() {
+        let dir = test_dir("unlock");
+        {
+            let a = Store::open(cfg(&dir));
+            assert!(a.enabled());
+            assert!(dir.join("lock").exists());
+        }
+        assert!(!dir.join("lock").exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_lock_from_dead_pid_is_reclaimed() {
+        let dir = test_dir("stalelock");
+        fs::create_dir_all(&dir).unwrap();
+        // PID 4294967294 is not a live process.
+        fs::write(dir.join("lock"), "4294967294\n").unwrap();
+        let s = Store::open(cfg(&dir));
+        assert!(s.enabled());
+        assert!(s.take_warnings().is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn segment_rotation_preserves_entries() {
+        let dir = test_dir("rotate");
+        let mut config = cfg(&dir);
+        config.max_segment_bytes = 256; // force frequent rotation
+        {
+            let s = Store::open(config.clone());
+            for k in 0..50u128 {
+                s.put_bool(k, k % 2 == 0, 0);
+            }
+        }
+        let segs = fs::read_dir(&dir)
+            .unwrap()
+            .filter(|e| {
+                e.as_ref()
+                    .unwrap()
+                    .file_name()
+                    .to_string_lossy()
+                    .starts_with("seg-")
+            })
+            .count();
+        assert!(segs > 1, "rotation produced {segs} segment(s)");
+        let s = Store::open(config);
+        for k in 0..50u128 {
+            assert_eq!(s.get_bool(k), Some(k % 2 == 0), "key {k}");
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tombstones_survive_reopen() {
+        let dir = test_dir("tombstone");
+        {
+            let s = Store::open(cfg(&dir));
+            s.put_bool(7, true, 0);
+        }
+        {
+            let s = Store::open(cfg(&dir));
+            assert_eq!(s.get_bool(7), Some(true));
+            // Manually tombstone via the corrupt-entry path equivalent.
+            s.append(RecordKind::Tombstone, 7, &[]);
+            write(&s.index).remove(&7);
+        }
+        let s = Store::open(cfg(&dir));
+        assert_eq!(s.get_bool(7), None);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn dependency_invalidation_tombstones_dependents() {
+        let dir = test_dir("invalidate");
+        let summary = Summary::default();
+        {
+            let s = Store::open(cfg(&dir));
+            let deps: BTreeSet<u128> = [100, 200].into_iter().collect();
+            s.put_proc(11, &summary, &[], &deps);
+            s.put_proc(12, &summary, &[], &[100].into_iter().collect());
+            s.put_proc(13, &summary, &[], &[300].into_iter().collect());
+        }
+        {
+            // Invalidate everything depending on IR hash 100: keys 11, 12.
+            let s = Store::open(cfg(&dir));
+            assert_eq!(s.invalidate_procedure(100), 2);
+            assert!(s.get_proc(11).is_none());
+            assert!(s.get_proc(12).is_none());
+            assert!(s.get_proc(13).is_some());
+        }
+        // And the tombstones persisted.
+        let s = Store::open(cfg(&dir));
+        assert!(s.get_proc(11).is_none());
+        assert!(s.get_proc(13).is_some());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn store_is_shareable_across_threads() {
+        let dir = test_dir("threads");
+        let s = Arc::new(Store::open(cfg(&dir)));
+        let handles: Vec<_> = (0..4u128)
+            .map(|t| {
+                let s = Arc::clone(&s);
+                std::thread::spawn(move || {
+                    for k in 0..25u128 {
+                        s.put_bool(t * 1000 + k, true, 0);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            let _ = h.join();
+        }
+        for t in 0..4u128 {
+            for k in 0..25u128 {
+                assert_eq!(s.get_bool(t * 1000 + k), Some(true));
+            }
+        }
+        drop(s);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

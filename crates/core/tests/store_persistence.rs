@@ -1,0 +1,293 @@
+//! End-to-end tests for the persistent memo store: warm-vs-cold output
+//! identity, crash consistency under injected faults, dependency-driven
+//! invalidation, and a randomized codec round-trip property.
+
+use padfa_core::store::codec;
+use padfa_core::{
+    analyze_program_session, AnalysisSession, IoFaultKind, IoFaultPlan, Options, Store,
+    StoreConfig, StoreError,
+};
+use padfa_ir::parse::parse_program;
+use padfa_omega::{Constraint, Disjunction, LinExpr, System, Var};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+fn test_dir(suffix: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("padfa_store_e2e_{}_{suffix}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn cfg(dir: &Path) -> StoreConfig {
+    StoreConfig::new(dir, "e2e-rev")
+}
+
+const PROGRAM: &str = "
+proc init(row: array[100], n: int) {
+    for j = 1 to n { row[j] = 0.0; }
+}
+proc work(n: int, x: int) {
+    array a[100, 100]; array help[100];
+    call init(help, n);
+    for i = 1 to n {
+        if (x > 5) {
+            for j = 1 to n { help[j] = 2.0; }
+        }
+        if (x > 5) {
+            for j = 1 to n { a[i, j] = help[j]; }
+        }
+    }
+}
+proc main(n: int) {
+    array b[100]; var s: real;
+    for i = 1 to n { b[i] = 1.0; }
+    call init(b, n);
+    for i = 2 to n { b[i] = b[i - 1] + 1.0; }
+    for i = 1 to n { s = s + b[i]; }
+}
+";
+
+fn run_with_store(store: Option<Arc<Store>>) -> padfa_core::AnalysisResult {
+    let prog = parse_program(PROGRAM).unwrap();
+    let mut sess = AnalysisSession::new(Options::predicated());
+    if let Some(s) = store {
+        sess = sess.with_store(s);
+    }
+    let (result, _) = analyze_program_session(&prog, &sess).unwrap();
+    result
+}
+
+#[test]
+fn warm_run_is_bit_identical_and_mostly_hits() {
+    let dir = test_dir("warmcold");
+    let baseline = run_with_store(None);
+
+    // Cold: populates the store.
+    let cold_store = Arc::new(Store::open(cfg(&dir)));
+    let cold = run_with_store(Some(Arc::clone(&cold_store)));
+    assert_eq!(cold.loops, baseline.loops, "store must not change results");
+    assert!(cold_store.take_warnings().is_empty());
+    let cold_stats = cold_store.stats();
+    assert!(cold_stats.puts > 0, "cold run must persist entries");
+    drop(cold_store); // seals the journal
+
+    // Warm: every procedure summary should come from disk.
+    let warm_store = Arc::new(Store::open(cfg(&dir)));
+    let warm = run_with_store(Some(Arc::clone(&warm_store)));
+    assert_eq!(warm.loops, baseline.loops, "warm must be bit-identical");
+    let st = warm_store.stats();
+    assert!(st.hits > 0, "warm run must hit");
+    assert!(
+        st.hit_rate() >= 0.8,
+        "warm hit rate {:.2} below 0.8 ({} hits / {} misses)",
+        st.hit_rate(),
+        st.hits,
+        st.misses
+    );
+    assert!(warm_store.take_warnings().is_empty());
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn crash_mid_write_then_reopen_is_sound() {
+    let dir = test_dir("crash");
+    let baseline = run_with_store(None);
+
+    // "Crash" while persisting: a torn write stops the journal partway
+    // through the run. Results must be unaffected.
+    let faults = IoFaultPlan::at(IoFaultKind::TornWrite, 7);
+    let crashing = Arc::new(Store::open(cfg(&dir).with_faults(faults)));
+    let during = run_with_store(Some(Arc::clone(&crashing)));
+    assert_eq!(during.loops, baseline.loops);
+    assert!(crashing.stats().writes_degraded);
+    let warnings = crashing.take_warnings();
+    assert!(
+        warnings.iter().any(|w| matches!(w, StoreError::Io { .. })),
+        "torn write must surface a typed Io warning"
+    );
+    // Simulate the crash for real: the store is dropped with writes
+    // degraded, leaving the torn active.tmp on disk.
+    drop(crashing);
+    assert!(dir.join("active.tmp").exists(), "torn tail left behind");
+
+    // Reopen: salvage the complete prefix, quarantine the torn tail,
+    // and produce identical analysis output again.
+    let reopened = Arc::new(Store::open(cfg(&dir)));
+    let st = reopened.stats();
+    assert!(st.quarantined >= 1, "torn tail must be quarantined");
+    let warnings = reopened.take_warnings();
+    assert!(warnings
+        .iter()
+        .any(|w| matches!(w, StoreError::Corrupt { .. })));
+    let after = run_with_store(Some(Arc::clone(&reopened)));
+    assert_eq!(after.loops, baseline.loops);
+    drop(reopened); // clean close seals the journal
+    assert!(!dir.join("active.tmp").exists());
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn every_fault_kind_degrades_without_changing_results() {
+    let baseline = run_with_store(None);
+    let plans = [
+        ("write-fail", IoFaultPlan::at(IoFaultKind::WriteFail, 1)),
+        (
+            "write-fail-late",
+            IoFaultPlan::at(IoFaultKind::WriteFail, 12),
+        ),
+        ("torn-write", IoFaultPlan::at(IoFaultKind::TornWrite, 3)),
+        ("read-fail", IoFaultPlan::at(IoFaultKind::ReadFail, 1)),
+        ("bitflip", IoFaultPlan::at(IoFaultKind::BitFlip, 1)),
+        ("seeded", IoFaultPlan::seeded(0xC0FFEE, 6, 20)),
+    ];
+    for (name, plan) in plans {
+        let dir = test_dir(&format!("fault_{name}"));
+        // Warm the store first so read-side faults have something to hit.
+        {
+            let s = Arc::new(Store::open(cfg(&dir)));
+            let r = run_with_store(Some(s));
+            assert_eq!(r.loops, baseline.loops, "warming run, plan {name}");
+        }
+        let s = Arc::new(Store::open(cfg(&dir).with_faults(plan)));
+        let r = run_with_store(Some(Arc::clone(&s)));
+        assert_eq!(r.loops, baseline.loops, "plan {name} changed results");
+        drop(s);
+        // And a clean follow-up run over whatever state the fault left.
+        let s = Arc::new(Store::open(cfg(&dir)));
+        let r = run_with_store(Some(Arc::clone(&s)));
+        assert_eq!(r.loops, baseline.loops, "post-fault reopen, plan {name}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn editing_a_procedure_misses_and_invalidates() {
+    let dir = test_dir("edit");
+    {
+        let s = Arc::new(Store::open(cfg(&dir)));
+        run_with_store(Some(s));
+    }
+    // Same program, one procedure body edited: `init` writes 1.0 now.
+    let edited_src = PROGRAM.replace("row[j] = 0.0;", "row[j] = 1.0;");
+    let edited = parse_program(&edited_src).unwrap();
+    let s = Arc::new(Store::open(cfg(&dir)));
+    let sess = AnalysisSession::new(Options::predicated()).with_store(Arc::clone(&s));
+    analyze_program_session(&edited, &sess).unwrap();
+    let st = s.stats();
+    // `init` changed, so it and both its callers (`work`, `main`) must
+    // recompute — their Merkle keys changed.
+    assert!(st.puts > 0, "edited procedures must be re-persisted");
+
+    // Eager invalidation: tombstone everything depending on the ORIGINAL
+    // init's IR.
+    let orig = parse_program(PROGRAM).unwrap();
+    let init = orig.proc("init").unwrap();
+    let ir = padfa_core::store::hash_procedure(init);
+    let n = s.invalidate_procedure(ir);
+    assert!(
+        n >= 3,
+        "init + its transitive callers should be invalidated, got {n}"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn second_session_sharing_one_store_stays_consistent() {
+    // The corpus runner shares one Arc<Store> across many programs;
+    // interleaved sessions must not corrupt each other.
+    let dir = test_dir("shared");
+    let s = Arc::new(Store::open(cfg(&dir)));
+    let r1 = run_with_store(Some(Arc::clone(&s)));
+    let r2 = run_with_store(Some(Arc::clone(&s)));
+    assert_eq!(r1.loops, r2.loops);
+    let st = s.stats();
+    assert!(st.hits > 0, "second session should hit the first's entries");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------
+// Randomized codec round-trip property
+// ---------------------------------------------------------------------
+
+fn random_linexpr(rng: &mut StdRng) -> LinExpr {
+    let mut e = LinExpr::constant(rng.gen_range(-50..50));
+    for _ in 0..rng.gen_range(0..4) {
+        let v = Var::new(&format!("v{}", rng.gen_range(0..6)));
+        e = e + LinExpr::term(v, rng.gen_range(-9..10));
+    }
+    e
+}
+
+fn random_system(rng: &mut StdRng) -> System {
+    let mut cs = Vec::new();
+    for _ in 0..rng.gen_range(0..5) {
+        let a = random_linexpr(rng);
+        let b = random_linexpr(rng);
+        cs.push(if rng.gen_bool(0.5) {
+            Constraint::geq(a, b)
+        } else {
+            Constraint::eq(a, b)
+        });
+    }
+    System::from_constraints(cs)
+}
+
+fn random_region(rng: &mut StdRng) -> Disjunction {
+    let mut d = Disjunction::empty();
+    for _ in 0..rng.gen_range(0..4) {
+        d.push(random_system(rng));
+    }
+    if rng.gen_bool(0.3) {
+        d.set_inexact();
+    }
+    d
+}
+
+#[test]
+fn region_codec_round_trips_random_values() {
+    let mut rng = StdRng::seed_from_u64(0x5EED_CAFE);
+    for case in 0..500 {
+        let region = random_region(&mut rng);
+        let delta = rng.gen_range(0..10u64);
+        let bytes = codec::encode_region_entry(&region, delta);
+        let (decoded, d2) =
+            codec::decode_region_entry(&bytes).unwrap_or_else(|| panic!("case {case} undecodable"));
+        assert_eq!(decoded, region, "case {case} changed value");
+        assert_eq!(d2, delta, "case {case} changed delta");
+        // Re-encoding the decoded value must be byte-stable (the store
+        // keys on encoded bytes, so drift would break hit identity).
+        assert_eq!(
+            codec::encode_region_entry(&decoded, d2),
+            bytes,
+            "case {case} not byte-stable"
+        );
+    }
+}
+
+#[test]
+fn region_codec_rejects_random_mutations() {
+    let mut rng = StdRng::seed_from_u64(0x0BAD_5EED);
+    for case in 0..300 {
+        let region = random_region(&mut rng);
+        let bytes = codec::encode_region_entry(&region, 1);
+        if bytes.is_empty() {
+            continue;
+        }
+        // Truncation anywhere must decode to None, never panic.
+        let cut = rng.gen_range(0..bytes.len());
+        assert!(
+            codec::decode_region_entry(&bytes[..cut]).is_none(),
+            "case {case}: truncation at {cut} decoded"
+        );
+        // A random byte mutation must either fail to decode or decode to
+        // *some* value without panicking (the journal checksum is the
+        // integrity layer; the codec only has to be crash-safe).
+        let mut m = bytes.clone();
+        let i = rng.gen_range(0..m.len());
+        m[i] = m[i].wrapping_add(rng.gen_range(1..=255u8));
+        let _ = codec::decode_region_entry(&m);
+    }
+}

@@ -43,6 +43,15 @@ impl Disjunction {
         d
     }
 
+    /// Reassemble a region from previously-normalized parts **without**
+    /// filtering. The persistence-codec constructor: [`Disjunction::push`]
+    /// drops contradictions, so round-tripping a stored region through it
+    /// would not be bit-exact. Only pass parts previously obtained from
+    /// [`Disjunction::systems`] / [`Disjunction::is_exact`].
+    pub fn from_raw_parts(systems: Vec<System>, exact: bool) -> Disjunction {
+        Disjunction { systems, exact }
+    }
+
     /// The convex pieces.
     pub fn systems(&self) -> &[System] {
         &self.systems

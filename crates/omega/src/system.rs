@@ -49,6 +49,20 @@ impl System {
         s
     }
 
+    /// Reassemble a system from previously-normalized parts **without**
+    /// re-normalizing. This is the persistence-codec constructor: the
+    /// on-disk memo store must round-trip a system bit-exactly
+    /// (constraint order included), and [`System::from_constraints`]
+    /// would re-run `push`/`simplify` and potentially reorder or drop
+    /// constraints. Only pass parts previously obtained from
+    /// [`System::constraints`] / [`System::is_contradiction`].
+    pub fn from_raw_parts(constraints: Vec<Constraint>, contradiction: bool) -> System {
+        System {
+            constraints,
+            contradiction,
+        }
+    }
+
     /// True when this system was proven unsatisfiable by normalization.
     /// (A `false` answer does not imply satisfiability; use
     /// [`System::is_empty`].)

@@ -5,6 +5,7 @@
 //! padfa analyze <file.mf> [--variant base|guarded|predicated] [--all] [--summaries]
 //!                         [--jobs N] [--stats] [--max-steps N] [--deadline-ms N] [--strict]
 //!                         [--trace PATH] [--metrics-out PATH]
+//!                         [--store DIR] [--no-store] [--inject store-FAULT]
 //! padfa explain <file.mf> [--loop <label-or-id>] [--json] [--variant V] [--jobs N]
 //! padfa run     <file.mf> [--workers N] [--seq] [--fuel N] [--deadline-ms N]
 //!                         [--no-fallback] [--inject W:S:KIND] [ARG...]
@@ -12,6 +13,7 @@
 //! padfa fmt     <file.mf>
 //! padfa corpus  [--variant V] [--jobs N] [--max-steps N] [--deadline-ms N]
 //!               [--ledger PATH] [--resume] [--keep-going] [--metrics-out PATH]
+//!               [--store DIR] [--no-store] [--inject store-FAULT]
 //! ```
 //!
 //! Scalar entry arguments are given positionally (`8 3 50`); integer
@@ -38,6 +40,19 @@
 //! parallelism, the query outcome that discharged it, the decisive
 //! predicate, the emitted run-time test, and any budget or cap-hit
 //! degradation — as a human-readable tree or (`--json`) machine JSON.
+//!
+//! `analyze --store DIR` (or the `PADFA_STORE` environment variable)
+//! attaches the crash-safe persistent memo store: lattice results and
+//! whole-procedure summaries are content-addressed on disk, so a warm
+//! rerun skips recomputation while producing bit-identical output. A
+//! corrupt, locked, or failing store degrades to recomputation with a
+//! typed warning — it can never change results or crash the run.
+//! `--no-store` overrides the environment; `--inject store-write-fail[:N]`,
+//! `store-read-fail[:N]`, `store-torn-write[:N]`, `store-bitflip[:N]`,
+//! and `store-seeded:SEED:COUNT` deterministically exercise the store's
+//! failure paths. Budgeted runs (`--max-steps`/`--deadline-ms`) bypass
+//! the store: replaying cached results would change step accounting and
+//! with it degradation decisions.
 //!
 //! `analyze --trace PATH` writes a Chrome trace-event JSON file
 //! (loadable in Perfetto / `chrome://tracing`) with spans for parse,
@@ -73,20 +88,22 @@ fn usage() -> ! {
     eprintln!(
         "usage:\n  padfa analyze <file.mf> [--variant base|guarded|predicated] [--all]\n               \
          [--summaries] [--jobs N] [--stats] [--max-steps N] [--deadline-ms N] [--strict]\n               \
-         [--trace PATH] [--metrics-out PATH]\n  \
+         [--trace PATH] [--metrics-out PATH] [--store DIR] [--no-store]\n               \
+         [--inject store-FAULT]\n  \
          padfa explain <file.mf> [--loop <label-or-id>] [--json] [--variant V] [--jobs N]\n  \
          padfa run <file.mf> [--workers N] [--seq] [--fuel N] [--deadline-ms N]\n            \
          [--no-fallback] [--inject W:S:panic|error|corrupt] [ARG...]\n  \
          padfa elpd <file.mf> <loop-label-or-id> [--fuel N] [ARG...]\n  \
          padfa fmt <file.mf>\n  \
          padfa corpus [--variant V] [--jobs N] [--max-steps N] [--deadline-ms N]\n               \
-         [--ledger PATH] [--resume] [--keep-going] [--metrics-out PATH]"
+         [--ledger PATH] [--resume] [--keep-going] [--metrics-out PATH]\n               \
+         [--store DIR] [--no-store] [--inject store-FAULT]"
     );
     exit(2)
 }
 
 /// Ledger / snapshot schema version. Bump when a field changes meaning.
-const SCHEMA_VERSION: u32 = 2;
+const SCHEMA_VERSION: u32 = 3;
 
 /// The current git revision (short hash, `+dirty` when the tree has
 /// local modifications), or `"unknown"` outside a git checkout.
@@ -244,6 +261,90 @@ impl BudgetFlags {
     }
 }
 
+/// Shared persistent-store flag state for `analyze` and `corpus`.
+#[derive(Default)]
+struct StoreFlags {
+    dir: Option<String>,
+    disabled: bool,
+    faults: padfa::analysis::IoFaultPlan,
+}
+
+impl StoreFlags {
+    /// Resolve `--store` / `--no-store` / `PADFA_STORE` into an opened
+    /// store handle. `None` means the session runs without persistence.
+    /// Opening never fails: an unusable directory yields a degraded
+    /// (in-memory-only) store whose warnings the caller drains.
+    fn open(&self, budget: &WorkBudget) -> Option<std::sync::Arc<padfa::analysis::Store>> {
+        if self.disabled {
+            return None;
+        }
+        let dir = self
+            .dir
+            .clone()
+            .or_else(|| std::env::var("PADFA_STORE").ok().filter(|s| !s.is_empty()))?;
+        if !budget.is_unlimited() {
+            eprintln!(
+                "padfa: warning: persistent store disabled under a work budget \
+                 (cached results would change step accounting)"
+            );
+            return None;
+        }
+        let cfg =
+            padfa::analysis::StoreConfig::new(&dir, git_rev()).with_faults(self.faults.clone());
+        Some(std::sync::Arc::new(padfa::analysis::Store::open(cfg)))
+    }
+}
+
+/// Print every pending store warning (corruption, IO degradation, lock
+/// contention) to stderr. Warnings never affect results or exit codes.
+fn drain_store_warnings(store: &padfa::analysis::Store) {
+    for w in store.take_warnings() {
+        eprintln!("padfa: warning: {w}");
+    }
+}
+
+/// Parse a `store-*` spec from `--inject` into the fault plan. Returns
+/// false when the spec is not store-related (so callers can reject it).
+fn parse_store_fault(spec: &str, plan: &mut padfa::analysis::IoFaultPlan) -> bool {
+    use padfa::analysis::{IoFaultKind, IoFaultSpec};
+    let bad = || -> ! {
+        eprintln!(
+            "padfa: bad --inject spec '{spec}' (want store-write-fail[:N], \
+             store-read-fail[:N], store-torn-write[:N], store-bitflip[:N], \
+             or store-seeded:SEED:COUNT)"
+        );
+        exit(2)
+    };
+    let mut parts = spec.split(':');
+    let kind = match parts.next().unwrap_or("") {
+        "store-write-fail" => IoFaultKind::WriteFail,
+        "store-read-fail" => IoFaultKind::ReadFail,
+        "store-torn-write" => IoFaultKind::TornWrite,
+        "store-bitflip" => IoFaultKind::BitFlip,
+        "store-seeded" => {
+            let (Some(seed), Some(count), None) = (parts.next(), parts.next(), parts.next()) else {
+                bad()
+            };
+            let seed: u64 = seed.parse().unwrap_or_else(|_| bad());
+            let count: usize = count.parse().unwrap_or_else(|_| bad());
+            // Draw faults from the first 32 store operations of each
+            // kind: early enough to hit any realistic run.
+            for f in padfa::analysis::IoFaultPlan::seeded(seed, count, 32).faults {
+                plan.faults.push(f);
+            }
+            return true;
+        }
+        _ => return false,
+    };
+    let at_op = match parts.next() {
+        None => 1,
+        Some(n) if parts.next().is_none() => n.parse().unwrap_or_else(|_| bad()),
+        Some(_) => bad(),
+    };
+    plan.faults.push(IoFaultSpec { at_op, kind });
+    true
+}
+
 fn cmd_analyze(args: &[String]) {
     let mut file = None;
     let mut variant = "predicated".to_string();
@@ -252,6 +353,7 @@ fn cmd_analyze(args: &[String]) {
     let mut show_stats = false;
     let mut jobs = 1usize;
     let mut budget = BudgetFlags::default();
+    let mut store_flags = StoreFlags::default();
     let mut trace_out: Option<String> = None;
     let mut metrics_out: Option<String> = None;
     let mut it = args.iter();
@@ -261,6 +363,15 @@ fn cmd_analyze(args: &[String]) {
             "--all" => show_all = true,
             "--summaries" => show_summaries = true,
             "--stats" => show_stats = true,
+            "--store" => store_flags.dir = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            "--no-store" => store_flags.disabled = true,
+            "--inject" => {
+                let spec = it.next().cloned().unwrap_or_else(|| usage());
+                if !parse_store_fault(&spec, &mut store_flags.faults) {
+                    eprintln!("padfa: analyze only injects store-* faults, got '{spec}'");
+                    exit(2)
+                }
+            }
             "--trace" => trace_out = Some(it.next().cloned().unwrap_or_else(|| usage())),
             "--metrics-out" => metrics_out = Some(it.next().cloned().unwrap_or_else(|| usage())),
             "--jobs" => {
@@ -301,17 +412,27 @@ fn cmd_analyze(args: &[String]) {
     let registry = metrics_out
         .as_ref()
         .map(|_| padfa::analysis::MetricsRegistry::new());
+    let store = store_flags.open(&opts.budget);
     let mut sess = padfa::analysis::AnalysisSession::new(opts).with_jobs(jobs);
     if let Some(reg) = &registry {
         sess = sess.with_metrics(std::sync::Arc::clone(reg));
     }
+    if let Some(s) = &store {
+        sess = sess.with_store(std::sync::Arc::clone(s));
+    }
     let (result, summaries) = match padfa::analysis::analyze_program_session(&prog, &sess) {
         Ok(out) => out,
         Err(e) => {
+            if let Some(s) = &store {
+                drain_store_warnings(s);
+            }
             eprintln!("padfa: {path}: {e}");
             exit(exit_code(&e))
         }
     };
+    if let Some(s) = &store {
+        drain_store_warnings(s);
+    }
     if let Some(out_path) = &trace_out {
         match padfa::analysis::trace::finish_capture() {
             Some(json) => {
@@ -548,16 +669,63 @@ impl CorpusRow {
 /// Names already present in an existing ledger (for `--resume`). The
 /// ledger is our own output format, so a plain prefix scan of each
 /// line's `"name":"..."` field is sufficient — no JSON parser needed.
+///
+/// A run killed mid-write can leave a truncated final row. Such a row
+/// must not count as done — the program's result never made it to disk
+/// — so only rows that close their JSON object (`}`) are trusted; a
+/// partial row is reported and its program redone.
 fn ledger_names(path: &str) -> Vec<String> {
     let Ok(text) = std::fs::read_to_string(path) else {
         return Vec::new();
     };
-    text.lines()
-        .filter_map(|l| {
-            let rest = l.strip_prefix("{\"name\":\"")?;
-            Some(rest.split('"').next()?.to_string())
-        })
-        .collect()
+    let mut names = Vec::new();
+    for l in text.lines() {
+        let Some(rest) = l.strip_prefix("{\"name\":\"") else {
+            continue;
+        };
+        let Some(name) = rest.split('"').next() else {
+            continue;
+        };
+        if !l.trim_end().ends_with('}') {
+            eprintln!(
+                "padfa: warning: ledger {path}: truncated row for '{name}' \
+                 (interrupted run?); it will be redone"
+            );
+            continue;
+        }
+        names.push(name.to_string());
+    }
+    names
+}
+
+/// Drop a truncated trailing line (one with no terminating newline) left
+/// by an interrupted run, so resumed rows start on a fresh line instead
+/// of being glued onto the partial row. Complete rows always end in a
+/// newline (the runner writes and flushes whole lines).
+fn trim_partial_ledger_line(path: &str) {
+    let Ok(bytes) = std::fs::read(path) else {
+        return;
+    };
+    if bytes.is_empty() || bytes.ends_with(b"\n") {
+        return;
+    }
+    let keep = bytes.iter().rposition(|&b| b == b'\n').map_or(0, |p| p + 1);
+    eprintln!(
+        "padfa: warning: ledger {path}: dropping {} byte(s) of truncated trailing row",
+        bytes.len() - keep
+    );
+    match std::fs::OpenOptions::new().write(true).open(path) {
+        Ok(f) => {
+            if let Err(e) = f.set_len(keep as u64) {
+                eprintln!("padfa: cannot truncate ledger {path}: {e}");
+                exit(1)
+            }
+        }
+        Err(e) => {
+            eprintln!("padfa: cannot open ledger {path}: {e}");
+            exit(1)
+        }
+    }
 }
 
 fn cmd_corpus(args: &[String]) {
@@ -568,10 +736,20 @@ fn cmd_corpus(args: &[String]) {
     let mut resume = false;
     let mut keep_going = false;
     let mut metrics_out: Option<String> = None;
+    let mut store_flags = StoreFlags::default();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--variant" => variant = it.next().cloned().unwrap_or_else(|| usage()),
+            "--store" => store_flags.dir = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            "--no-store" => store_flags.disabled = true,
+            "--inject" => {
+                let spec = it.next().cloned().unwrap_or_else(|| usage());
+                if !parse_store_fault(&spec, &mut store_flags.faults) {
+                    eprintln!("padfa: corpus only injects store-* faults, got '{spec}'");
+                    exit(2)
+                }
+            }
             "--jobs" => {
                 jobs = it
                     .next()
@@ -602,9 +780,17 @@ fn cmd_corpus(args: &[String]) {
         }
     }
     let opts = variant_options(&variant).with_budget(budget.to_budget());
+    let store = store_flags.open(&opts.budget);
+    if let Some(s) = &store {
+        drain_store_warnings(s); // surface open-time problems up front
+    }
 
     let done: Vec<String> = match (&ledger, resume) {
-        (Some(path), true) => ledger_names(path),
+        (Some(path), true) => {
+            let names = ledger_names(path);
+            trim_partial_ledger_line(path);
+            names
+        }
         _ => Vec::new(),
     };
     let mut ledger_file = ledger.as_ref().map(|path| {
@@ -667,12 +853,18 @@ fn cmd_corpus(args: &[String]) {
             if let Some(r) = &reg {
                 sess = sess.with_metrics(std::sync::Arc::clone(r));
             }
+            if let Some(s) = &store {
+                sess = sess.with_store(std::sync::Arc::clone(s));
+            }
             let out = padfa::analysis::analyze_program_session(&bp.program, &sess);
             if out.is_ok() {
                 sess.publish_metrics();
             }
             (out, reg)
         }));
+        if let Some(s) = &store {
+            drain_store_warnings(s);
+        }
         let ms = t0.elapsed().as_millis();
         let row = match run {
             Ok((Ok((result, _)), reg)) => {
@@ -681,6 +873,13 @@ fn cmd_corpus(args: &[String]) {
                 // keeps the per-program maximum.
                 if let (Some(agg), Some(reg)) = (&aggregate, &reg) {
                     for (k, v) in reg.counters_snapshot() {
+                        // `store.*` counters are cumulative over the shared
+                        // store; summing per-program snapshots would
+                        // multiply-count them. The aggregate takes the
+                        // store's final totals after the loop instead.
+                        if k.starts_with("store.") {
+                            continue;
+                        }
                         let c = agg.counter(&k);
                         if k.starts_with("peak.") {
                             c.set(c.get().max(v));
@@ -842,6 +1041,44 @@ fn cmd_corpus(args: &[String]) {
         },
         started.elapsed().as_secs_f64()
     );
+    if let Some(s) = &store {
+        s.flush();
+        drain_store_warnings(s);
+        let st = s.stats();
+        println!(
+            "store: {} hits, {} misses ({:.1}% hit rate), {} puts, {} loaded, {} quarantined",
+            st.hits,
+            st.misses,
+            100.0 * st.hit_rate(),
+            st.puts,
+            st.loaded,
+            st.quarantined
+        );
+        if st.degraded {
+            println!("store: degraded — ran in-memory only");
+        } else if st.writes_degraded {
+            println!("store: persistence disabled mid-run; reads still served");
+        }
+        // The aggregate registry carries the store's final totals (the
+        // per-program fold skips `store.*` — see above).
+        if let Some(agg) = &aggregate {
+            let pairs: [(&str, u64); 10] = [
+                ("store.hits", st.hits),
+                ("store.misses", st.misses),
+                ("store.puts", st.puts),
+                ("store.quarantined", st.quarantined),
+                ("store.stale_segments", st.stale_segments),
+                ("store.salvaged", st.salvaged),
+                ("store.invalidated", st.invalidated),
+                ("store.loaded", st.loaded),
+                ("store.degraded", u64::from(st.degraded)),
+                ("store.writes_degraded", u64::from(st.writes_degraded)),
+            ];
+            for (k, v) in pairs {
+                agg.counter(k).set(v);
+            }
+        }
+    }
     if let (Some(out_path), Some(agg)) = (&metrics_out, &aggregate) {
         let mut attr = String::from("{");
         for (i, (suite, (won, blocked))) in attribution.iter().enumerate() {

@@ -511,3 +511,181 @@ fn corpus_classifies_every_program_and_resumes() {
     assert_eq!(after, lines.len());
     let _ = std::fs::remove_file(&ledger);
 }
+
+/// A run killed mid-row leaves a truncated trailing ledger line.
+/// `--resume` must not trust it: the partial row is dropped with a
+/// warning and its program redone, leaving a complete ledger.
+#[test]
+fn corpus_resume_redoes_truncated_ledger_row() {
+    let ledger = std::env::temp_dir().join(format!(
+        "padfa-cli-test-{}-truncated.jsonl",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&ledger);
+    let out = padfa()
+        .args(["corpus", "--max-steps", "1000", "--keep-going", "--ledger"])
+        .arg(&ledger)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    let full = std::fs::read_to_string(&ledger).unwrap();
+    let complete_lines = full.lines().count();
+    let last_line = full.lines().last().unwrap().to_string();
+    let victim = last_line
+        .strip_prefix("{\"name\":\"")
+        .unwrap()
+        .split('"')
+        .next()
+        .unwrap()
+        .to_string();
+
+    // Simulate the crash: keep the victim's name but cut the row mid-way
+    // through its fields, with no trailing newline.
+    let cut = full.len() - last_line.len() / 2 - 1;
+    std::fs::write(&ledger, &full.as_bytes()[..cut]).unwrap();
+
+    let out = padfa()
+        .args([
+            "corpus",
+            "--max-steps",
+            "1000",
+            "--keep-going",
+            "--resume",
+            "--ledger",
+        ])
+        .arg(&ledger)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("truncated row"), "{err}");
+    assert!(err.contains(&victim), "{err}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("skipped via --resume"), "{text}");
+    // The victim reran: it appears in the resumed run's console output.
+    assert!(text.contains(&victim), "victim not redone: {text}");
+
+    // The ledger is whole again: same row count, every row complete,
+    // exactly one row per program name.
+    let after = std::fs::read_to_string(&ledger).unwrap();
+    assert_eq!(after.lines().count(), complete_lines);
+    assert!(after.ends_with('\n'));
+    let mut names = Vec::new();
+    for line in after.lines().skip(1) {
+        assert!(line.starts_with("{\"name\":\""), "{line}");
+        assert!(line.ends_with('}'), "incomplete row: {line}");
+        names.push(line.split('"').nth(3).unwrap().to_string());
+    }
+    names.sort();
+    let n = names.len();
+    names.dedup();
+    assert_eq!(names.len(), n, "duplicate rows after resume");
+    let _ = std::fs::remove_file(&ledger);
+}
+
+fn store_dir(tag: &str) -> std::path::PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("padfa-cli-test-{}-store-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Warm store reruns must be byte-identical on stdout (reports and
+/// verdicts), with persistence fully transparent.
+#[test]
+fn analyze_store_warm_rerun_is_identical() {
+    let f = demo_file();
+    let dir = store_dir("warm");
+    let run = || {
+        padfa()
+            .args(["analyze", "--all", "--store"])
+            .arg(&dir)
+            .arg(&f.0)
+            .output()
+            .unwrap()
+    };
+    let cold = run();
+    assert!(
+        cold.status.success(),
+        "{}",
+        String::from_utf8_lossy(&cold.stderr)
+    );
+    assert!(cold.stderr.is_empty(), "cold run warned");
+    let warm = run();
+    assert!(warm.status.success());
+    assert!(warm.stderr.is_empty(), "warm run warned");
+    assert_eq!(cold.stdout, warm.stdout, "warm output differs from cold");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// An injected bit flip over a warmed store must quarantine the entry,
+/// warn on stderr, and still produce identical results with exit 0.
+#[test]
+fn analyze_store_bitflip_degrades_soundly() {
+    let f = demo_file();
+    let dir = store_dir("bitflip");
+    let base = padfa()
+        .args(["analyze", "--all", "--no-store"])
+        .arg(&f.0)
+        .output()
+        .unwrap();
+    let warmup = padfa()
+        .args(["analyze", "--all", "--store"])
+        .arg(&dir)
+        .arg(&f.0)
+        .output()
+        .unwrap();
+    assert!(warmup.status.success());
+    let flipped = padfa()
+        .args(["analyze", "--all", "--inject", "store-bitflip", "--store"])
+        .arg(&dir)
+        .arg(&f.0)
+        .output()
+        .unwrap();
+    assert_eq!(flipped.status.code(), Some(0), "fault must not change exit");
+    assert_eq!(flipped.stdout, base.stdout, "fault changed results");
+    let err = String::from_utf8_lossy(&flipped.stderr);
+    assert!(err.contains("quarantined"), "{err}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Budgeted runs bypass the store (cached hits would skew step
+/// accounting), with a warning rather than silent divergence.
+#[test]
+fn store_is_disabled_under_budget_with_warning() {
+    let f = demo_file();
+    let dir = store_dir("budget");
+    let out = padfa()
+        .args(["analyze", "--max-steps", "100000", "--store"])
+        .arg(&dir)
+        .arg(&f.0)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("disabled under a work budget"), "{err}");
+    assert!(!dir.exists(), "store dir created despite budget bypass");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bad_store_inject_spec_exits_2() {
+    let f = demo_file();
+    let out = padfa()
+        .args(["analyze", "--inject", "store-seeded:notanumber:3"])
+        .arg(&f.0)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("bad --inject spec"), "{err}");
+
+    let out = padfa()
+        .args(["analyze", "--inject", "W:S:panic"])
+        .arg(&f.0)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("only injects store-"), "{err}");
+}

@@ -1,0 +1,69 @@
+//! Warm-vs-cold differential over the full benchmark corpus: running
+//! every program against a shared persistent store — cold (populating)
+//! and then warm (replaying from disk) — must render byte-identical
+//! reports and summaries, and the warm pass must actually be served
+//! from the store.
+
+use padfa_core::{analyze_program_session, AnalysisSession, Options, Store, StoreConfig};
+use padfa_suite::corpus::build_corpus;
+use std::sync::Arc;
+
+/// Render every loop report and every procedure summary of one corpus
+/// program in canonical order, optionally against a store.
+fn render(prog: &padfa_ir::Program, store: Option<&Arc<Store>>) -> String {
+    let mut sess = AnalysisSession::new(Options::predicated());
+    if let Some(s) = store {
+        sess = sess.with_store(Arc::clone(s));
+    }
+    let (result, summaries) = analyze_program_session(prog, &sess).unwrap();
+    let mut out = String::new();
+    for report in &result.loops {
+        out.push_str(&format!("{report}\n"));
+    }
+    let mut names: Vec<&String> = summaries.keys().collect();
+    names.sort();
+    for name in names {
+        out.push_str(&format!("== {name} ==\n{}", summaries[name]));
+    }
+    out
+}
+
+#[test]
+fn warm_corpus_rerun_is_bit_identical_and_mostly_hits() {
+    let dir = std::env::temp_dir().join(format!("padfa_suite_store_diff_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let corpus = build_corpus();
+
+    // Storeless baseline, then a cold pass that populates the store.
+    let cold_store = Arc::new(Store::open(StoreConfig::new(&dir, "suite-diff")));
+    for bench in &corpus {
+        let plain = render(&bench.program, None);
+        let cold = render(&bench.program, Some(&cold_store));
+        assert_eq!(plain, cold, "{}: cold store pass diverged", bench.name);
+    }
+    assert!(
+        cold_store.take_warnings().is_empty(),
+        "cold pass must be warning-free"
+    );
+    drop(cold_store); // seal the journal
+
+    // Warm pass from a fresh process-like reopen.
+    let warm_store = Arc::new(Store::open(StoreConfig::new(&dir, "suite-diff")));
+    for bench in &corpus {
+        let plain = render(&bench.program, None);
+        let warm = render(&bench.program, Some(&warm_store));
+        assert_eq!(plain, warm, "{}: warm store pass diverged", bench.name);
+    }
+    let st = warm_store.stats();
+    assert!(
+        st.hit_rate() >= 0.8,
+        "warm corpus hit rate {:.2} below 0.8 ({} hits / {} misses)",
+        st.hit_rate(),
+        st.hits,
+        st.misses
+    );
+    assert_eq!(st.quarantined, 0);
+    assert!(!st.degraded && !st.writes_degraded);
+    assert!(warm_store.take_warnings().is_empty());
+    let _ = std::fs::remove_dir_all(&dir);
+}
