@@ -46,7 +46,11 @@ fn json_stats(s: &StatsSnapshot) -> String {
         "{{\"hit_rate\": {:.4}, \"hits\": {}, \"misses\": {}, \
          \"sys_empty\": [{}, {}], \"subset\": [{}, {}], \"subtract\": [{}, {}], \
          \"intersect\": [{}, {}], \"union\": [{}, {}], \"project\": [{}, {}], \
-         \"implies\": [{}, {}], \"interned_systems\": {}, \"interned_regions\": {}, \
+         \"implies\": [{}, {}], \
+         \"tiers\": {{\"sys_empty\": [{}, {}], \"subset\": [{}, {}], \
+         \"intersect\": [{}, {}], \"subtract\": [{}, {}], \"union\": [{}, {}], \
+         \"project\": [{}, {}], \"implies\": [{}, {}]}}, \
+         \"interned_systems\": {}, \"interned_regions\": {}, \
          \"interned_preds\": {}, \"peak_table_entries\": {}, \"fm_projections\": {}, \
          \"lat_overflow\": {}}}",
         s.hit_rate(),
@@ -66,6 +70,20 @@ fn json_stats(s: &StatsSnapshot) -> String {
         s.project.misses,
         s.implies.hits,
         s.implies.misses,
+        s.sys_empty.dense,
+        s.sys_empty.general,
+        s.subset.dense,
+        s.subset.general,
+        s.intersect.dense,
+        s.intersect.general,
+        s.subtract.dense,
+        s.subtract.general,
+        s.union.dense,
+        s.union.general,
+        s.project.dense,
+        s.project.general,
+        s.implies.dense,
+        s.implies.general,
         s.interned_systems,
         s.interned_regions,
         s.interned_preds,
@@ -194,7 +212,7 @@ fn main() {
             json,
             "    {{\"name\": \"{}\", \"suite\": \"{}\", \"procedures\": {}, \"loops\": {}, \
              \"wall_ms_jobs1\": {:.3}, \"wall_ms_jobs{}\": {:.3}, \"speedup_jobs\": {:.2}, \
-             \"session\": {}}}",
+             \"tier_hit_rate\": {:.4}, \"session\": {}}}",
             c.name,
             c.suite,
             c.procedures,
@@ -203,6 +221,7 @@ fn main() {
             jobs,
             c.wall_ms_jobs_n,
             c.speedup_jobs(),
+            c.stats.tier_hit_rate(),
             json_stats(&c.stats),
         );
         json.push_str(if i + 1 < costs.len() { ",\n" } else { "\n" });
@@ -277,15 +296,27 @@ fn main() {
     for c in &costs {
         println!(
             "{:<12} {:>7.2} ms (jobs=1) {:>7.2} ms (jobs={jobs})  speedup {:>5.2}x  \
-             hit rate {:>5.1}%  [{} loops, {} procs]",
+             hit rate {:>5.1}%  dense {:>5.1}%  [{} loops, {} procs]",
             c.name,
             c.wall_ms_jobs1,
             c.wall_ms_jobs_n,
             c.speedup_jobs(),
             c.stats.hit_rate() * 100.0,
+            c.stats.tier_hit_rate() * 100.0,
             c.loops,
             c.procedures,
         );
+    }
+    // Parallelism regressions must be visible in the summary, not only
+    // inside the JSON: flag every program the fan-out made slower.
+    for c in &costs {
+        if c.speedup_jobs() < 0.9 {
+            println!(
+                "warning: {} regressed under parallelism: speedup {:.2}x at jobs={jobs} (< 0.90x)",
+                c.name,
+                c.speedup_jobs(),
+            );
+        }
     }
     let best = costs
         .iter()

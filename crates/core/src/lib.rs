@@ -90,6 +90,7 @@ pub use component::{GuardedRegion, PredComponent};
 pub use error::{AnalysisError, StoreError};
 pub use metrics::{Counter, Histogram, MetricsRegistry, QueryKind};
 pub use options::{Options, Variant};
+pub use pool::par_map_jobs;
 pub use provenance::{
     loop_json, render_text, ArrayEvidence, ArrayVerdict, BudgetEvent, Mechanism, PairEvidence,
     PairKind, PairOutcome, Provenance, RejectReason, ScalarEvidence, ScalarVerdict,

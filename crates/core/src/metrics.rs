@@ -194,7 +194,10 @@ impl MetricsRegistry {
     /// misses, which race benignly), every `store.*` counter (those
     /// depend on on-disk state from *prior* runs — a warm cache shifts
     /// hits/misses/puts without changing any analysis result — so they
-    /// can never be part of a cross-jobs determinism check), and
+    /// can never be part of a cross-jobs determinism check), every
+    /// `tier.*` counter (which of two equal systems wins the intern
+    /// race decides whether its dense cache answers, so the dense /
+    /// general attribution — never the answer — varies with jobs), and
     /// anything timing-derived (see module docs).
     pub fn deterministic_counters(&self) -> BTreeMap<String, u64> {
         self.counters_snapshot()
@@ -203,6 +206,7 @@ impl MetricsRegistry {
                 !k.ends_with(".hits")
                     && !k.ends_with(".misses")
                     && !k.starts_with("store.")
+                    && !k.starts_with("tier.")
                     && k != "fm.projections"
                     && k != "limit.overflows"
             })

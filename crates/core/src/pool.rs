@@ -179,6 +179,19 @@ where
         .collect()
 }
 
+/// Program-level fan-out for external drivers (the corpus runner): map
+/// `f` over `items` on up to `jobs` lanes with a one-shot token pool,
+/// returning results in item order with the same determinism contract
+/// as [`par_map`].
+pub fn par_map_jobs<T, R, F>(jobs: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    par_map(&WorkerTokens::new(jobs), items, f)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

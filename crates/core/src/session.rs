@@ -53,7 +53,7 @@ use crate::store::{self, Store, StoreStatsSnapshot};
 use crate::trace;
 use padfa_ir::ast::{Block, ParamTy, Procedure, Program, Stmt};
 use padfa_omega::sync::lock;
-use padfa_omega::{Disjunction, Limits, System, Var};
+use padfa_omega::{dense, Disjunction, Limits, System, Tier, Var};
 use padfa_pred::Pred;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -65,11 +65,19 @@ use std::time::Instant;
 /// [`StatsSnapshot::lat_overflow`]).
 const LAT_POOL: u32 = 256;
 
-/// Hit/miss counters for one memoized query.
+/// Hit/miss counters for one memoized query, split by the
+/// representation tier that answered it.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct QueryStats {
     pub hits: u64,
     pub misses: u64,
+    /// Queries answered by the dense fast tier
+    /// ([`padfa_omega::Tier::Dense`]). Memo and store hits replay the
+    /// tier recorded by the original computation, so the split covers
+    /// every query, not just misses.
+    pub dense: u64,
+    /// Queries answered by the general Fourier–Motzkin representation.
+    pub general: u64,
 }
 
 impl QueryStats {
@@ -83,6 +91,16 @@ impl QueryStats {
             0.0
         } else {
             self.hits as f64 / self.total() as f64
+        }
+    }
+
+    /// Fraction of queries the dense tier answered (0 when unused).
+    pub fn dense_rate(&self) -> f64 {
+        let t = self.dense + self.general;
+        if t == 0 {
+            0.0
+        } else {
+            self.dense as f64 / t as f64
         }
     }
 }
@@ -150,6 +168,22 @@ impl StatsSnapshot {
         self.tables().iter().map(|(_, q)| q.total()).sum()
     }
 
+    /// Total queries answered by the dense tier, across every kind.
+    pub fn total_dense(&self) -> u64 {
+        self.tables().iter().map(|(_, q)| q.dense).sum()
+    }
+
+    /// Fraction of tiered queries the dense tier answered, across every
+    /// kind (0 when nothing was tiered).
+    pub fn tier_hit_rate(&self) -> f64 {
+        let tiered: u64 = self.tables().iter().map(|(_, q)| q.dense + q.general).sum();
+        if tiered == 0 {
+            0.0
+        } else {
+            self.total_dense() as f64 / tiered as f64
+        }
+    }
+
     /// Overall memo hit rate across every query kind.
     pub fn hit_rate(&self) -> f64 {
         let t = self.total_queries();
@@ -174,14 +208,35 @@ impl std::fmt::Display for StatsSnapshot {
         )?;
         for (name, q) in self.tables() {
             if q.total() > 0 {
-                writeln!(
+                write!(
                     f,
                     "  {name:<10} {:>8} hits {:>8} misses ({:.1}%)",
                     q.hits,
                     q.misses,
                     100.0 * q.hit_rate()
                 )?;
+                if q.dense > 0 {
+                    write!(
+                        f,
+                        " [dense {} / general {} = {:.1}% dense]",
+                        q.dense,
+                        q.general,
+                        100.0 * q.dense_rate()
+                    )?;
+                }
+                writeln!(f)?;
             }
+        }
+        let dense = self.total_dense();
+        let tiered: u64 = self.tables().iter().map(|(_, q)| q.dense + q.general).sum();
+        if tiered > 0 {
+            writeln!(
+                f,
+                "  tier: {} dense / {} general ({:.1}% dense)",
+                dense,
+                tiered - dense,
+                100.0 * dense as f64 / tiered as f64
+            )?;
         }
         writeln!(
             f,
@@ -240,13 +295,20 @@ pub struct AnalysisSession {
     systems: Interner<System>,
     regions: Interner<Disjunction>,
     preds: Interner<Pred>,
-    m_sys_empty: Memo<u32, bool>,
-    m_subset: Memo<(u32, u32), bool>,
+    m_sys_empty: Memo<u32, (bool, Tier)>,
+    m_subset: Memo<(u32, u32), (bool, Tier)>,
     m_subtract: Memo<(u32, u32), Arc<Disjunction>>,
-    m_intersect: Memo<(u32, u32), Arc<Disjunction>>,
+    m_intersect: Memo<(u32, u32), (Arc<Disjunction>, Tier)>,
     m_union: Memo<(u32, u32), Arc<Disjunction>>,
     m_project: Memo<(u32, Vec<Var>), Arc<Disjunction>>,
     m_implies: Memo<(u32, u32), bool>,
+    /// Per-query-kind count of dense-tier answers (index =
+    /// `QueryKind as usize`); the general count is the matching slot in
+    /// `tier_general`. Bumped once per query *call* — memo hits replay
+    /// the stored tier — so the split weights recurring queries the way
+    /// the workload does.
+    tier_dense: [AtomicU64; 7],
+    tier_general: [AtomicU64; 7],
     fm_projections: AtomicU64,
     lat_overflow: AtomicU64,
     lat_pools: Mutex<HashMap<String, u32>>,
@@ -296,6 +358,8 @@ impl AnalysisSession {
             m_union: Memo::new(),
             m_project: Memo::new(),
             m_implies: Memo::new(),
+            tier_dense: std::array::from_fn(|_| AtomicU64::new(0)),
+            tier_general: std::array::from_fn(|_| AtomicU64::new(0)),
             fm_projections: AtomicU64::new(0),
             lat_overflow: AtomicU64::new(0),
             lat_pools: Mutex::new(HashMap::new()),
@@ -340,13 +404,15 @@ impl AnalysisSession {
 
     /// Consult-or-compute for boolean lattice results. `key_of` appends
     /// the canonicalized operand bytes (the tag + options fingerprint
-    /// are prepended here).
+    /// are prepended here). The answering tier travels with the value:
+    /// store hits replay the tier the original computation recorded, so
+    /// tier counters match between warm and cold runs.
     fn store_bool(
         &self,
         tag: u8,
         key_of: impl FnOnce(&mut Vec<u8>),
-        compute: impl FnOnce() -> bool,
-    ) -> bool {
+        compute: impl FnOnce() -> (bool, Tier),
+    ) -> (bool, Tier) {
         let Some(h) = &self.store else {
             return compute();
         };
@@ -355,31 +421,42 @@ impl AnalysisSession {
             return v;
         }
         let before = padfa_omega::limit_stats::thread_overflows();
-        let v = compute();
+        let (v, tier) = compute();
         let delta = padfa_omega::limit_stats::thread_overflows() - before;
-        h.store.put_bool(key, v, delta);
-        v
+        h.store.put_bool(key, v, tier, delta);
+        (v, tier)
     }
 
-    /// Consult-or-compute for region-valued lattice results.
+    /// Consult-or-compute for region-valued lattice results (see
+    /// [`Self::store_bool`] for the tier replay).
     fn store_region(
         &self,
         tag: u8,
         key_of: impl FnOnce(&mut Vec<u8>),
-        compute: impl FnOnce() -> Arc<Disjunction>,
-    ) -> Arc<Disjunction> {
+        compute: impl FnOnce() -> (Arc<Disjunction>, Tier),
+    ) -> (Arc<Disjunction>, Tier) {
         let Some(h) = &self.store else {
             return compute();
         };
         let key = self.store_key(h, tag, key_of);
-        if let Some(d) = h.store.get_region(key) {
-            return self.intern_region(&d);
+        if let Some((d, tier)) = h.store.get_region(key) {
+            return (self.intern_region(&d), tier);
         }
         let before = padfa_omega::limit_stats::thread_overflows();
-        let v = compute();
+        let (v, tier) = compute();
         let delta = padfa_omega::limit_stats::thread_overflows() - before;
-        h.store.put_region(key, &v, delta);
-        v
+        h.store.put_region(key, &v, tier, delta);
+        (v, tier)
+    }
+
+    /// Credit one answered query to its tier's counter.
+    #[inline]
+    fn note_tier(&self, kind: QueryKind, tier: Tier) {
+        match tier {
+            Tier::Dense => &self.tier_dense[kind as usize],
+            Tier::General => &self.tier_general[kind as usize],
+        }
+        .fetch_add(1, Ordering::Relaxed);
     }
 
     fn store_key(&self, h: &SessionStore, tag: u8, key_of: impl FnOnce(&mut Vec<u8>)) -> u128 {
@@ -470,11 +547,22 @@ impl AnalysisSession {
             self.store_bool(
                 b'E',
                 |buf| store::codec::put_system(buf, &arc),
-                || arc.is_empty(limits),
+                || {
+                    // Tier dispatch: a cached dense summary decides
+                    // emptiness exactly and provably agrees with the
+                    // Fourier–Motzkin cascade (see `padfa_omega::dense`).
+                    if !dense::force_general() {
+                        if let Some(d) = arc.dense_box() {
+                            return (d.is_empty(), Tier::Dense);
+                        }
+                    }
+                    (arc.is_empty(limits), Tier::General)
+                },
             )
         });
+        self.note_tier(QueryKind::SysEmpty, r.1);
         self.observe(QueryKind::SysEmpty, t0);
-        r
+        r.0
     }
 
     /// Memoized region emptiness (every disjunct empty). Decomposing to
@@ -499,11 +587,19 @@ impl AnalysisSession {
                     store::codec::put_region(buf, &aa);
                     store::codec::put_region(buf, &ab);
                 },
-                || aa.subset_of(&ab, limits),
+                || {
+                    if !dense::force_general() {
+                        if let Some(v) = aa.subset_of_dense(&ab) {
+                            return (v, Tier::Dense);
+                        }
+                    }
+                    (aa.subset_of(&ab, limits), Tier::General)
+                },
             )
         });
+        self.note_tier(QueryKind::Subset, r.1);
         self.observe(QueryKind::Subset, t0);
-        r
+        r.0
     }
 
     /// Memoized region subtraction `a − b`.
@@ -516,15 +612,19 @@ impl AnalysisSession {
         let (aa, ia) = self.regions.intern(a);
         let (ab, ib) = self.regions.intern(b);
         let r = self.m_subtract.get_or((ia, ib), || {
+            // Subtraction always runs the general algorithm: its result
+            // bytes (piece order, orientation) are only defined by it.
             self.store_region(
                 b'-',
                 |buf| {
                     store::codec::put_region(buf, &aa);
                     store::codec::put_region(buf, &ab);
                 },
-                || self.intern_region(&aa.subtract(&ab, limits)),
+                || (self.intern_region(&aa.subtract(&ab, limits)), Tier::General),
             )
+            .0
         });
+        self.note_tier(QueryKind::Subtract, Tier::General);
         self.observe(QueryKind::Subtract, t0);
         r
     }
@@ -545,11 +645,25 @@ impl AnalysisSession {
                     store::codec::put_region(buf, &aa);
                     store::codec::put_region(buf, &ab);
                 },
-                || self.intern_region(&aa.intersect(&ab, limits)),
+                || {
+                    // Dense dispatch covers the disjoint case only: the
+                    // canonical empty result is the one output shape the
+                    // general algorithm is forced to produce bit-for-bit.
+                    if !dense::force_general() {
+                        if let Some(d) = aa.intersect_dense_empty(&ab) {
+                            return (self.intern_region(&d), Tier::Dense);
+                        }
+                    }
+                    (
+                        self.intern_region(&aa.intersect(&ab, limits)),
+                        Tier::General,
+                    )
+                },
             )
         });
+        self.note_tier(QueryKind::Intersect, r.1);
         self.observe(QueryKind::Intersect, t0);
-        r
+        r.0
     }
 
     /// Memoized region union.
@@ -568,9 +682,11 @@ impl AnalysisSession {
                     store::codec::put_region(buf, &aa);
                     store::codec::put_region(buf, &ab);
                 },
-                || self.intern_region(&aa.union(&ab, limits)),
+                || (self.intern_region(&aa.union(&ab, limits)), Tier::General),
             )
+            .0
         });
+        self.note_tier(QueryKind::Union, Tier::General);
         self.observe(QueryKind::Union, t0);
         r
     }
@@ -590,9 +706,16 @@ impl AnalysisSession {
                     store::codec::put_region(buf, &ad);
                     store::codec::put_vars(buf, vars);
                 },
-                || self.intern_region(&ad.project_out(vars, limits)),
+                || {
+                    (
+                        self.intern_region(&ad.project_out(vars, limits)),
+                        Tier::General,
+                    )
+                },
             )
+            .0
         });
+        self.note_tier(QueryKind::Project, Tier::General);
         self.observe(QueryKind::Project, t0);
         r
     }
@@ -613,15 +736,20 @@ impl AnalysisSession {
         let (aa, ia) = self.preds.intern(a);
         let (ab, ib) = self.preds.intern(b);
         let r = self.m_implies.get_or((ia, ib), || {
+            // Predicate implication has no region operands to classify;
+            // the dense tier still accelerates the System-level emptiness
+            // tests inside, but attribution stays general.
             self.store_bool(
                 b'I',
                 |buf| {
                     store::codec::put_pred(buf, &aa);
                     store::codec::put_pred(buf, &ab);
                 },
-                || aa.implies(&ab, limits),
+                || (aa.implies(&ab, limits), Tier::General),
             )
+            .0
         });
+        self.note_tier(QueryKind::Implies, Tier::General);
         self.observe(QueryKind::Implies, t0);
         r
     }
@@ -719,14 +847,19 @@ impl AnalysisSession {
         .into_iter()
         .max()
         .unwrap_or(0);
+        let tiered = |q: QueryStats, kind: QueryKind| QueryStats {
+            dense: self.tier_dense[kind as usize].load(Ordering::Relaxed),
+            general: self.tier_general[kind as usize].load(Ordering::Relaxed),
+            ..q
+        };
         StatsSnapshot {
-            sys_empty: self.m_sys_empty.counters(),
-            subset: self.m_subset.counters(),
-            subtract: self.m_subtract.counters(),
-            intersect: self.m_intersect.counters(),
-            union: self.m_union.counters(),
-            project: self.m_project.counters(),
-            implies: self.m_implies.counters(),
+            sys_empty: tiered(self.m_sys_empty.counters(), QueryKind::SysEmpty),
+            subset: tiered(self.m_subset.counters(), QueryKind::Subset),
+            subtract: tiered(self.m_subtract.counters(), QueryKind::Subtract),
+            intersect: tiered(self.m_intersect.counters(), QueryKind::Intersect),
+            union: tiered(self.m_union.counters(), QueryKind::Union),
+            project: tiered(self.m_project.counters(), QueryKind::Project),
+            implies: tiered(self.m_implies.counters(), QueryKind::Implies),
             interned_systems: self.systems.len(),
             interned_regions: self.regions.len(),
             interned_preds: self.preds.len(),
@@ -767,6 +900,13 @@ impl AnalysisSession {
                 .set(q.misses);
             reg.counter(&format!("query.{}.total", k.name()))
                 .set(q.total());
+            // `tier.*` counters are jobs-racy (which of two equal
+            // systems wins the intern race decides whose dense cache
+            // answers), so `deterministic_counters` filters the prefix.
+            reg.counter(&format!("tier.{}.dense", k.name()))
+                .set(q.dense);
+            reg.counter(&format!("tier.{}.general", k.name()))
+                .set(q.general);
         }
         reg.counter("fm.projections").set(st.fm_projections);
         reg.counter("interned.systems")

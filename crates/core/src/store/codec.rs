@@ -30,7 +30,7 @@ use crate::report::{
 use crate::summary::{ArraySummary, ScalarSummary, Summary};
 use padfa_ir::ast::{BoolExpr, CmpOp, Expr, Intrinsic};
 use padfa_ir::LoopId;
-use padfa_omega::{CKind, Constraint, Disjunction, LinExpr, System, Var};
+use padfa_omega::{CKind, Constraint, Disjunction, LinExpr, System, Tier, Var};
 use padfa_pred::{Atom, AtomKind, Pred};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
@@ -202,6 +202,12 @@ pub fn get_constraint(r: &mut Reader) -> Option<Constraint> {
 
 pub fn put_system(out: &mut Vec<u8>, s: &System) {
     put_bool(out, s.is_contradiction());
+    // The dense-cache state travels with the system: push-built systems
+    // legitimately lack the cache even when box-shaped, and a decoded
+    // system must answer queries on the same tier as the one stored
+    // (recomputing the classification here would make warm runs
+    // dense-answer queries the cold run sent through Fourier–Motzkin).
+    put_bool(out, s.has_dense());
     put_u32(out, s.constraints().len() as u32);
     for c in s.constraints() {
         put_constraint(out, c);
@@ -210,12 +216,34 @@ pub fn put_system(out: &mut Vec<u8>, s: &System) {
 
 pub fn get_system(r: &mut Reader) -> Option<System> {
     let contradiction = r.boolean()?;
+    let dense = r.boolean()?;
     let n = r.count()?;
     let mut cs = Vec::with_capacity(n);
     for _ in 0..n {
         cs.push(get_constraint(r)?);
     }
-    Some(System::from_raw_parts(cs, contradiction))
+    Some(System::from_raw_parts(cs, contradiction, dense))
+}
+
+/// One byte for the tier that answered a memoized query, persisted in
+/// entry payloads so warm-store replays credit the same tier counters
+/// as the cold run.
+pub fn put_tier(out: &mut Vec<u8>, t: Tier) {
+    put_u8(
+        out,
+        match t {
+            Tier::Dense => 0,
+            Tier::General => 1,
+        },
+    );
+}
+
+pub fn get_tier(r: &mut Reader) -> Option<Tier> {
+    match r.u8()? {
+        0 => Some(Tier::Dense),
+        1 => Some(Tier::General),
+        _ => None,
+    }
 }
 
 pub fn put_region(out: &mut Vec<u8>, d: &Disjunction) {
@@ -956,34 +984,38 @@ fn get_report(r: &mut Reader) -> Option<LoopReport> {
 /// its thread; a store hit replays it via
 /// [`padfa_omega::limit_stats::adopt_thread_overflows`] so per-loop
 /// provenance counters stay bit-identical warm vs cold.
-pub fn encode_bool_entry(value: bool, overflow_delta: u64) -> Vec<u8> {
-    let mut out = Vec::with_capacity(9);
+pub fn encode_bool_entry(value: bool, tier: Tier, overflow_delta: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(10);
     put_bool(&mut out, value);
+    put_tier(&mut out, tier);
     put_u64(&mut out, overflow_delta);
     out
 }
 
-pub fn decode_bool_entry(buf: &[u8]) -> Option<(bool, u64)> {
+pub fn decode_bool_entry(buf: &[u8]) -> Option<(bool, Tier, u64)> {
     let mut r = Reader::new(buf);
     let value = r.boolean()?;
+    let tier = get_tier(&mut r)?;
     let delta = r.u64()?;
-    r.at_end().then_some((value, delta))
+    r.at_end().then_some((value, tier, delta))
 }
 
 /// Payload of a memoized region-valued lattice result (see
 /// [`encode_bool_entry`] for `overflow_delta`).
-pub fn encode_region_entry(d: &Disjunction, overflow_delta: u64) -> Vec<u8> {
+pub fn encode_region_entry(d: &Disjunction, tier: Tier, overflow_delta: u64) -> Vec<u8> {
     let mut out = Vec::new();
     put_region(&mut out, d);
+    put_tier(&mut out, tier);
     put_u64(&mut out, overflow_delta);
     out
 }
 
-pub fn decode_region_entry(buf: &[u8]) -> Option<(Disjunction, u64)> {
+pub fn decode_region_entry(buf: &[u8]) -> Option<(Disjunction, Tier, u64)> {
     let mut r = Reader::new(buf);
     let d = get_region(&mut r)?;
+    let tier = get_tier(&mut r)?;
     let delta = r.u64()?;
-    r.at_end().then_some((d, delta))
+    r.at_end().then_some((d, tier, delta))
 }
 
 /// Payload of one interprocedural summary plus the loop reports derived
@@ -1030,8 +1062,9 @@ mod tests {
                 Constraint::eq0(lin(&[("j", 2)], 4)),
             ],
             false,
+            false,
         );
-        let s2 = System::from_raw_parts(vec![], true);
+        let s2 = System::from_raw_parts(vec![], true, false);
         let d = Disjunction::from_raw_parts(vec![s1, s2], false);
         let mut buf = Vec::new();
         put_region(&mut buf, &d);
@@ -1081,8 +1114,9 @@ mod tests {
         let mut buf = Vec::new();
         put_region(
             &mut buf,
-            &Disjunction::from_raw_parts(vec![System::from_raw_parts(vec![], false)], true),
+            &Disjunction::from_raw_parts(vec![System::from_raw_parts(vec![], false, false)], true),
         );
+        put_tier(&mut buf, Tier::General);
         put_u64(&mut buf, 0);
         for cut in 0..buf.len() {
             assert!(decode_region_entry(&buf[..cut]).is_none(), "cut={cut}");
@@ -1102,8 +1136,30 @@ mod tests {
 
     #[test]
     fn bool_entry_round_trip() {
-        let buf = encode_bool_entry(true, 7);
-        assert_eq!(decode_bool_entry(&buf), Some((true, 7)));
+        let buf = encode_bool_entry(true, Tier::Dense, 7);
+        assert_eq!(decode_bool_entry(&buf), Some((true, Tier::Dense, 7)));
         assert!(decode_bool_entry(&buf[..buf.len() - 1]).is_none());
+        let buf = encode_bool_entry(false, Tier::General, 0);
+        assert_eq!(decode_bool_entry(&buf), Some((false, Tier::General, 0)));
+    }
+
+    #[test]
+    fn system_dense_tag_round_trips() {
+        // A simplify-built box system carries its dense cache through
+        // the codec; a raw one without the cache stays without it.
+        let dense = System::from_constraints([Constraint::geq0(lin(&[("i", 1)], -1))]);
+        assert!(dense.has_dense());
+        let mut buf = Vec::new();
+        put_system(&mut buf, &dense);
+        let back = get_system(&mut Reader::new(&buf)).unwrap();
+        assert!(back.has_dense());
+        assert_eq!(back, dense);
+
+        let raw = System::from_raw_parts(dense.constraints().to_vec(), false, false);
+        assert!(!raw.has_dense());
+        let mut buf = Vec::new();
+        put_system(&mut buf, &raw);
+        let back = get_system(&mut Reader::new(&buf)).unwrap();
+        assert!(!back.has_dense());
     }
 }

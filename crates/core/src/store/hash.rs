@@ -30,7 +30,10 @@ use padfa_omega::Var;
 /// Version of the on-disk entry codec and of this hashing scheme. Bump
 /// whenever either changes meaning: old entries then hash to different
 /// keys / fail the segment header check instead of decoding wrongly.
-pub const CODEC_VERSION: u32 = 1;
+/// v2: systems carry a dense-tier tag and bool/region entries record
+/// the answering tier, so warm-store replays restore the same tier
+/// attribution as the cold run that produced them.
+pub const CODEC_VERSION: u32 = 2;
 
 const FNV_OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
 const FNV_PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
@@ -122,6 +125,10 @@ pub fn options_fingerprint(opts: &Options) -> u128 {
     h.write_u32(opts.test_cost_budget);
     h.write_u64(opts.limits.max_constraints as u64);
     h.write_u64(opts.limits.max_disjuncts as u64);
+    // Forced-general sessions must not share entries with dense-enabled
+    // ones: stored entries record the answering tier, and a replay in
+    // the other mode would restore the wrong attribution.
+    h.write_bool(padfa_omega::dense::force_general());
     h.finish()
 }
 

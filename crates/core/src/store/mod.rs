@@ -68,7 +68,7 @@ use crate::report::LoopReport;
 use crate::summary::Summary;
 use journal::{RawRecord, RecordKind};
 use padfa_omega::sync::{lock, read, write};
-use padfa_omega::Disjunction;
+use padfa_omega::{Disjunction, Tier};
 use std::collections::{BTreeSet, HashMap};
 use std::fs;
 use std::io::Write as _;
@@ -516,13 +516,13 @@ impl Store {
     /// Memoized boolean lattice result. On a hit the recorded omega
     /// cap-hit delta is replayed onto this thread's counter so per-loop
     /// provenance stays bit-identical with a cold run.
-    pub fn get_bool(&self, key: u128) -> Option<bool> {
+    pub fn get_bool(&self, key: u128) -> Option<(bool, Tier)> {
         let payload = self.get_entry(key, RecordKind::Bool)?;
         match codec::decode_bool_entry(&payload) {
-            Some((value, delta)) => {
+            Some((value, tier, delta)) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 padfa_omega::limit_stats::adopt_thread_overflows(delta);
-                Some(value)
+                Some((value, tier))
             }
             None => {
                 self.drop_corrupt_entry(key, &payload, "undecodable bool entry");
@@ -534,13 +534,13 @@ impl Store {
 
     /// Memoized region-valued lattice result (see [`Store::get_bool`]
     /// for the overflow-delta replay).
-    pub fn get_region(&self, key: u128) -> Option<Disjunction> {
+    pub fn get_region(&self, key: u128) -> Option<(Disjunction, Tier)> {
         let payload = self.get_entry(key, RecordKind::Region)?;
         match codec::decode_region_entry(&payload) {
-            Some((region, delta)) => {
+            Some((region, tier, delta)) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 padfa_omega::limit_stats::adopt_thread_overflows(delta);
-                Some(region)
+                Some((region, tier))
             }
             None => {
                 self.drop_corrupt_entry(key, &payload, "undecodable region entry");
@@ -571,19 +571,19 @@ impl Store {
     // Writes
     // --------------------------------------------------------------
 
-    pub fn put_bool(&self, key: u128, value: bool, overflow_delta: u64) {
+    pub fn put_bool(&self, key: u128, value: bool, tier: Tier, overflow_delta: u64) {
         self.put(
             key,
             RecordKind::Bool,
-            codec::encode_bool_entry(value, overflow_delta),
+            codec::encode_bool_entry(value, tier, overflow_delta),
         );
     }
 
-    pub fn put_region(&self, key: u128, region: &Disjunction, overflow_delta: u64) {
+    pub fn put_region(&self, key: u128, region: &Disjunction, tier: Tier, overflow_delta: u64) {
         self.put(
             key,
             RecordKind::Region,
-            codec::encode_region_entry(region, overflow_delta),
+            codec::encode_region_entry(region, tier, overflow_delta),
         );
     }
 
@@ -860,14 +860,14 @@ mod tests {
         {
             let s = Store::open(cfg(&dir));
             assert!(s.enabled());
-            s.put_bool(1, true, 3);
-            s.put_bool(2, false, 0);
-            assert_eq!(s.get_bool(1), Some(true));
+            s.put_bool(1, true, Tier::General, 3);
+            s.put_bool(2, false, Tier::General, 0);
+            assert_eq!(s.get_bool(1), Some((true, Tier::General)));
             assert!(s.take_warnings().is_empty());
         } // drop seals the segment
         let s = Store::open(cfg(&dir));
-        assert_eq!(s.get_bool(1), Some(true));
-        assert_eq!(s.get_bool(2), Some(false));
+        assert_eq!(s.get_bool(1), Some((true, Tier::General)));
+        assert_eq!(s.get_bool(2), Some((false, Tier::General)));
         assert_eq!(s.get_bool(3), None);
         let st = s.stats();
         assert_eq!(st.hits, 2);
@@ -882,7 +882,7 @@ mod tests {
         let dir = test_dir("stale");
         {
             let s = Store::open(cfg(&dir));
-            s.put_bool(1, true, 0);
+            s.put_bool(1, true, Tier::General, 0);
         }
         let s = Store::open(StoreConfig::new(&dir, "otherrev"));
         assert_eq!(s.get_bool(1), None);
@@ -898,21 +898,21 @@ mod tests {
             // third entry is torn mid-record.
             let faults = IoFaultPlan::at(IoFaultKind::TornWrite, 4);
             let s = Store::open(cfg(&dir).with_faults(faults));
-            s.put_bool(1, true, 0);
-            s.put_bool(2, false, 0);
-            s.put_bool(3, true, 0);
+            s.put_bool(1, true, Tier::General, 0);
+            s.put_bool(2, false, Tier::General, 0);
+            s.put_bool(3, true, Tier::General, 0);
             let warnings = s.take_warnings();
             assert_eq!(warnings.len(), 1);
             assert!(matches!(warnings[0], StoreError::Io { op: "append", .. }));
             assert!(s.stats().writes_degraded);
             // Reads keep working after write degradation.
-            assert_eq!(s.get_bool(1), Some(true));
+            assert_eq!(s.get_bool(1), Some((true, Tier::General)));
         }
         // Reopen: the two complete records are salvaged, the torn tail
         // is quarantined, and analysis-visible state is sound.
         let s = Store::open(cfg(&dir));
-        assert_eq!(s.get_bool(1), Some(true));
-        assert_eq!(s.get_bool(2), Some(false));
+        assert_eq!(s.get_bool(1), Some((true, Tier::General)));
+        assert_eq!(s.get_bool(2), Some((false, Tier::General)));
         assert_eq!(s.get_bool(3), None);
         let st = s.stats();
         assert_eq!(st.salvaged, 2);
@@ -931,11 +931,11 @@ mod tests {
     fn write_fail_degrades_writes_only() {
         let dir = test_dir("wfail");
         let s = Store::open(cfg(&dir).with_faults(IoFaultPlan::at(IoFaultKind::WriteFail, 2)));
-        s.put_bool(1, true, 0); // header (op 1) + entry (op 2 -> fails)
+        s.put_bool(1, true, Tier::General, 0); // header (op 1) + entry (op 2 -> fails)
         assert!(s.stats().writes_degraded);
         assert!(!s.stats().degraded);
         // The in-memory index still serves the entry this session.
-        assert_eq!(s.get_bool(1), Some(true));
+        assert_eq!(s.get_bool(1), Some((true, Tier::General)));
         let warnings = s.take_warnings();
         assert_eq!(warnings.len(), 1);
         assert!(matches!(warnings[0], StoreError::Io { .. }));
@@ -947,12 +947,12 @@ mod tests {
         let dir = test_dir("rfail");
         {
             let s = Store::open(cfg(&dir));
-            s.put_bool(1, true, 0);
+            s.put_bool(1, true, Tier::General, 0);
         }
         let s = Store::open(cfg(&dir).with_faults(IoFaultPlan::at(IoFaultKind::ReadFail, 1)));
         assert!(!s.enabled());
         assert_eq!(s.get_bool(1), None); // degraded: no reads served
-        s.put_bool(2, true, 0); // and no writes persisted
+        s.put_bool(2, true, Tier::General, 0); // and no writes persisted
         let warnings = s.take_warnings();
         assert_eq!(warnings.len(), 1);
         assert!(matches!(warnings[0], StoreError::Io { op: "read", .. }));
@@ -965,7 +965,7 @@ mod tests {
         {
             let s = Store::open(cfg(&dir));
             for k in 0..20u128 {
-                s.put_bool(k, true, 0);
+                s.put_bool(k, true, Tier::General, 0);
             }
         }
         let s = Store::open(cfg(&dir).with_faults(IoFaultPlan::at(IoFaultKind::BitFlip, 1)));
@@ -974,10 +974,12 @@ mod tests {
         // One record was corrupted (or the header, making the segment
         // stale); either way the store stays sound and usable.
         assert!(st.quarantined >= 1 || st.stale_segments >= 1);
-        let served: usize = (0..20u128).filter(|&k| s.get_bool(k) == Some(true)).count();
+        let served: usize = (0..20u128)
+            .filter(|&k| s.get_bool(k) == Some((true, Tier::General)))
+            .count();
         assert!(served >= 19 || st.stale_segments == 1);
-        s.put_bool(99, false, 0);
-        assert_eq!(s.get_bool(99), Some(false));
+        s.put_bool(99, false, Tier::General, 0);
+        assert_eq!(s.get_bool(99), Some((false, Tier::General)));
         let _ = fs::remove_dir_all(&dir);
     }
 
@@ -1028,7 +1030,7 @@ mod tests {
         {
             let s = Store::open(config.clone());
             for k in 0..50u128 {
-                s.put_bool(k, k % 2 == 0, 0);
+                s.put_bool(k, k % 2 == 0, Tier::General, 0);
             }
         }
         let segs = fs::read_dir(&dir)
@@ -1044,7 +1046,7 @@ mod tests {
         assert!(segs > 1, "rotation produced {segs} segment(s)");
         let s = Store::open(config);
         for k in 0..50u128 {
-            assert_eq!(s.get_bool(k), Some(k % 2 == 0), "key {k}");
+            assert_eq!(s.get_bool(k), Some((k % 2 == 0, Tier::General)), "key {k}");
         }
         let _ = fs::remove_dir_all(&dir);
     }
@@ -1054,11 +1056,11 @@ mod tests {
         let dir = test_dir("tombstone");
         {
             let s = Store::open(cfg(&dir));
-            s.put_bool(7, true, 0);
+            s.put_bool(7, true, Tier::General, 0);
         }
         {
             let s = Store::open(cfg(&dir));
-            assert_eq!(s.get_bool(7), Some(true));
+            assert_eq!(s.get_bool(7), Some((true, Tier::General)));
             // Manually tombstone via the corrupt-entry path equivalent.
             s.append(RecordKind::Tombstone, 7, &[]);
             write(&s.index).remove(&7);
@@ -1103,7 +1105,7 @@ mod tests {
                 let s = Arc::clone(&s);
                 std::thread::spawn(move || {
                     for k in 0..25u128 {
-                        s.put_bool(t * 1000 + k, true, 0);
+                        s.put_bool(t * 1000 + k, true, Tier::General, 0);
                     }
                 })
             })
@@ -1113,7 +1115,7 @@ mod tests {
         }
         for t in 0..4u128 {
             for k in 0..25u128 {
-                assert_eq!(s.get_bool(t * 1000 + k), Some(true));
+                assert_eq!(s.get_bool(t * 1000 + k), Some((true, Tier::General)));
             }
         }
         drop(s);

@@ -8,7 +8,7 @@ use padfa_core::{
     StoreConfig, StoreError,
 };
 use padfa_ir::parse::parse_program;
-use padfa_omega::{Constraint, Disjunction, LinExpr, System, Var};
+use padfa_omega::{Constraint, Disjunction, LinExpr, System, Tier, Var};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::fs;
@@ -252,15 +252,27 @@ fn region_codec_round_trips_random_values() {
     for case in 0..500 {
         let region = random_region(&mut rng);
         let delta = rng.gen_range(0..10u64);
-        let bytes = codec::encode_region_entry(&region, delta);
-        let (decoded, d2) =
+        let tier = if rng.gen_bool(0.5) {
+            Tier::Dense
+        } else {
+            Tier::General
+        };
+        let bytes = codec::encode_region_entry(&region, tier, delta);
+        let (decoded, t2, d2) =
             codec::decode_region_entry(&bytes).unwrap_or_else(|| panic!("case {case} undecodable"));
         assert_eq!(decoded, region, "case {case} changed value");
+        assert_eq!(t2, tier, "case {case} changed tier");
         assert_eq!(d2, delta, "case {case} changed delta");
+        // The dense-cache state of every piece must survive too: a
+        // decoded system answering on a different tier than the stored
+        // one would split warm/cold tier counters.
+        for (a, b) in decoded.systems().iter().zip(region.systems()) {
+            assert_eq!(a.has_dense(), b.has_dense(), "case {case} changed tier tag");
+        }
         // Re-encoding the decoded value must be byte-stable (the store
         // keys on encoded bytes, so drift would break hit identity).
         assert_eq!(
-            codec::encode_region_entry(&decoded, d2),
+            codec::encode_region_entry(&decoded, t2, d2),
             bytes,
             "case {case} not byte-stable"
         );
@@ -272,7 +284,7 @@ fn region_codec_rejects_random_mutations() {
     let mut rng = StdRng::seed_from_u64(0x0BAD_5EED);
     for case in 0..300 {
         let region = random_region(&mut rng);
-        let bytes = codec::encode_region_entry(&region, 1);
+        let bytes = codec::encode_region_entry(&region, Tier::General, 1);
         if bytes.is_empty() {
             continue;
         }

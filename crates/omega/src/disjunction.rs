@@ -1,5 +1,6 @@
 //! Unions of constraint systems — the representation of one array region.
 
+use crate::dense::DenseBox;
 use crate::{CKind, Constraint, Limits, System, Var};
 use std::fmt;
 
@@ -181,6 +182,64 @@ impl Disjunction {
         self.subtract(other, limits).is_empty(limits)
     }
 
+    /// Dense-tier subset test. Answers `Some` only in shapes where the
+    /// answer is provably identical to [`Disjunction::subset_of`]:
+    /// single-piece (or empty) regions whose pieces carry dense
+    /// summaries, with `other`'s piece witness-free so every
+    /// subtraction piece the general path would enumerate is itself
+    /// box-shaped and decided exactly. `None` means "run the general
+    /// path"; it never means "false".
+    pub fn subset_of_dense(&self, other: &Disjunction) -> Option<bool> {
+        if self.systems.len() > 1 || other.systems.len() > 1 {
+            return None;
+        }
+        if !other.exact {
+            // General path: only emptiness of `self` proves containment
+            // in an over-approximation.
+            return match self.systems.first() {
+                None => Some(true),
+                Some(s) => s.dense_box().map(DenseBox::is_empty),
+            };
+        }
+        let Some(a0) = self.systems.first() else {
+            // Empty union: the subtraction remainder is empty.
+            return Some(true);
+        };
+        let Some(b0) = other.systems.first() else {
+            // Subtracting the exact empty set leaves `self` unchanged.
+            return a0.dense_box().map(DenseBox::is_empty);
+        };
+        a0.dense_box()?.subset_of(b0.dense_box()?)
+    }
+
+    /// Dense-tier intersection, restricted to the one case whose result
+    /// bytes are forced: two single-piece witness-free dense regions
+    /// that are provably disjoint, for which the general
+    /// [`Disjunction::intersect`] always produces the canonical empty
+    /// region with the same exactness flag (the conjoined system's
+    /// emptiness is decided by per-variable windows either way, and no
+    /// disjunct cap can fire on an empty result). Any other shape —
+    /// including non-disjoint dense pairs, whose result representation
+    /// only the general algorithm defines — returns `None`.
+    pub fn intersect_dense_empty(&self, other: &Disjunction) -> Option<Disjunction> {
+        if self.systems.len() != 1 || other.systems.len() != 1 {
+            return None;
+        }
+        let ba = self.systems[0].dense_box()?;
+        let bb = other.systems[0].dense_box()?;
+        if !ba.witness_free() || !bb.witness_free() {
+            return None;
+        }
+        if ba.disjoint(bb)? {
+            Some(Disjunction {
+                systems: Vec::new(),
+                exact: self.exact && other.exact,
+            })
+        } else {
+            None
+        }
+    }
+
     /// Project variables out of every piece.
     pub fn project_out(&self, vars: &[Var], limits: Limits) -> Disjunction {
         let mut out = Disjunction::empty();
@@ -216,6 +275,9 @@ impl Disjunction {
         for s in &self.systems {
             let mut t = s.clone();
             t.push(c.clone());
+            // `push` keeps the list normalized; reclassify so the piece
+            // stays on the dense tier when still box-shaped.
+            t.classify_dense();
             out.push(t);
         }
         out
@@ -256,6 +318,10 @@ fn subtract_convex(a: &System, b: &System) -> Vec<System> {
                 let mut piece = assumed.clone();
                 piece.push(c.negate_geq());
                 if !piece.is_contradiction() {
+                    // Pieces go straight into emptiness filtering; a
+                    // dense classification lets box-shaped pieces skip
+                    // Fourier–Motzkin there.
+                    piece.classify_dense();
                     out.push(piece);
                 }
                 assumed.push(c.clone());
@@ -265,11 +331,13 @@ fn subtract_convex(a: &System, b: &System) -> Vec<System> {
                 let mut lo = assumed.clone();
                 lo.push(p.negate_geq());
                 if !lo.is_contradiction() {
+                    lo.classify_dense();
                     out.push(lo);
                 }
                 let mut hi = assumed.clone();
                 hi.push(n.negate_geq());
                 if !hi.is_contradiction() {
+                    hi.classify_dense();
                     out.push(hi);
                 }
                 assumed.push(c.clone());

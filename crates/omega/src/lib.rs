@@ -53,6 +53,7 @@
 //! ```
 
 pub mod constraint;
+pub mod dense;
 pub mod disjunction;
 pub mod linexpr;
 pub mod sync;
@@ -60,6 +61,7 @@ pub mod system;
 pub mod var;
 
 pub use constraint::{CKind, Constraint, Norm};
+pub use dense::{DenseBox, DenseRange, Tier};
 pub use disjunction::Disjunction;
 pub use linexpr::LinExpr;
 pub use system::{Projection, System};

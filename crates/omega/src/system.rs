@@ -1,5 +1,6 @@
 //! Conjunctions of constraints and the Fourier–Motzkin engine.
 
+use crate::dense::{DenseBox, Tier};
 use crate::{CKind, Constraint, Limits, LinExpr, Norm, Var};
 use std::collections::BTreeSet;
 use std::fmt;
@@ -10,10 +11,32 @@ use std::fmt;
 /// The empty conjunction is the universe. A system that has been proven
 /// unsatisfiable during normalization is flagged `contradiction` and
 /// represents the empty set.
-#[derive(Clone, PartialEq, Eq, Hash, Default)]
+///
+/// Box-shaped systems additionally carry a [`DenseBox`] summary (the
+/// dense tier), derived at [`System::simplify`] time and invalidated by
+/// any mutation. The summary is a pure cache: it never participates in
+/// equality or hashing, so two systems with identical constraints intern
+/// to the same id whether or not their caches were populated.
+#[derive(Clone, Default)]
 pub struct System {
     constraints: Vec<Constraint>,
     contradiction: bool,
+    dense: Option<Box<DenseBox>>,
+}
+
+impl PartialEq for System {
+    fn eq(&self, other: &System) -> bool {
+        self.constraints == other.constraints && self.contradiction == other.contradiction
+    }
+}
+
+impl Eq for System {}
+
+impl std::hash::Hash for System {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.constraints.hash(state);
+        self.contradiction.hash(state);
+    }
 }
 
 /// Result of projecting variables out of a system.
@@ -36,6 +59,7 @@ impl System {
         System {
             constraints: Vec::new(),
             contradiction: true,
+            dense: None,
         }
     }
 
@@ -55,12 +79,26 @@ impl System {
     /// (constraint order included), and [`System::from_constraints`]
     /// would re-run `push`/`simplify` and potentially reorder or drop
     /// constraints. Only pass parts previously obtained from
-    /// [`System::constraints`] / [`System::is_contradiction`].
-    pub fn from_raw_parts(constraints: Vec<Constraint>, contradiction: bool) -> System {
-        System {
+    /// [`System::constraints`] / [`System::is_contradiction`], with
+    /// `dense` reporting what [`System::has_dense`] returned on the
+    /// encoded system: the dense cache is re-derived exactly when the
+    /// original had one, so a decoded system answers queries on the same
+    /// tier as the system that was stored (warm and cold runs stay
+    /// byte-identical *and* tier-identical).
+    pub fn from_raw_parts(
+        constraints: Vec<Constraint>,
+        contradiction: bool,
+        dense: bool,
+    ) -> System {
+        let mut s = System {
             constraints,
             contradiction,
+            dense: None,
+        };
+        if dense {
+            s.classify_dense();
         }
+        s
     }
 
     /// True when this system was proven unsatisfiable by normalization.
@@ -103,15 +141,51 @@ impl System {
             Norm::Contradiction => {
                 self.constraints.clear();
                 self.contradiction = true;
+                self.dense = None;
             }
             Norm::Keep(c) => {
                 // Exact duplicates appear frequently when contexts are
                 // re-conjoined; keep the list canonical as we go.
                 if !self.constraints.contains(&c) {
                     self.constraints.push(c);
+                    self.dense = None;
                 }
             }
         }
+    }
+
+    /// The dense-tier summary, when this system is box-shaped and its
+    /// cache is populated.
+    pub fn dense_box(&self) -> Option<&DenseBox> {
+        self.dense.as_deref()
+    }
+
+    /// Whether the dense cache is populated (persisted by the store so
+    /// decoded systems restore the same tier; see
+    /// [`System::from_raw_parts`]).
+    pub fn has_dense(&self) -> bool {
+        self.dense.is_some()
+    }
+
+    /// The tier this system's queries answer on.
+    pub fn tier(&self) -> Tier {
+        if self.dense.is_some() {
+            Tier::Dense
+        } else {
+            Tier::General
+        }
+    }
+
+    /// (Re)derive the dense classification for the current constraint
+    /// list without renormalizing. [`System::simplify`] does this
+    /// automatically; call it directly on systems assembled by `push`
+    /// alone that are known to already be in normal form.
+    pub fn classify_dense(&mut self) {
+        self.dense = if self.contradiction {
+            None
+        } else {
+            DenseBox::classify(&self.constraints).map(Box::new)
+        };
     }
 
     /// Conjoin another system.
@@ -217,6 +291,7 @@ impl System {
                 if c + d < 0 {
                     self.constraints.clear();
                     self.contradiction = true;
+                    self.dense = None;
                     return;
                 }
                 if c + d == 0 {
@@ -237,6 +312,7 @@ impl System {
         }
         self.constraints = out;
         self.constraints.sort_by(|a, b| a.cmp_structural(b));
+        self.classify_dense();
     }
 
     /// Eliminate one variable by Fourier–Motzkin (with equality
@@ -430,6 +506,15 @@ impl System {
         if self.constraints.is_empty() {
             return false;
         }
+        // Dense fast tier: for box-shaped systems the cached summary
+        // decides emptiness exactly, with the same verdict the cascade
+        // below would reach (see `crate::dense` for the agreement
+        // argument), so skipping Fourier–Motzkin cannot change output.
+        if let Some(d) = &self.dense {
+            if !crate::dense::force_general() {
+                return d.is_empty();
+            }
+        }
         if self.quick_unsat() {
             return true;
         }
@@ -535,6 +620,10 @@ impl System {
     fn and_constraint(&self, c: Constraint) -> System {
         let mut s = self.clone();
         s.push(c);
+        // `push` alone keeps the list normalized, so the result is
+        // eligible for reclassification (implication tests call
+        // `is_empty` on it immediately).
+        s.classify_dense();
         s
     }
 

@@ -826,7 +826,6 @@ fn cmd_corpus(args: &[String]) {
     let corpus = padfa::suite::build_corpus();
     let total = corpus.len();
     let mut counts = [0usize; 4]; // ok, degraded, error, panic
-    let mut skipped = 0usize;
     let mut first_failure: Option<i32> = None;
     // Winning-mechanism attribution per suite (the paper's table): how
     // many parallelized loops each technique won, plus the sequential
@@ -837,11 +836,20 @@ fn cmd_corpus(args: &[String]) {
         .as_ref()
         .map(|_| padfa::analysis::MetricsRegistry::new());
     let started = std::time::Instant::now();
-    for bp in &corpus {
-        if done.iter().any(|n| n == bp.name) {
-            skipped += 1;
-            continue;
-        }
+    let pending: Vec<&padfa::suite::BenchProgram> = corpus
+        .iter()
+        .filter(|bp| !done.iter().any(|n| n == bp.name))
+        .collect();
+    let skipped = total - pending.len();
+    // Program-level fan-out (27 of 30 programs have one procedure, so
+    // intra-program parallelism buys little here): up to `jobs` programs
+    // run concurrently, each in its own single-threaded session against
+    // the shared store. Rows come back in input order, so the ledger is
+    // byte-identical to the sequential run.
+    let results: Vec<(
+        CorpusRow,
+        Option<std::sync::Arc<padfa::analysis::MetricsRegistry>>,
+    )> = padfa::analysis::par_map_jobs(jobs, &pending, |_, bp| {
         let t0 = std::time::Instant::now();
         // Each program runs behind its own unwind boundary: a panicking
         // program must not take the rest of the corpus down with it.
@@ -849,7 +857,7 @@ fn cmd_corpus(args: &[String]) {
             let reg = aggregate
                 .as_ref()
                 .map(|_| padfa::analysis::MetricsRegistry::new());
-            let mut sess = padfa::analysis::AnalysisSession::new(opts.clone()).with_jobs(jobs);
+            let mut sess = padfa::analysis::AnalysisSession::new(opts.clone()).with_jobs(1);
             if let Some(r) = &reg {
                 sess = sess.with_metrics(std::sync::Arc::clone(r));
             }
@@ -862,32 +870,13 @@ fn cmd_corpus(args: &[String]) {
             }
             (out, reg)
         }));
-        if let Some(s) = &store {
-            drain_store_warnings(s);
-        }
         let ms = t0.elapsed().as_millis();
+        let (run, reg) = match run {
+            Ok((out, reg)) => (Ok(out), reg),
+            Err(payload) => (Err(payload), None),
+        };
         let row = match run {
-            Ok((Ok((result, _)), reg)) => {
-                // Fold this program's registry into the corpus-wide
-                // aggregate: counters add up, except `peak.*`, which
-                // keeps the per-program maximum.
-                if let (Some(agg), Some(reg)) = (&aggregate, &reg) {
-                    for (k, v) in reg.counters_snapshot() {
-                        // `store.*` counters are cumulative over the shared
-                        // store; summing per-program snapshots would
-                        // multiply-count them. The aggregate takes the
-                        // store's final totals after the loop instead.
-                        if k.starts_with("store.") {
-                            continue;
-                        }
-                        let c = agg.counter(&k);
-                        if k.starts_with("peak.") {
-                            c.set(c.get().max(v));
-                        } else {
-                            c.add(v);
-                        }
-                    }
-                }
+            Ok(Ok((result, _))) => {
                 let mut won = [0u64; 5];
                 let mut blocked = 0u64;
                 for r in &result.loops {
@@ -897,11 +886,6 @@ fn cmd_corpus(args: &[String]) {
                         blocked += 1;
                     }
                 }
-                let entry = attribution.entry(bp.suite.label()).or_default();
-                for (slot, n) in entry.0.iter_mut().zip(won) {
-                    *slot += n;
-                }
-                entry.1 += blocked;
                 let outcome = if result.stats.degraded_procs > 0 {
                     "degraded"
                 } else {
@@ -924,7 +908,7 @@ fn cmd_corpus(args: &[String]) {
                     error: None,
                 }
             }
-            Ok((Err(e), _)) => CorpusRow {
+            Ok(Err(e)) => CorpusRow {
                 name: bp.name.to_string(),
                 suite: bp.suite.label(),
                 outcome: "error",
@@ -964,6 +948,16 @@ fn cmd_corpus(args: &[String]) {
                 }
             }
         };
+        (row, reg)
+    });
+    if let Some(s) = &store {
+        drain_store_warnings(s);
+    }
+    // Merge in input order: emission, counting, attribution, and the
+    // metrics fold all see exactly the sequential order (and, without
+    // --keep-going, stop at the first failure exactly as before — later
+    // programs already ran, but their rows are not emitted).
+    for (row, reg) in results {
         let idx = match row.outcome {
             "ok" => 0,
             "degraded" => 1,
@@ -971,6 +965,33 @@ fn cmd_corpus(args: &[String]) {
             _ => 3,
         };
         counts[idx] += 1;
+        if idx <= 1 {
+            // Fold this program's registry into the corpus-wide
+            // aggregate: counters add up, except `peak.*`, which keeps
+            // the per-program maximum.
+            if let (Some(agg), Some(reg)) = (&aggregate, &reg) {
+                for (k, v) in reg.counters_snapshot() {
+                    // `store.*` counters are cumulative over the shared
+                    // store; summing per-program snapshots would
+                    // multiply-count them. The aggregate takes the
+                    // store's final totals after the loop instead.
+                    if k.starts_with("store.") {
+                        continue;
+                    }
+                    let c = agg.counter(&k);
+                    if k.starts_with("peak.") {
+                        c.set(c.get().max(v));
+                    } else {
+                        c.add(v);
+                    }
+                }
+            }
+            let entry = attribution.entry(row.suite).or_default();
+            for (slot, n) in entry.0.iter_mut().zip(row.won) {
+                *slot += n;
+            }
+            entry.1 += row.blocked;
+        }
         if idx >= 2 && first_failure.is_none() {
             first_failure = Some(match &row.error {
                 _ if row.outcome == "panic" => 5,

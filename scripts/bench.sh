@@ -13,8 +13,14 @@ RUNS="${2:-3}"
 WARMUP="${3:-1}"
 mkdir -p results
 cargo build --release -p padfa-bench --bin analysis_stats
+# Stage outputs under target/ (gitignored) while the benchmark runs, so
+# the git_rev stamped into the JSON reflects the committed tree rather
+# than the half-written outputs of this very script, then move them
+# into place.
 ./target/release/analysis_stats --jobs "$JOBS" --runs "$RUNS" --warmup "$WARMUP" \
-    --out BENCH_analysis.json \
-    | tee results/analysis_stats.txt
-cp BENCH_analysis.json results/BENCH_analysis.json
+    --out target/BENCH_analysis.json.tmp \
+    | tee target/analysis_stats.txt.tmp
+mv target/analysis_stats.txt.tmp results/analysis_stats.txt
+cp target/BENCH_analysis.json.tmp results/BENCH_analysis.json
+mv target/BENCH_analysis.json.tmp BENCH_analysis.json
 echo "Wrote BENCH_analysis.json (and results/analysis_stats.txt)."
