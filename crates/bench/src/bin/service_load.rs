@@ -1,0 +1,297 @@
+//! Service load generator: hammer an in-process `padfa-service` daemon
+//! with concurrent clients over real sockets, covering the full 30-
+//! program corpus, and write latency/shed statistics as
+//! `BENCH_service.json` (consumed by CI as a build artifact).
+//!
+//! Usage: `cargo run --release -p padfa-bench --bin service_load
+//!         [--requests N] [--clients N] [--workers N] [--queue N]
+//!         [--store DIR] [--out PATH]`
+//!
+//! Each client thread claims request indices from a shared counter and
+//! round-robins the corpus programs, so every program is exercised and
+//! the request mix is deterministic regardless of thread scheduling.
+//! Shed responses (429) are expected under deliberate overload and are
+//! reported as `shed_rate` rather than failures; any 5xx or transport
+//! error fails the run.
+
+use padfa_core::{Store, StoreConfig};
+use padfa_service::{Server, ServiceDeps, ServicePolicy};
+use padfa_suite::corpus::build_corpus;
+use std::fmt::Write as _;
+use std::io::{Read, Write as _};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn git_rev() -> String {
+    let out = |args: &[&str]| {
+        std::process::Command::new("git")
+            .args(args)
+            .output()
+            .ok()
+            .filter(|o| o.status.success())
+            .and_then(|o| String::from_utf8(o.stdout).ok())
+            .map(|s| s.trim().to_string())
+    };
+    match out(&["rev-parse", "--short=12", "HEAD"]).filter(|s| !s.is_empty()) {
+        Some(rev) => {
+            if out(&["status", "--porcelain"]).map(|s| !s.is_empty()) == Some(true) {
+                format!("{rev}+dirty")
+            } else {
+                rev
+            }
+        }
+        None => "unknown".to_string(),
+    }
+}
+
+fn host_info() -> String {
+    let host = std::env::var("HOSTNAME")
+        .or_else(|_| std::env::var("HOST"))
+        .unwrap_or_else(|_| "unknown-host".to_string());
+    format!(
+        "{host} ({} {})",
+        std::env::consts::OS,
+        std::env::consts::ARCH
+    )
+}
+
+/// One blocking HTTP request; returns (status, latency). Transport
+/// failures return status 0 (counted separately, tolerated only in
+/// tiny numbers — a torn shed write under heavy accept pressure).
+fn post_analyze(addr: SocketAddr, body: &[u8]) -> (u16, Duration) {
+    let t0 = Instant::now();
+    let status = (|| -> Option<u16> {
+        let mut s = TcpStream::connect(addr).ok()?;
+        s.set_read_timeout(Some(Duration::from_secs(60))).ok()?;
+        let head = format!(
+            "POST /analyze HTTP/1.1\r\nHost: load\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        );
+        let _ = s.write_all(head.as_bytes());
+        let _ = s.write_all(body);
+        let mut raw = Vec::new();
+        let _ = s.read_to_end(&mut raw);
+        let head_end = raw.windows(4).position(|w| w == b"\r\n\r\n")?;
+        let status: u16 = std::str::from_utf8(&raw[..head_end])
+            .ok()?
+            .split(' ')
+            .nth(1)?
+            .parse()
+            .ok()?;
+        // A 200 must be complete: Content-Length matched by the body.
+        if status == 200 {
+            let head_text = std::str::from_utf8(&raw[..head_end]).ok()?;
+            let advertised: usize = head_text
+                .lines()
+                .find_map(|l| l.strip_prefix("Content-Length: "))?
+                .trim()
+                .parse()
+                .ok()?;
+            if raw.len() - head_end - 4 != advertised {
+                return None;
+            }
+        }
+        Some(status)
+    })();
+    (status.unwrap_or(0), t0.elapsed())
+}
+
+fn percentile(sorted: &[Duration], q: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let flag = |name: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let requests: u64 = flag("--requests")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1200);
+    let clients: usize = flag("--clients").and_then(|v| v.parse().ok()).unwrap_or(24);
+    let workers: usize = flag("--workers")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+        });
+    let queue: usize = flag("--queue").and_then(|v| v.parse().ok()).unwrap_or(64);
+    let out_path = flag("--out").unwrap_or_else(|| "BENCH_service.json".to_string());
+    let store_dir = flag("--store");
+
+    let corpus = build_corpus();
+    let sources: Arc<Vec<Vec<u8>>> = Arc::new(
+        corpus
+            .iter()
+            .map(|p| p.source.clone().into_bytes())
+            .collect(),
+    );
+    eprintln!(
+        "service_load: {requests} requests, {clients} clients, {workers} workers, \
+         queue {queue}, {} corpus programs",
+        sources.len()
+    );
+
+    let policy = ServicePolicy {
+        workers,
+        queue_depth: queue,
+        read_timeout: Duration::from_secs(30),
+        write_timeout: Duration::from_secs(30),
+        drain_deadline: Duration::from_secs(60),
+        ..ServicePolicy::default()
+    };
+    let store = store_dir
+        .as_ref()
+        .map(|dir| Arc::new(Store::open(StoreConfig::new(dir, git_rev()))));
+    let deps = ServiceDeps {
+        store,
+        ..ServiceDeps::default()
+    };
+    let server = match Server::start("127.0.0.1:0", policy, deps) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("service_load: cannot start server: {e}");
+            std::process::exit(1)
+        }
+    };
+    let addr = server.addr();
+
+    let next = Arc::new(AtomicU64::new(0));
+    let t_start = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|_| {
+            let next = Arc::clone(&next);
+            let sources = Arc::clone(&sources);
+            std::thread::spawn(move || {
+                // (status, latency) per request this client issued.
+                let mut samples: Vec<(u16, Duration)> = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= requests {
+                        return samples;
+                    }
+                    let body = &sources[(i as usize) % sources.len()];
+                    samples.push(post_analyze(addr, body));
+                }
+            })
+        })
+        .collect();
+    let mut samples: Vec<(u16, Duration)> = Vec::new();
+    for h in handles {
+        match h.join() {
+            Ok(s) => samples.extend(s),
+            Err(_) => {
+                eprintln!("service_load: client thread panicked");
+                std::process::exit(1)
+            }
+        }
+    }
+    let wall = t_start.elapsed();
+    let report = server.shutdown();
+
+    let count = |code: u16| samples.iter().filter(|(c, _)| *c == code).count() as u64;
+    let ok = count(200);
+    let shed = count(429);
+    let transport = count(0);
+    let other = samples.len() as u64 - ok - shed - transport;
+    let mut ok_lat: Vec<Duration> = samples
+        .iter()
+        .filter(|(c, _)| *c == 200)
+        .map(|(_, d)| *d)
+        .collect();
+    ok_lat.sort();
+    let shed_rate = shed as f64 / samples.len().max(1) as f64;
+
+    eprintln!(
+        "service_load: {ok} ok, {shed} shed ({:.1}%), {transport} transport, {other} other \
+         in {:.2}s ({:.0} req/s); p50 {:.2}ms p99 {:.2}ms",
+        shed_rate * 100.0,
+        wall.as_secs_f64(),
+        samples.len() as f64 / wall.as_secs_f64(),
+        ms(percentile(&ok_lat, 0.50)),
+        ms(percentile(&ok_lat, 0.99)),
+    );
+
+    // Any non-error status outside {200, 429} (or a torn 200) means the
+    // daemon broke its contract under load.
+    if other > 0 {
+        eprintln!("service_load: FAIL: {other} unexpected response status(es)");
+        std::process::exit(1)
+    }
+    if ok == 0 {
+        eprintln!("service_load: FAIL: no successful responses");
+        std::process::exit(1)
+    }
+    if !report.clean {
+        eprintln!("service_load: FAIL: drain exceeded its deadline");
+        std::process::exit(1)
+    }
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"schema_version\": 3,\n");
+    let _ = writeln!(json, "  \"git_rev\": \"{}\",", git_rev());
+    let _ = writeln!(json, "  \"host\": \"{}\",", host_info());
+    let _ = writeln!(json, "  \"requests\": {},", samples.len());
+    let _ = writeln!(json, "  \"clients\": {clients},");
+    let _ = writeln!(json, "  \"workers\": {workers},");
+    let _ = writeln!(json, "  \"queue_depth\": {queue},");
+    let _ = writeln!(json, "  \"corpus_programs\": {},", sources.len());
+    let _ = writeln!(
+        json,
+        "  \"store\": {},",
+        store_dir
+            .as_deref()
+            .map(|_| "true".to_string())
+            .unwrap_or_else(|| "false".to_string())
+    );
+    let _ = writeln!(
+        json,
+        "  \"status\": {{\"ok\": {ok}, \"shed\": {shed}, \"transport\": {transport}, \
+         \"other\": {other}}},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"latency_ms\": {{\"p50\": {:.3}, \"p90\": {:.3}, \"p99\": {:.3}, \"max\": {:.3}}},",
+        ms(percentile(&ok_lat, 0.50)),
+        ms(percentile(&ok_lat, 0.90)),
+        ms(percentile(&ok_lat, 0.99)),
+        ms(ok_lat.last().copied().unwrap_or_default()),
+    );
+    let _ = writeln!(json, "  \"shed_rate\": {shed_rate:.4},");
+    let _ = writeln!(
+        json,
+        "  \"throughput_rps\": {:.1},",
+        samples.len() as f64 / wall.as_secs_f64()
+    );
+    let _ = writeln!(json, "  \"wall_s\": {:.3},", wall.as_secs_f64());
+    let _ = writeln!(
+        json,
+        "  \"drain\": {{\"admitted\": {}, \"completed\": {}, \"shed\": {}, \
+         \"drained_in_queue\": {}, \"panics\": {}, \"clean\": {}}}",
+        report.admitted,
+        report.completed,
+        report.shed,
+        report.drained_in_queue,
+        report.panics,
+        report.clean
+    );
+    json.push_str("}\n");
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("service_load: cannot write {out_path}: {e}");
+        std::process::exit(1)
+    }
+    eprintln!("service_load: wrote {out_path}");
+}

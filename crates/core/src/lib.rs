@@ -100,5 +100,8 @@ pub use report::{
     Reduction,
 };
 pub use session::{AnalysisSession, QueryStats, StatsSnapshot};
-pub use store::{IoFaultKind, IoFaultPlan, IoFaultSpec, Store, StoreConfig, StoreStatsSnapshot};
+pub use store::{
+    IoFaultKind, IoFaultPlan, IoFaultSpec, RetryPolicy, Sleeper, Store, StoreConfig,
+    StoreStatsSnapshot,
+};
 pub use summary::{ArraySummary, ScalarSummary, Summary};

@@ -180,6 +180,16 @@ impl MetricsRegistry {
         h
     }
 
+    /// All histograms, by name. Handles are shared, so a caller can
+    /// render summaries (count/sum/quantiles) without holding the
+    /// registry lock.
+    pub fn histograms_snapshot(&self) -> BTreeMap<String, Arc<Histogram>> {
+        lock(&self.histograms)
+            .iter()
+            .map(|(k, v)| (k.clone(), Arc::clone(v)))
+            .collect()
+    }
+
     /// All counters, by name.
     pub fn counters_snapshot(&self) -> BTreeMap<String, u64> {
         lock(&self.counters)

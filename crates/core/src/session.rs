@@ -261,12 +261,16 @@ impl std::fmt::Display for StatsSnapshot {
                 st.puts,
                 st.loaded
             )?;
-            if st.quarantined > 0 || st.stale_segments > 0 || st.salvaged > 0 || st.invalidated > 0
+            if st.quarantined > 0
+                || st.stale_segments > 0
+                || st.salvaged > 0
+                || st.invalidated > 0
+                || st.retries > 0
             {
                 write!(
                     f,
-                    "\n  store hygiene: {} quarantined, {} stale segment(s), {} salvaged, {} invalidated",
-                    st.quarantined, st.stale_segments, st.salvaged, st.invalidated
+                    "\n  store hygiene: {} quarantined, {} stale segment(s), {} salvaged, {} invalidated, {} retried",
+                    st.quarantined, st.stale_segments, st.salvaged, st.invalidated, st.retries
                 )?;
             }
             if st.degraded {
@@ -932,6 +936,7 @@ impl AnalysisSession {
             reg.counter("store.salvaged").set(s.salvaged);
             reg.counter("store.invalidated").set(s.invalidated);
             reg.counter("store.loaded").set(s.loaded);
+            reg.counter("store.retries").set(s.retries);
             reg.counter("store.degraded").set(u64::from(s.degraded));
             reg.counter("store.writes_degraded")
                 .set(u64::from(s.writes_degraded));

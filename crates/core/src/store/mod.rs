@@ -71,18 +71,65 @@ use padfa_omega::sync::{lock, read, write};
 use padfa_omega::{Disjunction, Tier};
 use std::collections::{BTreeSet, HashMap};
 use std::fs;
-use std::io::Write as _;
+use std::io::{Seek, SeekFrom, Write as _};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Mutex, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::Duration;
 
 /// Rotation threshold for the active segment (bytes). Small enough that
 /// a crash loses at most one modest tail, large enough that a corpus run
 /// produces a handful of segments, not thousands.
 pub const DEFAULT_MAX_SEGMENT_BYTES: u64 = 4 << 20;
 
+/// Bounded retry policy for *transient* store IO errors. A long-lived
+/// server must not lose persistence forever because one write hit a
+/// blip (EINTR, transient ENOSPC, a slow NFS hiccup): each failing
+/// read/write is retried with exponential backoff before the store
+/// degrades. Crash-shaped faults (torn writes) are never retried — they
+/// model the process dying, not the disk stuttering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per operation (1 = no retries).
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles per retry, capped at 1s.
+    pub backoff_ms: u64,
+}
+
+impl RetryPolicy {
+    /// Disable retries entirely (first failure degrades, as before).
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 1,
+            backoff_ms: 0,
+        }
+    }
+
+    /// Backoff to sleep after the `attempt`-th failure (1-based).
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        let ms = self
+            .backoff_ms
+            .saturating_mul(1u64 << attempt.saturating_sub(1).min(10))
+            .min(1000);
+        Duration::from_millis(ms)
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 3,
+            backoff_ms: 10,
+        }
+    }
+}
+
+/// Injectable backoff sleep, so tests drive retries with a deterministic
+/// recorded clock instead of real wall time.
+pub type Sleeper = Arc<dyn Fn(Duration) + Send + Sync>;
+
 /// Configuration for [`Store::open`].
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct StoreConfig {
     /// Store directory (created if absent).
     pub dir: PathBuf,
@@ -93,6 +140,23 @@ pub struct StoreConfig {
     pub faults: IoFaultPlan,
     /// Active-segment rotation threshold.
     pub max_segment_bytes: u64,
+    /// Retry policy for transient IO errors.
+    pub retry: RetryPolicy,
+    /// Backoff sleep (`None` = real `thread::sleep`).
+    pub sleeper: Option<Sleeper>,
+}
+
+impl std::fmt::Debug for StoreConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StoreConfig")
+            .field("dir", &self.dir)
+            .field("git_rev", &self.git_rev)
+            .field("faults", &self.faults)
+            .field("max_segment_bytes", &self.max_segment_bytes)
+            .field("retry", &self.retry)
+            .field("sleeper", &self.sleeper.is_some())
+            .finish()
+    }
 }
 
 impl StoreConfig {
@@ -102,11 +166,23 @@ impl StoreConfig {
             git_rev: git_rev.into(),
             faults: IoFaultPlan::none(),
             max_segment_bytes: DEFAULT_MAX_SEGMENT_BYTES,
+            retry: RetryPolicy::default(),
+            sleeper: None,
         }
     }
 
     pub fn with_faults(mut self, faults: IoFaultPlan) -> StoreConfig {
         self.faults = faults;
+        self
+    }
+
+    pub fn with_retry(mut self, retry: RetryPolicy) -> StoreConfig {
+        self.retry = retry;
+        self
+    }
+
+    pub fn with_sleeper(mut self, sleeper: Sleeper) -> StoreConfig {
+        self.sleeper = Some(sleeper);
         self
     }
 }
@@ -130,6 +206,9 @@ pub struct StoreStatsSnapshot {
     pub invalidated: u64,
     /// Entries loaded from sealed segments at open.
     pub loaded: u64,
+    /// Retry attempts performed against transient IO errors (each one
+    /// either recovered persistence or counted toward giving up).
+    pub retries: u64,
     /// True when the store disabled itself entirely (reads and writes).
     pub degraded: bool,
     /// True when only persistence stopped (reads keep serving).
@@ -173,6 +252,8 @@ pub struct Store {
     git_rev: String,
     faults: IoFaultPlan,
     max_segment_bytes: u64,
+    retry: RetryPolicy,
+    sleeper: Sleeper,
     /// key → latest record for it (payload decoded lazily on get).
     index: RwLock<HashMap<u128, (RecordKind, Vec<u8>)>>,
     /// procedure IR hash → summary keys depending on it.
@@ -194,6 +275,7 @@ pub struct Store {
     salvaged: AtomicU64,
     invalidated: AtomicU64,
     loaded: AtomicU64,
+    retries: AtomicU64,
 }
 
 impl Store {
@@ -206,6 +288,13 @@ impl Store {
             git_rev: config.git_rev,
             faults: config.faults,
             max_segment_bytes: config.max_segment_bytes.max(1),
+            retry: RetryPolicy {
+                max_attempts: config.retry.max_attempts.max(1),
+                ..config.retry
+            },
+            sleeper: config
+                .sleeper
+                .unwrap_or_else(|| Arc::new(|d: Duration| std::thread::sleep(d))),
             index: RwLock::new(HashMap::new()),
             deps: Mutex::new(HashMap::new()),
             journal: Mutex::new(JournalState {
@@ -226,6 +315,7 @@ impl Store {
             salvaged: AtomicU64::new(0),
             invalidated: AtomicU64::new(0),
             loaded: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
         };
         if let Err(e) = store.load() {
             store.disabled.store(true, Ordering::Relaxed);
@@ -259,6 +349,7 @@ impl Store {
             salvaged: self.salvaged.load(Ordering::Relaxed),
             invalidated: self.invalidated.load(Ordering::Relaxed),
             loaded: self.loaded.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
             degraded: self.disabled.load(Ordering::Relaxed),
             writes_degraded: self.writes_disabled.load(Ordering::Relaxed),
         }
@@ -314,21 +405,45 @@ impl Store {
         Ok(())
     }
 
-    /// Read a file with read-side fault injection applied.
+    /// Read a file with read-side fault injection applied. Transient
+    /// failures (injected or real) are retried with backoff before the
+    /// error propagates; each attempt advances the fault-op counter, so
+    /// a single armed fault is survived while a burst of
+    /// `max_attempts` consecutive faults still degrades.
     fn faulted_read(&self, path: &Path, read_ops: &mut u64) -> Result<Vec<u8>, StoreError> {
-        *read_ops += 1;
-        match self.faults.read_fault(*read_ops) {
-            Some(IoFaultKind::ReadFail) => Err(StoreError::Io {
-                op: "read",
-                path: path.display().to_string(),
-                msg: "injected read failure".into(),
-            }),
-            Some(IoFaultKind::BitFlip) => {
-                let mut bytes = fs::read(path).map_err(|e| Self::io_err("read", path, &e))?;
-                faults::flip_bit(&mut bytes, *read_ops);
-                Ok(bytes)
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            *read_ops += 1;
+            let result = match self.faults.read_fault(*read_ops) {
+                Some(IoFaultKind::ReadFail) => Err(StoreError::Io {
+                    op: "read",
+                    path: path.display().to_string(),
+                    msg: "injected read failure".into(),
+                }),
+                Some(IoFaultKind::BitFlip) => {
+                    match fs::read(path) {
+                        Ok(mut bytes) => {
+                            // Silent corruption, not an error: checksums
+                            // catch it downstream, retrying is pointless.
+                            faults::flip_bit(&mut bytes, *read_ops);
+                            Ok(bytes)
+                        }
+                        Err(e) => Err(Self::io_err("read", path, &e)),
+                    }
+                }
+                _ => fs::read(path).map_err(|e| Self::io_err("read", path, &e)),
+            };
+            match result {
+                Ok(bytes) => return Ok(bytes),
+                Err(e) => {
+                    if attempt >= self.retry.max_attempts {
+                        return Err(e);
+                    }
+                    self.retries.fetch_add(1, Ordering::Relaxed);
+                    (self.sleeper)(self.retry.backoff(attempt));
+                }
             }
-            _ => fs::read(path).map_err(|e| Self::io_err("read", path, &e)),
         }
     }
 
@@ -456,12 +571,17 @@ impl Store {
 
     /// Take the store lock, refusing (with degradation) when a live
     /// process holds it. A lock left by a dead process is stale and
-    /// reclaimed.
+    /// reclaimed — and so is one whose pid was *recycled*: the lock file
+    /// records the opener's process start time alongside its pid, so a
+    /// new process that happens to wear a dead opener's pid no longer
+    /// wedges every future open into in-memory-only degradation.
     fn acquire_lock(&self) -> Result<(), StoreError> {
         let path = self.dir.join("lock");
         if let Ok(text) = fs::read_to_string(&path) {
-            if let Ok(pid) = text.trim().parse::<u32>() {
-                if pid != std::process::id() && pid_alive(pid) {
+            let mut words = text.split_whitespace();
+            if let Some(Ok(pid)) = words.next().map(str::parse::<u32>) {
+                let recorded_start = words.next().and_then(|w| w.parse::<u64>().ok());
+                if pid != std::process::id() && holder_is_live(pid, recorded_start) {
                     return Err(StoreError::Locked {
                         path: path.display().to_string(),
                         pid,
@@ -469,8 +589,12 @@ impl Store {
                 }
             }
         }
-        fs::write(&path, format!("{}\n", std::process::id()))
-            .map_err(|e| Self::io_err("lock", &path, &e))?;
+        let me = std::process::id();
+        let stamp = match proc_start_time(me) {
+            Some(start) => format!("{me} {start}\n"),
+            None => format!("{me}\n"),
+        };
+        fs::write(&path, stamp).map_err(|e| Self::io_err("lock", &path, &e))?;
         self.holds_lock.store(true, Ordering::Relaxed);
         Ok(())
     }
@@ -672,58 +796,81 @@ impl Store {
         }
     }
 
-    /// Write one framed record, applying write-fault injection. Returns
-    /// false when writes degraded.
+    /// Write one framed record, applying write-fault injection.
+    /// Transient failures — injected `WriteFail`s and real IO errors —
+    /// are retried with backoff up to [`RetryPolicy::max_attempts`]
+    /// before writes degrade, so one blip no longer costs a long-lived
+    /// server its persistence. A real failure may have flushed a prefix
+    /// of the record, so each retry first truncates the segment back to
+    /// its last complete record. Torn writes model a *crash*, not a
+    /// blip: they are never retried. Returns false when writes degraded.
     fn write_record(&self, j: &mut JournalState, path: &Path, record: &[u8]) -> bool {
-        j.write_ops += 1;
-        let op = j.write_ops;
-        match self.faults.write_fault(op) {
-            Some(IoFaultKind::WriteFail) => {
-                self.degrade_writes(
-                    j,
-                    StoreError::Io {
-                        op: "append",
-                        path: path.display().to_string(),
-                        msg: "injected write failure".into(),
-                    },
-                );
-                return false;
-            }
-            Some(IoFaultKind::TornWrite) => {
-                // Persist a prefix, then "crash": the torn tail stays on
-                // disk for the next open to quarantine.
-                if let Some(active) = j.active.as_mut() {
-                    let half = record.len() / 2;
-                    let _ = active.file.write_all(&record[..half]);
-                    let _ = active.file.flush();
-                    let _ = active.file.sync_all();
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            j.write_ops += 1;
+            let op = j.write_ops;
+            let err = match self.faults.write_fault(op) {
+                Some(IoFaultKind::WriteFail) => StoreError::Io {
+                    op: "append",
+                    path: path.display().to_string(),
+                    msg: "injected write failure".into(),
+                },
+                Some(IoFaultKind::TornWrite) => {
+                    // Persist a prefix, then "crash": the torn tail stays
+                    // on disk for the next open to quarantine.
+                    if let Some(active) = j.active.as_mut() {
+                        let half = record.len() / 2;
+                        let _ = active.file.write_all(&record[..half]);
+                        let _ = active.file.flush();
+                        let _ = active.file.sync_all();
+                    }
+                    j.active = None; // keep active.tmp on disk, torn
+                    self.degrade_writes(
+                        j,
+                        StoreError::Io {
+                            op: "append",
+                            path: path.display().to_string(),
+                            msg: "injected torn write (crash mid-append)".into(),
+                        },
+                    );
+                    return false;
                 }
-                j.active = None; // keep active.tmp on disk, torn
-                self.degrade_writes(
-                    j,
-                    StoreError::Io {
-                        op: "append",
-                        path: path.display().to_string(),
-                        msg: "injected torn write (crash mid-append)".into(),
-                    },
-                );
+                _ => {
+                    let Some(active) = j.active.as_mut() else {
+                        return false;
+                    };
+                    match active.file.write_all(record) {
+                        Ok(()) => {
+                            active.bytes += record.len() as u64;
+                            return true;
+                        }
+                        Err(e) => {
+                            // Rewind any partial bytes of the failed
+                            // record so the retry appends a clean frame;
+                            // if even the repair fails the journal state
+                            // is unknowable and writes must degrade.
+                            let repaired = active
+                                .file
+                                .set_len(active.bytes)
+                                .and_then(|()| active.file.seek(SeekFrom::End(0)))
+                                .is_ok();
+                            let err = Self::io_err("append", path, &e);
+                            if !repaired {
+                                self.degrade_writes(j, err);
+                                return false;
+                            }
+                            err
+                        }
+                    }
+                }
+            };
+            if attempt >= self.retry.max_attempts {
+                self.degrade_writes(j, err);
                 return false;
             }
-            _ => {}
-        }
-        let Some(active) = j.active.as_mut() else {
-            return false;
-        };
-        match active.file.write_all(record) {
-            Ok(()) => {
-                active.bytes += record.len() as u64;
-                true
-            }
-            Err(e) => {
-                let err = Self::io_err("append", path, &e);
-                self.degrade_writes(j, err);
-                false
-            }
+            self.retries.fetch_add(1, Ordering::Relaxed);
+            (self.sleeper)(self.retry.backoff(attempt));
         }
     }
 
@@ -838,6 +985,35 @@ fn pid_alive(pid: u32) -> bool {
     }
 }
 
+/// The kernel start time (clock ticks since boot, field 22 of
+/// `/proc/<pid>/stat`) of `pid`. `None` off Linux or when the process
+/// is gone. The comm field may contain spaces and parentheses, so the
+/// scan anchors on the *last* `)` before splitting.
+fn proc_start_time(pid: u32) -> Option<u64> {
+    if !cfg!(target_os = "linux") {
+        return None;
+    }
+    let stat = fs::read_to_string(format!("/proc/{pid}/stat")).ok()?;
+    let rest = &stat[stat.rfind(')')? + 1..];
+    // `rest` starts at field 3 (state); starttime is field 22.
+    rest.split_whitespace().nth(19)?.parse().ok()
+}
+
+/// Does the process that wrote a `pid [starttime]` lock stamp still
+/// exist? A live pid whose start time differs from the recorded one is
+/// a *recycled* pid — the original opener is dead, so its lock is
+/// stale. A stamp without a start time (pre-hardening or non-Linux)
+/// falls back to the pid-only liveness check.
+fn holder_is_live(pid: u32, recorded_start: Option<u64>) -> bool {
+    if !pid_alive(pid) {
+        return false;
+    }
+    match (recorded_start, proc_start_time(pid)) {
+        (Some(recorded), Some(current)) => recorded == current,
+        _ => true,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -927,13 +1103,68 @@ mod tests {
         let _ = fs::remove_dir_all(&dir);
     }
 
+    /// A sleeper that records each backoff instead of sleeping, so retry
+    /// behavior is asserted on a deterministic clock.
+    fn recording_sleeper() -> (Sleeper, Arc<Mutex<Vec<Duration>>>) {
+        let log: Arc<Mutex<Vec<Duration>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&log);
+        let sleeper: Sleeper = Arc::new(move |d| lock(&sink).push(d));
+        (sleeper, log)
+    }
+
     #[test]
-    fn write_fail_degrades_writes_only() {
+    fn transient_write_fail_is_retried_and_recovered() {
+        let dir = test_dir("wretry");
+        let (sleeper, slept) = recording_sleeper();
+        {
+            // One injected failure on op 2: the retry (op 3) succeeds, so
+            // persistence survives with only a backoff and a counter.
+            let s = Store::open(
+                cfg(&dir)
+                    .with_faults(IoFaultPlan::at(IoFaultKind::WriteFail, 2))
+                    .with_sleeper(sleeper),
+            );
+            s.put_bool(1, true, Tier::General, 0);
+            s.put_bool(2, false, Tier::General, 0);
+            let st = s.stats();
+            assert!(!st.writes_degraded, "one transient fault must not degrade");
+            assert_eq!(st.retries, 1);
+            assert!(s.take_warnings().is_empty());
+        }
+        assert_eq!(lock(&slept).as_slice(), &[Duration::from_millis(10)]);
+        // The retried record really reached disk.
+        let s = Store::open(cfg(&dir));
+        assert_eq!(s.get_bool(1), Some((true, Tier::General)));
+        assert_eq!(s.get_bool(2), Some((false, Tier::General)));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn persistent_write_fail_exhausts_retries_then_degrades() {
         let dir = test_dir("wfail");
-        let s = Store::open(cfg(&dir).with_faults(IoFaultPlan::at(IoFaultKind::WriteFail, 2)));
-        s.put_bool(1, true, Tier::General, 0); // header (op 1) + entry (op 2 -> fails)
-        assert!(s.stats().writes_degraded);
-        assert!(!s.stats().degraded);
+        let (sleeper, slept) = recording_sleeper();
+        // Ops 2, 3, 4 all fail: attempts exhaust (max_attempts = 3) and
+        // writes degrade exactly as an un-retried store used to.
+        let faults = IoFaultPlan::at(IoFaultKind::WriteFail, 2)
+            .with(IoFaultSpec {
+                at_op: 3,
+                kind: IoFaultKind::WriteFail,
+            })
+            .with(IoFaultSpec {
+                at_op: 4,
+                kind: IoFaultKind::WriteFail,
+            });
+        let s = Store::open(cfg(&dir).with_faults(faults).with_sleeper(sleeper));
+        s.put_bool(1, true, Tier::General, 0); // header (op 1) + entry (ops 2-4 fail)
+        let st = s.stats();
+        assert!(st.writes_degraded);
+        assert!(!st.degraded);
+        assert_eq!(st.retries, 2);
+        // Exponential backoff: 10ms then 20ms.
+        assert_eq!(
+            lock(&slept).as_slice(),
+            &[Duration::from_millis(10), Duration::from_millis(20)]
+        );
         // The in-memory index still serves the entry this session.
         assert_eq!(s.get_bool(1), Some((true, Tier::General)));
         let warnings = s.take_warnings();
@@ -943,19 +1174,78 @@ mod tests {
     }
 
     #[test]
-    fn read_fail_disables_store() {
+    fn transient_read_fail_is_retried_and_recovered() {
+        let dir = test_dir("rretry");
+        {
+            let s = Store::open(cfg(&dir));
+            s.put_bool(1, true, Tier::General, 0);
+        }
+        let (sleeper, slept) = recording_sleeper();
+        let s = Store::open(
+            cfg(&dir)
+                .with_faults(IoFaultPlan::at(IoFaultKind::ReadFail, 1))
+                .with_sleeper(sleeper),
+        );
+        assert!(s.enabled(), "one transient read fault must not disable");
+        assert_eq!(s.get_bool(1), Some((true, Tier::General)));
+        assert_eq!(s.stats().retries, 1);
+        assert_eq!(lock(&slept).len(), 1);
+        assert!(s.take_warnings().is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn read_fail_burst_disables_store() {
         let dir = test_dir("rfail");
         {
             let s = Store::open(cfg(&dir));
             s.put_bool(1, true, Tier::General, 0);
         }
-        let s = Store::open(cfg(&dir).with_faults(IoFaultPlan::at(IoFaultKind::ReadFail, 1)));
+        // Every attempt of the first read fails: retries exhaust and the
+        // store degrades to in-memory-only, exactly as before retries.
+        let faults = IoFaultPlan::at(IoFaultKind::ReadFail, 1)
+            .with(IoFaultSpec {
+                at_op: 2,
+                kind: IoFaultKind::ReadFail,
+            })
+            .with(IoFaultSpec {
+                at_op: 3,
+                kind: IoFaultKind::ReadFail,
+            });
+        let (sleeper, _slept) = recording_sleeper();
+        let s = Store::open(cfg(&dir).with_faults(faults).with_sleeper(sleeper));
         assert!(!s.enabled());
         assert_eq!(s.get_bool(1), None); // degraded: no reads served
         s.put_bool(2, true, Tier::General, 0); // and no writes persisted
+        assert_eq!(s.stats().retries, 2);
         let warnings = s.take_warnings();
         assert_eq!(warnings.len(), 1);
         assert!(matches!(warnings[0], StoreError::Io { op: "read", .. }));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn retry_policy_backoff_doubles_and_caps() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.backoff(1), Duration::from_millis(10));
+        assert_eq!(p.backoff(2), Duration::from_millis(20));
+        assert_eq!(p.backoff(3), Duration::from_millis(40));
+        assert_eq!(p.backoff(30), Duration::from_millis(1000)); // capped
+        assert_eq!(RetryPolicy::none().backoff(1), Duration::ZERO);
+    }
+
+    #[test]
+    fn retry_none_degrades_on_first_failure() {
+        let dir = test_dir("wnone");
+        let s = Store::open(
+            cfg(&dir)
+                .with_faults(IoFaultPlan::at(IoFaultKind::WriteFail, 2))
+                .with_retry(RetryPolicy::none()),
+        );
+        s.put_bool(1, true, Tier::General, 0);
+        let st = s.stats();
+        assert!(st.writes_degraded);
+        assert_eq!(st.retries, 0);
         let _ = fs::remove_dir_all(&dir);
     }
 
@@ -1019,6 +1309,59 @@ mod tests {
         let s = Store::open(cfg(&dir));
         assert!(s.enabled());
         assert!(s.take_warnings().is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recycled_pid_lock_is_reclaimed() {
+        if proc_start_time(1).is_none() {
+            return; // no /proc: pid-only liveness is the best we can do
+        }
+        let dir = test_dir("recycledlock");
+        fs::create_dir_all(&dir).unwrap();
+        // PID 1 is alive, but the recorded start time belongs to a dead
+        // opener whose pid was recycled — the lock must be reclaimed.
+        fs::write(dir.join("lock"), "1 12345\n").unwrap();
+        let s = Store::open(cfg(&dir));
+        assert!(s.enabled());
+        assert!(s.take_warnings().is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn matching_start_time_lock_still_refuses() {
+        let Some(start) = proc_start_time(1) else {
+            return;
+        };
+        let dir = test_dir("samestartlock");
+        fs::create_dir_all(&dir).unwrap();
+        // Same pid AND same start time: genuinely the same live process.
+        fs::write(dir.join("lock"), format!("1 {start}\n")).unwrap();
+        let s = Store::open(cfg(&dir));
+        assert!(!s.enabled());
+        let warnings = s.take_warnings();
+        assert!(matches!(warnings[0], StoreError::Locked { pid: 1, .. }));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn own_lock_stamp_includes_start_time() {
+        let dir = test_dir("ownstamp");
+        let s = Store::open(cfg(&dir));
+        assert!(s.enabled());
+        let text = fs::read_to_string(dir.join("lock")).unwrap();
+        let mut words = text.split_whitespace();
+        assert_eq!(
+            words.next().and_then(|w| w.parse::<u32>().ok()),
+            Some(std::process::id())
+        );
+        if let Some(start) = proc_start_time(std::process::id()) {
+            assert_eq!(
+                words.next().and_then(|w| w.parse::<u64>().ok()),
+                Some(start)
+            );
+        }
+        drop(s);
         let _ = fs::remove_dir_all(&dir);
     }
 

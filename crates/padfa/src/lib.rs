@@ -12,7 +12,8 @@
 //! * [`analysis`] — the predicated array data-flow analysis and its
 //!   baseline variants;
 //! * [`rt`] — the interpreter, parallel executor, and ELPD inspector;
-//! * [`suite`] — the synthetic benchmark corpus and kernels.
+//! * [`suite`] — the synthetic benchmark corpus and kernels;
+//! * [`service`] — the analysis-as-a-service HTTP daemon.
 //!
 //! ## Quick start
 //!
@@ -47,6 +48,7 @@ pub use padfa_ir as ir;
 pub use padfa_omega as omega;
 pub use padfa_pred as pred;
 pub use padfa_rt as rt;
+pub use padfa_service as service;
 pub use padfa_suite as suite;
 
 /// The most common imports.

@@ -14,6 +14,11 @@
 //! padfa corpus  [--variant V] [--jobs N] [--max-steps N] [--deadline-ms N]
 //!               [--ledger PATH] [--resume] [--keep-going] [--metrics-out PATH]
 //!               [--store DIR] [--no-store] [--inject store-FAULT]
+//! padfa serve   [--addr HOST:PORT] [--workers N] [--queue N] [--jobs N]
+//!               [--default-max-steps N] [--max-steps-ceiling N]
+//!               [--default-deadline-ms N] [--deadline-ms-ceiling N]
+//!               [--read-timeout-ms N] [--drain-deadline-ms N]
+//!               [--store DIR] [--no-store] [--inject FAULT]
 //! ```
 //!
 //! Scalar entry arguments are given positionally (`8 3 50`); integer
@@ -60,6 +65,15 @@
 //! batches across all worker threads. `--metrics-out PATH` writes the
 //! run's metrics-registry snapshot (counters + latency histograms).
 //!
+//! `serve` runs the analysis as a long-lived HTTP daemon (`POST
+//! /analyze`, `POST /explain`, `GET /healthz`, `GET /readyz`, `GET
+//! /metrics`) with bounded admission, per-request isolation, and
+//! graceful drain — see the `padfa-service` crate docs. `SIGINT` or
+//! `SIGTERM` drains in-flight work, flushes the store, and exits 0.
+//! `--inject` additionally accepts the service-layer faults
+//! `worker-panic[:K]`, `torn-response[:K]`, and
+//! `service-seeded:SEED:COUNT` (keyed on admission order).
+//!
 //! `corpus` runs the analysis over the full synthetic benchmark corpus,
 //! isolating each program behind `catch_unwind`, and streams one JSON
 //! line per program to a ledger for offline triage. Each row carries the
@@ -97,7 +111,12 @@ fn usage() -> ! {
          padfa fmt <file.mf>\n  \
          padfa corpus [--variant V] [--jobs N] [--max-steps N] [--deadline-ms N]\n               \
          [--ledger PATH] [--resume] [--keep-going] [--metrics-out PATH]\n               \
-         [--store DIR] [--no-store] [--inject store-FAULT]"
+         [--store DIR] [--no-store] [--inject store-FAULT]\n  \
+         padfa serve [--addr HOST:PORT] [--workers N] [--queue N] [--jobs N]\n              \
+         [--default-max-steps N] [--max-steps-ceiling N]\n              \
+         [--default-deadline-ms N] [--deadline-ms-ceiling N]\n              \
+         [--read-timeout-ms N] [--drain-deadline-ms N]\n              \
+         [--store DIR] [--no-store] [--inject FAULT]"
     );
     exit(2)
 }
@@ -1083,7 +1102,7 @@ fn cmd_corpus(args: &[String]) {
         // The aggregate registry carries the store's final totals (the
         // per-program fold skips `store.*` — see above).
         if let Some(agg) = &aggregate {
-            let pairs: [(&str, u64); 10] = [
+            let pairs: [(&str, u64); 11] = [
                 ("store.hits", st.hits),
                 ("store.misses", st.misses),
                 ("store.puts", st.puts),
@@ -1092,6 +1111,7 @@ fn cmd_corpus(args: &[String]) {
                 ("store.salvaged", st.salvaged),
                 ("store.invalidated", st.invalidated),
                 ("store.loaded", st.loaded),
+                ("store.retries", st.retries),
                 ("store.degraded", u64::from(st.degraded)),
                 ("store.writes_degraded", u64::from(st.writes_degraded)),
             ];
@@ -1323,6 +1343,160 @@ fn cmd_fmt(args: &[String]) {
     print!("{}", padfa::ir::pretty::program_to_string(&prog));
 }
 
+/// Set by the SIGINT/SIGTERM handlers; `cmd_serve` polls it and drains.
+static SHUTDOWN_REQUESTED: std::sync::atomic::AtomicBool =
+    std::sync::atomic::AtomicBool::new(false);
+
+extern "C" fn request_shutdown(_sig: i32) {
+    SHUTDOWN_REQUESTED.store(true, std::sync::atomic::Ordering::SeqCst);
+}
+
+/// Install drain-on-signal handlers via libc's `signal` (std already
+/// links libc; no new dependency). The handler only flips an atomic —
+/// async-signal-safe by construction.
+fn install_signal_handlers() {
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGINT, request_shutdown);
+        signal(SIGTERM, request_shutdown);
+    }
+}
+
+/// Parse a service-layer `--inject` spec (`worker-panic[:K]`,
+/// `torn-response[:K]`, `service-seeded:SEED:COUNT`). Returns false for
+/// non-service specs so `store-*` can be tried next.
+fn parse_service_fault(spec: &str, plan: &mut padfa::rt::ServiceFaultPlan) -> bool {
+    use padfa::rt::{ServiceFaultKind, ServiceFaultSpec};
+    let bad = || -> ! {
+        eprintln!(
+            "padfa: bad --inject spec '{spec}' (want worker-panic[:K], torn-response[:K], \
+             service-seeded:SEED:COUNT, or a store-* fault)"
+        );
+        exit(2)
+    };
+    let mut parts = spec.split(':');
+    let kind = match parts.next().unwrap_or("") {
+        "worker-panic" => ServiceFaultKind::WorkerPanic,
+        "torn-response" => ServiceFaultKind::TornResponse,
+        "service-seeded" => {
+            let (Some(seed), Some(count), None) = (parts.next(), parts.next(), parts.next()) else {
+                bad()
+            };
+            let seed: u64 = seed.parse().unwrap_or_else(|_| bad());
+            let count: usize = count.parse().unwrap_or_else(|_| bad());
+            // Draw from the first 32 admissions — early enough to hit
+            // any realistic smoke run.
+            for f in padfa::rt::ServiceFaultPlan::seeded(seed, count, 32).faults {
+                plan.faults.push(f);
+            }
+            return true;
+        }
+        _ => return false,
+    };
+    let at_request = match parts.next() {
+        None => 1,
+        Some(n) if parts.next().is_none() => n.parse().unwrap_or_else(|_| bad()),
+        Some(_) => bad(),
+    };
+    plan.faults.push(ServiceFaultSpec { at_request, kind });
+    true
+}
+
+/// `padfa serve`: run the analysis as a long-lived HTTP daemon until
+/// SIGINT/SIGTERM, then drain gracefully and exit 0.
+fn cmd_serve(args: &[String]) {
+    use padfa::service::{Server, ServiceDeps, ServicePolicy};
+    let mut addr = "127.0.0.1:7117".to_string();
+    let mut policy = ServicePolicy::default();
+    let mut store_flags = StoreFlags::default();
+    let mut faults = padfa::rt::ServiceFaultPlan::none();
+    let mut it = args.iter();
+    let parse_u64 =
+        |w: Option<&String>| -> u64 { w.and_then(|w| w.parse().ok()).unwrap_or_else(|| usage()) };
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => addr = it.next().cloned().unwrap_or_else(|| usage()),
+            "--workers" => policy.workers = parse_u64(it.next()) as usize,
+            "--queue" => policy.queue_depth = parse_u64(it.next()) as usize,
+            "--jobs" => policy.jobs_per_request = parse_u64(it.next()) as usize,
+            "--default-max-steps" => policy.default_max_steps = Some(parse_u64(it.next())),
+            "--max-steps-ceiling" => policy.max_steps_ceiling = Some(parse_u64(it.next())),
+            "--default-deadline-ms" => policy.default_deadline_ms = Some(parse_u64(it.next())),
+            "--deadline-ms-ceiling" => policy.deadline_ms_ceiling = Some(parse_u64(it.next())),
+            "--read-timeout-ms" => {
+                policy.read_timeout = std::time::Duration::from_millis(parse_u64(it.next()))
+            }
+            "--write-timeout-ms" => {
+                policy.write_timeout = std::time::Duration::from_millis(parse_u64(it.next()))
+            }
+            "--max-body-bytes" => policy.max_body_bytes = parse_u64(it.next()) as usize,
+            "--drain-deadline-ms" => {
+                policy.drain_deadline = std::time::Duration::from_millis(parse_u64(it.next()))
+            }
+            "--store" => store_flags.dir = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            "--no-store" => store_flags.disabled = true,
+            "--inject" => {
+                let spec = it.next().cloned().unwrap_or_else(|| usage());
+                if !parse_service_fault(&spec, &mut faults)
+                    && !parse_store_fault(&spec, &mut store_flags.faults)
+                {
+                    eprintln!("padfa: unknown --inject spec '{spec}'");
+                    exit(2)
+                }
+            }
+            _ => usage(),
+        }
+    }
+    install_signal_handlers();
+    // Per-request budgets are applied by the server from headers and
+    // policy; the store itself is always eligible here (budgeted
+    // requests bypass it per request, not per process).
+    let store = store_flags.open(&WorkBudget::UNLIMITED);
+    let store_desc = match (&store, &store_flags.dir) {
+        (Some(_), Some(dir)) => dir.clone(),
+        _ => "none".to_string(),
+    };
+    let deps = ServiceDeps {
+        store,
+        faults,
+        ..ServiceDeps::default()
+    };
+    let workers = policy.workers.max(1);
+    let queue = policy.queue_depth.max(1);
+    let server = match Server::start(&addr, policy, deps) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("padfa: cannot bind {addr}: {e}");
+            exit(1)
+        }
+    };
+    // Machine-parseable banner (CI reads the resolved ephemeral port).
+    println!(
+        "padfa: serving on http://{} (workers={workers} queue={queue} store={store_desc})",
+        server.addr()
+    );
+    let _ = std::io::stdout().flush();
+    while !SHUTDOWN_REQUESTED.load(std::sync::atomic::Ordering::SeqCst) {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    eprintln!("padfa: draining...");
+    let report = server.shutdown();
+    eprintln!(
+        "padfa: drained (admitted={} completed={} shed={} drained_in_queue={} panics={} clean={})",
+        report.admitted,
+        report.completed,
+        report.shed,
+        report.drained_in_queue,
+        report.panics,
+        report.clean
+    );
+    exit(if report.clean { 0 } else { 1 })
+}
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match argv.split_first() {
@@ -1333,6 +1507,7 @@ fn main() {
             "elpd" => cmd_elpd(rest),
             "fmt" => cmd_fmt(rest),
             "corpus" => cmd_corpus(rest),
+            "serve" => cmd_serve(rest),
             _ => usage(),
         },
         None => usage(),

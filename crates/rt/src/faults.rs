@@ -137,6 +137,100 @@ impl FaultPlan {
     }
 }
 
+/// What an injected service fault does to the request it fires on.
+///
+/// The service plan extends the executor ([`FaultPlan`]) and store
+/// (`IoFaultPlan`) harnesses to the daemon layer: faults are keyed on
+/// the *admission order* of requests, which the server assigns under its
+/// queue lock, so the same plan always hits the same request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServiceFaultKind {
+    /// The worker thread handling the request panics mid-analysis. The
+    /// server must answer 500 with a typed error body, replace the
+    /// worker, and keep serving.
+    WorkerPanic,
+    /// The server writes only a prefix of the response and drops the
+    /// connection (a torn response / mid-write disconnect as seen from
+    /// the client). Subsequent requests must be unaffected.
+    TornResponse,
+}
+
+impl ServiceFaultKind {
+    pub fn label(self) -> &'static str {
+        match self {
+            ServiceFaultKind::WorkerPanic => "worker-panic",
+            ServiceFaultKind::TornResponse => "torn-response",
+        }
+    }
+}
+
+/// One service fault: fires on the `at_request`-th admitted request
+/// (1-based, counted across the daemon's lifetime).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceFaultSpec {
+    pub at_request: u64,
+    pub kind: ServiceFaultKind,
+}
+
+/// A deterministic set of faults to inject into a service daemon.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServiceFaultPlan {
+    pub faults: Vec<ServiceFaultSpec>,
+}
+
+impl ServiceFaultPlan {
+    pub fn none() -> ServiceFaultPlan {
+        ServiceFaultPlan::default()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Add a fault to the plan (builder-style).
+    pub fn with(mut self, spec: ServiceFaultSpec) -> ServiceFaultPlan {
+        self.faults.push(spec);
+        self
+    }
+
+    /// `kind` fires on the `at_request`-th admitted request.
+    pub fn at(kind: ServiceFaultKind, at_request: u64) -> ServiceFaultPlan {
+        ServiceFaultPlan::none().with(ServiceFaultSpec { at_request, kind })
+    }
+
+    /// A seeded pseudo-random plan of `count` faults over admission
+    /// counts in `1..=max_request`. The same seed always yields the same
+    /// plan (same generator as [`FaultPlan::seeded`]).
+    pub fn seeded(seed: u64, count: usize, max_request: u64) -> ServiceFaultPlan {
+        let mut state = seed ^ 0x9E37_79B9_7F4A_7C15;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        };
+        let max_request = max_request.max(1);
+        let mut plan = ServiceFaultPlan::none();
+        for _ in 0..count {
+            let at_request = next() % max_request + 1;
+            let kind = match next() % 2 {
+                0 => ServiceFaultKind::WorkerPanic,
+                _ => ServiceFaultKind::TornResponse,
+            };
+            plan.faults.push(ServiceFaultSpec { at_request, kind });
+        }
+        plan
+    }
+
+    /// The fault (if any) armed for the `n`-th admitted request.
+    pub fn for_request(&self, n: u64) -> Option<ServiceFaultKind> {
+        self.faults
+            .iter()
+            .find(|f| f.at_request == n)
+            .map(|f| f.kind)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -178,5 +272,37 @@ mod tests {
     fn empty_plan_arms_nothing() {
         assert!(FaultPlan::none().is_empty());
         assert!(FaultPlan::none().for_worker(0).is_empty());
+    }
+
+    #[test]
+    fn service_plan_builders_and_lookup() {
+        let plan = ServiceFaultPlan::at(ServiceFaultKind::WorkerPanic, 3).with(ServiceFaultSpec {
+            at_request: 5,
+            kind: ServiceFaultKind::TornResponse,
+        });
+        assert_eq!(plan.faults.len(), 2);
+        assert_eq!(plan.for_request(3), Some(ServiceFaultKind::WorkerPanic));
+        assert_eq!(plan.for_request(5), Some(ServiceFaultKind::TornResponse));
+        assert_eq!(plan.for_request(4), None);
+        assert!(ServiceFaultPlan::none().is_empty());
+        assert_eq!(ServiceFaultPlan::none().for_request(1), None);
+    }
+
+    #[test]
+    fn service_seeded_plans_are_deterministic() {
+        let a = ServiceFaultPlan::seeded(7, 6, 50);
+        let b = ServiceFaultPlan::seeded(7, 6, 50);
+        assert_eq!(a, b);
+        assert_eq!(a.faults.len(), 6);
+        for f in &a.faults {
+            assert!((1..=50).contains(&f.at_request));
+        }
+        assert_ne!(a, ServiceFaultPlan::seeded(8, 6, 50));
+    }
+
+    #[test]
+    fn service_kind_labels() {
+        assert_eq!(ServiceFaultKind::WorkerPanic.label(), "worker-panic");
+        assert_eq!(ServiceFaultKind::TornResponse.label(), "torn-response");
     }
 }

@@ -1,0 +1,413 @@
+//! Minimal HTTP/1.1 on `std::net::TcpStream`: just enough protocol for
+//! the daemon's five endpoints, written defensively.
+//!
+//! The parser enforces the policy's header/body size caps *while
+//! reading* (an oversized request is rejected before it is buffered),
+//! relies on socket read timeouts to bound slow clients, and requires
+//! `Content-Length` on bodies (no chunked encoding — clients of this
+//! service are curl, the load generator, and CI). Every response
+//! carries `Connection: close`; one request per connection keeps worker
+//! state machines trivial and makes torn-client handling local.
+
+use std::collections::BTreeMap;
+use std::io::{ErrorKind, Read, Write};
+use std::net::TcpStream;
+
+/// A parsed request: method, path, decoded query pairs, lowercase
+/// header map, raw body.
+#[derive(Debug)]
+pub struct Request {
+    pub method: String,
+    pub path: String,
+    pub query: BTreeMap<String, String>,
+    pub headers: BTreeMap<String, String>,
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The body as UTF-8, or `None` when it is not valid UTF-8.
+    pub fn body_utf8(&self) -> Option<String> {
+        String::from_utf8(self.body.clone()).ok()
+    }
+
+    /// A header value by lowercase name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.get(name).map(String::as_str)
+    }
+}
+
+/// Why a request could not be read. Each maps to one HTTP status (or
+/// to silently closing the connection when no reply can reach anyone).
+#[derive(Debug)]
+pub enum RequestError {
+    /// Socket read timed out mid-request (slow-loris or torn client).
+    Timeout,
+    /// Client closed the connection before a full request arrived.
+    Disconnected,
+    /// Head or body exceeded the policy cap.
+    TooLarge(&'static str),
+    /// Unparseable request line / header / length.
+    Malformed(&'static str),
+    /// A body-bearing method without `Content-Length`.
+    LengthRequired,
+    /// Any other socket error.
+    Io(std::io::Error),
+}
+
+impl RequestError {
+    /// The HTTP status this error maps to; `None` means the socket is
+    /// unusable and the connection should just be dropped.
+    pub fn status(&self) -> Option<(u16, &'static str, &'static str)> {
+        match self {
+            RequestError::Timeout => Some((408, "Request Timeout", "timeout")),
+            RequestError::TooLarge(_) => Some((413, "Payload Too Large", "too_large")),
+            RequestError::Malformed(_) => Some((400, "Bad Request", "bad_request")),
+            RequestError::LengthRequired => Some((411, "Length Required", "length_required")),
+            RequestError::Disconnected | RequestError::Io(_) => None,
+        }
+    }
+
+    pub fn detail(&self) -> String {
+        match self {
+            RequestError::Timeout => "socket read timed out".to_string(),
+            RequestError::Disconnected => "client disconnected".to_string(),
+            RequestError::TooLarge(what) => format!("{what} exceeds the configured limit"),
+            RequestError::Malformed(what) => format!("malformed {what}"),
+            RequestError::LengthRequired => "POST requires Content-Length".to_string(),
+            RequestError::Io(e) => format!("socket error: {e}"),
+        }
+    }
+}
+
+fn timeout_kind(e: &std::io::Error) -> bool {
+    matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut)
+}
+
+/// Read one request from `stream`, enforcing size caps as bytes arrive.
+/// The caller must have set the socket read timeout.
+pub fn read_request(
+    stream: &mut TcpStream,
+    max_header_bytes: usize,
+    max_body_bytes: usize,
+) -> Result<Request, RequestError> {
+    // Accumulate until the blank line ending the head, never holding
+    // more than the head cap plus one read chunk.
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 1024];
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            break pos;
+        }
+        if buf.len() > max_header_bytes {
+            return Err(RequestError::TooLarge("request head"));
+        }
+        let n = match stream.read(&mut chunk) {
+            Ok(0) => return Err(RequestError::Disconnected),
+            Ok(n) => n,
+            Err(e) if timeout_kind(&e) => return Err(RequestError::Timeout),
+            Err(e) => return Err(RequestError::Io(e)),
+        };
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head_bytes = buf[..head_end].to_vec();
+    let head = std::str::from_utf8(&head_bytes)
+        .map_err(|_| RequestError::Malformed("request head (not UTF-8)"))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut words = request_line.split(' ');
+    let (method, target, version) = match (words.next(), words.next(), words.next(), words.next()) {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => (m, t, v),
+        _ => return Err(RequestError::Malformed("request line")),
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(RequestError::Malformed("HTTP version"));
+    }
+    let (path, query) = parse_target(target)?;
+    let mut headers = BTreeMap::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or(RequestError::Malformed("header line"))?;
+        headers.insert(name.trim().to_ascii_lowercase(), value.trim().to_string());
+    }
+    // Body: only when Content-Length says so. POST without a length is
+    // 411; anything else with a length gets its body read and ignored.
+    let content_length = match headers.get("content-length") {
+        Some(v) => Some(
+            v.parse::<usize>()
+                .map_err(|_| RequestError::Malformed("Content-Length"))?,
+        ),
+        None if method == "POST" => return Err(RequestError::LengthRequired),
+        None => None,
+    };
+    let mut body = buf.split_off(head_end + 4);
+    if let Some(len) = content_length {
+        if len > max_body_bytes {
+            return Err(RequestError::TooLarge("request body"));
+        }
+        if body.len() > len {
+            body.truncate(len); // pipelined bytes beyond the request are dropped
+        }
+        while body.len() < len {
+            let want = (len - body.len()).min(chunk.len());
+            let n = match stream.read(&mut chunk[..want]) {
+                Ok(0) => return Err(RequestError::Disconnected),
+                Ok(n) => n,
+                Err(e) if timeout_kind(&e) => return Err(RequestError::Timeout),
+                Err(e) => return Err(RequestError::Io(e)),
+            };
+            body.extend_from_slice(&chunk[..n]);
+        }
+    } else {
+        body.clear();
+    }
+    Ok(Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        query,
+        headers,
+        body,
+    })
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+fn parse_target(target: &str) -> Result<(&str, BTreeMap<String, String>), RequestError> {
+    let (path, qs) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    if !path.starts_with('/') {
+        return Err(RequestError::Malformed("request target"));
+    }
+    let mut query = BTreeMap::new();
+    for pair in qs.split('&').filter(|p| !p.is_empty()) {
+        let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+        query.insert(percent_decode(k), percent_decode(v));
+    }
+    Ok((path, query))
+}
+
+/// Decode `%XX` escapes and `+` (space). Invalid escapes pass through
+/// literally — query values here are loop labels and variant names, so
+/// strictness buys nothing.
+fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => out.push(b' '),
+            b'%' if i + 2 < bytes.len() => {
+                let hex = std::str::from_utf8(&bytes[i + 1..i + 3]).ok();
+                match hex.and_then(|h| u8::from_str_radix(h, 16).ok()) {
+                    Some(b) => {
+                        out.push(b);
+                        i += 2;
+                    }
+                    None => out.push(b'%'),
+                }
+            }
+            b => out.push(b),
+        }
+        i += 1;
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// A response ready to serialize: status, extra headers, body.
+#[derive(Debug, Clone)]
+pub struct Response {
+    pub status: u16,
+    pub reason: &'static str,
+    pub content_type: &'static str,
+    /// Extra headers as `(name, value)` pairs (e.g. `Retry-After`).
+    pub extra: Vec<(&'static str, String)>,
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    pub fn json(status: u16, reason: &'static str, body: String) -> Response {
+        Response {
+            status,
+            reason,
+            content_type: "application/json",
+            extra: Vec::new(),
+            body: body.into_bytes(),
+        }
+    }
+
+    pub fn text(status: u16, reason: &'static str, body: String) -> Response {
+        Response {
+            status,
+            reason,
+            content_type: "text/plain; charset=utf-8",
+            extra: Vec::new(),
+            body: body.into_bytes(),
+        }
+    }
+
+    pub fn with_header(mut self, name: &'static str, value: String) -> Response {
+        self.extra.push((name, value));
+        self
+    }
+
+    /// Serialize head + body into one buffer (written with a single
+    /// `write_all` so short-write truncation is the OS's doing, not
+    /// interleaving).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+            self.status,
+            self.reason,
+            self.content_type,
+            self.body.len()
+        );
+        for (name, value) in &self.extra {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        head.push_str("\r\n");
+        let mut out = head.into_bytes();
+        out.extend_from_slice(&self.body);
+        out
+    }
+
+    /// Write the whole response; errors are returned for accounting but
+    /// there is nothing further to do with a dead client.
+    pub fn write(&self, stream: &mut TcpStream) -> std::io::Result<()> {
+        stream.write_all(&self.to_bytes())?;
+        stream.flush()
+    }
+
+    /// Write only the first half of the serialized response, then stop —
+    /// the deterministic "torn response" fault: the client sees a valid
+    /// status line but a short body and must treat the reply as corrupt.
+    pub fn write_torn(&self, stream: &mut TcpStream) -> std::io::Result<()> {
+        let bytes = self.to_bytes();
+        stream.write_all(&bytes[..bytes.len() / 2])?;
+        stream.flush()
+    }
+}
+
+/// Minimal JSON string escaping (mirrors the CLI's ledger escaping).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+    use std::time::Duration;
+
+    /// Run the parser against raw bytes sent over a real socket pair.
+    fn parse_bytes(raw: &[u8]) -> Result<Request, RequestError> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let raw = raw.to_vec();
+        let client = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(&raw).unwrap();
+            // Keep the socket open briefly so the server sees the data,
+            // then close (EOF) so incomplete requests fail Disconnected.
+            s.flush().unwrap();
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_millis(2000)))
+            .unwrap();
+        let r = read_request(&mut stream, 8192, 65536);
+        client.join().unwrap();
+        r
+    }
+
+    #[test]
+    fn parses_post_with_body_and_query() {
+        let req = parse_bytes(
+            b"POST /analyze?variant=base&loop=hot%20spot HTTP/1.1\r\n\
+              Host: x\r\nContent-Length: 5\r\nX-Padfa-Max-Steps: 100\r\n\r\nhello",
+        )
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/analyze");
+        assert_eq!(req.query.get("variant").map(String::as_str), Some("base"));
+        assert_eq!(req.query.get("loop").map(String::as_str), Some("hot spot"));
+        assert_eq!(req.header("x-padfa-max-steps"), Some("100"));
+        assert_eq!(req.body, b"hello");
+    }
+
+    #[test]
+    fn get_without_length_has_empty_body() {
+        let req = parse_bytes(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/healthz");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn post_without_length_is_411() {
+        let e = parse_bytes(b"POST /analyze HTTP/1.1\r\nHost: x\r\n\r\n").unwrap_err();
+        assert!(matches!(e, RequestError::LengthRequired));
+        assert_eq!(e.status().map(|s| s.0), Some(411));
+    }
+
+    #[test]
+    fn oversized_body_is_413_before_reading_it() {
+        let e =
+            parse_bytes(b"POST /analyze HTTP/1.1\r\nContent-Length: 999999\r\n\r\n").unwrap_err();
+        assert!(matches!(e, RequestError::TooLarge("request body")));
+    }
+
+    #[test]
+    fn bad_request_line_is_400() {
+        let e = parse_bytes(b"NONSENSE\r\n\r\n").unwrap_err();
+        assert!(matches!(e, RequestError::Malformed(_)));
+        assert_eq!(e.status().map(|s| s.0), Some(400));
+    }
+
+    #[test]
+    fn torn_client_mid_body_is_disconnected() {
+        // Content-Length promises 100 bytes; the client sends 3 and
+        // closes. The server must classify this as a torn client, not
+        // hang or crash.
+        let e =
+            parse_bytes(b"POST /analyze HTTP/1.1\r\nContent-Length: 100\r\n\r\nabc").unwrap_err();
+        assert!(matches!(e, RequestError::Disconnected));
+        assert!(e.status().is_none()); // nothing useful to write back
+    }
+
+    #[test]
+    fn response_serialization_and_torn_write() {
+        let r = Response::json(200, "OK", "{\"a\":1}".to_string())
+            .with_header("Retry-After", "1".to_string());
+        let bytes = r.to_bytes();
+        let text = String::from_utf8(bytes.clone()).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 7\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.contains("Retry-After: 1\r\n"));
+        assert!(text.ends_with("{\"a\":1}"));
+        // A torn write stops strictly short of the full serialization.
+        assert!(bytes.len() / 2 < bytes.len());
+    }
+}

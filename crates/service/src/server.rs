@@ -1,0 +1,882 @@
+//! The daemon core: acceptor, bounded admission queue, worker pool with
+//! panic-replacement supervision, request routing, and graceful drain.
+//!
+//! ## Request lifecycle
+//!
+//! ```text
+//! accept ──► admission check ──► queue ──► worker: parse HTTP ──►
+//!   route ──► fresh AnalysisSession (shared store) ──► respond ──► close
+//!     │                              │
+//!     └─ full: 429 + Retry-After     └─ panic: typed 500, worker retires,
+//!        draining: 503                  supervisor spawns a replacement
+//! ```
+//!
+//! The acceptor thread does only bounded work per connection (an
+//! accept, a queue push, or a small shed write), so a flood of
+//! connections cannot starve it. All socket reads happen on workers
+//! under read timeouts. One request per connection (`Connection:
+//! close`) keeps the worker state machine a straight line.
+//!
+//! ## Fault injection
+//!
+//! A [`ServiceFaultPlan`] keys deterministic faults on *admission
+//! order* (the 1-based sequence number assigned at accept): an armed
+//! `WorkerPanic` unwinds the worker inside its `catch_unwind` fence
+//! after the request is parsed; an armed `TornResponse` truncates a
+//! computed success response halfway through the write. Both leave the
+//! daemon serving: the next request must succeed normally.
+
+use crate::http::{json_escape, read_request, Request, RequestError, Response};
+use crate::{ServicePolicy, SCHEMA_VERSION};
+use padfa_core::{
+    analyze_program_session, AnalysisError, AnalysisSession, LoopReport, MetricsRegistry,
+    OnExhausted, Options, Outcome, Store, WorkBudget,
+};
+use padfa_omega::sync::lock;
+use padfa_rt::{ServiceFaultKind, ServiceFaultPlan};
+use std::collections::VecDeque;
+use std::io::ErrorKind;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Everything the daemon serves with: the shared store (warm memo
+/// state), the metrics registry backing `/metrics`, and the service
+/// fault plan. `Default` is a faultless, storeless server.
+pub struct ServiceDeps {
+    /// Shared persistent memo store; `None` serves cold every request.
+    pub store: Option<Arc<Store>>,
+    /// Registry behind `/metrics`; create one per server (or share to
+    /// aggregate several servers into one scrape).
+    pub metrics: Arc<MetricsRegistry>,
+    /// Deterministic service-layer faults (worker panics, torn
+    /// responses), keyed on admission order.
+    pub faults: ServiceFaultPlan,
+}
+
+impl Default for ServiceDeps {
+    fn default() -> ServiceDeps {
+        ServiceDeps {
+            store: None,
+            metrics: MetricsRegistry::new(),
+            faults: ServiceFaultPlan::none(),
+        }
+    }
+}
+
+/// What the drain observed, for operator logs and tests.
+#[derive(Debug, Clone)]
+pub struct DrainReport {
+    /// Connections admitted over the server's lifetime.
+    pub admitted: u64,
+    /// Requests answered with a complete response (any status).
+    pub completed: u64,
+    /// Connections shed with `429` by the admission gate.
+    pub shed: u64,
+    /// Queued-but-unstarted requests answered `503` at drain.
+    pub drained_in_queue: u64,
+    /// Worker panics absorbed (each cost one `500`, never the process).
+    pub panics: u64,
+    /// False when in-flight work outlived the drain deadline and the
+    /// server stopped waiting for it.
+    pub clean: bool,
+}
+
+/// Payload type for injected worker panics, so the process-global panic
+/// hook can keep injected unwinds quiet while real panics still print.
+struct InjectedPanic;
+
+fn install_quiet_hook() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<InjectedPanic>().is_none() {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// One admitted connection waiting for a worker.
+struct Job {
+    stream: TcpStream,
+    /// 1-based admission sequence number (fault-plan key).
+    admission: u64,
+}
+
+/// State shared by the acceptor, workers, and supervisor.
+struct Shared {
+    policy: ServicePolicy,
+    store: Option<Arc<Store>>,
+    metrics: Arc<MetricsRegistry>,
+    faults: ServiceFaultPlan,
+    draining: AtomicBool,
+    admitted: AtomicU64,
+    queue: Mutex<VecDeque<Job>>,
+    queue_cv: Condvar,
+    /// Live worker count, decremented by each worker's exit guard;
+    /// `shutdown` waits on the condvar until it reaches zero.
+    workers_live: Mutex<usize>,
+    workers_cv: Condvar,
+}
+
+impl Shared {
+    fn count(&self, name: &str, n: u64) {
+        self.metrics.counter(name).add(n);
+    }
+
+    /// Block until a job is available or the server is draining.
+    fn next_job(&self) -> Option<Job> {
+        let mut q = lock(&self.queue);
+        loop {
+            if let Some(j) = q.pop_front() {
+                return Some(j);
+            }
+            if self.draining.load(Ordering::Acquire) {
+                return None;
+            }
+            q = match self.queue_cv.wait(q) {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+        }
+    }
+}
+
+enum WorkerEvent {
+    /// A worker retired after absorbing a panic; spawn a replacement.
+    Died,
+    /// Drain finished; the supervisor should exit.
+    Shutdown,
+}
+
+/// A running daemon. Bind with [`Server::start`], stop with
+/// [`Server::shutdown`]. Dropping without `shutdown` leaves threads
+/// running until the process exits (fine for one-shot test binaries,
+/// wrong for anything long-lived).
+pub struct Server {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+    supervisor: Option<JoinHandle<()>>,
+    events_tx: mpsc::Sender<WorkerEvent>,
+}
+
+impl Server {
+    /// Bind `addr` (use port 0 for an ephemeral port) and start the
+    /// acceptor, `policy.workers` workers, and the supervisor.
+    pub fn start(addr: &str, policy: ServicePolicy, deps: ServiceDeps) -> std::io::Result<Server> {
+        install_quiet_hook();
+        let policy = policy.normalized();
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            policy,
+            store: deps.store,
+            metrics: deps.metrics,
+            faults: deps.faults,
+            draining: AtomicBool::new(false),
+            admitted: AtomicU64::new(0),
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            workers_live: Mutex::new(0),
+            workers_cv: Condvar::new(),
+        });
+        let (events_tx, events_rx) = mpsc::channel();
+        for id in 0..shared.policy.workers {
+            spawn_worker(&shared, id, events_tx.clone());
+        }
+        let supervisor = spawn_supervisor(Arc::clone(&shared), events_rx, events_tx.clone());
+        let acceptor = {
+            let sh = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("padfa-acceptor".to_string())
+                .spawn(move || accept_loop(&sh, &listener))?
+        };
+        Ok(Server {
+            shared,
+            addr: local,
+            acceptor: Some(acceptor),
+            supervisor: Some(supervisor),
+            events_tx,
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The registry behind `/metrics`, for in-process assertions.
+    pub fn metrics(&self) -> Arc<MetricsRegistry> {
+        Arc::clone(&self.shared.metrics)
+    }
+
+    /// Graceful drain: stop accepting, answer queued-but-unstarted
+    /// requests `503`, wait (bounded by the policy drain deadline) for
+    /// in-flight requests, flush the store journal, and report.
+    pub fn shutdown(mut self) -> DrainReport {
+        self.shared.draining.store(true, Ordering::Release);
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        // Everything still queued was never started: tell those clients
+        // to retry elsewhere rather than silently dropping them.
+        let leftover: Vec<Job> = lock(&self.shared.queue).drain(..).collect();
+        let drained_in_queue = leftover.len() as u64;
+        for mut job in leftover {
+            let _ = job
+                .stream
+                .set_write_timeout(Some(self.shared.policy.write_timeout));
+            let _ = shed_response(&self.shared.policy, true).write(&mut job.stream);
+        }
+        self.shared.count("service.drained", drained_in_queue);
+        // Wake idle workers so they observe the drain and exit, then
+        // wait for in-flight work up to the drain deadline.
+        self.shared.queue_cv.notify_all();
+        let deadline = Instant::now() + self.shared.policy.drain_deadline;
+        let mut live = lock(&self.shared.workers_live);
+        let clean = loop {
+            if *live == 0 {
+                break true;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                break false;
+            }
+            let (guard, _) = match self.shared.workers_cv.wait_timeout(live, deadline - now) {
+                Ok(r) => r,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            live = guard;
+        };
+        drop(live);
+        let _ = self.events_tx.send(WorkerEvent::Shutdown);
+        if let Some(h) = self.supervisor.take() {
+            let _ = h.join();
+        }
+        if let Some(store) = &self.shared.store {
+            store.flush();
+            for w in store.take_warnings() {
+                eprintln!("padfa-service: store warning: {w}");
+            }
+        }
+        let counters = self.shared.metrics.counters_snapshot();
+        let get = |k: &str| counters.get(k).copied().unwrap_or(0);
+        DrainReport {
+            admitted: self.shared.admitted.load(Ordering::Relaxed),
+            completed: get("service.completed"),
+            shed: get("service.shed"),
+            drained_in_queue,
+            panics: get("service.panics"),
+            clean,
+        }
+    }
+}
+
+fn accept_loop(shared: &Arc<Shared>, listener: &TcpListener) {
+    while !shared.draining.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _)) => admit(shared, stream),
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => {
+                shared.count("service.accept_errors", 1);
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }
+    }
+}
+
+/// Admission gate: number the connection, then either queue it or shed
+/// it. Shedding happens here — with a small bounded write — so a full
+/// queue costs the acceptor microseconds, not a worker slot.
+fn admit(shared: &Arc<Shared>, mut stream: TcpStream) {
+    let admission = shared.admitted.fetch_add(1, Ordering::Relaxed) + 1;
+    shared.count("service.requests", 1);
+    {
+        let mut q = lock(&shared.queue);
+        if q.len() < shared.policy.queue_depth {
+            q.push_back(Job { stream, admission });
+            shared.queue_cv.notify_one();
+            return;
+        }
+    }
+    shared.count("service.shed", 1);
+    let _ = stream.set_write_timeout(Some(shared.policy.write_timeout));
+    let _ = shed_response(&shared.policy, false).write(&mut stream);
+}
+
+fn shed_response(policy: &ServicePolicy, draining: bool) -> Response {
+    let (status, reason, kind, message) = if draining {
+        (503, "Service Unavailable", "draining", "server is draining")
+    } else {
+        (
+            429,
+            "Too Many Requests",
+            "overloaded",
+            "admission queue full",
+        )
+    };
+    error_body(status, reason, kind, message)
+        .with_header("Retry-After", policy.retry_after_secs.to_string())
+}
+
+fn error_body(status: u16, reason: &'static str, kind: &str, message: &str) -> Response {
+    Response::json(
+        status,
+        reason,
+        format!(
+            "{{\"schema_version\":{SCHEMA_VERSION},\"error\":{{\"kind\":\"{}\",\"message\":\"{}\"}}}}",
+            json_escape(kind),
+            json_escape(message)
+        ),
+    )
+}
+
+fn spawn_worker(shared: &Arc<Shared>, id: usize, events: mpsc::Sender<WorkerEvent>) {
+    *lock(&shared.workers_live) += 1;
+    let sh = Arc::clone(shared);
+    let spawned = std::thread::Builder::new()
+        .name(format!("padfa-worker-{id}"))
+        .spawn(move || {
+            // Exit guard: whatever path ends this thread, the live count
+            // drops and the drain waiter wakes.
+            struct Live(Arc<Shared>);
+            impl Drop for Live {
+                fn drop(&mut self) {
+                    *lock(&self.0.workers_live) -= 1;
+                    self.0.workers_cv.notify_all();
+                }
+            }
+            let _live = Live(Arc::clone(&sh));
+            while let Some(job) = sh.next_job() {
+                if serve_connection(&sh, job) {
+                    // Absorbed a panic: retire this thread and let the
+                    // supervisor start a fresh one, so any thread-local
+                    // state poisoned by the unwind dies here.
+                    let _ = events.send(WorkerEvent::Died);
+                    return;
+                }
+            }
+        });
+    if spawned.is_err() {
+        // Thread creation failed (resource exhaustion): undo the count.
+        // The pool shrinks; the admission bound still holds.
+        *lock(&shared.workers_live) -= 1;
+        shared.count("service.spawn_errors", 1);
+    }
+}
+
+fn spawn_supervisor(
+    shared: Arc<Shared>,
+    events: mpsc::Receiver<WorkerEvent>,
+    events_tx: mpsc::Sender<WorkerEvent>,
+) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name("padfa-supervisor".to_string())
+        .spawn(move || {
+            let mut next_id = shared.policy.workers;
+            while let Ok(ev) = events.recv() {
+                match ev {
+                    WorkerEvent::Shutdown => break,
+                    WorkerEvent::Died => {
+                        shared.count("service.worker_replacements", 1);
+                        if !shared.draining.load(Ordering::Acquire) {
+                            spawn_worker(&shared, next_id, events_tx.clone());
+                            next_id += 1;
+                        }
+                    }
+                }
+            }
+        })
+        .unwrap_or_else(|e| {
+            // No supervisor means panicked workers are not replaced; the
+            // daemon still serves with the initial pool. Spawn failure
+            // at startup is a resource problem worth being loud about.
+            eprintln!("padfa-service: cannot spawn supervisor: {e}");
+            std::thread::spawn(|| {})
+        })
+}
+
+/// Serve one connection end to end. Returns true when the handler
+/// panicked (the worker should retire).
+fn serve_connection(shared: &Arc<Shared>, mut job: Job) -> bool {
+    let _ = job
+        .stream
+        .set_read_timeout(Some(shared.policy.read_timeout));
+    let _ = job
+        .stream
+        .set_write_timeout(Some(shared.policy.write_timeout));
+    let req = match read_request(
+        &mut job.stream,
+        shared.policy.max_header_bytes,
+        shared.policy.max_body_bytes,
+    ) {
+        Ok(r) => r,
+        Err(e) => {
+            match e {
+                RequestError::Timeout => shared.count("service.read_timeouts", 1),
+                RequestError::Disconnected => shared.count("service.torn_clients", 1),
+                _ => shared.count("service.bad_requests", 1),
+            }
+            if let Some((status, reason, kind)) = e.status() {
+                let _ = error_body(status, reason, kind, &e.detail()).write(&mut job.stream);
+                shared.count("service.completed", 1);
+            }
+            return false;
+        }
+    };
+    let fault = shared.faults.for_request(job.admission);
+    let outcome = catch_unwind(AssertUnwindSafe(|| route(shared, &req, fault)));
+    match outcome {
+        Ok(resp) => {
+            let torn = matches!(fault, Some(ServiceFaultKind::TornResponse));
+            let written = if torn {
+                shared.count("service.torn_responses", 1);
+                resp.write_torn(&mut job.stream)
+            } else {
+                resp.write(&mut job.stream)
+            };
+            if written.is_err() {
+                shared.count("service.write_errors", 1);
+            }
+            shared.count("service.completed", 1);
+            false
+        }
+        Err(_) => {
+            shared.count("service.panics", 1);
+            let _ = error_body(
+                500,
+                "Internal Server Error",
+                "panic",
+                "request handler panicked; the worker was replaced",
+            )
+            .write(&mut job.stream);
+            shared.count("service.completed", 1);
+            true
+        }
+    }
+}
+
+fn route(shared: &Arc<Shared>, req: &Request, fault: Option<ServiceFaultKind>) -> Response {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => Response::json(200, "OK", "{\"status\":\"ok\"}".to_string()),
+        ("GET", "/readyz") => {
+            if shared.draining.load(Ordering::Acquire) {
+                error_body(503, "Service Unavailable", "draining", "server is draining")
+            } else {
+                Response::json(200, "OK", "{\"status\":\"ready\"}".to_string())
+            }
+        }
+        ("GET", "/metrics") => Response::text(200, "OK", prometheus_text(&shared.metrics)),
+        ("POST", "/analyze") => analysis_endpoint(shared, req, fault, false),
+        ("POST", "/explain") => analysis_endpoint(shared, req, fault, true),
+        (_, "/healthz" | "/readyz" | "/metrics" | "/analyze" | "/explain") => error_body(
+            405,
+            "Method Not Allowed",
+            "method_not_allowed",
+            &format!("{} not supported on {}", req.method, req.path),
+        ),
+        _ => error_body(
+            404,
+            "Not Found",
+            "not_found",
+            &format!("no such endpoint: {}", req.path),
+        ),
+    }
+}
+
+/// `/analyze` and `/explain` share everything up to response shaping.
+fn analysis_endpoint(
+    shared: &Arc<Shared>,
+    req: &Request,
+    fault: Option<ServiceFaultKind>,
+    explain: bool,
+) -> Response {
+    let Some(src) = req.body_utf8() else {
+        return error_body(400, "Bad Request", "bad_request", "body is not UTF-8");
+    };
+    let variant = req
+        .query
+        .get("variant")
+        .map(String::as_str)
+        .unwrap_or("predicated");
+    let opts = match variant {
+        "base" => Options::base(),
+        "guarded" => Options::guarded(),
+        "predicated" => Options::predicated(),
+        other => {
+            return error_body(
+                400,
+                "Bad Request",
+                "bad_request",
+                &format!("unknown variant '{other}'"),
+            )
+        }
+    };
+    let budget = match effective_budget(&shared.policy, req) {
+        Ok(b) => b,
+        Err(msg) => return error_body(400, "Bad Request", "bad_request", &msg),
+    };
+    let prog = match padfa_ir::parse::parse_program(&src) {
+        Ok(p) => p,
+        Err(e) => {
+            return error_body(
+                400,
+                "Bad Request",
+                "parse",
+                &format!("{}:{}: {}", e.line, e.col, e.msg),
+            )
+        }
+    };
+    // An armed worker-panic fault fires here: past parsing (the request
+    // was legitimate) and inside the catch_unwind fence.
+    if matches!(fault, Some(ServiceFaultKind::WorkerPanic)) {
+        // The one deliberate unwind in the crate — the fault-injection
+        // harness proving the isolation fence holds.
+        #[allow(clippy::panic)]
+        std::panic::panic_any(InjectedPanic);
+    }
+    let opts = opts.with_budget(budget);
+    // Fresh session per request: bounded memory, no cross-request memo
+    // growth. Warmth comes from the shared store — which budgeted
+    // requests must bypass (cached results would change step accounting
+    // and with it degradation decisions).
+    let mut sess = AnalysisSession::new(opts)
+        .with_jobs(shared.policy.jobs_per_request)
+        .with_metrics(Arc::clone(&shared.metrics));
+    if budget.is_unlimited() {
+        if let Some(store) = &shared.store {
+            sess = sess.with_store(Arc::clone(store));
+        }
+    }
+    let t0 = Instant::now();
+    let result = analyze_program_session(&prog, &sess);
+    let histogram = if explain {
+        "service.latency.explain"
+    } else {
+        "service.latency.analyze"
+    };
+    shared
+        .metrics
+        .histogram(histogram)
+        .record_ns(t0.elapsed().as_nanos() as u64);
+    sess.publish_metrics();
+    if let Some(store) = sess.store() {
+        let warnings = store.take_warnings();
+        if !warnings.is_empty() {
+            shared.count("service.store_warnings", warnings.len() as u64);
+            for w in warnings {
+                eprintln!("padfa-service: store warning: {w}");
+            }
+        }
+    }
+    let (result, _summaries) = match result {
+        Ok(out) => out,
+        Err(e) => return analysis_error_response(&e),
+    };
+    if explain {
+        explain_response(&result, req, variant)
+    } else {
+        analyze_response(&result, variant)
+    }
+}
+
+/// Clamp header-requested budgets against policy: effective = min(
+/// requested-or-default, ceiling); no request, no default = unlimited.
+fn effective_budget(policy: &ServicePolicy, req: &Request) -> Result<WorkBudget, String> {
+    let header_u64 = |name: &str| -> Result<Option<u64>, String> {
+        match req.header(name) {
+            None => Ok(None),
+            Some(v) => v
+                .parse::<u64>()
+                .map(Some)
+                .map_err(|_| format!("invalid {name} header: '{v}'")),
+        }
+    };
+    let clamp = |requested: Option<u64>, default: Option<u64>, ceiling: Option<u64>| match (
+        requested.or(default),
+        ceiling,
+    ) {
+        (Some(v), Some(c)) => Some(v.min(c)),
+        (v, _) => v,
+    };
+    let strict = match req.header("x-padfa-strict") {
+        None | Some("0") => false,
+        Some("1") => true,
+        Some(v) => {
+            return Err(format!(
+                "invalid x-padfa-strict header: '{v}' (want 0 or 1)"
+            ))
+        }
+    };
+    Ok(WorkBudget {
+        max_steps: clamp(
+            header_u64("x-padfa-max-steps")?,
+            policy.default_max_steps,
+            policy.max_steps_ceiling,
+        ),
+        deadline_ms: clamp(
+            header_u64("x-padfa-deadline-ms")?,
+            policy.default_deadline_ms,
+            policy.deadline_ms_ceiling,
+        ),
+        on_exhausted: if strict {
+            OnExhausted::Error
+        } else {
+            OnExhausted::Degrade
+        },
+    })
+}
+
+fn analysis_error_response(e: &AnalysisError) -> Response {
+    match e {
+        AnalysisError::Parse(pe) => error_body(
+            400,
+            "Bad Request",
+            "parse",
+            &format!("{}:{}: {}", pe.line, pe.col, pe.msg),
+        ),
+        AnalysisError::MalformedIr(m) => error_body(400, "Bad Request", "malformed_ir", m),
+        AnalysisError::BudgetExhausted { proc, steps } => Response::json(
+            422,
+            "Unprocessable Entity",
+            format!(
+                "{{\"schema_version\":{SCHEMA_VERSION},\"error\":{{\"kind\":\"budget_exhausted\",\
+                 \"proc\":\"{}\",\"steps\":{steps},\"message\":\"work budget exhausted\"}}}}",
+                json_escape(proc)
+            ),
+        ),
+        AnalysisError::Internal(m) => error_body(500, "Internal Server Error", "internal", m),
+    }
+}
+
+/// The `/analyze` body: a deterministic per-loop verdict summary. No
+/// timing, no request ids, no store-dependent fields — N identical
+/// requests must produce byte-identical bodies, cold or warm.
+fn analyze_response(result: &padfa_core::AnalysisResult, variant: &str) -> Response {
+    let mut loops = String::new();
+    let mut parallelized = 0u64;
+    let mut runtime_tests = 0u64;
+    for (i, r) in result.loops.iter().enumerate() {
+        if i > 0 {
+            loops.push(',');
+        }
+        if r.parallelized() {
+            parallelized += 1;
+        }
+        if r.not_candidate.is_none() && matches!(r.outcome, Outcome::ParallelIf(_)) {
+            runtime_tests += 1;
+        }
+        loops.push_str(&loop_entry(r));
+    }
+    Response::json(
+        200,
+        "OK",
+        format!(
+            "{{\"schema_version\":{SCHEMA_VERSION},\"variant\":\"{}\",\"loops\":[{loops}],\
+             \"total\":{},\"parallelized\":{parallelized},\"runtime_tests\":{runtime_tests},\
+             \"degraded_procs\":{}}}",
+            json_escape(variant),
+            result.loops.len(),
+            result.stats.degraded_procs
+        ),
+    )
+}
+
+fn loop_entry(r: &LoopReport) -> String {
+    let outcome = if r.not_candidate.is_some() {
+        "not-candidate"
+    } else {
+        match r.outcome {
+            Outcome::Parallel => "parallel",
+            Outcome::ParallelIf(_) => "parallel-if",
+            Outcome::Sequential => "sequential",
+        }
+    };
+    let label = match &r.label {
+        Some(l) => format!("\"{}\"", json_escape(l)),
+        None => "null".to_string(),
+    };
+    let test = match (&r.not_candidate, &r.outcome) {
+        (None, Outcome::ParallelIf(p)) => format!(",\"test\":\"{}\"", json_escape(&p.to_string())),
+        _ => String::new(),
+    };
+    format!(
+        "{{\"id\":{},\"label\":{label},\"proc\":\"{}\",\"depth\":{},\"outcome\":\"{outcome}\"\
+         {test},\"privatized\":{},\"reductions\":{}}}",
+        r.id.0,
+        json_escape(&r.proc),
+        r.depth,
+        r.privatized.len() + r.privatized_scalars.len(),
+        r.reductions.len()
+    )
+}
+
+/// The `/explain` body: full decision-provenance JSON per selected
+/// loop, the same `loop_json` trees the CLI's `explain --json` prints.
+fn explain_response(result: &padfa_core::AnalysisResult, req: &Request, variant: &str) -> Response {
+    let target = req.query.get("loop");
+    let selected: Vec<&LoopReport> = match target {
+        Some(t) => result
+            .loops
+            .iter()
+            .filter(|r| {
+                r.label.as_deref() == Some(t.as_str())
+                    || t.parse::<u32>().is_ok_and(|n| r.id.0 == n)
+            })
+            .collect(),
+        None => result.loops.iter().collect(),
+    };
+    if selected.is_empty() && target.is_some() {
+        return error_body(
+            404,
+            "Not Found",
+            "loop_not_found",
+            &format!(
+                "no analyzed loop labeled or numbered '{}'",
+                target.map(String::as_str).unwrap_or("")
+            ),
+        );
+    }
+    let loops: Vec<String> = selected.iter().map(|r| padfa_core::loop_json(r)).collect();
+    Response::json(
+        200,
+        "OK",
+        format!(
+            "{{\"schema_version\":{SCHEMA_VERSION},\"variant\":\"{}\",\"loops\":[{}]}}",
+            json_escape(variant),
+            loops.join(",")
+        ),
+    )
+}
+
+/// Render every counter and histogram in Prometheus text exposition
+/// format (`padfa_` prefix, dots to underscores, summaries in ns).
+pub(crate) fn prometheus_text(reg: &MetricsRegistry) -> String {
+    let sanitize = |name: &str| -> String {
+        name.chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+            .collect()
+    };
+    let mut out = String::new();
+    for (name, value) in reg.counters_snapshot() {
+        let s = sanitize(&name);
+        out.push_str(&format!("# TYPE padfa_{s} counter\npadfa_{s} {value}\n"));
+    }
+    for (name, h) in reg.histograms_snapshot() {
+        let s = sanitize(&name);
+        out.push_str(&format!(
+            "# TYPE padfa_{s}_ns summary\n\
+             padfa_{s}_ns{{quantile=\"0.5\"}} {}\n\
+             padfa_{s}_ns{{quantile=\"0.9\"}} {}\n\
+             padfa_{s}_ns{{quantile=\"0.99\"}} {}\n\
+             padfa_{s}_ns_sum {}\npadfa_{s}_ns_count {}\n",
+            h.quantile_ns(0.5),
+            h.quantile_ns(0.9),
+            h.quantile_ns(0.99),
+            h.sum_ns(),
+            h.count()
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn req_with_headers(pairs: &[(&str, &str)]) -> Request {
+        Request {
+            method: "POST".to_string(),
+            path: "/analyze".to_string(),
+            query: BTreeMap::new(),
+            headers: pairs
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            body: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn budget_defaults_to_unlimited() {
+        let b = effective_budget(&ServicePolicy::default(), &req_with_headers(&[])).unwrap();
+        assert!(b.is_unlimited());
+        assert_eq!(b.on_exhausted, OnExhausted::Degrade);
+    }
+
+    #[test]
+    fn budget_headers_are_clamped_by_ceilings() {
+        let policy = ServicePolicy {
+            max_steps_ceiling: Some(1000),
+            deadline_ms_ceiling: Some(50),
+            ..ServicePolicy::default()
+        };
+        let b = effective_budget(
+            &policy,
+            &req_with_headers(&[
+                ("x-padfa-max-steps", "999999"),
+                ("x-padfa-deadline-ms", "10"),
+                ("x-padfa-strict", "1"),
+            ]),
+        )
+        .unwrap();
+        assert_eq!(b.max_steps, Some(1000)); // clamped to the ceiling
+        assert_eq!(b.deadline_ms, Some(10)); // under the ceiling: kept
+        assert_eq!(b.on_exhausted, OnExhausted::Error);
+        // Ceilings alone do not impose a budget on unadorned requests.
+        let b = effective_budget(&policy, &req_with_headers(&[])).unwrap();
+        assert!(b.is_unlimited());
+    }
+
+    #[test]
+    fn budget_policy_defaults_apply_without_headers() {
+        let policy = ServicePolicy {
+            default_max_steps: Some(5000),
+            max_steps_ceiling: Some(1000),
+            ..ServicePolicy::default()
+        };
+        let b = effective_budget(&policy, &req_with_headers(&[])).unwrap();
+        assert_eq!(b.max_steps, Some(1000)); // defaults are clamped too
+    }
+
+    #[test]
+    fn bad_budget_headers_are_rejected() {
+        let p = ServicePolicy::default();
+        assert!(effective_budget(&p, &req_with_headers(&[("x-padfa-max-steps", "lots")])).is_err());
+        assert!(effective_budget(&p, &req_with_headers(&[("x-padfa-strict", "yes")])).is_err());
+    }
+
+    #[test]
+    fn shed_responses_carry_retry_after() {
+        let p = ServicePolicy::default();
+        let overloaded = shed_response(&p, false);
+        assert_eq!(overloaded.status, 429);
+        assert!(overloaded.extra.iter().any(|(k, _)| *k == "Retry-After"));
+        let draining = shed_response(&p, true);
+        assert_eq!(draining.status, 503);
+        assert!(String::from_utf8(draining.body)
+            .unwrap()
+            .contains("draining"));
+    }
+
+    #[test]
+    fn prometheus_rendering_sanitizes_names() {
+        let reg = MetricsRegistry::new();
+        reg.counter("service.requests").add(3);
+        reg.histogram("service.latency.analyze").record_ns(1000);
+        let text = prometheus_text(&reg);
+        assert!(text.contains("# TYPE padfa_service_requests counter\npadfa_service_requests 3\n"));
+        assert!(text.contains("padfa_service_latency_analyze_ns_count 1\n"));
+        assert!(text.contains("padfa_service_latency_analyze_ns{quantile=\"0.5\"}"));
+    }
+}

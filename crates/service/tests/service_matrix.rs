@@ -1,0 +1,556 @@
+//! The service-layer fault matrix and behavioral contract, exercised
+//! over real sockets against an in-process [`Server`].
+//!
+//! Acceptance (mirrors the batch-side fault matrix): under injected
+//! worker panics, store IO faults mid-request, torn client disconnects,
+//! and overload, the daemon never returns a wrong non-error result,
+//! never crashes, and always drains to a clean exit.
+
+use padfa_core::{IoFaultKind, IoFaultPlan, IoFaultSpec, Store, StoreConfig};
+use padfa_rt::{ServiceFaultKind, ServiceFaultPlan};
+use padfa_service::{Server, ServiceDeps, ServicePolicy};
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A loop nest whose hot loop needs a run-time test — exercises the
+/// predicated path end to end, not just a trivially parallel loop.
+const PROGRAM: &str = "proc main(n: int, x: int) {
+    array help[101];
+    array a[100, 2];
+    for@hot i = 1 to n {
+        if (x > 5) { help[i] = a[i, 1]; }
+        a[i, 2] = help[i + 1];
+    }
+}";
+
+struct Reply {
+    status: u16,
+    headers: BTreeMap<String, String>,
+    body: Vec<u8>,
+}
+
+/// Issue one request and read the reply to EOF (the server always
+/// closes). Panics on transport errors: every test expects a live
+/// server.
+fn request(
+    addr: SocketAddr,
+    method: &str,
+    target: &str,
+    headers: &[(&str, &str)],
+    body: &[u8],
+) -> Reply {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let mut head = format!("{method} {target} HTTP/1.1\r\nHost: t\r\n");
+    if method == "POST" {
+        head.push_str(&format!("Content-Length: {}\r\n", body.len()));
+    }
+    for (k, v) in headers {
+        head.push_str(&format!("{k}: {v}\r\n"));
+    }
+    head.push_str("\r\n");
+    // Best-effort writes: an early reply (413, 429) can close the
+    // socket while we are still sending the body.
+    let _ = stream.write_all(head.as_bytes());
+    let _ = stream.write_all(body);
+    let mut raw = Vec::new();
+    // read_to_end surfaces ECONNRESET when the peer closed with unread
+    // request bytes pending; keep whatever arrived before that.
+    let _ = stream.read_to_end(&mut raw);
+    parse_reply(&raw)
+}
+
+fn parse_reply(raw: &[u8]) -> Reply {
+    let head_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .expect("no header terminator in reply");
+    let head = std::str::from_utf8(&raw[..head_end]).unwrap();
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().unwrap();
+    let status: u16 = status_line.split(' ').nth(1).unwrap().parse().unwrap();
+    let headers: BTreeMap<String, String> = lines
+        .filter_map(|l| l.split_once(':'))
+        .map(|(k, v)| (k.trim().to_ascii_lowercase(), v.trim().to_string()))
+        .collect();
+    Reply {
+        status,
+        headers,
+        body: raw[head_end + 4..].to_vec(),
+    }
+}
+
+fn body_str(r: &Reply) -> String {
+    String::from_utf8(r.body.clone()).unwrap()
+}
+
+fn analyze(addr: SocketAddr) -> Reply {
+    request(addr, "POST", "/analyze", &[], PROGRAM.as_bytes())
+}
+
+fn quick_policy() -> ServicePolicy {
+    ServicePolicy {
+        read_timeout: Duration::from_millis(500),
+        drain_deadline: Duration::from_secs(10),
+        ..ServicePolicy::default()
+    }
+}
+
+fn start(policy: ServicePolicy, deps: ServiceDeps) -> Server {
+    Server::start("127.0.0.1:0", policy, deps).unwrap()
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!(
+        "padfa-service-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+#[test]
+fn endpoints_respond_with_their_contracts() {
+    let server = start(quick_policy(), ServiceDeps::default());
+    let addr = server.addr();
+
+    let health = request(addr, "GET", "/healthz", &[], b"");
+    assert_eq!(health.status, 200);
+    assert_eq!(body_str(&health), "{\"status\":\"ok\"}");
+
+    let ready = request(addr, "GET", "/readyz", &[], b"");
+    assert_eq!(ready.status, 200);
+
+    let ok = analyze(addr);
+    assert_eq!(ok.status, 200);
+    let body = body_str(&ok);
+    assert!(body.contains("\"label\":\"hot\""), "body: {body}");
+    assert!(body.contains("\"outcome\":\"parallel-if\""), "body: {body}");
+    assert!(body.contains("\"test\":"), "body: {body}");
+    assert!(!body.contains("ms\":"), "timing leaked into body: {body}");
+
+    let explain = request(addr, "POST", "/explain?loop=hot", &[], PROGRAM.as_bytes());
+    assert_eq!(explain.status, 200);
+    let explain_body = body_str(&explain);
+    assert!(explain_body.contains("\"winner\""), "body: {explain_body}");
+    assert!(explain_body.contains("\"mechanisms\""));
+
+    let missing = request(addr, "POST", "/explain?loop=nope", &[], PROGRAM.as_bytes());
+    assert_eq!(missing.status, 404);
+    assert!(body_str(&missing).contains("loop_not_found"));
+
+    let metrics = request(addr, "GET", "/metrics", &[], b"");
+    assert_eq!(metrics.status, 200);
+    let text = body_str(&metrics);
+    assert!(text.contains("padfa_service_requests"), "metrics: {text}");
+    assert!(text.contains("padfa_service_latency_analyze_ns_count"));
+
+    let nf = request(addr, "GET", "/nope", &[], b"");
+    assert_eq!(nf.status, 404);
+    let mna = request(addr, "GET", "/analyze", &[], b"");
+    assert_eq!(mna.status, 405);
+    let bad_variant = request(
+        addr,
+        "POST",
+        "/analyze?variant=magic",
+        &[],
+        PROGRAM.as_bytes(),
+    );
+    assert_eq!(bad_variant.status, 400);
+    let garbage = request(addr, "POST", "/analyze", &[], b"proc {{{{");
+    assert_eq!(garbage.status, 400);
+    assert!(body_str(&garbage).contains("\"kind\":\"parse\""));
+
+    let report = server.shutdown();
+    assert!(report.clean);
+    assert_eq!(report.panics, 0);
+    assert_eq!(report.completed, report.admitted);
+}
+
+#[test]
+fn budget_headers_drive_typed_responses() {
+    let server = start(quick_policy(), ServiceDeps::default());
+    let addr = server.addr();
+
+    // Strict + starved budget: typed 422, not a crash or a wrong result.
+    let strict = request(
+        addr,
+        "POST",
+        "/analyze",
+        &[("X-Padfa-Max-Steps", "1"), ("X-Padfa-Strict", "1")],
+        PROGRAM.as_bytes(),
+    );
+    assert_eq!(strict.status, 422);
+    assert!(body_str(&strict).contains("budget_exhausted"));
+
+    // Degrade (default): 200 with the degradation visible in the body.
+    let degraded = request(
+        addr,
+        "POST",
+        "/analyze",
+        &[("X-Padfa-Max-Steps", "1")],
+        PROGRAM.as_bytes(),
+    );
+    assert_eq!(degraded.status, 200);
+    assert!(body_str(&degraded).contains("\"degraded_procs\":1"));
+
+    let bad = request(
+        addr,
+        "POST",
+        "/analyze",
+        &[("X-Padfa-Max-Steps", "a lot")],
+        PROGRAM.as_bytes(),
+    );
+    assert_eq!(bad.status, 400);
+
+    assert!(server.shutdown().clean);
+}
+
+#[test]
+fn oversized_and_lengthless_bodies_are_rejected() {
+    let policy = ServicePolicy {
+        max_body_bytes: 64,
+        ..quick_policy()
+    };
+    let server = start(policy, ServiceDeps::default());
+    let addr = server.addr();
+
+    let big = request(addr, "POST", "/analyze", &[], &[b'x'; 1000]);
+    assert_eq!(big.status, 413);
+
+    // POST without Content-Length: write the head by hand.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .write_all(b"POST /analyze HTTP/1.1\r\nHost: t\r\n\r\n")
+        .unwrap();
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).unwrap();
+    assert_eq!(parse_reply(&raw).status, 411);
+
+    // The daemon still serves correctly afterwards.
+    assert_eq!(request(addr, "GET", "/healthz", &[], b"").status, 200);
+    assert!(server.shutdown().clean);
+}
+
+#[test]
+fn concurrent_identical_requests_are_byte_identical() {
+    let server = start(quick_policy(), ServiceDeps::default());
+    let addr = server.addr();
+    let reference = analyze(server.addr());
+    assert_eq!(reference.status, 200);
+    let expected = reference.body.clone();
+    let threads: Vec<_> = (0..8)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let r = analyze(addr);
+                assert_eq!(r.status, 200);
+                r.body
+            })
+        })
+        .collect();
+    for t in threads {
+        assert_eq!(t.join().unwrap(), expected, "concurrent body diverged");
+    }
+    assert!(server.shutdown().clean);
+}
+
+#[test]
+fn warm_store_serves_byte_identical_responses() {
+    let dir = temp_dir("warm");
+    let open_store = || Arc::new(Store::open(StoreConfig::new(&dir, "test-rev")));
+
+    // Cold server: first request populates the store, 8 concurrent
+    // requests race it warm. All bodies must match.
+    let server = start(
+        quick_policy(),
+        ServiceDeps {
+            store: Some(open_store()),
+            ..ServiceDeps::default()
+        },
+    );
+    let addr = server.addr();
+    let cold = analyze(addr);
+    assert_eq!(cold.status, 200);
+    let expected = cold.body.clone();
+    let threads: Vec<_> = (0..8)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let r = analyze(addr);
+                assert_eq!(r.status, 200);
+                r.body
+            })
+        })
+        .collect();
+    for t in threads {
+        assert_eq!(t.join().unwrap(), expected, "cold/racing body diverged");
+    }
+    assert!(server.shutdown().clean);
+
+    // Fresh server over the same store directory: fully warm replay
+    // must still be byte-identical.
+    let server = start(
+        quick_policy(),
+        ServiceDeps {
+            store: Some(open_store()),
+            ..ServiceDeps::default()
+        },
+    );
+    let warm = analyze(server.addr());
+    assert_eq!(warm.status, 200);
+    assert_eq!(warm.body, expected, "warm body diverged from cold");
+    // The warm run actually hit the store.
+    let metrics = request(server.addr(), "GET", "/metrics", &[], b"");
+    let text = body_str(&metrics);
+    let hits_line = text
+        .lines()
+        .find(|l| l.starts_with("padfa_store_hits "))
+        .unwrap_or("padfa_store_hits 0");
+    let hits: u64 = hits_line.split(' ').nth(1).unwrap().parse().unwrap();
+    assert!(hits > 0, "warm request did not hit the store: {text}");
+    assert!(server.shutdown().clean);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn budgeted_requests_bypass_the_store() {
+    let dir = temp_dir("bypass");
+    let store = Arc::new(Store::open(StoreConfig::new(&dir, "test-rev")));
+    let server = start(
+        quick_policy(),
+        ServiceDeps {
+            store: Some(store),
+            ..ServiceDeps::default()
+        },
+    );
+    let addr = server.addr();
+    let r = request(
+        addr,
+        "POST",
+        "/analyze",
+        &[("X-Padfa-Max-Steps", "100000000")],
+        PROGRAM.as_bytes(),
+    );
+    assert_eq!(r.status, 200);
+    let metrics = request(addr, "GET", "/metrics", &[], b"");
+    let text = body_str(&metrics);
+    // A budgeted request must never touch the store: no hits, no
+    // misses, no puts recorded.
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("padfa_store_") {
+            if let Some((name, v)) = rest.split_once(' ') {
+                if ["hits", "misses", "puts"].contains(&name) {
+                    assert_eq!(v, "0", "budgeted request touched the store: {line}");
+                }
+            }
+        }
+    }
+    assert!(server.shutdown().clean);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn worker_panic_costs_one_500_and_the_pool_recovers() {
+    // One worker, so the replacement path is load-bearing: if the
+    // panicked worker is not replaced, request 2 hangs forever.
+    let policy = ServicePolicy {
+        workers: 1,
+        ..quick_policy()
+    };
+    let deps = ServiceDeps {
+        faults: ServiceFaultPlan::at(ServiceFaultKind::WorkerPanic, 1),
+        ..ServiceDeps::default()
+    };
+    let server = start(policy, deps);
+    let addr = server.addr();
+
+    let hit = analyze(addr);
+    assert_eq!(hit.status, 500);
+    assert!(body_str(&hit).contains("\"kind\":\"panic\""));
+
+    // The very next request must be served correctly by the fresh
+    // worker — byte-identical to an unfaulted server's answer.
+    let after = analyze(addr);
+    assert_eq!(after.status, 200);
+    assert!(body_str(&after).contains("\"outcome\":\"parallel-if\""));
+
+    let report = server.shutdown();
+    assert!(report.clean);
+    assert_eq!(report.panics, 1);
+    assert_eq!(report.admitted, 2);
+    assert_eq!(report.completed, 2);
+}
+
+#[test]
+fn repeated_panics_never_kill_the_daemon() {
+    // Panic on every other request; the pool must absorb all of them.
+    let mut plan = ServiceFaultPlan::none();
+    for k in [1u64, 3, 5, 7] {
+        plan = plan.with(padfa_rt::ServiceFaultSpec {
+            at_request: k,
+            kind: ServiceFaultKind::WorkerPanic,
+        });
+    }
+    let policy = ServicePolicy {
+        workers: 2,
+        ..quick_policy()
+    };
+    let server = start(
+        policy,
+        ServiceDeps {
+            faults: plan,
+            ..ServiceDeps::default()
+        },
+    );
+    let addr = server.addr();
+    let mut codes = Vec::new();
+    for _ in 0..8 {
+        codes.push(analyze(addr).status);
+    }
+    assert_eq!(codes.iter().filter(|&&c| c == 500).count(), 4);
+    assert_eq!(codes.iter().filter(|&&c| c == 200).count(), 4);
+    let report = server.shutdown();
+    assert!(report.clean);
+    assert_eq!(report.panics, 4);
+}
+
+#[test]
+fn torn_response_truncates_exactly_one_reply() {
+    let deps = ServiceDeps {
+        faults: ServiceFaultPlan::at(ServiceFaultKind::TornResponse, 1),
+        ..ServiceDeps::default()
+    };
+    let server = start(quick_policy(), deps);
+    let addr = server.addr();
+
+    // Request 1: the server computes a full success response but tears
+    // the write halfway. The client sees a short read against the
+    // advertised Content-Length and must treat the reply as corrupt.
+    let torn = analyze(addr);
+    let advertised: usize = torn.headers.get("content-length").unwrap().parse().unwrap();
+    assert!(
+        torn.body.len() < advertised,
+        "torn reply was complete: {} of {advertised} bytes",
+        torn.body.len()
+    );
+
+    // Request 2 is whole again.
+    let whole = analyze(addr);
+    assert_eq!(whole.status, 200);
+    assert_eq!(
+        whole.body.len(),
+        whole.headers["content-length"].parse::<usize>().unwrap()
+    );
+    assert!(server.shutdown().clean);
+}
+
+#[test]
+fn store_io_faults_mid_request_degrade_silently() {
+    let dir = temp_dir("storefault");
+    // Exhaust write retries early: persistence degrades mid-request,
+    // the response must not change.
+    let faults = IoFaultPlan::at(IoFaultKind::WriteFail, 1)
+        .with(IoFaultSpec {
+            at_op: 2,
+            kind: IoFaultKind::WriteFail,
+        })
+        .with(IoFaultSpec {
+            at_op: 3,
+            kind: IoFaultKind::WriteFail,
+        });
+    let store = Arc::new(Store::open(
+        StoreConfig::new(&dir, "test-rev").with_faults(faults),
+    ));
+    let server = start(
+        quick_policy(),
+        ServiceDeps {
+            store: Some(store),
+            ..ServiceDeps::default()
+        },
+    );
+    let addr = server.addr();
+    let faulted = analyze(addr);
+    assert_eq!(faulted.status, 200);
+
+    // Reference: the same request against a faultless, storeless server.
+    let clean = start(quick_policy(), ServiceDeps::default());
+    let reference = analyze(clean.addr());
+    assert_eq!(faulted.body, reference.body, "store fault changed a result");
+    assert!(clean.shutdown().clean);
+    assert!(server.shutdown().clean);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn torn_client_disconnects_leave_the_daemon_serving() {
+    let server = start(quick_policy(), ServiceDeps::default());
+    let addr = server.addr();
+
+    // Promise a body, send a fragment, vanish.
+    {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(b"POST /analyze HTTP/1.1\r\nContent-Length: 5000\r\n\r\nproc ")
+            .unwrap();
+    } // dropped: RST or FIN mid-body
+
+    // Say nothing at all until the read timeout reaps the connection.
+    {
+        let _s = TcpStream::connect(addr).unwrap();
+        std::thread::sleep(Duration::from_millis(700)); // > read_timeout
+    }
+
+    let after = analyze(addr);
+    assert_eq!(after.status, 200);
+    let report = server.shutdown();
+    assert!(report.clean);
+    assert_eq!(report.panics, 0);
+}
+
+#[test]
+fn overload_sheds_with_429_and_drain_answers_queue_with_503() {
+    // One worker pinned by a slow-loris client + queue depth 1: the
+    // third connection must be shed immediately with Retry-After.
+    let policy = ServicePolicy {
+        workers: 1,
+        queue_depth: 1,
+        read_timeout: Duration::from_millis(1500),
+        drain_deadline: Duration::from_secs(10),
+        ..ServicePolicy::default()
+    };
+    let server = start(policy, ServiceDeps::default());
+    let addr = server.addr();
+
+    // Pin the only worker: connect and say nothing.
+    let pin = TcpStream::connect(addr).unwrap();
+    std::thread::sleep(Duration::from_millis(200)); // let the worker pick it up
+
+    // Fill the queue with a real request (it will be drained with 503).
+    let queued = std::thread::spawn(move || analyze(addr));
+    std::thread::sleep(Duration::from_millis(200));
+
+    // Overflow: shed at the admission gate.
+    let shed = analyze(addr);
+    assert_eq!(shed.status, 429);
+    assert_eq!(
+        shed.headers.get("retry-after").map(String::as_str),
+        Some("1")
+    );
+    assert!(body_str(&shed).contains("overloaded"));
+
+    // Drain while the queue still holds the unstarted request: it gets
+    // a 503, the pinned connection resolves via read timeout, and the
+    // drain is clean.
+    let report = server.shutdown();
+    let queued_reply = queued.join().unwrap();
+    assert_eq!(queued_reply.status, 503);
+    assert!(body_str(&queued_reply).contains("draining"));
+    assert!(report.clean, "drain exceeded its deadline");
+    assert_eq!(report.shed, 1);
+    assert_eq!(report.drained_in_queue, 1);
+    drop(pin);
+}
