@@ -12,7 +12,7 @@
 
 use padfa_bench::median_time;
 use padfa_core::{
-    analyze_program_session, AnalysisSession, Options, StatsSnapshot, Store, StoreConfig,
+    analyze_program_session, flight, AnalysisSession, Options, StatsSnapshot, Store, StoreConfig,
 };
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -198,6 +198,33 @@ fn main() {
     drop(warm_store);
     let _ = std::fs::remove_dir_all(&store_dir);
 
+    // Flight-recorder overhead: the always-on recorder's cost over a
+    // full storeless corpus pass, measured against the same pass with
+    // the recorder gated off in-process. The budget is <= 2% (enforced
+    // by CI); the raw percentage is stamped below either way.
+    let corpus_wall = || {
+        for bench in &corpus {
+            let sess = AnalysisSession::new(opts.clone()).with_jobs(1);
+            let _ = analyze_program_session(&bench.program, &sess).expect("analysis failed");
+        }
+    };
+    flight::set_enabled(true);
+    for _ in 0..warmup {
+        corpus_wall();
+    }
+    let flight_on_ms = median_time(runs, corpus_wall).as_secs_f64() * 1e3;
+    flight::set_enabled(false);
+    for _ in 0..warmup {
+        corpus_wall();
+    }
+    let flight_off_ms = median_time(runs, corpus_wall).as_secs_f64() * 1e3;
+    flight::set_enabled(true);
+    let flight_overhead_pct = if flight_off_ms > 0.0 {
+        (flight_on_ms - flight_off_ms) / flight_off_ms * 100.0
+    } else {
+        0.0
+    };
+
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str("  \"schema_version\": 3,\n");
@@ -285,6 +312,16 @@ fn main() {
         store_stats.misses,
         store_stats.loaded,
     );
+    // Re-stamp the store line with a trailing comma for the section
+    // that follows.
+    json.truncate(json.len() - 1);
+    json.push_str(",\n");
+    let _ = writeln!(
+        json,
+        "  \"flight_overhead\": {{\"recorder_on_wall_ms\": {flight_on_ms:.3}, \
+         \"recorder_off_wall_ms\": {flight_off_ms:.3}, \
+         \"overhead_pct\": {flight_overhead_pct:.2}, \"budget_pct\": 2.0}}"
+    );
     json.push_str("}\n");
 
     std::fs::write(&out_path, &json).unwrap_or_else(|e| {
@@ -332,6 +369,10 @@ fn main() {
             0.0
         },
         store_stats.hit_rate() * 100.0,
+    );
+    println!(
+        "flight: corpus recorder-on {flight_on_ms:.1} ms, recorder-off {flight_off_ms:.1} ms \
+         ({flight_overhead_pct:+.2}% overhead, budget 2%)"
     );
     println!(
         "\nwrote {out_path}; best memo hit rate: {:.1}% ({})",

@@ -5,6 +5,7 @@ use crate::budget::{self, OnExhausted};
 use crate::component::PredComponent;
 use crate::deptest::test_loop;
 use crate::error::AnalysisError;
+use crate::flight;
 use crate::interproc::{
     call_order, conservative_summary, degraded_summary, translate_call, CallOrder,
 };
@@ -85,6 +86,7 @@ pub fn analyze_program_session(
 ) -> Result<(AnalysisResult, HashMap<String, Arc<Summary>>), AnalysisError> {
     {
         let _s = trace::span("pre_intern", "driver");
+        let _f = flight::span(flight::EventKind::Driver, "pre_intern");
         sess.pre_intern(prog);
     }
     let co = call_order(prog);
@@ -99,6 +101,8 @@ pub fn analyze_program_session(
     for (level_no, level) in co.levels.iter().enumerate() {
         let mut level_span = trace::span(format!("level{level_no}"), "driver");
         level_span.arg("procs", level.len().to_string());
+        let mut level_flight = flight::span(flight::EventKind::Driver, format!("level{level_no}"));
+        level_flight.set_value(level.len() as u64);
         if store_eligible {
             // Sequential per-level key computation: callee keys come
             // from strictly lower levels, already present in the map.
@@ -219,6 +223,7 @@ fn analyze_proc(
     }
     budget::install(&sess.opts.budget);
     let mut proc_span = trace::span(format!("proc {}", proc.name), "summarize");
+    let mut proc_flight = flight::span(flight::EventKind::Summarize, proc.name.clone());
     let outcome = catch_unwind(AssertUnwindSafe(|| {
         let mut az = Analyzer {
             prog,
@@ -237,8 +242,11 @@ fn analyze_proc(
     let meter = budget::take();
     sess.note_proc_meter(&meter);
     proc_span.arg("steps", meter.steps.to_string());
-    drop(proc_span);
+    proc_span.end();
+    proc_flight.set_value(meter.steps);
+    drop(proc_flight);
     trace::flush_lattice_batch();
+    flight::flush_lattice_ops(&proc.name);
     let res = match outcome {
         Ok((summary, reports)) => {
             if let (Some(info), Some(s)) = (store_info, sess.store()) {
@@ -464,10 +472,9 @@ impl<'a> Analyzer<'a> {
     fn handle_loop(&mut self, proc: &Procedure, l: &Loop, depth: usize) -> Summary {
         let sess = self.sess;
         let opts = &sess.opts;
-        let _loop_span = trace::span(
-            l.label.clone().unwrap_or_else(|| format!("L{}", l.id.0)),
-            "loop",
-        );
+        let loop_name = l.label.clone().unwrap_or_else(|| format!("L{}", l.id.0));
+        let _loop_span = trace::span(loop_name.clone(), "loop");
+        let _loop_flight = flight::span(flight::EventKind::Loop, loop_name);
 
         // Bound expressions are read at loop entry.
         let mut bound_reads = Summary::empty();

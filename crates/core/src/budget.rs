@@ -190,21 +190,23 @@ pub(crate) fn armed() -> bool {
 pub(crate) fn charge(n: u64) {
     let exhausted = METER.with(|m| {
         let mut borrow = m.borrow_mut();
-        let Some(mt) = borrow.as_mut() else {
-            return false;
-        };
+        let mt = borrow.as_mut()?;
         mt.steps = mt.steps.saturating_add(n);
         if mt.steps > mt.max_steps {
-            return true;
+            return Some(("max-steps", mt.steps));
         }
         if let Some(dl) = mt.deadline {
             if mt.steps % DEADLINE_STRIDE == 0 && Instant::now() > dl {
-                return true;
+                return Some(("deadline", mt.steps));
             }
         }
-        false
+        None
     });
-    if exhausted {
+    if let Some((reason, steps)) = exhausted {
+        // The flight recorder sees the exhaustion at the exact
+        // operation (with the reason the meter tripped on); the trace
+        // instant with the procedure name follows at the catch site.
+        crate::flight::instant(crate::flight::EventKind::BudgetExhausted, reason, steps);
         // The one sanctioned unwind in this crate: the watchdog raises
         // `Exhausted` here and `analyze_proc` catches it at the
         // procedure boundary, where it becomes a degraded summary or a

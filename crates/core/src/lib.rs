@@ -70,6 +70,7 @@ pub mod budget;
 pub mod component;
 pub mod deptest;
 pub mod error;
+pub mod flight;
 pub mod interproc;
 pub mod metrics;
 pub mod options;
@@ -88,6 +89,7 @@ pub use analyze::{analyze_program, analyze_program_session, analyze_program_with
 pub use budget::{OnExhausted, WorkBudget};
 pub use component::{GuardedRegion, PredComponent};
 pub use error::{AnalysisError, StoreError};
+pub use flight::FlightRecorder;
 pub use metrics::{Counter, Histogram, MetricsRegistry, QueryKind};
 pub use options::{Options, Variant};
 pub use pool::par_map_jobs;

@@ -79,7 +79,8 @@ impl Counter {
     }
 }
 
-const BUCKETS: usize = 64;
+/// Number of power-of-two histogram buckets.
+pub const BUCKETS: usize = 64;
 
 /// A latency histogram over power-of-two nanosecond buckets: bucket `k`
 /// holds samples in `[2^(k-1), 2^k)` (bucket 0 holds 0 ns).
@@ -120,6 +121,25 @@ impl Histogram {
 
     pub fn max_ns(&self) -> u64 {
         self.max_ns.load(Ordering::Relaxed)
+    }
+
+    /// Per-bucket sample counts, in bucket order (see [`BUCKETS`]).
+    /// The basis for cumulative Prometheus `_bucket{le=...}` series.
+    pub fn buckets(&self) -> [u64; BUCKETS] {
+        std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
+    }
+
+    /// Inclusive upper bound (ns) of bucket `idx`: 0 for bucket 0,
+    /// `2^idx - 1` otherwise. The last bucket is open-ended — render
+    /// it as `+Inf`.
+    pub const fn bucket_bound_ns(idx: usize) -> u64 {
+        if idx == 0 {
+            0
+        } else if idx >= BUCKETS - 1 {
+            u64::MAX
+        } else {
+            (1u64 << idx) - 1
+        }
     }
 
     /// Upper bound of the bucket containing the `q`-quantile sample

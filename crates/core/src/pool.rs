@@ -35,7 +35,7 @@
 //!   overflow delta is migrated back to the calling thread, so
 //!   per-loop deltas keep summing the same events.
 
-use crate::{budget, trace};
+use crate::{budget, flight, trace};
 use padfa_omega::limit_stats;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -124,31 +124,45 @@ where
     let chunk = items.len().div_ceil((workers + 1) * 4).max(1);
     let cursor = AtomicUsize::new(0);
     let f_ref = &f;
-    let (claimed, migrated) = std::thread::scope(|scope| {
+    // Worker lanes inherit the caller's flight trace tag (so events
+    // they record stay attributable to the request being served) and
+    // hand their lattice-op deltas back, keeping per-procedure flight
+    // totals jobs-deterministic — the same migration `limit_stats`
+    // does for cap-hit attribution.
+    let parent_trace = flight::current_trace();
+    let (claimed, migrated, flight_ops) = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 scope.spawn(|| {
+                    let _tag = flight::set_trace(parent_trace);
                     let got = run_claims(items, &cursor, chunk, f_ref);
                     trace::flush_lattice_batch();
-                    (got, limit_stats::thread_overflows())
+                    (
+                        got,
+                        limit_stats::thread_overflows(),
+                        flight::take_lattice_ops(),
+                    )
                 })
             })
             .collect();
         let mut all = run_claims(items, &cursor, chunk, f_ref);
         let mut migrated = 0u64;
+        let mut flight_ops = 0u64;
         for h in handles {
             // Per-item panics were caught inside the task, so a join
             // error could only come from the scaffold itself; its items
             // are recomputed inline by the merge below.
-            if let Ok((got, delta)) = h.join() {
+            if let Ok((got, delta, ops)) = h.join() {
                 all.extend(got);
                 migrated += delta;
+                flight_ops += ops;
             }
         }
-        (all, migrated)
+        (all, migrated, flight_ops)
     });
     tokens.release(workers);
     limit_stats::adopt_thread_overflows(migrated);
+    flight::adopt_lattice_ops(flight_ops);
 
     // Ordered merge: re-raise the lowest-index panic (sequential
     // first-failure selection), otherwise hand back results in order.

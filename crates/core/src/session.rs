@@ -348,6 +348,16 @@ struct SessionMetrics {
 
 impl AnalysisSession {
     pub fn new(opts: Options) -> AnalysisSession {
+        // Surface the tier kill-switch in the flight ring: one instant
+        // per session, so a forced-general run is attributable
+        // post-hoc (per request, once trace-tagged by the service).
+        if dense::force_general() {
+            crate::flight::instant(
+                crate::flight::EventKind::TierForcedGeneral,
+                "PADFA_FORCE_GENERAL_TIER",
+                1,
+            );
+        }
         AnalysisSession {
             opts,
             jobs: 1,
@@ -510,6 +520,7 @@ impl AnalysisSession {
     #[inline]
     fn probe(&self, kind: QueryKind) -> Option<Instant> {
         trace::note_lattice_op(kind.name());
+        crate::flight::note_lattice_op();
         self.metrics.as_ref().map(|_| Instant::now())
     }
 

@@ -330,6 +330,10 @@ impl Store {
     }
 
     fn warn(&self, e: StoreError) {
+        // Every store degradation funnels through here — mirror it
+        // into the flight ring so a degraded request is attributable
+        // post-hoc without scraping stderr.
+        crate::flight::instant(crate::flight::EventKind::StoreDegraded, &e.to_string(), 1);
         lock(&self.warnings).push(e);
     }
 
@@ -441,6 +445,11 @@ impl Store {
                         return Err(e);
                     }
                     self.retries.fetch_add(1, Ordering::Relaxed);
+                    crate::flight::instant(
+                        crate::flight::EventKind::StoreRetry,
+                        "read",
+                        attempt.into(),
+                    );
                     (self.sleeper)(self.retry.backoff(attempt));
                 }
             }
@@ -551,6 +560,11 @@ impl Store {
     ) {
         self.quarantined
             .fetch_add(ranges.len() as u64, Ordering::Relaxed);
+        crate::flight::instant(
+            crate::flight::EventKind::StoreQuarantined,
+            detail,
+            ranges.len() as u64,
+        );
         let seq = self.quarantine_seq.fetch_add(1, Ordering::Relaxed);
         let sidecar =
             self.dir
@@ -870,6 +884,11 @@ impl Store {
                 return false;
             }
             self.retries.fetch_add(1, Ordering::Relaxed);
+            crate::flight::instant(
+                crate::flight::EventKind::StoreRetry,
+                "append",
+                attempt.into(),
+            );
             (self.sleeper)(self.retry.backoff(attempt));
         }
     }

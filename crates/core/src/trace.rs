@@ -117,12 +117,16 @@ mod imp {
             tids: HashMap::new(),
         });
         CAPTURING.store(true, Ordering::SeqCst);
+        // Mark the deep-dive window in the always-on flight ring so a
+        // post-hoc dump shows when (and that) a Chrome capture ran.
+        crate::flight::instant(crate::flight::EventKind::TraceCapture, "armed", 1);
     }
 
     /// Disarm the collector and render the captured events as Chrome
     /// trace-event JSON. `None` when no capture was armed.
     pub fn finish_capture() -> Option<String> {
         CAPTURING.store(false, Ordering::SeqCst);
+        crate::flight::instant(crate::flight::EventKind::TraceCapture, "disarmed", 0);
         let c = lock(&COLLECTOR).take()?;
         let mut events = c.events;
         events.sort_by_key(|e| (e.ts_us, e.tid));
@@ -210,6 +214,9 @@ mod imp {
                 s.args.push((key, value));
             }
         }
+
+        /// Close the span now instead of at end of scope.
+        pub fn end(self) {}
     }
 
     impl Drop for Span {
@@ -295,6 +302,9 @@ mod noop {
     impl Span {
         #[inline(always)]
         pub fn arg(&mut self, _key: &'static str, _value: String) {}
+
+        #[inline(always)]
+        pub fn end(self) {}
     }
 
     #[inline(always)]

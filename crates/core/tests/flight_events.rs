@@ -1,0 +1,68 @@
+//! The flight recorder must not perturb — or be perturbed by — the
+//! parallel driver: the *set* of structured events a run emits (kinds,
+//! begin/end/instant phases, labels, and their counts) is part of the
+//! deterministic output surface. Only timing fields (`ts_us`, `dur_us`,
+//! `tid`, `seq`) may differ between worker counts.
+
+use std::collections::BTreeMap;
+
+use padfa_core::{analyze_program_session, flight, AnalysisSession, Options};
+use padfa_ir::parse::parse_program;
+
+const PROGRAM: &str = "
+    proc leaf1(b: array[64], m: int) { for j = 1 to m { b[j] = 0.0; } }
+    proc leaf2(b: array[64], m: int) { for j = 1 to m { b[j] = b[j] + 1.0; } }
+    proc leaf3(b: array[64], m: int) {
+        for j = 1 to m { if (m > 10) { b[j] = 2.0; } }
+    }
+    proc mid(b: array[64], m: int) { call leaf1(b, m); call leaf2(b, m); }
+    proc main(n: int, x: int) {
+        array a[64];
+        for@one i = 1 to n { call mid(a, i); }
+        for@two i = 1 to n { if (x > 0) { call leaf3(a, i); } }
+        for@tri i = 1 to n { a[i] = a[i] + 1.0; }
+    }";
+
+/// Run the analysis under a fresh trace tag and return this run's
+/// events as `(kind, phase, label) -> count`. Tagging lets the test
+/// coexist with any other recorder traffic in the process, and the
+/// worker pool propagates the tag into its lanes, so parallel runs are
+/// fully captured too.
+fn event_counts(jobs: usize, trace_label: &str) -> BTreeMap<(String, char, String), usize> {
+    let key = flight::trace_key(trace_label);
+    let tag = flight::set_trace(key);
+    let prog = parse_program(PROGRAM).unwrap();
+    let sess = AnalysisSession::new(Options::predicated()).with_jobs(jobs);
+    analyze_program_session(&prog, &sess).unwrap();
+    drop(tag);
+    let mut counts = BTreeMap::new();
+    for e in flight::snapshot().iter().filter(|e| e.trace == key) {
+        *counts
+            .entry((e.kind.name().to_string(), e.phase.code(), e.label.clone()))
+            .or_insert(0usize) += 1;
+    }
+    counts
+}
+
+#[test]
+fn event_kinds_and_counts_are_identical_across_worker_counts() {
+    let baseline = event_counts(1, "flight-determinism-jobs1");
+    assert!(
+        !baseline.is_empty(),
+        "recorder produced no events for a full analysis run"
+    );
+    // The run must have hit the interesting phases, not just one span.
+    for kind in ["driver", "summarize", "loop", "lattice-batch"] {
+        assert!(
+            baseline.keys().any(|(k, _, _)| k == kind),
+            "no '{kind}' events recorded: {baseline:?}"
+        );
+    }
+    for jobs in [2, 4] {
+        let parallel = event_counts(jobs, &format!("flight-determinism-jobs{jobs}"));
+        assert_eq!(
+            baseline, parallel,
+            "flight event multiset diverged between --jobs 1 and --jobs {jobs}"
+        );
+    }
+}

@@ -3,8 +3,8 @@
 //!
 //! ```text
 //! padfa analyze <file.mf> [--variant base|guarded|predicated] [--all] [--summaries]
-//!                         [--jobs N] [--stats] [--max-steps N] [--deadline-ms N] [--strict]
-//!                         [--trace PATH] [--metrics-out PATH]
+//!                         [--jobs N] [--stats] [--profile] [--max-steps N] [--deadline-ms N]
+//!                         [--strict] [--trace PATH] [--metrics-out PATH]
 //!                         [--store DIR] [--no-store] [--inject store-FAULT]
 //! padfa explain <file.mf> [--loop <label-or-id>] [--json] [--variant V] [--jobs N]
 //! padfa run     <file.mf> [--workers N] [--seq] [--fuel N] [--deadline-ms N]
@@ -18,7 +18,10 @@
 //!               [--default-max-steps N] [--max-steps-ceiling N]
 //!               [--default-deadline-ms N] [--deadline-ms-ceiling N]
 //!               [--read-timeout-ms N] [--drain-deadline-ms N]
+//!               [--slow-ms N] [--slow-log PATH] [--debug-ring N]
+//!               [--flight-dump-dir DIR]
 //!               [--store DIR] [--no-store] [--inject FAULT]
+//! padfa promcheck [FILE]
 //! ```
 //!
 //! Scalar entry arguments are given positionally (`8 3 50`); integer
@@ -64,15 +67,29 @@
 //! per-procedure summarization, loop classification, and lattice-op
 //! batches across all worker threads. `--metrics-out PATH` writes the
 //! run's metrics-registry snapshot (counters + latency histograms).
+//! `--profile` prints a per-phase self-time table reconstructed from
+//! the always-on flight recorder (set `PADFA_NO_FLIGHT=1` to disable
+//! recording entirely, which also disables `--profile`).
 //!
 //! `serve` runs the analysis as a long-lived HTTP daemon (`POST
 //! /analyze`, `POST /explain`, `GET /healthz`, `GET /readyz`, `GET
-//! /metrics`) with bounded admission, per-request isolation, and
+//! /metrics`, `GET /debug/requests`, `GET /debug/flight`) with bounded
+//! admission, per-request isolation, request-scoped tracing, and
 //! graceful drain — see the `padfa-service` crate docs. `SIGINT` or
 //! `SIGTERM` drains in-flight work, flushes the store, and exits 0.
-//! `--inject` additionally accepts the service-layer faults
-//! `worker-panic[:K]`, `torn-response[:K]`, and
+//! `--slow-ms` sets the slow-request threshold (0 disables),
+//! `--slow-log` appends slow-request forensics records to a file,
+//! `--debug-ring` sizes the `/debug/requests` ring, and
+//! `--flight-dump-dir` is where flight-ring sidecars land on a worker
+//! panic or unclean drain. `--inject` additionally accepts the
+//! service-layer faults `worker-panic[:K]`, `torn-response[:K]`,
+//! `slow-request[:K[:MS]]`, `recorder-overflow[:K]`, and
 //! `service-seeded:SEED:COUNT` (keyed on admission order).
+//!
+//! `promcheck` validates a Prometheus text-exposition scrape (a file,
+//! or stdin when no path is given) against the same checker the test
+//! suite uses: every sample typed, histogram buckets cumulative, `+Inf`
+//! consistent with `_count`. CI scrapes `/metrics` and pipes it here.
 //!
 //! `corpus` runs the analysis over the full synthetic benchmark corpus,
 //! isolating each program behind `catch_unwind`, and streams one JSON
@@ -101,8 +118,8 @@ use std::process::exit;
 fn usage() -> ! {
     eprintln!(
         "usage:\n  padfa analyze <file.mf> [--variant base|guarded|predicated] [--all]\n               \
-         [--summaries] [--jobs N] [--stats] [--max-steps N] [--deadline-ms N] [--strict]\n               \
-         [--trace PATH] [--metrics-out PATH] [--store DIR] [--no-store]\n               \
+         [--summaries] [--jobs N] [--stats] [--profile] [--max-steps N] [--deadline-ms N]\n               \
+         [--strict] [--trace PATH] [--metrics-out PATH] [--store DIR] [--no-store]\n               \
          [--inject store-FAULT]\n  \
          padfa explain <file.mf> [--loop <label-or-id>] [--json] [--variant V] [--jobs N]\n  \
          padfa run <file.mf> [--workers N] [--seq] [--fuel N] [--deadline-ms N]\n            \
@@ -116,7 +133,9 @@ fn usage() -> ! {
          [--default-max-steps N] [--max-steps-ceiling N]\n              \
          [--default-deadline-ms N] [--deadline-ms-ceiling N]\n              \
          [--read-timeout-ms N] [--drain-deadline-ms N]\n              \
-         [--store DIR] [--no-store] [--inject FAULT]"
+         [--slow-ms N] [--slow-log PATH] [--debug-ring N] [--flight-dump-dir DIR]\n              \
+         [--store DIR] [--no-store] [--inject FAULT]\n  \
+         padfa promcheck [FILE]"
     );
     exit(2)
 }
@@ -370,6 +389,7 @@ fn cmd_analyze(args: &[String]) {
     let mut show_all = false;
     let mut show_summaries = false;
     let mut show_stats = false;
+    let mut show_profile = false;
     let mut jobs = 1usize;
     let mut budget = BudgetFlags::default();
     let mut store_flags = StoreFlags::default();
@@ -382,6 +402,7 @@ fn cmd_analyze(args: &[String]) {
             "--all" => show_all = true,
             "--summaries" => show_summaries = true,
             "--stats" => show_stats = true,
+            "--profile" => show_profile = true,
             "--store" => store_flags.dir = Some(it.next().cloned().unwrap_or_else(|| usage())),
             "--no-store" => store_flags.disabled = true,
             "--inject" => {
@@ -420,6 +441,9 @@ fn cmd_analyze(args: &[String]) {
         }
     }
     let path = file.unwrap_or_else(|| usage());
+    // Mark the flight-recorder high-water mark now so the profile table
+    // covers exactly this run's events (parse included).
+    let flight_wm = padfa::analysis::flight::watermark();
     if trace_out.is_some() {
         padfa::analysis::trace::start_capture();
     }
@@ -518,6 +542,49 @@ fn cmd_analyze(args: &[String]) {
     if show_stats {
         println!("\n== session statistics ==");
         print!("{}", result.stats);
+    }
+    if show_profile {
+        print_flight_profile(flight_wm);
+    }
+}
+
+/// Print the per-phase self-time table reconstructed from the flight
+/// recorder (`analyze --profile`). `watermark` bounds the table to the
+/// current run's events.
+fn print_flight_profile(watermark: u64) {
+    use padfa::analysis::flight;
+    if !flight::enabled() {
+        eprintln!(
+            "padfa: flight recorder is disabled (PADFA_NO_FLIGHT=1); \
+             no profile available"
+        );
+        return;
+    }
+    let events = flight::events_since(watermark);
+    let prof = flight::profile(&events);
+    println!("\n== flight profile (per phase) ==");
+    println!(
+        "{:<18} {:>6} {:>8} {:>12} {:>12} {:>10} {:>10}",
+        "phase", "spans", "instants", "total_us", "self_us", "max_us", "value"
+    );
+    for (kind, st) in &prof {
+        println!(
+            "{:<18} {:>6} {:>8} {:>12} {:>12} {:>10} {:>10}",
+            kind.name(),
+            st.spans,
+            st.instants,
+            st.total_us,
+            st.self_us,
+            st.max_us,
+            st.value
+        );
+    }
+    let dropped = flight::overflows();
+    if dropped > 0 {
+        println!(
+            "note: ring wrapped ({dropped} event(s) overwritten); \
+             totals cover surviving events only"
+        );
     }
 }
 
@@ -1367,14 +1434,16 @@ fn install_signal_handlers() {
 }
 
 /// Parse a service-layer `--inject` spec (`worker-panic[:K]`,
-/// `torn-response[:K]`, `service-seeded:SEED:COUNT`). Returns false for
-/// non-service specs so `store-*` can be tried next.
+/// `torn-response[:K]`, `slow-request[:K[:MS]]`, `recorder-overflow[:K]`,
+/// `service-seeded:SEED:COUNT`). Returns false for non-service specs so
+/// `store-*` can be tried next.
 fn parse_service_fault(spec: &str, plan: &mut padfa::rt::ServiceFaultPlan) -> bool {
     use padfa::rt::{ServiceFaultKind, ServiceFaultSpec};
     let bad = || -> ! {
         eprintln!(
             "padfa: bad --inject spec '{spec}' (want worker-panic[:K], torn-response[:K], \
-             service-seeded:SEED:COUNT, or a store-* fault)"
+             slow-request[:K[:MS]], recorder-overflow[:K], service-seeded:SEED:COUNT, \
+             or a store-* fault)"
         );
         exit(2)
     };
@@ -1382,6 +1451,26 @@ fn parse_service_fault(spec: &str, plan: &mut padfa::rt::ServiceFaultPlan) -> bo
     let kind = match parts.next().unwrap_or("") {
         "worker-panic" => ServiceFaultKind::WorkerPanic,
         "torn-response" => ServiceFaultKind::TornResponse,
+        "recorder-overflow" => ServiceFaultKind::RecorderOverflow,
+        "slow-request" => {
+            // slow-request[:K[:MS]] — K-th admitted request sleeps MS
+            // milliseconds (default: just over the default slow-request
+            // threshold, so the forensics path fires out of the box).
+            let at_request: u64 = match parts.next() {
+                None => 1,
+                Some(n) => n.parse().unwrap_or_else(|_| bad()),
+            };
+            let ms: u64 = match parts.next() {
+                None => 1500,
+                Some(n) if parts.next().is_none() => n.parse().unwrap_or_else(|_| bad()),
+                Some(_) => bad(),
+            };
+            plan.faults.push(ServiceFaultSpec {
+                at_request,
+                kind: ServiceFaultKind::SlowRequest { ms },
+            });
+            return true;
+        }
         "service-seeded" => {
             let (Some(seed), Some(count), None) = (parts.next(), parts.next(), parts.next()) else {
                 bad()
@@ -1437,6 +1526,18 @@ fn cmd_serve(args: &[String]) {
             "--drain-deadline-ms" => {
                 policy.drain_deadline = std::time::Duration::from_millis(parse_u64(it.next()))
             }
+            "--slow-ms" => policy.slow_request_ms = parse_u64(it.next()),
+            "--slow-log" => {
+                policy.slow_log = Some(std::path::PathBuf::from(
+                    it.next().cloned().unwrap_or_else(|| usage()),
+                ))
+            }
+            "--debug-ring" => policy.debug_ring = parse_u64(it.next()) as usize,
+            "--flight-dump-dir" => {
+                policy.flight_dump_dir = Some(std::path::PathBuf::from(
+                    it.next().cloned().unwrap_or_else(|| usage()),
+                ))
+            }
             "--store" => store_flags.dir = Some(it.next().cloned().unwrap_or_else(|| usage())),
             "--no-store" => store_flags.disabled = true,
             "--inject" => {
@@ -1463,6 +1564,7 @@ fn cmd_serve(args: &[String]) {
     let deps = ServiceDeps {
         store,
         faults,
+        git_rev: git_rev(),
         ..ServiceDeps::default()
     };
     let workers = policy.workers.max(1);
@@ -1494,7 +1596,48 @@ fn cmd_serve(args: &[String]) {
         report.panics,
         report.clean
     );
+    if let Some(dump) = &report.flight_dump {
+        eprintln!("padfa: unclean drain; flight ring dumped to {dump}");
+    }
     exit(if report.clean { 0 } else { 1 })
+}
+
+/// `padfa promcheck [FILE]`: validate a Prometheus text exposition (a
+/// scrape of `/metrics`) with the in-repo checker. Reads stdin when no
+/// file is given. Exit 0 on a clean exposition, 1 with the violation
+/// list otherwise.
+fn cmd_promcheck(args: &[String]) {
+    let text = match args {
+        [] => {
+            let mut buf = String::new();
+            if let Err(e) = std::io::Read::read_to_string(&mut std::io::stdin(), &mut buf) {
+                eprintln!("padfa: cannot read stdin: {e}");
+                exit(3)
+            }
+            buf
+        }
+        [path] => std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("padfa: cannot read {path}: {e}");
+            exit(3)
+        }),
+        _ => usage(),
+    };
+    match padfa::service::check_exposition(&text) {
+        Ok(()) => {
+            let samples = text
+                .lines()
+                .filter(|l| !l.is_empty() && !l.starts_with('#'))
+                .count();
+            println!("promcheck: ok ({samples} sample(s))");
+        }
+        Err(violations) => {
+            for v in &violations {
+                eprintln!("promcheck: {v}");
+            }
+            eprintln!("promcheck: {} violation(s)", violations.len());
+            exit(1)
+        }
+    }
 }
 
 fn main() {
@@ -1508,6 +1651,7 @@ fn main() {
             "fmt" => cmd_fmt(rest),
             "corpus" => cmd_corpus(rest),
             "serve" => cmd_serve(rest),
+            "promcheck" => cmd_promcheck(rest),
             _ => usage(),
         },
         None => usage(),

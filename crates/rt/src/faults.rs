@@ -153,6 +153,14 @@ pub enum ServiceFaultKind {
     /// connection (a torn response / mid-write disconnect as seen from
     /// the client). Subsequent requests must be unaffected.
     TornResponse,
+    /// The worker sleeps `ms` milliseconds before handling the request,
+    /// pushing it deterministically over the slow-request threshold so
+    /// the forensics path (slow log + phase breakdown) is testable.
+    SlowRequest { ms: u64 },
+    /// The worker floods the flight-recorder ring past capacity before
+    /// handling the request, forcing wraparound so overflow accounting
+    /// and End-without-Begin profile recovery are observable.
+    RecorderOverflow,
 }
 
 impl ServiceFaultKind {
@@ -160,6 +168,8 @@ impl ServiceFaultKind {
         match self {
             ServiceFaultKind::WorkerPanic => "worker-panic",
             ServiceFaultKind::TornResponse => "torn-response",
+            ServiceFaultKind::SlowRequest { .. } => "slow-request",
+            ServiceFaultKind::RecorderOverflow => "recorder-overflow",
         }
     }
 }
@@ -200,7 +210,9 @@ impl ServiceFaultPlan {
 
     /// A seeded pseudo-random plan of `count` faults over admission
     /// counts in `1..=max_request`. The same seed always yields the same
-    /// plan (same generator as [`FaultPlan::seeded`]).
+    /// plan (same generator as [`FaultPlan::seeded`]). Only the two
+    /// original kinds are drawn — `SlowRequest`/`RecorderOverflow` are
+    /// targeted diagnostics, armed explicitly, never randomly.
     pub fn seeded(seed: u64, count: usize, max_request: u64) -> ServiceFaultPlan {
         let mut state = seed ^ 0x9E37_79B9_7F4A_7C15;
         let mut next = move || {
@@ -304,5 +316,13 @@ mod tests {
     fn service_kind_labels() {
         assert_eq!(ServiceFaultKind::WorkerPanic.label(), "worker-panic");
         assert_eq!(ServiceFaultKind::TornResponse.label(), "torn-response");
+        assert_eq!(
+            ServiceFaultKind::SlowRequest { ms: 40 }.label(),
+            "slow-request"
+        );
+        assert_eq!(
+            ServiceFaultKind::RecorderOverflow.label(),
+            "recorder-overflow"
+        );
     }
 }

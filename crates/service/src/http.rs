@@ -1,5 +1,6 @@
 //! Minimal HTTP/1.1 on `std::net::TcpStream`: just enough protocol for
-//! the daemon's five endpoints, written defensively.
+//! the daemon's endpoints, written defensively — plus the Prometheus
+//! text-exposition renderer and its in-repo format checker.
 //!
 //! The parser enforces the policy's header/body size caps *while
 //! reading* (an oversized request is rejected before it is buffered),
@@ -297,6 +298,286 @@ impl Response {
     }
 }
 
+// ---------------------------------------------------------------------
+// Prometheus text exposition: renderer + format checker.
+
+/// Render every counter and histogram in `reg` in Prometheus text
+/// exposition format, preceded by a `padfa_build_info` identity gauge.
+///
+/// * Every sample family carries `# HELP` and `# TYPE` lines.
+/// * Counters keep the bare `padfa_<name> <value>` sample shape the
+///   existing scrapers parse.
+/// * Histograms are real cumulative-bucket histograms: the registry's
+///   power-of-two ns buckets become `_ns_bucket{le="..."}` series
+///   (cumulative, ending in `+Inf`) plus `_ns_sum` / `_ns_count`.
+///
+/// The output always passes [`check_exposition`]; CI scrapes
+/// `/metrics` and enforces exactly that.
+pub fn prometheus_text(reg: &padfa_core::MetricsRegistry, git_rev: &str) -> String {
+    use padfa_core::metrics::{Histogram, BUCKETS};
+    let sanitize = |name: &str| -> String {
+        name.chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+            .collect()
+    };
+    let label_escape = |s: &str| -> String {
+        s.chars()
+            .flat_map(|c| match c {
+                '"' => vec!['\\', '"'],
+                '\\' => vec!['\\', '\\'],
+                '\n' => vec!['\\', 'n'],
+                c => vec![c],
+            })
+            .collect()
+    };
+    let mut out = String::new();
+    out.push_str("# HELP padfa_build_info Build identity of the serving binary.\n");
+    out.push_str("# TYPE padfa_build_info gauge\n");
+    out.push_str(&format!(
+        "padfa_build_info{{git_rev=\"{}\",schema_version=\"{}\"}} 1\n",
+        label_escape(git_rev),
+        crate::SCHEMA_VERSION
+    ));
+    for (name, value) in reg.counters_snapshot() {
+        let s = sanitize(&name);
+        out.push_str(&format!(
+            "# HELP padfa_{s} Cumulative count of '{name}' events.\n\
+             # TYPE padfa_{s} counter\npadfa_{s} {value}\n"
+        ));
+    }
+    for (name, h) in reg.histograms_snapshot() {
+        let s = sanitize(&name);
+        out.push_str(&format!(
+            "# HELP padfa_{s}_ns Latency histogram '{name}' in nanoseconds \
+             (power-of-two buckets).\n# TYPE padfa_{s}_ns histogram\n"
+        ));
+        // Cumulative counts over the registry's log2 buckets. The total
+        // is taken from the same bucket snapshot (not `h.count()`) so
+        // `+Inf` and `_count` agree even mid-scrape under concurrency.
+        let buckets = h.buckets();
+        let mut cum = 0u64;
+        for (idx, b) in buckets.iter().enumerate().take(BUCKETS - 1) {
+            cum += b;
+            out.push_str(&format!(
+                "padfa_{s}_ns_bucket{{le=\"{}\"}} {cum}\n",
+                Histogram::bucket_bound_ns(idx)
+            ));
+        }
+        cum += buckets[BUCKETS - 1];
+        out.push_str(&format!(
+            "padfa_{s}_ns_bucket{{le=\"+Inf\"}} {cum}\n\
+             padfa_{s}_ns_sum {}\npadfa_{s}_ns_count {cum}\n",
+            h.sum_ns()
+        ));
+    }
+    out
+}
+
+fn valid_metric_name(name: &str) -> bool {
+    !name.is_empty()
+        && name
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':')
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// Split a sample line into `(name, labels, value)`; `None` when the
+/// line shape is wrong.
+fn split_sample(line: &str) -> Option<(&str, Option<&str>, &str)> {
+    if let Some(brace) = line.find('{') {
+        let name = &line[..brace];
+        let rest = &line[brace + 1..];
+        let close = rest.find('}')?;
+        let labels = &rest[..close];
+        let value = rest[close + 1..].trim();
+        if value.is_empty() {
+            return None;
+        }
+        Some((name, Some(labels), value))
+    } else {
+        let (name, value) = line.split_once(' ')?;
+        Some((name, None, value.trim()))
+    }
+}
+
+fn parse_le(labels: &str) -> Option<f64> {
+    for pair in labels.split(',') {
+        let (k, v) = pair.split_once('=')?;
+        if k.trim() == "le" {
+            let v = v.trim().strip_prefix('"')?.strip_suffix('"')?;
+            return if v == "+Inf" {
+                Some(f64::INFINITY)
+            } else {
+                v.parse::<f64>().ok()
+            };
+        }
+    }
+    None
+}
+
+/// Per-histogram-family state accumulated by [`check_exposition`].
+#[derive(Default)]
+struct HistCheck {
+    last_le: Option<f64>,
+    last_cum: u64,
+    inf: Option<u64>,
+    sum_seen: bool,
+    count: Option<u64>,
+}
+
+/// Validate Prometheus text-exposition output: line shapes, metric
+/// names, a `# TYPE` declared before every sample family, label syntax,
+/// and — for histograms — strictly increasing `le` bounds, monotone
+/// cumulative counts, a closing `+Inf` bucket, and `_sum`/`_count`
+/// consistency. Returns every violation found (empty = pass).
+///
+/// This is the in-repo scrape checker: service tests and CI run
+/// `/metrics` output through it instead of trusting the renderer.
+pub fn check_exposition(text: &str) -> Result<(), Vec<String>> {
+    use std::collections::BTreeMap;
+    let mut errors: Vec<String> = Vec::new();
+    let mut types: BTreeMap<String, String> = BTreeMap::new();
+    let mut hists: BTreeMap<String, HistCheck> = BTreeMap::new();
+    for (no, line) in text.lines().enumerate() {
+        let ln = no + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let mut words = comment.split_whitespace();
+            match (words.next(), words.next()) {
+                (Some("HELP"), Some(name)) => {
+                    if !valid_metric_name(name) {
+                        errors.push(format!("line {ln}: invalid HELP metric name '{name}'"));
+                    }
+                }
+                (Some("TYPE"), Some(name)) => {
+                    if !valid_metric_name(name) {
+                        errors.push(format!("line {ln}: invalid TYPE metric name '{name}'"));
+                    }
+                    let ty = words.next().unwrap_or("");
+                    if !matches!(
+                        ty,
+                        "counter" | "gauge" | "histogram" | "summary" | "untyped"
+                    ) {
+                        errors.push(format!("line {ln}: unknown TYPE '{ty}' for '{name}'"));
+                    }
+                    if types.insert(name.to_string(), ty.to_string()).is_some() {
+                        errors.push(format!("line {ln}: duplicate TYPE for '{name}'"));
+                    }
+                }
+                _ => errors.push(format!("line {ln}: malformed comment '{line}'")),
+            }
+            continue;
+        }
+        let Some((name, labels, value)) = split_sample(line) else {
+            errors.push(format!("line {ln}: malformed sample '{line}'"));
+            continue;
+        };
+        if !valid_metric_name(name) {
+            errors.push(format!("line {ln}: invalid metric name '{name}'"));
+            continue;
+        }
+        if value.parse::<f64>().is_err() {
+            errors.push(format!(
+                "line {ln}: non-numeric value '{value}' for '{name}'"
+            ));
+            continue;
+        }
+        if let Some(labels) = labels {
+            for pair in labels.split(',').filter(|p| !p.is_empty()) {
+                let ok = pair.split_once('=').is_some_and(|(k, v)| {
+                    valid_metric_name(k.trim())
+                        && v.trim().starts_with('"')
+                        && v.trim().ends_with('"')
+                        && v.trim().len() >= 2
+                });
+                if !ok {
+                    errors.push(format!("line {ln}: malformed label pair '{pair}'"));
+                }
+            }
+        }
+        // Resolve the sample's family: histogram children map back to
+        // the declared histogram name.
+        let family = ["_bucket", "_sum", "_count"]
+            .iter()
+            .find_map(|suffix| {
+                let base = name.strip_suffix(suffix)?;
+                (types.get(base).map(String::as_str) == Some("histogram"))
+                    .then(|| (base.to_string(), *suffix))
+            })
+            .map_or_else(|| (name.to_string(), ""), |(base, suffix)| (base, suffix));
+        let (family_name, suffix) = family;
+        if !types.contains_key(&family_name) {
+            errors.push(format!(
+                "line {ln}: sample '{name}' has no preceding # TYPE"
+            ));
+            continue;
+        }
+        if types.get(&family_name).map(String::as_str) == Some("histogram") {
+            let st = hists.entry(family_name.clone()).or_default();
+            match suffix {
+                "_bucket" => {
+                    let Some(le) = labels.and_then(parse_le) else {
+                        errors.push(format!("line {ln}: bucket sample without an le label"));
+                        continue;
+                    };
+                    let cum = value.parse::<u64>().unwrap_or(0);
+                    if st.last_le.is_some_and(|prev| le <= prev) {
+                        errors.push(format!(
+                            "line {ln}: histogram '{family_name}' le bounds not increasing"
+                        ));
+                    }
+                    if cum < st.last_cum {
+                        errors.push(format!(
+                            "line {ln}: histogram '{family_name}' cumulative count decreased"
+                        ));
+                    }
+                    st.last_le = Some(le);
+                    st.last_cum = cum;
+                    if le.is_infinite() {
+                        st.inf = Some(cum);
+                    }
+                }
+                "_sum" => st.sum_seen = true,
+                "_count" => st.count = value.parse::<u64>().ok(),
+                _ => errors.push(format!(
+                    "line {ln}: bare sample '{name}' for histogram '{family_name}'"
+                )),
+            }
+        }
+    }
+    for (name, ty) in &types {
+        if ty != "histogram" {
+            continue;
+        }
+        let Some(st) = hists.get(name) else {
+            continue; // declared but sampleless: legal
+        };
+        if st.inf.is_none() {
+            errors.push(format!("histogram '{name}' has no +Inf bucket"));
+        }
+        if !st.sum_seen {
+            errors.push(format!("histogram '{name}' has no _sum sample"));
+        }
+        match (st.inf, st.count) {
+            (Some(inf), Some(count)) if inf != count => errors.push(format!(
+                "histogram '{name}': +Inf bucket {inf} != _count {count}"
+            )),
+            (_, None) => errors.push(format!("histogram '{name}' has no _count sample")),
+            _ => {}
+        }
+    }
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
+}
+
 /// Minimal JSON string escaping (mirrors the CLI's ledger escaping).
 pub fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
@@ -394,6 +675,63 @@ mod tests {
             parse_bytes(b"POST /analyze HTTP/1.1\r\nContent-Length: 100\r\n\r\nabc").unwrap_err();
         assert!(matches!(e, RequestError::Disconnected));
         assert!(e.status().is_none()); // nothing useful to write back
+    }
+
+    #[test]
+    fn prometheus_rendering_is_typed_bucketed_and_checkable() {
+        let reg = padfa_core::MetricsRegistry::new();
+        reg.counter("service.requests").add(3);
+        reg.counter("store.hits").add(7);
+        reg.histogram("service.latency.analyze").record_ns(1000);
+        let text = prometheus_text(&reg, "abc1234");
+        // Identity gauge with both labels.
+        assert!(text.contains("padfa_build_info{git_rev=\"abc1234\",schema_version=\"3\"} 1\n"));
+        // Counters keep the bare sample shape existing scrapers parse.
+        assert!(text.contains("# TYPE padfa_service_requests counter\npadfa_service_requests 3\n"));
+        assert!(text.contains("padfa_store_hits 7\n"));
+        // Histograms are cumulative-bucket histograms, not summaries.
+        assert!(text.contains("# TYPE padfa_service_latency_analyze_ns histogram\n"));
+        assert!(text.contains("padfa_service_latency_analyze_ns_bucket{le=\"1023\"} 1\n"));
+        assert!(text.contains("padfa_service_latency_analyze_ns_bucket{le=\"+Inf\"} 1\n"));
+        assert!(text.contains("padfa_service_latency_analyze_ns_sum 1000\n"));
+        assert!(text.contains("padfa_service_latency_analyze_ns_count 1\n"));
+        assert!(!text.contains("quantile"));
+        // Every family has HELP + TYPE and the whole scrape validates.
+        check_exposition(&text).unwrap();
+    }
+
+    #[test]
+    fn exposition_checker_rejects_malformed_scrapes() {
+        // Sample with no preceding TYPE.
+        let errs = check_exposition("padfa_orphan 3\n").unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("no preceding # TYPE")));
+        // Non-monotone histogram buckets.
+        let bad = "# TYPE padfa_h_ns histogram\n\
+                   padfa_h_ns_bucket{le=\"1\"} 5\n\
+                   padfa_h_ns_bucket{le=\"2\"} 3\n\
+                   padfa_h_ns_bucket{le=\"+Inf\"} 5\n\
+                   padfa_h_ns_sum 9\npadfa_h_ns_count 5\n";
+        let errs = check_exposition(bad).unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| e.contains("cumulative count decreased")));
+        // Missing +Inf bucket.
+        let bad = "# TYPE padfa_h_ns histogram\n\
+                   padfa_h_ns_bucket{le=\"1\"} 5\n\
+                   padfa_h_ns_sum 9\npadfa_h_ns_count 5\n";
+        let errs = check_exposition(bad).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("no +Inf bucket")));
+        // +Inf disagrees with _count.
+        let bad = "# TYPE padfa_h_ns histogram\n\
+                   padfa_h_ns_bucket{le=\"+Inf\"} 5\n\
+                   padfa_h_ns_sum 9\npadfa_h_ns_count 6\n";
+        let errs = check_exposition(bad).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("!= _count")));
+        // Bad metric name and non-numeric value.
+        let errs = check_exposition("# TYPE 9bad counter\n9bad x\n").unwrap_err();
+        assert!(errs.len() >= 2);
+        // A valid tiny scrape passes.
+        check_exposition("# HELP padfa_x Count.\n# TYPE padfa_x counter\npadfa_x 1\n").unwrap();
     }
 
     #[test]

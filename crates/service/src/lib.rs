@@ -6,16 +6,33 @@
 //!
 //! ## Endpoints
 //!
-//! | method | path       | body            | response                          |
-//! |--------|------------|-----------------|-----------------------------------|
-//! | POST   | `/analyze` | program source  | per-loop verdict JSON             |
-//! | POST   | `/explain` | program source  | decision-provenance JSON          |
-//! | GET    | `/healthz` | —               | liveness (always 200 while up)    |
-//! | GET    | `/readyz`  | —               | readiness (503 once draining)     |
-//! | GET    | `/metrics` | —               | Prometheus text exposition        |
+//! | method | path              | body           | response                            |
+//! |--------|-------------------|----------------|-------------------------------------|
+//! | POST   | `/analyze`        | program source | per-loop verdict JSON               |
+//! | POST   | `/explain`        | program source | decision-provenance JSON            |
+//! | GET    | `/healthz`        | —              | liveness (always 200 while up)      |
+//! | GET    | `/readyz`         | —              | readiness (503 once draining)       |
+//! | GET    | `/metrics`        | —              | Prometheus text exposition          |
+//! | GET    | `/debug/requests` | —              | ring of recent request records      |
+//! | GET    | `/debug/flight`   | —              | flight-recorder event-ring dump     |
 //!
 //! `/analyze` and `/explain` take `?variant=base|guarded|predicated`
 //! (default `predicated`) and, for `/explain`, `?loop=<label-or-id>`.
+//!
+//! ## Request-scoped tracing
+//!
+//! Every request carries a trace id: the client's `X-Padfa-Trace-Id`
+//! header value (sanitized) when present, a generated
+//! `padfa-<admission>` id otherwise. The id is echoed back on the
+//! response, every flight-recorder event emitted while the request is
+//! being served is tagged with its FNV-1a key
+//! ([`padfa_core::flight::trace_key`]), and the completed request's
+//! record — status, budget use, store counters, per-phase time
+//! breakdown — lands in the `/debug/requests` ring. Requests slower
+//! than the policy threshold are additionally appended to the
+//! slow-request log with their phase breakdown and a provenance digest
+//! of the request body, so "why was *that* request slow" is answerable
+//! after the fact without reproducing it.
 //!
 //! ## Robustness envelope
 //!
@@ -76,7 +93,7 @@
 pub mod http;
 pub mod server;
 
-pub use http::{Request, RequestError, Response};
+pub use http::{check_exposition, prometheus_text, Request, RequestError, Response};
 pub use server::{DrainReport, Server, ServiceDeps};
 
 use std::time::Duration;
@@ -120,6 +137,18 @@ pub struct ServicePolicy {
     pub drain_deadline: Duration,
     /// Value of the `Retry-After` header on shed (`429`/`503`) replies.
     pub retry_after_secs: u32,
+    /// Requests whose total wall time reaches this many milliseconds
+    /// are logged to the slow-request log with their per-phase flight
+    /// breakdown. `0` disables slow-request capture.
+    pub slow_request_ms: u64,
+    /// Where slow-request records are appended (one JSON object per
+    /// line). `None` logs to stderr only.
+    pub slow_log: Option<std::path::PathBuf>,
+    /// Capacity of the `/debug/requests` record ring.
+    pub debug_ring: usize,
+    /// Directory for flight-ring sidecar dumps written on worker panic
+    /// and unclean drain. `None` uses the OS temp directory.
+    pub flight_dump_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for ServicePolicy {
@@ -138,6 +167,10 @@ impl Default for ServicePolicy {
             max_body_bytes: 1024 * 1024,
             drain_deadline: Duration::from_secs(5),
             retry_after_secs: 1,
+            slow_request_ms: 1000,
+            slow_log: None,
+            debug_ring: 64,
+            flight_dump_dir: None,
         }
     }
 }
@@ -148,6 +181,7 @@ impl ServicePolicy {
         self.workers = self.workers.max(1);
         self.queue_depth = self.queue_depth.max(1);
         self.jobs_per_request = self.jobs_per_request.max(1);
+        self.debug_ring = self.debug_ring.max(1);
         self
     }
 }

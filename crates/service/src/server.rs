@@ -28,6 +28,7 @@
 
 use crate::http::{json_escape, read_request, Request, RequestError, Response};
 use crate::{ServicePolicy, SCHEMA_VERSION};
+use padfa_core::flight;
 use padfa_core::{
     analyze_program_session, AnalysisError, AnalysisSession, LoopReport, MetricsRegistry,
     OnExhausted, Options, Outcome, Store, WorkBudget,
@@ -55,6 +56,8 @@ pub struct ServiceDeps {
     /// Deterministic service-layer faults (worker panics, torn
     /// responses), keyed on admission order.
     pub faults: ServiceFaultPlan,
+    /// Build identity stamped into the `padfa_build_info` metric.
+    pub git_rev: String,
 }
 
 impl Default for ServiceDeps {
@@ -63,6 +66,7 @@ impl Default for ServiceDeps {
             store: None,
             metrics: MetricsRegistry::new(),
             faults: ServiceFaultPlan::none(),
+            git_rev: "unknown".to_string(),
         }
     }
 }
@@ -83,6 +87,9 @@ pub struct DrainReport {
     /// False when in-flight work outlived the drain deadline and the
     /// server stopped waiting for it.
     pub clean: bool,
+    /// Path of the flight-ring sidecar dumped on an unclean drain, so
+    /// whatever wedged past the deadline can be diagnosed post-mortem.
+    pub flight_dump: Option<String>,
 }
 
 /// Payload type for injected worker panics, so the process-global panic
@@ -114,6 +121,7 @@ struct Shared {
     store: Option<Arc<Store>>,
     metrics: Arc<MetricsRegistry>,
     faults: ServiceFaultPlan,
+    git_rev: String,
     draining: AtomicBool,
     admitted: AtomicU64,
     queue: Mutex<VecDeque<Job>>,
@@ -122,6 +130,9 @@ struct Shared {
     /// `shutdown` waits on the condvar until it reaches zero.
     workers_live: Mutex<usize>,
     workers_cv: Condvar,
+    /// Ring of completed-request records behind `/debug/requests`
+    /// (capacity `policy.debug_ring`, oldest evicted first).
+    requests: Mutex<VecDeque<RequestRecord>>,
 }
 
 impl Shared {
@@ -180,12 +191,14 @@ impl Server {
             store: deps.store,
             metrics: deps.metrics,
             faults: deps.faults,
+            git_rev: deps.git_rev,
             draining: AtomicBool::new(false),
             admitted: AtomicU64::new(0),
             queue: Mutex::new(VecDeque::new()),
             queue_cv: Condvar::new(),
             workers_live: Mutex::new(0),
             workers_cv: Condvar::new(),
+            requests: Mutex::new(VecDeque::new()),
         });
         let (events_tx, events_rx) = mpsc::channel();
         for id in 0..shared.policy.workers {
@@ -266,6 +279,14 @@ impl Server {
                 eprintln!("padfa-service: store warning: {w}");
             }
         }
+        // An unclean drain means in-flight work outlived the deadline:
+        // dump the flight ring so the wedged request's last recorded
+        // events survive the process.
+        let flight_dump = if clean {
+            None
+        } else {
+            dump_flight(&self.shared.policy, "drain-unclean")
+        };
         let counters = self.shared.metrics.counters_snapshot();
         let get = |k: &str| counters.get(k).copied().unwrap_or(0);
         DrainReport {
@@ -275,6 +296,7 @@ impl Server {
             drained_in_queue,
             panics: get("service.panics"),
             clean,
+            flight_dump,
         }
     }
 }
@@ -309,6 +331,7 @@ fn admit(shared: &Arc<Shared>, mut stream: TcpStream) {
         }
     }
     shared.count("service.shed", 1);
+    flight::instant(flight::EventKind::AdmissionShed, "queue-full", admission);
     let _ = stream.set_write_timeout(Some(shared.policy.write_timeout));
     let _ = shed_response(&shared.policy, false).write(&mut stream);
 }
@@ -405,6 +428,159 @@ fn spawn_supervisor(
         })
 }
 
+/// One completed request's forensics record: what `/debug/requests`
+/// serves and what the slow-request log appends.
+struct RequestRecord {
+    admission: u64,
+    method: String,
+    path: String,
+    /// HTTP status written, or 0 when the connection died before any
+    /// response could be sent.
+    status: u16,
+    /// The `kind` field of the error body, when the response was one.
+    error_kind: Option<String>,
+    trace_id: String,
+    /// FNV-1a key of `trace_id` — the tag on this request's flight
+    /// events, rendered in hex to match `/debug/flight`.
+    trace: u64,
+    total_us: u64,
+    slow: bool,
+    /// FNV-1a provenance digest of the request body (None when empty),
+    /// so a slow request's exact input can be matched post-hoc.
+    digest: Option<u64>,
+    budget_steps: u64,
+    degraded_procs: u64,
+    store_hits: u64,
+    store_misses: u64,
+    /// Sidecar path when this request's panic dumped the flight ring.
+    flight_dump: Option<String>,
+    /// Per-phase time breakdown from this request's flight events.
+    phases: Vec<(flight::EventKind, flight::PhaseStat)>,
+}
+
+impl RequestRecord {
+    fn to_json(&self) -> String {
+        let opt_str = |v: &Option<String>| match v {
+            Some(s) => format!("\"{}\"", json_escape(s)),
+            None => "null".to_string(),
+        };
+        format!(
+            "{{\"admission\":{},\"method\":\"{}\",\"path\":\"{}\",\"status\":{},\
+             \"error_kind\":{},\"trace_id\":\"{}\",\"trace\":\"{:016x}\",\
+             \"total_us\":{},\"slow\":{},\"digest\":{},\"budget_steps\":{},\
+             \"degraded_procs\":{},\"store_hits\":{},\"store_misses\":{},\
+             \"flight_dump\":{},\"phases\":{}}}",
+            self.admission,
+            json_escape(&self.method),
+            json_escape(&self.path),
+            self.status,
+            opt_str(&self.error_kind),
+            json_escape(&self.trace_id),
+            self.trace,
+            self.total_us,
+            self.slow,
+            match self.digest {
+                Some(d) => format!("\"{d:016x}\""),
+                None => "null".to_string(),
+            },
+            self.budget_steps,
+            self.degraded_procs,
+            self.store_hits,
+            self.store_misses,
+            opt_str(&self.flight_dump),
+            flight::profile_json(&self.phases),
+        )
+    }
+}
+
+/// Per-request analysis accounting, filled by `analysis_endpoint` and
+/// read back by `serve_connection` when it builds the record.
+#[derive(Default)]
+struct ReqCtx {
+    budget_steps: u64,
+    degraded_procs: u64,
+    store_hits: u64,
+    store_misses: u64,
+}
+
+/// Keep a client-supplied trace id loggable: drop everything outside a
+/// conservative charset and cap the length.
+fn sanitize_trace_id(raw: &str) -> String {
+    raw.chars()
+        .filter(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.' | ':'))
+        .take(64)
+        .collect()
+}
+
+/// FNV-1a over raw bytes: the request-body provenance digest.
+fn digest64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Pull the `kind` out of a typed error body, so records stay
+/// attributable without threading a kind through every handler.
+fn body_error_kind(resp: &Response) -> Option<String> {
+    let body = std::str::from_utf8(&resp.body).ok()?;
+    let needle = "\"error\":{\"kind\":\"";
+    let start = body.find(needle)? + needle.len();
+    let rest = &body[start..];
+    let end = rest.find('"')?;
+    Some(rest[..end].to_string())
+}
+
+/// Write the global flight ring to a sidecar JSON file; `None` when the
+/// dump directory cannot be written (diagnosis is best-effort, serving
+/// is not).
+fn dump_flight(policy: &ServicePolicy, stem: &str) -> Option<String> {
+    let dir = policy
+        .flight_dump_dir
+        .clone()
+        .unwrap_or_else(std::env::temp_dir);
+    std::fs::create_dir_all(&dir).ok()?;
+    let path = dir.join(format!("padfa-flight-{stem}.json"));
+    std::fs::write(&path, flight::ring_json()).ok()?;
+    Some(path.display().to_string())
+}
+
+fn append_line(path: &std::path::Path, line: &str) {
+    use std::io::Write as _;
+    if let Ok(mut f) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+    {
+        let _ = writeln!(f, "{line}");
+    }
+}
+
+fn push_record(shared: &Arc<Shared>, record: RequestRecord) {
+    let mut ring = lock(&shared.requests);
+    while ring.len() >= shared.policy.debug_ring {
+        ring.pop_front();
+    }
+    ring.push_back(record);
+}
+
+fn requests_json(shared: &Arc<Shared>) -> String {
+    let ring = lock(&shared.requests);
+    let mut records = String::new();
+    for (i, r) in ring.iter().enumerate() {
+        if i > 0 {
+            records.push(',');
+        }
+        records.push_str(&r.to_json());
+    }
+    format!(
+        "{{\"schema_version\":{SCHEMA_VERSION},\"capacity\":{},\"records\":[{records}]}}",
+        shared.policy.debug_ring
+    )
+}
+
 /// Serve one connection end to end. Returns true when the handler
 /// panicked (the worker should retire).
 fn serve_connection(shared: &Arc<Shared>, mut job: Job) -> bool {
@@ -414,6 +590,7 @@ fn serve_connection(shared: &Arc<Shared>, mut job: Job) -> bool {
     let _ = job
         .stream
         .set_write_timeout(Some(shared.policy.write_timeout));
+    let t0 = Instant::now();
     let req = match read_request(
         &mut job.stream,
         shared.policy.max_header_bytes,
@@ -426,17 +603,81 @@ fn serve_connection(shared: &Arc<Shared>, mut job: Job) -> bool {
                 RequestError::Disconnected => shared.count("service.torn_clients", 1),
                 _ => shared.count("service.bad_requests", 1),
             }
-            if let Some((status, reason, kind)) = e.status() {
-                let _ = error_body(status, reason, kind, &e.detail()).write(&mut job.stream);
-                shared.count("service.completed", 1);
-            }
+            // No request means no client trace id; a generated id still
+            // makes the failure findable in `/debug/requests`.
+            let trace_id = format!("padfa-{}", job.admission);
+            let (status, error_kind) = match e.status() {
+                Some((status, reason, kind)) => {
+                    let _ = error_body(status, reason, kind, &e.detail())
+                        .with_header("X-Padfa-Trace-Id", trace_id.clone())
+                        .write(&mut job.stream);
+                    shared.count("service.completed", 1);
+                    shared.count(&format!("service.responses.{status}"), 1);
+                    (status, Some(kind.to_string()))
+                }
+                None => (0, Some("disconnected".to_string())),
+            };
+            let trace = flight::trace_key(&trace_id);
+            push_record(
+                shared,
+                RequestRecord {
+                    admission: job.admission,
+                    method: String::new(),
+                    path: String::new(),
+                    status,
+                    error_kind,
+                    trace_id,
+                    trace,
+                    total_us: t0.elapsed().as_micros() as u64,
+                    slow: false,
+                    digest: None,
+                    budget_steps: 0,
+                    degraded_procs: 0,
+                    store_hits: 0,
+                    store_misses: 0,
+                    flight_dump: None,
+                    phases: Vec::new(),
+                },
+            );
             return false;
         }
     };
+    // Trace id: accept the client's (sanitized), generate otherwise,
+    // echo either way. All flight events recorded while this request is
+    // served — including `par_map` worker lanes — carry its key.
+    let trace_id = req
+        .header("x-padfa-trace-id")
+        .map(sanitize_trace_id)
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| format!("padfa-{}", job.admission));
+    let tkey = flight::trace_key(&trace_id);
+    let digest = (!req.body.is_empty()).then(|| digest64(&req.body));
+    let tag = flight::set_trace(tkey);
+    let mut req_span = flight::span(
+        flight::EventKind::Request,
+        format!("{} {}", req.method, req.path),
+    );
     let fault = shared.faults.for_request(job.admission);
-    let outcome = catch_unwind(AssertUnwindSafe(|| route(shared, &req, fault)));
-    match outcome {
+    match fault {
+        Some(ServiceFaultKind::SlowRequest { ms }) => {
+            // Deterministic stall before the handler, so the request
+            // crosses the slow threshold with the delay visible as
+            // request self-time in its phase breakdown.
+            std::thread::sleep(Duration::from_millis(ms));
+        }
+        Some(ServiceFaultKind::RecorderOverflow) => {
+            for i in 0..=flight::capacity() as u64 {
+                flight::instant(flight::EventKind::Note, "ring-flood", i);
+            }
+        }
+        _ => {}
+    }
+    let mut ctx = ReqCtx::default();
+    let outcome = catch_unwind(AssertUnwindSafe(|| route(shared, &req, fault, &mut ctx)));
+    let (status, error_kind, flight_dump, panicked) = match outcome {
         Ok(resp) => {
+            let error_kind = body_error_kind(&resp);
+            let resp = resp.with_header("X-Padfa-Trace-Id", trace_id.clone());
             let torn = matches!(fault, Some(ServiceFaultKind::TornResponse));
             let written = if torn {
                 shared.count("service.torn_responses", 1);
@@ -448,24 +689,83 @@ fn serve_connection(shared: &Arc<Shared>, mut job: Job) -> bool {
                 shared.count("service.write_errors", 1);
             }
             shared.count("service.completed", 1);
-            false
+            (resp.status, error_kind, None, false)
         }
         Err(_) => {
             shared.count("service.panics", 1);
-            let _ = error_body(
-                500,
-                "Internal Server Error",
-                "panic",
-                "request handler panicked; the worker was replaced",
-            )
-            .write(&mut job.stream);
+            flight::instant(
+                flight::EventKind::WorkerPanic,
+                &format!("{} {}", req.method, req.path),
+                job.admission,
+            );
+            // Dump the ring before replying: the 500 body carries the
+            // sidecar path so the client's error report already points
+            // at the forensics file.
+            let dump = dump_flight(&shared.policy, &format!("panic-{}", job.admission));
+            let mut body = format!(
+                "{{\"schema_version\":{SCHEMA_VERSION},\"error\":{{\"kind\":\"panic\",\
+                 \"message\":\"request handler panicked; the worker was replaced\"}}"
+            );
+            if let Some(p) = &dump {
+                body.push_str(&format!(",\"flight_dump\":\"{}\"", json_escape(p)));
+            }
+            body.push('}');
+            let _ = Response::json(500, "Internal Server Error", body)
+                .with_header("X-Padfa-Trace-Id", trace_id.clone())
+                .write(&mut job.stream);
             shared.count("service.completed", 1);
-            true
+            (500, Some("panic".to_string()), dump, true)
+        }
+    };
+    req_span.set_value(u64::from(status));
+    drop(req_span);
+    drop(tag);
+    shared.count(&format!("service.responses.{status}"), 1);
+    let total_us = t0.elapsed().as_micros() as u64;
+    let slow = shared.policy.slow_request_ms > 0
+        && total_us >= shared.policy.slow_request_ms.saturating_mul(1000);
+    let events: Vec<flight::Event> = flight::snapshot()
+        .into_iter()
+        .filter(|e| e.trace == tkey)
+        .collect();
+    let record = RequestRecord {
+        admission: job.admission,
+        method: req.method.clone(),
+        path: req.path.clone(),
+        status,
+        error_kind,
+        trace_id,
+        trace: tkey,
+        total_us,
+        slow,
+        digest,
+        budget_steps: ctx.budget_steps,
+        degraded_procs: ctx.degraded_procs,
+        store_hits: ctx.store_hits,
+        store_misses: ctx.store_misses,
+        flight_dump,
+        phases: flight::profile(&events),
+    };
+    if slow {
+        shared.count("service.slow_requests", 1);
+        eprintln!(
+            "padfa-service: slow request trace={} {} {} status={status} total_us={total_us}",
+            record.trace_id, record.method, record.path
+        );
+        if let Some(path) = &shared.policy.slow_log {
+            append_line(path, &record.to_json());
         }
     }
+    push_record(shared, record);
+    panicked
 }
 
-fn route(shared: &Arc<Shared>, req: &Request, fault: Option<ServiceFaultKind>) -> Response {
+fn route(
+    shared: &Arc<Shared>,
+    req: &Request,
+    fault: Option<ServiceFaultKind>,
+    ctx: &mut ReqCtx,
+) -> Response {
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => Response::json(200, "OK", "{\"status\":\"ok\"}".to_string()),
         ("GET", "/readyz") => {
@@ -475,10 +775,20 @@ fn route(shared: &Arc<Shared>, req: &Request, fault: Option<ServiceFaultKind>) -
                 Response::json(200, "OK", "{\"status\":\"ready\"}".to_string())
             }
         }
-        ("GET", "/metrics") => Response::text(200, "OK", prometheus_text(&shared.metrics)),
-        ("POST", "/analyze") => analysis_endpoint(shared, req, fault, false),
-        ("POST", "/explain") => analysis_endpoint(shared, req, fault, true),
-        (_, "/healthz" | "/readyz" | "/metrics" | "/analyze" | "/explain") => error_body(
+        ("GET", "/metrics") => Response::text(
+            200,
+            "OK",
+            crate::http::prometheus_text(&shared.metrics, &shared.git_rev),
+        ),
+        ("GET", "/debug/requests") => Response::json(200, "OK", requests_json(shared)),
+        ("GET", "/debug/flight") => Response::json(200, "OK", flight::ring_json()),
+        ("POST", "/analyze") => analysis_endpoint(shared, req, fault, ctx, false),
+        ("POST", "/explain") => analysis_endpoint(shared, req, fault, ctx, true),
+        (
+            _,
+            "/healthz" | "/readyz" | "/metrics" | "/analyze" | "/explain" | "/debug/requests"
+            | "/debug/flight",
+        ) => error_body(
             405,
             "Method Not Allowed",
             "method_not_allowed",
@@ -498,6 +808,7 @@ fn analysis_endpoint(
     shared: &Arc<Shared>,
     req: &Request,
     fault: Option<ServiceFaultKind>,
+    ctx: &mut ReqCtx,
     explain: bool,
 ) -> Response {
     let Some(src) = req.body_utf8() else {
@@ -580,8 +891,19 @@ fn analysis_endpoint(
     }
     let (result, _summaries) = match result {
         Ok(out) => out,
-        Err(e) => return analysis_error_response(&e),
+        Err(e) => {
+            if let AnalysisError::BudgetExhausted { steps, .. } = &e {
+                ctx.budget_steps = *steps;
+            }
+            return analysis_error_response(&e);
+        }
     };
+    ctx.budget_steps = result.stats.budget_steps;
+    ctx.degraded_procs = result.stats.degraded_procs;
+    if let Some(store) = &result.stats.store {
+        ctx.store_hits = store.hits;
+        ctx.store_misses = store.misses;
+    }
     if explain {
         explain_response(&result, req, variant)
     } else {
@@ -758,37 +1080,6 @@ fn explain_response(result: &padfa_core::AnalysisResult, req: &Request, variant:
     )
 }
 
-/// Render every counter and histogram in Prometheus text exposition
-/// format (`padfa_` prefix, dots to underscores, summaries in ns).
-pub(crate) fn prometheus_text(reg: &MetricsRegistry) -> String {
-    let sanitize = |name: &str| -> String {
-        name.chars()
-            .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
-            .collect()
-    };
-    let mut out = String::new();
-    for (name, value) in reg.counters_snapshot() {
-        let s = sanitize(&name);
-        out.push_str(&format!("# TYPE padfa_{s} counter\npadfa_{s} {value}\n"));
-    }
-    for (name, h) in reg.histograms_snapshot() {
-        let s = sanitize(&name);
-        out.push_str(&format!(
-            "# TYPE padfa_{s}_ns summary\n\
-             padfa_{s}_ns{{quantile=\"0.5\"}} {}\n\
-             padfa_{s}_ns{{quantile=\"0.9\"}} {}\n\
-             padfa_{s}_ns{{quantile=\"0.99\"}} {}\n\
-             padfa_{s}_ns_sum {}\npadfa_{s}_ns_count {}\n",
-            h.quantile_ns(0.5),
-            h.quantile_ns(0.9),
-            h.quantile_ns(0.99),
-            h.sum_ns(),
-            h.count()
-        ));
-    }
-    out
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -870,13 +1161,58 @@ mod tests {
     }
 
     #[test]
-    fn prometheus_rendering_sanitizes_names() {
-        let reg = MetricsRegistry::new();
-        reg.counter("service.requests").add(3);
-        reg.histogram("service.latency.analyze").record_ns(1000);
-        let text = prometheus_text(&reg);
-        assert!(text.contains("# TYPE padfa_service_requests counter\npadfa_service_requests 3\n"));
-        assert!(text.contains("padfa_service_latency_analyze_ns_count 1\n"));
-        assert!(text.contains("padfa_service_latency_analyze_ns{quantile=\"0.5\"}"));
+    fn trace_ids_are_sanitized_and_capped() {
+        assert_eq!(sanitize_trace_id("req-42:a.b_c"), "req-42:a.b_c");
+        assert_eq!(sanitize_trace_id("a b\r\nInjected: x"), "abInjected:x");
+        assert_eq!(sanitize_trace_id(&"x".repeat(200)).len(), 64);
+        assert_eq!(sanitize_trace_id("\"{}\n"), "");
+    }
+
+    #[test]
+    fn body_digest_is_stable_fnv() {
+        assert_eq!(digest64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(digest64(b"proc main"), digest64(b"proc main"));
+        assert_ne!(digest64(b"proc main"), digest64(b"proc mair"));
+    }
+
+    #[test]
+    fn error_kind_is_extracted_from_typed_bodies() {
+        let resp = error_body(404, "Not Found", "not_found", "nope");
+        assert_eq!(body_error_kind(&resp).as_deref(), Some("not_found"));
+        let ok = Response::json(200, "OK", "{\"loops\":[]}".to_string());
+        assert_eq!(body_error_kind(&ok), None);
+    }
+
+    #[test]
+    fn request_records_render_as_json() {
+        let rec = RequestRecord {
+            admission: 7,
+            method: "POST".to_string(),
+            path: "/analyze".to_string(),
+            status: 422,
+            error_kind: Some("budget_exhausted".to_string()),
+            trace_id: "req-7".to_string(),
+            trace: padfa_core::flight::trace_key("req-7"),
+            total_us: 1234,
+            slow: true,
+            digest: Some(0xabcd),
+            budget_steps: 100,
+            degraded_procs: 0,
+            store_hits: 0,
+            store_misses: 0,
+            flight_dump: None,
+            phases: Vec::new(),
+        };
+        let j = rec.to_json();
+        assert!(j.contains("\"admission\":7"));
+        assert!(j.contains("\"error_kind\":\"budget_exhausted\""));
+        assert!(j.contains("\"slow\":true"));
+        assert!(j.contains("\"digest\":\"000000000000abcd\""));
+        assert!(j.contains("\"flight_dump\":null"));
+        assert!(j.contains("\"phases\":[]"));
+        assert!(j.contains(&format!(
+            "\"trace\":\"{:016x}\"",
+            padfa_core::flight::trace_key("req-7")
+        )));
     }
 }

@@ -8,7 +8,7 @@
 
 use padfa_core::{IoFaultKind, IoFaultPlan, IoFaultSpec, Store, StoreConfig};
 use padfa_rt::{ServiceFaultKind, ServiceFaultPlan};
-use padfa_service::{Server, ServiceDeps, ServicePolicy};
+use padfa_service::{check_exposition, Server, ServiceDeps, ServicePolicy};
 use std::collections::BTreeMap;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -509,6 +509,168 @@ fn torn_client_disconnects_leave_the_daemon_serving() {
     let report = server.shutdown();
     assert!(report.clean);
     assert_eq!(report.panics, 0);
+}
+
+/// The full forensics surface, driven end to end in one deterministic
+/// admission sequence: trace-id echo (client-supplied and generated),
+/// slow-request capture with digest + slow-log sidecar, post-hoc
+/// attribution of a 422 by trace id, forced ring wraparound visible in
+/// `/debug/flight`, and a `/metrics` exposition that passes the
+/// in-repo checker. One test, because the assertions share the
+/// process-global flight ring and must run in a known order.
+#[test]
+fn tracing_slow_forensics_and_debug_endpoints() {
+    let slow_log = temp_dir("slowlog").join("slow.jsonl");
+    let _ = std::fs::create_dir_all(slow_log.parent().unwrap());
+    let faults = ServiceFaultPlan::at(ServiceFaultKind::SlowRequest { ms: 200 }, 2).with(
+        padfa_rt::ServiceFaultSpec {
+            at_request: 4,
+            kind: ServiceFaultKind::RecorderOverflow,
+        },
+    );
+    let policy = ServicePolicy {
+        slow_request_ms: 50,
+        slow_log: Some(slow_log.clone()),
+        ..quick_policy()
+    };
+    let server = start(
+        policy,
+        ServiceDeps {
+            faults,
+            git_rev: "matrix-rev".to_string(),
+            ..ServiceDeps::default()
+        },
+    );
+    let addr = server.addr();
+
+    // Admission 1: client-supplied trace id, echoed back verbatim.
+    let tagged = request(
+        addr,
+        "POST",
+        "/analyze",
+        &[("X-Padfa-Trace-Id", "matrix-trace-alpha")],
+        PROGRAM.as_bytes(),
+    );
+    assert_eq!(tagged.status, 200);
+    assert_eq!(
+        tagged.headers.get("x-padfa-trace-id").map(String::as_str),
+        Some("matrix-trace-alpha")
+    );
+
+    // Admission 2: the injected 200 ms stall crosses the 50 ms slow
+    // threshold; no client id, so the server generates one.
+    let slow = analyze(addr);
+    assert_eq!(slow.status, 200);
+    let generated = slow.headers.get("x-padfa-trace-id").unwrap().clone();
+    assert!(generated.starts_with("padfa-"), "generated id: {generated}");
+
+    // Admission 3: strict starved budget — a 422 that must stay
+    // attributable by its trace id after the fact.
+    let strict = request(
+        addr,
+        "POST",
+        "/analyze",
+        &[
+            ("X-Padfa-Max-Steps", "1"),
+            ("X-Padfa-Strict", "1"),
+            ("X-Padfa-Trace-Id", "matrix-trace-budget"),
+        ],
+        PROGRAM.as_bytes(),
+    );
+    assert_eq!(strict.status, 422);
+    assert_eq!(
+        strict.headers.get("x-padfa-trace-id").map(String::as_str),
+        Some("matrix-trace-budget")
+    );
+
+    // Admission 4: flood the ring past capacity so wraparound
+    // accounting is observable below.
+    let flooded = analyze(addr);
+    assert_eq!(flooded.status, 200);
+
+    // /debug/requests: every request above is in the ring with its
+    // trace id, outcome, and phase breakdown.
+    let dbg = request(addr, "GET", "/debug/requests", &[], b"");
+    assert_eq!(dbg.status, 200);
+    let records = body_str(&dbg);
+    assert!(records.contains("\"trace_id\":\"matrix-trace-alpha\""));
+    assert!(records.contains("\"phase\":\"request\""), "no request span");
+    let slow_rec = records
+        .split("{\"admission\"")
+        .find(|r| r.contains(&format!("\"trace_id\":\"{generated}\"")))
+        .expect("slow request not in the debug ring");
+    assert!(slow_rec.contains("\"slow\":true"), "record: {slow_rec}");
+    assert!(
+        !slow_rec.contains("\"digest\":null"),
+        "no provenance digest"
+    );
+    let budget_rec = records
+        .split("{\"admission\"")
+        .find(|r| r.contains("\"trace_id\":\"matrix-trace-budget\""))
+        .expect("422 request not in the debug ring");
+    assert!(
+        budget_rec.contains("\"error_kind\":\"budget_exhausted\""),
+        "422 not attributable: {budget_rec}"
+    );
+    assert!(budget_rec.contains("\"status\":422"));
+
+    // The slow record also landed in the slow-log sidecar.
+    let logged = std::fs::read_to_string(&slow_log).expect("slow log missing");
+    assert!(logged.contains(&format!("\"trace_id\":\"{generated}\"")));
+    assert!(logged.contains("\"slow\":true"));
+
+    // /debug/flight: the flood forced wraparound; events are present.
+    let ring = request(addr, "GET", "/debug/flight", &[], b"");
+    assert_eq!(ring.status, 200);
+    let ring_body = body_str(&ring);
+    assert!(ring_body.contains("\"events\":["), "body: {ring_body}");
+    assert!(
+        !ring_body.contains("\"overflows\":0,"),
+        "flood did not wrap the ring"
+    );
+
+    // /metrics: typed, bucketed, and clean under the in-repo checker.
+    let metrics = request(addr, "GET", "/metrics", &[], b"");
+    assert_eq!(metrics.status, 200);
+    let text = body_str(&metrics);
+    assert!(text.contains("padfa_build_info{git_rev=\"matrix-rev\""));
+    assert!(text.contains("_bucket{le=\""), "no histogram buckets");
+    assert!(text.contains("padfa_service_slow_requests 1"), "{text}");
+    if let Err(violations) = check_exposition(&text) {
+        panic!("/metrics failed the exposition checker: {violations:?}");
+    }
+
+    assert!(server.shutdown().clean);
+    let _ = std::fs::remove_dir_all(slow_log.parent().unwrap());
+}
+
+/// An injected worker panic must leave a flight-ring sidecar on disk
+/// and name it in the typed 500 body, so the error report a client
+/// files already points at the forensics file.
+#[test]
+fn panic_500_names_a_flight_dump_on_disk() {
+    let dump_dir = temp_dir("flightdump");
+    let policy = ServicePolicy {
+        flight_dump_dir: Some(dump_dir.clone()),
+        ..quick_policy()
+    };
+    let deps = ServiceDeps {
+        faults: ServiceFaultPlan::at(ServiceFaultKind::WorkerPanic, 1),
+        ..ServiceDeps::default()
+    };
+    let server = start(policy, deps);
+    let hit = analyze(server.addr());
+    assert_eq!(hit.status, 500);
+    let body = body_str(&hit);
+    assert!(body.contains("\"kind\":\"panic\""), "body: {body}");
+    let needle = "\"flight_dump\":\"";
+    let start = body.find(needle).expect("500 body names no flight dump") + needle.len();
+    let path = &body[start..start + body[start..].find('"').unwrap()];
+    let dump = std::fs::read_to_string(path).expect("flight dump not on disk");
+    assert!(dump.contains("\"events\":["), "dump: {dump}");
+    assert!(dump.contains("worker-panic"), "panic event not in dump");
+    assert!(server.shutdown().clean);
+    let _ = std::fs::remove_dir_all(&dump_dir);
 }
 
 #[test]
