@@ -3,14 +3,17 @@
 //! `BENCH_analysis.json` (consumed by CI as a build artifact).
 //!
 //! Usage: `cargo run --release -p padfa-bench --bin analysis_stats
-//!         [--jobs N] [--runs N] [--warmup N] [--out PATH]`
+//!         [--jobs N] [--runs N] [--warmup N] [--spawn-threshold N] [--out PATH]`
 //!
-//! Every program is timed at `--jobs 1` and at `--jobs N`; the ratio is
-//! reported as `speedup_jobs` per program and per suite. `--warmup`
-//! untimed runs precede each measurement so allocator state and CPU
-//! frequency scaling do not pollute the first sample.
+//! Every program is timed in *interleaved pairs*: each measurement runs
+//! `--jobs 1` immediately followed by `--jobs N`, so both sides of a
+//! pair see the same allocator state, cache residency, and CPU
+//! frequency. `speedup_jobs` is the median of the per-pair ratios —
+//! runner-load noise that inflates one pair cancels out of its own
+//! ratio instead of polluting a cross-run average. The reported wall
+//! times are per-side medians. `--warmup` untimed runs precede each
+//! program so the first pair is not cold.
 
-use padfa_bench::median_time;
 use padfa_core::{
     analyze_program_session, flight, AnalysisSession, Options, StatsSnapshot, Store, StoreConfig,
 };
@@ -25,18 +28,29 @@ struct ProgramCost {
     loops: usize,
     wall_ms_jobs1: f64,
     wall_ms_jobs_n: f64,
+    /// Median of per-pair `wall(jobs=1) / wall(jobs=N)` ratios.
+    speedup: f64,
     stats: StatsSnapshot,
 }
 
 impl ProgramCost {
-    /// Parallel speedup of the intra-/inter-procedure fan-out:
-    /// `wall(jobs=1) / wall(jobs=N)`.
+    /// Parallel speedup of the intra-/inter-procedure fan-out.
     fn speedup_jobs(&self) -> f64 {
-        if self.wall_ms_jobs_n > 0.0 {
-            self.wall_ms_jobs1 / self.wall_ms_jobs_n
-        } else {
-            0.0
-        }
+        self.speedup
+    }
+}
+
+/// Median of a sample set (mean of the two middle elements when even).
+fn median(mut v: Vec<f64>) -> f64 {
+    if v.is_empty() {
+        return 0.0;
+    }
+    v.sort_by(f64::total_cmp);
+    let mid = v.len() / 2;
+    if v.len() % 2 == 1 {
+        v[mid]
+    } else {
+        (v[mid - 1] + v[mid]) / 2.0
     }
 }
 
@@ -142,35 +156,54 @@ fn main() {
     let runs: usize = flag("--runs").and_then(|v| v.parse().ok()).unwrap_or(3);
     let warmup: usize = flag("--warmup").and_then(|v| v.parse().ok()).unwrap_or(1);
     let out_path = flag("--out").unwrap_or_else(|| "BENCH_analysis.json".to_string());
+    let spawn_threshold: u64 = flag("--spawn-threshold")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(padfa_core::DEFAULT_SPAWN_THRESHOLD);
 
     let corpus = padfa_suite::build_corpus();
-    let opts = Options::predicated();
+    let opts = Options::predicated().with_spawn_threshold(spawn_threshold);
     let mut costs: Vec<ProgramCost> = Vec::new();
     for bench in &corpus {
-        let time_with = |j: usize| {
-            for _ in 0..warmup {
-                let sess = AnalysisSession::new(opts.clone()).with_jobs(j);
-                let _ = analyze_program_session(&bench.program, &sess).expect("analysis failed");
-            }
-            median_time(runs, || {
-                let sess = AnalysisSession::new(opts.clone()).with_jobs(j);
-                let _ = analyze_program_session(&bench.program, &sess).expect("analysis failed");
-            })
-            .as_secs_f64()
-                * 1e3
+        let run_once = |j: usize| {
+            let sess = AnalysisSession::new(opts.clone()).with_jobs(j);
+            let t = Instant::now();
+            let _ = analyze_program_session(&bench.program, &sess).expect("analysis failed");
+            t.elapsed().as_secs_f64() * 1e3
         };
-        let wall_ms_jobs1 = time_with(1);
-        let wall_ms_jobs_n = time_with(jobs);
-        // One more instrumented run for the stats snapshot.
-        let sess = AnalysisSession::new(opts.clone()).with_jobs(1);
+        for _ in 0..warmup {
+            run_once(1);
+            run_once(jobs);
+        }
+        // Interleaved pairs: the ratio inside one pair is robust to the
+        // runner-load drift that makes separated A/B walls lie.
+        let mut walls1 = Vec::with_capacity(runs);
+        let mut walls_n = Vec::with_capacity(runs);
+        let mut ratios = Vec::with_capacity(runs);
+        for _ in 0..runs.max(1) {
+            let a = run_once(1);
+            let b = run_once(jobs);
+            if b > 0.0 {
+                ratios.push(a / b);
+            }
+            walls1.push(a);
+            walls_n.push(b);
+        }
+        // One more instrumented run at `--jobs N` for the stats
+        // snapshot, so scheduler spawn/inline counts and the
+        // estimate-vs-actual correlation reflect the parallel
+        // configuration being scored. (All counters in the snapshot
+        // are jobs-deterministic; only the correlation is
+        // timing-derived.)
+        let sess = AnalysisSession::new(opts.clone()).with_jobs(jobs);
         let (result, _) = analyze_program_session(&bench.program, &sess).expect("analysis failed");
         costs.push(ProgramCost {
             name: bench.name,
             suite: bench.suite.label(),
             procedures: bench.program.procedures.len(),
             loops: result.loops.len(),
-            wall_ms_jobs1,
-            wall_ms_jobs_n,
+            wall_ms_jobs1: median(walls1),
+            wall_ms_jobs_n: median(walls_n),
+            speedup: median(ratios),
             stats: result.stats,
         });
     }
@@ -275,11 +308,14 @@ fn main() {
     let _ = writeln!(json, "  \"warmup\": {warmup},");
     json.push_str("  \"programs\": [\n");
     for (i, c) in costs.iter().enumerate() {
+        let sched = &c.stats.sched;
         let _ = write!(
             json,
             "    {{\"name\": \"{}\", \"suite\": \"{}\", \"procedures\": {}, \"loops\": {}, \
              \"wall_ms_jobs1\": {:.3}, \"wall_ms_jobs{}\": {:.3}, \"speedup_jobs\": {:.2}, \
-             \"tier_hit_rate\": {:.4}, \"session\": {}}}",
+             \"tier_hit_rate\": {:.4}, \
+             \"sched\": {{\"threshold\": {}, \"spawned\": {}, \"inlined\": {}, \
+             \"est_corr\": {}}}, \"session\": {}}}",
             c.name,
             c.suite,
             c.procedures,
@@ -289,6 +325,12 @@ fn main() {
             c.wall_ms_jobs_n,
             c.speedup_jobs(),
             c.stats.tier_hit_rate(),
+            sched.threshold,
+            sched.spawned_total(),
+            sched.inlined_total(),
+            sched
+                .est_corr
+                .map_or_else(|| "null".to_string(), |r| format!("{r:.3}")),
             json_stats(&c.stats),
         );
         json.push_str(if i + 1 < costs.len() { ",\n" } else { "\n" });

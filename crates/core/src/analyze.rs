@@ -59,20 +59,23 @@ pub fn analyze_program_with_summaries(
 /// Run the analysis against a caller-provided [`AnalysisSession`]
 /// (options, interners, memo tables, worker count).
 ///
-/// Procedures are partitioned into topological levels of the call graph
-/// and every level's procedures are analyzed concurrently when the
-/// session requests more than one job; the output is bit-identical
-/// regardless of worker count (see the session module docs). This
-/// includes budget-degradation decisions: steps are charged per
-/// procedure by deterministic counting, so a starved budget degrades
-/// the same procedures at the same operation for any `--jobs`.
+/// Procedures are scheduled over the SCC-DAG of the call graph
+/// ([`crate::sched::run_dag`]): each becomes ready as soon as its own
+/// defined callees finish, and ready nodes are dispatched to worker
+/// lanes when the session requests more than one job and the
+/// scheduler's cost model deems any procedure spawn-worthy. The output
+/// is bit-identical regardless of worker count and spawn threshold
+/// (see the session and sched module docs). This includes
+/// budget-degradation decisions: steps are charged per procedure by
+/// deterministic counting, so a starved budget degrades the same
+/// procedures at the same operation for any `--jobs`.
 ///
 /// Each procedure runs under `catch_unwind`: budget exhaustion unwinds
 /// only that procedure (cancelling its remaining work rather than
-/// wedging the level), and any other panic is converted to
-/// [`AnalysisError::Internal`]. When several procedures of one level
-/// fail, the error of the lowest-indexed procedure is returned, keeping
-/// the error itself schedule-independent.
+/// wedging its dependents), and any other panic is converted to
+/// [`AnalysisError::Internal`]. When several procedures fail, the error
+/// of the lowest (call-graph level, index) procedure is returned,
+/// keeping the error itself schedule-independent.
 /// One procedure's analysis outcome, tagged with its index in
 /// `Program::procedures` for deterministic ordering.
 type ProcOutcome = (
@@ -90,52 +93,129 @@ pub fn analyze_program_session(
         sess.pre_intern(prog);
     }
     let co = call_order(prog);
-    let mut proc_summaries: HashMap<String, Arc<Summary>> = HashMap::new();
-    let mut reports: Vec<LoopReport> = Vec::new();
+    let n = prog.procedures.len();
     // Content-addressed keys for whole-procedure store entries. Only
     // unbudgeted sessions use them: a budgeted run can degrade mid-way,
     // and persisting (or replaying) degraded summaries keyed purely on
     // IR would leak one run's budget decisions into another's results.
+    // One sequential topological pass computes every key up front:
+    // callee keys come from strictly lower levels, already in the map.
     let mut proc_store: HashMap<String, ProcStoreInfo> = HashMap::new();
-    let store_eligible = sess.store().is_some() && sess.opts.budget.is_unlimited();
-    for (level_no, level) in co.levels.iter().enumerate() {
-        let mut level_span = trace::span(format!("level{level_no}"), "driver");
-        level_span.arg("procs", level.len().to_string());
-        let mut level_flight = flight::span(flight::EventKind::Driver, format!("level{level_no}"));
-        level_flight.set_value(level.len() as u64);
-        if store_eligible {
-            // Sequential per-level key computation: callee keys come
-            // from strictly lower levels, already present in the map.
+    if sess.store().is_some() && sess.opts.budget.is_unlimited() {
+        for level in &co.levels {
             for &idx in level {
                 if let Some(info) = proc_store_info(prog, idx, &co, sess, &proc_store) {
                     proc_store.insert(prog.procedures[idx].name.clone(), info);
                 }
             }
         }
-        let summaries = &proc_summaries;
-        let co_ref = &co;
-        let keys = &proc_store;
-        // Procedures of one level share no data flow, so fan out over
-        // the session's worker-token pool. `analyze_proc` arms the
-        // budget meter on whichever lane runs it, so nested fan-outs
-        // inside a budgeted procedure correctly run inline.
-        let mut done: Vec<ProcOutcome> = crate::pool::par_map(sess.tokens(), level, |_, &idx| {
-            analyze_proc(
+    }
+    // SCC-DAG over the call graph: node = procedure, dependency = a
+    // defined callee at a strictly lower topological level. A callee at
+    // the same or a higher level is a cycle back-edge, which
+    // `analyze_proc` resolves via `conservative_summary` without
+    // reading any slot — so these edges carry no data and can be
+    // dropped, leaving an acyclic graph whose completed-before order is
+    // exactly what the old level-barrier driver guaranteed, minus the
+    // barriers.
+    let mut level_of = vec![0usize; n];
+    for (ln, level) in co.levels.iter().enumerate() {
+        for &i in level {
+            level_of[i] = ln;
+        }
+    }
+    let index: HashMap<&str, usize> = prog
+        .procedures
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (p.name.as_str(), i))
+        .collect();
+    let mut deps: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, proc) in prog.procedures.iter().enumerate() {
+        let mut names = Vec::new();
+        crate::interproc::callees(proc, &mut names);
+        let mut d: Vec<usize> = names
+            .iter()
+            .filter_map(|c| index.get(c.as_str()).copied())
+            .filter(|&j| level_of[j] < level_of[i])
+            .collect();
+        d.sort_unstable();
+        d.dedup();
+        deps[i] = d;
+    }
+    let order: Vec<usize> = co.levels.iter().flatten().copied().collect();
+    // Cost estimates and spawn decisions for every DAG node, up front
+    // and in procedure order, so the decision stream (and its flight
+    // events) is schedule-independent. Single-procedure programs offer
+    // no choice and emit no decision.
+    let est: Vec<u64> = prog
+        .procedures
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            if co.recursive.contains(&i) {
+                1 // conservative summary: no body walk
+            } else {
+                crate::sched::proc_cost(p)
+            }
+        })
+        .collect();
+    let spawn_worthy = if n >= 2 {
+        (0..n)
+            .filter(|&i| sess.sched().decide(crate::sched::Site::Proc, est[i]))
+            .count()
+    } else {
+        0
+    };
+    let summary_slots: Vec<std::sync::OnceLock<Arc<Summary>>> =
+        (0..n).map(|_| std::sync::OnceLock::new()).collect();
+    let view = SummaryView {
+        index: &index,
+        slots: &summary_slots,
+    };
+    let keys = &proc_store;
+    let outcomes: Vec<ProcOutcome> = {
+        let mut sched_span = trace::span("schedule", "driver");
+        sched_span.arg("procs", n.to_string());
+        let mut sched_flight = flight::span(flight::EventKind::Driver, "schedule");
+        sched_flight.set_value(n as u64);
+        // `analyze_proc` arms the budget meter on whichever lane runs
+        // it, so nested fan-outs inside a budgeted procedure correctly
+        // run inline. Each summary is published to its slot before the
+        // executor releases the node's dependents.
+        crate::sched::run_dag(sess.tokens(), &order, &deps, spawn_worthy, |idx| {
+            let t0 = std::time::Instant::now();
+            let out = analyze_proc(
                 prog,
                 idx,
-                co_ref,
-                summaries,
+                &co,
+                &view,
                 sess,
                 keys.get(&prog.procedures[idx].name),
-            )
-        });
-        // Deterministic error selection and report order within a level.
-        done.sort_by_key(|(idx, _)| *idx);
-        for (idx, outcome) in done {
-            let (summary, reps) = outcome?;
-            proc_summaries.insert(prog.procedures[idx].name.clone(), summary);
-            reports.extend(reps);
-        }
+            );
+            sess.sched()
+                .note_actual(est[idx], t0.elapsed().as_nanos() as u64);
+            if let (_, Ok((summary, _))) = &out {
+                let _ = summary_slots[idx].set(Arc::clone(summary));
+            }
+            out
+        })
+    };
+    // Deterministic error selection: consume outcomes in (level, index)
+    // order, so the first `?` reproduces the level-barrier driver's
+    // first-errored-level / lowest-index-within-it rule exactly.
+    let mut by_key: Vec<usize> = (0..n).collect();
+    by_key.sort_by_key(|&i| (level_of[i], i));
+    let mut outcomes: Vec<Option<ProcOutcome>> = outcomes.into_iter().map(Some).collect();
+    let mut proc_summaries: HashMap<String, Arc<Summary>> = HashMap::new();
+    let mut reports: Vec<LoopReport> = Vec::new();
+    for i in by_key {
+        let Some((idx, outcome)) = outcomes[i].take() else {
+            continue;
+        };
+        let (summary, reps) = outcome?;
+        proc_summaries.insert(prog.procedures[idx].name.clone(), summary);
+        reports.extend(reps);
     }
     // Loop ids are assigned by the parser in program order, so sorting
     // restores a schedule-independent report order.
@@ -145,6 +225,23 @@ pub fn analyze_program_session(
         stats: sess.stats(),
     };
     Ok((result, proc_summaries))
+}
+
+/// Read-only view over the DAG executor's per-procedure summary slots.
+/// A procedure only ever looks up its defined callees, whose slots are
+/// filled before the executor releases it (cycle back-edges read
+/// nothing — `translate_call` falls back to the conservative summary).
+struct SummaryView<'a> {
+    index: &'a HashMap<&'a str, usize>,
+    slots: &'a [std::sync::OnceLock<Arc<Summary>>],
+}
+
+impl SummaryView<'_> {
+    fn get(&self, name: &str) -> Option<Arc<Summary>> {
+        self.index
+            .get(name)
+            .and_then(|&i| self.slots[i].get().cloned())
+    }
 }
 
 /// Store addressing for one procedure: its content-addressed summary
@@ -206,7 +303,7 @@ fn analyze_proc(
     prog: &Program,
     idx: usize,
     co: &CallOrder,
-    summaries: &HashMap<String, Arc<Summary>>,
+    summaries: &SummaryView<'_>,
     sess: &AnalysisSession,
     store_info: Option<&ProcStoreInfo>,
 ) -> ProcOutcome {
@@ -335,8 +432,9 @@ struct Analyzer<'a> {
     prog: &'a Program,
     sess: &'a AnalysisSession,
     /// Summaries of procedures from lower call-graph levels (read-only:
-    /// every callee of the procedure under analysis is already here).
-    proc_summaries: &'a HashMap<String, Arc<Summary>>,
+    /// every defined callee of the procedure under analysis has its
+    /// slot filled before the DAG executor releases this procedure).
+    proc_summaries: &'a SummaryView<'a>,
     reports: Vec<LoopReport>,
     /// Whether intra-procedure fan-out is allowed: false when the
     /// procedure contains a strided loop, whose summarization draws
@@ -361,22 +459,31 @@ impl<'a> Analyzer<'a> {
     fn analyze_block(&mut self, proc: &Procedure, block: &Block, depth: usize) -> Summary {
         // Statement summaries are mutually independent — `seq` composes
         // them only afterward — so fan the statements out when the
-        // procedure permits it. Each task gets a sub-analyzer collecting
-        // its own reports; merging summaries and reports in statement
-        // order reproduces the sequential walk exactly (a loop's inner
-        // reports precede its own, as in the recursive order).
+        // procedure permits it and the scheduler's cost estimate says
+        // the block is worth a spawn. Each task gets a sub-analyzer
+        // collecting its own reports; merging summaries and reports in
+        // statement order reproduces the sequential walk exactly (a
+        // loop's inner reports precede its own, as in the recursive
+        // order), so the spawn decision cannot change the output.
         if self.par_ok && block.stmts.len() >= 2 {
-            let results = crate::pool::par_map(self.sess.tokens(), &block.stmts, |_, stmt| {
-                let mut sub = Analyzer {
-                    prog: self.prog,
-                    sess: self.sess,
-                    proc_summaries: self.proc_summaries,
-                    reports: Vec::new(),
-                    par_ok: self.par_ok,
-                };
-                let s = sub.analyze_stmt(proc, stmt, depth);
-                (s, sub.reports)
-            });
+            let est: u64 = block.stmts.iter().map(crate::sched::stmt_cost).sum();
+            let results = self.sess.sched().gated_map(
+                self.sess.tokens(),
+                crate::sched::Site::Block,
+                est,
+                &block.stmts,
+                |_, stmt| {
+                    let mut sub = Analyzer {
+                        prog: self.prog,
+                        sess: self.sess,
+                        proc_summaries: self.proc_summaries,
+                        reports: Vec::new(),
+                        par_ok: self.par_ok,
+                    };
+                    let s = sub.analyze_stmt(proc, stmt, depth);
+                    (s, sub.reports)
+                },
+            );
             let mut acc = Summary::empty();
             for (s, reps) in results {
                 self.reports.extend(reps);
@@ -435,7 +542,6 @@ impl<'a> Analyzer<'a> {
                 let callee_summary = self
                     .proc_summaries
                     .get(callee)
-                    .cloned()
                     .unwrap_or_else(|| Arc::new(conservative_summary(callee_proc)));
                 let mut mech = Mechanisms::default();
                 translate_call(
@@ -719,16 +825,28 @@ impl<'a> Analyzer<'a> {
             arr.e.normalize(opts.max_pieces, true, sess);
             (arr, fired)
         };
-        // Per-array subtractions are independent; fan out unless the
-        // loop is strided — then `existentialize` draws `$lat` names and
-        // must keep the sequential draw order.
+        // Per-array subtractions are independent; fan out when the
+        // scheduler deems them heavy enough, unless the loop is strided
+        // — then `existentialize` draws `$lat` names and must keep the
+        // sequential draw order.
         let arr_items: Vec<(Var, &crate::summary::ArraySummary)> =
             iter.arrays.iter().map(|(&a, s)| (a, s)).collect();
-        let summarized: Vec<(crate::summary::ArraySummary, bool)> = if aux_vars.is_empty() {
-            crate::pool::par_map(sess.tokens(), &arr_items, |_, &(_, s)| summarize(s))
-        } else {
-            arr_items.iter().map(|&(_, s)| summarize(s)).collect()
-        };
+        let summarized: Vec<(crate::summary::ArraySummary, bool)> =
+            if aux_vars.is_empty() && arr_items.len() >= 2 {
+                let est: u64 = arr_items
+                    .iter()
+                    .map(|&(_, s)| crate::sched::summarize_cost(s))
+                    .sum();
+                sess.sched().gated_map(
+                    sess.tokens(),
+                    crate::sched::Site::Array,
+                    est,
+                    &arr_items,
+                    |_, &(_, s)| summarize(s),
+                )
+            } else {
+                arr_items.iter().map(|&(_, s)| summarize(s)).collect()
+            };
         for (&(a, _), (arr, fired)) in arr_items.iter().zip(summarized) {
             if fired {
                 mechanisms.extraction = true;

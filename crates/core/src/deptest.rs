@@ -449,9 +449,26 @@ pub fn test_loop(
         out
     };
 
+    // Per-array tests are independent; the scheduler fans them out only
+    // when the summary shapes promise enough work to repay a spawn.
     let arrays: Vec<(Var, &crate::summary::ArraySummary)> =
         body.arrays.iter().map(|(&a, s)| (a, s)).collect();
-    for out in crate::pool::par_map(sess.tokens(), &arrays, |_, &(a, s)| test_array(a, s)) {
+    let results: Vec<ArrayOutcome> = if arrays.len() >= 2 {
+        let est: u64 = arrays
+            .iter()
+            .map(|&(_, s)| crate::sched::deptest_cost(s))
+            .sum();
+        sess.sched().gated_map(
+            sess.tokens(),
+            crate::sched::Site::DepTest,
+            est,
+            &arrays,
+            |_, &(a, s)| test_array(a, s),
+        )
+    } else {
+        arrays.iter().map(|&(a, s)| test_array(a, s)).collect()
+    };
+    for out in results {
         mechanisms.predicates |= out.mech.predicates;
         mechanisms.embedding |= out.mech.embedding;
         mechanisms.extraction |= out.mech.extraction;

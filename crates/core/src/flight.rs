@@ -75,11 +75,16 @@ pub enum EventKind {
     TraceCapture,
     WorkerPanic,
     AdmissionShed,
+    /// Scheduler spawn/inline decision at one fan-out site
+    /// (`spawn:<site>` / `inline:<site>`, value = cost estimate).
+    /// Decisions are pure in (estimate, threshold), so these events are
+    /// jobs-deterministic.
+    Sched,
     Note,
 }
 
 impl EventKind {
-    pub const ALL: [EventKind; 15] = [
+    pub const ALL: [EventKind; 16] = [
         EventKind::Parse,
         EventKind::Driver,
         EventKind::Summarize,
@@ -94,6 +99,7 @@ impl EventKind {
         EventKind::TraceCapture,
         EventKind::WorkerPanic,
         EventKind::AdmissionShed,
+        EventKind::Sched,
         EventKind::Note,
     ];
 
@@ -113,6 +119,7 @@ impl EventKind {
             EventKind::TraceCapture => "trace-capture",
             EventKind::WorkerPanic => "worker-panic",
             EventKind::AdmissionShed => "admission-shed",
+            EventKind::Sched => "sched",
             EventKind::Note => "note",
         }
     }

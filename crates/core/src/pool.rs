@@ -43,7 +43,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 /// Session-wide pool of spawnable-worker tokens (`jobs - 1` of them:
 /// the calling thread is always the jobs-th lane).
 pub(crate) struct WorkerTokens {
-    avail: AtomicUsize,
+    pub(crate) avail: AtomicUsize,
 }
 
 impl WorkerTokens {
@@ -54,8 +54,10 @@ impl WorkerTokens {
     }
 
     /// Take up to `want` tokens without waiting; returns how many were
-    /// actually taken (possibly 0).
-    fn grab(&self, want: usize) -> usize {
+    /// actually taken (possibly 0). Shared with the SCC-DAG executor
+    /// ([`crate::sched::run_dag`]), so procedure-level lanes and
+    /// intra-procedure fan-outs draw from one session-wide budget.
+    pub(crate) fn grab(&self, want: usize) -> usize {
         let mut cur = self.avail.load(Ordering::Relaxed);
         loop {
             let take = cur.min(want);
@@ -74,7 +76,7 @@ impl WorkerTokens {
         }
     }
 
-    fn release(&self, n: usize) {
+    pub(crate) fn release(&self, n: usize) {
         self.avail.fetch_add(n, Ordering::Relaxed);
     }
 }

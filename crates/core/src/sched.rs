@@ -1,0 +1,610 @@
+//! Cost-model-driven task scheduling for the parallel driver.
+//!
+//! The analysis has four fan-out sites (call-graph procedures,
+//! statement blocks, per-array loop summarization, per-array dependence
+//! tests). Fanning out blindly loses on most inputs: 27 of the 30
+//! corpus programs have microsecond-scale tasks at the inner sites, and
+//! a `std::thread::scope` spawn costs tens of microseconds — so the
+//! blind fan-out of earlier revisions bought 1.0–1.1× at `--jobs 4`
+//! where the work-split promised far more.
+//!
+//! This module makes every spawn decision explicit and cost-driven:
+//!
+//! * a **static cost model** ([`proc_cost`], [`block_cost`],
+//!   [`summarize_cost`], [`deptest_cost`]) estimates each candidate
+//!   task's work in abstract *lattice-op units* from the IR (loops,
+//!   statements, array accesses) or from the summary shapes already in
+//!   hand (pieces × interned systems per predicated component);
+//! * a session-wide [`Scheduler`] compares the estimate against a
+//!   tunable granularity threshold (`--spawn-threshold`): at or above
+//!   it the site fans out through [`crate::pool::par_map`], below it
+//!   the work runs inline in the caller and never pays spawn or lock
+//!   overhead;
+//! * the procedure site additionally schedules over the **SCC-DAG** of
+//!   the call graph ([`run_dag`]): instead of barrier-synchronized
+//!   topological levels, every procedure becomes a DAG node gated only
+//!   by its *own* callees, and ready nodes are dispatched to
+//!   self-scheduling worker lanes drawn from the session's
+//!   [`WorkerTokens`]. A slow procedure no longer stalls unrelated
+//!   procedures that merely share its level.
+//!
+//! ## Determinism
+//!
+//! The spawn/inline decision is a pure function of `(estimate,
+//! threshold)` — never of `--jobs`, token availability, queue depth, or
+//! timing — so the decision stream (and the [`EventKind::Sched`] flight
+//! events it emits) is identical at any worker count. The threshold
+//! changes only *where* work executes, never its result: every gated
+//! site merges slot-per-item output in input order (the
+//! [`crate::pool`] contract), and the DAG executor publishes each
+//! procedure's summary before releasing its dependents, which is
+//! exactly the data order the level-barrier driver guaranteed. The
+//! ledger is therefore byte-identical at any `--jobs` and any
+//! `--spawn-threshold`.
+
+use crate::component::PredComponent;
+use crate::flight::{self, EventKind};
+use crate::pool::WorkerTokens;
+use crate::summary::ArraySummary;
+use crate::trace;
+use padfa_ir::ast::{Block, Procedure, Stmt};
+use padfa_omega::limit_stats;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, PoisonError};
+use std::time::Instant;
+
+/// Default granularity threshold, in cost-model units, at or above
+/// which a task is worth spawning. Calibrated against BENCH: one unit
+/// corresponds to roughly a microsecond of summarization work on the
+/// reference host, and a scoped thread spawn plus its share of merge
+/// overhead costs a few tens of microseconds, so fan-outs estimated
+/// below ~100 units lose more to scheduling than they can win back.
+pub const DEFAULT_SPAWN_THRESHOLD: u64 = 96;
+
+/// The four fan-out sites the scheduler arbitrates.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Site {
+    /// Whole-procedure summarization over the call-graph SCC-DAG.
+    Proc = 0,
+    /// Per-statement block summaries inside one procedure.
+    Block = 1,
+    /// Per-array subtraction/projection during loop summarization.
+    Array = 2,
+    /// Per-array dependence tests.
+    DepTest = 3,
+}
+
+impl Site {
+    pub const ALL: [Site; 4] = [Site::Proc, Site::Block, Site::Array, Site::DepTest];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Site::Proc => "proc",
+            Site::Block => "block",
+            Site::Array => "array",
+            Site::DepTest => "deptest",
+        }
+    }
+}
+
+/// Flight labels are static so a disabled recorder costs nothing.
+fn decision_label(spawn: bool, site: Site) -> &'static str {
+    match (spawn, site) {
+        (true, Site::Proc) => "spawn:proc",
+        (true, Site::Block) => "spawn:block",
+        (true, Site::Array) => "spawn:array",
+        (true, Site::DepTest) => "spawn:deptest",
+        (false, Site::Proc) => "inline:proc",
+        (false, Site::Block) => "inline:block",
+        (false, Site::Array) => "inline:array",
+        (false, Site::DepTest) => "inline:deptest",
+    }
+}
+
+// ---------------------------------------------------------------------
+// Static cost model
+// ---------------------------------------------------------------------
+
+/// Array accesses mentioned by an expression (each costs one `R` and
+/// one `E` union when summarized).
+fn expr_accesses(e: &padfa_ir::ast::Expr) -> u64 {
+    let mut n = 0u64;
+    e.for_each_access(&mut |_, _| n += 1);
+    n
+}
+
+/// Estimated summarization cost of one statement, in cost-model units.
+/// Loops dominate: summarizing one runs per-array projection and
+/// subtraction chains over the whole body summary, so the body cost is
+/// multiplied, not added.
+pub(crate) fn stmt_cost(s: &Stmt) -> u64 {
+    match s {
+        Stmt::Assign { lhs, rhs } => {
+            let lhs_cost = match lhs {
+                padfa_ir::LValue::Scalar(_) => 0,
+                padfa_ir::LValue::Elem(_, subs) => {
+                    2 + subs.iter().map(expr_accesses).sum::<u64>() * 2
+                }
+            };
+            1 + lhs_cost + expr_accesses(rhs) * 2
+        }
+        Stmt::If {
+            then_blk, else_blk, ..
+        } => 2 + block_cost(then_blk) + block_cost(else_blk),
+        Stmt::For(l) => 8 + 3 * block_cost(&l.body),
+        Stmt::Call { .. } => 6,
+        Stmt::Read(_) | Stmt::ExitWhen(_) => 1,
+        Stmt::Print(e) => 1 + expr_accesses(e) * 2,
+    }
+}
+
+/// Estimated summarization cost of a straight-line block.
+pub(crate) fn block_cost(b: &Block) -> u64 {
+    b.stmts.iter().map(stmt_cost).sum()
+}
+
+/// Estimated summarization cost of a whole procedure (the DAG node
+/// weight at the [`Site::Proc`] site).
+pub(crate) fn proc_cost(p: &Procedure) -> u64 {
+    2 + block_cost(&p.body)
+}
+
+/// Weight of one predicated component: pieces × (1 + interned systems
+/// per piece). This is the operand size every lattice operation over
+/// the component walks.
+fn component_weight(c: &PredComponent) -> u64 {
+    c.pieces
+        .iter()
+        .map(|p| 1 + p.region.systems().len() as u64)
+        .sum()
+}
+
+/// Estimated cost of summarizing one array out of a loop body: four
+/// context-intersection + projection chains (one per component) plus
+/// the pairwise `E − W_prev` predicated subtraction.
+pub(crate) fn summarize_cost(s: &ArraySummary) -> u64 {
+    let w = component_weight(&s.w);
+    let mw = component_weight(&s.mw);
+    let r = component_weight(&s.r);
+    let e = component_weight(&s.e);
+    2 * (w + mw + r + e) + e * w
+}
+
+/// Estimated cost of dependence-testing one array: may-writes are
+/// tested pairwise against may-writes, reads, and exposed reads.
+pub(crate) fn deptest_cost(s: &ArraySummary) -> u64 {
+    let w = component_weight(&s.w);
+    let mw = component_weight(&s.mw);
+    let r = component_weight(&s.r);
+    let e = component_weight(&s.e);
+    2 + w + mw * (mw + r + e)
+}
+
+// ---------------------------------------------------------------------
+// Scheduler
+// ---------------------------------------------------------------------
+
+/// Per-site spawn/inline decisions of one session, plus the data for
+/// the estimate-vs-actual diagnostic. Snapshot via
+/// [`Scheduler::snapshot`].
+pub(crate) struct Scheduler {
+    threshold: u64,
+    spawned: [AtomicU64; 4],
+    inlined: [AtomicU64; 4],
+    /// `(estimate, elapsed ns)` samples from timed fan-out regions,
+    /// capped so a pathological session cannot grow without bound.
+    samples: Mutex<Vec<(u64, u64)>>,
+}
+
+/// Most samples any session keeps for the correlation diagnostic.
+const MAX_SAMPLES: usize = 4096;
+
+impl Scheduler {
+    pub(crate) fn new(threshold: u64) -> Scheduler {
+        Scheduler {
+            threshold,
+            spawned: std::array::from_fn(|_| AtomicU64::new(0)),
+            inlined: std::array::from_fn(|_| AtomicU64::new(0)),
+            samples: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Decide whether a candidate fan-out is worth spawning. Pure in
+    /// `(estimate, threshold)` — never consults jobs, tokens, or any
+    /// runtime state — so the decision stream and the `Sched` flight
+    /// events are identical at any worker count. Call only when a real
+    /// choice exists (≥ 2 items and the site's preconditions hold), so
+    /// the event multiset stays meaningful.
+    pub(crate) fn decide(&self, site: Site, estimate: u64) -> bool {
+        let spawn = estimate >= self.threshold;
+        let bucket = if spawn { &self.spawned } else { &self.inlined };
+        bucket[site as usize].fetch_add(1, Ordering::Relaxed);
+        flight::instant(EventKind::Sched, decision_label(spawn, site), estimate);
+        spawn
+    }
+
+    /// Record how long an estimated region actually took, feeding the
+    /// estimate-vs-actual correlation in [`SchedSnapshot`].
+    pub(crate) fn note_actual(&self, estimate: u64, nanos: u64) {
+        let mut s = self.samples.lock().unwrap_or_else(PoisonError::into_inner);
+        if s.len() < MAX_SAMPLES {
+            s.push((estimate, nanos));
+        }
+    }
+
+    /// Decide-and-run for the three intra-procedure sites: fan `f` out
+    /// over `items` when the estimate clears the threshold, run inline
+    /// otherwise. Results come back in item order either way (the
+    /// [`crate::pool::par_map`] contract), so the threshold can never
+    /// change the output. The whole region is timed for the
+    /// estimate-vs-actual diagnostic.
+    pub(crate) fn gated_map<T, R, F>(
+        &self,
+        tokens: &WorkerTokens,
+        site: Site,
+        estimate: u64,
+        items: &[T],
+        f: F,
+    ) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        let spawn = self.decide(site, estimate);
+        let t0 = Instant::now();
+        let out = if spawn {
+            crate::pool::par_map(tokens, items, f)
+        } else {
+            items.iter().enumerate().map(|(i, t)| f(i, t)).collect()
+        };
+        self.note_actual(estimate, t0.elapsed().as_nanos() as u64);
+        out
+    }
+
+    pub(crate) fn snapshot(&self) -> SchedSnapshot {
+        let samples = self.samples.lock().unwrap_or_else(PoisonError::into_inner);
+        SchedSnapshot {
+            threshold: self.threshold,
+            spawned: std::array::from_fn(|i| self.spawned[i].load(Ordering::Relaxed)),
+            inlined: std::array::from_fn(|i| self.inlined[i].load(Ordering::Relaxed)),
+            est_corr: pearson(&samples),
+        }
+    }
+}
+
+/// Pearson correlation of `(estimate, nanos)` pairs; `None` below two
+/// distinct samples or when either side has zero variance.
+fn pearson(samples: &[(u64, u64)]) -> Option<f64> {
+    if samples.len() < 2 {
+        return None;
+    }
+    let n = samples.len() as f64;
+    let (sx, sy) = samples.iter().fold((0.0, 0.0), |(ax, ay), &(x, y)| {
+        (ax + x as f64, ay + y as f64)
+    });
+    let (mx, my) = (sx / n, sy / n);
+    let (mut cov, mut vx, mut vy) = (0.0, 0.0, 0.0);
+    for &(x, y) in samples {
+        let (dx, dy) = (x as f64 - mx, y as f64 - my);
+        cov += dx * dy;
+        vx += dx * dx;
+        vy += dy * dy;
+    }
+    if vx == 0.0 || vy == 0.0 {
+        return None;
+    }
+    Some(cov / (vx * vy).sqrt())
+}
+
+/// Scheduler counters for [`crate::session::StatsSnapshot`]: spawn and
+/// inline decisions per site (indexed by [`Site`] discriminant), the
+/// active threshold, and the estimate-vs-actual cost correlation over
+/// this session's timed fan-out regions.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SchedSnapshot {
+    /// The session's `--spawn-threshold` (cost-model units).
+    pub threshold: u64,
+    /// Spawn decisions per site, indexed like [`Site::ALL`].
+    pub spawned: [u64; 4],
+    /// Inline decisions per site, indexed like [`Site::ALL`].
+    pub inlined: [u64; 4],
+    /// Pearson correlation between estimated cost and measured wall
+    /// time of the gated regions; `None` with fewer than two samples or
+    /// degenerate variance. Timing-derived — not jobs-deterministic, so
+    /// it is surfaced here and in BENCH but never as a metrics counter.
+    pub est_corr: Option<f64>,
+}
+
+impl SchedSnapshot {
+    pub fn spawned_total(&self) -> u64 {
+        self.spawned.iter().sum()
+    }
+
+    pub fn inlined_total(&self) -> u64 {
+        self.inlined.iter().sum()
+    }
+
+    pub fn decisions(&self) -> u64 {
+        self.spawned_total() + self.inlined_total()
+    }
+}
+
+// ---------------------------------------------------------------------
+// SCC-DAG executor
+// ---------------------------------------------------------------------
+
+/// Shared executor state: the ready queue and its condition variable,
+/// plus the count of not-yet-finished nodes that tells idle lanes when
+/// to exit.
+struct DagState {
+    ready: Mutex<std::collections::VecDeque<usize>>,
+    cv: Condvar,
+    remaining: AtomicUsize,
+}
+
+/// Run `f(node)` for every node of a dependency DAG, returning results
+/// indexed by node id.
+///
+/// `deps[i]` lists the nodes that must finish before `i` starts (the
+/// acyclic "strictly lower call-graph level" edges); `order` is any
+/// topological order, used both for the sequential path and to seed the
+/// ready queue so low-level nodes start first. Ready nodes are claimed
+/// by up to `1 + min(workers, …)` self-scheduling lanes: the caller
+/// always participates, extra lanes are drawn grab-don't-wait from
+/// `tokens` and bounded by `max_spawn` (the number of spawn-worthy
+/// nodes, so an all-inline program never pays a thread spawn).
+///
+/// Determinism: each node's result lands in its own slot, dependents
+/// are released only after the node's `f` returns (so data published
+/// inside `f` is visible, exactly as the level-barrier driver
+/// guaranteed), and a panic in any `f` is re-raised for the lowest node
+/// id after all nodes finish — matching sequential first-failure
+/// selection. Worker lanes migrate `limit_stats` and flight lattice-op
+/// deltas back to the caller like [`crate::pool::par_map`] does.
+pub(crate) fn run_dag<R, F>(
+    tokens: &WorkerTokens,
+    order: &[usize],
+    deps: &[Vec<usize>],
+    max_spawn: usize,
+    f: F,
+) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let n = deps.len();
+    debug_assert_eq!(order.len(), n);
+    let workers = if n < 2 || max_spawn == 0 {
+        0
+    } else {
+        tokens.grab(max_spawn.min(n - 1))
+    };
+    if workers == 0 {
+        // Sequential: any topological order satisfies every dependency.
+        let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        for &t in order {
+            slots[t] = Some(f(t));
+        }
+        return unwrap_slots(slots, &f);
+    }
+
+    let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut pending: Vec<AtomicUsize> = Vec::with_capacity(n);
+    for (i, d) in deps.iter().enumerate() {
+        pending.push(AtomicUsize::new(d.len()));
+        for &j in d {
+            dependents[j].push(i);
+        }
+    }
+    let state = DagState {
+        ready: Mutex::new(
+            order
+                .iter()
+                .copied()
+                .filter(|&i| deps[i].is_empty())
+                .collect(),
+        ),
+        cv: Condvar::new(),
+        remaining: AtomicUsize::new(n),
+    };
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let panic_slot: Mutex<Option<(usize, Box<dyn std::any::Any + Send>)>> = Mutex::new(None);
+
+    let lane = |migrate: bool| {
+        loop {
+            let task = {
+                let mut q = state.ready.lock().unwrap_or_else(PoisonError::into_inner);
+                loop {
+                    if let Some(t) = q.pop_front() {
+                        break Some(t);
+                    }
+                    if state.remaining.load(Ordering::Acquire) == 0 {
+                        break None;
+                    }
+                    q = state.cv.wait(q).unwrap_or_else(PoisonError::into_inner);
+                }
+            };
+            let Some(t) = task else { break };
+            match catch_unwind(AssertUnwindSafe(|| f(t))) {
+                Ok(r) => {
+                    *slots[t].lock().unwrap_or_else(PoisonError::into_inner) = Some(r);
+                }
+                Err(payload) => {
+                    let mut p = panic_slot.lock().unwrap_or_else(PoisonError::into_inner);
+                    if p.as_ref().is_none_or(|(j, _)| t < *j) {
+                        *p = Some((t, payload));
+                    }
+                }
+            }
+            // Release dependents only after the node's result (and any
+            // data `f` published) is in place; a panicked node still
+            // releases them so no lane waits forever.
+            for &d in &dependents[t] {
+                if pending[d].fetch_sub(1, Ordering::AcqRel) == 1 {
+                    let mut q = state.ready.lock().unwrap_or_else(PoisonError::into_inner);
+                    q.push_back(d);
+                    drop(q);
+                    state.cv.notify_one();
+                }
+            }
+            if state.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                // Wake every idle lane under the queue lock: a lane
+                // either sees `remaining == 0` before waiting or is
+                // already waiting and receives this notification.
+                let _q = state.ready.lock().unwrap_or_else(PoisonError::into_inner);
+                state.cv.notify_all();
+            }
+        }
+        if migrate {
+            trace::flush_lattice_batch();
+            (limit_stats::thread_overflows(), flight::take_lattice_ops())
+        } else {
+            (0, 0)
+        }
+    };
+
+    let parent_trace = flight::current_trace();
+    let (migrated, flight_ops) = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let _tag = flight::set_trace(parent_trace);
+                    lane(true)
+                })
+            })
+            .collect();
+        lane(false);
+        let mut migrated = 0u64;
+        let mut flight_ops = 0u64;
+        for h in handles {
+            if let Ok((delta, ops)) = h.join() {
+                migrated += delta;
+                flight_ops += ops;
+            }
+        }
+        (migrated, flight_ops)
+    });
+    tokens.release(workers);
+    limit_stats::adopt_thread_overflows(migrated);
+    flight::adopt_lattice_ops(flight_ops);
+
+    if let Some((_, payload)) = panic_slot
+        .into_inner()
+        .unwrap_or_else(PoisonError::into_inner)
+    {
+        resume_unwind(payload);
+    }
+    let slots = slots
+        .into_iter()
+        .map(|m| m.into_inner().unwrap_or_else(PoisonError::into_inner))
+        .collect();
+    unwrap_slots(slots, &f)
+}
+
+/// Fill any empty slot by recomputing inline — every node is claimed
+/// exactly once, so this only covers a lost scaffold join, and keeps
+/// the function total without a panic path.
+fn unwrap_slots<R>(slots: Vec<Option<R>>, f: &impl Fn(usize) -> R) -> Vec<R> {
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, s)| s.unwrap_or_else(|| f(i)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decide_is_pure_in_estimate() {
+        let s = Scheduler::new(10);
+        assert!(!s.decide(Site::Block, 9));
+        assert!(s.decide(Site::Block, 10));
+        assert!(s.decide(Site::Proc, u64::MAX));
+        let snap = s.snapshot();
+        assert_eq!(snap.spawned[Site::Block as usize], 1);
+        assert_eq!(snap.inlined[Site::Block as usize], 1);
+        assert_eq!(snap.spawned[Site::Proc as usize], 1);
+        assert_eq!(snap.decisions(), 3);
+    }
+
+    #[test]
+    fn threshold_zero_always_spawns_and_max_never_does() {
+        let zero = Scheduler::new(0);
+        assert!(zero.decide(Site::Array, 0));
+        let inf = Scheduler::new(u64::MAX);
+        assert!(!inf.decide(Site::Array, u64::MAX - 1));
+    }
+
+    #[test]
+    fn pearson_tracks_perfect_correlation() {
+        let samples: Vec<(u64, u64)> = (1..=10).map(|i| (i, 100 * i)).collect();
+        let r = pearson(&samples).expect("correlated");
+        assert!((r - 1.0).abs() < 1e-9, "r = {r}");
+        assert!(pearson(&[(1, 1)]).is_none());
+        assert!(pearson(&[(5, 1), (5, 100)]).is_none(), "zero x-variance");
+    }
+
+    #[test]
+    fn run_dag_respects_dependencies() {
+        // Diamond: 0 -> {1, 2} -> 3, plus an isolated 4.
+        let deps: Vec<Vec<usize>> = vec![vec![], vec![0], vec![0], vec![1, 2], vec![]];
+        let order = [0, 1, 2, 4, 3];
+        let seen = Mutex::new(Vec::new());
+        let tokens = WorkerTokens::new(4);
+        let got = run_dag(&tokens, &order, &deps, deps.len(), |i| {
+            seen.lock().unwrap().push(i);
+            i * 10
+        });
+        assert_eq!(got, vec![0, 10, 20, 30, 40]);
+        let seen = seen.into_inner().unwrap();
+        let pos = |x: usize| seen.iter().position(|&v| v == x).unwrap();
+        assert!(pos(0) < pos(1) && pos(0) < pos(2) && pos(1) < pos(3) && pos(2) < pos(3));
+        assert_eq!(tokens.avail.load(Ordering::Relaxed), 3, "tokens leaked");
+    }
+
+    #[test]
+    fn run_dag_inline_when_no_spawn_worthy_nodes() {
+        let deps: Vec<Vec<usize>> = vec![vec![], vec![0], vec![1]];
+        let order = [0, 1, 2];
+        let tokens = WorkerTokens::new(4);
+        let got = run_dag(&tokens, &order, &deps, 0, |i| i + 1);
+        assert_eq!(got, vec![1, 2, 3]);
+        assert_eq!(tokens.avail.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn run_dag_lowest_node_panic_wins() {
+        let deps: Vec<Vec<usize>> = (0..16).map(|_| Vec::new()).collect();
+        let order: Vec<usize> = (0..16).collect();
+        let tokens = WorkerTokens::new(4);
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            run_dag(&tokens, &order, &deps, 16, |i| {
+                if i == 3 || i == 11 {
+                    std::panic::panic_any(format!("dag-boom-{i}"));
+                }
+                i
+            })
+        }));
+        let payload = caught.expect_err("must propagate panic");
+        let msg = payload.downcast_ref::<String>().expect("string payload");
+        assert_eq!(msg, "dag-boom-3");
+        assert_eq!(tokens.avail.load(Ordering::Relaxed), 3, "tokens leaked");
+    }
+
+    #[test]
+    fn gated_map_inline_and_spawned_agree() {
+        let tokens = WorkerTokens::new(4);
+        let items: Vec<u64> = (0..32).collect();
+        let spawn = Scheduler::new(0);
+        let inline = Scheduler::new(u64::MAX);
+        let a = spawn.gated_map(&tokens, Site::Array, 1, &items, |_, &x| x * 3);
+        let b = inline.gated_map(&tokens, Site::Array, 1, &items, |_, &x| x * 3);
+        assert_eq!(a, b);
+        assert_eq!(spawn.snapshot().spawned_total(), 1);
+        assert_eq!(inline.snapshot().inlined_total(), 1);
+    }
+}

@@ -145,6 +145,9 @@ pub struct StatsSnapshot {
     pub limit_overflows: u64,
     /// Persistent-store counters (`None` when no store is attached).
     pub store: Option<StoreStatsSnapshot>,
+    /// Task-scheduler decisions (spawn vs inline per fan-out site) and
+    /// the estimate-vs-actual cost correlation.
+    pub sched: crate::sched::SchedSnapshot,
 }
 
 impl StatsSnapshot {
@@ -243,6 +246,32 @@ impl std::fmt::Display for StatsSnapshot {
             "  fm-projections run: {}; peak table: {} entries",
             self.fm_projections, self.peak_table_entries
         )?;
+        if self.sched.decisions() > 0 {
+            let per_site = crate::sched::Site::ALL
+                .iter()
+                .map(|&s| {
+                    format!(
+                        "{} {}/{}",
+                        s.name(),
+                        self.sched.spawned[s as usize],
+                        self.sched.inlined[s as usize]
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(", ");
+            write!(
+                f,
+                "  sched: {} spawned / {} inlined (threshold {}; {})",
+                self.sched.spawned_total(),
+                self.sched.inlined_total(),
+                self.sched.threshold,
+                per_site,
+            )?;
+            if let Some(r) = self.sched.est_corr {
+                write!(f, " est-corr {r:.2}")?;
+            }
+            writeln!(f)?;
+        }
         write!(f, "  limit overflows: {}", self.limit_overflows)?;
         if self.budget_steps > 0 {
             write!(
@@ -331,6 +360,9 @@ pub struct AnalysisSession {
     /// closures (after budget charging), so memo statistics, budget
     /// steps, and operand peaks stay bit-identical warm vs cold.
     store: Option<SessionStore>,
+    /// Cost-model task scheduler arbitrating the four fan-out sites
+    /// (see [`crate::sched`]).
+    sched: crate::sched::Scheduler,
 }
 
 /// A persistent store attached to this session, with the session's
@@ -358,6 +390,7 @@ impl AnalysisSession {
                 1,
             );
         }
+        let sched = crate::sched::Scheduler::new(opts.spawn_threshold);
         AnalysisSession {
             opts,
             jobs: 1,
@@ -384,6 +417,7 @@ impl AnalysisSession {
             overflow_baseline: padfa_omega::limit_stats::overflows(),
             metrics: None,
             store: None,
+            sched,
         }
     }
 
@@ -501,6 +535,12 @@ impl AnalysisSession {
     /// The session's worker-token pool (for [`crate::pool::par_map`]).
     pub(crate) fn tokens(&self) -> &WorkerTokens {
         &self.tokens
+    }
+
+    /// The session's task scheduler (spawn/inline decisions at the
+    /// four fan-out sites).
+    pub(crate) fn sched(&self) -> &crate::sched::Scheduler {
+        &self.sched
     }
 
     /// Attach a metrics registry: every lattice query records a latency
@@ -888,6 +928,7 @@ impl AnalysisSession {
             limit_overflows: padfa_omega::limit_stats::overflows()
                 .saturating_sub(self.overflow_baseline),
             store: self.store.as_ref().map(|s| s.store.stats()),
+            sched: self.sched.snapshot(),
         }
     }
 
@@ -938,6 +979,16 @@ impl AnalysisSession {
         reg.counter("degraded.procs").set(st.degraded_procs);
         reg.counter("lat.overflow").set(st.lat_overflow);
         reg.counter("limit.overflows").set(st.limit_overflows);
+        // Spawn/inline decisions are pure in (estimate, threshold), so
+        // these counters are jobs-deterministic. The estimate-vs-actual
+        // correlation is timing-derived and intentionally *not*
+        // published as a counter.
+        for s in crate::sched::Site::ALL {
+            reg.counter(&format!("sched.spawned.{}", s.name()))
+                .set(st.sched.spawned[s as usize]);
+            reg.counter(&format!("sched.inlined.{}", s.name()))
+                .set(st.sched.inlined[s as usize]);
+        }
         if let Some(s) = &st.store {
             reg.counter("store.hits").set(s.hits);
             reg.counter("store.misses").set(s.misses);

@@ -52,12 +52,20 @@ fn event_kinds_and_counts_are_identical_across_worker_counts() {
         "recorder produced no events for a full analysis run"
     );
     // The run must have hit the interesting phases, not just one span.
-    for kind in ["driver", "summarize", "loop", "lattice-batch"] {
+    for kind in ["driver", "summarize", "loop", "lattice-batch", "sched"] {
         assert!(
             baseline.keys().any(|(k, _, _)| k == kind),
             "no '{kind}' events recorded: {baseline:?}"
         );
     }
+    // Scheduler decisions are labelled by verb and site; the 5-proc
+    // program always offers a procedure-level choice.
+    assert!(
+        baseline
+            .keys()
+            .any(|(k, _, l)| k == "sched" && (l.ends_with(":proc"))),
+        "no procedure-level sched decision recorded: {baseline:?}"
+    );
     for jobs in [2, 4] {
         let parallel = event_counts(jobs, &format!("flight-determinism-jobs{jobs}"));
         assert_eq!(

@@ -2,7 +2,23 @@
 
 use crate::dense::DenseBox;
 use crate::{CKind, Constraint, Limits, System, Var};
+use std::borrow::Cow;
 use std::fmt;
+
+/// A piece's dense summary: the cached box when present, otherwise an
+/// on-the-fly classification of its constraints. Identical by
+/// construction — [`DenseBox::classify`] is a pure function of the
+/// constraint list, and a populated cache is exactly its result (caches
+/// are cleared on every constraint mutation).
+fn dense_of(s: &System) -> Option<Cow<'_, DenseBox>> {
+    if let Some(b) = s.dense_box() {
+        return Some(Cow::Borrowed(b));
+    }
+    if s.is_contradiction() {
+        return None;
+    }
+    DenseBox::classify(s.constraints()).map(Cow::Owned)
+}
 
 /// A finite union of convex systems, with an exactness flag.
 ///
@@ -184,11 +200,22 @@ impl Disjunction {
 
     /// Dense-tier subset test. Answers `Some` only in shapes where the
     /// answer is provably identical to [`Disjunction::subset_of`]:
-    /// single-piece (or empty) regions whose pieces carry dense
-    /// summaries, with `other`'s piece witness-free so every
-    /// subtraction piece the general path would enumerate is itself
-    /// box-shaped and decided exactly. `None` means "run the general
-    /// path"; it never means "false".
+    /// single-piece (or empty) regions whose pieces are box-shaped,
+    /// with `other`'s piece witness-free so every subtraction piece the
+    /// general path would enumerate is itself box-shaped and decided
+    /// exactly. `None` means "run the general path"; it never means
+    /// "false".
+    ///
+    /// A piece whose dense cache was invalidated (constraints were
+    /// conjoined after classification, e.g. by loop-context
+    /// intersection) is re-classified on the fly: classification is a
+    /// pure function of the constraint list, so the answer is the one
+    /// the cached summary would have given. The on-the-fly path is
+    /// restricted to witness-free boxes on *both* sides — the shape for
+    /// which `a ⊆ b` makes every `subtract_convex` complement piece an
+    /// empty box (filtered before the disjunct cap can fire) and
+    /// `a ⊄ b` leaves a non-empty box FM soundly keeps, so the general
+    /// verdict is forced either way.
     pub fn subset_of_dense(&self, other: &Disjunction) -> Option<bool> {
         if self.systems.len() > 1 || other.systems.len() > 1 {
             return None;
@@ -198,7 +225,7 @@ impl Disjunction {
             // in an over-approximation.
             return match self.systems.first() {
                 None => Some(true),
-                Some(s) => s.dense_box().map(DenseBox::is_empty),
+                Some(s) => dense_of(s).map(|b| b.is_empty()),
             };
         }
         let Some(a0) = self.systems.first() else {
@@ -207,9 +234,18 @@ impl Disjunction {
         };
         let Some(b0) = other.systems.first() else {
             // Subtracting the exact empty set leaves `self` unchanged.
-            return a0.dense_box().map(DenseBox::is_empty);
+            return dense_of(a0).map(|b| b.is_empty());
         };
-        a0.dense_box()?.subset_of(b0.dense_box()?)
+        if let (Some(ba), Some(bb)) = (a0.dense_box(), b0.dense_box()) {
+            // Cached-summary path (also handles self-side witnesses).
+            return ba.subset_of(bb);
+        }
+        let ba = dense_of(a0)?;
+        let bb = dense_of(b0)?;
+        if !ba.witness_free() || !bb.witness_free() {
+            return None;
+        }
+        ba.subset_of(&bb)
     }
 
     /// Dense-tier intersection, restricted to the one case whose result

@@ -234,6 +234,60 @@ fn dense_subset_agrees_with_fm_and_enumeration() {
 }
 
 #[test]
+fn uncached_subset_agrees_with_fm_and_enumeration() {
+    // Operands whose dense cache was invalidated (constraints conjoined
+    // after classification — the common post-`and` shape in loop
+    // summarization) must still get a dense answer via on-the-fly
+    // classification, and it must match both FM and enumeration.
+    let limits = Limits::default();
+    let mut answered = 0u32;
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x0FF_CAC4E + seed);
+        let a = random_bounded_system(&mut rng);
+        let b = random_bounded_system(&mut rng);
+        let da = stripped_region(&Disjunction::from_system(a.clone()));
+        let db = stripped_region(&Disjunction::from_system(b.clone()));
+        assert!(
+            da.systems().iter().all(|s| !s.has_dense()),
+            "stripping failed"
+        );
+        let Some(dense) = da.subset_of_dense(&db) else {
+            continue;
+        };
+        answered += 1;
+        let general = da.subset_of(&db, limits);
+        assert_eq!(dense, general, "uncached dense vs FM subset: {a} ⊆ {b}");
+        // Enumeration over the pinned [-10, 10] windows is conclusive.
+        let mut brute = true;
+        'outer: for x in -10..=10 {
+            for y in -10..=10 {
+                let env = |v: Var| {
+                    if v == vx() {
+                        Some(x)
+                    } else if v == vy() {
+                        Some(y)
+                    } else {
+                        None
+                    }
+                };
+                if a.contains(&env) == Some(true) && b.contains(&env) != Some(true) {
+                    brute = false;
+                    break 'outer;
+                }
+            }
+        }
+        assert_eq!(
+            dense, brute,
+            "uncached dense vs enumeration subset: {a} ⊆ {b}"
+        );
+    }
+    assert!(
+        answered > 50,
+        "on-the-fly classification stopped answering stripped operands"
+    );
+}
+
+#[test]
 fn dense_disjointness_agrees_with_fm_and_enumeration() {
     let limits = Limits::default();
     let mut answered = 0u32;

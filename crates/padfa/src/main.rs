@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! padfa analyze <file.mf> [--variant base|guarded|predicated] [--all] [--summaries]
-//!                         [--jobs N] [--stats] [--profile] [--max-steps N] [--deadline-ms N]
+//!                         [--jobs N] [--spawn-threshold N] [--stats] [--profile]
+//!                         [--max-steps N] [--deadline-ms N]
 //!                         [--strict] [--trace PATH] [--metrics-out PATH]
 //!                         [--store DIR] [--no-store] [--inject store-FAULT]
 //! padfa explain <file.mf> [--loop <label-or-id>] [--json] [--variant V] [--jobs N]
@@ -11,7 +12,8 @@
 //!                         [--no-fallback] [--inject W:S:KIND] [ARG...]
 //! padfa elpd    <file.mf> <loop-label-or-id> [--fuel N] [ARG...]
 //! padfa fmt     <file.mf>
-//! padfa corpus  [--variant V] [--jobs N] [--max-steps N] [--deadline-ms N]
+//! padfa corpus  [--variant V] [--jobs N] [--spawn-threshold N]
+//!               [--max-steps N] [--deadline-ms N]
 //!               [--ledger PATH] [--resume] [--keep-going] [--metrics-out PATH]
 //!               [--store DIR] [--no-store] [--inject store-FAULT]
 //! padfa serve   [--addr HOST:PORT] [--workers N] [--queue N] [--jobs N]
@@ -42,6 +44,14 @@
 //! `--deadline-ms` bounds per-procedure wall time, and `--strict` turns
 //! budget exhaustion into a hard error (exit 4) instead of degrading
 //! the procedure to a sound conservative summary.
+//!
+//! `--jobs N` runs the analysis on up to `N` worker lanes;
+//! `--spawn-threshold N` sets the task scheduler's cost cutoff: units of
+//! static estimated work below which a task runs inline on the deciding
+//! thread instead of being dispatched to a lane (0 spawns everything
+//! eligible, a huge value inlines everything). The threshold moves work
+//! between threads but never changes results — the output and the
+//! corpus ledger are byte-identical at any setting.
 //!
 //! `explain` prints the decision-provenance tree behind every loop
 //! verdict — the dependence pair or exposed read that blocked
@@ -118,7 +128,8 @@ use std::process::exit;
 fn usage() -> ! {
     eprintln!(
         "usage:\n  padfa analyze <file.mf> [--variant base|guarded|predicated] [--all]\n               \
-         [--summaries] [--jobs N] [--stats] [--profile] [--max-steps N] [--deadline-ms N]\n               \
+         [--summaries] [--jobs N] [--spawn-threshold N] [--stats] [--profile]\n               \
+         [--max-steps N] [--deadline-ms N]\n               \
          [--strict] [--trace PATH] [--metrics-out PATH] [--store DIR] [--no-store]\n               \
          [--inject store-FAULT]\n  \
          padfa explain <file.mf> [--loop <label-or-id>] [--json] [--variant V] [--jobs N]\n  \
@@ -126,7 +137,8 @@ fn usage() -> ! {
          [--no-fallback] [--inject W:S:panic|error|corrupt] [ARG...]\n  \
          padfa elpd <file.mf> <loop-label-or-id> [--fuel N] [ARG...]\n  \
          padfa fmt <file.mf>\n  \
-         padfa corpus [--variant V] [--jobs N] [--max-steps N] [--deadline-ms N]\n               \
+         padfa corpus [--variant V] [--jobs N] [--spawn-threshold N]\n               \
+         [--max-steps N] [--deadline-ms N]\n               \
          [--ledger PATH] [--resume] [--keep-going] [--metrics-out PATH]\n               \
          [--store DIR] [--no-store] [--inject store-FAULT]\n  \
          padfa serve [--addr HOST:PORT] [--workers N] [--queue N] [--jobs N]\n              \
@@ -391,6 +403,7 @@ fn cmd_analyze(args: &[String]) {
     let mut show_stats = false;
     let mut show_profile = false;
     let mut jobs = 1usize;
+    let mut spawn_threshold: Option<u64> = None;
     let mut budget = BudgetFlags::default();
     let mut store_flags = StoreFlags::default();
     let mut trace_out: Option<String> = None;
@@ -420,6 +433,13 @@ fn cmd_analyze(args: &[String]) {
                     .and_then(|w| w.parse().ok())
                     .filter(|&n| n >= 1)
                     .unwrap_or_else(|| usage())
+            }
+            "--spawn-threshold" => {
+                spawn_threshold = Some(
+                    it.next()
+                        .and_then(|w| w.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
             }
             "--max-steps" => {
                 budget.max_steps = Some(
@@ -451,7 +471,10 @@ fn cmd_analyze(args: &[String]) {
         let _s = padfa::analysis::trace::span("parse", "parse");
         load(&path)
     };
-    let opts = variant_options(&variant).with_budget(budget.to_budget());
+    let mut opts = variant_options(&variant).with_budget(budget.to_budget());
+    if let Some(t) = spawn_threshold {
+        opts = opts.with_spawn_threshold(t);
+    }
     let registry = metrics_out
         .as_ref()
         .map(|_| padfa::analysis::MetricsRegistry::new());
@@ -817,6 +840,7 @@ fn trim_partial_ledger_line(path: &str) {
 fn cmd_corpus(args: &[String]) {
     let mut variant = "predicated".to_string();
     let mut jobs = 1usize;
+    let mut spawn_threshold: Option<u64> = None;
     let mut budget = BudgetFlags::default();
     let mut ledger: Option<String> = None;
     let mut resume = false;
@@ -843,6 +867,13 @@ fn cmd_corpus(args: &[String]) {
                     .filter(|&n| n >= 1)
                     .unwrap_or_else(|| usage())
             }
+            "--spawn-threshold" => {
+                spawn_threshold = Some(
+                    it.next()
+                        .and_then(|w| w.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
             "--max-steps" => {
                 budget.max_steps = Some(
                     it.next()
@@ -865,7 +896,10 @@ fn cmd_corpus(args: &[String]) {
             _ => usage(),
         }
     }
-    let opts = variant_options(&variant).with_budget(budget.to_budget());
+    let mut opts = variant_options(&variant).with_budget(budget.to_budget());
+    if let Some(t) = spawn_threshold {
+        opts = opts.with_spawn_threshold(t);
+    }
     let store = store_flags.open(&opts.budget);
     if let Some(s) = &store {
         drain_store_warnings(s); // surface open-time problems up front

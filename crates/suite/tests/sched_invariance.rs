@@ -1,0 +1,48 @@
+//! Threshold-invariance test over the full benchmark corpus: the
+//! spawn threshold only decides *where* a task runs (spawned lane vs
+//! inline on the deciding thread), never *what* it computes, so the
+//! rendered analysis output must be byte-identical across every
+//! `--spawn-threshold` — from "spawn everything" (0) through the
+//! calibrated default to "inline everything" (`u64::MAX`) — at any
+//! worker count.
+
+use padfa_core::{analyze_program_session, AnalysisSession, Options};
+use padfa_suite::corpus::build_corpus;
+
+/// Render every loop report and every procedure summary of one corpus
+/// program in canonical order.
+fn render(prog: &padfa_ir::Program, jobs: usize, threshold: u64) -> String {
+    let sess =
+        AnalysisSession::new(Options::predicated().with_spawn_threshold(threshold)).with_jobs(jobs);
+    let (result, summaries) = analyze_program_session(prog, &sess).unwrap();
+    let mut out = String::new();
+    for report in &result.loops {
+        out.push_str(&format!("{report}\n"));
+    }
+    let mut names: Vec<&String> = summaries.keys().collect();
+    names.sort();
+    for name in names {
+        out.push_str(&format!("== {name} ==\n{}", summaries[name]));
+    }
+    out
+}
+
+#[test]
+fn corpus_reports_identical_across_spawn_thresholds() {
+    let default = padfa_core::DEFAULT_SPAWN_THRESHOLD;
+    for bench in build_corpus() {
+        // Baseline: sequential run at the default threshold.
+        let seq = render(&bench.program, 1, default);
+        for jobs in [1, 4] {
+            for threshold in [0, default, u64::MAX] {
+                let got = render(&bench.program, jobs, threshold);
+                assert_eq!(
+                    seq, got,
+                    "{}: --jobs {jobs} --spawn-threshold {threshold} diverged \
+                     from the jobs-1/default baseline",
+                    bench.name
+                );
+            }
+        }
+    }
+}

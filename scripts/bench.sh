@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Measure analysis wall time and session cache statistics over the full
 # corpus, writing BENCH_analysis.json (plus a copy under results/).
-# Every program is timed at --jobs 1 and --jobs JOBS; per-program and
-# per-suite speedups land in the JSON as "speedup_jobs". Each
-# measurement is preceded by WARMUP untimed runs.
+# Every program is timed in interleaved --jobs 1 / --jobs JOBS pairs;
+# "speedup_jobs" is the median of the per-pair ratios, so runner-load
+# drift cancels out of each pair. Scheduler spawn/inline counts and the
+# estimate-vs-actual cost correlation land in each program's "sched"
+# object. Each program is preceded by WARMUP untimed pairs.
 #
 # Usage: scripts/bench.sh [JOBS] [RUNS] [WARMUP]
 set -euo pipefail
